@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: the per-point stream cache
+ * (decode benches reuse streams encoded by earlier benches in the same
+ * working directory) and small formatting utilities.
+ */
+#ifndef HDVB_BENCH_BENCH_UTIL_H
+#define HDVB_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "container/container.h"
+#include "core/runner.h"
+
+namespace hdvb::bench {
+
+inline std::string
+cache_path(const BenchPoint &point)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "hdvb_cache/%s_%s_%s_%d.hdv",
+                  codec_name(point.codec),
+                  sequence_name(point.sequence),
+                  resolution_info(point.resolution).name, point.frames);
+    return buf;
+}
+
+/**
+ * Return the encoded stream for @p point, reusing a cached file when
+ * present (bitstreams are independent of SimdLevel — the kernel levels
+ * are bit-exact — so one cache entry serves both Figure 1 variants).
+ */
+inline EncodedStream
+get_or_encode(const BenchPoint &point)
+{
+    const std::string path = cache_path(point);
+    EncodedStream stream;
+    if (read_stream_file(path, &stream).is_ok() &&
+        stream.codec == codec_name(point.codec)) {
+        return stream;
+    }
+    EncodeRun run = run_encode(point);
+    ::mkdir("hdvb_cache", 0755);
+    (void)write_stream_file(path, run.stream);
+    return std::move(run.stream);
+}
+
+}  // namespace hdvb::bench
+
+#endif  // HDVB_BENCH_BENCH_UTIL_H

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared driver for the four Figure 1 benches: decode/encode fps per
+ * codec and resolution at a chosen SIMD level, with the paper's 25 fps
+ * real-time reference line and the Section VI speedup summaries.
+ */
+#ifndef HDVB_BENCH_FIG1_COMMON_H
+#define HDVB_BENCH_FIG1_COMMON_H
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "core/runner.h"
+
+namespace hdvb::bench {
+
+inline constexpr double kRealTimeFps = 25.0;
+
+/** fps results indexed [codec][resolution] (averaged over the four
+ * input sequences, matching Figure 1's per-resolution groups). */
+struct Fig1Series {
+    double fps[kCodecCount][kResolutionCount] = {};
+};
+
+/** Series cache: the (b)/(d) benches reuse the (a)/(c) measurements
+ * when run from the same directory, instead of re-timing them. */
+inline std::string
+series_path(const char *what, SimdLevel simd, int frames)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "hdvb_cache/fig1_%s_%s_%d.txt",
+                  what, simd_level_name(simd), frames);
+    return buf;
+}
+
+inline bool
+load_series(const std::string &path, Fig1Series *series)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    bool ok = true;
+    for (int c = 0; c < kCodecCount && ok; ++c)
+        for (int r = 0; r < kResolutionCount && ok; ++r)
+            ok = std::fscanf(f, "%lf", &series->fps[c][r]) == 1;
+    std::fclose(f);
+    return ok;
+}
+
+inline void
+save_series(const std::string &path, const Fig1Series &series)
+{
+    ::mkdir("hdvb_cache", 0755);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return;
+    for (int c = 0; c < kCodecCount; ++c)
+        for (int r = 0; r < kResolutionCount; ++r)
+            std::fprintf(f, "%f\n", series.fps[c][r]);
+    std::fclose(f);
+}
+
+/** Measure decode fps for every (codec, resolution) at @p simd. */
+inline Fig1Series
+measure_decode(SimdLevel simd, int frames)
+{
+    Fig1Series series;
+    for (CodecId codec : kAllCodecs) {
+        for (Resolution res : kAllResolutions) {
+            double sum = 0.0;
+            for (SequenceId seq : kAllSequences) {
+                BenchPoint point;
+                point.codec = codec;
+                point.sequence = seq;
+                point.resolution = res;
+                point.frames = frames;
+                point.simd = simd;
+                const EncodedStream stream = get_or_encode(point);
+                const DecodeRun run = run_decode(point, stream);
+                sum += run.fps();
+            }
+            series.fps[static_cast<int>(codec)][static_cast<int>(res)] =
+                sum / kSequenceCount;
+            std::fflush(stdout);
+        }
+    }
+    return series;
+}
+
+/** Measure encode fps for every (codec, resolution) at @p simd. */
+inline Fig1Series
+measure_encode(SimdLevel simd, int frames)
+{
+    Fig1Series series;
+    for (CodecId codec : kAllCodecs) {
+        for (Resolution res : kAllResolutions) {
+            double sum = 0.0;
+            for (SequenceId seq : kAllSequences) {
+                BenchPoint point;
+                point.codec = codec;
+                point.sequence = seq;
+                point.resolution = res;
+                point.frames = frames;
+                point.simd = simd;
+                const EncodeRun run = run_encode(point);
+                sum += run.fps();
+            }
+            series.fps[static_cast<int>(codec)][static_cast<int>(res)] =
+                sum / kSequenceCount;
+            std::fflush(stdout);
+        }
+    }
+    return series;
+}
+
+/** Print one Figure 1 panel. */
+inline void
+print_series(const char *what, SimdLevel simd, const Fig1Series &series)
+{
+    TableWriter table({"Codec", "576p25 fps", "720p25 fps",
+                       "1088p25 fps", "real-time?"});
+    for (CodecId codec : kAllCodecs) {
+        const double *row = series.fps[static_cast<int>(codec)];
+        std::string rt;
+        for (int r = 0; r < kResolutionCount; ++r)
+            rt += row[r] >= kRealTimeFps ? 'y' : 'n';
+        table.add_row({std::string(codec_display_name(codec)) + "_" +
+                           (simd == SimdLevel::kScalar ? "Scalar"
+                                                       : "SIMD"),
+                       TableWriter::fmt(row[0], 1),
+                       TableWriter::fmt(row[1], 1),
+                       TableWriter::fmt(row[2], 1), rt});
+    }
+    table.print();
+    std::printf("\nReal time = %.0f fps (horizontal line in the "
+                "paper's Figure 1%s)\n",
+                kRealTimeFps, what);
+}
+
+/** Print the Section VI average SIMD speedups (simd vs scalar). */
+inline void
+print_speedups(const Fig1Series &scalar, const Fig1Series &simd,
+               const char *paper_values)
+{
+    std::printf("\nAverage SIMD speedup per codec (over all "
+                "resolutions):\n");
+    for (CodecId codec : kAllCodecs) {
+        double ratio = 0.0;
+        for (int r = 0; r < kResolutionCount; ++r) {
+            ratio += simd.fps[static_cast<int>(codec)][r] /
+                     scalar.fps[static_cast<int>(codec)][r];
+        }
+        std::printf("  %-7s %.2fx\n", codec_display_name(codec),
+                    ratio / kResolutionCount);
+    }
+    std::printf("  (paper: %s)\n", paper_values);
+}
+
+}  // namespace hdvb::bench
+
+#endif  // HDVB_BENCH_FIG1_COMMON_H

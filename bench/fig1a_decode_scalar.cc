@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 1(a): decoding performance of the scalar (plain C)
+ * codec builds in frames per second, against the 25 fps real-time line.
+ *
+ * Paper shape: MPEG-2 scalar decodes 576p/720p in real time (88/43 fps)
+ * but not 1088p (19 fps); MPEG-4 misses real time at 1088p (9 fps);
+ * H.264 misses at 720p (18 fps) and 1088p (8 fps).
+ */
+#include "bench/fig1_common.h"
+
+using namespace hdvb;
+using namespace hdvb::bench;
+
+int
+main()
+{
+    const int frames = bench_frames_default();
+    print_banner("Figure 1(a): decoding performance, scalar version");
+    const Fig1Series scalar = measure_decode(SimdLevel::kScalar, frames);
+    save_series(series_path("dec", SimdLevel::kScalar, frames), scalar);
+    print_series("(a)", SimdLevel::kScalar, scalar);
+    return 0;
+}

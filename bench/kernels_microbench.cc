@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Kernel-level ablation (experiment E8 in DESIGN.md): google-benchmark
+ * microbenchmarks of every dispatched DSP kernel at both SIMD levels —
+ * the per-kernel speedups underlying Figure 1's whole-codec speedups.
+ */
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "simd/dispatch.h"
+
+using namespace hdvb;
+
+namespace {
+
+constexpr int kStride = 1936;  // 1088p luma-ish stride
+
+struct TestData {
+    std::vector<Pixel> a;
+    std::vector<Pixel> b;
+    std::vector<Coeff> coeffs;
+
+    TestData()
+    {
+        std::mt19937 rng(42);
+        a.resize(kStride * 64);
+        b.resize(kStride * 64);
+        coeffs.resize(64);
+        for (auto &px : a)
+            px = static_cast<Pixel>(rng() & 0xFF);
+        for (auto &px : b)
+            px = static_cast<Pixel>(rng() & 0xFF);
+        for (auto &c : coeffs)
+            c = static_cast<Coeff>(static_cast<int>(rng() % 512) - 256);
+    }
+};
+
+TestData &
+data()
+{
+    static TestData instance;
+    return instance;
+}
+
+SimdLevel
+level_of(const benchmark::State &state)
+{
+    return state.range(0) == 0 ? SimdLevel::kScalar : SimdLevel::kSse2;
+}
+
+void
+BM_Sad16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dsp.sad16x16(d.a.data() + 8, kStride, d.b.data(), kStride));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Sad16x16)->Arg(0)->Arg(1);
+
+void
+BM_Satd4x4(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dsp.satd4x4(d.a.data() + 8, kStride, d.b.data(), kStride));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Satd4x4)->Arg(0)->Arg(1);
+
+void
+BM_SatdRect16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsp.satd_rect(
+            d.a.data() + 8, kStride, d.b.data(), kStride, 16, 16));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_SatdRect16x16)->Arg(0)->Arg(1);
+
+void
+BM_SseRect16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsp.sse_rect(
+            d.a.data() + 8, kStride, d.b.data(), kStride, 16, 16));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_SseRect16x16)->Arg(0)->Arg(1);
+
+void
+BM_AvgRect16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    std::vector<Pixel> dst(16 * 16);
+    for (auto _ : state) {
+        dsp.avg_rect(dst.data(), 16, d.a.data() + 8, kStride,
+                     d.b.data(), kStride, 16, 16);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_AvgRect16x16)->Arg(0)->Arg(1);
+
+void
+BM_Avg4Rect16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    std::vector<Pixel> dst(16 * 16);
+    for (auto _ : state) {
+        dsp.avg4_rect(dst.data(), 16, d.a.data() + 8, kStride, 16, 16);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Avg4Rect16x16)->Arg(0)->Arg(1);
+
+void
+BM_QpelBilin16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    std::vector<Pixel> dst(16 * 16);
+    for (auto _ : state) {
+        dsp.qpel_bilin_rect(dst.data(), 16, d.a.data() + 8, kStride, 16,
+                            16, 1, 3);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_QpelBilin16x16)->Arg(0)->Arg(1);
+
+void
+BM_H264HpelH16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    std::vector<Pixel> dst(16 * 16);
+    for (auto _ : state) {
+        dsp.h264_hpel_h(dst.data(), 16, d.a.data() + 8, kStride, 16,
+                        16);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_H264HpelH16x16)->Arg(0)->Arg(1);
+
+void
+BM_H264HpelV16x16(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    std::vector<Pixel> dst(16 * 16);
+    for (auto _ : state) {
+        dsp.h264_hpel_v(dst.data(), 16, d.a.data() + kStride * 8,
+                        kStride, 16, 16);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_H264HpelV16x16)->Arg(0)->Arg(1);
+
+void
+BM_Fdct8x8(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    Coeff blk[64];
+    std::copy(data().coeffs.begin(), data().coeffs.end(), blk);
+    for (auto _ : state) {
+        dsp.fdct8x8(blk);
+        benchmark::DoNotOptimize(blk);
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Fdct8x8)->Arg(0)->Arg(1);
+
+void
+BM_Idct8x8(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    Coeff blk[64];
+    std::copy(data().coeffs.begin(), data().coeffs.end(), blk);
+    for (auto _ : state) {
+        dsp.idct8x8(blk);
+        benchmark::DoNotOptimize(blk);
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Idct8x8)->Arg(0)->Arg(1);
+
+void
+BM_SubRect8x8(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    Coeff blk[64];
+    for (auto _ : state) {
+        dsp.sub_rect(blk, 8, d.a.data() + 8, kStride, d.b.data(),
+                     kStride, 8, 8);
+        benchmark::DoNotOptimize(blk);
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_SubRect8x8)->Arg(0)->Arg(1);
+
+void
+BM_AddRect8x8(benchmark::State &state)
+{
+    const Dsp &dsp = get_dsp(level_of(state));
+    Coeff blk[64];
+    std::copy(data().coeffs.begin(), data().coeffs.end(), blk);
+    std::vector<Pixel> dst(8 * 8, 128);
+    for (auto _ : state) {
+        dsp.add_rect(dst.data(), 8, blk, 8, 8, 8);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_AddRect8x8)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

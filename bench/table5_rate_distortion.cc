@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table V of the paper: rate-distortion of the three codecs
+ * over four sequences and three resolutions at equivalent constant
+ * quality (MPEG QP 5, H.264 QP 26 via Equation 1), plus the Section VI
+ * average compression-gain percentages.
+ *
+ * Paper reference values: MPEG-4 gains 39.4 / 36.7 / 34.1 % over
+ * MPEG-2 at 576p/720p/1088p; H.264 gains 48.2 / 49.5 / 51.8 % over
+ * MPEG-2 and 19.9 / 19.4 / 26.4 % over MPEG-4.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "dsp/quant.h"
+
+using namespace hdvb;
+
+int
+main()
+{
+    const int frames = bench_frames_default();
+    print_banner("Table V: HD-VideoBench rate-distortion comparison");
+    std::printf("Coding options (Table IV): constant quality, "
+                "MPEG QP %d, H.264 QP %d (Equation 1), I-P-B-B GOP, "
+                "%d frames/point (paper: %d)\n\n",
+                kBenchmarkMpegQscale,
+                h264_qp_from_mpeg(kBenchmarkMpegQscale), frames,
+                kPaperFrameCount);
+
+    TableWriter table({"Resolution", "Input", "MPEG-2 PSNR", "kbps",
+                       "MPEG-4 PSNR", "kbps", "H.264 PSNR", "kbps"});
+
+    double rate[kResolutionCount][kSequenceCount][kCodecCount] = {};
+    for (Resolution res : kAllResolutions) {
+        for (SequenceId seq : kAllSequences) {
+            std::vector<std::string> row = {resolution_info(res).name,
+                                            sequence_name(seq)};
+            for (CodecId codec : kAllCodecs) {
+                BenchPoint point;
+                point.codec = codec;
+                point.sequence = seq;
+                point.resolution = res;
+                point.frames = frames;
+                const EncodedStream stream = bench::get_or_encode(point);
+                const DecodeRun dec = run_decode(point, stream);
+                const double kbps =
+                    static_cast<double>(stream.total_bits()) * 25.0 /
+                    frames / 1000.0;
+                rate[static_cast<int>(res)][static_cast<int>(seq)]
+                    [static_cast<int>(codec)] = kbps;
+                row.push_back(TableWriter::fmt(dec.psnr_y, 2));
+                row.push_back(TableWriter::fmt(kbps, 0));
+            }
+            table.add_row(std::move(row));
+            std::fflush(stdout);
+        }
+    }
+    table.print();
+
+    // Section VI averages the per-sequence gains (e.g. the 48.2 %
+    // H.264-vs-MPEG-2 number at 576p is the mean of the four
+    // per-sequence bitrate reductions), so we do the same.
+    print_banner("Section VI: average compression gains");
+    std::printf("%-10s  %-22s  %-22s  %-22s\n", "Resolution",
+                "MPEG-4 vs MPEG-2", "H.264 vs MPEG-2",
+                "H.264 vs MPEG-4");
+    for (Resolution res : kAllResolutions) {
+        double g42 = 0.0, gh2 = 0.0, gh4 = 0.0;
+        for (int s = 0; s < kSequenceCount; ++s) {
+            const double *r = rate[static_cast<int>(res)][s];
+            g42 += 100.0 * (1.0 - r[1] / r[0]) / kSequenceCount;
+            gh2 += 100.0 * (1.0 - r[2] / r[0]) / kSequenceCount;
+            gh4 += 100.0 * (1.0 - r[2] / r[1]) / kSequenceCount;
+        }
+        std::printf("%-10s  %18.1f %%  %18.1f %%  %18.1f %%\n",
+                    resolution_info(res).name, g42, gh2, gh4);
+    }
+    std::printf("\npaper:      mpeg4/mpeg2 39.4/36.7/34.1 %%   "
+                "h264/mpeg2 48.2/49.5/51.8 %%   "
+                "h264/mpeg4 19.9/19.4/26.4 %%\n");
+    return 0;
+}

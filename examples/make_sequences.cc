@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Export the synthetic benchmark sequences as YUV4MPEG2 files, so they
+ * can be inspected with standard players or fed to real codecs for
+ * cross-checking (the role of the downloadable TU München originals in
+ * the paper).
+ *
+ * Usage: make_sequences [-res 576p25|720p25|1088p25] [-frames N]
+ *                       [-seq name] [-outdir DIR]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/benchmark.h"
+#include "synth/synth.h"
+#include "video/y4m.h"
+
+using namespace hdvb;
+
+int
+main(int argc, char **argv)
+{
+    Resolution res = Resolution::k576p25;
+    int frames = 16;
+    std::string outdir = ".";
+    std::string only;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "-res" && !parse_resolution(next(), &res)) return 1;
+        else if (arg == "-frames")
+            frames = std::atoi(next());
+        else if (arg == "-outdir")
+            outdir = next();
+        else if (arg == "-seq")
+            only = next();
+    }
+
+    const ResolutionInfo info = resolution_info(res);
+    for (SequenceId seq : kAllSequences) {
+        if (!only.empty() && only != sequence_name(seq))
+            continue;
+        const std::string path = outdir + "/" + info.name + "_" +
+                                 sequence_name(seq) + ".y4m";
+        Y4mWriter writer;
+        const Status status =
+            writer.open(path, info.width, info.height, info.fps, 1);
+        if (!status.is_ok()) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         status.to_string().c_str());
+            return 1;
+        }
+        SyntheticSource source(seq, info.width, info.height);
+        for (int i = 0; i < frames; ++i) {
+            if (!writer.write_frame(source.next()).is_ok()) {
+                std::fprintf(stderr, "short write to %s\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+        std::printf("wrote %s (%d frames, %dx%d): %s\n", path.c_str(),
+                    frames, info.width, info.height,
+                    sequence_description(seq));
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * MPlayer-style single front end for the benchmark codecs — the role
+ * MPlayer plays in the paper's Table IV (`mplayer ... -vc <codec>
+ * -nosound -vo null -benchmark`): select a codec, decode a stream with
+ * video output disabled, and report decode fps.
+ *
+ * Usage:
+ *   player_benchmark -vc <mpeg2|mpeg4|h264> [-i stream.hdv]
+ *                    [-res 576p25|720p25|1088p25] [-frames N]
+ *                    [-simd scalar|sse2] [-vo out.y4m]
+ *
+ * Without -i, a stream is first encoded from the synthetic blue_sky
+ * sequence (like pointing MPlayer at a bundled clip). With -vo, decoded
+ * frames are written to a Y4M file instead of being discarded.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "container/container.h"
+#include "core/runner.h"
+#include "metrics/timer.h"
+#include "video/y4m.h"
+
+using namespace hdvb;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: player_benchmark -vc <mpeg2|mpeg4|h264> "
+                 "[-i stream.hdv] [-res 576p25|720p25|1088p25] "
+                 "[-frames N] [-simd scalar|sse2] [-vo out.y4m]\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    CodecId codec = CodecId::kH264;
+    std::string input;
+    std::string vo;
+    Resolution res = Resolution::k576p25;
+    int frames = bench_frames_default();
+    SimdLevel simd = best_simd_level();
+    bool codec_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "-vc") {
+            if (!parse_codec(next(), &codec)) {
+                usage();
+                return 1;
+            }
+            codec_set = true;
+        } else if (arg == "-i") {
+            input = next();
+        } else if (arg == "-res") {
+            if (!parse_resolution(next(), &res)) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "-frames") {
+            frames = std::atoi(next());
+        } else if (arg == "-simd") {
+            const std::string level = next();
+            simd = level == "scalar" ? SimdLevel::kScalar
+                                     : SimdLevel::kSse2;
+        } else if (arg == "-vo") {
+            vo = next();
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (!codec_set) {
+        usage();
+        return 1;
+    }
+
+    EncodedStream stream;
+    if (!input.empty()) {
+        const Status status = read_stream_file(input, &stream);
+        if (!status.is_ok()) {
+            std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                         status.to_string().c_str());
+            return 1;
+        }
+        CodecId file_codec;
+        if (!parse_codec(stream.codec, &file_codec) ||
+            file_codec != codec) {
+            std::fprintf(stderr,
+                         "stream codec '%s' does not match -vc %s\n",
+                         stream.codec.c_str(), codec_name(codec));
+            return 1;
+        }
+    } else {
+        BenchPoint point;
+        point.codec = codec;
+        point.sequence = SequenceId::kBlueSky;
+        point.resolution = res;
+        point.frames = frames;
+        point.simd = simd;
+        std::fprintf(stderr, "[player] no -i given, encoding %d "
+                             "synthetic frames first...\n",
+                     frames);
+        stream = run_encode(point).stream;
+    }
+
+    CodecConfig cfg;
+    cfg.width = stream.width;
+    cfg.height = stream.height;
+    cfg.fps_num = stream.fps_num;
+    cfg.fps_den = stream.fps_den;
+    cfg.simd = simd;
+    const Status valid = cfg.validate();
+    if (!valid.is_ok()) {
+        std::fprintf(stderr, "bad stream geometry: %s\n",
+                     valid.to_string().c_str());
+        return 1;
+    }
+
+    std::unique_ptr<VideoDecoder> decoder = make_decoder(codec, cfg);
+    std::vector<Frame> decoded;
+    WallTimer timer;
+    for (const Packet &packet : stream.packets) {
+        timer.start();
+        const Status status = decoder->decode(packet, &decoded);
+        timer.stop();
+        if (!status.is_ok()) {
+            std::fprintf(stderr, "decode error: %s\n",
+                         status.to_string().c_str());
+            return 1;
+        }
+    }
+    timer.start();
+    decoder->flush(&decoded);
+    timer.stop();
+
+    if (!vo.empty()) {
+        Y4mWriter writer;
+        if (!writer.open(vo, cfg.width, cfg.height, cfg.fps_num,
+                         cfg.fps_den)
+                 .is_ok()) {
+            std::fprintf(stderr, "cannot open %s\n", vo.c_str());
+            return 1;
+        }
+        for (const Frame &frame : decoded)
+            writer.write_frame(frame);
+    }
+
+    // MPlayer "BENCHMARKs" style summary.
+    std::printf("BENCHMARKs: VC %8.3fs (video codec only)\n",
+                timer.seconds());
+    std::printf("BENCHMARK%%: decoded %zu frames at %.2f fps (%s, %s, "
+                "%dx%d)\n",
+                decoded.size(), decoded.size() / timer.seconds(),
+                codec_name(codec), simd_level_name(simd), cfg.width,
+                cfg.height);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Transcoding scenario from the paper's introduction: video material
+ * archived in an older codec is re-encoded with a newer one. Decodes an
+ * MPEG-2-class stream and re-encodes it as H.264-class (or any other
+ * pair), reporting the bitrate saving and the generational quality
+ * loss.
+ *
+ * Usage:
+ *   transcode [-from mpeg2] [-to h264] [-res 576p25] [-frames N]
+ *             [-o out.hdv]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "container/container.h"
+#include "core/runner.h"
+#include "metrics/psnr.h"
+#include "metrics/timer.h"
+
+using namespace hdvb;
+
+int
+main(int argc, char **argv)
+{
+    CodecId from = CodecId::kMpeg2;
+    CodecId to = CodecId::kH264;
+    Resolution res = Resolution::k576p25;
+    int frames = bench_frames_default();
+    std::string out_path = "transcode_out.hdv";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "-from" && !parse_codec(next(), &from)) return 1;
+        else if (arg == "-to" && !parse_codec(next(), &to)) return 1;
+        else if (arg == "-res" && !parse_resolution(next(), &res))
+            return 1;
+        else if (arg == "-frames")
+            frames = std::atoi(next());
+        else if (arg == "-o")
+            out_path = next();
+    }
+
+    // Source material: archive footage in the old codec.
+    BenchPoint point;
+    point.codec = from;
+    point.sequence = SequenceId::kPedestrianArea;
+    point.resolution = res;
+    point.frames = frames;
+    std::fprintf(stderr, "[transcode] preparing %s source stream...\n",
+                 codec_name(from));
+    const EncodeRun source_run = run_encode(point);
+
+    const CodecConfig from_cfg =
+        benchmark_config(from, res, best_simd_level());
+    const CodecConfig to_cfg =
+        benchmark_config(to, res, best_simd_level());
+
+    // Decode old -> encode new, streaming frame by frame.
+    std::unique_ptr<VideoDecoder> decoder = make_decoder(from, from_cfg);
+    std::unique_ptr<VideoEncoder> encoder = make_encoder(to, to_cfg);
+    EncodedStream out;
+    out.codec = codec_name(to);
+    out.width = to_cfg.width;
+    out.height = to_cfg.height;
+
+    WallTimer timer;
+    std::vector<Frame> decoded;
+    timer.start();
+    for (const Packet &packet : source_run.stream.packets) {
+        if (!decoder->decode(packet, &decoded).is_ok()) {
+            std::fprintf(stderr, "source stream undecodable\n");
+            return 1;
+        }
+        for (Frame &frame : decoded) {
+            if (!encoder->encode(frame, &out.packets).is_ok())
+                return 1;
+        }
+        decoded.clear();
+    }
+    decoder->flush(&decoded);
+    for (Frame &frame : decoded)
+        encoder->encode(frame, &out.packets);
+    encoder->flush(&out.packets);
+    timer.stop();
+
+    if (!write_stream_file(out_path, out).is_ok()) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+
+    // Quality of the final generation against the pristine source.
+    std::unique_ptr<VideoDecoder> verify = make_decoder(to, to_cfg);
+    std::vector<Frame> final_frames;
+    for (const Packet &packet : out.packets)
+        verify->decode(packet, &final_frames);
+    verify->flush(&final_frames);
+    SyntheticSource pristine(point.sequence, to_cfg.width,
+                             to_cfg.height);
+    PsnrAccumulator psnr;
+    for (const Frame &frame : final_frames)
+        psnr.add(pristine.at(static_cast<int>(frame.poc())), frame);
+
+    const double in_kbps = static_cast<double>(
+                               source_run.stream.total_bits()) *
+                           25.0 / frames / 1000.0;
+    const double out_kbps =
+        static_cast<double>(out.total_bits()) * 25.0 / frames / 1000.0;
+    std::printf("transcode %s -> %s (%s, %d frames)\n",
+                codec_name(from), codec_name(to),
+                resolution_info(res).name, frames);
+    std::printf("input:  %8.0f kbps\n", in_kbps);
+    std::printf("output: %8.0f kbps  (%.1f %% saving)\n", out_kbps,
+                100.0 * (1.0 - out_kbps / in_kbps));
+    std::printf("end-to-end PSNR-Y vs pristine source: %.2f dB\n",
+                psnr.psnr_y());
+    std::printf("transcode speed: %.2f fps -> wrote %s\n",
+                frames / timer.seconds(), out_path.c_str());
+    return 0;
+}

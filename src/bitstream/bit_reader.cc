@@ -1,0 +1,3 @@
+#include "bitstream/bit_reader.h"
+
+// BitReader is fully inline; this translation unit anchors the library.

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MSB-first bit-oriented input cursor over a byte span.
+ *
+ * Error model: over-reading past the end of the buffer does not throw or
+ * abort; it returns zero bits and latches an error flag. Decoders check
+ * the flag at natural checkpoints (per macroblock row / per picture) and
+ * surface Status::corrupt_stream. This keeps the per-bit hot path free
+ * of branches on the result while still making truncated or corrupt
+ * streams safe to feed in (tests exercise this).
+ */
+#ifndef HDVB_BITSTREAM_BIT_READER_H
+#define HDVB_BITSTREAM_BIT_READER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Reads bits most-significant-first from a caller-owned byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const u8 *data, size_t size) : data_(data), size_(size) {}
+
+    explicit BitReader(const std::vector<u8> &bytes)
+        : BitReader(bytes.data(), bytes.size())
+    {}
+
+    /** Read @p n bits (0 <= n <= 32); zeros once exhausted. */
+    u32
+    get_bits(int n)
+    {
+        HDVB_DCHECK(n >= 0 && n <= 32);
+        u32 out = 0;
+        while (n > 0) {
+            if (acc_bits_ == 0 && !refill()) {
+                error_ = true;
+                return out << n;  // zero-fill the remainder
+            }
+            const int take = n < acc_bits_ ? n : acc_bits_;
+            acc_bits_ -= take;
+            out = (out << take) |
+                  static_cast<u32>((acc_ >> acc_bits_) & ((1u << take) - 1));
+            n -= take;
+        }
+        return out;
+    }
+
+    /** Read a single bit. */
+    int get_bit() { return static_cast<int>(get_bits(1)); }
+
+    /**
+     * Look ahead up to 24 bits without consuming them; zero-padded past
+     * the end of the stream (does not latch the error flag).
+     */
+    u32
+    peek_bits(int n)
+    {
+        HDVB_DCHECK(n >= 0 && n <= 24);
+        while (acc_bits_ < n && refill()) {}
+        if (acc_bits_ >= n)
+            return static_cast<u32>(acc_ >> (acc_bits_ - n)) &
+                   ((1u << n) - 1);
+        // Not enough data: pad with zeros on the right.
+        const u32 avail =
+            static_cast<u32>(acc_ & ((1ull << acc_bits_) - 1));
+        return avail << (n - acc_bits_);
+    }
+
+    /** Discard @p n bits. */
+    void skip_bits(int n) { (void)get_bits(n); }
+
+    /** Advance to the next byte boundary. */
+    void
+    byte_align()
+    {
+        skip_bits(acc_bits_ % 8);
+    }
+
+    /** Bits consumed so far. */
+    size_t bits_consumed() const { return pos_ * 8 - acc_bits_; }
+
+    /** True once a read ran past the end of the buffer. */
+    bool has_error() const { return error_; }
+
+    /** True when every bit has been consumed (ignores alignment pad). */
+    bool exhausted() const { return pos_ == size_ && acc_bits_ == 0; }
+
+  private:
+    bool
+    refill()
+    {
+        if (pos_ >= size_)
+            return false;
+        acc_ = (acc_ << 8) | data_[pos_++];
+        acc_bits_ += 8;
+        return true;
+    }
+
+    const u8 *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    u64 acc_ = 0;
+    int acc_bits_ = 0;
+    bool error_ = false;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_BITSTREAM_BIT_READER_H

@@ -1,0 +1,3 @@
+#include "bitstream/bit_writer.h"
+
+// BitWriter is fully inline; this translation unit anchors the library.

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MSB-first bit-oriented output buffer, the write side of every VLC-coded
+ * bitstream in the benchmark (MPEG-2-class and MPEG-4-class codecs, plus
+ * all fixed-length header fields).
+ */
+#ifndef HDVB_BITSTREAM_BIT_WRITER_H
+#define HDVB_BITSTREAM_BIT_WRITER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/**
+ * Accumulates bits most-significant-first into a growable byte buffer.
+ *
+ * The writer never fails: memory growth is the only resource it needs.
+ * Writers are cheap to move and intended to be used per-picture.
+ */
+class BitWriter
+{
+  public:
+    BitWriter() { bytes_.reserve(4096); }
+
+    /**
+     * Append the low @p n bits of @p value (0 <= n <= 32). Bits above
+     * position n of @p value must be zero for n < 32.
+     */
+    void
+    put_bits(u32 value, int n)
+    {
+        HDVB_DCHECK(n >= 0 && n <= 32);
+        HDVB_DCHECK(n == 32 || (value >> n) == 0);
+        acc_ = (acc_ << n) | value;
+        acc_bits_ += n;
+        while (acc_bits_ >= 8) {
+            acc_bits_ -= 8;
+            bytes_.push_back(static_cast<u8>(acc_ >> acc_bits_));
+        }
+    }
+
+    /** Append a single bit. */
+    void put_bit(int bit) { put_bits(static_cast<u32>(bit & 1), 1); }
+
+    /** Pad with zero bits to the next byte boundary. */
+    void
+    byte_align()
+    {
+        if (acc_bits_ != 0)
+            put_bits(0, 8 - acc_bits_);
+    }
+
+    /** Total number of bits written so far. */
+    size_t bit_count() const { return bytes_.size() * 8 + acc_bits_; }
+
+    /**
+     * Finish the stream (byte-aligning it) and move the bytes out.
+     * The writer is left empty and reusable.
+     */
+    std::vector<u8>
+    finish()
+    {
+        byte_align();
+        std::vector<u8> out = std::move(bytes_);
+        bytes_.clear();
+        acc_ = 0;
+        acc_bits_ = 0;
+        return out;
+    }
+
+  private:
+    std::vector<u8> bytes_;
+    u64 acc_ = 0;
+    int acc_bits_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_BITSTREAM_BIT_WRITER_H

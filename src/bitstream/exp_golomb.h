@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Order-0 Exp-Golomb codes, the universal integer code H.264 uses for
+ * header syntax; our MPEG-class codecs also use it for escape values and
+ * motion-vector differences (the same code class the standards' MV VLC
+ * tables belong to — see DESIGN.md section 2).
+ */
+#ifndef HDVB_BITSTREAM_EXP_GOLOMB_H
+#define HDVB_BITSTREAM_EXP_GOLOMB_H
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Write unsigned Exp-Golomb; @p value must be < 2^31 - 1. */
+inline void
+write_ue(BitWriter &bw, u32 value)
+{
+    HDVB_DCHECK(value < 0x7FFFFFFEu);
+    const u32 code = value + 1;
+    int bits = 0;
+    for (u32 v = code; v != 0; v >>= 1)
+        ++bits;
+    bw.put_bits(0, bits - 1);
+    bw.put_bits(code, bits);
+}
+
+/** Read unsigned Exp-Golomb. Returns 0 on malformed/overlong prefixes. */
+inline u32
+read_ue(BitReader &br)
+{
+    int zeros = 0;
+    while (zeros < 32 && br.get_bit() == 0) {
+        if (br.has_error())
+            return 0;
+        ++zeros;
+    }
+    if (zeros >= 32)
+        return 0;  // malformed; caller sees reader error / bad syntax
+    u32 value = 1;
+    if (zeros > 0)
+        value = (1u << zeros) | br.get_bits(zeros);
+    return value - 1;
+}
+
+/** Signed Exp-Golomb mapping: 0, 1, -1, 2, -2, ... */
+inline void
+write_se(BitWriter &bw, s32 value)
+{
+    const u32 mapped = value > 0 ? static_cast<u32>(value) * 2 - 1
+                                 : static_cast<u32>(-value) * 2;
+    write_ue(bw, mapped);
+}
+
+/** Read signed Exp-Golomb. */
+inline s32
+read_se(BitReader &br)
+{
+    const u32 mapped = read_ue(br);
+    if (mapped & 1)
+        return static_cast<s32>((mapped + 1) >> 1);
+    return -static_cast<s32>(mapped >> 1);
+}
+
+/** Number of bits write_ue would use (for ME rate models). */
+inline int
+ue_bits(u32 value)
+{
+    const u32 code = value + 1;
+    int bits = 0;
+    for (u32 v = code; v != 0; v >>= 1)
+        ++bits;
+    return 2 * bits - 1;
+}
+
+/** Number of bits write_se would use. */
+inline int
+se_bits(s32 value)
+{
+    const u32 mapped = value > 0 ? static_cast<u32>(value) * 2 - 1
+                                 : static_cast<u32>(-value) * 2;
+    return ue_bits(mapped);
+}
+
+}  // namespace hdvb
+
+#endif  // HDVB_BITSTREAM_EXP_GOLOMB_H

@@ -1,0 +1,3 @@
+#include "bitstream/range_coder.h"
+
+// Range coder is fully inline; this translation unit anchors the library.

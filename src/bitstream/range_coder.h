@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Adaptive binary range coder (carry-less, LZMA-style renormalisation).
+ *
+ * This is the "CABAC-class" entropy coder of the H.264-class codec: all
+ * syntax is binarised and coded with adaptive per-context probability
+ * models, plus a bypass path for near-uniform bins (signs, suffixes).
+ */
+#ifndef HDVB_BITSTREAM_RANGE_CODER_H
+#define HDVB_BITSTREAM_RANGE_CODER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/**
+ * Adaptive probability model for one binary context. prob is the 11-bit
+ * probability that the next bin is 0; it adapts with shift-5 updates
+ * (the LZMA schedule, comparable to CABAC's state machine).
+ */
+struct BitModel {
+    u16 prob = 1024;
+
+    void reset() { prob = 1024; }
+};
+
+/** Encode side. Produces a byte vector via finish(). */
+class RangeEncoder
+{
+  public:
+    RangeEncoder() { bytes_.reserve(4096); }
+
+    /** Encode one bin under an adaptive context. */
+    void
+    encode_bit(BitModel &model, int bit)
+    {
+        const u32 bound = (range_ >> 11) * model.prob;
+        if (bit == 0) {
+            range_ = bound;
+            model.prob += (2048 - model.prob) >> 5;
+        } else {
+            low_ += bound;
+            range_ -= bound;
+            model.prob -= model.prob >> 5;
+        }
+        while (range_ < (1u << 24)) {
+            range_ <<= 8;
+            shift_low();
+        }
+    }
+
+    /** Encode one bin at probability 1/2 without adaptation. */
+    void
+    encode_bypass(int bit)
+    {
+        range_ >>= 1;
+        if (bit)
+            low_ += range_;
+        while (range_ < (1u << 24)) {
+            range_ <<= 8;
+            shift_low();
+        }
+    }
+
+    /** Encode the low @p n bits of @p value, MSB first, in bypass. */
+    void
+    encode_bypass_bits(u32 value, int n)
+    {
+        for (int i = n - 1; i >= 0; --i)
+            encode_bypass(static_cast<int>((value >> i) & 1));
+    }
+
+    /** Number of bytes emitted so far (approximate rate feedback). */
+    size_t byte_count() const { return bytes_.size(); }
+
+    /** Flush and move out the coded bytes; the encoder is spent. */
+    std::vector<u8>
+    finish()
+    {
+        for (int i = 0; i < 5; ++i)
+            shift_low();
+        return std::move(bytes_);
+    }
+
+  private:
+    void
+    shift_low()
+    {
+        if (static_cast<u32>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+            u8 out = cache_;
+            const u8 carry = static_cast<u8>(low_ >> 32);
+            do {
+                bytes_.push_back(static_cast<u8>(out + carry));
+                out = 0xFF;
+            } while (--cache_size_ != 0);
+            cache_ = static_cast<u8>(low_ >> 24);
+        }
+        ++cache_size_;
+        low_ = (low_ << 8) & 0xFFFFFFFFull;
+    }
+
+    std::vector<u8> bytes_;
+    u64 low_ = 0;
+    u32 range_ = 0xFFFFFFFFu;
+    u8 cache_ = 0;
+    u64 cache_size_ = 1;
+};
+
+/**
+ * Decode side. Mirrors RangeEncoder exactly; reading past the end of the
+ * buffer feeds zero bytes and latches has_error() (corrupt streams are
+ * safe to feed in, matching the BitReader error model).
+ */
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const u8 *data, size_t size) : data_(data), size_(size)
+    {
+        next_byte();  // leading zero byte emitted by the encoder
+        for (int i = 0; i < 4; ++i)
+            code_ = (code_ << 8) | next_byte();
+    }
+
+    explicit RangeDecoder(const std::vector<u8> &bytes)
+        : RangeDecoder(bytes.data(), bytes.size())
+    {}
+
+    /** Decode one bin under an adaptive context. */
+    int
+    decode_bit(BitModel &model)
+    {
+        const u32 bound = (range_ >> 11) * model.prob;
+        int bit;
+        if (code_ < bound) {
+            range_ = bound;
+            model.prob += (2048 - model.prob) >> 5;
+            bit = 0;
+        } else {
+            code_ -= bound;
+            range_ -= bound;
+            model.prob -= model.prob >> 5;
+            bit = 1;
+        }
+        normalize();
+        return bit;
+    }
+
+    /** Decode one bypass bin. */
+    int
+    decode_bypass()
+    {
+        range_ >>= 1;
+        int bit = 0;
+        if (code_ >= range_) {
+            code_ -= range_;
+            bit = 1;
+        }
+        normalize();
+        return bit;
+    }
+
+    /** Decode @p n bypass bins MSB-first into an unsigned value. */
+    u32
+    decode_bypass_bits(int n)
+    {
+        u32 value = 0;
+        for (int i = 0; i < n; ++i)
+            value = (value << 1) | static_cast<u32>(decode_bypass());
+        return value;
+    }
+
+    /** True once the decoder has consumed past the end of the buffer. */
+    bool has_error() const { return error_; }
+
+  private:
+    u8
+    next_byte()
+    {
+        if (pos_ < size_)
+            return data_[pos_++];
+        error_ = true;
+        return 0;
+    }
+
+    void
+    normalize()
+    {
+        while (range_ < (1u << 24)) {
+            range_ <<= 8;
+            code_ = (code_ << 8) | next_byte();
+        }
+    }
+
+    const u8 *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    u32 code_ = 0;
+    u32 range_ = 0xFFFFFFFFu;
+    bool error_ = false;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_BITSTREAM_RANGE_CODER_H

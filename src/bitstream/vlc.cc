@@ -1,0 +1,168 @@
+#include "bitstream/vlc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace hdvb {
+
+namespace {
+
+/** Compute unrestricted Huffman code lengths for @p weights. */
+std::vector<int>
+huffman_lengths(const std::vector<u64> &weights)
+{
+    const int n = static_cast<int>(weights.size());
+    if (n == 1)
+        return {1};
+
+    // Node arena: leaves first, then internal nodes.
+    struct Node { u64 weight; int parent; };
+    std::vector<Node> nodes;
+    nodes.reserve(2 * n);
+    using HeapItem = std::pair<u64, int>;  // (weight, node index)
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>> heap;
+    for (int i = 0; i < n; ++i) {
+        const u64 w = weights[i] == 0 ? 1 : weights[i];
+        nodes.push_back({w, -1});
+        heap.push({w, i});
+    }
+    while (heap.size() > 1) {
+        const auto [wa, a] = heap.top();
+        heap.pop();
+        const auto [wb, b] = heap.top();
+        heap.pop();
+        const int parent = static_cast<int>(nodes.size());
+        nodes.push_back({wa + wb, -1});
+        nodes[a].parent = parent;
+        nodes[b].parent = parent;
+        heap.push({wa + wb, parent});
+    }
+
+    std::vector<int> lengths(n);
+    for (int i = 0; i < n; ++i) {
+        int depth = 0;
+        for (int p = nodes[i].parent; p != -1; p = nodes[p].parent)
+            ++depth;
+        lengths[i] = depth;
+    }
+    return lengths;
+}
+
+}  // namespace
+
+VlcTable
+VlcTable::from_weights(const std::vector<u64> &weights)
+{
+    HDVB_CHECK(!weights.empty());
+    std::vector<int> lengths = huffman_lengths(weights);
+
+    // Length-limit to kMaxLen with the JPEG Annex-K BITS adjustment:
+    // repeatedly convert a pair of over-long codes into one code one bit
+    // shorter plus a deepened shorter code. Preserves prefix-freeness.
+    const int max_observed =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (max_observed > kMaxLen) {
+        std::vector<int> counts(max_observed + 1, 0);
+        for (int len : lengths)
+            ++counts[len];
+        for (int i = max_observed; i > kMaxLen; --i) {
+            while (counts[i] > 0) {
+                int j = i - 2;
+                while (j > 0 && counts[j] == 0)
+                    --j;
+                HDVB_CHECK(j > 0);
+                counts[i] -= 2;
+                counts[i - 1] += 1;
+                counts[j + 1] += 2;
+                counts[j] -= 1;
+            }
+        }
+        // Reassign lengths: heaviest symbols get the shortest codes.
+        std::vector<int> order(weights.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            if (weights[a] != weights[b])
+                return weights[a] > weights[b];
+            return a < b;
+        });
+        int len = 1;
+        for (int idx : order) {
+            while (len <= kMaxLen && counts[len] == 0)
+                ++len;
+            HDVB_CHECK(len <= kMaxLen);
+            --counts[len];
+            lengths[idx] = len;
+        }
+    }
+
+    std::vector<u8> lens8(lengths.size());
+    for (size_t i = 0; i < lengths.size(); ++i)
+        lens8[i] = static_cast<u8>(lengths[i]);
+    VlcTable table;
+    table.build_from_lengths(lens8);
+    return table;
+}
+
+VlcTable
+VlcTable::from_lengths(const std::vector<u8> &lengths)
+{
+    VlcTable table;
+    table.build_from_lengths(lengths);
+    return table;
+}
+
+void
+VlcTable::build_from_lengths(const std::vector<u8> &lengths)
+{
+    HDVB_CHECK(!lengths.empty());
+    const int n = static_cast<int>(lengths.size());
+    max_len_ = 0;
+    u64 kraft = 0;  // in units of 2^-kMaxLen
+    for (u8 len : lengths) {
+        HDVB_CHECK(len >= 1 && len <= kMaxLen);
+        max_len_ = std::max<int>(max_len_, len);
+        kraft += 1ull << (kMaxLen - len);
+    }
+    HDVB_CHECK(kraft <= (1ull << kMaxLen));
+
+    // Canonical assignment: sort by (length, symbol), codes increase.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (lengths[a] != lengths[b])
+            return lengths[a] < lengths[b];
+        return a < b;
+    });
+
+    enc_code_.assign(n, 0);
+    enc_len_.assign(lengths.begin(), lengths.end());
+    u32 code = 0;
+    int prev_len = lengths[order[0]];
+    for (int idx : order) {
+        code <<= (lengths[idx] - prev_len);
+        prev_len = lengths[idx];
+        enc_code_[idx] = code;
+        ++code;
+    }
+
+    // Full-window decode LUT: every max_len_-bit window whose prefix is
+    // a code word maps to (symbol, length); others stay len 0 = invalid.
+    lut_symbol_.assign(size_t{1} << max_len_, 0);
+    lut_len_.assign(size_t{1} << max_len_, 0);
+    for (int sym = 0; sym < n; ++sym) {
+        const int len = enc_len_[sym];
+        const u32 base = enc_code_[sym] << (max_len_ - len);
+        const u32 span = 1u << (max_len_ - len);
+        for (u32 i = 0; i < span; ++i) {
+            HDVB_CHECK(lut_len_[base + i] == 0);  // prefix-free
+            lut_symbol_[base + i] = static_cast<u16>(sym);
+            lut_len_[base + i] = static_cast<u8>(len);
+        }
+    }
+}
+
+}  // namespace hdvb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Canonical-Huffman variable-length-code tables.
+ *
+ * The MPEG-2 and MPEG-4 standards entropy-code run/level pairs, MB types
+ * and coded-block patterns with fixed VLC tables. Our MPEG-class codecs
+ * use tables of the same class, built at start-up from a designed weight
+ * distribution: a Huffman builder (with JPEG-Annex-K length limiting to
+ * 16 bits) guarantees the tables are prefix-free and decodable, which a
+ * hand-written table could silently fail to be.
+ */
+#ifndef HDVB_BITSTREAM_VLC_H
+#define HDVB_BITSTREAM_VLC_H
+
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/**
+ * An immutable prefix code over symbols 0..size-1 with encode and
+ * LUT-based decode. Maximum code length is 16 bits.
+ */
+class VlcTable
+{
+  public:
+    static constexpr int kMaxLen = 16;
+
+    /** Empty table; assign from from_weights()/from_lengths() before
+     * use. */
+    VlcTable() = default;
+
+    /**
+     * Build a length-limited Huffman code for the given symbol weights.
+     * Weights must be non-empty; zero weights are treated as weight 1 so
+     * every symbol stays encodable.
+     */
+    static VlcTable from_weights(const std::vector<u64> &weights);
+
+    /**
+     * Build a canonical code directly from per-symbol code lengths
+     * (1..16). Aborts (library bug) if the lengths overflow the Kraft
+     * inequality.
+     */
+    static VlcTable from_lengths(const std::vector<u8> &lengths);
+
+    /** Append the code for @p symbol. */
+    void
+    encode(BitWriter &bw, int symbol) const
+    {
+        HDVB_DCHECK(symbol >= 0 &&
+                    symbol < static_cast<int>(enc_len_.size()));
+        bw.put_bits(enc_code_[symbol], enc_len_[symbol]);
+    }
+
+    /**
+     * Decode one symbol. Returns -1 when the upcoming bits match no
+     * code word or the stream is exhausted.
+     */
+    int
+    decode(BitReader &br) const
+    {
+        const u32 window = br.peek_bits(max_len_);
+        const u8 len = lut_len_[window];
+        if (len == 0)
+            return -1;
+        br.skip_bits(len);
+        if (br.has_error())
+            return -1;
+        return lut_symbol_[window];
+    }
+
+    /** Code length in bits for @p symbol (rate estimation). */
+    int bits(int symbol) const { return enc_len_[symbol]; }
+
+    /** Number of symbols in the alphabet. */
+    int size() const { return static_cast<int>(enc_len_.size()); }
+
+  private:
+    void build_from_lengths(const std::vector<u8> &lengths);
+
+    std::vector<u32> enc_code_;
+    std::vector<u8> enc_len_;
+    std::vector<u16> lut_symbol_;
+    std::vector<u8> lut_len_;
+    int max_len_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_BITSTREAM_VLC_H

@@ -1,0 +1,128 @@
+#include "codec/codec.h"
+
+#include "me/me.h"
+
+namespace hdvb {
+
+const char *
+picture_type_name(PictureType type)
+{
+    switch (type) {
+      case PictureType::kI: return "I";
+      case PictureType::kP: return "P";
+      case PictureType::kB: return "B";
+    }
+    return "?";
+}
+
+Status
+CodecConfig::validate() const
+{
+    if (width <= 0 || height <= 0)
+        return Status::invalid_argument("dimensions must be positive");
+    if (width % 16 != 0 || height % 16 != 0)
+        return Status::invalid_argument(
+            "dimensions must be multiples of 16 (the benchmark "
+            "resolutions 720x576, 1280x720, 1920x1088 all are)");
+    if (qscale < 1 || qscale > 31)
+        return Status::invalid_argument("qscale out of range 1..31");
+    if (qp < 0 || qp > 51)
+        return Status::invalid_argument("qp out of range 0..51");
+    if (bframes < 0 || bframes > 4)
+        return Status::invalid_argument("bframes out of range 0..4");
+    if (me_range < 1 || me_range > kMeMargin)
+        return Status::invalid_argument("me_range out of range");
+    if (refs < 1 || refs > 16)
+        return Status::invalid_argument("refs out of range 1..16");
+    if (fps_num <= 0 || fps_den <= 0)
+        return Status::invalid_argument("bad frame rate");
+    return Status::ok();
+}
+
+void
+EncoderBase::emit(const Frame &src, PictureType type,
+                  std::vector<Packet> *out)
+{
+    Packet packet;
+    packet.type = type;
+    packet.poc = src.poc();
+    packet.coding_index = coding_index_++;
+    packet.data = encode_picture(src, type);
+    out->push_back(std::move(packet));
+}
+
+Status
+EncoderBase::encode(const Frame &frame, std::vector<Packet> *out)
+{
+    if (frame.width() != config_.width ||
+        frame.height() != config_.height) {
+        return Status::invalid_argument("frame size != configured size");
+    }
+
+    Frame copy(config_.width, config_.height);
+    copy.copy_from(frame);
+    copy.set_poc(next_display_++);
+
+    if (copy.poc() == 0) {
+        // First picture: the stream's only I picture (paper Section IV).
+        emit(copy, PictureType::kI, out);
+        return Status::ok();
+    }
+
+    pending_.push_back(std::move(copy));
+    if (static_cast<int>(pending_.size()) == config_.bframes + 1) {
+        // The newest pending frame becomes the next anchor (P); the
+        // frames before it in display order are B pictures.
+        emit(pending_.back(), PictureType::kP, out);
+        pending_.pop_back();
+        while (!pending_.empty()) {
+            emit(pending_.front(), PictureType::kB, out);
+            pending_.pop_front();
+        }
+    }
+    return Status::ok();
+}
+
+Status
+EncoderBase::flush(std::vector<Packet> *out)
+{
+    if (!pending_.empty()) {
+        emit(pending_.back(), PictureType::kP, out);
+        pending_.pop_back();
+        while (!pending_.empty()) {
+            emit(pending_.front(), PictureType::kB, out);
+            pending_.pop_front();
+        }
+    }
+    return Status::ok();
+}
+
+Status
+DecoderBase::decode(const Packet &packet, std::vector<Frame> *out)
+{
+    Frame frame;
+    HDVB_RETURN_IF_ERROR(decode_picture(packet, &frame));
+    frame.set_poc(packet.poc);
+
+    if (packet.type == PictureType::kB) {
+        out->push_back(std::move(frame));
+        return Status::ok();
+    }
+    if (has_held_)
+        out->push_back(std::move(held_anchor_));
+    held_anchor_ = std::move(frame);
+    has_held_ = true;
+    return Status::ok();
+}
+
+Status
+DecoderBase::flush(std::vector<Frame> *out)
+{
+    if (has_held_) {
+        out->push_back(std::move(held_anchor_));
+        has_held_ = false;
+    }
+    return Status::ok();
+}
+
+}  // namespace hdvb

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The common codec framework: configuration, encoded packets, the
+ * encoder/decoder interfaces, and base classes implementing the paper's
+ * GOP discipline (Section IV): I-P-B-B with adaptive B placement
+ * disabled and the only intra picture being the first one.
+ */
+#ifndef HDVB_CODEC_CODEC_H
+#define HDVB_CODEC_CODEC_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "simd/dispatch.h"
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** Picture coding type. */
+enum class PictureType : u8 { kI = 0, kP = 1, kB = 2 };
+
+/** One-letter picture type name. */
+const char *picture_type_name(PictureType type);
+
+/** One coded picture. */
+struct Packet {
+    std::vector<u8> data;
+    PictureType type = PictureType::kI;
+    s64 poc = 0;           ///< display index
+    s64 coding_index = 0;  ///< bitstream order
+};
+
+/**
+ * Configuration shared by all three codecs; codec-specific fields are
+ * ignored by the codecs that do not use them.
+ */
+struct CodecConfig {
+    int width = 0;
+    int height = 0;
+    int fps_num = 25;
+    int fps_den = 1;
+
+    /** MPEG-class quantiser scale 1..31 (`vqscale` / `fixed_quant`). */
+    int qscale = 5;
+    /** H.264-class QP 0..51 (`--qp`). */
+    int qp = 26;
+
+    /** B pictures between anchors (the paper uses 2: I-P-B-B). */
+    int bframes = 2;
+    /** Full-sample motion search range (`merange`). */
+    int me_range = 16;
+    /** Kernel instruction-set level (the Figure 1 axis). */
+    SimdLevel simd = best_simd_level();
+
+    /** H.264-class: maximum forward reference pictures (`--ref`). */
+    int refs = 4;
+
+    // ---- tool toggles (ablation benches switch these) ----
+    bool qpel = true;     ///< MPEG-4-class quarter-sample MC
+    bool four_mv = true;  ///< MPEG-4-class 4MV (8x8 vectors)
+    bool deblock = true;  ///< H.264-class in-loop deblocking
+    bool intra4 = true;   ///< H.264-class Intra4x4 modes
+    bool partitions = true;  ///< H.264-class 16x8/8x16/8x8 partitions
+
+    /** Check invariants (16-aligned dimensions, ranges). */
+    Status validate() const;
+};
+
+/** Streaming encoder interface. */
+class VideoEncoder
+{
+  public:
+    virtual ~VideoEncoder() = default;
+
+    /** Push one frame in display order; packets may be emitted in
+     * coding order (B-frame lookahead delays them). */
+    virtual Status encode(const Frame &frame,
+                          std::vector<Packet> *out) = 0;
+
+    /** Drain buffered pictures. */
+    virtual Status flush(std::vector<Packet> *out) = 0;
+
+    /** Codec name ("mpeg2", "mpeg4", "h264"). */
+    virtual const char *name() const = 0;
+};
+
+/** Streaming decoder interface; frames come out in display order. */
+class VideoDecoder
+{
+  public:
+    virtual ~VideoDecoder() = default;
+
+    virtual Status decode(const Packet &packet,
+                          std::vector<Frame> *out) = 0;
+
+    /** Drain the held anchor picture. */
+    virtual Status flush(std::vector<Frame> *out) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Shared encoder skeleton: buffers incoming frames and replays them in
+ * coding order (anchor first, then the B pictures that precede it in
+ * display order). Subclasses implement encode_picture() and manage
+ * their reference reconstructions when it is called.
+ */
+class EncoderBase : public VideoEncoder
+{
+  public:
+    explicit EncoderBase(const CodecConfig &config) : config_(config) {}
+
+    Status encode(const Frame &frame, std::vector<Packet> *out) final;
+    Status flush(std::vector<Packet> *out) final;
+
+    const CodecConfig &config() const { return config_; }
+
+  protected:
+    /**
+     * Encode one picture. For kI/kP the subclass must promote the
+     * reconstruction to be the next backward anchor reference; for kB
+     * references are the two surrounding anchors.
+     */
+    virtual std::vector<u8> encode_picture(const Frame &src,
+                                           PictureType type) = 0;
+
+  private:
+    void emit(const Frame &src, PictureType type,
+              std::vector<Packet> *out);
+
+    CodecConfig config_;
+    std::deque<Frame> pending_;  ///< display-order lookahead window
+    s64 next_display_ = 0;
+    s64 coding_index_ = 0;
+};
+
+/**
+ * Shared decoder skeleton: display-order reordering (anchors are held
+ * until the next anchor arrives; B pictures pass straight through).
+ */
+class DecoderBase : public VideoDecoder
+{
+  public:
+    explicit DecoderBase(const CodecConfig &config) : config_(config) {}
+
+    Status decode(const Packet &packet, std::vector<Frame> *out) final;
+    Status flush(std::vector<Frame> *out) final;
+
+    const CodecConfig &config() const { return config_; }
+
+  protected:
+    /** Decode one picture into @p out (any size; base resizes). */
+    virtual Status decode_picture(const Packet &packet, Frame *out) = 0;
+
+  private:
+    CodecConfig config_;
+    Frame held_anchor_;
+    bool has_held_ = false;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_CODEC_CODEC_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Block reconstruction helpers shared by the MPEG-class encoders and
+ * decoders. Both sides call exactly this code, which is what makes the
+ * encoder reconstruction and the decoder output bit-identical (a test
+ * invariant for every codec in the benchmark).
+ */
+#ifndef HDVB_CODEC_MPEG_BLOCK_H
+#define HDVB_CODEC_MPEG_BLOCK_H
+
+#include <cstring>
+
+#include "common/types.h"
+#include "dsp/quant.h"
+#include "simd/dispatch.h"
+
+namespace hdvb {
+
+/** Zero an 8x8 pixel block (intra reconstruction base). */
+inline void
+zero_block8(Pixel *dst, int ds)
+{
+    for (int y = 0; y < 8; ++y)
+        std::memset(dst + y * ds, 0, 8);
+}
+
+/**
+ * Reconstruct one 8x8 block from quantised levels and add it to @p dst
+ * (which holds the prediction, or zeros for intra blocks).
+ *
+ * @param dc_coeff for intra blocks, the reconstructed DC transform
+ *        coefficient (dc_level * 8); pass a negative value for inter
+ *        blocks, whose DC went through the regular quantiser.
+ */
+inline void
+mpeg_recon_block(const Coeff levels[64], const MpegQuantizer &quant,
+                 s32 dc_coeff, Pixel *dst, int ds, const Dsp &dsp)
+{
+    Coeff tmp[64];
+    std::memcpy(tmp, levels, sizeof(tmp));
+    quant.dequantize(tmp);
+    if (dc_coeff >= 0)
+        tmp[0] = static_cast<Coeff>(clamp<s32>(dc_coeff, 0, 2040));
+    dsp.idct8x8(tmp);
+    dsp.add_rect(dst, ds, tmp, 8, 8, 8);
+}
+
+}  // namespace hdvb
+
+#endif  // HDVB_CODEC_MPEG_BLOCK_H

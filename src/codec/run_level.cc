@@ -1,0 +1,166 @@
+#include "codec/run_level.h"
+
+#include <cmath>
+#include <vector>
+
+#include "bitstream/exp_golomb.h"
+#include "common/check.h"
+#include "dsp/zigzag.h"
+
+namespace hdvb {
+
+namespace {
+
+struct ProfileParams {
+    int max_lev_direct;
+    bool fixed_escape;
+    double run_decay;
+    double lev_decay;
+};
+
+ProfileParams
+profile_params(RunLevelProfile profile)
+{
+    switch (profile) {
+      case RunLevelProfile::kMpeg2Intra:
+        return {4, true, 0.55, 0.55};
+      case RunLevelProfile::kMpeg2Inter:
+        return {4, true, 0.65, 0.45};
+      case RunLevelProfile::kMpeg4Intra:
+        return {8, false, 0.55, 0.55};
+      case RunLevelProfile::kMpeg4Inter:
+        return {8, false, 0.65, 0.45};
+    }
+    return {8, false, 0.6, 0.5};
+}
+
+}  // namespace
+
+RunLevelCoder::RunLevelCoder(RunLevelProfile profile)
+{
+    const ProfileParams params = profile_params(profile);
+    max_lev_direct_ = params.max_lev_direct;
+    fixed_escape_ = params.fixed_escape;
+
+    std::vector<u64> weights(
+        static_cast<size_t>(2 + kMaxRunDirect * max_lev_direct_));
+    weights[kEob] = 1u << 20;  // every block ends with EOB
+    for (int run = 0; run < kMaxRunDirect; ++run) {
+        for (int lev = 1; lev <= max_lev_direct_; ++lev) {
+            const double p = std::pow(params.run_decay, run) *
+                             std::pow(params.lev_decay, lev - 1);
+            weights[static_cast<size_t>(pair_symbol(run, lev))] =
+                static_cast<u64>(p * (1 << 20)) + 1;
+        }
+    }
+    weights[static_cast<size_t>(escape_symbol())] = 1u << 14;
+    table_ = VlcTable::from_weights(weights);
+}
+
+const RunLevelCoder &
+RunLevelCoder::get(RunLevelProfile profile)
+{
+    static const RunLevelCoder m2i(RunLevelProfile::kMpeg2Intra);
+    static const RunLevelCoder m2p(RunLevelProfile::kMpeg2Inter);
+    static const RunLevelCoder m4i(RunLevelProfile::kMpeg4Intra);
+    static const RunLevelCoder m4p(RunLevelProfile::kMpeg4Inter);
+    switch (profile) {
+      case RunLevelProfile::kMpeg2Intra: return m2i;
+      case RunLevelProfile::kMpeg2Inter: return m2p;
+      case RunLevelProfile::kMpeg4Intra: return m4i;
+      case RunLevelProfile::kMpeg4Inter: return m4p;
+    }
+    return m4p;
+}
+
+void
+RunLevelCoder::encode_block(BitWriter &bw, const Coeff blk[64],
+                            int start) const
+{
+    int run = 0;
+    for (int i = start; i < 64; ++i) {
+        const int v = blk[kZigzag8x8[i]];
+        if (v == 0) {
+            ++run;
+            continue;
+        }
+        const int lev = v < 0 ? -v : v;
+        if (run < kMaxRunDirect && lev <= max_lev_direct_) {
+            table_.encode(bw, pair_symbol(run, lev));
+            bw.put_bit(v < 0);
+        } else {
+            table_.encode(bw, escape_symbol());
+            bw.put_bits(static_cast<u32>(run), 6);
+            if (fixed_escape_) {
+                // MPEG-2-style 12-bit two's-complement level.
+                bw.put_bits(static_cast<u32>(v) & 0xFFF, 12);
+            } else {
+                write_se(bw, v);
+            }
+        }
+        run = 0;
+    }
+    table_.encode(bw, kEob);
+}
+
+bool
+RunLevelCoder::decode_block(BitReader &br, Coeff blk[64], int start) const
+{
+    int pos = start;
+    for (;;) {
+        const int sym = table_.decode(br);
+        if (sym < 0)
+            return false;
+        if (sym == kEob)
+            return true;
+        int run, value;
+        if (sym == escape_symbol()) {
+            run = static_cast<int>(br.get_bits(6));
+            if (fixed_escape_) {
+                const u32 raw = br.get_bits(12);
+                value = static_cast<int>(raw);
+                if (value >= 2048)
+                    value -= 4096;  // sign-extend 12 bits
+            } else {
+                value = read_se(br);
+            }
+            if (value == 0)
+                return false;
+        } else {
+            run = (sym - 1) / max_lev_direct_;
+            value = (sym - 1) % max_lev_direct_ + 1;
+            if (br.get_bit())
+                value = -value;
+        }
+        pos += run;
+        if (pos > 63 || br.has_error())
+            return false;
+        blk[kZigzag8x8[pos]] = static_cast<Coeff>(value);
+        ++pos;
+    }
+}
+
+int
+RunLevelCoder::block_bits(const Coeff blk[64], int start) const
+{
+    int bits = 0;
+    int run = 0;
+    for (int i = start; i < 64; ++i) {
+        const int v = blk[kZigzag8x8[i]];
+        if (v == 0) {
+            ++run;
+            continue;
+        }
+        const int lev = v < 0 ? -v : v;
+        if (run < kMaxRunDirect && lev <= max_lev_direct_) {
+            bits += table_.bits(pair_symbol(run, lev)) + 1;
+        } else {
+            bits += table_.bits(escape_symbol()) + 6 +
+                    (fixed_escape_ ? 12 : se_bits(v));
+        }
+        run = 0;
+    }
+    return bits + table_.bits(kEob);
+}
+
+}  // namespace hdvb

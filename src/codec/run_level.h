@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Run/level entropy coding of zig-zag-scanned 8x8 transform
+ * coefficients, the entropy layer of the MPEG-class codecs.
+ *
+ * Frequent (run, level) pairs get canonical-Huffman codes plus a sign
+ * bit; rare pairs use an escape (6-bit run + signed Exp-Golomb level);
+ * blocks terminate with an EOB symbol — structurally the same scheme as
+ * the MPEG-2/-4 coefficient tables (see DESIGN.md on table fidelity).
+ */
+#ifndef HDVB_CODEC_RUN_LEVEL_H
+#define HDVB_CODEC_RUN_LEVEL_H
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/vlc.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/**
+ * Statistical profile a run/level table is tuned for. The MPEG-2-era
+ * profiles model that standard's tables: a small direct-coded pair set
+ * (levels 1..4) and an expensive fixed-length escape (6-bit run +
+ * 12-bit level), which is a large share of MPEG-2's bitrate
+ * disadvantage at HD rates. The MPEG-4-era profiles have a wider direct
+ * set and a compact Exp-Golomb escape.
+ */
+enum class RunLevelProfile {
+    kMpeg2Intra = 0,
+    kMpeg2Inter = 1,
+    kMpeg4Intra = 2,
+    kMpeg4Inter = 3,
+};
+
+/** Table-driven run/level coder; get() returns process-lifetime
+ * singletons (tables are immutable). */
+class RunLevelCoder
+{
+  public:
+    /** Shared instance for @p profile. */
+    static const RunLevelCoder &get(RunLevelProfile profile);
+
+    /**
+     * Encode the coefficients of @p blk (raster order) from zig-zag
+     * position @p start to 63, then EOB.
+     */
+    void encode_block(BitWriter &bw, const Coeff blk[64],
+                      int start) const;
+
+    /**
+     * Decode one block into @p blk (must be zero-filled by the caller),
+     * starting at zig-zag position @p start.
+     * @return false on malformed data (caller surfaces corrupt-stream).
+     */
+    bool decode_block(BitReader &br, Coeff blk[64], int start) const;
+
+    /** Exact bit cost of encoding this block (for mode decisions). */
+    int block_bits(const Coeff blk[64], int start) const;
+
+  private:
+    static constexpr int kMaxRunDirect = 8;  ///< runs 0..7 direct
+    static constexpr int kEob = 0;
+
+    explicit RunLevelCoder(RunLevelProfile profile);
+
+    int
+    pair_symbol(int run, int lev) const
+    {
+        return 1 + run * max_lev_direct_ + (lev - 1);
+    }
+
+    int escape_symbol() const
+    {
+        return 1 + kMaxRunDirect * max_lev_direct_;
+    }
+
+    int max_lev_direct_;      ///< |level| 1..N coded directly
+    bool fixed_escape_;       ///< 18-bit escape vs Exp-Golomb escape
+    VlcTable table_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_CODEC_RUN_LEVEL_H

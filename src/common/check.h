@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internal invariant checks. HDVB_CHECK aborts the process on violation
+ * (an actual library bug, the panic() case); it is always on. HDVB_DCHECK
+ * compiles away in NDEBUG builds and is used on hot paths.
+ */
+#ifndef HDVB_COMMON_CHECK_H
+#define HDVB_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdvb::detail {
+
+[[noreturn]] inline void
+check_failed(const char *file, int line, const char *expr)
+{
+    std::fprintf(stderr, "HDVB_CHECK failed at %s:%d: %s\n",
+                 file, line, expr);
+    std::abort();
+}
+
+}  // namespace hdvb::detail
+
+#define HDVB_CHECK(expr)                                                   \
+    do {                                                                   \
+        if (!(expr))                                                       \
+            ::hdvb::detail::check_failed(__FILE__, __LINE__, #expr);       \
+    } while (0)
+
+#ifdef NDEBUG
+#define HDVB_DCHECK(expr) do {} while (0)
+#else
+#define HDVB_DCHECK(expr) HDVB_CHECK(expr)
+#endif
+
+#endif  // HDVB_COMMON_CHECK_H

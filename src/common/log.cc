@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace hdvb {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char *
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "D";
+      case LogLevel::kInfo: return "I";
+      case LogLevel::kWarn: return "W";
+      case LogLevel::kError: return "E";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+log_message(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::fprintf(stderr, "[hdvb %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace hdvb

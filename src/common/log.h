@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal leveled logging for the benchmark harness. Codec hot paths do
+ * not log; this exists for the runner, examples and tools.
+ */
+#ifndef HDVB_COMMON_LOG_H
+#define HDVB_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace hdvb {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/** Global threshold; messages below it are dropped. Default kInfo. */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Emit one log line to stderr (thread-unsafe by design: 1-core bench). */
+void log_message(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Stream-style collector that emits on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { log_message(level_, stream_.str()); }
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace hdvb
+
+#define HDVB_LOG(level) ::hdvb::detail::LogLine(::hdvb::LogLevel::level)
+
+#endif  // HDVB_COMMON_LOG_H

@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace hdvb {
+
+const char *
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid-argument";
+      case StatusCode::kCorruptStream: return "corrupt-stream";
+      case StatusCode::kOutOfRange: return "out-of-range";
+      case StatusCode::kUnimplemented: return "unimplemented";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::to_string() const
+{
+    if (is_ok())
+        return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+}  // namespace hdvb

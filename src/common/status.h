@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lightweight Status/StatusOr error propagation, in the spirit of the
+ * fatal()-vs-panic() split the gem5 style guide describes: Status is for
+ * conditions caused by the caller (bad configuration, truncated or
+ * corrupt bitstreams), while HDVB_CHECK (see check.h) is for internal
+ * invariant violations, i.e. bugs in this library.
+ */
+#ifndef HDVB_COMMON_STATUS_H
+#define HDVB_COMMON_STATUS_H
+
+#include <string>
+#include <utility>
+
+namespace hdvb {
+
+/** Error categories surfaced by the public API. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,   ///< Caller supplied an unusable value.
+    kCorruptStream,     ///< Bitstream failed to parse.
+    kOutOfRange,        ///< Index or size outside the valid domain.
+    kUnimplemented,     ///< Feature intentionally not built.
+    kInternal,          ///< Unexpected internal failure.
+};
+
+/** Human-readable name of a StatusCode ("ok", "corrupt-stream", ...). */
+const char *status_code_name(StatusCode code);
+
+/**
+ * Result of a fallible operation: a code plus an optional message.
+ * Cheap to copy in the OK case (empty message).
+ */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status ok() { return Status(); }
+    static Status invalid_argument(std::string msg)
+    { return Status(StatusCode::kInvalidArgument, std::move(msg)); }
+    static Status corrupt_stream(std::string msg)
+    { return Status(StatusCode::kCorruptStream, std::move(msg)); }
+    static Status out_of_range(std::string msg)
+    { return Status(StatusCode::kOutOfRange, std::move(msg)); }
+    static Status unimplemented(std::string msg)
+    { return Status(StatusCode::kUnimplemented, std::move(msg)); }
+    static Status internal(std::string msg)
+    { return Status(StatusCode::kInternal, std::move(msg)); }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code-name>: <message>". */
+    std::string to_string() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/** Propagate a non-OK status to the caller. */
+#define HDVB_RETURN_IF_ERROR(expr)                                         \
+    do {                                                                   \
+        ::hdvb::Status hdvb_status_ = (expr);                              \
+        if (!hdvb_status_.is_ok())                                         \
+            return hdvb_status_;                                           \
+    } while (0)
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_STATUS_H

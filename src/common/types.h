@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases and small helpers used across the
+ * HD-VideoBench reproduction.
+ */
+#ifndef HDVB_COMMON_TYPES_H
+#define HDVB_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdvb {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Pixel sample type (8-bit video throughout the benchmark). */
+using Pixel = u8;
+/** Transform-coefficient / residual type. */
+using Coeff = s16;
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Clamp an integer into the 8-bit pixel range. */
+constexpr Pixel
+clamp_pixel(int v)
+{
+    return static_cast<Pixel>(clamp(v, 0, 255));
+}
+
+/** Round @p v up to the next multiple of @p align (align must be > 0). */
+constexpr int
+round_up(int v, int align)
+{
+    return (v + align - 1) / align * align;
+}
+
+/** Integer division rounding to nearest (ties away from zero). */
+constexpr int
+div_round(int num, int den)
+{
+    return num >= 0 ? (num + den / 2) / den : -((-num + den / 2) / den);
+}
+
+/** Median of three values, used by motion-vector predictors. */
+template <typename T>
+constexpr T
+median3(T a, T b, T c)
+{
+    const T mx = a > b ? a : b;
+    const T mn = a > b ? b : a;
+    return c > mx ? mx : (c < mn ? mn : c);
+}
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_TYPES_H

@@ -1,0 +1,187 @@
+#include "container/container.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hdvb {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'V', '1'};
+
+void
+put_u32(std::vector<u8> &out, u32 v)
+{
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 24));
+}
+
+void
+put_s64(std::vector<u8> &out, s64 v)
+{
+    const u64 u = static_cast<u64>(v);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(u >> (8 * i)));
+}
+
+class Cursor
+{
+  public:
+    Cursor(const std::vector<u8> &bytes) : bytes_(bytes) {}
+
+    bool
+    read(void *dst, size_t n)
+    {
+        if (pos_ + n > bytes_.size())
+            return false;
+        std::memcpy(dst, bytes_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    read_u32(u32 *v)
+    {
+        u8 b[4];
+        if (!read(b, 4))
+            return false;
+        *v = static_cast<u32>(b[0]) | (static_cast<u32>(b[1]) << 8) |
+             (static_cast<u32>(b[2]) << 16) |
+             (static_cast<u32>(b[3]) << 24);
+        return true;
+    }
+
+    bool
+    read_s64(s64 *v)
+    {
+        u8 b[8];
+        if (!read(b, 8))
+            return false;
+        u64 u = 0;
+        for (int i = 0; i < 8; ++i)
+            u |= static_cast<u64>(b[i]) << (8 * i);
+        *v = static_cast<s64>(u);
+        return true;
+    }
+
+    size_t remaining() const { return bytes_.size() - pos_; }
+
+  private:
+    const std::vector<u8> &bytes_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+u64
+EncodedStream::total_bits() const
+{
+    u64 bytes = 0;
+    for (const Packet &p : packets)
+        bytes += p.data.size();
+    return bytes * 8;
+}
+
+std::vector<u8>
+serialize_stream(const EncodedStream &stream)
+{
+    std::vector<u8> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    char codec_tag[8] = {' ', ' ', ' ', ' ', ' ', ' ', ' ', ' '};
+    std::memcpy(codec_tag, stream.codec.data(),
+                std::min<size_t>(8, stream.codec.size()));
+    out.insert(out.end(), codec_tag, codec_tag + 8);
+    put_u32(out, static_cast<u32>(stream.width));
+    put_u32(out, static_cast<u32>(stream.height));
+    put_u32(out, static_cast<u32>(stream.fps_num));
+    put_u32(out, static_cast<u32>(stream.fps_den));
+    put_u32(out, static_cast<u32>(stream.packets.size()));
+    for (const Packet &p : stream.packets) {
+        put_u32(out, static_cast<u32>(p.data.size()));
+        out.push_back(static_cast<u8>(p.type));
+        put_s64(out, p.poc);
+        put_s64(out, p.coding_index);
+        out.insert(out.end(), p.data.begin(), p.data.end());
+    }
+    return out;
+}
+
+Status
+parse_stream(const std::vector<u8> &bytes, EncodedStream *out)
+{
+    Cursor cur(bytes);
+    char magic[4];
+    if (!cur.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+        return Status::corrupt_stream("missing HDV1 magic");
+    char codec_tag[8];
+    if (!cur.read(codec_tag, 8))
+        return Status::corrupt_stream("truncated header");
+    out->codec.assign(codec_tag, codec_tag + 8);
+    while (!out->codec.empty() && out->codec.back() == ' ')
+        out->codec.pop_back();
+    u32 w, h, fn, fd, count;
+    if (!cur.read_u32(&w) || !cur.read_u32(&h) || !cur.read_u32(&fn) ||
+        !cur.read_u32(&fd) || !cur.read_u32(&count)) {
+        return Status::corrupt_stream("truncated header");
+    }
+    if (w == 0 || h == 0 || w > 16384 || h > 16384 || fn == 0 || fd == 0)
+        return Status::corrupt_stream("implausible stream header");
+    out->width = static_cast<int>(w);
+    out->height = static_cast<int>(h);
+    out->fps_num = static_cast<int>(fn);
+    out->fps_den = static_cast<int>(fd);
+    out->packets.clear();
+    out->packets.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u32 size;
+        u8 type;
+        Packet p;
+        if (!cur.read_u32(&size) || !cur.read(&type, 1) ||
+            !cur.read_s64(&p.poc) || !cur.read_s64(&p.coding_index)) {
+            return Status::corrupt_stream("truncated packet header");
+        }
+        if (type > 2)
+            return Status::corrupt_stream("bad picture type");
+        if (size > cur.remaining())
+            return Status::corrupt_stream("truncated packet payload");
+        p.type = static_cast<PictureType>(type);
+        p.data.resize(size);
+        if (size > 0 && !cur.read(p.data.data(), size))
+            return Status::corrupt_stream("truncated packet payload");
+        out->packets.push_back(std::move(p));
+    }
+    return Status::ok();
+}
+
+Status
+write_stream_file(const std::string &path, const EncodedStream &stream)
+{
+    const std::vector<u8> bytes = serialize_stream(stream);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return Status::invalid_argument("cannot create " + path);
+    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        return Status::internal("short write to " + path);
+    return Status::ok();
+}
+
+Status
+read_stream_file(const std::string &path, EncodedStream *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return Status::invalid_argument("cannot open " + path);
+    std::vector<u8> bytes;
+    u8 buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return parse_stream(bytes, out);
+}
+
+}  // namespace hdvb

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The "HDV1" container: a minimal stream format for persisting encoded
+ * HD-VideoBench bitstreams (the role .avi/.h264 files play in the
+ * paper's Table IV commands). Layout, all little-endian:
+ *
+ *   magic "HDV1" | 8-byte codec tag | u32 width | u32 height |
+ *   u32 fps_num | u32 fps_den | u32 packet_count |
+ *   packet_count x { u32 size | u8 type | s64 poc | s64 coding_index |
+ *                    size bytes }
+ */
+#ifndef HDVB_CONTAINER_CONTAINER_H
+#define HDVB_CONTAINER_CONTAINER_H
+
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/** An encoded stream plus the metadata needed to decode it. */
+struct EncodedStream {
+    std::string codec;  ///< "mpeg2", "mpeg4", "h264"
+    int width = 0;
+    int height = 0;
+    int fps_num = 25;
+    int fps_den = 1;
+    std::vector<Packet> packets;
+
+    /** Total payload size in bits (bitrate accounting). */
+    u64 total_bits() const;
+};
+
+/** Serialise @p stream to a byte buffer. */
+std::vector<u8> serialize_stream(const EncodedStream &stream);
+
+/** Parse a byte buffer produced by serialize_stream. */
+Status parse_stream(const std::vector<u8> &bytes, EncodedStream *out);
+
+/** Write @p stream to @p path. */
+Status write_stream_file(const std::string &path,
+                         const EncodedStream &stream);
+
+/** Read a stream file written by write_stream_file. */
+Status read_stream_file(const std::string &path, EncodedStream *out);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CONTAINER_CONTAINER_H

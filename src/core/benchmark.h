@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The HD-VideoBench definition — the paper's contribution: the codec
+ * set (Table II), the input resolutions and sequences (Table III), and
+ * the tuned coding options (Table IV + Equation 1).
+ */
+#ifndef HDVB_CORE_BENCHMARK_H
+#define HDVB_CORE_BENCHMARK_H
+
+#include <memory>
+#include <string>
+
+#include "codec/codec.h"
+#include "synth/synth.h"
+
+namespace hdvb {
+
+/** The three benchmark codecs. */
+enum class CodecId { kMpeg2 = 0, kMpeg4 = 1, kH264 = 2 };
+
+inline constexpr int kCodecCount = 3;
+inline constexpr CodecId kAllCodecs[kCodecCount] = {
+    CodecId::kMpeg2, CodecId::kMpeg4, CodecId::kH264};
+
+/** Codec name ("mpeg2", "mpeg4", "h264"). */
+const char *codec_name(CodecId id);
+
+/** Display name ("MPEG-2", "MPEG-4", "H.264"). */
+const char *codec_display_name(CodecId id);
+
+/** The application each codec stands in for (paper Table II). */
+const char *codec_application(CodecId id, bool encoder);
+
+/** Parse "mpeg2"/"mpeg4"/"h264" (returns false on anything else). */
+bool parse_codec(const std::string &name, CodecId *out);
+
+/** The three benchmark resolutions of Section IV. */
+enum class Resolution { k576p25 = 0, k720p25 = 1, k1088p25 = 2 };
+
+inline constexpr int kResolutionCount = 3;
+inline constexpr Resolution kAllResolutions[kResolutionCount] = {
+    Resolution::k576p25, Resolution::k720p25, Resolution::k1088p25};
+
+struct ResolutionInfo {
+    const char *name;  ///< "576p25", ...
+    int width;
+    int height;
+    int fps;
+};
+
+ResolutionInfo resolution_info(Resolution res);
+
+bool parse_resolution(const std::string &name, Resolution *out);
+
+/** The paper's MPEG-class quantiser (vqscale / fixed_quant = 5). */
+inline constexpr int kBenchmarkMpegQscale = 5;
+/** Paper frame count per point (Table III: 100 frames). */
+inline constexpr int kPaperFrameCount = 100;
+
+/**
+ * The Table IV coding options for @p codec at @p res: constant-QP
+ * one-pass rate control, two B pictures, closed GOP with a single
+ * leading I picture, EPZS (MPEG-class) or hexagon (H.264-class) motion
+ * estimation. H.264 QP follows Equation 1 (MPEG QP 5 -> H.264 QP 26).
+ *
+ * Substitution note: the paper's x264 command uses `--ref 16`; the
+ * default here is 8 references to keep the single-core sweep tractable
+ * (override via CodecConfig::refs).
+ */
+CodecConfig benchmark_config(CodecId codec, Resolution res,
+                             SimdLevel simd);
+
+/** Instantiate a benchmark encoder. */
+std::unique_ptr<VideoEncoder> make_encoder(CodecId codec,
+                                           const CodecConfig &config);
+
+/** Instantiate a benchmark decoder. */
+std::unique_ptr<VideoDecoder> make_decoder(CodecId codec,
+                                           const CodecConfig &config);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_BENCHMARK_H

@@ -1,0 +1,73 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace hdvb {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TableWriter::add_row(std::vector<std::string> cells)
+{
+    HDVB_CHECK(cells.size() == rows_[0].size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TableWriter::fmt(int value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    return buf;
+}
+
+void
+TableWriter::print() const
+{
+    std::vector<size_t> widths(rows_[0].size(), 0);
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        std::string line;
+        for (size_t i = 0; i < rows_[r].size(); ++i) {
+            std::string cell = rows_[r][i];
+            cell.resize(widths[i], ' ');
+            line += cell;
+            if (i + 1 < rows_[r].size())
+                line += "  ";
+        }
+        std::printf("%s\n", line.c_str());
+        if (r == 0) {
+            std::string sep;
+            for (size_t i = 0; i < widths.size(); ++i) {
+                sep += std::string(widths[i], '-');
+                if (i + 1 < widths.size())
+                    sep += "  ";
+            }
+            std::printf("%s\n", sep.c_str());
+        }
+    }
+}
+
+void
+print_banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace hdvb

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small fixed-width table printing helpers shared by the bench
+ * binaries, so every reproduction artefact prints in the same style.
+ */
+#ifndef HDVB_CORE_REPORT_H
+#define HDVB_CORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace hdvb {
+
+/** Accumulates rows of string cells and prints an aligned table. */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> header);
+
+    /** Add one row (must have as many cells as the header). */
+    void add_row(std::vector<std::string> cells);
+
+    /** Print to stdout with a separator under the header. */
+    void print() const;
+
+    /** Convenience cell formatters. */
+    static std::string fmt(double value, int decimals);
+    static std::string fmt(int value);
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("=== title ==="). */
+void print_banner(const std::string &title);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_REPORT_H

@@ -1,0 +1,96 @@
+#include "core/runner.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "metrics/timer.h"
+
+namespace hdvb {
+
+int
+bench_frames_default()
+{
+    const char *env = std::getenv("HDVB_FRAMES");
+    if (env != nullptr) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 4;
+}
+
+EncodeRun
+run_encode(const BenchPoint &point, const CodecConfig *config_override)
+{
+    const CodecConfig cfg =
+        config_override != nullptr
+            ? *config_override
+            : benchmark_config(point.codec, point.resolution, point.simd);
+    std::unique_ptr<VideoEncoder> encoder =
+        make_encoder(point.codec, cfg);
+    HDVB_CHECK(encoder != nullptr);
+
+    SyntheticSource source(point.sequence, cfg.width, cfg.height);
+    EncodeRun run;
+    run.frames = point.frames;
+    run.stream.codec = codec_name(point.codec);
+    run.stream.width = cfg.width;
+    run.stream.height = cfg.height;
+    run.stream.fps_num = cfg.fps_num;
+    run.stream.fps_den = cfg.fps_den;
+
+    WallTimer timer;
+    for (int i = 0; i < point.frames; ++i) {
+        const Frame frame = source.next();  // untimed generation
+        timer.start();
+        const Status status = encoder->encode(frame, &run.stream.packets);
+        timer.stop();
+        HDVB_CHECK(status.is_ok());
+    }
+    timer.start();
+    HDVB_CHECK(encoder->flush(&run.stream.packets).is_ok());
+    timer.stop();
+    run.seconds = timer.seconds();
+    return run;
+}
+
+DecodeRun
+run_decode(const BenchPoint &point, const EncodedStream &stream,
+           const CodecConfig *config_override)
+{
+    const CodecConfig cfg =
+        config_override != nullptr
+            ? *config_override
+            : benchmark_config(point.codec, point.resolution, point.simd);
+    std::unique_ptr<VideoDecoder> decoder =
+        make_decoder(point.codec, cfg);
+    HDVB_CHECK(decoder != nullptr);
+
+    std::vector<Frame> frames;
+    WallTimer timer;
+    for (const Packet &packet : stream.packets) {
+        timer.start();
+        const Status status = decoder->decode(packet, &frames);
+        timer.stop();
+        HDVB_CHECK(status.is_ok());
+    }
+    timer.start();
+    HDVB_CHECK(decoder->flush(&frames).is_ok());
+    timer.stop();
+
+    DecodeRun run;
+    run.frames = static_cast<int>(frames.size());
+    run.seconds = timer.seconds();
+
+    SyntheticSource source(point.sequence, cfg.width, cfg.height);
+    PsnrAccumulator acc;
+    for (const Frame &frame : frames) {
+        const Frame ref = source.at(static_cast<int>(frame.poc()));
+        acc.add(ref, frame);
+    }
+    run.psnr_y = acc.psnr_y();
+    run.psnr_all = acc.psnr_all();
+    return run;
+}
+
+}  // namespace hdvb

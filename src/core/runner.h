@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Benchmark runner: executes one (codec, sequence, resolution, SIMD)
+ * point and measures what the paper measures — encode/decode frames per
+ * second (MPlayer `-benchmark` style: codec calls only, no generation,
+ * no display) and rate-distortion (PSNR, kbit/s).
+ */
+#ifndef HDVB_CORE_RUNNER_H
+#define HDVB_CORE_RUNNER_H
+
+#include "container/container.h"
+#include "core/benchmark.h"
+#include "metrics/psnr.h"
+
+namespace hdvb {
+
+/** One measurement point. */
+struct BenchPoint {
+    CodecId codec = CodecId::kMpeg2;
+    SequenceId sequence = SequenceId::kBlueSky;
+    Resolution resolution = Resolution::k576p25;
+    int frames = 4;
+    SimdLevel simd = best_simd_level();
+};
+
+/** Frames per point: HDVB_FRAMES env var, default 4 — one full
+ * I-P-B-B group (paper: 100); raise it for paper-scale runs. */
+int bench_frames_default();
+
+/** Encode measurement. */
+struct EncodeRun {
+    EncodedStream stream;
+    int frames = 0;
+    double seconds = 0.0;
+
+    double fps() const { return seconds > 0 ? frames / seconds : 0.0; }
+
+    /** kbit/s at the benchmark's 25 fps playback rate. */
+    double
+    bitrate_kbps() const
+    {
+        return frames > 0 ? static_cast<double>(stream.total_bits()) *
+                                25.0 / frames / 1000.0
+                          : 0.0;
+    }
+};
+
+/**
+ * Encode @p point.frames synthetic frames. Optionally override the
+ * Table IV configuration via @p config_override (used by ablations).
+ */
+EncodeRun run_encode(const BenchPoint &point,
+                     const CodecConfig *config_override = nullptr);
+
+/** Decode measurement (plus quality versus the original source). */
+struct DecodeRun {
+    int frames = 0;
+    double seconds = 0.0;
+    double psnr_y = 0.0;
+    double psnr_all = 0.0;
+
+    double fps() const { return seconds > 0 ? frames / seconds : 0.0; }
+};
+
+/**
+ * Decode @p stream (as produced by run_encode for the same point) and
+ * measure decode fps and PSNR against the regenerated source frames.
+ */
+DecodeRun run_decode(const BenchPoint &point, const EncodedStream &stream,
+                     const CodecConfig *config_override = nullptr);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_RUNNER_H

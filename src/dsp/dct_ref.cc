@@ -1,0 +1,74 @@
+#include "dsp/dct_ref.h"
+
+#include <cmath>
+
+namespace hdvb {
+
+namespace {
+
+struct Basis {
+    double m[8][8];
+
+    Basis()
+    {
+        const double pi = std::acos(-1.0);
+        for (int k = 0; k < 8; ++k) {
+            const double s =
+                k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+            for (int n = 0; n < 8; ++n)
+                m[k][n] = s * std::cos((2 * n + 1) * k * pi / 16.0);
+        }
+    }
+};
+
+const Basis g_basis;
+
+}  // namespace
+
+void
+fdct8x8_ref(const double in[64], double out[64])
+{
+    double tmp[64];
+    // Columns.
+    for (int k = 0; k < 8; ++k) {
+        for (int x = 0; x < 8; ++x) {
+            double acc = 0.0;
+            for (int n = 0; n < 8; ++n)
+                acc += g_basis.m[k][n] * in[n * 8 + x];
+            tmp[k * 8 + x] = acc;
+        }
+    }
+    // Rows.
+    for (int y = 0; y < 8; ++y) {
+        for (int k = 0; k < 8; ++k) {
+            double acc = 0.0;
+            for (int n = 0; n < 8; ++n)
+                acc += g_basis.m[k][n] * tmp[y * 8 + n];
+            out[y * 8 + k] = acc;
+        }
+    }
+}
+
+void
+idct8x8_ref(const double in[64], double out[64])
+{
+    double tmp[64];
+    for (int n = 0; n < 8; ++n) {
+        for (int x = 0; x < 8; ++x) {
+            double acc = 0.0;
+            for (int k = 0; k < 8; ++k)
+                acc += g_basis.m[k][n] * in[k * 8 + x];
+            tmp[n * 8 + x] = acc;
+        }
+    }
+    for (int y = 0; y < 8; ++y) {
+        for (int n = 0; n < 8; ++n) {
+            double acc = 0.0;
+            for (int k = 0; k < 8; ++k)
+                acc += g_basis.m[k][n] * tmp[y * 8 + k];
+            out[y * 8 + n] = acc;
+        }
+    }
+}
+
+}  // namespace hdvb

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Double-precision 8x8 DCT-II / IDCT reference implementations, used by
+ * the test suite to bound the error of the fixed-point transforms
+ * (IEEE-1180 style accuracy checks). Not used by the codecs.
+ */
+#ifndef HDVB_DSP_DCT_REF_H
+#define HDVB_DSP_DCT_REF_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Orthonormal forward 8x8 DCT-II, row-major in/out. */
+void fdct8x8_ref(const double in[64], double out[64]);
+
+/** Orthonormal inverse 8x8 DCT-II, row-major in/out. */
+void idct8x8_ref(const double in[64], double out[64]);
+
+}  // namespace hdvb
+
+#endif  // HDVB_DSP_DCT_REF_H

@@ -1,0 +1,189 @@
+#include "dsp/quant.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdvb {
+
+// The MPEG-2 default intra weighting matrix (ISO/IEC 13818-2 defaults).
+const QuantMatrix8x8 kMpegIntraMatrix = {{
+     8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83,
+}};
+
+const QuantMatrix8x8 kMpegInterMatrix = {{
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+}};
+
+MpegQuantizer::MpegQuantizer(const QuantMatrix8x8 &matrix, int qscale,
+                             int dead_zone, int step_shift)
+{
+    HDVB_CHECK(qscale >= 1 && qscale <= 31);
+    HDVB_CHECK(dead_zone >= 0 && dead_zone <= 32);
+    HDVB_CHECK(step_shift == 3 || step_shift == 4);
+    for (int i = 0; i < 64; ++i) {
+        int s = (matrix.w[i] * qscale) >> step_shift;
+        if (s < 2)
+            s = 2;
+        step_[i] = s;
+        offset_[i] = (s * dead_zone) >> 6;
+    }
+}
+
+int
+MpegQuantizer::quantize(Coeff blk[64]) const
+{
+    int nonzero = 0;
+    for (int i = 0; i < 64; ++i) {
+        const int c = blk[i];
+        const int mag = (c < 0 ? -c : c) + offset_[i];
+        int level = mag / step_[i];
+        if (level > kCoeffClamp)
+            level = kCoeffClamp;  // keeps the IDCT input bounded
+        blk[i] = static_cast<Coeff>(c < 0 ? -level : level);
+        nonzero += level != 0;
+    }
+    return nonzero;
+}
+
+void
+MpegQuantizer::dequantize(Coeff blk[64]) const
+{
+    for (int i = 0; i < 64; ++i) {
+        const int level = blk[i];
+        if (level == 0)
+            continue;
+        int c = level * step_[i];
+        c = clamp(c, -kCoeffClamp, kCoeffClamp);
+        blk[i] = static_cast<Coeff>(c);
+    }
+}
+
+namespace {
+
+// H.264 MF / V tables (ISO/IEC 14496-10), indexed [qp % 6][class],
+// class 0 = positions with both coordinates even, class 1 = both odd,
+// class 2 = mixed.
+const int kMf[6][3] = {
+    {13107, 5243, 8066},
+    {11916, 4660, 7490},
+    {10082, 4194, 6554},
+    { 9362, 3647, 5825},
+    { 8192, 3355, 5243},
+    { 7282, 2893, 4559},
+};
+
+const int kV[6][3] = {
+    {10, 16, 13},
+    {11, 18, 14},
+    {13, 20, 16},
+    {14, 23, 18},
+    {16, 25, 20},
+    {18, 29, 23},
+};
+
+inline int
+position_class(int i)
+{
+    const int row = i >> 2;
+    const int col = i & 3;
+    const bool row_even = (row & 1) == 0;
+    const bool col_even = (col & 1) == 0;
+    if (row_even && col_even)
+        return 0;
+    if (!row_even && !col_even)
+        return 1;
+    return 2;
+}
+
+}  // namespace
+
+H264Quantizer::H264Quantizer(int qp, bool intra) : qp_(qp)
+{
+    HDVB_CHECK(qp >= 0 && qp < kH264QpCount);
+    const int rem = qp % 6;
+    const int per = qp / 6;
+    shift_ = 15 + per;
+    // Standard rounding offsets: f = 2^shift / 3 (intra), / 6 (inter).
+    offset_ = (1 << shift_) / (intra ? 3 : 6);
+    for (int i = 0; i < 16; ++i) {
+        const int cls = position_class(i);
+        mf_[i] = kMf[rem][cls];
+        v_[i] = kV[rem][cls] << per;
+    }
+}
+
+int
+H264Quantizer::quantize4x4(Coeff blk[16]) const
+{
+    int nonzero = 0;
+    for (int i = 0; i < 16; ++i) {
+        const int c = blk[i];
+        const int mag = c < 0 ? -c : c;
+        int level =
+            static_cast<int>((static_cast<s64>(mag) * mf_[i] + offset_)
+                             >> shift_);
+        if (level > kCoeffClamp)
+            level = kCoeffClamp;
+        blk[i] = static_cast<Coeff>(c < 0 ? -level : level);
+        nonzero += level != 0;
+    }
+    return nonzero;
+}
+
+void
+H264Quantizer::dequantize4x4(Coeff blk[16]) const
+{
+    for (int i = 0; i < 16; ++i) {
+        if (blk[i] == 0)
+            continue;
+        const int c = clamp(blk[i] * v_[i], -0x8000 * 4, 0x7FFF * 4);
+        // The inverse transform descales by 6 bits; keep headroom.
+        blk[i] = static_cast<Coeff>(clamp(c, -32768, 32767));
+    }
+}
+
+Coeff
+H264Quantizer::quantize_dc(s32 value) const
+{
+    const s32 c = value;
+    const s32 mag = c < 0 ? -c : c;
+    int level =
+        static_cast<int>((static_cast<s64>(mag) * mf_[0] + 2 * offset_)
+                         >> (shift_ + 1));
+    if (level > kCoeffClamp)
+        level = kCoeffClamp;
+    return static_cast<Coeff>(c < 0 ? -level : level);
+}
+
+s32
+H264Quantizer::dequantize_dc(Coeff level) const
+{
+    return static_cast<s32>(level) * v_[0] * 2;
+}
+
+int
+h264_qp_from_mpeg(int mpeg_qscale)
+{
+    HDVB_CHECK(mpeg_qscale >= 1 && mpeg_qscale <= 31);
+    const double qp = 12.0 + 6.0 * std::log2(static_cast<double>(
+                                       mpeg_qscale));
+    const int rounded = static_cast<int>(std::lround(qp));
+    return clamp(rounded, 0, kH264QpCount - 1);
+}
+
+}  // namespace hdvb

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Quantisation for the three codec generations.
+ *
+ * MPEG-class (8x8 DCT coefficients): a perceptual weighting matrix and a
+ * linear quantiser_scale (the paper's `vqscale` / `fixed_quant`, range
+ * 1..31), with a codec-tunable dead zone and step granularity. The two
+ * MPEG-era codecs interpret the same nominal quantiser differently —
+ * MPEG-2's step at qscale q is W*q/16 while the H.263/MPEG-4 family uses
+ * W*q/8 (twice as coarse) — which is why the paper's Table V shows
+ * MPEG-2 at ~1 dB higher PSNR and 2-3x the bitrate of MPEG-4 for the
+ * same "QP 5". The step_shift parameter models exactly this.
+ *
+ * H.264-class (4x4 integer-transform coefficients): the standard's exact
+ * MF/V multiplier tables with QP 0..51, where the quantiser step doubles
+ * every 6 QP. Equation 1 of the paper maps between the two QP scales.
+ */
+#ifndef HDVB_DSP_QUANT_H
+#define HDVB_DSP_QUANT_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Maximum magnitude fed back into the 8x8 IDCT (range safety). */
+inline constexpr int kCoeffClamp = 2047;
+
+/** Per-coefficient weighting matrix for the 8x8 MPEG-class quantiser. */
+struct QuantMatrix8x8 {
+    u8 w[64];
+};
+
+/** MPEG default intra matrix (stronger weighting at high frequency). */
+extern const QuantMatrix8x8 kMpegIntraMatrix;
+/** MPEG default inter (non-intra) matrix: flat 16. */
+extern const QuantMatrix8x8 kMpegInterMatrix;
+
+/**
+ * MPEG-class 8x8 quantiser.
+ *
+ * step(i) = max(2, (w[i] * qscale) >> step_shift); forward quantisation
+ * adds (step * dead_zone) >> 6 before dividing, so dead_zone = 32 is
+ * round-to-nearest and 0 is full truncation.
+ */
+class MpegQuantizer
+{
+  public:
+    /**
+     * @param matrix weighting matrix
+     * @param qscale quantiser scale, 1..31
+     * @param dead_zone rounding offset in 1/64 of a step (0..32)
+     * @param step_shift 4 for MPEG-2 semantics (step = W*q/16),
+     *        3 for H.263/MPEG-4 semantics (step = W*q/8)
+     */
+    MpegQuantizer(const QuantMatrix8x8 &matrix, int qscale, int dead_zone,
+                  int step_shift = 3);
+
+    /** Quantise blk[64] in place; returns the count of non-zero
+     * levels. */
+    int quantize(Coeff blk[64]) const;
+
+    /** Dequantise levels in place back to coefficient magnitudes. */
+    void dequantize(Coeff blk[64]) const;
+
+    /** Quantiser step for coefficient position @p i. */
+    int step(int i) const { return step_[i]; }
+
+  private:
+    int step_[64];
+    int offset_[64];
+};
+
+/** Number of distinct QP values in the H.264-class scale. */
+inline constexpr int kH264QpCount = 52;
+
+/**
+ * H.264-class 4x4 quantiser using the standard MF (forward) and V
+ * (dequant) tables; positions fall into three classes by transform gain.
+ */
+class H264Quantizer
+{
+  public:
+    /**
+     * @param qp 0..51
+     * @param intra selects the wider intra rounding offset (1/3 vs 1/6)
+     */
+    H264Quantizer(int qp, bool intra);
+
+    /** Quantise a 4x4 coefficient block in place; returns nonzero
+     * count. */
+    int quantize4x4(Coeff blk[16]) const;
+
+    /** Dequantise a 4x4 level block in place. */
+    void dequantize4x4(Coeff blk[16]) const;
+
+    /**
+     * Quantise a single Hadamard-domain DC value (the Intra16 path uses
+     * class-0 scale with an extra ÷2, as in the standard). Values are
+     * 32-bit: the 4x4 DC Hadamard exceeds int16 range.
+     */
+    Coeff quantize_dc(s32 value) const;
+    s32 dequantize_dc(Coeff level) const;
+
+    int qp() const { return qp_; }
+
+  private:
+    int qp_;
+    int shift_;     ///< 15 + qp/6
+    int offset_;    ///< rounding offset, pre-shifted
+    int mf_[16];    ///< per-position forward multiplier
+    int v_[16];     ///< per-position dequant multiplier << (qp/6)
+};
+
+/**
+ * Equation 1 of the paper: the empirical QP equivalence
+ * H264_QP = 12 + 6 * log2(MPEG_QP), rounded to the nearest integer.
+ */
+int h264_qp_from_mpeg(int mpeg_qscale);
+
+}  // namespace hdvb
+
+#endif  // HDVB_DSP_QUANT_H

@@ -1,0 +1,93 @@
+#include "dsp/transform4x4.h"
+
+namespace hdvb {
+
+namespace {
+
+/** 1-D forward core transform on (a, b, c, d). */
+inline void
+fwd4(Coeff &a, Coeff &b, Coeff &c, Coeff &d)
+{
+    const int s0 = a + d;
+    const int s1 = b + c;
+    const int d0 = a - d;
+    const int d1 = b - c;
+    a = static_cast<Coeff>(s0 + s1);
+    c = static_cast<Coeff>(s0 - s1);
+    b = static_cast<Coeff>(2 * d0 + d1);
+    d = static_cast<Coeff>(d0 - 2 * d1);
+}
+
+/** 1-D inverse core transform on (a, b, c, d). */
+inline void
+inv4(int &a, int &b, int &c, int &d)
+{
+    const int e0 = a + c;
+    const int e1 = a - c;
+    const int e2 = (b >> 1) - d;
+    const int e3 = b + (d >> 1);
+    a = e0 + e3;
+    d = e0 - e3;
+    b = e1 + e2;
+    c = e1 - e2;
+}
+
+}  // namespace
+
+void
+h264_fwd4x4(Coeff blk[16])
+{
+    for (int i = 0; i < 4; ++i)
+        fwd4(blk[i * 4], blk[i * 4 + 1], blk[i * 4 + 2], blk[i * 4 + 3]);
+    for (int i = 0; i < 4; ++i)
+        fwd4(blk[i], blk[4 + i], blk[8 + i], blk[12 + i]);
+}
+
+void
+h264_inv4x4(Coeff blk[16])
+{
+    int t[16];
+    for (int i = 0; i < 16; ++i)
+        t[i] = blk[i];
+    for (int i = 0; i < 4; ++i)
+        inv4(t[i * 4], t[i * 4 + 1], t[i * 4 + 2], t[i * 4 + 3]);
+    for (int i = 0; i < 4; ++i)
+        inv4(t[i], t[4 + i], t[8 + i], t[12 + i]);
+    for (int i = 0; i < 16; ++i)
+        blk[i] = static_cast<Coeff>(clamp((t[i] + 32) >> 6,
+                                          -32768, 32767));
+}
+
+namespace {
+
+inline void
+had4(s32 &a, s32 &b, s32 &c, s32 &d)
+{
+    const s32 s0 = a + d;
+    const s32 s1 = b + c;
+    const s32 d0 = a - d;
+    const s32 d1 = b - c;
+    a = s0 + s1;
+    c = s0 - s1;
+    b = d0 + d1;
+    d = d0 - d1;
+}
+
+}  // namespace
+
+void
+hadamard4x4_fwd(s32 dc[16])
+{
+    for (int i = 0; i < 4; ++i)
+        had4(dc[i * 4], dc[i * 4 + 1], dc[i * 4 + 2], dc[i * 4 + 3]);
+    for (int i = 0; i < 4; ++i)
+        had4(dc[i], dc[4 + i], dc[8 + i], dc[12 + i]);
+}
+
+void
+hadamard4x4_inv(s32 dc[16])
+{
+    hadamard4x4_fwd(dc);  // the Hadamard transform is self-inverse
+}
+
+}  // namespace hdvb

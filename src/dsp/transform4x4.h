@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The H.264 4x4 integer transform family: the exact forward/inverse core
+ * transform of ISO/IEC 14496-10 (bit-exact, shift-add only) and the 4x4
+ * Hadamard used for Intra16 luma DC coefficients.
+ *
+ * Scaling contract (matching the standard): fwd4x4 has a DC gain of 16;
+ * dequantisation restores coefficients at 4x scale; inv4x4 applies the
+ * final (x + 32) >> 6 descale, so fwd -> quant -> dequant -> inv is a
+ * unit-gain round trip.
+ */
+#ifndef HDVB_DSP_TRANSFORM4X4_H
+#define HDVB_DSP_TRANSFORM4X4_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Forward 4x4 core transform, in place, row-major blk[16]. */
+void h264_fwd4x4(Coeff blk[16]);
+
+/** Inverse 4x4 core transform with final (x + 32) >> 6, in place. */
+void h264_inv4x4(Coeff blk[16]);
+
+/** Forward 4x4 Hadamard on 32-bit DC values, in place. */
+void hadamard4x4_fwd(s32 dc[16]);
+
+/** Inverse 4x4 Hadamard (same butterflies), in place; the caller
+ * applies the (x + 8) >> 4 normalisation. */
+void hadamard4x4_inv(s32 dc[16]);
+
+}  // namespace hdvb
+
+#endif  // HDVB_DSP_TRANSFORM4X4_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Coefficient scan orders. Zig-zag scans order transform coefficients by
+ * increasing spatial frequency so that run-length entropy coding sees
+ * long zero runs at the tail.
+ */
+#ifndef HDVB_DSP_ZIGZAG_H
+#define HDVB_DSP_ZIGZAG_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Classic 8x8 zig-zag scan (MPEG-2 / MPEG-4 progressive scan). */
+extern const u8 kZigzag8x8[64];
+
+/** 4x4 zig-zag scan (H.264 frame coding). */
+extern const u8 kZigzag4x4[16];
+
+/** Inverse of kZigzag8x8: raster position -> scan position. */
+extern const u8 kZigzag8x8Inv[64];
+
+}  // namespace hdvb
+
+#endif  // HDVB_DSP_ZIGZAG_H

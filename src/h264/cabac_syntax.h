@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Binarisation and context models for the H.264-class codec's adaptive
+ * binary range coder. Everything here is shared between encoder and
+ * decoder so the syntax stays symmetric by construction.
+ */
+#ifndef HDVB_H264_CABAC_SYNTAX_H
+#define HDVB_H264_CABAC_SYNTAX_H
+
+#include "bitstream/range_coder.h"
+#include "common/types.h"
+#include "dsp/zigzag.h"
+
+namespace hdvb::h264 {
+
+/** All adaptive contexts; reset at each picture. */
+struct Contexts {
+    BitModel mb_skip;
+    BitModel mb_intra;
+    BitModel intra4_flag;
+    BitModel intra16_mode[2];
+    BitModel intra4_mode[3];
+    BitModel part_mode[2];
+    BitModel b_mode[2];
+    BitModel ref_idx[2];
+    BitModel mvd_nonzero[2];  ///< per axis
+    BitModel mvd_gt1[2];
+    BitModel cbf[3];          ///< 0 luma, 1 chroma, 2 luma-DC
+    BitModel sig[16];
+    BitModel last[16];
+    BitModel abs_gt1[2];
+
+    void
+    reset()
+    {
+        *this = Contexts{};
+    }
+};
+
+// ---- bypass Exp-Golomb (suffix coding for large values) ----
+
+inline void
+encode_ue_bypass(RangeEncoder &rc, u32 value)
+{
+    // Exp-Golomb order 0 in bypass bins.
+    const u32 code = value + 1;
+    int bits = 0;
+    for (u32 v = code; v != 0; v >>= 1)
+        ++bits;
+    for (int i = 0; i < bits - 1; ++i)
+        rc.encode_bypass(0);
+    for (int i = bits - 1; i >= 0; --i)
+        rc.encode_bypass(static_cast<int>((code >> i) & 1));
+}
+
+inline u32
+decode_ue_bypass(RangeDecoder &rc)
+{
+    int zeros = 0;
+    while (zeros < 32 && rc.decode_bypass() == 0)
+        ++zeros;
+    if (zeros >= 32)
+        return 0;
+    u32 value = 1;
+    for (int i = 0; i < zeros; ++i)
+        value = (value << 1) | static_cast<u32>(rc.decode_bypass());
+    return value - 1;
+}
+
+// ---- motion vector differences ----
+
+inline void
+encode_mvd(RangeEncoder &rc, Contexts &ctx, int axis, int mvd)
+{
+    const int mag = mvd < 0 ? -mvd : mvd;
+    if (mag == 0) {
+        rc.encode_bit(ctx.mvd_nonzero[axis], 0);
+        return;
+    }
+    rc.encode_bit(ctx.mvd_nonzero[axis], 1);
+    if (mag == 1) {
+        rc.encode_bit(ctx.mvd_gt1[axis], 0);
+    } else {
+        rc.encode_bit(ctx.mvd_gt1[axis], 1);
+        encode_ue_bypass(rc, static_cast<u32>(mag - 2));
+    }
+    rc.encode_bypass(mvd < 0);
+}
+
+inline int
+decode_mvd(RangeDecoder &rc, Contexts &ctx, int axis)
+{
+    if (rc.decode_bit(ctx.mvd_nonzero[axis]) == 0)
+        return 0;
+    int mag = 1;
+    if (rc.decode_bit(ctx.mvd_gt1[axis]) != 0)
+        mag = 2 + static_cast<int>(decode_ue_bypass(rc));
+    return rc.decode_bypass() ? -mag : mag;
+}
+
+// ---- unary coded reference index ----
+
+inline void
+encode_ref_idx(RangeEncoder &rc, Contexts &ctx, int ref, int max_ref)
+{
+    for (int i = 0; i < ref; ++i)
+        rc.encode_bit(ctx.ref_idx[i == 0 ? 0 : 1], 1);
+    if (ref < max_ref - 1)
+        rc.encode_bit(ctx.ref_idx[ref == 0 ? 0 : 1], 0);
+}
+
+inline int
+decode_ref_idx(RangeDecoder &rc, Contexts &ctx, int max_ref)
+{
+    int ref = 0;
+    while (ref < max_ref - 1 &&
+           rc.decode_bit(ctx.ref_idx[ref == 0 ? 0 : 1]) != 0) {
+        ++ref;
+    }
+    return ref;
+}
+
+// ---- 4x4 residual blocks (coded block flag + sig/last + levels) ----
+
+/**
+ * Encode a 4x4 block of quantised levels in 4x4 zig-zag order.
+ * @param levels raster-order 4x4 levels
+ * @param first first scan position coded (1 for Intra16 AC blocks)
+ * @param cbf_cat context category: 0 luma, 1 chroma, 2 luma-DC
+ */
+inline void
+encode_block4x4(RangeEncoder &rc, Contexts &ctx, const Coeff levels[16],
+                int first, int cbf_cat)
+{
+    int scan[16];
+    int n = 0;
+    int last_nz = -1;
+    for (int i = first; i < 16; ++i) {
+        scan[n] = levels[kZigzag4x4[i]];
+        if (scan[n] != 0)
+            last_nz = n;
+        ++n;
+    }
+    if (last_nz < 0) {
+        rc.encode_bit(ctx.cbf[cbf_cat], 0);
+        return;
+    }
+    rc.encode_bit(ctx.cbf[cbf_cat], 1);
+    int gt1_seen = 0;
+    for (int i = 0; i <= last_nz; ++i) {
+        const int v = scan[i];
+        if (i < n - 1) {
+            rc.encode_bit(ctx.sig[i + (16 - n)], v != 0);
+            if (v == 0)
+                continue;
+        }
+        // Level: gt1 flag + bypass suffix + sign.
+        const int mag = v < 0 ? -v : v;
+        rc.encode_bit(ctx.abs_gt1[gt1_seen != 0 ? 1 : 0], mag > 1);
+        if (mag > 1) {
+            encode_ue_bypass(rc, static_cast<u32>(mag - 2));
+            gt1_seen = 1;
+        }
+        rc.encode_bypass(v < 0);
+        if (i < n - 1)
+            rc.encode_bit(ctx.last[i + (16 - n)], i == last_nz);
+    }
+}
+
+/**
+ * Decode one 4x4 block into raster-order @p levels (zero-filled by the
+ * caller). Returns false on malformed data.
+ */
+inline bool
+decode_block4x4(RangeDecoder &rc, Contexts &ctx, Coeff levels[16],
+                int first, int cbf_cat)
+{
+    if (rc.decode_bit(ctx.cbf[cbf_cat]) == 0)
+        return true;
+    const int n = 16 - first;
+    int gt1_seen = 0;
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+        int sig = 1;
+        if (i < n - 1)
+            sig = rc.decode_bit(ctx.sig[i + (16 - n)]);
+        else if (any)
+            sig = 1;  // the final position is reached only when coded
+        if (sig == 0)
+            continue;
+        const int gt1 = rc.decode_bit(ctx.abs_gt1[gt1_seen ? 1 : 0]);
+        int mag = 1;
+        if (gt1 != 0) {
+            mag = 2 + static_cast<int>(decode_ue_bypass(rc));
+            gt1_seen = 1;
+        }
+        if (mag > 2047)
+            return false;
+        const int v = rc.decode_bypass() ? -mag : mag;
+        levels[kZigzag4x4[first + i]] = static_cast<Coeff>(v);
+        any = true;
+        if (i < n - 1 && rc.decode_bit(ctx.last[i + (16 - n)]) != 0)
+            return true;
+        if (rc.has_error())
+            return false;
+    }
+    return !rc.has_error();
+}
+
+}  // namespace hdvb::h264
+
+#endif  // HDVB_H264_CABAC_SYNTAX_H

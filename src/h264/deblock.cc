@@ -1,0 +1,213 @@
+#include "h264/deblock.h"
+
+#include "common/check.h"
+
+namespace hdvb::h264 {
+
+namespace {
+
+// Standard H.264 alpha/beta threshold tables, indexed by QP 0..51.
+const u8 kAlpha[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,
+    4,  4,  5,  6,  7,  8,  9,  10, 12, 13, 15, 17, 20, 22, 25, 28,
+    32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162,
+    182, 203, 226, 255, 255,
+};
+
+const u8 kBeta[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,
+    2,  2,  2,  3,  3,  3,  3,  4,  4,  4,  6,  6,  7,  7,  8,  8,
+    9,  9,  10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16,
+    17, 17, 18, 18,
+};
+
+/** Monotonic approximation of the standard's tc0 clipping table. */
+inline int
+tc0_value(int qp, int bs)
+{
+    if (qp < 16)
+        return 0;
+    const int base = (qp - 12) / 6;
+    return base + bs - 1;
+}
+
+inline int
+iabs(int v)
+{
+    return v < 0 ? -v : v;
+}
+
+/**
+ * Filter one line of samples across an edge. p0 = p0p[0] with p1/p2 at
+ * -step/-2*step behind it; q0 = q0p[0] with q1/q2 ahead at +step.
+ */
+inline void
+filter_line(Pixel *p0p, Pixel *q0p, int step, int alpha, int beta,
+            int bs, int tc0)
+{
+    const int p0 = p0p[0];
+    const int p1 = p0p[-step];
+    const int p2 = p0p[-2 * step];
+    const int q0 = q0p[0];
+    const int q1 = q0p[step];
+    const int q2 = q0p[2 * step];
+
+    if (iabs(p0 - q0) >= alpha || iabs(p1 - p0) >= beta ||
+        iabs(q1 - q0) >= beta) {
+        return;
+    }
+
+    if (bs == 4) {
+        // Strong filter.
+        if (iabs(p0 - q0) < (alpha >> 2) + 2) {
+            if (iabs(p2 - p0) < beta) {
+                p0p[0] = static_cast<Pixel>(
+                    (p2 + 2 * p1 + 2 * p0 + 2 * q0 + q1 + 4) >> 3);
+                p0p[-step] = static_cast<Pixel>(
+                    (p2 + p1 + p0 + q0 + 2) >> 2);
+            } else {
+                p0p[0] = static_cast<Pixel>(
+                    (2 * p1 + p0 + q1 + 2) >> 2);
+            }
+            if (iabs(q2 - q0) < beta) {
+                q0p[0] = static_cast<Pixel>(
+                    (q2 + 2 * q1 + 2 * q0 + 2 * p0 + p1 + 4) >> 3);
+                q0p[step] = static_cast<Pixel>(
+                    (q2 + q1 + q0 + p0 + 2) >> 2);
+            } else {
+                q0p[0] = static_cast<Pixel>(
+                    (2 * q1 + q0 + p1 + 2) >> 2);
+            }
+        } else {
+            p0p[0] = static_cast<Pixel>((2 * p1 + p0 + q1 + 2) >> 2);
+            q0p[0] = static_cast<Pixel>((2 * q1 + q0 + p1 + 2) >> 2);
+        }
+        return;
+    }
+
+    // Normal filter.
+    int tc = tc0;
+    const bool fp1 = iabs(p2 - p0) < beta;
+    const bool fq1 = iabs(q2 - q0) < beta;
+    tc += fp1 ? 1 : 0;
+    tc += fq1 ? 1 : 0;
+    const int delta =
+        clamp(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3, -tc, tc);
+    p0p[0] = clamp_pixel(p0 + delta);
+    q0p[0] = clamp_pixel(q0 - delta);
+    if (fp1) {
+        const int d = clamp((p2 + ((p0 + q0 + 1) >> 1) - 2 * p1) >> 1,
+                            -tc0, tc0);
+        p0p[-step] = static_cast<Pixel>(p1 + d);
+    }
+    if (fq1) {
+        const int d = clamp((q2 + ((p0 + q0 + 1) >> 1) - 2 * q1) >> 1,
+                            -tc0, tc0);
+        q0p[step] = static_cast<Pixel>(q1 + d);
+    }
+}
+
+/** Boundary strength between two 4x4 blocks (0 = no filtering). */
+inline int
+boundary_strength(const BlockInfo &p, const BlockInfo &q,
+                  bool mb_boundary)
+{
+    if (p.intra || q.intra)
+        return mb_boundary ? 4 : 3;
+    if (p.nonzero || q.nonzero)
+        return 2;
+    if (p.ref != q.ref || iabs(p.mv.x - q.mv.x) >= 4 ||
+        iabs(p.mv.y - q.mv.y) >= 4) {
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+void
+deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
+{
+    const int alpha = kAlpha[clamp(qp, 0, 51)];
+    const int beta = kBeta[clamp(qp, 0, 51)];
+    if (alpha == 0 || beta == 0)
+        return;
+
+    Plane &luma = frame->luma();
+    const int w4 = grid.width4();
+    const int h4 = grid.height4();
+    const int stride = luma.stride();
+
+    // Vertical edges (filter across columns), then horizontal edges.
+    for (int by = 0; by < h4; ++by) {
+        for (int bx = 1; bx < w4; ++bx) {
+            const BlockInfo &p = grid.at(bx - 1, by);
+            const BlockInfo &q = grid.at(bx, by);
+            const int bs = boundary_strength(p, q, bx % 4 == 0);
+            if (bs == 0)
+                continue;
+            const int tc0 = tc0_value(qp, bs);
+            Pixel *base = luma.row(by * 4) + bx * 4;
+            for (int i = 0; i < 4; ++i) {
+                filter_line(base + i * stride - 1, base + i * stride, 1,
+                            alpha, beta, bs, tc0);
+            }
+        }
+    }
+    for (int by = 1; by < h4; ++by) {
+        for (int bx = 0; bx < w4; ++bx) {
+            const BlockInfo &p = grid.at(bx, by - 1);
+            const BlockInfo &q = grid.at(bx, by);
+            const int bs = boundary_strength(p, q, by % 4 == 0);
+            if (bs == 0)
+                continue;
+            const int tc0 = tc0_value(qp, bs);
+            Pixel *base = luma.row(by * 4) + bx * 4;
+            for (int i = 0; i < 4; ++i) {
+                filter_line(base + i - stride, base + i, stride, alpha,
+                            beta, bs, tc0);
+            }
+        }
+    }
+
+    // Chroma: filter macroblock-boundary edges only, with the same
+    // thresholds (chroma QP = luma QP in this codec class).
+    for (int comp = 1; comp < 3; ++comp) {
+        Plane &plane = frame->plane(comp);
+        const int cs = plane.stride();
+        const int cw8 = plane.width() / 8;
+        const int ch8 = plane.height() / 8;
+        for (int by = 0; by < ch8; ++by) {
+            for (int bx = 1; bx < cw8; ++bx) {
+                const BlockInfo &p = grid.at(bx * 4 - 1, by * 4);
+                const BlockInfo &q = grid.at(bx * 4, by * 4);
+                const int bs = boundary_strength(p, q, true);
+                if (bs == 0)
+                    continue;
+                const int tc0 = tc0_value(qp, bs);
+                Pixel *base = plane.row(by * 8) + bx * 8;
+                for (int i = 0; i < 8; ++i) {
+                    filter_line(base + i * cs - 1, base + i * cs, 1,
+                                alpha, beta, bs == 4 ? 3 : bs, tc0);
+                }
+            }
+        }
+        for (int by = 1; by < ch8; ++by) {
+            for (int bx = 0; bx < cw8; ++bx) {
+                const BlockInfo &p = grid.at(bx * 4, by * 4 - 1);
+                const BlockInfo &q = grid.at(bx * 4, by * 4);
+                const int bs = boundary_strength(p, q, true);
+                if (bs == 0)
+                    continue;
+                const int tc0 = tc0_value(qp, bs);
+                Pixel *base = plane.row(by * 8) + bx * 8;
+                for (int i = 0; i < 8; ++i) {
+                    filter_line(base + i - cs, base + i, cs, alpha,
+                                beta, bs == 4 ? 3 : bs, tc0);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace hdvb::h264

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * In-loop deblocking filter for the H.264-class codec.
+ *
+ * Boundary strengths follow the standard's rules (intra MB edges
+ * strongest, then coded blocks, then motion discontinuities); the filter
+ * operations are the standard's normal and strong filters. The
+ * alpha/beta thresholds are the standard tables; the clipping table is
+ * a monotonic approximation (documented simplification — bitstream
+ * compatibility is out of scope, encoder and decoder share this exact
+ * code so reconstructions match).
+ */
+#ifndef HDVB_H264_DEBLOCK_H
+#define HDVB_H264_DEBLOCK_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "mc/mc.h"
+#include "video/frame.h"
+
+namespace hdvb::h264 {
+
+/** Per-4x4-block coding metadata driving boundary strength. */
+struct BlockInfo {
+    u8 intra = 0;     ///< block belongs to an intra MB
+    u8 nonzero = 0;   ///< block has coded coefficients
+    s8 ref = -1;      ///< reference index (-1 for intra)
+    MotionVector mv;  ///< quarter-sample motion vector
+};
+
+/** Picture-sized grid of BlockInfo at 4x4 granularity. */
+class BlockInfoGrid
+{
+  public:
+    BlockInfoGrid(int width, int height)
+        : w4_(width / 4), h4_(height / 4),
+          info_(static_cast<size_t>(w4_) * h4_)
+    {
+    }
+
+    BlockInfo &
+    at(int bx, int by)
+    {
+        return info_[static_cast<size_t>(by) * w4_ + bx];
+    }
+
+    const BlockInfo &
+    at(int bx, int by) const
+    {
+        return info_[static_cast<size_t>(by) * w4_ + bx];
+    }
+
+    int width4() const { return w4_; }
+    int height4() const { return h4_; }
+
+    void
+    clear()
+    {
+        std::fill(info_.begin(), info_.end(), BlockInfo{});
+    }
+
+  private:
+    int w4_;
+    int h4_;
+    std::vector<BlockInfo> info_;
+};
+
+/**
+ * Filter a reconstructed picture in place. Both the encoder (closed
+ * loop) and the decoder call this with identical inputs.
+ * @param qp picture quantiser (drives thresholds)
+ */
+void deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp);
+
+}  // namespace hdvb::h264
+
+#endif  // HDVB_H264_DEBLOCK_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The H.264-class codec: 4x4 integer transform, directional intra
+ * prediction, variable-block-size inter prediction with multiple
+ * reference frames, 6-tap quarter-sample MC, in-loop deblocking, and an
+ * adaptive binary range coder ("CABAC-class") — the tool generation that
+ * buys H.264 its ~50 % bitrate advantage over MPEG-2 in Table V, at the
+ * highest computational cost of the three codecs.
+ *
+ * Benchmark role (paper Table II): stands in for the x264 encoder and
+ * the FFmpeg H.264 decoder.
+ */
+#ifndef HDVB_H264_H264_H
+#define HDVB_H264_H264_H
+
+#include <memory>
+
+#include "codec/codec.h"
+
+namespace hdvb {
+
+/** Create an H.264-class encoder; config must validate. */
+std::unique_ptr<VideoEncoder> create_h264_encoder(
+    const CodecConfig &config);
+
+/** Create an H.264-class decoder. */
+std::unique_ptr<VideoDecoder> create_h264_decoder(
+    const CodecConfig &config);
+
+namespace h264 {
+
+/** Intra 16x16 prediction modes. */
+enum Intra16Mode {
+    kI16Vertical = 0,
+    kI16Horizontal = 1,
+    kI16Dc = 2,
+    kI16Plane = 3,
+};
+
+/** Intra 4x4 prediction modes (subset of the standard's nine). */
+enum Intra4Mode {
+    kI4Dc = 0,
+    kI4Vertical = 1,
+    kI4Horizontal = 2,
+    kI4DiagDownLeft = 3,
+    kI4DiagDownRight = 4,
+    kI4ModeCount = 5,
+};
+
+/** P-macroblock luma partitionings. */
+enum PartMode {
+    kPart16x16 = 0,
+    kPart16x8 = 1,
+    kPart8x16 = 2,
+    kPart8x8 = 3,
+};
+
+/** B-macroblock prediction directions (16x16 only). */
+enum BMode { kBBi = 0, kBFwd = 1, kBBwd = 2 };
+
+}  // namespace h264
+
+}  // namespace hdvb
+
+#endif  // HDVB_H264_H264_H

@@ -1,0 +1,208 @@
+#include "h264/intra_pred.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace hdvb::h264 {
+
+bool
+intra16_mode_available(int x0, int y0, Intra16Mode mode)
+{
+    switch (mode) {
+      case kI16Vertical: return y0 > 0;
+      case kI16Horizontal: return x0 > 0;
+      case kI16Dc: return true;
+      case kI16Plane: return x0 > 0 && y0 > 0;
+    }
+    return false;
+}
+
+void
+predict_intra16(const Plane &recon, int x0, int y0, Intra16Mode mode,
+                Pixel *dst, int ds)
+{
+    switch (mode) {
+      case kI16Vertical: {
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        for (int y = 0; y < 16; ++y)
+            std::memcpy(dst + y * ds, top, 16);
+        break;
+      }
+      case kI16Horizontal: {
+        for (int y = 0; y < 16; ++y)
+            std::memset(dst + y * ds, recon.at(x0 - 1, y0 + y), 16);
+        break;
+      }
+      case kI16Dc: {
+        int sum = 0;
+        int count = 0;
+        if (y0 > 0) {
+            const Pixel *top = recon.row(y0 - 1) + x0;
+            for (int x = 0; x < 16; ++x)
+                sum += top[x];
+            count += 16;
+        }
+        if (x0 > 0) {
+            for (int y = 0; y < 16; ++y)
+                sum += recon.at(x0 - 1, y0 + y);
+            count += 16;
+        }
+        const int dc = count == 0
+                           ? 128
+                           : (sum + count / 2) / count;
+        for (int y = 0; y < 16; ++y)
+            std::memset(dst + y * ds, dc, 16);
+        break;
+      }
+      case kI16Plane: {
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        int h = 0, v = 0;
+        for (int i = 1; i <= 8; ++i) {
+            h += i * (top[7 + i] - recon.at(x0 + 7 - i, y0 - 1));
+            v += i * (recon.at(x0 - 1, y0 + 7 + i) -
+                      recon.at(x0 - 1, y0 + 7 - i));
+        }
+        const int a = 16 * (recon.at(x0 + 15, y0 - 1) +
+                            recon.at(x0 - 1, y0 + 15));
+        const int b = (5 * h + 32) >> 6;
+        const int c = (5 * v + 32) >> 6;
+        for (int y = 0; y < 16; ++y) {
+            for (int x = 0; x < 16; ++x) {
+                dst[y * ds + x] = clamp_pixel(
+                    (a + b * (x - 7) + c * (y - 7) + 16) >> 5);
+            }
+        }
+        break;
+      }
+    }
+}
+
+bool
+intra4_mode_available(const Plane &recon, int x0, int y0, Intra4Mode mode)
+{
+    (void)recon;
+    switch (mode) {
+      case kI4Dc: return true;
+      case kI4Vertical: return y0 > 0;
+      case kI4Horizontal: return x0 > 0;
+      case kI4DiagDownLeft: return y0 > 0;
+      case kI4DiagDownRight: return x0 > 0 && y0 > 0;
+      default: return false;
+    }
+}
+
+void
+predict_intra4(const Plane &recon, int x0, int y0, Intra4Mode mode,
+               Pixel *dst, int ds)
+{
+    switch (mode) {
+      case kI4Dc: {
+        int sum = 0;
+        int count = 0;
+        if (y0 > 0) {
+            const Pixel *top = recon.row(y0 - 1) + x0;
+            sum += top[0] + top[1] + top[2] + top[3];
+            count += 4;
+        }
+        if (x0 > 0) {
+            for (int y = 0; y < 4; ++y)
+                sum += recon.at(x0 - 1, y0 + y);
+            count += 4;
+        }
+        const int dc = count == 0 ? 128 : (sum + count / 2) / count;
+        for (int y = 0; y < 4; ++y)
+            std::memset(dst + y * ds, dc, 4);
+        break;
+      }
+      case kI4Vertical: {
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        for (int y = 0; y < 4; ++y)
+            std::memcpy(dst + y * ds, top, 4);
+        break;
+      }
+      case kI4Horizontal: {
+        for (int y = 0; y < 4; ++y)
+            std::memset(dst + y * ds, recon.at(x0 - 1, y0 + y), 4);
+        break;
+      }
+      case kI4DiagDownLeft: {
+        // Top row t[0..7]. The top-right quad is usable only when it is
+        // certainly reconstructed already: inside the picture AND not
+        // the last 4x4 column of a macroblock row interior (raster
+        // coding order). Otherwise replicate t[3], as the standard does
+        // for unavailable neighbours. The rule is position-only, so the
+        // encoder and decoder agree by construction.
+        Pixel t[9];
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        const bool tr_avail = x0 + 8 <= recon.width() &&
+                              ((x0 % 16) != 12 || (y0 % 16) == 0);
+        const int avail = tr_avail ? 8 : 4;
+        for (int i = 0; i < avail; ++i)
+            t[i] = top[i];
+        for (int i = avail; i < 9; ++i)
+            t[i] = t[avail - 1];
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                const int i = x + y;
+                dst[y * ds + x] = static_cast<Pixel>(
+                    (t[i] + 2 * t[i + 1] + t[i + 2] + 2) >> 2);
+            }
+        }
+        break;
+      }
+      case kI4DiagDownRight: {
+        // Left column l[0..3], corner c, top row t[0..3].
+        Pixel l[4], t[4];
+        const Pixel c = recon.at(x0 - 1, y0 - 1);
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        for (int i = 0; i < 4; ++i) {
+            l[i] = recon.at(x0 - 1, y0 + i);
+            t[i] = top[i];
+        }
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                const int d = x - y;
+                int v;
+                if (d > 0) {
+                    v = (d >= 2 ? t[d - 2] : c) + 2 * t[d - 1] +
+                        (d < 4 ? t[d] : t[3]);
+                } else if (d < 0) {
+                    const int e = -d;
+                    v = (e >= 2 ? l[e - 2] : c) + 2 * l[e - 1] +
+                        (e < 4 ? l[e] : l[3]);
+                } else {
+                    v = t[0] + 2 * c + l[0];
+                }
+                dst[y * ds + x] = static_cast<Pixel>((v + 2) >> 2);
+            }
+        }
+        break;
+      }
+      default:
+        HDVB_CHECK(false);
+    }
+}
+
+void
+predict_chroma_dc(const Plane &recon, int x0, int y0, Pixel *dst, int ds)
+{
+    int sum = 0;
+    int count = 0;
+    if (y0 > 0) {
+        const Pixel *top = recon.row(y0 - 1) + x0;
+        for (int x = 0; x < 8; ++x)
+            sum += top[x];
+        count += 8;
+    }
+    if (x0 > 0) {
+        for (int y = 0; y < 8; ++y)
+            sum += recon.at(x0 - 1, y0 + y);
+        count += 8;
+    }
+    const int dc = count == 0 ? 128 : (sum + count / 2) / count;
+    for (int y = 0; y < 8; ++y)
+        std::memset(dst + y * ds, dc, 8);
+}
+
+}  // namespace hdvb::h264

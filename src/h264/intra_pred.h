@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Intra prediction for the H.264-class codec: the Intra16 modes
+ * (vertical / horizontal / DC / plane) and an Intra4x4 subset
+ * (DC / V / H / diagonal-down-left / diagonal-down-right). Predictions
+ * read previously reconstructed samples of the current picture, so the
+ * encoder and decoder produce identical predictors.
+ */
+#ifndef HDVB_H264_INTRA_PRED_H
+#define HDVB_H264_INTRA_PRED_H
+
+#include "common/types.h"
+#include "h264/h264.h"
+#include "video/plane.h"
+
+namespace hdvb::h264 {
+
+/**
+ * Predict a 16x16 luma block at (x0, y0) from @p recon into @p dst.
+ * Unavailable neighbours fall back as in the standard (DC uses the
+ * available side or 128). @p mode must be valid for the position
+ * (plane/V need top, H needs left); callers enforce this.
+ */
+void predict_intra16(const Plane &recon, int x0, int y0, Intra16Mode mode,
+                     Pixel *dst, int ds);
+
+/** True if @p mode is usable at this position. */
+bool intra16_mode_available(int x0, int y0, Intra16Mode mode);
+
+/**
+ * Predict a 4x4 block at (x0, y0). Handles unavailable neighbours by
+ * falling back to replication / DC as in the standard's edge rules.
+ */
+void predict_intra4(const Plane &recon, int x0, int y0, Intra4Mode mode,
+                    Pixel *dst, int ds);
+
+/** True if @p mode is usable at this position. */
+bool intra4_mode_available(const Plane &recon, int x0, int y0,
+                           Intra4Mode mode);
+
+/**
+ * Predict an 8x8 chroma block with the DC rule (average of available
+ * neighbours) — the chroma prediction of this codec class.
+ */
+void predict_chroma_dc(const Plane &recon, int x0, int y0, Pixel *dst,
+                       int ds);
+
+}  // namespace hdvb::h264
+
+#endif  // HDVB_H264_INTRA_PRED_H

@@ -1,0 +1,182 @@
+#include "mc/mc.h"
+
+#include "common/check.h"
+
+namespace hdvb {
+
+void
+mc_halfpel(const Plane &ref, int x0, int y0, MotionVector mv,
+           Pixel *dst, int ds, int w, int h, const Dsp &dsp)
+{
+    const int ix = x0 + (mv.x >> 1);
+    const int iy = y0 + (mv.y >> 1);
+    const int fx = mv.x & 1;
+    const int fy = mv.y & 1;
+    const int ss = ref.stride();
+    const Pixel *src = ref.row(iy) + ix;
+    if (fx == 0 && fy == 0)
+        dsp.copy_rect(dst, ds, src, ss, w, h);
+    else if (fx == 1 && fy == 0)
+        dsp.avg_rect(dst, ds, src, ss, src + 1, ss, w, h);
+    else if (fx == 0 && fy == 1)
+        dsp.avg_rect(dst, ds, src, ss, src + ss, ss, w, h);
+    else
+        dsp.avg4_rect(dst, ds, src, ss, w, h);
+}
+
+MotionVector
+chroma_mv_from_halfpel(MotionVector luma_mv)
+{
+    return {static_cast<s16>(luma_mv.x / 2),
+            static_cast<s16>(luma_mv.y / 2)};
+}
+
+void
+mc_qpel_bilin(const Plane &ref, int x0, int y0, MotionVector mv,
+              Pixel *dst, int ds, int w, int h, const Dsp &dsp)
+{
+    const int ix = x0 + (mv.x >> 2);
+    const int iy = y0 + (mv.y >> 2);
+    const int fx = mv.x & 3;
+    const int fy = mv.y & 3;
+    const int ss = ref.stride();
+    const Pixel *src = ref.row(iy) + ix;
+    if (fx == 0 && fy == 0)
+        dsp.copy_rect(dst, ds, src, ss, w, h);
+    else
+        dsp.qpel_bilin_rect(dst, ds, src, ss, w, h, fx, fy);
+}
+
+MotionVector
+chroma_mv_from_qpel(MotionVector luma_mv)
+{
+    return {static_cast<s16>(luma_mv.x / 2),
+            static_cast<s16>(luma_mv.y / 2)};
+}
+
+void
+mc_qpel_tap(const Plane &ref, int x0, int y0, MotionVector mv,
+            Pixel *dst, int ds, int w, int h, const Dsp &dsp)
+{
+    mc_h264_luma(ref, x0, y0, mv, dst, ds, w, h, dsp);
+}
+
+void
+mc_h264_luma(const Plane &ref, int x0, int y0, MotionVector mv,
+             Pixel *dst, int ds, int w, int h, const Dsp &dsp)
+{
+    HDVB_DCHECK(w <= kMaxBlockSize && h <= kMaxBlockSize);
+    const int ix = x0 + (mv.x >> 2);
+    const int iy = y0 + (mv.y >> 2);
+    const int fx = mv.x & 3;
+    const int fy = mv.y & 3;
+    const int ss = ref.stride();
+    const Pixel *src = ref.row(iy) + ix;  // integer position G
+
+    if (fx == 0 && fy == 0) {
+        dsp.copy_rect(dst, ds, src, ss, w, h);
+        return;
+    }
+
+    Pixel t0[kMaxBlockSize * kMaxBlockSize];
+    Pixel t1[kMaxBlockSize * kMaxBlockSize];
+    const int ts = kMaxBlockSize;
+
+    switch (fy * 4 + fx) {
+      case 1:  // a = avg(G, b)
+        dsp.h264_hpel_h(t0, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, src, ss, w, h);
+        break;
+      case 2:  // b
+        dsp.h264_hpel_h(dst, ds, src, ss, w, h);
+        break;
+      case 3:  // c = avg(b, H)
+        dsp.h264_hpel_h(t0, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, src + 1, ss, w, h);
+        break;
+      case 4:  // d = avg(G, h)
+        dsp.h264_hpel_v(t0, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, src, ss, w, h);
+        break;
+      case 5:  // e = avg(b, h)
+        dsp.h264_hpel_h(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_v(t1, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 6:  // f = avg(b, j)
+        dsp.h264_hpel_h(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_hv(t1, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 7:  // g = avg(b, m), m = vertical half at x+1
+        dsp.h264_hpel_h(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_v(t1, ts, src + 1, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 8:  // h
+        dsp.h264_hpel_v(dst, ds, src, ss, w, h);
+        break;
+      case 9:  // i = avg(h, j)
+        dsp.h264_hpel_v(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_hv(t1, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 10:  // j
+        dsp.h264_hpel_hv(dst, ds, src, ss, w, h);
+        break;
+      case 11:  // k = avg(j, m)
+        dsp.h264_hpel_hv(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_v(t1, ts, src + 1, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 12:  // n = avg(h, M)
+        dsp.h264_hpel_v(t0, ts, src, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, src + ss, ss, w, h);
+        break;
+      case 13:  // p = avg(h, s), s = horizontal half at y+1
+        dsp.h264_hpel_v(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_h(t1, ts, src + ss, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 14:  // q = avg(j, s)
+        dsp.h264_hpel_hv(t0, ts, src, ss, w, h);
+        dsp.h264_hpel_h(t1, ts, src + ss, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      case 15:  // r = avg(m, s)
+        dsp.h264_hpel_v(t0, ts, src + 1, ss, w, h);
+        dsp.h264_hpel_h(t1, ts, src + ss, ss, w, h);
+        dsp.avg_rect(dst, ds, t0, ts, t1, ts, w, h);
+        break;
+      default:
+        HDVB_CHECK(false);
+    }
+}
+
+void
+mc_h264_chroma(const Plane &ref, int x0, int y0, MotionVector mv,
+               Pixel *dst, int ds, int w, int h)
+{
+    // Luma quarter-sample MV == chroma eighth-sample MV.
+    const int ix = x0 + (mv.x >> 3);
+    const int iy = y0 + (mv.y >> 3);
+    const int fx = mv.x & 7;
+    const int fy = mv.y & 7;
+    const int ss = ref.stride();
+    const Pixel *src = ref.row(iy) + ix;
+    const int w00 = (8 - fx) * (8 - fy);
+    const int w01 = fx * (8 - fy);
+    const int w10 = (8 - fx) * fy;
+    const int w11 = fx * fy;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (w00 * src[x] + w01 * src[x + 1] + w10 * src[x + ss] +
+                 w11 * src[x + ss + 1] + 32) >> 6);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+}  // namespace hdvb

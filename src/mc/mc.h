@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Motion compensation for the three codec generations:
+ *
+ *  - MPEG-2-class: half-sample bilinear (copy / h-avg / v-avg / 4-avg).
+ *  - MPEG-4-class: quarter-sample weighted bilinear (the ASP `qpel`
+ *    coding option from the paper's Table IV command line).
+ *  - H.264-class: 6-tap half-sample filter plus quarter-sample
+ *    averaging (the standard's luma interpolation), and 1/8-sample
+ *    bilinear chroma.
+ *
+ * All functions read from a reference Plane whose borders have been
+ * extended (Plane::extend_borders); motion vectors must keep every read
+ * inside the border (the motion-estimation layer enforces this).
+ */
+#ifndef HDVB_MC_MC_H
+#define HDVB_MC_MC_H
+
+#include "common/types.h"
+#include "simd/dispatch.h"
+#include "video/plane.h"
+
+namespace hdvb {
+
+/** A motion vector; units depend on the codec (half- or quarter-pel). */
+struct MotionVector {
+    s16 x = 0;
+    s16 y = 0;
+
+    bool operator==(const MotionVector &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+    bool operator!=(const MotionVector &o) const { return !(*this == o); }
+};
+
+/** Largest supported prediction block (luma). */
+inline constexpr int kMaxBlockSize = 16;
+
+/**
+ * MPEG-2-class half-sample luma/chroma prediction of a w x h block whose
+ * top-left corner is (x0, y0) in @p ref; @p mv is in half-sample units.
+ */
+void mc_halfpel(const Plane &ref, int x0, int y0, MotionVector mv,
+                Pixel *dst, int ds, int w, int h, const Dsp &dsp);
+
+/** Derive the chroma MV (chroma half-sample units) from a luma
+ * half-sample MV, MPEG-style (divide by two toward zero). */
+MotionVector chroma_mv_from_halfpel(MotionVector luma_mv);
+
+/**
+ * MPEG-4-class quarter-sample bilinear prediction; @p mv is in
+ * quarter-sample units.
+ */
+void mc_qpel_bilin(const Plane &ref, int x0, int y0, MotionVector mv,
+                   Pixel *dst, int ds, int w, int h, const Dsp &dsp);
+
+/** Derive the chroma MV (chroma quarter-sample units) from a luma
+ * quarter-sample MV (divide by two toward zero). */
+MotionVector chroma_mv_from_qpel(MotionVector luma_mv);
+
+/**
+ * MPEG-4-ASP-class quarter-sample luma prediction: FIR-filtered
+ * half-sample positions (the ASP 8-tap filter, realised with the shared
+ * 6-tap kernels) plus averaged quarter positions. Structurally the same
+ * interpolation lattice as the H.264 luma filter, which it forwards to.
+ */
+void mc_qpel_tap(const Plane &ref, int x0, int y0, MotionVector mv,
+                 Pixel *dst, int ds, int w, int h, const Dsp &dsp);
+
+/**
+ * H.264-class luma prediction with the 6-tap half-sample filter and
+ * quarter-sample averaging; @p mv is in quarter-sample units.
+ */
+void mc_h264_luma(const Plane &ref, int x0, int y0, MotionVector mv,
+                  Pixel *dst, int ds, int w, int h, const Dsp &dsp);
+
+/**
+ * H.264-class chroma prediction: 1/8-sample bilinear driven directly by
+ * the luma quarter-sample MV; (x0, y0) are chroma coordinates and w/h
+ * chroma sizes.
+ */
+void mc_h264_chroma(const Plane &ref, int x0, int y0, MotionVector mv,
+                    Pixel *dst, int ds, int w, int h);
+
+}  // namespace hdvb
+
+#endif  // HDVB_MC_MC_H

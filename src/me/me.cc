@@ -1,0 +1,188 @@
+#include "me/me.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hdvb {
+
+void
+MotionEstimator::mv_bounds(const MeBlock &blk, int *min_x, int *max_x,
+                           int *min_y, int *max_y) const
+{
+    const int range = params_.range;
+    *min_x = std::max(-range, -kMeMargin - blk.x0);
+    *max_x = std::min(range,
+                      blk.ref->width() + kMeMargin - (blk.x0 + blk.w));
+    *min_y = std::max(-range, -kMeMargin - blk.y0);
+    *max_y = std::min(range,
+                      blk.ref->height() + kMeMargin - (blk.y0 + blk.h));
+    // Degenerate pictures smaller than the range still get (0,0).
+    *max_x = std::max(*max_x, *min_x);
+    *max_y = std::max(*max_y, *min_y);
+}
+
+int
+MotionEstimator::sad_at(const MeBlock &blk, int mx, int my) const
+{
+    const Dsp &dsp = *params_.dsp;
+    const Pixel *cur = blk.cur->row(blk.y0) + blk.x0;
+    const int cs = blk.cur->stride();
+    const Pixel *ref = blk.ref->row(blk.y0 + my) + blk.x0 + mx;
+    const int rs = blk.ref->stride();
+    if (blk.w == 16 && blk.h == 16)
+        return dsp.sad16x16(cur, cs, ref, rs);
+    if (blk.w == 8 && blk.h == 8)
+        return dsp.sad8x8(cur, cs, ref, rs);
+    return dsp.sad_rect(cur, cs, ref, rs, blk.w, blk.h);
+}
+
+MeResult
+MotionEstimator::evaluate(const MeBlock &blk, MotionVector pred_sub,
+                          int mx, int my) const
+{
+    MeResult r;
+    r.mv = {static_cast<s16>(mx), static_cast<s16>(my)};
+    r.sad = sad_at(blk, mx, my);
+    const MotionVector mv_sub{
+        static_cast<s16>(mx << params_.subpel_shift),
+        static_cast<s16>(my << params_.subpel_shift)};
+    r.cost = r.sad + mv_rate_cost(mv_sub, pred_sub, params_.lambda16);
+    return r;
+}
+
+MeResult
+MotionEstimator::full_search(const MeBlock &blk,
+                             MotionVector pred_sub) const
+{
+    int min_x, max_x, min_y, max_y;
+    mv_bounds(blk, &min_x, &max_x, &min_y, &max_y);
+    MeResult best;
+    for (int my = min_y; my <= max_y; ++my) {
+        for (int mx = min_x; mx <= max_x; ++mx) {
+            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            if (r.cost < best.cost)
+                best = r;
+        }
+    }
+    return best;
+}
+
+void
+MotionEstimator::diamond_refine(const MeBlock &blk, MotionVector pred_sub,
+                                MeResult *best) const
+{
+    int min_x, max_x, min_y, max_y;
+    mv_bounds(blk, &min_x, &max_x, &min_y, &max_y);
+    static const int kDx[4] = {-1, 1, 0, 0};
+    static const int kDy[4] = {0, 0, -1, 1};
+    bool improved = true;
+    // Bound the walk so worst-case work stays proportional to range.
+    for (int iter = 0; iter < 2 * params_.range && improved; ++iter) {
+        improved = false;
+        const MotionVector center = best->mv;
+        for (int i = 0; i < 4; ++i) {
+            const int mx = center.x + kDx[i];
+            const int my = center.y + kDy[i];
+            if (mx < min_x || mx > max_x || my < min_y || my > max_y)
+                continue;
+            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            if (r.cost < best->cost) {
+                *best = r;
+                improved = true;
+            }
+        }
+    }
+}
+
+MeResult
+MotionEstimator::epzs(const MeBlock &blk, MotionVector pred_sub,
+                      const std::vector<MotionVector> &cand_full) const
+{
+    int min_x, max_x, min_y, max_y;
+    mv_bounds(blk, &min_x, &max_x, &min_y, &max_y);
+    auto clamp_mv = [&](int mx, int my) {
+        return MotionVector{
+            static_cast<s16>(clamp(mx, min_x, max_x)),
+            static_cast<s16>(clamp(my, min_y, max_y))};
+    };
+
+    // Candidate set: (0,0), the rounded spatial predictor, and the
+    // caller's zonal candidates (neighbours, collocated, ...).
+    MeResult best = evaluate(blk, pred_sub, 0, 0);
+    const MotionVector pred_full =
+        clamp_mv(pred_sub.x >> params_.subpel_shift,
+                 pred_sub.y >> params_.subpel_shift);
+    auto consider = [&](MotionVector mv) {
+        if (mv == best.mv)
+            return;
+        const MeResult r = evaluate(blk, pred_sub, mv.x, mv.y);
+        if (r.cost < best.cost)
+            best = r;
+    };
+    consider(pred_full);
+    for (const MotionVector &c : cand_full)
+        consider(clamp_mv(c.x, c.y));
+
+    // EPZS early termination: a predictor already this good will not be
+    // beaten by enough to pay for a refinement walk.
+    const int threshold = blk.w * blk.h;  // ~1 grey level per sample
+    if (best.sad < threshold)
+        return best;
+
+    diamond_refine(blk, pred_sub, &best);
+    return best;
+}
+
+MeResult
+MotionEstimator::hex(const MeBlock &blk, MotionVector pred_sub,
+                     const std::vector<MotionVector> &cand_full) const
+{
+    int min_x, max_x, min_y, max_y;
+    mv_bounds(blk, &min_x, &max_x, &min_y, &max_y);
+    auto clamp_mv = [&](int mx, int my) {
+        return MotionVector{
+            static_cast<s16>(clamp(mx, min_x, max_x)),
+            static_cast<s16>(clamp(my, min_y, max_y))};
+    };
+
+    MeResult best = evaluate(blk, pred_sub, 0, 0);
+    const MotionVector pred_full =
+        clamp_mv(pred_sub.x >> params_.subpel_shift,
+                 pred_sub.y >> params_.subpel_shift);
+    auto consider = [&](MotionVector mv) {
+        const MeResult r = evaluate(blk, pred_sub, mv.x, mv.y);
+        if (r.cost < best.cost)
+            best = r;
+    };
+    if (pred_full != best.mv)
+        consider(pred_full);
+    for (const MotionVector &c : cand_full)
+        consider(clamp_mv(c.x, c.y));
+
+    // Large hexagon (radius 2) iteration.
+    static const int kHx[6] = {-2, -1, 1, 2, 1, -1};
+    static const int kHy[6] = {0, -2, -2, 0, 2, 2};
+    bool improved = true;
+    for (int iter = 0; iter < 2 * params_.range && improved; ++iter) {
+        improved = false;
+        const MotionVector center = best.mv;
+        for (int i = 0; i < 6; ++i) {
+            const int mx = center.x + kHx[i];
+            const int my = center.y + kHy[i];
+            if (mx < min_x || mx > max_x || my < min_y || my > max_y)
+                continue;
+            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            if (r.cost < best.cost) {
+                best = r;
+                improved = true;
+            }
+        }
+    }
+
+    // Small-diamond ending.
+    diamond_refine(blk, pred_sub, &best);
+    return best;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Block motion estimation.
+ *
+ * The paper's Table IV fixes the search algorithms: EPZS (Enhanced
+ * Predictive Zonal Search) for the MPEG-2/-4 encoders and hexagon-based
+ * search (`--me hex`) for the H.264 encoder; we implement both, plus
+ * exhaustive full search as the quality baseline for tests and
+ * ablations.
+ *
+ * Full-sample search works on luma SAD plus an Exp-Golomb rate model for
+ * the motion-vector difference; sub-sample refinement is generic over a
+ * codec-supplied interpolation callback so each codec refines with its
+ * own filter (and the H.264-class encoder with SATD, its subme-style
+ * metric).
+ */
+#ifndef HDVB_ME_ME_H
+#define HDVB_ME_ME_H
+
+#include <vector>
+
+#include "bitstream/exp_golomb.h"
+#include "common/types.h"
+#include "mc/mc.h"
+#include "simd/dispatch.h"
+#include "video/plane.h"
+
+namespace hdvb {
+
+/** Margin (in samples) that motion vectors may reach past the picture
+ * edge; leaves kRefBorder - kMeMargin samples for interpolation taps. */
+inline constexpr int kMeMargin = 24;
+
+/** A block to estimate: position/size in the current picture. */
+struct MeBlock {
+    const Plane *cur = nullptr;  ///< current picture luma
+    const Plane *ref = nullptr;  ///< reference luma, borders extended
+    int x0 = 0;
+    int y0 = 0;
+    int w = 16;
+    int h = 16;
+};
+
+/** Search configuration. */
+struct MeParams {
+    int range = 16;        ///< full-sample search range
+    int lambda16 = 32;     ///< rate weight in Q4 (cost += l16*bits>>4)
+    int subpel_shift = 1;  ///< log2 sub-samples per sample (1 or 2)
+    const Dsp *dsp = nullptr;
+};
+
+/** Search outcome; mv is in FULL-sample units, cost includes rate. */
+struct MeResult {
+    MotionVector mv;
+    int cost = INT32_MAX;
+    int sad = INT32_MAX;
+};
+
+/** Rate-model cost of coding @p mv (sub-pel) against @p pred. */
+inline int
+mv_rate_cost(MotionVector mv, MotionVector pred, int lambda16)
+{
+    const int bits = se_bits(mv.x - pred.x) + se_bits(mv.y - pred.y);
+    return (lambda16 * bits) >> 4;
+}
+
+/**
+ * Block motion estimator. Stateless apart from its parameters; one
+ * instance per encoder thread.
+ */
+class MotionEstimator
+{
+  public:
+    explicit MotionEstimator(const MeParams &params) : params_(params) {}
+
+    const MeParams &params() const { return params_; }
+
+    /** Exhaustive search over the clamped +/-range window. */
+    MeResult full_search(const MeBlock &blk, MotionVector pred_sub) const;
+
+    /**
+     * EPZS-style search: test predictor candidates (@p cand_full, in
+     * full-sample units) plus (0,0) and the rounded @p pred_sub, early
+     * terminate on a good match, then iterate a small diamond.
+     */
+    MeResult epzs(const MeBlock &blk, MotionVector pred_sub,
+                  const std::vector<MotionVector> &cand_full) const;
+
+    /**
+     * Hexagon search: best candidate start, large-hexagon iteration,
+     * small-diamond ending.
+     */
+    MeResult hex(const MeBlock &blk, MotionVector pred_sub,
+                 const std::vector<MotionVector> &cand_full) const;
+
+    /** Legal full-sample MV window for @p blk (border safety). */
+    void mv_bounds(const MeBlock &blk, int *min_x, int *max_x,
+                   int *min_y, int *max_y) const;
+
+  private:
+    int sad_at(const MeBlock &blk, int mx, int my) const;
+    MeResult evaluate(const MeBlock &blk, MotionVector pred_sub,
+                      int mx, int my) const;
+    /** Iterate a +-1 diamond from @p best until no improvement. */
+    void diamond_refine(const MeBlock &blk, MotionVector pred_sub,
+                        MeResult *best) const;
+
+    MeParams params_;
+};
+
+/**
+ * Generic sub-sample refinement around @p start (sub-pel units).
+ *
+ * @tparam PredictFn void(MotionVector mv_sub, Pixel *dst, int ds)
+ * @param steps list of step sizes in sub-pel units to refine with,
+ *        e.g. {1} for a half-pel codec, {2, 1} for quarter-pel.
+ * @param use_satd refine on SATD instead of SAD (H.264 subme style).
+ */
+template <typename PredictFn>
+MeResult
+subpel_refine(const MeBlock &blk, MotionVector start_sub,
+              MotionVector pred_sub, const MeParams &params,
+              std::initializer_list<int> steps, bool use_satd,
+              PredictFn &&predict)
+{
+    const Dsp &dsp = *params.dsp;
+    Pixel scratch[kMaxBlockSize * kMaxBlockSize];
+    const int ss = kMaxBlockSize;
+    const Pixel *cur = blk.cur->row(blk.y0) + blk.x0;
+    const int cs = blk.cur->stride();
+
+    auto distortion = [&](MotionVector mv) {
+        predict(mv, scratch, ss);
+        return use_satd
+                   ? dsp.satd_rect(cur, cs, scratch, ss, blk.w, blk.h)
+                   : dsp.sad_rect(cur, cs, scratch, ss, blk.w, blk.h);
+    };
+
+    MeResult best;
+    best.mv = start_sub;
+    best.sad = distortion(start_sub);
+    best.cost = best.sad + mv_rate_cost(start_sub, pred_sub,
+                                        params.lambda16);
+
+    // The legal sub-pel window: one tap-safe step inside the full-pel
+    // bounds used by the integer search.
+    for (int step : steps) {
+        // Two rounds per step bounds the drift to ~1.5 full samples,
+        // keeping interpolation taps inside the reference border
+        // (kMeMargin + drift + 3 taps < kRefBorder).
+        bool improved = true;
+        for (int round = 0; round < 2 && improved; ++round) {
+            improved = false;
+            static const int kDx[8] = {-1, 1, 0, 0, -1, -1, 1, 1};
+            static const int kDy[8] = {0, 0, -1, 1, -1, 1, -1, 1};
+            MotionVector center = best.mv;
+            for (int i = 0; i < 8; ++i) {
+                MotionVector mv{
+                    static_cast<s16>(center.x + kDx[i] * step),
+                    static_cast<s16>(center.y + kDy[i] * step)};
+                const int d = distortion(mv);
+                const int cost =
+                    d + mv_rate_cost(mv, pred_sub, params.lambda16);
+                if (cost < best.cost) {
+                    best.cost = cost;
+                    best.sad = d;
+                    best.mv = mv;
+                    improved = true;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace hdvb
+
+#endif  // HDVB_ME_ME_H

@@ -1,0 +1,75 @@
+#include "metrics/psnr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "simd/dispatch.h"
+
+namespace hdvb {
+
+u64
+plane_sse(const Plane &a, const Plane &b)
+{
+    HDVB_CHECK(a.width() == b.width() && a.height() == b.height());
+    const Dsp &dsp = get_dsp(best_simd_level());
+    return dsp.sse_rect(a.row(0), a.stride(), b.row(0), b.stride(),
+                        a.width(), a.height());
+}
+
+double
+psnr_from_sse(u64 sse, u64 samples)
+{
+    if (samples == 0)
+        return 0.0;
+    if (sse == 0)
+        return 99.0;
+    const double mse =
+        static_cast<double>(sse) / static_cast<double>(samples);
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double
+frame_psnr_y(const Frame &a, const Frame &b)
+{
+    const u64 sse = plane_sse(a.luma(), b.luma());
+    return psnr_from_sse(sse, static_cast<u64>(a.width()) * a.height());
+}
+
+void
+PsnrAccumulator::add(const Frame &ref, const Frame &test)
+{
+    for (int i = 0; i < 3; ++i) {
+        const Plane &pr = ref.plane(i);
+        const Plane &pt = test.plane(i);
+        sse_[i] += plane_sse(pr, pt);
+        samples_[i] += static_cast<u64>(pr.width()) * pr.height();
+    }
+    ++frames_;
+}
+
+double
+PsnrAccumulator::psnr_y() const
+{
+    return psnr_from_sse(sse_[0], samples_[0]);
+}
+
+double
+PsnrAccumulator::psnr_cb() const
+{
+    return psnr_from_sse(sse_[1], samples_[1]);
+}
+
+double
+PsnrAccumulator::psnr_cr() const
+{
+    return psnr_from_sse(sse_[2], samples_[2]);
+}
+
+double
+PsnrAccumulator::psnr_all() const
+{
+    return psnr_from_sse(sse_[0] + sse_[1] + sse_[2],
+                         samples_[0] + samples_[1] + samples_[2]);
+}
+
+}  // namespace hdvb

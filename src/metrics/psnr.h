@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PSNR measurement, the quality metric of the paper's Table V. Sequence
+ * PSNR is computed from the accumulated squared error over all frames
+ * (not the average of per-frame PSNRs), matching common codec-bench
+ * practice.
+ */
+#ifndef HDVB_METRICS_PSNR_H
+#define HDVB_METRICS_PSNR_H
+
+#include "common/types.h"
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** Sum of squared errors between two same-sized planes. */
+u64 plane_sse(const Plane &a, const Plane &b);
+
+/** PSNR in dB from SSE over @p samples 8-bit samples (inf -> 99 dB). */
+double psnr_from_sse(u64 sse, u64 samples);
+
+/** Luma PSNR between two frames. */
+double frame_psnr_y(const Frame &a, const Frame &b);
+
+/** Accumulates SSE across a sequence; per-plane and combined PSNR. */
+class PsnrAccumulator
+{
+  public:
+    /** Add one frame pair (same dimensions). */
+    void add(const Frame &ref, const Frame &test);
+
+    int frames() const { return frames_; }
+    double psnr_y() const;
+    double psnr_cb() const;
+    double psnr_cr() const;
+    /** Combined PSNR over all three planes. */
+    double psnr_all() const;
+
+  private:
+    u64 sse_[3] = {0, 0, 0};
+    u64 samples_[3] = {0, 0, 0};
+    int frames_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_METRICS_PSNR_H

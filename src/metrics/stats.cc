@@ -1,0 +1,74 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+namespace hdvb {
+
+double
+spatial_information(const Frame &frame)
+{
+    const Plane &luma = frame.luma();
+    const int w = luma.width();
+    const int h = luma.height();
+    double sum = 0.0, sum2 = 0.0;
+    s64 count = 0;
+    for (int y = 1; y < h - 1; ++y) {
+        const Pixel *pm = luma.row(y - 1);
+        const Pixel *pc = luma.row(y);
+        const Pixel *pp = luma.row(y + 1);
+        for (int x = 1; x < w - 1; ++x) {
+            const int gx = (pm[x + 1] + 2 * pc[x + 1] + pp[x + 1]) -
+                           (pm[x - 1] + 2 * pc[x - 1] + pp[x - 1]);
+            const int gy = (pp[x - 1] + 2 * pp[x] + pp[x + 1]) -
+                           (pm[x - 1] + 2 * pm[x] + pm[x + 1]);
+            const double g = std::sqrt(
+                static_cast<double>(gx) * gx +
+                static_cast<double>(gy) * gy);
+            sum += g;
+            sum2 += g * g;
+            ++count;
+        }
+    }
+    if (count == 0)
+        return 0.0;
+    const double mean = sum / static_cast<double>(count);
+    return std::sqrt(std::max(0.0, sum2 / static_cast<double>(count) -
+                                       mean * mean));
+}
+
+double
+temporal_information(const Frame &current, const Frame &previous)
+{
+    const Plane &a = current.luma();
+    const Plane &b = previous.luma();
+    const int w = a.width();
+    const int h = a.height();
+    double sum = 0.0, sum2 = 0.0;
+    for (int y = 0; y < h; ++y) {
+        const Pixel *pa = a.row(y);
+        const Pixel *pb = b.row(y);
+        for (int x = 0; x < w; ++x) {
+            const double d = static_cast<double>(pa[x]) - pb[x];
+            sum += d;
+            sum2 += d * d;
+        }
+    }
+    const double n = static_cast<double>(w) * h;
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sum2 / n - mean * mean));
+}
+
+void
+SiTiAccumulator::add(const Frame &frame)
+{
+    si_max_ = std::max(si_max_, spatial_information(frame));
+    if (frames_ > 0)
+        ti_max_ = std::max(ti_max_,
+                           temporal_information(frame, previous_));
+    if (previous_.empty())
+        previous_ = Frame(frame.width(), frame.height());
+    previous_.copy_from(frame);
+    ++frames_;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ITU-T P.910 style Spatial Information (SI) and Temporal Information
+ * (TI) measures, used by the Table III bench to show the synthetic
+ * sequences span distinct spatial-detail / motion operating points (the
+ * reason the paper provides four sequences rather than one).
+ */
+#ifndef HDVB_METRICS_STATS_H
+#define HDVB_METRICS_STATS_H
+
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** Standard deviation of the Sobel-filtered luma plane. */
+double spatial_information(const Frame &frame);
+
+/** Standard deviation of the luma frame difference. */
+double temporal_information(const Frame &current, const Frame &previous);
+
+/** Accumulates max-over-time SI/TI per P.910. */
+class SiTiAccumulator
+{
+  public:
+    /** Feed frames in display order. */
+    void add(const Frame &frame);
+
+    double si() const { return si_max_; }
+    double ti() const { return ti_max_; }
+    int frames() const { return frames_; }
+
+  private:
+    Frame previous_;
+    double si_max_ = 0.0;
+    double ti_max_ = 0.0;
+    int frames_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_METRICS_STATS_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock timing for the fps measurements of Figure 1. The paper's
+ * MPlayer `-benchmark` mode times decode with video output disabled; we
+ * time the encode()/decode() calls only, with frame generation and
+ * PSNR outside the timed region.
+ */
+#ifndef HDVB_METRICS_TIMER_H
+#define HDVB_METRICS_TIMER_H
+
+#include <chrono>
+
+namespace hdvb {
+
+/** Steady-clock stopwatch accumulating across start/stop pairs. */
+class WallTimer
+{
+  public:
+    void start() { begin_ = Clock::now(); }
+
+    void
+    stop()
+    {
+        total_ += std::chrono::duration<double>(Clock::now() - begin_)
+                      .count();
+    }
+
+    /** Accumulated seconds. */
+    double seconds() const { return total_; }
+
+    void reset() { total_ = 0.0; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point begin_;
+    double total_ = 0.0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_METRICS_TIMER_H

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * MPEG-2-class decoder: exact mirror of the encoder syntax; shares the
+ * reconstruction helpers so decoder output is bit-identical to the
+ * encoder's closed-loop reconstruction.
+ */
+#include "mpeg2/mpeg2.h"
+
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/exp_golomb.h"
+#include "codec/mpeg_block.h"
+#include "codec/run_level.h"
+#include "common/check.h"
+#include "dsp/quant.h"
+#include "mc/mc.h"
+#include "me/me.h"
+
+namespace hdvb {
+
+namespace {
+
+using mpeg2::kDcPredReset;
+using mpeg2::kDcStep;
+
+class Mpeg2Decoder final : public DecoderBase
+{
+  public:
+    explicit Mpeg2Decoder(const CodecConfig &cfg)
+        : DecoderBase(cfg),
+          dsp_(get_dsp(cfg.simd)),
+          intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Intra)),
+          inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Inter)),
+          mb_w_(cfg.width / 16),
+          mb_h_(cfg.height / 16)
+    {
+    }
+
+    const char *name() const override { return "mpeg2"; }
+
+  protected:
+    Status decode_picture(const Packet &packet, Frame *out) override;
+
+  private:
+    struct MbState {
+        BitReader *br;
+        Frame *frame;
+        PictureType type;
+        const MpegQuantizer *intra_quant;
+        const MpegQuantizer *inter_quant;
+        int mbx;
+        int mby;
+        int dc_pred[3];
+        MotionVector left_fwd;
+        MotionVector left_bwd;
+    };
+
+    bool decode_intra_mb(MbState &st);
+    bool decode_inter_mb(MbState &st, bool is_b, int mode);
+    void recon_skip_mb(Frame *frame, PictureType type, int mbx, int mby);
+    void predict_mb(const Frame &fwd_ref, const Frame *bwd_ref,
+                    MotionVector fwd, MotionVector bwd, int mbx,
+                    int mby, Pixel luma[16 * 16], Pixel cb[8 * 8],
+                    Pixel cr[8 * 8]) const;
+    MotionVector clamp_mv(MotionVector mv, int mbx, int mby) const;
+
+    const Dsp &dsp_;
+    const RunLevelCoder &intra_rl_;
+    const RunLevelCoder &inter_rl_;
+    int mb_w_;
+    int mb_h_;
+
+    Frame prev_anchor_;
+    Frame last_anchor_;
+};
+
+MotionVector
+Mpeg2Decoder::clamp_mv(MotionVector mv, int mbx, int mby) const
+{
+    // Half-sample units; keep all reads inside the extended border even
+    // for corrupt input. The margin allows the encoder's sub-sample
+    // refinement drift (kMeMargin + 4 still clears kRefBorder with the
+    // interpolation taps).
+    const int margin = kMeMargin + 4;
+    const int x0 = mbx * 16;
+    const int y0 = mby * 16;
+    const int min_x = 2 * (-margin - x0);
+    const int max_x = 2 * (config().width + margin - x0 - 16);
+    const int min_y = 2 * (-margin - y0);
+    const int max_y = 2 * (config().height + margin - y0 - 16);
+    return {static_cast<s16>(clamp<int>(mv.x, min_x, max_x)),
+            static_cast<s16>(clamp<int>(mv.y, min_y, max_y))};
+}
+
+void
+Mpeg2Decoder::predict_mb(const Frame &fwd_ref, const Frame *bwd_ref,
+                         MotionVector fwd, MotionVector bwd, int mbx,
+                         int mby, Pixel luma[16 * 16], Pixel cb[8 * 8],
+                         Pixel cr[8 * 8]) const
+{
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    const int cx = mbx * 8;
+    const int cy = mby * 8;
+    mc_halfpel(fwd_ref.luma(), lx, ly, fwd, luma, 16, 16, 16, dsp_);
+    const MotionVector fc = chroma_mv_from_halfpel(fwd);
+    mc_halfpel(fwd_ref.cb(), cx, cy, fc, cb, 8, 8, 8, dsp_);
+    mc_halfpel(fwd_ref.cr(), cx, cy, fc, cr, 8, 8, 8, dsp_);
+    if (bwd_ref != nullptr) {
+        Pixel bl[16 * 16], bc[8 * 8], br2[8 * 8];
+        mc_halfpel(bwd_ref->luma(), lx, ly, bwd, bl, 16, 16, 16, dsp_);
+        const MotionVector bcv = chroma_mv_from_halfpel(bwd);
+        mc_halfpel(bwd_ref->cb(), cx, cy, bcv, bc, 8, 8, 8, dsp_);
+        mc_halfpel(bwd_ref->cr(), cx, cy, bcv, br2, 8, 8, 8, dsp_);
+        dsp_.avg_rect(luma, 16, luma, 16, bl, 16, 16, 16);
+        dsp_.avg_rect(cb, 8, cb, 8, bc, 8, 8, 8);
+        dsp_.avg_rect(cr, 8, cr, 8, br2, 8, 8, 8);
+    }
+}
+
+bool
+Mpeg2Decoder::decode_intra_mb(MbState &st)
+{
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &plane = st.frame->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : st.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : st.mby * 8;
+
+        const int dc_level = st.dc_pred[comp] + read_se(*st.br);
+        if (dc_level < 0 || dc_level > 255 || st.br->has_error())
+            return false;
+        st.dc_pred[comp] = dc_level;
+
+        Coeff blk[64] = {};
+        if (!intra_rl_.decode_block(*st.br, blk, 1))
+            return false;
+
+        Pixel *dst = plane.row(y) + x;
+        zero_block8(dst, plane.stride());
+        mpeg_recon_block(blk, *st.intra_quant, dc_level * kDcStep, dst,
+                         plane.stride(), dsp_);
+    }
+    st.left_fwd = st.left_bwd = MotionVector{};
+    return true;
+}
+
+bool
+Mpeg2Decoder::decode_inter_mb(MbState &st, bool is_b, int mode)
+{
+    BitReader &br = *st.br;
+    bool use_fwd = true;
+    bool use_bwd = false;
+    if (is_b) {
+        use_fwd = mode == mpeg2::kBFwd || mode == mpeg2::kBBi;
+        use_bwd = mode == mpeg2::kBBwd || mode == mpeg2::kBBi;
+    }
+
+    MotionVector fwd{}, bwd{};
+    if (use_fwd) {
+        fwd = {static_cast<s16>(st.left_fwd.x + read_se(br)),
+               static_cast<s16>(st.left_fwd.y + read_se(br))};
+        fwd = clamp_mv(fwd, st.mbx, st.mby);
+    }
+    if (use_bwd) {
+        bwd = {static_cast<s16>(st.left_bwd.x + read_se(br)),
+               static_cast<s16>(st.left_bwd.y + read_se(br))};
+        bwd = clamp_mv(bwd, st.mbx, st.mby);
+    }
+    const int cbp = static_cast<int>(br.get_bits(6));
+    if (br.has_error())
+        return false;
+
+    Coeff blocks[6][64];
+    for (int b = 0; b < 6; ++b) {
+        if (cbp & (1 << b)) {
+            std::memset(blocks[b], 0, sizeof(blocks[b]));
+            if (!inter_rl_.decode_block(br, blocks[b], 0))
+                return false;
+        }
+    }
+
+    Pixel luma[16 * 16], cb[8 * 8], cr[8 * 8];
+    const Frame &fwd_ref = is_b ? prev_anchor_ : last_anchor_;
+    if (is_b && !use_fwd) {
+        predict_mb(last_anchor_, nullptr, bwd, {}, st.mbx, st.mby, luma,
+                   cb, cr);
+    } else {
+        predict_mb(fwd_ref, use_bwd ? &last_anchor_ : nullptr, fwd, bwd,
+                   st.mbx, st.mby, luma, cb, cr);
+    }
+
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &plane = st.frame->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : st.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : st.mby * 8;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? cb : cr;
+            ps = 8;
+        }
+        Pixel *dst = plane.row(y) + x;
+        dsp_.copy_rect(dst, plane.stride(), pp, ps, 8, 8);
+        if (cbp & (1 << b)) {
+            mpeg_recon_block(blocks[b], *st.inter_quant, -1, dst,
+                             plane.stride(), dsp_);
+        }
+    }
+
+    st.left_fwd = use_fwd ? fwd : MotionVector{};
+    st.left_bwd = use_bwd ? bwd : MotionVector{};
+    st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    return true;
+}
+
+void
+Mpeg2Decoder::recon_skip_mb(Frame *frame, PictureType type, int mbx,
+                            int mby)
+{
+    Pixel luma[16 * 16], cb[8 * 8], cr[8 * 8];
+    if (type == PictureType::kB) {
+        predict_mb(prev_anchor_, &last_anchor_, {}, {}, mbx, mby, luma,
+                   cb, cr);
+    } else {
+        predict_mb(last_anchor_, nullptr, {}, {}, mbx, mby, luma, cb,
+                   cr);
+    }
+    for (int comp = 0; comp < 3; ++comp) {
+        Plane &plane = frame->plane(comp);
+        const int size = comp == 0 ? 16 : 8;
+        const Pixel *pp = comp == 0 ? luma : (comp == 1 ? cb : cr);
+        dsp_.copy_rect(plane.row(mby * size) + mbx * size,
+                       plane.stride(), pp, size, size, size);
+    }
+}
+
+Status
+Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
+{
+    const CodecConfig &cfg = config();
+    BitReader br(packet.data);
+    const PictureType type = static_cast<PictureType>(br.get_bits(2));
+    const int qscale = static_cast<int>(br.get_bits(5));
+    br.skip_bits(16);  // poc_lsb, unused
+    if (br.has_error() || type != packet.type)
+        return Status::corrupt_stream("bad mpeg2 picture header");
+    if (qscale < 1 || qscale > 31)
+        return Status::corrupt_stream("bad mpeg2 qscale");
+    if (type != PictureType::kI && last_anchor_.empty())
+        return Status::corrupt_stream("inter picture without reference");
+    if (type == PictureType::kB && prev_anchor_.empty())
+        return Status::corrupt_stream("B picture without two references");
+
+    const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32, 4);
+    const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 8, 4);
+
+    *out = Frame(cfg.width, cfg.height, kRefBorder);
+
+    MbState st{};
+    st.br = &br;
+    st.frame = out;
+    st.type = type;
+    st.intra_quant = &intra_quant;
+    st.inter_quant = &inter_quant;
+
+    const bool is_b = type == PictureType::kB;
+    if (type == PictureType::kI) {
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            st.mby = mby;
+            st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                st.mbx = mbx;
+                if (!decode_intra_mb(st))
+                    return Status::corrupt_stream("bad intra MB data");
+            }
+        }
+    } else {
+        int mb = 0;
+        const int total = mb_w_ * mb_h_;
+        // Row-scoped predictor resets happen as mb crosses rows.
+        int cur_row = -1;
+        while (mb < total) {
+            const int run = static_cast<int>(read_ue(br));
+            if (br.has_error() || run > total - mb)
+                return Status::corrupt_stream("bad skip run");
+            for (int i = 0; i < run; ++i) {
+                st.mbx = mb % mb_w_;
+                st.mby = mb / mb_w_;
+                if (st.mby != cur_row) {
+                    cur_row = st.mby;
+                    st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                        kDcPredReset;
+                    st.left_fwd = st.left_bwd = MotionVector{};
+                }
+                recon_skip_mb(out, type, st.mbx, st.mby);
+                st.left_fwd = st.left_bwd = MotionVector{};
+                st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                    kDcPredReset;
+                ++mb;
+            }
+            if (mb >= total)
+                break;
+            st.mbx = mb % mb_w_;
+            st.mby = mb / mb_w_;
+            if (st.mby != cur_row) {
+                cur_row = st.mby;
+                st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                    kDcPredReset;
+                st.left_fwd = st.left_bwd = MotionVector{};
+            }
+            bool ok;
+            if (is_b) {
+                const u32 mode = read_ue(br);
+                if (mode > 3 || br.has_error())
+                    return Status::corrupt_stream("bad B mb type");
+                ok = mode == mpeg2::kBIntra
+                         ? decode_intra_mb(st)
+                         : decode_inter_mb(st, true,
+                                           static_cast<int>(mode));
+            } else {
+                const int bit = br.get_bit();
+                if (br.has_error())
+                    return Status::corrupt_stream("bad P mb type");
+                ok = bit == mpeg2::kPIntra ? decode_intra_mb(st)
+                                           : decode_inter_mb(st, false,
+                                                             0);
+            }
+            if (!ok)
+                return Status::corrupt_stream("bad MB data");
+            ++mb;
+        }
+    }
+    if (br.has_error())
+        return Status::corrupt_stream("truncated mpeg2 picture");
+
+    if (type != PictureType::kB) {
+        out->extend_borders();
+        prev_anchor_ = std::move(last_anchor_);
+        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_.copy_from(*out);
+        last_anchor_.extend_borders();
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+std::unique_ptr<VideoDecoder>
+create_mpeg2_decoder(const CodecConfig &config)
+{
+    HDVB_CHECK(config.validate().is_ok());
+    return std::make_unique<Mpeg2Decoder>(config);
+}
+
+}  // namespace hdvb

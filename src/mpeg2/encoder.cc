@@ -1,0 +1,478 @@
+/**
+ * @file
+ * MPEG-2-class encoder: EPZS motion estimation, half-sample MC, 8x8 DCT
+ * with the MPEG weighting matrices, run/level VLC entropy coding.
+ */
+#include "mpeg2/mpeg2.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bitstream/bit_writer.h"
+#include "bitstream/exp_golomb.h"
+#include "codec/mpeg_block.h"
+#include "codec/run_level.h"
+#include "common/check.h"
+#include "dsp/quant.h"
+#include "mc/mc.h"
+#include "me/me.h"
+
+namespace hdvb {
+
+namespace {
+
+using mpeg2::kDcPredReset;
+using mpeg2::kDcStep;
+
+/** Per-macroblock prediction buffers (luma 16x16, chroma 8x8 each). */
+struct PredBuffers {
+    Pixel luma[16 * 16];
+    Pixel cb[8 * 8];
+    Pixel cr[8 * 8];
+};
+
+class Mpeg2Encoder final : public EncoderBase
+{
+  public:
+    explicit Mpeg2Encoder(const CodecConfig &cfg)
+        : EncoderBase(cfg),
+          dsp_(get_dsp(cfg.simd)),
+          intra_quant_(kMpegIntraMatrix, cfg.qscale, 32, 4),
+          // The MPEG-2-era inter quantiser truncates (narrow dead-zone
+          // offset), one of the RD gaps to the later codecs.
+          inter_quant_(kMpegInterMatrix, cfg.qscale, 8, 4),
+          intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Intra)),
+          inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Inter)),
+          me_(MeParams{cfg.me_range, cfg.qscale * 16, 1, &dsp_}),
+          mb_w_(cfg.width / 16),
+          mb_h_(cfg.height / 16),
+          anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
+          cur_mvs_(static_cast<size_t>(mb_w_) * mb_h_)
+    {
+    }
+
+    const char *name() const override { return "mpeg2"; }
+
+  protected:
+    std::vector<u8> encode_picture(const Frame &src,
+                                   PictureType type) override;
+
+  private:
+    struct MbContext {
+        BitWriter *bw;
+        const Frame *src;
+        PictureType type;
+        int mbx;
+        int mby;
+        // Row-scoped predictors.
+        int dc_pred[3];
+        MotionVector left_fwd;  // half-sample units
+        MotionVector left_bwd;
+        int pending_skips;
+    };
+
+    void encode_mb(MbContext &ctx);
+    void encode_intra_mb(MbContext &ctx);
+    /** Returns true if the MB was emitted as a skip. */
+    bool encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
+                         MotionVector bwd);
+
+    MeResult estimate(const Frame &src, const Frame &ref, int mbx,
+                      int mby, MotionVector pred_sub,
+                      const std::vector<MotionVector> &cands) const;
+    void build_pred(const Frame &fwd_ref, const Frame *bwd_ref,
+                    MotionVector fwd, MotionVector bwd, int mbx,
+                    int mby, PredBuffers *pred) const;
+    int intra_cost(const Frame &src, int mbx, int mby) const;
+    std::vector<MotionVector> gather_candidates(const MbContext &ctx,
+                                                bool backward) const;
+
+    const Dsp &dsp_;
+    MpegQuantizer intra_quant_;
+    MpegQuantizer inter_quant_;
+    const RunLevelCoder &intra_rl_;
+    const RunLevelCoder &inter_rl_;
+    MotionEstimator me_;
+    int mb_w_;
+    int mb_h_;
+
+    Frame prev_anchor_;  ///< forward reference for B pictures
+    Frame last_anchor_;  ///< forward ref for P, backward ref for B
+    std::vector<MotionVector> anchor_mvs_;  ///< full-pel, last anchor
+    std::vector<MotionVector> cur_mvs_;     ///< full-pel, current pic
+    Frame recon_;
+};
+
+std::vector<u8>
+Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
+{
+    const CodecConfig &cfg = config();
+    BitWriter bw;
+    bw.put_bits(static_cast<u32>(type), 2);
+    bw.put_bits(static_cast<u32>(cfg.qscale), 5);
+    bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+
+    recon_ = Frame(cfg.width, cfg.height, kRefBorder);
+    std::fill(cur_mvs_.begin(), cur_mvs_.end(), MotionVector{});
+
+    MbContext ctx{};
+    ctx.bw = &bw;
+    ctx.src = &src;
+    ctx.type = type;
+    for (int mby = 0; mby < mb_h_; ++mby) {
+        ctx.mby = mby;
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+        ctx.left_fwd = ctx.left_bwd = MotionVector{};
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            ctx.mbx = mbx;
+            encode_mb(ctx);
+        }
+    }
+    if (type != PictureType::kI)
+        write_ue(bw, static_cast<u32>(ctx.pending_skips));
+
+    recon_.extend_borders();
+    if (type != PictureType::kB) {
+        prev_anchor_ = std::move(last_anchor_);
+        last_anchor_ = std::move(recon_);
+        anchor_mvs_ = cur_mvs_;
+    }
+    return bw.finish();
+}
+
+std::vector<MotionVector>
+Mpeg2Encoder::gather_candidates(const MbContext &ctx, bool backward) const
+{
+    std::vector<MotionVector> cands;
+    cands.reserve(4);
+    const int idx = ctx.mby * mb_w_ + ctx.mbx;
+    const MotionVector left = backward ? ctx.left_bwd : ctx.left_fwd;
+    cands.push_back({static_cast<s16>(left.x >> 1),
+                     static_cast<s16>(left.y >> 1)});
+    if (ctx.mby > 0) {
+        cands.push_back(cur_mvs_[idx - mb_w_]);
+        if (ctx.mbx + 1 < mb_w_)
+            cands.push_back(cur_mvs_[idx - mb_w_ + 1]);
+    }
+    cands.push_back(anchor_mvs_[idx]);  // collocated (temporal)
+    return cands;
+}
+
+MeResult
+Mpeg2Encoder::estimate(const Frame &src, const Frame &ref, int mbx,
+                       int mby, MotionVector pred_sub,
+                       const std::vector<MotionVector> &cands) const
+{
+    MeBlock blk;
+    blk.cur = &src.luma();
+    blk.ref = &ref.luma();
+    blk.x0 = mbx * 16;
+    blk.y0 = mby * 16;
+    blk.w = 16;
+    blk.h = 16;
+    const MeResult full = me_.epzs(blk, pred_sub, cands);
+    const MotionVector start{static_cast<s16>(full.mv.x * 2),
+                             static_cast<s16>(full.mv.y * 2)};
+    return subpel_refine(
+        blk, start, pred_sub, me_.params(), {1}, /*use_satd=*/false,
+        [&](MotionVector mv, Pixel *dst, int ds) {
+            mc_halfpel(ref.luma(), blk.x0, blk.y0, mv, dst, ds, 16, 16,
+                       dsp_);
+        });
+}
+
+void
+Mpeg2Encoder::build_pred(const Frame &fwd_ref, const Frame *bwd_ref,
+                         MotionVector fwd, MotionVector bwd, int mbx,
+                         int mby, PredBuffers *pred) const
+{
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    const int cx = mbx * 8;
+    const int cy = mby * 8;
+    mc_halfpel(fwd_ref.luma(), lx, ly, fwd, pred->luma, 16, 16, 16,
+               dsp_);
+    const MotionVector fc = chroma_mv_from_halfpel(fwd);
+    mc_halfpel(fwd_ref.cb(), cx, cy, fc, pred->cb, 8, 8, 8, dsp_);
+    mc_halfpel(fwd_ref.cr(), cx, cy, fc, pred->cr, 8, 8, 8, dsp_);
+    if (bwd_ref != nullptr) {
+        PredBuffers back;
+        mc_halfpel(bwd_ref->luma(), lx, ly, bwd, back.luma, 16, 16, 16,
+                   dsp_);
+        const MotionVector bc = chroma_mv_from_halfpel(bwd);
+        mc_halfpel(bwd_ref->cb(), cx, cy, bc, back.cb, 8, 8, 8, dsp_);
+        mc_halfpel(bwd_ref->cr(), cx, cy, bc, back.cr, 8, 8, 8, dsp_);
+        dsp_.avg_rect(pred->luma, 16, pred->luma, 16, back.luma, 16, 16,
+                      16);
+        dsp_.avg_rect(pred->cb, 8, pred->cb, 8, back.cb, 8, 8, 8);
+        dsp_.avg_rect(pred->cr, 8, pred->cr, 8, back.cr, 8, 8, 8);
+    }
+}
+
+int
+Mpeg2Encoder::intra_cost(const Frame &src, int mbx, int mby) const
+{
+    const Plane &luma = src.luma();
+    int sum = 0;
+    for (int y = 0; y < 16; ++y) {
+        const Pixel *row = luma.row(mby * 16 + y) + mbx * 16;
+        for (int x = 0; x < 16; ++x)
+            sum += row[x];
+    }
+    const int mean = (sum + 128) >> 8;
+    int dev = 0;
+    for (int y = 0; y < 16; ++y) {
+        const Pixel *row = luma.row(mby * 16 + y) + mbx * 16;
+        for (int x = 0; x < 16; ++x) {
+            const int d = row[x] - mean;
+            dev += d < 0 ? -d : d;
+        }
+    }
+    // Rough intra rate surcharge keeps intra from winning on noise.
+    return dev + ((me_.params().lambda16 * 96) >> 4);
+}
+
+void
+Mpeg2Encoder::encode_mb(MbContext &ctx)
+{
+    if (ctx.type == PictureType::kI) {
+        encode_intra_mb(ctx);
+        return;
+    }
+
+    const Frame &fwd_ref =
+        ctx.type == PictureType::kP ? last_anchor_ : prev_anchor_;
+    const int icost = intra_cost(*ctx.src, ctx.mbx, ctx.mby);
+
+    if (ctx.type == PictureType::kP) {
+        const MeResult res =
+            estimate(*ctx.src, fwd_ref, ctx.mbx, ctx.mby, ctx.left_fwd,
+                     gather_candidates(ctx, false));
+        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = {
+            static_cast<s16>(res.mv.x >> 1),
+            static_cast<s16>(res.mv.y >> 1)};
+        if (icost < res.cost) {
+            write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
+            ctx.pending_skips = 0;
+            ctx.bw->put_bit(mpeg2::kPIntra);
+            encode_intra_mb(ctx);
+            return;
+        }
+        encode_inter_mb(ctx, mpeg2::kPInter, res.mv, {});
+        return;
+    }
+
+    // B picture: forward / backward / bi / intra decision.
+    const MeResult fwd =
+        estimate(*ctx.src, prev_anchor_, ctx.mbx, ctx.mby, ctx.left_fwd,
+                 gather_candidates(ctx, false));
+    const MeResult bwd =
+        estimate(*ctx.src, last_anchor_, ctx.mbx, ctx.mby, ctx.left_bwd,
+                 gather_candidates(ctx, true));
+
+    PredBuffers bi;
+    build_pred(prev_anchor_, &last_anchor_, fwd.mv, bwd.mv, ctx.mbx,
+               ctx.mby, &bi);
+    const Plane &luma = ctx.src->luma();
+    const int bi_sad =
+        dsp_.sad16x16(luma.row(ctx.mby * 16) + ctx.mbx * 16,
+                      luma.stride(), bi.luma, 16);
+    const int bi_cost =
+        bi_sad + mv_rate_cost(fwd.mv, ctx.left_fwd, me_.params().lambda16)
+        + mv_rate_cost(bwd.mv, ctx.left_bwd, me_.params().lambda16);
+
+    int best = mpeg2::kBBi;
+    int best_cost = bi_cost;
+    if (fwd.cost < best_cost) {
+        best = mpeg2::kBFwd;
+        best_cost = fwd.cost;
+    }
+    if (bwd.cost < best_cost) {
+        best = mpeg2::kBBwd;
+        best_cost = bwd.cost;
+    }
+    if (icost < best_cost) {
+        write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
+        ctx.pending_skips = 0;
+        write_ue(*ctx.bw, mpeg2::kBIntra);
+        encode_intra_mb(ctx);
+        return;
+    }
+    encode_inter_mb(ctx, best, fwd.mv, bwd.mv);
+}
+
+void
+Mpeg2Encoder::encode_intra_mb(MbContext &ctx)
+{
+    // Caller already wrote skip-run and mb-type for P/B pictures.
+    BitWriter &bw = *ctx.bw;
+    const int lx = ctx.mbx * 16;
+    const int ly = ctx.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        const Plane &src_plane = ctx.src->plane(comp);
+        Plane &rec_plane = recon_.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+
+        Coeff blk[64];
+        for (int yy = 0; yy < 8; ++yy) {
+            const Pixel *row = src_plane.row(y + yy) + x;
+            for (int xx = 0; xx < 8; ++xx)
+                blk[yy * 8 + xx] = row[xx];
+        }
+        dsp_.fdct8x8(blk);
+        const int dc_level = clamp(div_round(blk[0], kDcStep), 0, 255);
+        blk[0] = 0;
+        intra_quant_.quantize(blk);
+
+        write_se(bw, dc_level - ctx.dc_pred[comp]);
+        ctx.dc_pred[comp] = dc_level;
+        intra_rl_.encode_block(bw, blk, 1);
+
+        Pixel *dst = rec_plane.row(y) + x;
+        zero_block8(dst, rec_plane.stride());
+        mpeg_recon_block(blk, intra_quant_, dc_level * kDcStep, dst,
+                         rec_plane.stride(), dsp_);
+    }
+    // Intra interrupts the MV prediction chain.
+    ctx.left_fwd = ctx.left_bwd = MotionVector{};
+    cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+}
+
+bool
+Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
+                              MotionVector bwd)
+{
+    const bool is_b = ctx.type == PictureType::kB;
+    const Frame &fwd_ref = is_b ? prev_anchor_ : last_anchor_;
+    const Frame *bwd_ref = nullptr;
+    bool use_fwd = true;
+    bool use_bwd = false;
+    if (is_b) {
+        use_fwd = mode == mpeg2::kBFwd || mode == mpeg2::kBBi;
+        use_bwd = mode == mpeg2::kBBwd || mode == mpeg2::kBBi;
+        if (!use_fwd)
+            fwd = {};
+        if (!use_bwd)
+            bwd = {};
+        if (use_bwd)
+            bwd_ref = &last_anchor_;
+    }
+
+    PredBuffers pred;
+    if (is_b && !use_fwd) {
+        // Backward-only prediction.
+        build_pred(last_anchor_, nullptr, bwd, {}, ctx.mbx, ctx.mby,
+                   &pred);
+    } else {
+        build_pred(fwd_ref, use_bwd ? bwd_ref : nullptr, fwd, bwd,
+                   ctx.mbx, ctx.mby, &pred);
+    }
+
+    // Transform/quantise the six residual blocks.
+    Coeff blocks[6][64];
+    int cbp = 0;
+    const int lx = ctx.mbx * 16;
+    const int ly = ctx.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        const Plane &src_plane = ctx.src->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = pred.luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? pred.cb : pred.cr;
+            ps = 8;
+        }
+        dsp_.sub_rect(blocks[b], 8, src_plane.row(y) + x,
+                      src_plane.stride(), pp, ps, 8, 8);
+        dsp_.fdct8x8(blocks[b]);
+        if (inter_quant_.quantize(blocks[b]) != 0)
+            cbp |= 1 << b;
+    }
+
+    // Skip decision (must match the decoder's skip semantics):
+    // P-skip copies the forward reference at (0,0); B-skip is
+    // bi-prediction at (0,0).
+    const bool skippable =
+        cbp == 0 &&
+        (is_b ? (mode == mpeg2::kBBi && fwd == MotionVector{} &&
+                 bwd == MotionVector{})
+              : fwd == MotionVector{});
+    if (skippable) {
+        ++ctx.pending_skips;
+        ctx.left_fwd = ctx.left_bwd = MotionVector{};
+        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+        // Reconstruction = prediction.
+    } else {
+        BitWriter &bw = *ctx.bw;
+        write_ue(bw, static_cast<u32>(ctx.pending_skips));
+        ctx.pending_skips = 0;
+        if (is_b)
+            write_ue(bw, static_cast<u32>(mode));
+        else
+            bw.put_bit(mpeg2::kPInter);
+        if (use_fwd) {
+            write_se(bw, fwd.x - ctx.left_fwd.x);
+            write_se(bw, fwd.y - ctx.left_fwd.y);
+        }
+        if (use_bwd) {
+            write_se(bw, bwd.x - ctx.left_bwd.x);
+            write_se(bw, bwd.y - ctx.left_bwd.y);
+        }
+        bw.put_bits(static_cast<u32>(cbp), 6);
+        for (int b = 0; b < 6; ++b) {
+            if (cbp & (1 << b))
+                inter_rl_.encode_block(bw, blocks[b], 0);
+        }
+        ctx.left_fwd = use_fwd ? fwd : MotionVector{};
+        ctx.left_bwd = use_bwd ? bwd : MotionVector{};
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = {
+            static_cast<s16>((use_fwd ? fwd.x : bwd.x) >> 1),
+            static_cast<s16>((use_fwd ? fwd.y : bwd.y) >> 1)};
+    }
+
+    // Reconstruction: prediction plus coded residual.
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &rec_plane = recon_.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = pred.luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? pred.cb : pred.cr;
+            ps = 8;
+        }
+        Pixel *dst = rec_plane.row(y) + x;
+        dsp_.copy_rect(dst, rec_plane.stride(), pp, ps, 8, 8);
+        if (cbp & (1 << b)) {
+            mpeg_recon_block(blocks[b], inter_quant_, -1, dst,
+                             rec_plane.stride(), dsp_);
+        }
+    }
+    if (skippable) {
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+    }
+    return skippable;
+}
+
+}  // namespace
+
+std::unique_ptr<VideoEncoder>
+create_mpeg2_encoder(const CodecConfig &config)
+{
+    HDVB_CHECK(config.validate().is_ok());
+    return std::make_unique<Mpeg2Encoder>(config);
+}
+
+}  // namespace hdvb

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The MPEG-2-class codec: 8x8 DCT, 16x16 macroblocks, half-sample
+ * bilinear motion compensation, I/P/B pictures, fixed run/level VLC.
+ *
+ * Benchmark role (paper Table II): stands in for the libmpeg2 decoder
+ * and the FFmpeg MPEG-2 encoder — the fastest, least compression-
+ * efficient generation of the three.
+ */
+#ifndef HDVB_MPEG2_MPEG2_H
+#define HDVB_MPEG2_MPEG2_H
+
+#include <memory>
+
+#include "codec/codec.h"
+
+namespace hdvb {
+
+/** Create an MPEG-2-class encoder; config must validate. */
+std::unique_ptr<VideoEncoder> create_mpeg2_encoder(
+    const CodecConfig &config);
+
+/** Create an MPEG-2-class decoder. */
+std::unique_ptr<VideoDecoder> create_mpeg2_decoder(
+    const CodecConfig &config);
+
+namespace mpeg2 {
+
+// ---- bitstream syntax constants (shared by encoder and decoder) ----
+
+/** P-picture macroblock modes (1 bit). */
+enum PMbType { kPInter = 0, kPIntra = 1 };
+
+/** B-picture macroblock modes (ue-coded; bi-prediction cheapest). */
+enum BMbType { kBBi = 0, kBFwd = 1, kBBwd = 2, kBIntra = 3 };
+
+/** Intra DC: predictor reset value (mid-grey level / DC step). */
+inline constexpr int kDcPredReset = 128;
+/** Intra DC quantiser step (full-precision coefficient units). */
+inline constexpr int kDcStep = 8;
+
+}  // namespace mpeg2
+
+}  // namespace hdvb
+
+#endif  // HDVB_MPEG2_MPEG2_H

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * MPEG-4-ASP-class decoder: mirror of the encoder syntax (quarter-pel
+ * MC, 4MV, median MV prediction).
+ */
+#include "mpeg4/mpeg4.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/exp_golomb.h"
+#include "codec/mpeg_block.h"
+#include "codec/run_level.h"
+#include "common/check.h"
+#include "dsp/quant.h"
+#include "mc/mc.h"
+#include "me/me.h"
+
+namespace hdvb {
+
+namespace {
+
+using mpeg4::kDcPredReset;
+using mpeg4::kDcStep;
+
+MotionVector
+chroma_mv_from_4mv(const MotionVector mv[4])
+{
+    const int sx = mv[0].x + mv[1].x + mv[2].x + mv[3].x;
+    const int sy = mv[0].y + mv[1].y + mv[2].y + mv[3].y;
+    return {static_cast<s16>(div_round(sx, 8)),
+            static_cast<s16>(div_round(sy, 8))};
+}
+
+class Mpeg4Decoder final : public DecoderBase
+{
+  public:
+    explicit Mpeg4Decoder(const CodecConfig &cfg)
+        : DecoderBase(cfg),
+          dsp_(get_dsp(cfg.simd)),
+          intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Intra)),
+          inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Inter)),
+          mb_w_(cfg.width / 16),
+          mb_h_(cfg.height / 16),
+          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_)
+    {
+    }
+
+    const char *name() const override { return "mpeg4"; }
+
+  protected:
+    Status decode_picture(const Packet &packet, Frame *out) override;
+
+  private:
+    struct MbState {
+        BitReader *br;
+        Frame *frame;
+        PictureType type;
+        const MpegQuantizer *intra_quant;
+        const MpegQuantizer *inter_quant;
+        int mbx;
+        int mby;
+        int dc_pred[3];
+        MotionVector left_fwd;
+        MotionVector left_bwd;
+    };
+
+    bool decode_intra_mb(MbState &st);
+    bool decode_p_inter_mb(MbState &st, bool four);
+    bool decode_b_inter_mb(MbState &st, int mode);
+    void recon_skip_mb(Frame *frame, PictureType type, int mbx, int mby);
+    void recon_inter_mb(MbState &st, const Frame &fwd_ref,
+                        const Frame *bwd_ref, const MotionVector *fwd,
+                        bool four, MotionVector bwd, int cbp,
+                        Coeff blocks[6][64]);
+    MotionVector median_pred(int mbx, int mby) const;
+    MotionVector clamp_mv(MotionVector mv, int mbx, int mby,
+                          int block) const;
+    bool read_blocks(MbState &st, int *cbp, Coeff blocks[6][64]);
+
+    const Dsp &dsp_;
+    const RunLevelCoder &intra_rl_;
+    const RunLevelCoder &inter_rl_;
+    int mb_w_;
+    int mb_h_;
+
+    Frame prev_anchor_;
+    Frame last_anchor_;
+    std::vector<MotionVector> mv_grid_;
+};
+
+MotionVector
+Mpeg4Decoder::median_pred(int mbx, int mby) const
+{
+    const MotionVector zero{};
+    const MotionVector a =
+        mbx > 0 ? mv_grid_[mby * mb_w_ + mbx - 1] : zero;
+    if (mby == 0)
+        return a;
+    const MotionVector b = mv_grid_[(mby - 1) * mb_w_ + mbx];
+    const MotionVector c = mbx + 1 < mb_w_
+                               ? mv_grid_[(mby - 1) * mb_w_ + mbx + 1]
+                               : zero;
+    return {median3(a.x, b.x, c.x), median3(a.y, b.y, c.y)};
+}
+
+MotionVector
+Mpeg4Decoder::clamp_mv(MotionVector mv, int mbx, int mby, int block) const
+{
+    // Quarter-sample units; block < 0 means the whole 16x16.
+    const int size = block < 0 ? 16 : 8;
+    const int x0 = mbx * 16 + (block > 0 ? (block & 1) * 8 : 0);
+    const int y0 = mby * 16 + (block > 0 ? (block >> 1) * 8 : 0);
+    const int margin = kMeMargin + 4;
+    const int min_x = 4 * (-margin - x0);
+    const int max_x = 4 * (config().width + margin - x0 - size);
+    const int min_y = 4 * (-margin - y0);
+    const int max_y = 4 * (config().height + margin - y0 - size);
+    return {static_cast<s16>(clamp<int>(mv.x, min_x, max_x)),
+            static_cast<s16>(clamp<int>(mv.y, min_y, max_y))};
+}
+
+bool
+Mpeg4Decoder::read_blocks(MbState &st, int *cbp, Coeff blocks[6][64])
+{
+    BitReader &br = *st.br;
+    *cbp = static_cast<int>(br.get_bits(6));
+    if (br.has_error())
+        return false;
+    for (int b = 0; b < 6; ++b) {
+        if (*cbp & (1 << b)) {
+            std::memset(blocks[b], 0, sizeof(blocks[b]));
+            if (!inter_rl_.decode_block(br, blocks[b], 0))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+Mpeg4Decoder::decode_intra_mb(MbState &st)
+{
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &plane = st.frame->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : st.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : st.mby * 8;
+
+        const int dc_level = st.dc_pred[comp] + read_se(*st.br);
+        if (dc_level < 0 || dc_level > 255 || st.br->has_error())
+            return false;
+        st.dc_pred[comp] = dc_level;
+
+        Coeff blk[64] = {};
+        if (!intra_rl_.decode_block(*st.br, blk, 1))
+            return false;
+
+        Pixel *dst = plane.row(y) + x;
+        zero_block8(dst, plane.stride());
+        mpeg_recon_block(blk, *st.intra_quant, dc_level * kDcStep, dst,
+                         plane.stride(), dsp_);
+    }
+    st.left_fwd = st.left_bwd = MotionVector{};
+    mv_grid_[st.mby * mb_w_ + st.mbx] = MotionVector{};
+    return true;
+}
+
+void
+Mpeg4Decoder::recon_inter_mb(MbState &st, const Frame &fwd_ref,
+                             const Frame *bwd_ref,
+                             const MotionVector *fwd, bool four,
+                             MotionVector bwd, int cbp,
+                             Coeff blocks[6][64])
+{
+    Pixel luma[16 * 16], cb[8 * 8], cr[8 * 8];
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+    const int cx = st.mbx * 8;
+    const int cy = st.mby * 8;
+
+    if (four) {
+        for (int b = 0; b < 4; ++b) {
+            mc_qpel_tap(fwd_ref.luma(), lx + (b & 1) * 8,
+                        ly + (b >> 1) * 8, fwd[b],
+                        luma + (b >> 1) * 8 * 16 + (b & 1) * 8, 16, 8,
+                        8, dsp_);
+        }
+    } else {
+        mc_qpel_tap(fwd_ref.luma(), lx, ly, fwd[0], luma, 16, 16, 16,
+                    dsp_);
+    }
+    const MotionVector cmv = four ? chroma_mv_from_4mv(fwd)
+                                  : chroma_mv_from_qpel(fwd[0]);
+    mc_qpel_bilin(fwd_ref.cb(), cx, cy, cmv, cb, 8, 8, 8, dsp_);
+    mc_qpel_bilin(fwd_ref.cr(), cx, cy, cmv, cr, 8, 8, 8, dsp_);
+
+    if (bwd_ref != nullptr) {
+        Pixel bl[16 * 16], bcb[8 * 8], bcr[8 * 8];
+        mc_qpel_tap(bwd_ref->luma(), lx, ly, bwd, bl, 16, 16, 16,
+                    dsp_);
+        const MotionVector bcv = chroma_mv_from_qpel(bwd);
+        mc_qpel_bilin(bwd_ref->cb(), cx, cy, bcv, bcb, 8, 8, 8, dsp_);
+        mc_qpel_bilin(bwd_ref->cr(), cx, cy, bcv, bcr, 8, 8, 8, dsp_);
+        dsp_.avg_rect(luma, 16, luma, 16, bl, 16, 16, 16);
+        dsp_.avg_rect(cb, 8, cb, 8, bcb, 8, 8, 8);
+        dsp_.avg_rect(cr, 8, cr, 8, bcr, 8, 8, 8);
+    }
+
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &plane = st.frame->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : cx;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : cy;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? cb : cr;
+            ps = 8;
+        }
+        Pixel *dst = plane.row(y) + x;
+        dsp_.copy_rect(dst, plane.stride(), pp, ps, 8, 8);
+        if (cbp & (1 << b)) {
+            mpeg_recon_block(blocks[b], *st.inter_quant, -1, dst,
+                             plane.stride(), dsp_);
+        }
+    }
+}
+
+bool
+Mpeg4Decoder::decode_p_inter_mb(MbState &st, bool four)
+{
+    BitReader &br = *st.br;
+    const MotionVector pred = median_pred(st.mbx, st.mby);
+    MotionVector mv[4];
+    const int count = four ? 4 : 1;
+    for (int b = 0; b < count; ++b) {
+        mv[b] = {static_cast<s16>(pred.x + read_se(br)),
+                 static_cast<s16>(pred.y + read_se(br))};
+        mv[b] = clamp_mv(mv[b], st.mbx, st.mby, four ? b : -1);
+    }
+    if (!four)
+        mv[1] = mv[2] = mv[3] = mv[0];
+    if (br.has_error())
+        return false;
+
+    int cbp;
+    Coeff blocks[6][64];
+    if (!read_blocks(st, &cbp, blocks))
+        return false;
+
+    recon_inter_mb(st, last_anchor_, nullptr, mv, four, {}, cbp,
+                   blocks);
+    st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    mv_grid_[st.mby * mb_w_ + st.mbx] = mv[0];
+    return true;
+}
+
+bool
+Mpeg4Decoder::decode_b_inter_mb(MbState &st, int mode)
+{
+    BitReader &br = *st.br;
+    const bool use_fwd = mode == mpeg4::kBFwd || mode == mpeg4::kBBi;
+    const bool use_bwd = mode == mpeg4::kBBwd || mode == mpeg4::kBBi;
+    MotionVector fwd{}, bwd{};
+    if (use_fwd) {
+        fwd = {static_cast<s16>(st.left_fwd.x + read_se(br)),
+               static_cast<s16>(st.left_fwd.y + read_se(br))};
+        fwd = clamp_mv(fwd, st.mbx, st.mby, -1);
+    }
+    if (use_bwd) {
+        bwd = {static_cast<s16>(st.left_bwd.x + read_se(br)),
+               static_cast<s16>(st.left_bwd.y + read_se(br))};
+        bwd = clamp_mv(bwd, st.mbx, st.mby, -1);
+    }
+    if (br.has_error())
+        return false;
+
+    int cbp;
+    Coeff blocks[6][64];
+    if (!read_blocks(st, &cbp, blocks))
+        return false;
+
+    const MotionVector fmv[4] = {use_fwd ? fwd : bwd, {}, {}, {}};
+    if (!use_fwd) {
+        recon_inter_mb(st, last_anchor_, nullptr, fmv, false, {}, cbp,
+                       blocks);
+    } else {
+        recon_inter_mb(st, prev_anchor_,
+                       use_bwd ? &last_anchor_ : nullptr, fmv, false,
+                       bwd, cbp, blocks);
+    }
+    st.left_fwd = use_fwd ? fwd : MotionVector{};
+    st.left_bwd = use_bwd ? bwd : MotionVector{};
+    st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    return true;
+}
+
+void
+Mpeg4Decoder::recon_skip_mb(Frame *frame, PictureType type, int mbx,
+                            int mby)
+{
+    MbState st{};
+    st.frame = frame;
+    st.mbx = mbx;
+    st.mby = mby;
+    Coeff blocks[6][64];
+    const MotionVector zero[4] = {};
+    if (type == PictureType::kB) {
+        recon_inter_mb(st, prev_anchor_, &last_anchor_, zero, false, {},
+                       0, blocks);
+    } else {
+        recon_inter_mb(st, last_anchor_, nullptr, zero, false, {}, 0,
+                       blocks);
+    }
+}
+
+Status
+Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
+{
+    const CodecConfig &cfg = config();
+    BitReader br(packet.data);
+    const PictureType type = static_cast<PictureType>(br.get_bits(2));
+    const int qscale = static_cast<int>(br.get_bits(5));
+    br.skip_bits(2);   // qpel / 4MV flags (informational)
+    br.skip_bits(16);  // poc_lsb
+    if (br.has_error() || type != packet.type)
+        return Status::corrupt_stream("bad mpeg4 picture header");
+    if (qscale < 1 || qscale > 31)
+        return Status::corrupt_stream("bad mpeg4 qscale");
+    if (type != PictureType::kI && last_anchor_.empty())
+        return Status::corrupt_stream("inter picture without reference");
+    if (type == PictureType::kB && prev_anchor_.empty())
+        return Status::corrupt_stream("B picture without two references");
+
+    const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32);
+    const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 16);
+
+    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
+
+    MbState st{};
+    st.br = &br;
+    st.frame = out;
+    st.type = type;
+    st.intra_quant = &intra_quant;
+    st.inter_quant = &inter_quant;
+
+    const bool is_b = type == PictureType::kB;
+    if (type == PictureType::kI) {
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            st.mby = mby;
+            st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                st.mbx = mbx;
+                if (!decode_intra_mb(st))
+                    return Status::corrupt_stream("bad intra MB data");
+            }
+        }
+    } else {
+        int mb = 0;
+        const int total = mb_w_ * mb_h_;
+        int cur_row = -1;
+        auto enter = [&](int index) {
+            st.mbx = index % mb_w_;
+            st.mby = index / mb_w_;
+            if (st.mby != cur_row) {
+                cur_row = st.mby;
+                st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                    kDcPredReset;
+                st.left_fwd = st.left_bwd = MotionVector{};
+            }
+        };
+        while (mb < total) {
+            const int run = static_cast<int>(read_ue(br));
+            if (br.has_error() || run > total - mb)
+                return Status::corrupt_stream("bad skip run");
+            for (int i = 0; i < run; ++i) {
+                enter(mb);
+                recon_skip_mb(out, type, st.mbx, st.mby);
+                st.left_fwd = st.left_bwd = MotionVector{};
+                st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                    kDcPredReset;
+                mv_grid_[st.mby * mb_w_ + st.mbx] = MotionVector{};
+                ++mb;
+            }
+            if (mb >= total)
+                break;
+            enter(mb);
+            const u32 mode = read_ue(br);
+            if (br.has_error() || mode > 3)
+                return Status::corrupt_stream("bad mb type");
+            bool ok;
+            if (is_b) {
+                ok = mode == mpeg4::kBIntra
+                         ? decode_intra_mb(st)
+                         : decode_b_inter_mb(st, static_cast<int>(mode));
+            } else {
+                if (mode == mpeg4::kPIntra)
+                    ok = decode_intra_mb(st);
+                else if (mode == mpeg4::kPInter16)
+                    ok = decode_p_inter_mb(st, false);
+                else if (mode == mpeg4::kPInter4v)
+                    ok = decode_p_inter_mb(st, true);
+                else
+                    return Status::corrupt_stream("bad P mb type");
+            }
+            if (!ok)
+                return Status::corrupt_stream("bad MB data");
+            ++mb;
+        }
+    }
+    if (br.has_error())
+        return Status::corrupt_stream("truncated mpeg4 picture");
+
+    if (type != PictureType::kB) {
+        out->extend_borders();
+        prev_anchor_ = std::move(last_anchor_);
+        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_.copy_from(*out);
+        last_anchor_.extend_borders();
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+std::unique_ptr<VideoDecoder>
+create_mpeg4_decoder(const CodecConfig &config)
+{
+    HDVB_CHECK(config.validate().is_ok());
+    return std::make_unique<Mpeg4Decoder>(config);
+}
+
+}  // namespace hdvb

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * MPEG-4-ASP-class encoder: EPZS motion estimation, quarter-sample MC,
+ * optional four-MV macroblocks, median MV prediction, 8x8 DCT with a
+ * tuned dead zone.
+ */
+#include "mpeg4/mpeg4.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bitstream/bit_writer.h"
+#include "bitstream/exp_golomb.h"
+#include "codec/mpeg_block.h"
+#include "codec/run_level.h"
+#include "common/check.h"
+#include "dsp/quant.h"
+#include "mc/mc.h"
+#include "me/me.h"
+
+namespace hdvb {
+
+namespace {
+
+using mpeg4::kDcPredReset;
+using mpeg4::kDcStep;
+
+struct PredBuffers {
+    Pixel luma[16 * 16];
+    Pixel cb[8 * 8];
+    Pixel cr[8 * 8];
+};
+
+/** Average of four quarter-sample MVs then halved for chroma, with
+ * symmetric rounding — must match the decoder exactly. */
+MotionVector
+chroma_mv_from_4mv(const MotionVector mv[4])
+{
+    const int sx = mv[0].x + mv[1].x + mv[2].x + mv[3].x;
+    const int sy = mv[0].y + mv[1].y + mv[2].y + mv[3].y;
+    return {static_cast<s16>(div_round(sx, 8)),
+            static_cast<s16>(div_round(sy, 8))};
+}
+
+class Mpeg4Encoder final : public EncoderBase
+{
+  public:
+    explicit Mpeg4Encoder(const CodecConfig &cfg)
+        : EncoderBase(cfg),
+          dsp_(get_dsp(cfg.simd)),
+          intra_quant_(kMpegIntraMatrix, cfg.qscale, 32),
+          inter_quant_(kMpegInterMatrix, cfg.qscale, 10),
+          intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Intra)),
+          inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Inter)),
+          me_(MeParams{cfg.me_range, cfg.qscale * 16, 2, &dsp_}),
+          mb_w_(cfg.width / 16),
+          mb_h_(cfg.height / 16),
+          anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
+          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_)
+    {
+    }
+
+    const char *name() const override { return "mpeg4"; }
+
+  protected:
+    std::vector<u8> encode_picture(const Frame &src,
+                                   PictureType type) override;
+
+  private:
+    struct MbContext {
+        BitWriter *bw;
+        const Frame *src;
+        PictureType type;
+        int mbx;
+        int mby;
+        int dc_pred[3];
+        MotionVector left_fwd;  // B-picture chains (quarter-pel)
+        MotionVector left_bwd;
+        int pending_skips;
+    };
+
+    void encode_mb(MbContext &ctx);
+    void encode_intra_mb(MbContext &ctx);
+    void encode_inter_mb(MbContext &ctx, int mode, const MotionVector *mv,
+                         MotionVector bwd);
+
+    /** Median MV predictor from the decoded-MV grid (P pictures). */
+    MotionVector median_pred(int mbx, int mby) const;
+    MeResult estimate(const Frame &src, const Frame &ref, int x0, int y0,
+                      int size, MotionVector pred_sub,
+                      const std::vector<MotionVector> &cands) const;
+    void predict_luma(const Frame &ref, int mbx, int mby,
+                      const MotionVector *mv, bool four,
+                      Pixel luma[16 * 16]) const;
+    void predict_chroma(const Frame &ref, int mbx, int mby,
+                        MotionVector cmv, Pixel cb[8 * 8],
+                        Pixel cr[8 * 8]) const;
+    void build_pred(const Frame &fwd_ref, const Frame *bwd_ref,
+                    const MotionVector *fwd, bool four, MotionVector bwd,
+                    int mbx, int mby, PredBuffers *pred) const;
+    int intra_cost(const Frame &src, int mbx, int mby) const;
+    std::vector<MotionVector> gather_candidates(int mbx, int mby) const;
+    MotionVector quantize_mv(MotionVector mv) const;
+
+    const Dsp &dsp_;
+    MpegQuantizer intra_quant_;
+    MpegQuantizer inter_quant_;
+    const RunLevelCoder &intra_rl_;
+    const RunLevelCoder &inter_rl_;
+    MotionEstimator me_;
+    int mb_w_;
+    int mb_h_;
+
+    Frame prev_anchor_;
+    Frame last_anchor_;
+    std::vector<MotionVector> anchor_mvs_;  ///< full-pel collocated
+    std::vector<MotionVector> mv_grid_;     ///< quarter-pel, current
+    Frame recon_;
+};
+
+MotionVector
+Mpeg4Encoder::quantize_mv(MotionVector mv) const
+{
+    if (config().qpel)
+        return mv;
+    // qpel disabled: restrict to half-sample positions (even values).
+    return {static_cast<s16>(mv.x & ~1), static_cast<s16>(mv.y & ~1)};
+}
+
+MotionVector
+Mpeg4Encoder::median_pred(int mbx, int mby) const
+{
+    const MotionVector zero{};
+    const MotionVector a =
+        mbx > 0 ? mv_grid_[mby * mb_w_ + mbx - 1] : zero;
+    if (mby == 0)
+        return a;
+    const MotionVector b = mv_grid_[(mby - 1) * mb_w_ + mbx];
+    const MotionVector c = mbx + 1 < mb_w_
+                               ? mv_grid_[(mby - 1) * mb_w_ + mbx + 1]
+                               : zero;
+    return {median3(a.x, b.x, c.x), median3(a.y, b.y, c.y)};
+}
+
+std::vector<MotionVector>
+Mpeg4Encoder::gather_candidates(int mbx, int mby) const
+{
+    std::vector<MotionVector> cands;
+    cands.reserve(4);
+    const int idx = mby * mb_w_ + mbx;
+    if (mbx > 0) {
+        const MotionVector l = mv_grid_[idx - 1];
+        cands.push_back({static_cast<s16>(l.x >> 2),
+                         static_cast<s16>(l.y >> 2)});
+    }
+    if (mby > 0) {
+        const MotionVector t = mv_grid_[idx - mb_w_];
+        cands.push_back({static_cast<s16>(t.x >> 2),
+                         static_cast<s16>(t.y >> 2)});
+        if (mbx + 1 < mb_w_) {
+            const MotionVector tr = mv_grid_[idx - mb_w_ + 1];
+            cands.push_back({static_cast<s16>(tr.x >> 2),
+                             static_cast<s16>(tr.y >> 2)});
+        }
+    }
+    cands.push_back(anchor_mvs_[idx]);
+    return cands;
+}
+
+MeResult
+Mpeg4Encoder::estimate(const Frame &src, const Frame &ref, int x0,
+                       int y0, int size, MotionVector pred_sub,
+                       const std::vector<MotionVector> &cands) const
+{
+    MeBlock blk;
+    blk.cur = &src.luma();
+    blk.ref = &ref.luma();
+    blk.x0 = x0;
+    blk.y0 = y0;
+    blk.w = size;
+    blk.h = size;
+    const MeResult full = me_.epzs(blk, pred_sub, cands);
+    const MotionVector start{static_cast<s16>(full.mv.x * 4),
+                             static_cast<s16>(full.mv.y * 4)};
+    auto predict = [&](MotionVector mv, Pixel *dst, int ds) {
+        mc_qpel_tap(ref.luma(), x0, y0, mv, dst, ds, size, size, dsp_);
+    };
+    MeResult res =
+        config().qpel
+            ? subpel_refine(blk, start, pred_sub, me_.params(), {2, 1},
+                            /*use_satd=*/false, predict)
+            : subpel_refine(blk, start, pred_sub, me_.params(), {2},
+                            /*use_satd=*/false, predict);
+    res.mv = quantize_mv(res.mv);
+    return res;
+}
+
+void
+Mpeg4Encoder::predict_luma(const Frame &ref, int mbx, int mby,
+                           const MotionVector *mv, bool four,
+                           Pixel luma[16 * 16]) const
+{
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    if (!four) {
+        mc_qpel_tap(ref.luma(), lx, ly, mv[0], luma, 16, 16, 16, dsp_);
+        return;
+    }
+    for (int b = 0; b < 4; ++b) {
+        const int bx = lx + (b & 1) * 8;
+        const int by = ly + (b >> 1) * 8;
+        mc_qpel_tap(ref.luma(), bx, by, mv[b],
+                      luma + (b >> 1) * 8 * 16 + (b & 1) * 8, 16, 8, 8,
+                      dsp_);
+    }
+}
+
+void
+Mpeg4Encoder::predict_chroma(const Frame &ref, int mbx, int mby,
+                             MotionVector cmv, Pixel cb[8 * 8],
+                             Pixel cr[8 * 8]) const
+{
+    const int cx = mbx * 8;
+    const int cy = mby * 8;
+    mc_qpel_bilin(ref.cb(), cx, cy, cmv, cb, 8, 8, 8, dsp_);
+    mc_qpel_bilin(ref.cr(), cx, cy, cmv, cr, 8, 8, 8, dsp_);
+}
+
+void
+Mpeg4Encoder::build_pred(const Frame &fwd_ref, const Frame *bwd_ref,
+                         const MotionVector *fwd, bool four,
+                         MotionVector bwd, int mbx, int mby,
+                         PredBuffers *pred) const
+{
+    predict_luma(fwd_ref, mbx, mby, fwd, four, pred->luma);
+    const MotionVector cmv = four ? chroma_mv_from_4mv(fwd)
+                                  : chroma_mv_from_qpel(fwd[0]);
+    predict_chroma(fwd_ref, mbx, mby, cmv, pred->cb, pred->cr);
+    if (bwd_ref != nullptr) {
+        PredBuffers back;
+        const MotionVector bmv[4] = {bwd, bwd, bwd, bwd};
+        predict_luma(*bwd_ref, mbx, mby, bmv, false, back.luma);
+        predict_chroma(*bwd_ref, mbx, mby, chroma_mv_from_qpel(bwd),
+                       back.cb, back.cr);
+        dsp_.avg_rect(pred->luma, 16, pred->luma, 16, back.luma, 16, 16,
+                      16);
+        dsp_.avg_rect(pred->cb, 8, pred->cb, 8, back.cb, 8, 8, 8);
+        dsp_.avg_rect(pred->cr, 8, pred->cr, 8, back.cr, 8, 8, 8);
+    }
+}
+
+int
+Mpeg4Encoder::intra_cost(const Frame &src, int mbx, int mby) const
+{
+    const Plane &luma = src.luma();
+    int sum = 0;
+    for (int y = 0; y < 16; ++y) {
+        const Pixel *row = luma.row(mby * 16 + y) + mbx * 16;
+        for (int x = 0; x < 16; ++x)
+            sum += row[x];
+    }
+    const int mean = (sum + 128) >> 8;
+    int dev = 0;
+    for (int y = 0; y < 16; ++y) {
+        const Pixel *row = luma.row(mby * 16 + y) + mbx * 16;
+        for (int x = 0; x < 16; ++x) {
+            const int d = row[x] - mean;
+            dev += d < 0 ? -d : d;
+        }
+    }
+    return dev + ((me_.params().lambda16 * 96) >> 4);
+}
+
+std::vector<u8>
+Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
+{
+    const CodecConfig &cfg = config();
+    BitWriter bw;
+    bw.put_bits(static_cast<u32>(type), 2);
+    bw.put_bits(static_cast<u32>(cfg.qscale), 5);
+    bw.put_bit(cfg.qpel);
+    bw.put_bit(cfg.four_mv);
+    bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+
+    recon_ = Frame(cfg.width, cfg.height, kRefBorder);
+    std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
+
+    MbContext ctx{};
+    ctx.bw = &bw;
+    ctx.src = &src;
+    ctx.type = type;
+    for (int mby = 0; mby < mb_h_; ++mby) {
+        ctx.mby = mby;
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+        ctx.left_fwd = ctx.left_bwd = MotionVector{};
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            ctx.mbx = mbx;
+            encode_mb(ctx);
+        }
+    }
+    if (type != PictureType::kI)
+        write_ue(bw, static_cast<u32>(ctx.pending_skips));
+
+    recon_.extend_borders();
+    if (type != PictureType::kB) {
+        prev_anchor_ = std::move(last_anchor_);
+        last_anchor_ = std::move(recon_);
+        for (size_t i = 0; i < mv_grid_.size(); ++i)
+            anchor_mvs_[i] = {static_cast<s16>(mv_grid_[i].x >> 2),
+                              static_cast<s16>(mv_grid_[i].y >> 2)};
+    }
+    return bw.finish();
+}
+
+void
+Mpeg4Encoder::encode_mb(MbContext &ctx)
+{
+    if (ctx.type == PictureType::kI) {
+        encode_intra_mb(ctx);
+        return;
+    }
+
+    const int icost = intra_cost(*ctx.src, ctx.mbx, ctx.mby);
+
+    if (ctx.type == PictureType::kP) {
+        const MotionVector pred = median_pred(ctx.mbx, ctx.mby);
+        const std::vector<MotionVector> cands =
+            gather_candidates(ctx.mbx, ctx.mby);
+        const MeResult r16 = estimate(*ctx.src, last_anchor_,
+                                      ctx.mbx * 16, ctx.mby * 16, 16,
+                                      pred, cands);
+
+        MotionVector mv[4] = {r16.mv, r16.mv, r16.mv, r16.mv};
+        bool four = false;
+        if (config().four_mv) {
+            // 4MV: refine each 8x8 quadrant; adopt if the summed cost
+            // beats 16x16 plus the extra vector overhead.
+            MeResult sub[4];
+            int cost4 = (me_.params().lambda16 * 40) >> 4;
+            std::vector<MotionVector> c8 = cands;
+            c8.push_back({static_cast<s16>(r16.mv.x >> 2),
+                          static_cast<s16>(r16.mv.y >> 2)});
+            for (int b = 0; b < 4; ++b) {
+                sub[b] = estimate(*ctx.src, last_anchor_,
+                                  ctx.mbx * 16 + (b & 1) * 8,
+                                  ctx.mby * 16 + (b >> 1) * 8, 8, pred,
+                                  c8);
+                cost4 += sub[b].cost;
+            }
+            if (cost4 < r16.cost) {
+                four = true;
+                for (int b = 0; b < 4; ++b)
+                    mv[b] = sub[b].mv;
+            }
+        }
+
+        const int inter_cost = four ? 0 : r16.cost;  // four => chosen
+        if (!four && icost < inter_cost) {
+            write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
+            ctx.pending_skips = 0;
+            write_ue(*ctx.bw, mpeg4::kPIntra);
+            encode_intra_mb(ctx);
+            return;
+        }
+        encode_inter_mb(ctx,
+                        four ? mpeg4::kPInter4v : mpeg4::kPInter16, mv,
+                        {});
+        return;
+    }
+
+    // B picture.
+    const MeResult fwd = estimate(*ctx.src, prev_anchor_, ctx.mbx * 16,
+                                  ctx.mby * 16, 16, ctx.left_fwd,
+                                  gather_candidates(ctx.mbx, ctx.mby));
+    const MeResult bwd = estimate(*ctx.src, last_anchor_, ctx.mbx * 16,
+                                  ctx.mby * 16, 16, ctx.left_bwd,
+                                  gather_candidates(ctx.mbx, ctx.mby));
+
+    PredBuffers bi;
+    const MotionVector fmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
+    build_pred(prev_anchor_, &last_anchor_, fmv, false, bwd.mv, ctx.mbx,
+               ctx.mby, &bi);
+    const Plane &luma = ctx.src->luma();
+    const int bi_sad =
+        dsp_.sad16x16(luma.row(ctx.mby * 16) + ctx.mbx * 16,
+                      luma.stride(), bi.luma, 16);
+    const int bi_cost =
+        bi_sad + mv_rate_cost(fwd.mv, ctx.left_fwd, me_.params().lambda16)
+        + mv_rate_cost(bwd.mv, ctx.left_bwd, me_.params().lambda16);
+
+    int best = mpeg4::kBBi;
+    int best_cost = bi_cost;
+    if (fwd.cost < best_cost) {
+        best = mpeg4::kBFwd;
+        best_cost = fwd.cost;
+    }
+    if (bwd.cost < best_cost) {
+        best = mpeg4::kBBwd;
+        best_cost = bwd.cost;
+    }
+    if (icost < best_cost) {
+        write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
+        ctx.pending_skips = 0;
+        write_ue(*ctx.bw, mpeg4::kBIntra);
+        encode_intra_mb(ctx);
+        return;
+    }
+    const MotionVector bmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
+    encode_inter_mb(ctx, best, bmv, bwd.mv);
+}
+
+void
+Mpeg4Encoder::encode_intra_mb(MbContext &ctx)
+{
+    BitWriter &bw = *ctx.bw;
+    const int lx = ctx.mbx * 16;
+    const int ly = ctx.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        const Plane &src_plane = ctx.src->plane(comp);
+        Plane &rec_plane = recon_.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+
+        Coeff blk[64];
+        for (int yy = 0; yy < 8; ++yy) {
+            const Pixel *row = src_plane.row(y + yy) + x;
+            for (int xx = 0; xx < 8; ++xx)
+                blk[yy * 8 + xx] = row[xx];
+        }
+        dsp_.fdct8x8(blk);
+        const int dc_level = clamp(div_round(blk[0], kDcStep), 0, 255);
+        blk[0] = 0;
+        intra_quant_.quantize(blk);
+
+        write_se(bw, dc_level - ctx.dc_pred[comp]);
+        ctx.dc_pred[comp] = dc_level;
+        intra_rl_.encode_block(bw, blk, 1);
+
+        Pixel *dst = rec_plane.row(y) + x;
+        zero_block8(dst, rec_plane.stride());
+        mpeg_recon_block(blk, intra_quant_, dc_level * kDcStep, dst,
+                         rec_plane.stride(), dsp_);
+    }
+    ctx.left_fwd = ctx.left_bwd = MotionVector{};
+    mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+}
+
+void
+Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
+                              const MotionVector *mv, MotionVector bwd)
+{
+    const bool is_b = ctx.type == PictureType::kB;
+    const bool four = !is_b && mode == mpeg4::kPInter4v;
+    bool use_fwd = true;
+    bool use_bwd = false;
+    MotionVector fwd = mv[0];
+    if (is_b) {
+        use_fwd = mode == mpeg4::kBFwd || mode == mpeg4::kBBi;
+        use_bwd = mode == mpeg4::kBBwd || mode == mpeg4::kBBi;
+        if (!use_fwd)
+            fwd = {};
+        if (!use_bwd)
+            bwd = {};
+    }
+
+    PredBuffers pred;
+    if (is_b) {
+        if (!use_fwd) {
+            const MotionVector bmv[4] = {bwd, bwd, bwd, bwd};
+            build_pred(last_anchor_, nullptr, bmv, false, {}, ctx.mbx,
+                       ctx.mby, &pred);
+        } else {
+            const MotionVector fmv[4] = {fwd, fwd, fwd, fwd};
+            build_pred(prev_anchor_, use_bwd ? &last_anchor_ : nullptr,
+                       fmv, false, bwd, ctx.mbx, ctx.mby, &pred);
+        }
+    } else {
+        build_pred(last_anchor_, nullptr, mv, four, {}, ctx.mbx,
+                   ctx.mby, &pred);
+    }
+
+    Coeff blocks[6][64];
+    int cbp = 0;
+    const int lx = ctx.mbx * 16;
+    const int ly = ctx.mby * 16;
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        const Plane &src_plane = ctx.src->plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = pred.luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? pred.cb : pred.cr;
+            ps = 8;
+        }
+        dsp_.sub_rect(blocks[b], 8, src_plane.row(y) + x,
+                      src_plane.stride(), pp, ps, 8, 8);
+        dsp_.fdct8x8(blocks[b]);
+        if (inter_quant_.quantize(blocks[b]) != 0)
+            cbp |= 1 << b;
+    }
+
+    const bool skippable =
+        cbp == 0 && !four &&
+        (is_b ? (mode == mpeg4::kBBi && fwd == MotionVector{} &&
+                 bwd == MotionVector{})
+              : fwd == MotionVector{});
+    if (skippable) {
+        ++ctx.pending_skips;
+        ctx.left_fwd = ctx.left_bwd = MotionVector{};
+        mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+    } else {
+        BitWriter &bw = *ctx.bw;
+        write_ue(bw, static_cast<u32>(ctx.pending_skips));
+        ctx.pending_skips = 0;
+        write_ue(bw, static_cast<u32>(mode));
+        if (is_b) {
+            if (use_fwd) {
+                write_se(bw, fwd.x - ctx.left_fwd.x);
+                write_se(bw, fwd.y - ctx.left_fwd.y);
+            }
+            if (use_bwd) {
+                write_se(bw, bwd.x - ctx.left_bwd.x);
+                write_se(bw, bwd.y - ctx.left_bwd.y);
+            }
+            ctx.left_fwd = use_fwd ? fwd : MotionVector{};
+            ctx.left_bwd = use_bwd ? bwd : MotionVector{};
+        } else {
+            const MotionVector p = median_pred(ctx.mbx, ctx.mby);
+            const int count = four ? 4 : 1;
+            for (int b = 0; b < count; ++b) {
+                write_se(bw, mv[b].x - p.x);
+                write_se(bw, mv[b].y - p.y);
+            }
+        }
+        bw.put_bits(static_cast<u32>(cbp), 6);
+        for (int b = 0; b < 6; ++b) {
+            if (cbp & (1 << b))
+                inter_rl_.encode_block(bw, blocks[b], 0);
+        }
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+        if (!is_b)
+            mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = mv[0];
+    }
+    if (skippable)
+        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+
+    for (int b = 0; b < 6; ++b) {
+        const int comp = b < 4 ? 0 : b - 3;
+        Plane &rec_plane = recon_.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Pixel *pp;
+        int ps;
+        if (b < 4) {
+            pp = pred.luma + (b >> 1) * 8 * 16 + (b & 1) * 8;
+            ps = 16;
+        } else {
+            pp = b == 4 ? pred.cb : pred.cr;
+            ps = 8;
+        }
+        Pixel *dst = rec_plane.row(y) + x;
+        dsp_.copy_rect(dst, rec_plane.stride(), pp, ps, 8, 8);
+        if (cbp & (1 << b)) {
+            mpeg_recon_block(blocks[b], inter_quant_, -1, dst,
+                             rec_plane.stride(), dsp_);
+        }
+    }
+}
+
+}  // namespace
+
+std::unique_ptr<VideoEncoder>
+create_mpeg4_encoder(const CodecConfig &config)
+{
+    HDVB_CHECK(config.validate().is_ok());
+    return std::make_unique<Mpeg4Encoder>(config);
+}
+
+}  // namespace hdvb

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared fixed-point 8x8 DCT basis used by both the scalar and the SSE2
+ * transform kernels, so the two stay bit-exact by construction.
+ *
+ * kDctMatrix[k][n] = round(2^13 * s_k * cos((2n+1) k pi / 16)) with
+ * s_0 = sqrt(1/8) and s_k = 1/2 — the orthonormal DCT-II basis.
+ *
+ * Both passes of fdct/idct are plain matrix products against this basis
+ * with defined rounding:  pass 1 descales by 11 bits (leaving a x4 gain
+ * for precision), pass 2 by 15 bits (restoring unit gain). Intermediates
+ * are saturated to int16 exactly like _mm_packs_epi32 does.
+ */
+#ifndef HDVB_SIMD_DCT_MATRIX_H
+#define HDVB_SIMD_DCT_MATRIX_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Fixed-point scale of the DCT basis (bits). */
+inline constexpr int kDctScaleBits = 13;
+/** Descale shift after the first 1-D pass. */
+inline constexpr int kDctPass1Shift = 11;
+/** Descale shift after the second 1-D pass. */
+inline constexpr int kDctPass2Shift = 15;
+
+/** Orthonormal DCT-II basis, Q13. [frequency][sample]. */
+extern const s16 kDctMatrix[8][8];
+
+}  // namespace hdvb
+
+#endif  // HDVB_SIMD_DCT_MATRIX_H

@@ -1,0 +1,87 @@
+#include "simd/dispatch.h"
+
+#include "simd/kernels.h"
+
+namespace hdvb {
+
+namespace {
+
+using namespace hdvb::kernels;
+
+const Dsp kScalarDsp = {
+    "scalar",
+    scalar_sad16x16,
+    scalar_sad8x8,
+    scalar_sad_rect,
+    scalar_satd4x4,
+    scalar_satd_rect,
+    scalar_sse_rect,
+    scalar_copy_rect,
+    scalar_avg_rect,
+    scalar_avg4_rect,
+    scalar_qpel_bilin_rect,
+    scalar_sub_rect,
+    scalar_add_rect,
+    scalar_fdct8x8,
+    scalar_idct8x8,
+    scalar_h264_hpel_h,
+    scalar_h264_hpel_v,
+    scalar_h264_hpel_hv,
+};
+
+#if defined(__SSE2__)
+const Dsp kSse2Dsp = {
+    "sse2",
+    sse2_sad16x16,
+    sse2_sad8x8,
+    sse2_sad_rect,
+    sse2_satd4x4,
+    sse2_satd_rect,
+    sse2_sse_rect,
+    scalar_copy_rect,  // block copies are memcpy either way
+    sse2_avg_rect,
+    sse2_avg4_rect,
+    sse2_qpel_bilin_rect,
+    sse2_sub_rect,
+    sse2_add_rect,
+    sse2_fdct8x8,
+    sse2_idct8x8,
+    sse2_h264_hpel_h,
+    sse2_h264_hpel_v,
+    // The centre (hv) position keeps the scalar implementation at both
+    // levels: it needs 32-bit intermediates that SSE2 handles poorly,
+    // and it is a small share of decode time (documented in DESIGN.md).
+    scalar_h264_hpel_hv,
+};
+#endif
+
+}  // namespace
+
+const char *
+simd_level_name(SimdLevel level)
+{
+    return level == SimdLevel::kScalar ? "scalar" : "sse2";
+}
+
+SimdLevel
+best_simd_level()
+{
+#if defined(__SSE2__)
+    return SimdLevel::kSse2;
+#else
+    return SimdLevel::kScalar;
+#endif
+}
+
+const Dsp &
+get_dsp(SimdLevel level)
+{
+#if defined(__SSE2__)
+    if (level == SimdLevel::kSse2)
+        return kSse2Dsp;
+#endif
+    (void)level;
+    return kScalarDsp;
+}
+
+}  // namespace hdvb

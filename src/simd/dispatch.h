@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Runtime-dispatched DSP kernel table.
+ *
+ * The paper's Figure 1 compares two builds of every codec: plain C
+ * ("scalar") and SIMD-optimised. We reproduce that axis with a kernel
+ * dispatch table: every pixel-level primitive the codecs use exists in a
+ * scalar reference implementation and an SSE2 implementation, selected
+ * by SimdLevel. The two implementations are bit-exact with each other
+ * (tests assert this), so changing the level changes speed, never
+ * output.
+ */
+#ifndef HDVB_SIMD_DISPATCH_H
+#define HDVB_SIMD_DISPATCH_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Instruction-set level for the kernel table. */
+enum class SimdLevel {
+    kScalar = 0,  ///< Plain C++ reference kernels.
+    kSse2 = 1,    ///< SSE2 intrinsics kernels.
+};
+
+/** Human-readable level name ("scalar" / "sse2"). */
+const char *simd_level_name(SimdLevel level);
+
+/** Best level supported by this build/CPU. */
+SimdLevel best_simd_level();
+
+/**
+ * Table of pixel-level kernels. All rectangle kernels take row strides
+ * in samples; widths are arbitrary (SIMD variants handle tails), except
+ * where noted.
+ */
+struct Dsp {
+    /** Implementation name for reports. */
+    const char *name;
+
+    // ---- Block-matching costs (motion estimation) ----
+    int (*sad16x16)(const Pixel *a, int as, const Pixel *b, int bs);
+    int (*sad8x8)(const Pixel *a, int as, const Pixel *b, int bs);
+    /** Generic SAD; w, h <= 16. */
+    int (*sad_rect)(const Pixel *a, int as, const Pixel *b, int bs,
+                    int w, int h);
+    /** 4x4 Hadamard-transformed difference (x264-style, sum >> 1). */
+    int (*satd4x4)(const Pixel *a, int as, const Pixel *b, int bs);
+    /** SATD over a rectangle; w and h multiples of 4. */
+    int (*satd_rect)(const Pixel *a, int as, const Pixel *b, int bs,
+                     int w, int h);
+    /** Sum of squared errors over a rectangle (PSNR, distortion). */
+    u64 (*sse_rect)(const Pixel *a, int as, const Pixel *b, int bs,
+                    int w, int h);
+
+    // ---- Pixel moves (motion compensation) ----
+    void (*copy_rect)(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+    /** dst = (a + b + 1) >> 1, the bilinear half-sample average. */
+    void (*avg_rect)(Pixel *dst, int ds, const Pixel *a, int as,
+                     const Pixel *b, int bs, int w, int h);
+    /** dst[x] = (s[x] + s[x+1] + s[x+ss] + s[x+ss+1] + 2) >> 2 —
+     * the MPEG-2 diagonal half-sample position. */
+    void (*avg4_rect)(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+    /** Weighted bilinear sub-sample interpolation at quarter-pel
+     * fractions fx, fy in 0..3 (the MPEG-4-class qpel filter):
+     * dst = ((4-fx)(4-fy) s00 + fx (4-fy) s01 + (4-fx) fy s10 +
+     *        fx fy s11 + 8) >> 4. */
+    void (*qpel_bilin_rect)(Pixel *dst, int ds, const Pixel *src, int ss,
+                            int w, int h, int fx, int fy);
+
+    // ---- Residual handling ----
+    /** dst(w x h, stride ds in Coeff) = src - pred. */
+    void (*sub_rect)(Coeff *dst, int ds, const Pixel *src, int ss,
+                     const Pixel *pred, int ps, int w, int h);
+    /** dst = clamp(dst + res); res stride rs in Coeff. */
+    void (*add_rect)(Pixel *dst, int ds, const Coeff *res, int rs,
+                     int w, int h);
+
+    // ---- 8x8 transforms (MPEG-class codecs), in-place row-major ----
+    void (*fdct8x8)(Coeff blk[64]);
+    void (*idct8x8)(Coeff blk[64]);
+
+    // ---- H.264-class 6-tap half-sample interpolation ----
+    /** Horizontal 6-tap at half-sample; reads src[-2..w+2]. */
+    void (*h264_hpel_h)(Pixel *dst, int ds, const Pixel *src, int ss,
+                        int w, int h);
+    /** Vertical 6-tap at half-sample; reads rows -2..h+2. */
+    void (*h264_hpel_v)(Pixel *dst, int ds, const Pixel *src, int ss,
+                        int w, int h);
+    /** Centre (hv) position: vertical then horizontal 6-tap at full
+     * intermediate precision. */
+    void (*h264_hpel_hv)(Pixel *dst, int ds, const Pixel *src, int ss,
+                         int w, int h);
+};
+
+/** Kernel table for @p level (falls back to scalar if unsupported). */
+const Dsp &get_dsp(SimdLevel level);
+
+}  // namespace hdvb
+
+#endif  // HDVB_SIMD_DISPATCH_H

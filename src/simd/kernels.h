@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Internal declarations of the per-level kernel implementations. Only
+ * dispatch.cc should include this; everyone else goes through get_dsp().
+ */
+#ifndef HDVB_SIMD_KERNELS_H
+#define HDVB_SIMD_KERNELS_H
+
+#include "common/types.h"
+
+namespace hdvb::kernels {
+
+// ---- scalar reference implementations ----
+int scalar_sad16x16(const Pixel *a, int as, const Pixel *b, int bs);
+int scalar_sad8x8(const Pixel *a, int as, const Pixel *b, int bs);
+int scalar_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                    int w, int h);
+int scalar_satd4x4(const Pixel *a, int as, const Pixel *b, int bs);
+int scalar_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                     int w, int h);
+u64 scalar_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                    int w, int h);
+void scalar_copy_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+void scalar_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+                     const Pixel *b, int bs, int w, int h);
+void scalar_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+void scalar_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                            int w, int h, int fx, int fy);
+void scalar_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+                     const Pixel *pred, int ps, int w, int h);
+void scalar_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+                     int w, int h);
+void scalar_fdct8x8(Coeff blk[64]);
+void scalar_idct8x8(Coeff blk[64]);
+void scalar_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                        int w, int h);
+void scalar_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                        int w, int h);
+void scalar_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                         int w, int h);
+
+// ---- SSE2 implementations (compiled only when __SSE2__) ----
+#if defined(__SSE2__)
+int sse2_sad16x16(const Pixel *a, int as, const Pixel *b, int bs);
+int sse2_sad8x8(const Pixel *a, int as, const Pixel *b, int bs);
+int sse2_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                  int w, int h);
+int sse2_satd4x4(const Pixel *a, int as, const Pixel *b, int bs);
+int sse2_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                   int w, int h);
+u64 sse2_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                  int w, int h);
+void sse2_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+                   const Pixel *b, int bs, int w, int h);
+void sse2_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                    int w, int h);
+void sse2_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                          int w, int h, int fx, int fy);
+void sse2_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+                   const Pixel *pred, int ps, int w, int h);
+void sse2_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+                   int w, int h);
+void sse2_fdct8x8(Coeff blk[64]);
+void sse2_idct8x8(Coeff blk[64]);
+void sse2_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+void sse2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+#endif  // __SSE2__
+
+}  // namespace hdvb::kernels
+
+#endif  // HDVB_SIMD_KERNELS_H

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Scalar reference kernels. These define the semantics: every SSE2
+ * kernel must match them bit-exactly (tests/simd_test.cc asserts this on
+ * randomised inputs).
+ */
+#include "simd/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/types.h"
+#include "simd/dct_matrix.h"
+
+namespace hdvb::kernels {
+
+namespace {
+
+inline int
+iabs(int v)
+{
+    return v < 0 ? -v : v;
+}
+
+/** Saturate to int16, matching _mm_packs_epi32 semantics. */
+inline Coeff
+sat16(s32 v)
+{
+    return static_cast<Coeff>(clamp<s32>(v, -32768, 32767));
+}
+
+/** One 1-D pass of the matrix DCT over the columns of an 8x8 block.
+ * basis_row(k, n) selects M[k][n] (forward) or M[n][k] (inverse). */
+template <bool kForward>
+void
+dct_col_pass(const Coeff *in, Coeff *out, int shift)
+{
+    const s32 round = 1 << (shift - 1);
+    for (int k = 0; k < 8; ++k) {
+        for (int x = 0; x < 8; ++x) {
+            s32 acc = 0;
+            for (int n = 0; n < 8; ++n) {
+                const s32 m = kForward ? kDctMatrix[k][n]
+                                       : kDctMatrix[n][k];
+                acc += m * in[n * 8 + x];
+            }
+            out[k * 8 + x] = sat16((acc + round) >> shift);
+        }
+    }
+}
+
+/** Transpose an 8x8 block in place. */
+void
+transpose8x8(Coeff *blk)
+{
+    for (int y = 0; y < 8; ++y) {
+        for (int x = y + 1; x < 8; ++x) {
+            const Coeff t = blk[y * 8 + x];
+            blk[y * 8 + x] = blk[x * 8 + y];
+            blk[x * 8 + y] = t;
+        }
+    }
+}
+
+/** 4-point Hadamard butterfly used by SATD. */
+inline void
+hadamard4(int &a, int &b, int &c, int &d)
+{
+    const int s0 = a + b;
+    const int d0 = a - b;
+    const int s1 = c + d;
+    const int d1 = c - d;
+    a = s0 + s1;
+    c = s0 - s1;
+    b = d0 + d1;
+    d = d0 - d1;
+}
+
+}  // namespace
+
+int
+scalar_sad16x16(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    return scalar_sad_rect(a, as, b, bs, 16, 16);
+}
+
+int
+scalar_sad8x8(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    return scalar_sad_rect(a, as, b, bs, 8, 8);
+}
+
+int
+scalar_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                int w, int h)
+{
+    int sum = 0;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            sum += iabs(static_cast<int>(a[x]) - static_cast<int>(b[x]));
+        a += as;
+        b += bs;
+    }
+    return sum;
+}
+
+int
+scalar_satd4x4(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    int d[16];
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            d[y * 4 + x] = static_cast<int>(a[y * as + x]) -
+                           static_cast<int>(b[y * bs + x]);
+    for (int x = 0; x < 4; ++x)
+        hadamard4(d[x], d[4 + x], d[8 + x], d[12 + x]);
+    int sum = 0;
+    for (int y = 0; y < 4; ++y) {
+        hadamard4(d[y * 4], d[y * 4 + 1], d[y * 4 + 2], d[y * 4 + 3]);
+        sum += iabs(d[y * 4]) + iabs(d[y * 4 + 1]) +
+               iabs(d[y * 4 + 2]) + iabs(d[y * 4 + 3]);
+    }
+    return sum >> 1;
+}
+
+int
+scalar_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                 int w, int h)
+{
+    int sum = 0;
+    for (int y = 0; y < h; y += 4)
+        for (int x = 0; x < w; x += 4)
+            sum += scalar_satd4x4(a + y * as + x, as, b + y * bs + x, bs);
+    return sum;
+}
+
+u64
+scalar_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                int w, int h)
+{
+    u64 sum = 0;
+    for (int y = 0; y < h; ++y) {
+        u32 row = 0;
+        for (int x = 0; x < w; ++x) {
+            const int d = static_cast<int>(a[x]) - static_cast<int>(b[x]);
+            row += static_cast<u32>(d * d);
+        }
+        sum += row;
+        a += as;
+        b += bs;
+    }
+    return sum;
+}
+
+void
+scalar_copy_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        std::memcpy(dst, src, static_cast<size_t>(w));
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+scalar_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+                const Pixel *b, int bs, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            dst[x] = static_cast<Pixel>((a[x] + b[x] + 1) >> 1);
+        dst += ds;
+        a += as;
+        b += bs;
+    }
+}
+
+void
+scalar_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (src[x] + src[x + 1] + src[x + ss] + src[x + ss + 1] + 2)
+                >> 2);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+scalar_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                       int w, int h, int fx, int fy)
+{
+    const int w00 = (4 - fx) * (4 - fy);
+    const int w01 = fx * (4 - fy);
+    const int w10 = (4 - fx) * fy;
+    const int w11 = fx * fy;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (w00 * src[x] + w01 * src[x + 1] + w10 * src[x + ss] +
+                 w11 * src[x + ss + 1] + 8) >> 4);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+scalar_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+                const Pixel *pred, int ps, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            dst[x] = static_cast<Coeff>(static_cast<int>(src[x]) -
+                                        static_cast<int>(pred[x]));
+        dst += ds;
+        src += ss;
+        pred += ps;
+    }
+}
+
+void
+scalar_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+                int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            dst[x] = clamp_pixel(static_cast<int>(dst[x]) + res[x]);
+        dst += ds;
+        res += rs;
+    }
+}
+
+void
+scalar_fdct8x8(Coeff blk[64])
+{
+    Coeff tmp[64];
+    dct_col_pass<true>(blk, tmp, kDctPass1Shift);
+    transpose8x8(tmp);
+    dct_col_pass<true>(tmp, blk, kDctPass2Shift);
+    transpose8x8(blk);
+}
+
+void
+scalar_idct8x8(Coeff blk[64])
+{
+    Coeff tmp[64];
+    dct_col_pass<false>(blk, tmp, kDctPass1Shift);
+    transpose8x8(tmp);
+    dct_col_pass<false>(tmp, blk, kDctPass2Shift);
+    transpose8x8(blk);
+}
+
+void
+scalar_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                   int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const int v = src[x - 2] - 5 * src[x - 1] + 20 * src[x] +
+                          20 * src[x + 1] - 5 * src[x + 2] + src[x + 3];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+scalar_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                   int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const int v = src[x - 2 * ss] - 5 * src[x - ss] +
+                          20 * src[x] + 20 * src[x + ss] -
+                          5 * src[x + 2 * ss] + src[x + 3 * ss];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+scalar_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                    int w, int h)
+{
+    // Vertical 6-tap at full precision into a temp, then horizontal
+    // 6-tap on the temp with a 10-bit descale — the H.264 'j' position.
+    // Max block is 16x16, temp needs w+5 columns.
+    s32 tmp[16 + 8][16 + 8];
+    for (int y = 0; y < h; ++y) {
+        for (int x = -2; x < w + 3; ++x) {
+            tmp[y][x + 2] = src[x - 2 * ss] - 5 * src[x - ss] +
+                            20 * src[x] + 20 * src[x + ss] -
+                            5 * src[x + 2 * ss] + src[x + 3 * ss];
+        }
+        src += ss;
+    }
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const s32 *t = &tmp[y][x + 2];
+            const s32 v = t[-2] - 5 * t[-1] + 20 * t[0] + 20 * t[1] -
+                          5 * t[2] + t[3];
+            dst[x] = clamp_pixel(static_cast<int>((v + 512) >> 10));
+        }
+        dst += ds;
+    }
+}
+
+}  // namespace hdvb::kernels

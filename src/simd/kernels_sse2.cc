@@ -1,0 +1,579 @@
+/**
+ * @file
+ * SSE2 kernels. Every function here is bit-exact with its scalar
+ * reference in kernels_scalar.cc: identical rounding, identical
+ * saturation (packs/packus match the scalar clamps by construction).
+ */
+#include "simd/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "simd/dct_matrix.h"
+
+namespace hdvb::kernels {
+
+namespace {
+
+inline __m128i
+load8_u8_as_s16(const Pixel *p)
+{
+    const __m128i zero = _mm_setzero_si128();
+    return _mm_unpacklo_epi8(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p)), zero);
+}
+
+/** Horizontal sum of the four s32 lanes. */
+inline int
+hsum_epi32(__m128i v)
+{
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(v);
+}
+
+/** Load two 4-pixel rows of a - b as 8 s16 lanes (row0 | row1). */
+inline __m128i
+diff4x2(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    u32 a0, a1, b0, b1;
+    std::memcpy(&a0, a, 4);
+    std::memcpy(&a1, a + as, 4);
+    std::memcpy(&b0, b, 4);
+    std::memcpy(&b1, b + bs, 4);
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i va = _mm_unpacklo_epi8(
+        _mm_unpacklo_epi32(_mm_cvtsi32_si128(static_cast<int>(a0)),
+                           _mm_cvtsi32_si128(static_cast<int>(a1))),
+        zero);
+    const __m128i vb = _mm_unpacklo_epi8(
+        _mm_unpacklo_epi32(_mm_cvtsi32_si128(static_cast<int>(b0)),
+                           _mm_cvtsi32_si128(static_cast<int>(b1))),
+        zero);
+    return _mm_sub_epi16(va, vb);
+}
+
+inline __m128i
+swap_halves(__m128i v)
+{
+    return _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+}
+
+inline __m128i
+abs_epi16_sse2(__m128i v)
+{
+    return _mm_max_epi16(v, _mm_sub_epi16(_mm_setzero_si128(), v));
+}
+
+// ---- matrix DCT machinery ----
+
+struct DctConsts {
+    __m128i fwd[8][4];  ///< madd pair constants, forward basis
+    __m128i inv[8][4];  ///< madd pair constants, transposed basis
+
+    DctConsts()
+    {
+        for (int k = 0; k < 8; ++k) {
+            for (int i = 0; i < 4; ++i) {
+                const u32 f =
+                    (static_cast<u16>(kDctMatrix[k][2 * i])) |
+                    (static_cast<u32>(
+                         static_cast<u16>(kDctMatrix[k][2 * i + 1]))
+                     << 16);
+                const u32 v =
+                    (static_cast<u16>(kDctMatrix[2 * i][k])) |
+                    (static_cast<u32>(
+                         static_cast<u16>(kDctMatrix[2 * i + 1][k]))
+                     << 16);
+                fwd[k][i] = _mm_set1_epi32(static_cast<int>(f));
+                inv[k][i] = _mm_set1_epi32(static_cast<int>(v));
+            }
+        }
+    }
+};
+
+const DctConsts &
+dct_consts()
+{
+    static const DctConsts consts;
+    return consts;
+}
+
+/** Transpose 8 rows of 8 s16 in place. */
+inline void
+transpose8x8_sse2(__m128i r[8])
+{
+    const __m128i t0 = _mm_unpacklo_epi16(r[0], r[1]);
+    const __m128i t1 = _mm_unpackhi_epi16(r[0], r[1]);
+    const __m128i t2 = _mm_unpacklo_epi16(r[2], r[3]);
+    const __m128i t3 = _mm_unpackhi_epi16(r[2], r[3]);
+    const __m128i t4 = _mm_unpacklo_epi16(r[4], r[5]);
+    const __m128i t5 = _mm_unpackhi_epi16(r[4], r[5]);
+    const __m128i t6 = _mm_unpacklo_epi16(r[6], r[7]);
+    const __m128i t7 = _mm_unpackhi_epi16(r[6], r[7]);
+    const __m128i u0 = _mm_unpacklo_epi32(t0, t2);
+    const __m128i u1 = _mm_unpackhi_epi32(t0, t2);
+    const __m128i u2 = _mm_unpacklo_epi32(t1, t3);
+    const __m128i u3 = _mm_unpackhi_epi32(t1, t3);
+    const __m128i u4 = _mm_unpacklo_epi32(t4, t6);
+    const __m128i u5 = _mm_unpackhi_epi32(t4, t6);
+    const __m128i u6 = _mm_unpacklo_epi32(t5, t7);
+    const __m128i u7 = _mm_unpackhi_epi32(t5, t7);
+    r[0] = _mm_unpacklo_epi64(u0, u4);
+    r[1] = _mm_unpackhi_epi64(u0, u4);
+    r[2] = _mm_unpacklo_epi64(u1, u5);
+    r[3] = _mm_unpackhi_epi64(u1, u5);
+    r[4] = _mm_unpacklo_epi64(u2, u6);
+    r[5] = _mm_unpackhi_epi64(u2, u6);
+    r[6] = _mm_unpacklo_epi64(u3, u7);
+    r[7] = _mm_unpackhi_epi64(u3, u7);
+}
+
+/** One 1-D column pass of the matrix transform on 8 columns. */
+inline void
+dct_pass_sse2(__m128i r[8], const __m128i consts[8][4], int shift)
+{
+    __m128i p_lo[4], p_hi[4];
+    for (int i = 0; i < 4; ++i) {
+        p_lo[i] = _mm_unpacklo_epi16(r[2 * i], r[2 * i + 1]);
+        p_hi[i] = _mm_unpackhi_epi16(r[2 * i], r[2 * i + 1]);
+    }
+    const __m128i round = _mm_set1_epi32(1 << (shift - 1));
+    const __m128i count = _mm_cvtsi32_si128(shift);
+    __m128i out[8];
+    for (int k = 0; k < 8; ++k) {
+        __m128i lo = _mm_madd_epi16(p_lo[0], consts[k][0]);
+        __m128i hi = _mm_madd_epi16(p_hi[0], consts[k][0]);
+        for (int i = 1; i < 4; ++i) {
+            lo = _mm_add_epi32(lo, _mm_madd_epi16(p_lo[i], consts[k][i]));
+            hi = _mm_add_epi32(hi, _mm_madd_epi16(p_hi[i], consts[k][i]));
+        }
+        lo = _mm_sra_epi32(_mm_add_epi32(lo, round), count);
+        hi = _mm_sra_epi32(_mm_add_epi32(hi, round), count);
+        out[k] = _mm_packs_epi32(lo, hi);
+    }
+    for (int k = 0; k < 8; ++k)
+        r[k] = out[k];
+}
+
+inline void
+dct8x8_sse2(Coeff blk[64], const __m128i consts[8][4])
+{
+    __m128i r[8];
+    for (int i = 0; i < 8; ++i)
+        r[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(blk + i * 8));
+    dct_pass_sse2(r, consts, kDctPass1Shift);
+    transpose8x8_sse2(r);
+    dct_pass_sse2(r, consts, kDctPass2Shift);
+    transpose8x8_sse2(r);
+    for (int i = 0; i < 8; ++i)
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(blk + i * 8), r[i]);
+}
+
+}  // namespace
+
+int
+sse2_sad16x16(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    __m128i acc = _mm_setzero_si128();
+    for (int y = 0; y < 16; ++y) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b));
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+        a += as;
+        b += bs;
+    }
+    return _mm_cvtsi128_si32(acc) +
+           _mm_cvtsi128_si32(_mm_srli_si128(acc, 8));
+}
+
+int
+sse2_sad8x8(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    __m128i acc = _mm_setzero_si128();
+    for (int y = 0; y < 8; ++y) {
+        const __m128i va =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(a));
+        const __m128i vb =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(b));
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+        a += as;
+        b += bs;
+    }
+    return _mm_cvtsi128_si32(acc);
+}
+
+int
+sse2_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
+              int w, int h)
+{
+    if (w == 16 && h == 16)
+        return sse2_sad16x16(a, as, b, bs);
+    if (w == 8) {
+        __m128i acc = _mm_setzero_si128();
+        for (int y = 0; y < h; ++y) {
+            const __m128i va =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(a));
+            const __m128i vb =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(b));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            a += as;
+            b += bs;
+        }
+        return _mm_cvtsi128_si32(acc);
+    }
+    if (w == 16) {
+        __m128i acc = _mm_setzero_si128();
+        for (int y = 0; y < h; ++y) {
+            const __m128i va =
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(a));
+            const __m128i vb =
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(b));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            a += as;
+            b += bs;
+        }
+        return _mm_cvtsi128_si32(acc) +
+               _mm_cvtsi128_si32(_mm_srli_si128(acc, 8));
+    }
+    return scalar_sad_rect(a, as, b, bs, w, h);
+}
+
+int
+sse2_satd4x4(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    // u holds (row0 | row2), v holds (row1 | row3): the column
+    // butterfly then works on 64-bit halves.
+    const __m128i d01 = diff4x2(a, as, b, bs);           // row0 | row1
+    const __m128i d23 = diff4x2(a + 2 * as, as, b + 2 * bs, bs);
+    const __m128i u = _mm_unpacklo_epi64(d01, d23);      // row0 | row2
+    const __m128i v = _mm_unpackhi_epi64(d01, d23);      // row1 | row3
+
+    // Column (vertical) Hadamard.
+    __m128i s = _mm_add_epi16(u, v);   // s0 | s1
+    __m128i t = _mm_sub_epi16(u, v);   // d0 | d1
+    __m128i ra = _mm_add_epi16(s, swap_halves(s));  // a' in both halves
+    __m128i rc = _mm_sub_epi16(s, swap_halves(s));  // c' in low half
+    __m128i rb = _mm_add_epi16(t, swap_halves(t));
+    __m128i rd = _mm_sub_epi16(t, swap_halves(t));
+    __m128i r01 = _mm_unpacklo_epi64(ra, rb);  // a' | b'
+    __m128i r23 = _mm_unpacklo_epi64(rc, rd);  // c' | d'
+
+    // Transpose the 4x4 (two rows per register).
+    const __m128i i0 =
+        _mm_unpacklo_epi16(r01, _mm_srli_si128(r01, 8));  // a,b interleave
+    const __m128i i1 =
+        _mm_unpacklo_epi16(r23, _mm_srli_si128(r23, 8));  // c,d interleave
+    const __m128i c01 = _mm_unpacklo_epi32(i0, i1);  // col0 | col1
+    const __m128i c23 = _mm_unpackhi_epi32(i0, i1);  // col2 | col3
+    const __m128i u2 = _mm_unpacklo_epi64(c01, c23);  // col0 | col2
+    const __m128i v2 = _mm_unpackhi_epi64(c01, c23);  // col1 | col3
+
+    // Row Hadamard (same flow on transposed data).
+    s = _mm_add_epi16(u2, v2);
+    t = _mm_sub_epi16(u2, v2);
+    ra = _mm_add_epi16(s, swap_halves(s));
+    rc = _mm_sub_epi16(s, swap_halves(s));
+    rb = _mm_add_epi16(t, swap_halves(t));
+    rd = _mm_sub_epi16(t, swap_halves(t));
+    r01 = _mm_unpacklo_epi64(ra, rb);
+    r23 = _mm_unpacklo_epi64(rc, rd);
+
+    const __m128i ones = _mm_set1_epi16(1);
+    const __m128i sum = _mm_add_epi32(
+        _mm_madd_epi16(abs_epi16_sse2(r01), ones),
+        _mm_madd_epi16(abs_epi16_sse2(r23), ones));
+    return hsum_epi32(sum) >> 1;
+}
+
+int
+sse2_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+               int w, int h)
+{
+    int sum = 0;
+    for (int y = 0; y < h; y += 4)
+        for (int x = 0; x < w; x += 4)
+            sum += sse2_satd4x4(a + y * as + x, as, b + y * bs + x, bs);
+    return sum;
+}
+
+u64
+sse2_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+              int w, int h)
+{
+    const __m128i zero = _mm_setzero_si128();
+    u64 total = 0;
+    for (int y = 0; y < h; ++y) {
+        __m128i acc = zero;
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(a + x));
+            const __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(b + x));
+            const __m128i d_lo = _mm_sub_epi16(
+                _mm_unpacklo_epi8(va, zero), _mm_unpacklo_epi8(vb, zero));
+            const __m128i d_hi = _mm_sub_epi16(
+                _mm_unpackhi_epi8(va, zero), _mm_unpackhi_epi8(vb, zero));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d_lo, d_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d_hi, d_hi));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i d = _mm_sub_epi16(load8_u8_as_s16(a + x),
+                                            load8_u8_as_s16(b + x));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d, d));
+        }
+        u32 row = 0;
+        for (; x < w; ++x) {
+            const int d = static_cast<int>(a[x]) - static_cast<int>(b[x]);
+            row += static_cast<u32>(d * d);
+        }
+        // Lanes are non-negative; fold as unsigned into the u64 total.
+        const __m128i lo64 = _mm_unpacklo_epi32(acc, zero);
+        const __m128i hi64 = _mm_unpackhi_epi32(acc, zero);
+        const __m128i f = _mm_add_epi64(lo64, hi64);
+        total += static_cast<u64>(_mm_cvtsi128_si32(f)) +
+                 (static_cast<u64>(static_cast<u32>(
+                      _mm_cvtsi128_si32(_mm_srli_si128(f, 4)))) << 32);
+        total += static_cast<u64>(static_cast<u32>(
+                     _mm_cvtsi128_si32(_mm_srli_si128(f, 8))));
+        total += static_cast<u64>(static_cast<u32>(_mm_cvtsi128_si32(
+                     _mm_srli_si128(f, 12)))) << 32;
+        total += row;
+        a += as;
+        b += bs;
+    }
+    return total;
+}
+
+void
+sse2_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+              const Pixel *b, int bs, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(a + x));
+            const __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(b + x));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_avg_epu8(va, vb));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i va =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(a + x));
+            const __m128i vb =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(b + x));
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_avg_epu8(va, vb));
+        }
+        for (; x < w; ++x)
+            dst[x] = static_cast<Pixel>((a[x] + b[x] + 1) >> 1);
+        dst += ds;
+        a += as;
+        b += bs;
+    }
+}
+
+void
+sse2_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+               int w, int h)
+{
+    const __m128i two = _mm_set1_epi16(2);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i s00 = load8_u8_as_s16(src + x);
+            const __m128i s01 = load8_u8_as_s16(src + x + 1);
+            const __m128i s10 = load8_u8_as_s16(src + x + ss);
+            const __m128i s11 = load8_u8_as_s16(src + x + ss + 1);
+            __m128i sum = _mm_add_epi16(_mm_add_epi16(s00, s01),
+                                        _mm_add_epi16(s10, s11));
+            sum = _mm_srli_epi16(_mm_add_epi16(sum, two), 2);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(sum, sum));
+        }
+        for (; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (src[x] + src[x + 1] + src[x + ss] + src[x + ss + 1] + 2)
+                >> 2);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+sse2_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                     int w, int h, int fx, int fy)
+{
+    const __m128i w00 = _mm_set1_epi16(
+        static_cast<short>((4 - fx) * (4 - fy)));
+    const __m128i w01 = _mm_set1_epi16(static_cast<short>(fx * (4 - fy)));
+    const __m128i w10 = _mm_set1_epi16(static_cast<short>((4 - fx) * fy));
+    const __m128i w11 = _mm_set1_epi16(static_cast<short>(fx * fy));
+    const __m128i eight = _mm_set1_epi16(8);
+    const int sw00 = (4 - fx) * (4 - fy);
+    const int sw01 = fx * (4 - fy);
+    const int sw10 = (4 - fx) * fy;
+    const int sw11 = fx * fy;
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i s00 = load8_u8_as_s16(src + x);
+            const __m128i s01 = load8_u8_as_s16(src + x + 1);
+            const __m128i s10 = load8_u8_as_s16(src + x + ss);
+            const __m128i s11 = load8_u8_as_s16(src + x + ss + 1);
+            __m128i acc = _mm_mullo_epi16(s00, w00);
+            acc = _mm_add_epi16(acc, _mm_mullo_epi16(s01, w01));
+            acc = _mm_add_epi16(acc, _mm_mullo_epi16(s10, w10));
+            acc = _mm_add_epi16(acc, _mm_mullo_epi16(s11, w11));
+            acc = _mm_srli_epi16(_mm_add_epi16(acc, eight), 4);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(acc, acc));
+        }
+        for (; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (sw00 * src[x] + sw01 * src[x + 1] + sw10 * src[x + ss] +
+                 sw11 * src[x + ss + 1] + 8) >> 4);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+sse2_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+              const Pixel *pred, int ps, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i d = _mm_sub_epi16(load8_u8_as_s16(src + x),
+                                            load8_u8_as_s16(pred + x));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x), d);
+        }
+        for (; x < w; ++x)
+            dst[x] = static_cast<Coeff>(static_cast<int>(src[x]) -
+                                        static_cast<int>(pred[x]));
+        dst += ds;
+        src += ss;
+        pred += ps;
+    }
+}
+
+void
+sse2_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+              int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i r = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(res + x));
+            const __m128i v = _mm_add_epi16(load8_u8_as_s16(dst + x), r);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x)
+            dst[x] = clamp_pixel(static_cast<int>(dst[x]) + res[x]);
+        dst += ds;
+        res += rs;
+    }
+}
+
+void
+sse2_fdct8x8(Coeff blk[64])
+{
+    dct8x8_sse2(blk, dct_consts().fwd);
+}
+
+void
+sse2_idct8x8(Coeff blk[64])
+{
+    dct8x8_sse2(blk, dct_consts().inv);
+}
+
+void
+sse2_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    const __m128i sixteen = _mm_set1_epi16(16);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2);
+            const __m128i b = load8_u8_as_s16(src + x - 1);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + 1);
+            const __m128i e = load8_u8_as_s16(src + x + 2);
+            const __m128i f = load8_u8_as_s16(src + x + 3);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            __m128i v = _mm_add_epi16(_mm_add_epi16(a, f),
+                                      _mm_sub_epi16(cd20, be5));
+            v = _mm_srai_epi16(_mm_add_epi16(v, sixteen), 5);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x) {
+            const int v = src[x - 2] - 5 * src[x - 1] + 20 * src[x] +
+                          20 * src[x + 1] - 5 * src[x + 2] + src[x + 3];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+sse2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    const __m128i sixteen = _mm_set1_epi16(16);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2 * ss);
+            const __m128i b = load8_u8_as_s16(src + x - ss);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + ss);
+            const __m128i e = load8_u8_as_s16(src + x + 2 * ss);
+            const __m128i f = load8_u8_as_s16(src + x + 3 * ss);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            __m128i v = _mm_add_epi16(_mm_add_epi16(a, f),
+                                      _mm_sub_epi16(cd20, be5));
+            v = _mm_srai_epi16(_mm_add_epi16(v, sixteen), 5);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x) {
+            const int v = src[x - 2 * ss] - 5 * src[x - ss] +
+                          20 * src[x] + 20 * src[x + ss] -
+                          5 * src[x + 2 * ss] + src[x + 3 * ss];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+}  // namespace hdvb::kernels
+
+#endif  // __SSE2__

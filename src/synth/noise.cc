@@ -1,0 +1,116 @@
+#include "synth/noise.h"
+
+#include <cmath>
+
+namespace hdvb {
+
+u32
+lattice_hash(s32 x, s32 y, s32 z, u32 seed)
+{
+    u32 h = seed;
+    h ^= static_cast<u32>(x) * 0x9E3779B1u;
+    h = (h << 13) | (h >> 19);
+    h ^= static_cast<u32>(y) * 0x85EBCA77u;
+    h = (h << 13) | (h >> 19);
+    h ^= static_cast<u32>(z) * 0xC2B2AE3Du;
+    h *= 0x27D4EB2Fu;
+    h ^= h >> 15;
+    h *= 0x165667B1u;
+    h ^= h >> 13;
+    return h;
+}
+
+namespace {
+
+inline float
+lattice_value(s32 x, s32 y, s32 z, u32 seed)
+{
+    return static_cast<float>(lattice_hash(x, y, z, seed) >> 8) *
+           (1.0f / 16777216.0f);
+}
+
+inline float
+smooth(float t)
+{
+    return t * t * (3.0f - 2.0f * t);
+}
+
+}  // namespace
+
+float
+value_noise2(float x, float y, u32 seed)
+{
+    const float fx = std::floor(x);
+    const float fy = std::floor(y);
+    const s32 ix = static_cast<s32>(fx);
+    const s32 iy = static_cast<s32>(fy);
+    const float tx = smooth(x - fx);
+    const float ty = smooth(y - fy);
+    const float v00 = lattice_value(ix, iy, 0, seed);
+    const float v10 = lattice_value(ix + 1, iy, 0, seed);
+    const float v01 = lattice_value(ix, iy + 1, 0, seed);
+    const float v11 = lattice_value(ix + 1, iy + 1, 0, seed);
+    const float a = v00 + (v10 - v00) * tx;
+    const float b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+float
+value_noise3(float x, float y, float z, u32 seed)
+{
+    const float fx = std::floor(x);
+    const float fy = std::floor(y);
+    const float fz = std::floor(z);
+    const s32 ix = static_cast<s32>(fx);
+    const s32 iy = static_cast<s32>(fy);
+    const s32 iz = static_cast<s32>(fz);
+    const float tx = smooth(x - fx);
+    const float ty = smooth(y - fy);
+    const float tz = smooth(z - fz);
+    float corner[2][2][2];
+    for (int dz = 0; dz < 2; ++dz)
+        for (int dy = 0; dy < 2; ++dy)
+            for (int dx = 0; dx < 2; ++dx)
+                corner[dz][dy][dx] =
+                    lattice_value(ix + dx, iy + dy, iz + dz, seed);
+    float face[2][2];
+    for (int dz = 0; dz < 2; ++dz)
+        for (int dy = 0; dy < 2; ++dy)
+            face[dz][dy] = corner[dz][dy][0] +
+                           (corner[dz][dy][1] - corner[dz][dy][0]) * tx;
+    float edge[2];
+    for (int dz = 0; dz < 2; ++dz)
+        edge[dz] = face[dz][0] + (face[dz][1] - face[dz][0]) * ty;
+    return edge[0] + (edge[1] - edge[0]) * tz;
+}
+
+float
+fbm2(float x, float y, u32 seed, int octaves)
+{
+    float sum = 0.0f;
+    float amp = 0.5f;
+    float freq = 1.0f;
+    for (int i = 0; i < octaves; ++i) {
+        sum += amp * value_noise2(x * freq, y * freq, seed + 101u * i);
+        amp *= 0.5f;
+        freq *= 2.0f;
+    }
+    return sum;
+}
+
+float
+fbm3(float x, float y, float z, u32 seed, int octaves)
+{
+    float sum = 0.0f;
+    float amp = 0.5f;
+    float freq = 1.0f;
+    for (int i = 0; i < octaves; ++i) {
+        sum += amp * value_noise3(x * freq, y * freq, z * freq,
+                                  seed + 131u * i);
+        amp *= 0.5f;
+        freq *= 2.0f;
+    }
+    return sum;
+}
+
+}  // namespace hdvb

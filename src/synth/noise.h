@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Deterministic lattice value noise (2-D and 3-D) with fractal
+ * (fBm) stacking — the texture primitive behind the synthetic input
+ * sequences. Hash-based, seeded, identical on every run.
+ */
+#ifndef HDVB_SYNTH_NOISE_H
+#define HDVB_SYNTH_NOISE_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/** 32-bit avalanche hash of lattice coordinates. */
+u32 lattice_hash(s32 x, s32 y, s32 z, u32 seed);
+
+/** Bilinear value noise in [0, 1); coordinates in lattice units. */
+float value_noise2(float x, float y, u32 seed);
+
+/** Trilinear value noise in [0, 1); z is typically time. */
+float value_noise3(float x, float y, float z, u32 seed);
+
+/** Fractal sum of @p octaves noise layers, result in [0, 1). */
+float fbm2(float x, float y, u32 seed, int octaves);
+
+/** 3-D fractal noise, result in [0, 1). */
+float fbm3(float x, float y, float z, u32 seed, int octaves);
+
+}  // namespace hdvb
+
+#endif  // HDVB_SYNTH_NOISE_H

@@ -1,0 +1,447 @@
+#include "synth/synth.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "synth/noise.h"
+
+namespace hdvb {
+
+namespace {
+
+constexpr u32 kSeedBase = 0x48445642u;  // "HDVB"
+
+inline Pixel
+to_pixel(float v)
+{
+    return clamp_pixel(static_cast<int>(v + 0.5f));
+}
+
+/** Wrap @p x into [lo, hi). */
+inline float
+wrap(float x, float lo, float hi)
+{
+    const float span = hi - lo;
+    float t = std::fmod(x - lo, span);
+    if (t < 0.0f)
+        t += span;
+    return lo + t;
+}
+
+// ---------------------------------------------------------------------
+// blue_sky: gradient sky + two high-detail tree crowns, global camera
+// rotation around a point above the frame.
+// ---------------------------------------------------------------------
+
+struct BlueSky {
+    float aspect;
+    float t;
+    float cosa, sina;
+
+    BlueSky(float aspect_in, int frame)
+        : aspect(aspect_in), t(static_cast<float>(frame))
+    {
+        const float angle = 0.0035f * t;
+        cosa = std::cos(angle);
+        sina = std::sin(angle);
+    }
+
+    void
+    rotate(float u, float v, float *ru, float *rv) const
+    {
+        const float cx = 0.5f * aspect;
+        const float cy = 0.55f;
+        const float du = u - cx;
+        const float dv = v - cy;
+        *ru = cx + du * cosa - dv * sina;
+        *rv = cy + du * sina + dv * cosa;
+    }
+
+    /** Foliage density at rotated scene coordinates, in [0, ~1]. */
+    float
+    tree_mask(float u, float v) const
+    {
+        const float d1 = std::hypot((u - 0.18f * aspect) * 0.8f,
+                                    (v - 1.05f));
+        const float d2 = std::hypot((u - 0.85f * aspect) * 0.8f,
+                                    (v - 0.95f));
+        const float reach1 = std::max(0.0f, 1.0f - d1 / 0.55f);
+        const float reach2 = std::max(0.0f, 1.0f - d2 / 0.5f);
+        const float reach = std::max(reach1, reach2);
+        if (reach <= 0.0f)
+            return 0.0f;
+        return reach * fbm2(u * 9.0f, v * 9.0f, kSeedBase + 7, 2);
+    }
+
+    float
+    luma(float u, float v) const
+    {
+        float ru, rv;
+        rotate(u, v, &ru, &rv);
+        const float mask = tree_mask(ru, rv);
+        if (mask > 0.22f) {
+            // High-contrast, high-detail foliage.
+            return 28.0f +
+                   95.0f * fbm2(ru * 42.0f, rv * 42.0f, kSeedBase + 11, 2);
+        }
+        const float clouds =
+            fbm2(ru * 2.5f, rv * 2.5f + t * 0.01f, kSeedBase + 3, 2);
+        return 95.0f + 85.0f * rv + 14.0f * clouds;
+    }
+
+    void
+    chroma(float u, float v, float *cb, float *cr) const
+    {
+        float ru, rv;
+        rotate(u, v, &ru, &rv);
+        const float mask = tree_mask(ru, rv);
+        if (mask > 0.22f) {
+            *cb = 118.0f;
+            *cr = 122.0f;
+            return;
+        }
+        // Deep blue sky with subtle saturation change toward the top.
+        *cb = 152.0f - 14.0f * rv;
+        *cr = 112.0f + 4.0f * rv;
+    }
+};
+
+// ---------------------------------------------------------------------
+// pedestrian_area: static detailed background, large figures passing
+// close to a low static camera.
+// ---------------------------------------------------------------------
+
+struct Person {
+    float v_center;
+    float ru, rv;     // ellipse radii
+    float speed;
+    float phase;
+    float tone;       // clothing base luma
+    float cb, cr;
+    u32 seed;
+};
+
+struct PedestrianArea {
+    static constexpr int kPeople = 8;
+    float aspect;
+    float t;
+    Person people[kPeople];
+
+    PedestrianArea(float aspect_in, int frame)
+        : aspect(aspect_in), t(static_cast<float>(frame))
+    {
+        for (int i = 0; i < kPeople; ++i) {
+            const u32 h = lattice_hash(i, 17, 0, kSeedBase + 23);
+            Person &p = people[i];
+            p.rv = 0.22f + 0.14f * ((h & 0xFF) / 255.0f);
+            p.ru = p.rv * 0.38f;
+            p.v_center = 0.92f - p.rv * 0.8f;
+            const float mag =
+                0.004f + 0.009f * (((h >> 8) & 0xFF) / 255.0f);
+            p.speed = (h & 0x10000) ? mag : -mag;
+            p.phase = aspect * (((h >> 17) & 0xFF) / 255.0f);
+            p.tone = 50.0f + 120.0f * (((h >> 25) & 0x7F) / 127.0f);
+            p.cb = 112.0f + 32.0f * (((h >> 3) & 0xFF) / 255.0f);
+            p.cr = 112.0f + 32.0f * (((h >> 11) & 0xFF) / 255.0f);
+            p.seed = h;
+        }
+    }
+
+    float
+    person_u(const Person &p) const
+    {
+        return wrap(p.phase + p.speed * t, -0.3f, aspect + 0.3f);
+    }
+
+    const Person *
+    hit(float u, float v, float *du_out, float *dv_out) const
+    {
+        // Later (larger index = closer) people win.
+        const Person *found = nullptr;
+        for (int i = 0; i < kPeople; ++i) {
+            const Person &p = people[i];
+            const float pu = person_u(p);
+            const float du = (u - pu) / p.ru;
+            const float dv = (v - p.v_center) / p.rv;
+            if (du * du + dv * dv < 1.0f) {
+                found = &p;
+                *du_out = du;
+                *dv_out = dv;
+            }
+        }
+        return found;
+    }
+
+    float
+    background_luma(float u, float v) const
+    {
+        // Paving with strong vertical architectural features: the
+        // "many details, high depth of field" of the original.
+        const float base = 118.0f + 34.0f * fbm2(u * 6.0f, v * 6.0f,
+                                                 kSeedBase + 31, 2);
+        const float columns =
+            22.0f * value_noise2(u * 14.0f, 0.5f, kSeedBase + 37);
+        const float texture =
+            14.0f * fbm2(u * 30.0f, v * 30.0f, kSeedBase + 41, 1);
+        return base + columns * (v < 0.6f ? 1.0f : 0.2f) + texture;
+    }
+
+    float
+    luma(float u, float v) const
+    {
+        float du, dv;
+        const Person *p = hit(u, v, &du, &dv);
+        if (p == nullptr)
+            return background_luma(u, v);
+        const float cloth = fbm2(du * 3.0f + (p->seed & 15), dv * 3.0f,
+                                 p->seed, 2);
+        const float shade = 1.0f - 0.35f * (du * du + dv * dv);
+        return (p->tone + 55.0f * cloth) * shade;
+    }
+
+    void
+    chroma(float u, float v, float *cb, float *cr) const
+    {
+        float du, dv;
+        const Person *p = hit(u, v, &du, &dv);
+        if (p == nullptr) {
+            *cb = 126.0f;
+            *cr = 130.0f;
+            return;
+        }
+        *cb = p->cb;
+        *cr = p->cr;
+    }
+};
+
+// ---------------------------------------------------------------------
+// riverbed: spatio-temporally decorrelated water over pebbles — the
+// hard-to-code stress sequence.
+// ---------------------------------------------------------------------
+
+struct Riverbed {
+    float t;
+
+    explicit Riverbed(int frame) : t(static_cast<float>(frame)) {}
+
+    float
+    luma(float u, float v) const
+    {
+        // Slowly drifting pebble bed seen through fast water shimmer.
+        // The water term decorrelates quickly in both space and time,
+        // which is what makes the original riverbed resistant to every
+        // codec generation (Table V: highest bitrate by 3-10x, and the
+        // smallest H.264 advantage).
+        const float bed =
+            fbm2(u * 11.0f + t * 0.01f, v * 11.0f, kSeedBase + 53, 2);
+        const float water = fbm3(u * 34.0f + t * 0.2f, v * 34.0f,
+                                 t * 0.9f, kSeedBase + 59, 3);
+        return 70.0f + 60.0f * bed + 100.0f * (water - 0.5f);
+    }
+
+    void
+    chroma(float u, float v, float *cb, float *cr) const
+    {
+        const float water = value_noise3(u * 13.0f, v * 13.0f, t * 0.5f,
+                                         kSeedBase + 61);
+        *cb = 134.0f + 10.0f * water;
+        *cr = 116.0f - 6.0f * water;
+    }
+};
+
+// ---------------------------------------------------------------------
+// rush_hour: fixed camera, many small cars moving slowly in lanes,
+// heat haze.
+// ---------------------------------------------------------------------
+
+struct Car {
+    float lane_v;
+    float len, height;
+    float speed;
+    float phase;
+    float tone;
+    float cb, cr;
+};
+
+struct RushHour {
+    static constexpr int kCars = 28;
+    static constexpr int kLanes = 6;
+    float aspect;
+    float t;
+    Car cars[kCars];
+
+    RushHour(float aspect_in, int frame)
+        : aspect(aspect_in), t(static_cast<float>(frame))
+    {
+        for (int i = 0; i < kCars; ++i) {
+            const u32 h = lattice_hash(i, 91, 0, kSeedBase + 71);
+            Car &c = cars[i];
+            const int lane = i % kLanes;
+            // Lanes recede upward: higher lanes are further and higher
+            // in the frame.
+            c.lane_v = 0.42f + 0.095f * lane;
+            const float scale = 0.5f + 0.09f * lane;
+            c.len = (0.055f + 0.03f * ((h & 0xFF) / 255.0f)) * scale;
+            c.height = 0.030f * scale;
+            const float mag =
+                (0.0012f + 0.0028f * (((h >> 8) & 0xFF) / 255.0f));
+            c.speed = (lane & 1) ? mag : -mag;  // opposing directions
+            c.phase = aspect * (((h >> 16) & 0xFF) / 255.0f);
+            c.tone = 45.0f + 150.0f * (((h >> 24) & 0x7F) / 127.0f);
+            c.cb = 108.0f + 40.0f * (((h >> 5) & 0xFF) / 255.0f);
+            c.cr = 108.0f + 40.0f * (((h >> 13) & 0xFF) / 255.0f);
+        }
+    }
+
+    const Car *
+    hit(float u, float v, float *du_out) const
+    {
+        const Car *found = nullptr;
+        for (int i = 0; i < kCars; ++i) {
+            const Car &c = cars[i];
+            if (std::fabs(v - c.lane_v) > c.height)
+                continue;
+            const float cu = wrap(c.phase + c.speed * t, -0.2f,
+                                  aspect + 0.2f);
+            const float du = (u - cu) / c.len;
+            if (du > -1.0f && du < 1.0f) {
+                found = &c;
+                *du_out = du;
+            }
+        }
+        return found;
+    }
+
+    float
+    luma(float u, float v) const
+    {
+        float du;
+        const Car *c = hit(u, v, &du);
+        float base;
+        if (c != nullptr) {
+            const float windshield =
+                (du > -0.25f && du < 0.15f) ? -30.0f : 0.0f;
+            base = c->tone + windshield - 25.0f * du * du;
+        } else if (v > 0.40f) {
+            // Asphalt with dashed lane markings.
+            base = 74.0f + 30.0f * v +
+                   9.0f * fbm2(u * 7.0f, v * 7.0f, kSeedBase + 73, 1);
+            for (int lane = 1; lane < kLanes; ++lane) {
+                const float lv = 0.42f + 0.095f * lane - 0.048f;
+                if (std::fabs(v - lv) < 0.004f &&
+                    std::fmod(u * 9.0f + lane * 1.7f, 1.0f) < 0.4f) {
+                    base = 200.0f;
+                }
+            }
+        } else {
+            // City backdrop above the road.
+            base = 105.0f + 55.0f * fbm2(u * 9.0f, v * 9.0f,
+                                         kSeedBase + 79, 2);
+        }
+        // Faint heat haze, slowly evolving: the sequence stays easy to
+        // code temporally (high depth of focus, fixed camera).
+        return base + 5.0f * fbm3(u * 2.2f, v * 2.2f, t * 0.03f,
+                                  kSeedBase + 83, 1);
+    }
+
+    void
+    chroma(float u, float v, float *cb, float *cr) const
+    {
+        float du;
+        const Car *c = hit(u, v, &du);
+        if (c != nullptr) {
+            *cb = c->cb;
+            *cr = c->cr;
+            return;
+        }
+        *cb = 128.0f;
+        *cr = 127.0f;
+    }
+};
+
+/** Render @p scene (luma(u,v) / chroma(u,v)) into @p frame. */
+template <typename Scene>
+void
+render(const Scene &scene, Frame *frame)
+{
+    const int w = frame->width();
+    const int h = frame->height();
+    const float inv = 1.0f / static_cast<float>(h);
+    Plane &luma = frame->luma();
+    for (int y = 0; y < h; ++y) {
+        Pixel *row = luma.row(y);
+        const float v = (y + 0.5f) * inv;
+        for (int x = 0; x < w; ++x)
+            row[x] = to_pixel(scene.luma((x + 0.5f) * inv, v));
+    }
+    Plane &cb = frame->cb();
+    Plane &cr = frame->cr();
+    for (int y = 0; y < h / 2; ++y) {
+        Pixel *rb = cb.row(y);
+        Pixel *rr = cr.row(y);
+        const float v = (2 * y + 1.0f) * inv;
+        for (int x = 0; x < w / 2; ++x) {
+            float b, r;
+            scene.chroma((2 * x + 1.0f) * inv, v, &b, &r);
+            rb[x] = to_pixel(b);
+            rr[x] = to_pixel(r);
+        }
+    }
+}
+
+}  // namespace
+
+const char *
+sequence_name(SequenceId id)
+{
+    switch (id) {
+      case SequenceId::kBlueSky: return "blue_sky";
+      case SequenceId::kPedestrianArea: return "pedestrian_area";
+      case SequenceId::kRiverbed: return "riverbed";
+      case SequenceId::kRushHour: return "rush_hour";
+    }
+    return "?";
+}
+
+const char *
+sequence_description(SequenceId id)
+{
+    switch (id) {
+      case SequenceId::kBlueSky:
+        return "Top of two trees against blue sky. High contrast, many "
+               "details, camera rotation.";
+      case SequenceId::kPedestrianArea:
+        return "Pedestrian area, low static camera, people pass very "
+               "close. High depth of field.";
+      case SequenceId::kRiverbed:
+        return "Riverbed seen through the water. Very hard to code.";
+      case SequenceId::kRushHour:
+        return "Rush hour traffic, many cars moving slowly, fixed "
+               "camera, high depth of focus.";
+    }
+    return "?";
+}
+
+void
+generate_frame(SequenceId id, int index, Frame *frame)
+{
+    HDVB_CHECK(frame != nullptr && !frame->empty());
+    const float aspect = static_cast<float>(frame->width()) /
+                         static_cast<float>(frame->height());
+    switch (id) {
+      case SequenceId::kBlueSky:
+        render(BlueSky(aspect, index), frame);
+        break;
+      case SequenceId::kPedestrianArea:
+        render(PedestrianArea(aspect, index), frame);
+        break;
+      case SequenceId::kRiverbed:
+        render(Riverbed(index), frame);
+        break;
+      case SequenceId::kRushHour:
+        render(RushHour(aspect, index), frame);
+        break;
+    }
+}
+
+}  // namespace hdvb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic stand-ins for the four TU München HD test sequences of the
+ * paper's Table III. Each generator is procedural and deterministic,
+ * tuned to match its original's qualitative description:
+ *
+ *  - blue_sky: two detailed tree crowns against a smooth gradient sky,
+ *    slow global camera rotation, high contrast.
+ *  - pedestrian_area: static camera, detailed static background, a few
+ *    large textured figures crossing close to the camera.
+ *  - riverbed: spatio-temporally decorrelated water texture — "very
+ *    hard to code" (it dominates the bitrate in Table V).
+ *  - rush_hour: fixed camera on dense slow traffic, many small movers.
+ *
+ * The generators preserve the *relative codability* the benchmark
+ * depends on, not the photographic content (see DESIGN.md section 2).
+ */
+#ifndef HDVB_SYNTH_SYNTH_H
+#define HDVB_SYNTH_SYNTH_H
+
+#include "common/types.h"
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** The four benchmark input sequences (paper Table III). */
+enum class SequenceId {
+    kBlueSky = 0,
+    kPedestrianArea = 1,
+    kRiverbed = 2,
+    kRushHour = 3,
+};
+
+inline constexpr int kSequenceCount = 4;
+inline constexpr SequenceId kAllSequences[kSequenceCount] = {
+    SequenceId::kBlueSky, SequenceId::kPedestrianArea,
+    SequenceId::kRiverbed, SequenceId::kRushHour};
+
+/** Sequence name as used in the paper ("blue_sky", ...). */
+const char *sequence_name(SequenceId id);
+
+/** One-line description (Table III's Comments column). */
+const char *sequence_description(SequenceId id);
+
+/**
+ * Generate frame @p index of sequence @p id into @p frame (which must
+ * be pre-allocated to the desired resolution; borders untouched).
+ * Deterministic: same (id, index, size) always yields the same pixels.
+ */
+void generate_frame(SequenceId id, int index, Frame *frame);
+
+/** Streaming convenience wrapper around generate_frame. */
+class SyntheticSource
+{
+  public:
+    SyntheticSource(SequenceId id, int width, int height)
+        : id_(id), width_(width), height_(height)
+    {
+    }
+
+    /** Produce the next frame in display order. */
+    Frame
+    next()
+    {
+        Frame frame(width_, height_);
+        generate_frame(id_, next_index_, &frame);
+        frame.set_poc(next_index_++);
+        return frame;
+    }
+
+    /** Random access (used for PSNR against decoded output). */
+    Frame
+    at(int index) const
+    {
+        Frame frame(width_, height_);
+        generate_frame(id_, index, &frame);
+        frame.set_poc(index);
+        return frame;
+    }
+
+    SequenceId id() const { return id_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+  private:
+    SequenceId id_;
+    int width_;
+    int height_;
+    int next_index_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_SYNTH_SYNTH_H

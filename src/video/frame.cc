@@ -1,0 +1,46 @@
+#include "video/frame.h"
+
+namespace hdvb {
+
+Frame::Frame(int width, int height, int border)
+    : width_(width), height_(height),
+      luma_(width, height, border),
+      cb_(width / 2, height / 2, border / 2),
+      cr_(width / 2, height / 2, border / 2)
+{
+    HDVB_CHECK(width % 2 == 0 && height % 2 == 0);
+}
+
+Plane &
+Frame::plane(int i)
+{
+    HDVB_DCHECK(i >= 0 && i < 3);
+    return i == 0 ? luma_ : (i == 1 ? cb_ : cr_);
+}
+
+const Plane &
+Frame::plane(int i) const
+{
+    HDVB_DCHECK(i >= 0 && i < 3);
+    return i == 0 ? luma_ : (i == 1 ? cb_ : cr_);
+}
+
+void
+Frame::extend_borders()
+{
+    luma_.extend_borders();
+    cb_.extend_borders();
+    cr_.extend_borders();
+}
+
+void
+Frame::copy_from(const Frame &src)
+{
+    HDVB_CHECK(src.width() == width_ && src.height() == height_);
+    luma_.copy_from(src.luma());
+    cb_.copy_from(src.cb());
+    cr_.copy_from(src.cr());
+    poc_ = src.poc();
+}
+
+}  // namespace hdvb

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * YUV 4:2:0 picture: one luma plane plus two half-resolution chroma
+ * planes, the sole pixel format of HD-VideoBench (the TU München source
+ * material is 4:2:0, Section IV of the paper).
+ */
+#ifndef HDVB_VIDEO_FRAME_H
+#define HDVB_VIDEO_FRAME_H
+
+#include "common/status.h"
+#include "common/types.h"
+#include "video/plane.h"
+
+namespace hdvb {
+
+/** Default reference-picture border in luma samples. */
+inline constexpr int kRefBorder = 32;
+
+/** A YUV 4:2:0 frame. Dimensions must be even. */
+class Frame
+{
+  public:
+    Frame() = default;
+
+    /** Allocate a frame; @p border is the luma border (chroma gets
+     * half). Even dimensions required. */
+    Frame(int width, int height, int border = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    bool empty() const { return luma_.empty(); }
+
+    Plane &luma() { return luma_; }
+    const Plane &luma() const { return luma_; }
+    Plane &cb() { return cb_; }
+    const Plane &cb() const { return cb_; }
+    Plane &cr() { return cr_; }
+    const Plane &cr() const { return cr_; }
+
+    /** Plane by index: 0 = Y, 1 = Cb, 2 = Cr. */
+    Plane &plane(int i);
+    const Plane &plane(int i) const;
+
+    /** Display order index (set by codecs / sources). */
+    s64 poc() const { return poc_; }
+    void set_poc(s64 poc) { poc_ = poc; }
+
+    /** Replicate edges into borders on all three planes. */
+    void extend_borders();
+
+    /** Deep copy of the interior samples of @p src (same size). */
+    void copy_from(const Frame &src);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    s64 poc_ = 0;
+    Plane luma_;
+    Plane cb_;
+    Plane cr_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_VIDEO_FRAME_H

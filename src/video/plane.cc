@@ -1,0 +1,46 @@
+#include "video/plane.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hdvb {
+
+void
+Plane::fill(Pixel value)
+{
+    for (int y = 0; y < height_; ++y)
+        std::memset(row(y), value, static_cast<size_t>(width_));
+}
+
+void
+Plane::extend_borders()
+{
+    if (border_ == 0)
+        return;
+    // Left/right replication for interior rows.
+    for (int y = 0; y < height_; ++y) {
+        Pixel *r = row(y);
+        std::memset(r - border_, r[0], static_cast<size_t>(border_));
+        std::memset(r + width_, r[width_ - 1],
+                    static_cast<size_t>(border_));
+    }
+    // Top/bottom replication of whole (already-extended) rows.
+    const Pixel *top = row(0) - border_;
+    const Pixel *bottom = row(height_ - 1) - border_;
+    for (int i = 1; i <= border_; ++i) {
+        std::memcpy(row(-i) - border_, top,
+                    static_cast<size_t>(stride_));
+        std::memcpy(row(height_ - 1 + i) - border_, bottom,
+                    static_cast<size_t>(stride_));
+    }
+}
+
+void
+Plane::copy_from(const Plane &src)
+{
+    HDVB_CHECK(src.width() == width_ && src.height() == height_);
+    for (int y = 0; y < height_; ++y)
+        std::memcpy(row(y), src.row(y), static_cast<size_t>(width_));
+}
+
+}  // namespace hdvb

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A single 8-bit sample plane with an optional replicated border.
+ *
+ * Reference pictures carry a border so that motion compensation and
+ * motion estimation can read blocks that extend past the picture edge
+ * without per-sample clamping (the unrestricted-MV behaviour all three
+ * codec generations rely on).
+ */
+#ifndef HDVB_VIDEO_PLANE_H
+#define HDVB_VIDEO_PLANE_H
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace hdvb {
+
+/** Owning 2-D array of Pixel with stride and border. */
+class Plane
+{
+  public:
+    Plane() = default;
+
+    /** Allocate a @p width x @p height plane with @p border extra
+     * samples on every side, zero-initialised. */
+    Plane(int width, int height, int border = 0)
+        : width_(width), height_(height), border_(border),
+          stride_(width + 2 * border),
+          buf_(static_cast<size_t>(stride_) * (height + 2 * border), 0)
+    {
+        HDVB_CHECK(width > 0 && height > 0 && border >= 0);
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int stride() const { return stride_; }
+    int border() const { return border_; }
+    bool empty() const { return buf_.empty(); }
+
+    /** Pointer to the first sample of row @p y (0 <= y < height). */
+    Pixel *
+    row(int y)
+    {
+        HDVB_DCHECK(y >= -border_ && y < height_ + border_);
+        return buf_.data() +
+               static_cast<size_t>(y + border_) * stride_ + border_;
+    }
+
+    const Pixel *
+    row(int y) const
+    {
+        HDVB_DCHECK(y >= -border_ && y < height_ + border_);
+        return buf_.data() +
+               static_cast<size_t>(y + border_) * stride_ + border_;
+    }
+
+    /** Pointer to sample (0,0); samples at negative offsets down to
+     * -border are valid border samples. */
+    Pixel *origin() { return row(0); }
+    const Pixel *origin() const { return row(0); }
+
+    /** Sample accessor; (x, y) may reach border samples. */
+    Pixel &
+    at(int x, int y)
+    {
+        HDVB_DCHECK(x >= -border_ && x < width_ + border_);
+        return row(y)[x];
+    }
+
+    Pixel
+    at(int x, int y) const
+    {
+        HDVB_DCHECK(x >= -border_ && x < width_ + border_);
+        return row(y)[x];
+    }
+
+    /** Set every interior sample to @p value (border untouched). */
+    void fill(Pixel value);
+
+    /** Replicate the edge samples into the border region. */
+    void extend_borders();
+
+    /** Copy interior samples from @p src (same dimensions required;
+     * borders may differ). */
+    void copy_from(const Plane &src);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    int border_ = 0;
+    int stride_ = 0;
+    std::vector<Pixel> buf_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_VIDEO_PLANE_H

@@ -1,0 +1,141 @@
+#include "video/y4m.h"
+
+#include <cstring>
+#include <string>
+
+namespace hdvb {
+
+namespace {
+
+Status
+read_plane(std::FILE *file, Plane &plane)
+{
+    for (int y = 0; y < plane.height(); ++y) {
+        const size_t want = static_cast<size_t>(plane.width());
+        if (std::fread(plane.row(y), 1, want, file) != want)
+            return Status::corrupt_stream("truncated y4m frame data");
+    }
+    return Status::ok();
+}
+
+Status
+write_plane(std::FILE *file, const Plane &plane)
+{
+    for (int y = 0; y < plane.height(); ++y) {
+        const size_t want = static_cast<size_t>(plane.width());
+        if (std::fwrite(plane.row(y), 1, want, file) != want)
+            return Status::internal("short write to y4m file");
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+Y4mReader::~Y4mReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+Status
+Y4mReader::open(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        return Status::invalid_argument("cannot open " + path);
+
+    std::string header;
+    int c;
+    while ((c = std::fgetc(file_)) != EOF && c != '\n')
+        header.push_back(static_cast<char>(c));
+    if (header.rfind("YUV4MPEG2", 0) != 0)
+        return Status::corrupt_stream("missing YUV4MPEG2 magic");
+
+    // Space-separated tagged fields: W H F I A C X.
+    size_t pos = 0;
+    while (pos < header.size()) {
+        const size_t space = header.find(' ', pos);
+        const std::string tok =
+            header.substr(pos, space == std::string::npos
+                                   ? std::string::npos : space - pos);
+        pos = space == std::string::npos ? header.size() : space + 1;
+        if (tok.size() < 2)
+            continue;
+        switch (tok[0]) {
+          case 'W': width_ = std::atoi(tok.c_str() + 1); break;
+          case 'H': height_ = std::atoi(tok.c_str() + 1); break;
+          case 'F':
+            std::sscanf(tok.c_str() + 1, "%d:%d", &fps_num_, &fps_den_);
+            break;
+          case 'C':
+            if (tok.rfind("C420", 0) != 0)
+                return Status::unimplemented(
+                    "only C420 y4m streams are supported");
+            break;
+          default: break;  // I, A, X: ignored
+        }
+    }
+    if (width_ <= 0 || height_ <= 0 || width_ % 2 || height_ % 2)
+        return Status::corrupt_stream("bad y4m dimensions");
+    return Status::ok();
+}
+
+Status
+Y4mReader::read_frame(Frame *frame, int border)
+{
+    HDVB_CHECK(file_ != nullptr);
+    char tag[6] = {};
+    if (std::fread(tag, 1, 5, file_) != 5)
+        return Status::out_of_range("end of y4m stream");
+    if (std::memcmp(tag, "FRAME", 5) != 0)
+        return Status::corrupt_stream("missing FRAME marker");
+    int c;
+    while ((c = std::fgetc(file_)) != EOF && c != '\n') {}
+    if (c == EOF)
+        return Status::corrupt_stream("truncated FRAME header");
+
+    if (frame->width() != width_ || frame->height() != height_)
+        *frame = Frame(width_, height_, border);
+    HDVB_RETURN_IF_ERROR(read_plane(file_, frame->luma()));
+    HDVB_RETURN_IF_ERROR(read_plane(file_, frame->cb()));
+    HDVB_RETURN_IF_ERROR(read_plane(file_, frame->cr()));
+    frame->set_poc(frames_read_++);
+    return Status::ok();
+}
+
+Y4mWriter::~Y4mWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+Status
+Y4mWriter::open(const std::string &path, int width, int height,
+                int fps_num, int fps_den)
+{
+    if (width <= 0 || height <= 0 || width % 2 || height % 2)
+        return Status::invalid_argument("bad y4m dimensions");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        return Status::invalid_argument("cannot create " + path);
+    width_ = width;
+    height_ = height;
+    std::fprintf(file_, "YUV4MPEG2 W%d H%d F%d:%d Ip A1:1 C420mpeg2\n",
+                 width, height, fps_num, fps_den);
+    return Status::ok();
+}
+
+Status
+Y4mWriter::write_frame(const Frame &frame)
+{
+    HDVB_CHECK(file_ != nullptr);
+    if (frame.width() != width_ || frame.height() != height_)
+        return Status::invalid_argument("frame size mismatch");
+    std::fputs("FRAME\n", file_);
+    HDVB_RETURN_IF_ERROR(write_plane(file_, frame.luma()));
+    HDVB_RETURN_IF_ERROR(write_plane(file_, frame.cb()));
+    HDVB_RETURN_IF_ERROR(write_plane(file_, frame.cr()));
+    return Status::ok();
+}
+
+}  // namespace hdvb

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * YUV4MPEG2 (.y4m) reader/writer so users with the real TU München
+ * sequences (or any raw 4:2:0 material) can feed them to the benchmark
+ * in place of the synthetic sources.
+ */
+#ifndef HDVB_VIDEO_Y4M_H
+#define HDVB_VIDEO_Y4M_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** Streaming reader for YUV4MPEG2 files (C420 family only). */
+class Y4mReader
+{
+  public:
+    Y4mReader() = default;
+    ~Y4mReader();
+    Y4mReader(const Y4mReader &) = delete;
+    Y4mReader &operator=(const Y4mReader &) = delete;
+
+    /** Open @p path and parse the stream header. */
+    Status open(const std::string &path);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int fps_num() const { return fps_num_; }
+    int fps_den() const { return fps_den_; }
+
+    /**
+     * Read the next frame into @p frame (reallocated as needed, with
+     * @p border). Returns kOutOfRange at end of stream.
+     */
+    Status read_frame(Frame *frame, int border = 0);
+
+  private:
+    std::FILE *file_ = nullptr;
+    int width_ = 0;
+    int height_ = 0;
+    int fps_num_ = 25;
+    int fps_den_ = 1;
+    s64 frames_read_ = 0;
+};
+
+/** Streaming writer for YUV4MPEG2 files (C420mpeg2). */
+class Y4mWriter
+{
+  public:
+    Y4mWriter() = default;
+    ~Y4mWriter();
+    Y4mWriter(const Y4mWriter &) = delete;
+    Y4mWriter &operator=(const Y4mWriter &) = delete;
+
+    /** Create @p path and write the stream header. */
+    Status open(const std::string &path, int width, int height,
+                int fps_num = 25, int fps_den = 1);
+
+    /** Append one frame (dimensions must match the header). */
+    Status write_frame(const Frame &frame);
+
+  private:
+    std::FILE *file_ = nullptr;
+    int width_ = 0;
+    int height_ = 0;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_VIDEO_Y4M_H

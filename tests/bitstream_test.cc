@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the bitstream substrate: bit I/O, Exp-Golomb codes,
+ * canonical-Huffman VLC tables and the adaptive binary range coder.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/exp_golomb.h"
+#include "bitstream/range_coder.h"
+#include "bitstream/vlc.h"
+
+namespace hdvb {
+namespace {
+
+TEST(BitWriter, EmptyFinishIsEmpty)
+{
+    BitWriter bw;
+    EXPECT_TRUE(bw.finish().empty());
+    EXPECT_EQ(bw.bit_count(), 0u);
+}
+
+TEST(BitWriter, SingleByte)
+{
+    BitWriter bw;
+    bw.put_bits(0xA5, 8);
+    const std::vector<u8> bytes = bw.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xA5);
+}
+
+TEST(BitWriter, MsbFirstOrdering)
+{
+    BitWriter bw;
+    bw.put_bit(1);
+    bw.put_bits(0, 6);
+    bw.put_bit(1);
+    const std::vector<u8> bytes = bw.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x81);
+}
+
+TEST(BitWriter, ByteAlignPadsWithZeros)
+{
+    BitWriter bw;
+    bw.put_bits(0x3, 2);
+    bw.byte_align();
+    EXPECT_EQ(bw.bit_count(), 8u);
+    const std::vector<u8> bytes = bw.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xC0);
+}
+
+TEST(BitWriter, ThirtyTwoBitValues)
+{
+    BitWriter bw;
+    bw.put_bits(0xDEADBEEF, 32);
+    const std::vector<u8> bytes = bw.finish();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 0xDE);
+    EXPECT_EQ(bytes[3], 0xEF);
+}
+
+TEST(BitRoundTrip, RandomizedWidths)
+{
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitWriter bw;
+        std::vector<std::pair<u32, int>> items;
+        for (int i = 0; i < 200; ++i) {
+            const int n = 1 + static_cast<int>(rng() % 24);
+            const u32 v = rng() & ((1u << n) - 1);
+            items.push_back({v, n});
+            bw.put_bits(v, n);
+        }
+        const std::vector<u8> bytes = bw.finish();
+        BitReader br(bytes);
+        for (const auto &[v, n] : items)
+            ASSERT_EQ(br.get_bits(n), v);
+        EXPECT_FALSE(br.has_error());
+    }
+}
+
+TEST(BitReader, PeekDoesNotConsume)
+{
+    BitWriter bw;
+    bw.put_bits(0xABC, 12);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(br.peek_bits(12), 0xABCu);
+    EXPECT_EQ(br.peek_bits(12), 0xABCu);
+    EXPECT_EQ(br.get_bits(12), 0xABCu);
+}
+
+TEST(BitReader, OverreadLatchesErrorAndReturnsZeros)
+{
+    const std::vector<u8> bytes = {0xFF};
+    BitReader br(bytes);
+    EXPECT_EQ(br.get_bits(8), 0xFFu);
+    EXPECT_FALSE(br.has_error());
+    EXPECT_EQ(br.get_bits(8), 0u);
+    EXPECT_TRUE(br.has_error());
+    EXPECT_EQ(br.get_bits(16), 0u);  // stays safe after error
+}
+
+TEST(BitReader, BitsConsumedTracksPosition)
+{
+    const std::vector<u8> bytes = {0x12, 0x34, 0x56};
+    BitReader br(bytes);
+    br.get_bits(3);
+    EXPECT_EQ(br.bits_consumed(), 3u);
+    br.byte_align();
+    EXPECT_EQ(br.bits_consumed(), 8u);
+}
+
+// ---- Exp-Golomb ----
+
+TEST(ExpGolomb, KnownCodes)
+{
+    BitWriter bw;
+    write_ue(bw, 0);  // "1"
+    write_ue(bw, 1);  // "010"
+    write_ue(bw, 2);  // "011"
+    write_ue(bw, 3);  // "00100"
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(read_ue(br), 0u);
+    EXPECT_EQ(read_ue(br), 1u);
+    EXPECT_EQ(read_ue(br), 2u);
+    EXPECT_EQ(read_ue(br), 3u);
+}
+
+TEST(ExpGolomb, UnsignedRoundTripSweep)
+{
+    BitWriter bw;
+    for (u32 v = 0; v < 1000; ++v)
+        write_ue(bw, v);
+    write_ue(bw, 1u << 20);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    for (u32 v = 0; v < 1000; ++v)
+        ASSERT_EQ(read_ue(br), v);
+    EXPECT_EQ(read_ue(br), 1u << 20);
+    EXPECT_FALSE(br.has_error());
+}
+
+TEST(ExpGolomb, SignedRoundTripSweep)
+{
+    BitWriter bw;
+    for (s32 v = -500; v <= 500; ++v)
+        write_se(bw, v);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    for (s32 v = -500; v <= 500; ++v)
+        ASSERT_EQ(read_se(br), v);
+}
+
+TEST(ExpGolomb, BitCountsMatchWrites)
+{
+    for (u32 v : {0u, 1u, 7u, 255u, 65535u}) {
+        BitWriter bw;
+        write_ue(bw, v);
+        EXPECT_EQ(bw.bit_count(), static_cast<size_t>(ue_bits(v)));
+    }
+    for (s32 v : {-1000, -3, 0, 5, 12345}) {
+        BitWriter bw;
+        write_se(bw, v);
+        EXPECT_EQ(bw.bit_count(), static_cast<size_t>(se_bits(v)));
+    }
+}
+
+// ---- VLC tables ----
+
+TEST(VlcTable, SingleSymbolAlphabet)
+{
+    const VlcTable table = VlcTable::from_weights({42});
+    BitWriter bw;
+    table.encode(bw, 0);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(table.decode(br), 0);
+}
+
+TEST(VlcTable, HeavySymbolsGetShortCodes)
+{
+    const VlcTable table = VlcTable::from_weights({1000, 100, 10, 1});
+    EXPECT_LE(table.bits(0), table.bits(1));
+    EXPECT_LE(table.bits(1), table.bits(2));
+    EXPECT_LE(table.bits(2), table.bits(3));
+}
+
+TEST(VlcTable, RoundTripRandomStream)
+{
+    std::mt19937 rng(11);
+    std::vector<u64> weights(100);
+    for (auto &w : weights)
+        w = 1 + rng() % 10000;
+    const VlcTable table = VlcTable::from_weights(weights);
+    std::vector<int> symbols(5000);
+    BitWriter bw;
+    for (auto &sym : symbols) {
+        sym = static_cast<int>(rng() % weights.size());
+        table.encode(bw, sym);
+    }
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    for (int sym : symbols)
+        ASSERT_EQ(table.decode(br), sym);
+}
+
+TEST(VlcTable, LengthLimitingKicksInForSkewedWeights)
+{
+    // Exponentially skewed weights would exceed 16 bits unlimited.
+    std::vector<u64> weights(60);
+    u64 w = 1;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        weights[weights.size() - 1 - i] = w;
+        if (w < (1ull << 55))
+            w *= 2;
+    }
+    const VlcTable table = VlcTable::from_weights(weights);
+    for (int sym = 0; sym < table.size(); ++sym)
+        EXPECT_LE(table.bits(sym), VlcTable::kMaxLen);
+    // Still decodable.
+    BitWriter bw;
+    for (int sym = 0; sym < table.size(); ++sym)
+        table.encode(bw, sym);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    for (int sym = 0; sym < table.size(); ++sym)
+        ASSERT_EQ(table.decode(br), sym);
+}
+
+TEST(VlcTable, DecodeFailsOnExhaustedInput)
+{
+    const VlcTable table = VlcTable::from_weights({5, 4, 3, 2, 1});
+    const std::vector<u8> empty;
+    BitReader br(empty);
+    EXPECT_EQ(table.decode(br), -1);
+}
+
+// ---- range coder ----
+
+TEST(RangeCoder, BypassBitsRoundTrip)
+{
+    RangeEncoder enc;
+    std::mt19937 rng(3);
+    std::vector<int> bits(2000);
+    for (auto &b : bits) {
+        b = static_cast<int>(rng() & 1);
+        enc.encode_bypass(b);
+    }
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (int b : bits)
+        ASSERT_EQ(dec.decode_bypass(), b);
+    EXPECT_FALSE(dec.has_error());
+}
+
+TEST(RangeCoder, AdaptiveBitsRoundTrip)
+{
+    RangeEncoder enc;
+    std::mt19937 rng(5);
+    BitModel enc_models[8];
+    std::vector<std::pair<int, int>> items;  // (model, bit)
+    for (int i = 0; i < 5000; ++i) {
+        const int m = static_cast<int>(rng() % 8);
+        const int b = static_cast<int>(rng() % 100) < 12 ? 1 : 0;
+        items.push_back({m, b});
+        enc.encode_bit(enc_models[m], b);
+    }
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    BitModel dec_models[8];
+    for (const auto &[m, b] : items)
+        ASSERT_EQ(dec.decode_bit(dec_models[m]), b);
+}
+
+TEST(RangeCoder, SkewedBitsCompressWell)
+{
+    RangeEncoder enc;
+    BitModel model;
+    for (int i = 0; i < 10000; ++i)
+        enc.encode_bit(model, i % 100 == 0 ? 1 : 0);
+    const std::vector<u8> bytes = enc.finish();
+    // ~10000 bins at ~0.08 bit each: far below 10000 bits.
+    EXPECT_LT(bytes.size(), 10000u / 8u / 4u);
+}
+
+TEST(RangeCoder, BypassValueRoundTrip)
+{
+    RangeEncoder enc;
+    for (u32 v = 0; v < 200; ++v)
+        enc.encode_bypass_bits(v, 8);
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (u32 v = 0; v < 200; ++v)
+        ASSERT_EQ(dec.decode_bypass_bits(8), v);
+}
+
+TEST(RangeCoder, TruncatedInputSetsErrorWithoutCrashing)
+{
+    RangeEncoder enc;
+    BitModel model;
+    for (int i = 0; i < 1000; ++i)
+        enc.encode_bit(model, i & 1);
+    std::vector<u8> bytes = enc.finish();
+    bytes.resize(bytes.size() / 2);
+    RangeDecoder dec(bytes);
+    BitModel dmodel;
+    for (int i = 0; i < 1000; ++i)
+        dec.decode_bit(dmodel);
+    EXPECT_TRUE(dec.has_error());
+}
+
+class BitWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthTest, AllWidthValuesRoundTrip)
+{
+    const int n = GetParam();
+    const u32 max = n == 32 ? 0xFFFFFFFFu : (1u << n) - 1;
+    BitWriter bw;
+    bw.put_bits(0, n);
+    bw.put_bits(max, n);
+    bw.put_bits(max >> 1, n);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(br.get_bits(n), 0u);
+    EXPECT_EQ(br.get_bits(n), max);
+    EXPECT_EQ(br.get_bits(n), max >> 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitWidthTest,
+                         ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace hdvb

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the dsp substrate: scan orders, the MPEG-class and
+ * H.264-class quantisers, the H.264 4x4 transforms, and the paper's
+ * Equation 1 QP mapping.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsp/quant.h"
+#include "dsp/transform4x4.h"
+#include "dsp/zigzag.h"
+
+namespace hdvb {
+namespace {
+
+TEST(Zigzag, InverseIsConsistent)
+{
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(kZigzag8x8Inv[kZigzag8x8[i]], i);
+}
+
+TEST(Zigzag, IsAPermutation)
+{
+    bool seen8[64] = {};
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_LT(kZigzag8x8[i], 64);
+        EXPECT_FALSE(seen8[kZigzag8x8[i]]);
+        seen8[kZigzag8x8[i]] = true;
+    }
+    bool seen4[16] = {};
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_LT(kZigzag4x4[i], 16);
+        EXPECT_FALSE(seen4[kZigzag4x4[i]]);
+        seen4[kZigzag4x4[i]] = true;
+    }
+}
+
+TEST(Zigzag, StartsAtDcWalksToHighestFrequency)
+{
+    EXPECT_EQ(kZigzag8x8[0], 0);
+    EXPECT_EQ(kZigzag8x8[63], 63);
+    EXPECT_EQ(kZigzag4x4[0], 0);
+    EXPECT_EQ(kZigzag4x4[15], 15);
+}
+
+// ---- Equation 1 ----
+
+TEST(Equation1, PaperOperatingPoint)
+{
+    // vqscale=5 maps to --qp=26 in the paper's Table IV commands.
+    EXPECT_EQ(h264_qp_from_mpeg(5), 26);
+}
+
+TEST(Equation1, KnownValues)
+{
+    EXPECT_EQ(h264_qp_from_mpeg(1), 12);   // log2(1) = 0
+    EXPECT_EQ(h264_qp_from_mpeg(2), 18);   // +6 per doubling
+    EXPECT_EQ(h264_qp_from_mpeg(4), 24);
+    EXPECT_EQ(h264_qp_from_mpeg(8), 30);
+    EXPECT_EQ(h264_qp_from_mpeg(16), 36);
+    EXPECT_EQ(h264_qp_from_mpeg(31), 42);
+}
+
+TEST(Equation1, MonotonicOverFullRange)
+{
+    for (int q = 2; q <= 31; ++q)
+        EXPECT_GE(h264_qp_from_mpeg(q), h264_qp_from_mpeg(q - 1));
+}
+
+// ---- MPEG-class quantiser ----
+
+TEST(MpegQuantizer, RoundTripErrorBoundedByStep)
+{
+    std::mt19937 rng(21);
+    const MpegQuantizer quant(kMpegInterMatrix, 5, 32);
+    for (int trial = 0; trial < 100; ++trial) {
+        Coeff blk[64], orig[64];
+        for (int i = 0; i < 64; ++i)
+            blk[i] = orig[i] = static_cast<Coeff>(
+                static_cast<int>(rng() % 2001) - 1000);
+        quant.quantize(blk);
+        quant.dequantize(blk);
+        for (int i = 0; i < 64; ++i)
+            ASSERT_LE(std::abs(blk[i] - orig[i]), quant.step(i));
+    }
+}
+
+TEST(MpegQuantizer, CoarserScaleGivesFewerNonzeros)
+{
+    std::mt19937 rng(22);
+    Coeff blk[64];
+    for (int i = 0; i < 64; ++i)
+        blk[i] = static_cast<Coeff>(static_cast<int>(rng() % 201) - 100);
+    Coeff fine[64], coarse[64];
+    std::copy(blk, blk + 64, fine);
+    std::copy(blk, blk + 64, coarse);
+    const int nz_fine =
+        MpegQuantizer(kMpegInterMatrix, 2, 32).quantize(fine);
+    const int nz_coarse =
+        MpegQuantizer(kMpegInterMatrix, 20, 32).quantize(coarse);
+    EXPECT_GT(nz_fine, nz_coarse);
+}
+
+TEST(MpegQuantizer, Mpeg2StepSemanticsAreTwiceAsFine)
+{
+    const MpegQuantizer mpeg2(kMpegInterMatrix, 6, 32, 4);
+    const MpegQuantizer mpeg4(kMpegInterMatrix, 6, 32, 3);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(mpeg4.step(i), 2 * mpeg2.step(i));
+}
+
+TEST(MpegQuantizer, DeadZoneSuppressesSmallCoefficients)
+{
+    Coeff blk_round[64] = {}, blk_trunc[64] = {};
+    blk_round[1] = blk_trunc[1] = 6;  // just over half a step of 10
+    MpegQuantizer(kMpegInterMatrix, 5, 32).quantize(blk_round);
+    MpegQuantizer(kMpegInterMatrix, 5, 0).quantize(blk_trunc);
+    EXPECT_EQ(blk_round[1], 1);  // round-to-nearest keeps it
+    EXPECT_EQ(blk_trunc[1], 0);  // truncation drops it
+}
+
+TEST(MpegQuantizer, LevelsClampedForIdctSafety)
+{
+    Coeff blk[64] = {};
+    blk[5] = 32767;
+    MpegQuantizer(kMpegInterMatrix, 1, 32).quantize(blk);
+    EXPECT_LE(blk[5], kCoeffClamp);
+}
+
+// ---- H.264-class quantiser + 4x4 transform ----
+
+TEST(H264Transform, Inv4x4OfZeroIsZero)
+{
+    Coeff blk[16] = {};
+    h264_inv4x4(blk);
+    for (Coeff c : blk)
+        EXPECT_EQ(c, 0);
+}
+
+TEST(H264Transform, QuantRoundTripReconstructsResidual)
+{
+    std::mt19937 rng(31);
+    for (int qp : {8, 20, 26, 32}) {
+        const H264Quantizer quant(qp, false);
+        double err_sum = 0.0;
+        const int trials = 200;
+        for (int t = 0; t < trials; ++t) {
+            Coeff blk[16], orig[16];
+            for (int i = 0; i < 16; ++i)
+                blk[i] = orig[i] = static_cast<Coeff>(
+                    static_cast<int>(rng() % 401) - 200);
+            h264_fwd4x4(blk);
+            quant.quantize4x4(blk);
+            quant.dequantize4x4(blk);
+            h264_inv4x4(blk);
+            for (int i = 0; i < 16; ++i)
+                err_sum += std::abs(blk[i] - orig[i]);
+        }
+        // Mean reconstruction error grows with QP but stays bounded
+        // by roughly half the quantiser step (Qstep ~ 2^((qp-4)/6)).
+        const double mean_err = err_sum / (trials * 16);
+        const double qstep = 0.625 * std::pow(2.0, qp / 6.0);
+        EXPECT_LT(mean_err, qstep) << "qp=" << qp;
+    }
+}
+
+TEST(H264Transform, LosslessAtQpZeroIsNearExact)
+{
+    std::mt19937 rng(33);
+    const H264Quantizer quant(0, true);
+    int worst = 0;
+    for (int t = 0; t < 100; ++t) {
+        Coeff blk[16], orig[16];
+        for (int i = 0; i < 16; ++i)
+            blk[i] = orig[i] =
+                static_cast<Coeff>(static_cast<int>(rng() % 255) - 127);
+        h264_fwd4x4(blk);
+        quant.quantize4x4(blk);
+        quant.dequantize4x4(blk);
+        h264_inv4x4(blk);
+        for (int i = 0; i < 16; ++i)
+            worst = std::max(worst,
+                             std::abs(static_cast<int>(blk[i]) -
+                                      orig[i]));
+    }
+    EXPECT_LE(worst, 1);
+}
+
+TEST(H264Transform, HadamardSelfInverseWithGain16)
+{
+    std::mt19937 rng(35);
+    s32 dc[16], orig[16];
+    for (int i = 0; i < 16; ++i)
+        dc[i] = orig[i] = static_cast<s32>(rng() % 8001) - 4000;
+    hadamard4x4_fwd(dc);
+    hadamard4x4_inv(dc);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dc[i], orig[i] * 16);
+}
+
+TEST(H264Transform, DcQuantRoundTrip)
+{
+    const H264Quantizer quant(26, true);
+    for (s32 v : {-30000, -500, 0, 700, 30000}) {
+        const Coeff level = quant.quantize_dc(v);
+        const s32 rec = quant.dequantize_dc(level);
+        // DC reconstruction carries the standard 4x coefficient scale;
+        // the effective DC step at qp 26 is V0 * 2^(qp/6) * 2 = 416 in
+        // that domain, so the error bound is half of that.
+        EXPECT_NEAR(static_cast<double>(rec), 4.0 * v, 208.0)
+            << "v=" << v;
+    }
+}
+
+TEST(H264Quantizer, HigherQpGivesFewerNonzeros)
+{
+    std::mt19937 rng(37);
+    Coeff base[16];
+    for (int i = 0; i < 16; ++i)
+        base[i] = static_cast<Coeff>(static_cast<int>(rng() % 801) - 400);
+    Coeff a[16], b[16];
+    std::copy(base, base + 16, a);
+    std::copy(base, base + 16, b);
+    const int nz_fine = H264Quantizer(10, false).quantize4x4(a);
+    const int nz_coarse = H264Quantizer(40, false).quantize4x4(b);
+    EXPECT_GE(nz_fine, nz_coarse);
+}
+
+}  // namespace
+}  // namespace hdvb

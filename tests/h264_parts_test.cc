@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the H.264-class codec's internal pieces: intra
+ * prediction, the CABAC-class syntax binarisations, and the deblocking
+ * filter.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "h264/cabac_syntax.h"
+#include "h264/deblock.h"
+#include "h264/intra_pred.h"
+#include "video/plane.h"
+
+namespace hdvb {
+namespace {
+
+using namespace hdvb::h264;
+
+Plane
+random_plane(int w, int h, unsigned seed)
+{
+    Plane plane(w, h, 16);
+    std::mt19937 rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            plane.at(x, y) = static_cast<Pixel>(rng());
+    return plane;
+}
+
+// ---- intra prediction ----
+
+TEST(Intra16, DcWithoutNeighboursIs128)
+{
+    Plane recon = random_plane(64, 64, 1);
+    Pixel dst[16 * 16];
+    predict_intra16(recon, 0, 0, kI16Dc, dst, 16);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(dst[i], 128);
+}
+
+TEST(Intra16, VerticalCopiesTopRow)
+{
+    Plane recon = random_plane(64, 64, 2);
+    Pixel dst[16 * 16];
+    predict_intra16(recon, 16, 16, kI16Vertical, dst, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            ASSERT_EQ(dst[y * 16 + x], recon.at(16 + x, 15));
+}
+
+TEST(Intra16, HorizontalCopiesLeftColumn)
+{
+    Plane recon = random_plane(64, 64, 3);
+    Pixel dst[16 * 16];
+    predict_intra16(recon, 16, 16, kI16Horizontal, dst, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            ASSERT_EQ(dst[y * 16 + x], recon.at(15, 16 + y));
+}
+
+TEST(Intra16, PlaneReproducesLinearGradient)
+{
+    Plane recon(64, 64, 16);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            recon.at(x, y) = static_cast<Pixel>(2 * x + y + 10);
+    Pixel dst[16 * 16];
+    predict_intra16(recon, 16, 16, kI16Plane, dst, 16);
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            const int expected = 2 * (16 + x) + (16 + y) + 10;
+            ASSERT_NEAR(dst[y * 16 + x], expected, 2)
+                << "(" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(Intra16, AvailabilityRules)
+{
+    EXPECT_FALSE(intra16_mode_available(0, 0, kI16Vertical));
+    EXPECT_FALSE(intra16_mode_available(0, 16, kI16Horizontal));
+    EXPECT_TRUE(intra16_mode_available(0, 0, kI16Dc));
+    EXPECT_FALSE(intra16_mode_available(16, 0, kI16Plane));
+    EXPECT_TRUE(intra16_mode_available(16, 16, kI16Plane));
+}
+
+TEST(Intra4, DcAveragesAvailableNeighbours)
+{
+    Plane recon(64, 64, 16);
+    recon.fill(0);
+    for (int x = 0; x < 4; ++x)
+        recon.at(16 + x, 15) = 100;  // top row
+    for (int y = 0; y < 4; ++y)
+        recon.at(15, 16 + y) = 50;  // left column
+    Pixel dst[16];
+    predict_intra4(recon, 16, 16, kI4Dc, dst, 4);
+    EXPECT_EQ(dst[0], 75);
+}
+
+TEST(Intra4, VerticalAndHorizontalCopy)
+{
+    Plane recon = random_plane(64, 64, 4);
+    Pixel dst[16];
+    predict_intra4(recon, 20, 20, kI4Vertical, dst, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            ASSERT_EQ(dst[y * 4 + x], recon.at(20 + x, 19));
+    predict_intra4(recon, 20, 20, kI4Horizontal, dst, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            ASSERT_EQ(dst[y * 4 + x], recon.at(19, 20 + y));
+}
+
+TEST(Intra4, DiagonalModesRunWithoutNeighbourOverrun)
+{
+    Plane recon = random_plane(64, 64, 5);
+    Pixel dst[16];
+    // Exercise every position class including edges.
+    for (int y0 : {4, 12, 16, 60}) {
+        for (int x0 : {4, 12, 28, 60}) {
+            if (intra4_mode_available(recon, x0, y0, kI4DiagDownLeft))
+                predict_intra4(recon, x0, y0, kI4DiagDownLeft, dst, 4);
+            if (intra4_mode_available(recon, x0, y0, kI4DiagDownRight))
+                predict_intra4(recon, x0, y0, kI4DiagDownRight, dst, 4);
+        }
+    }
+    SUCCEED();
+}
+
+// ---- CABAC-class syntax ----
+
+TEST(CabacSyntax, UeBypassRoundTrip)
+{
+    RangeEncoder enc;
+    for (u32 v = 0; v < 300; ++v)
+        encode_ue_bypass(enc, v);
+    encode_ue_bypass(enc, 100000);
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (u32 v = 0; v < 300; ++v)
+        ASSERT_EQ(decode_ue_bypass(dec), v);
+    EXPECT_EQ(decode_ue_bypass(dec), 100000u);
+}
+
+TEST(CabacSyntax, MvdRoundTrip)
+{
+    RangeEncoder enc;
+    Contexts ectx;
+    std::vector<int> values;
+    for (int v = -200; v <= 200; v += 7)
+        values.push_back(v);
+    for (int v : values) {
+        encode_mvd(enc, ectx, 0, v);
+        encode_mvd(enc, ectx, 1, -v);
+    }
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    Contexts dctx;
+    for (int v : values) {
+        ASSERT_EQ(decode_mvd(dec, dctx, 0), v);
+        ASSERT_EQ(decode_mvd(dec, dctx, 1), -v);
+    }
+}
+
+TEST(CabacSyntax, RefIdxRoundTrip)
+{
+    for (int max_ref : {1, 2, 4, 8}) {
+        RangeEncoder enc;
+        Contexts ectx;
+        for (int r = 0; r < max_ref; ++r)
+            encode_ref_idx(enc, ectx, r, max_ref);
+        const std::vector<u8> bytes = enc.finish();
+        RangeDecoder dec(bytes);
+        Contexts dctx;
+        for (int r = 0; r < max_ref; ++r)
+            ASSERT_EQ(decode_ref_idx(dec, dctx, max_ref), r)
+                << "max_ref=" << max_ref;
+    }
+}
+
+class Block4x4RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Block4x4RoundTrip, RandomBlocks)
+{
+    const int density = GetParam();
+    std::mt19937 rng(static_cast<unsigned>(density) * 17 + 3);
+    RangeEncoder enc;
+    Contexts ectx;
+    std::vector<std::array<Coeff, 16>> blocks;
+    for (int t = 0; t < 200; ++t) {
+        std::array<Coeff, 16> blk{};
+        for (int i = (t % 2); i < 16; ++i) {  // alternate first=0/1
+            if (static_cast<int>(rng() % 100) < density) {
+                int v = 1 + static_cast<int>(rng() % 500);
+                if (rng() & 1)
+                    v = -v;
+                blk[i] = static_cast<Coeff>(v);
+            }
+        }
+        // For first=1 blocks, position 0 must stay zero.
+        encode_block4x4(enc, ectx, blk.data(), t % 2, t % 3 == 0 ? 1 : 0);
+        blocks.push_back(blk);
+    }
+    const std::vector<u8> bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    Contexts dctx;
+    for (int t = 0; t < 200; ++t) {
+        Coeff out[16] = {};
+        ASSERT_TRUE(decode_block4x4(dec, dctx, out, t % 2,
+                                    t % 3 == 0 ? 1 : 0));
+        for (int i = 0; i < 16; ++i) {
+            // Encoder scans zig-zag; position 0 of first=1 blocks was
+            // never encoded, everything else must round-trip.
+            ASSERT_EQ(out[i], blocks[t][i])
+                << "block " << t << " pos " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, Block4x4RoundTrip,
+                         ::testing::Values(0, 10, 40, 90));
+
+// ---- deblocking ----
+
+TEST(Deblock, FlatPictureIsUntouched)
+{
+    Frame frame(64, 48);
+    frame.luma().fill(100);
+    frame.cb().fill(120);
+    frame.cr().fill(130);
+    BlockInfoGrid grid(64, 48);
+    for (int by = 0; by < grid.height4(); ++by)
+        for (int bx = 0; bx < grid.width4(); ++bx)
+            grid.at(bx, by).intra = 1;  // maximum strength everywhere
+    deblock_picture(&frame, grid, 30);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            ASSERT_EQ(frame.luma().at(x, y), 100);
+}
+
+TEST(Deblock, SmoothsArtificialBlockEdge)
+{
+    Frame frame(64, 48);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            frame.luma().at(x, y) = x < 16 ? 100 : 112;
+    BlockInfoGrid grid(64, 48);
+    for (int by = 0; by < grid.height4(); ++by)
+        for (int bx = 0; bx < grid.width4(); ++bx)
+            grid.at(bx, by).nonzero = 1;  // bS = 2 edges
+    deblock_picture(&frame, grid, 32);
+    // The step across x=16 must have shrunk.
+    const int step_after = std::abs(frame.luma().at(16, 24) -
+                                    frame.luma().at(15, 24));
+    EXPECT_LT(step_after, 12);
+}
+
+TEST(Deblock, ZeroStrengthLeavesEdgeAlone)
+{
+    Frame frame(64, 48);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            frame.luma().at(x, y) = x < 16 ? 100 : 112;
+    BlockInfoGrid grid(64, 48);  // all inter, same mv/ref, no coeffs
+    deblock_picture(&frame, grid, 32);
+    EXPECT_EQ(frame.luma().at(16, 24), 112);
+    EXPECT_EQ(frame.luma().at(15, 24), 100);
+}
+
+TEST(Deblock, LowQpDisablesFiltering)
+{
+    Frame frame(64, 48);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            frame.luma().at(x, y) = x < 16 ? 100 : 140;
+    BlockInfoGrid grid(64, 48);
+    for (int by = 0; by < grid.height4(); ++by)
+        for (int bx = 0; bx < grid.width4(); ++bx)
+            grid.at(bx, by).intra = 1;
+    deblock_picture(&frame, grid, 10);  // alpha/beta tables are zero
+    EXPECT_EQ(frame.luma().at(16, 24), 140);
+}
+
+TEST(Deblock, MotionDiscontinuityTriggersWeakFilter)
+{
+    BlockInfoGrid grid(32, 32);
+    BlockInfo &a = grid.at(0, 0);
+    BlockInfo &b = grid.at(1, 0);
+    a.ref = b.ref = 0;
+    a.mv = {0, 0};
+    b.mv = {8, 0};  // two full samples apart
+    Frame frame(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            frame.luma().at(x, y) = x < 4 ? 100 : 110;
+    deblock_picture(&frame, grid, 36);
+    EXPECT_NE(frame.luma().at(4, 1), 110);  // bS=1 filter acted
+}
+
+}  // namespace
+}  // namespace hdvb

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for motion compensation (all three interpolation schemes)
+ * and motion estimation (full search, EPZS, hexagon, sub-pel refine).
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mc/mc.h"
+#include "me/me.h"
+#include "synth/synth.h"
+
+namespace hdvb {
+namespace {
+
+Plane
+random_plane(int w, int h, unsigned seed)
+{
+    Plane plane(w, h, kRefBorder);
+    std::mt19937 rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            plane.at(x, y) = static_cast<Pixel>(rng());
+    plane.extend_borders();
+    return plane;
+}
+
+TEST(McHalfpel, IntegerPositionIsPureCopy)
+{
+    const Plane ref = random_plane(64, 64, 1);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    Pixel dst[16 * 16];
+    mc_halfpel(ref, 16, 16, {4, -6}, dst, 16, 16, 16, dsp);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            ASSERT_EQ(dst[y * 16 + x], ref.at(16 + 2 + x, 16 - 3 + y));
+}
+
+TEST(McHalfpel, HalfPositionsAverageNeighbours)
+{
+    const Plane ref = random_plane(64, 64, 2);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    Pixel dst[8 * 8];
+    mc_halfpel(ref, 8, 8, {1, 0}, dst, 8, 8, 8, dsp);
+    EXPECT_EQ(dst[0], (ref.at(8, 8) + ref.at(9, 8) + 1) >> 1);
+    mc_halfpel(ref, 8, 8, {0, 1}, dst, 8, 8, 8, dsp);
+    EXPECT_EQ(dst[0], (ref.at(8, 8) + ref.at(8, 9) + 1) >> 1);
+    mc_halfpel(ref, 8, 8, {1, 1}, dst, 8, 8, 8, dsp);
+    EXPECT_EQ(dst[0], (ref.at(8, 8) + ref.at(9, 8) + ref.at(8, 9) +
+                       ref.at(9, 9) + 2) >> 2);
+}
+
+TEST(McQpelBilin, QuarterWeightsInterpolateLinearly)
+{
+    // On a horizontal ramp, quarter-pel positions must interpolate
+    // linearly between samples.
+    Plane ref(64, 64, kRefBorder);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            ref.at(x, y) = static_cast<Pixel>(4 * x);
+    ref.extend_borders();
+    const Dsp &dsp = get_dsp(best_simd_level());
+    Pixel dst[8 * 8];
+    for (int fx = 0; fx < 4; ++fx) {
+        mc_qpel_bilin(ref, 8, 8, {static_cast<s16>(fx), 0}, dst, 8, 8,
+                      8, dsp);
+        EXPECT_NEAR(dst[0], 32 + fx, 1) << "fx=" << fx;
+    }
+}
+
+TEST(McH264Luma, AllSixteenPositionsStayInRangeAndDiffer)
+{
+    const Plane ref = random_plane(64, 64, 3);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    Pixel first[16 * 16];
+    int distinct = 0;
+    for (int fy = 0; fy < 4; ++fy) {
+        for (int fx = 0; fx < 4; ++fx) {
+            Pixel dst[16 * 16];
+            mc_h264_luma(ref, 16, 16,
+                         {static_cast<s16>(fx), static_cast<s16>(fy)},
+                         dst, 16, 16, 16, dsp);
+            if (fx == 0 && fy == 0) {
+                std::copy(dst, dst + 256, first);
+            } else if (!std::equal(dst, dst + 256, first)) {
+                ++distinct;
+            }
+        }
+    }
+    EXPECT_EQ(distinct, 15);  // every fractional position differs
+}
+
+TEST(McH264Luma, HalfPelMatchesSixTapFormula)
+{
+    const Plane ref = random_plane(64, 64, 4);
+    const Dsp &dsp = get_dsp(SimdLevel::kScalar);
+    Pixel dst[4 * 4];
+    mc_h264_luma(ref, 16, 16, {2, 0}, dst, 4, 4, 4, dsp);
+    const int x = 16, y = 16;
+    const int v = ref.at(x - 2, y) - 5 * ref.at(x - 1, y) +
+                  20 * ref.at(x, y) + 20 * ref.at(x + 1, y) -
+                  5 * ref.at(x + 2, y) + ref.at(x + 3, y);
+    EXPECT_EQ(dst[0], clamp_pixel((v + 16) >> 5));
+}
+
+TEST(McH264Chroma, EighthPelBilinear)
+{
+    const Plane ref = random_plane(32, 32, 5);
+    Pixel dst[4 * 4];
+    // mv 8 quarter-pel = 1 full chroma sample: pure copy shifted by 1.
+    mc_h264_chroma(ref, 8, 8, {8, 0}, dst, 4, 4, 4);
+    EXPECT_EQ(dst[0], ref.at(9, 8));
+    // mv 4 = half chroma sample: 50/50 blend.
+    mc_h264_chroma(ref, 8, 8, {4, 0}, dst, 4, 4, 4);
+    EXPECT_EQ(dst[0], (ref.at(8, 8) * 4 + ref.at(9, 8) * 4 + 4) >> 3);
+}
+
+TEST(ChromaMvDerivation, DividesTowardZero)
+{
+    EXPECT_EQ(chroma_mv_from_halfpel({5, -5}).x, 2);
+    EXPECT_EQ(chroma_mv_from_halfpel({5, -5}).y, -2);
+    EXPECT_EQ(chroma_mv_from_qpel({7, -7}).x, 3);
+    EXPECT_EQ(chroma_mv_from_qpel({7, -7}).y, -3);
+}
+
+// ---- motion estimation ----
+
+class MeShiftTest : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeShiftTest, FullSearchRecoversPlantedMotion)
+{
+    const auto [dx, dy] = GetParam();
+    Plane ref = random_plane(96, 96, 10);
+    Plane cur(96, 96, kRefBorder);
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            cur.at(x, y) = ref.at(clamp(x + dx, 0, 95),
+                                  clamp(y + dy, 0, 95));
+
+    const Dsp &dsp = get_dsp(best_simd_level());
+    MeParams params{12, 32, 1, &dsp};
+    MotionEstimator me(params);
+    MeBlock blk{&cur, &ref, 40, 40, 16, 16};
+    const MeResult result = me.full_search(blk, {});
+    EXPECT_EQ(result.mv.x, dx);
+    EXPECT_EQ(result.mv.y, dy);
+    EXPECT_EQ(result.sad, 0);
+}
+
+TEST_P(MeShiftTest, EpzsAndHexMatchFullSearchOnCleanShift)
+{
+    // Zonal searches (EPZS, hexagon) descend the SAD landscape; unlike
+    // exhaustive search they need gradients, so this test uses a
+    // smooth paraboloid pattern with a unique alignment minimum (pure
+    // noise has a flat landscape that only full search can solve).
+    const auto [dx, dy] = GetParam();
+    Plane ref(96, 96, kRefBorder);
+    for (int y = 0; y < 96; ++y) {
+        for (int x = 0; x < 96; ++x) {
+            const int r2 = (x - 48) * (x - 48) + (y - 48) * (y - 48);
+            ref.at(x, y) = clamp_pixel(r2 / 40);  // no clamp anywhere
+        }
+    }
+    ref.extend_borders();
+    Plane cur(96, 96, kRefBorder);
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            cur.at(x, y) = ref.at(clamp(x + dx, 0, 95),
+                                  clamp(y + dy, 0, 95));
+
+    const Dsp &dsp = get_dsp(best_simd_level());
+    MeParams params{12, 32, 1, &dsp};
+    MotionEstimator me(params);
+    // Block away from the paraboloid centre, where the gradient is
+    // strong in both axes.
+    MeBlock blk{&cur, &ref, 8, 8, 16, 16};
+    const std::vector<MotionVector> no_cands;
+    const MeResult epzs = me.epzs(blk, {}, no_cands);
+    const MeResult hex = me.hex(blk, {}, no_cands);
+    // Fast searches trade exactness for speed by design: EPZS early-
+    // terminates once SAD falls below one grey level per sample (its
+    // convergence threshold), and hexagon may stop one rate-cost-
+    // equivalent step short of the optimum. The contract is therefore
+    // a per-sample residual bound, not exact-zero.
+    EXPECT_LE(epzs.sad, 16 * 16)
+        << "epzs missed (" << dx << "," << dy << ")";
+    EXPECT_LE(hex.sad, 2 * 16 * 16)
+        << "hex missed (" << dx << "," << dy << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, MeShiftTest,
+    ::testing::Values(std::pair{0, 0}, std::pair{3, 0}, std::pair{0, -4},
+                      std::pair{-5, 2}, std::pair{7, 7},
+                      std::pair{-8, -3}));
+
+TEST(MeBounds, WindowClampedNearPictureEdge)
+{
+    Plane ref = random_plane(64, 64, 12);
+    Plane cur = random_plane(64, 64, 13);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    MeParams params{32, 32, 1, &dsp};
+    MotionEstimator me(params);
+    MeBlock blk{&cur, &ref, 0, 0, 16, 16};
+    int min_x, max_x, min_y, max_y;
+    me.mv_bounds(blk, &min_x, &max_x, &min_y, &max_y);
+    EXPECT_GE(min_x, -kMeMargin);
+    EXPECT_GE(min_y, -kMeMargin);
+    EXPECT_LE(max_x, 64 + kMeMargin - 16);
+    // The full window must be searchable without touching unsafe rows.
+    const MeResult result = me.full_search(blk, {});
+    EXPECT_GE(result.mv.x, min_x);
+    EXPECT_LE(result.mv.x, max_x);
+}
+
+TEST(MeCandidates, GoodCandidateShortCircuitsToExactMatch)
+{
+    Plane ref = random_plane(96, 96, 14);
+    Plane cur(96, 96, kRefBorder);
+    const int dx = 11, dy = -9;  // outside the diamond's casual reach
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            cur.at(x, y) = ref.at(clamp(x + dx, 0, 95),
+                                  clamp(y + dy, 0, 95));
+    const Dsp &dsp = get_dsp(best_simd_level());
+    MeParams params{16, 32, 1, &dsp};
+    MotionEstimator me(params);
+    MeBlock blk{&cur, &ref, 48, 48, 16, 16};
+    const std::vector<MotionVector> cands = {
+        {static_cast<s16>(dx), static_cast<s16>(dy)}};
+    const MeResult result = me.epzs(blk, {}, cands);
+    EXPECT_EQ(result.sad, 0);
+}
+
+TEST(SubpelRefine, FindsPlantedHalfPelShift)
+{
+    // Build cur as the half-pel interpolation of ref: the refiner
+    // should prefer the (1, 0) half-pel position over integer ones.
+    Plane ref = random_plane(96, 96, 15);
+    Plane cur(96, 96, kRefBorder);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            cur.at(x, y) = static_cast<Pixel>(
+                (ref.at(x, y) + ref.at(clamp(x + 1, 0, 95), y) + 1) >>
+                1);
+    MeParams params{8, 32, 1, &dsp};
+    MeBlock blk{&cur, &ref, 40, 40, 16, 16};
+    const MeResult result = subpel_refine(
+        blk, {0, 0}, {0, 0}, params, {1}, false,
+        [&](MotionVector mv, Pixel *dst, int ds) {
+            mc_halfpel(ref, blk.x0, blk.y0, mv, dst, ds, 16, 16, dsp);
+        });
+    EXPECT_EQ(result.mv.x, 1);
+    EXPECT_EQ(result.mv.y, 0);
+    EXPECT_EQ(result.sad, 0);
+}
+
+TEST(MvRateCost, GrowsWithDistanceFromPredictor)
+{
+    const int near = mv_rate_cost({2, 2}, {0, 0}, 64);
+    const int far = mv_rate_cost({40, -40}, {0, 0}, 64);
+    EXPECT_LT(near, far);
+    EXPECT_EQ(mv_rate_cost({5, 5}, {5, 5}, 64),
+              mv_rate_cost({0, 0}, {0, 0}, 64));
+}
+
+}  // namespace
+}  // namespace hdvb

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * End-to-end codec tests, parameterised over all three codecs and both
+ * SIMD levels: decode reproduces display order, quality floors hold,
+ * bitstreams are invariant to the SIMD level and deterministic, rate
+ * responds monotonically to the quantiser, and corrupt streams are
+ * rejected cleanly.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "container/container.h"
+#include "core/benchmark.h"
+#include "metrics/psnr.h"
+#include "synth/synth.h"
+
+namespace hdvb {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;
+
+CodecConfig
+small_config(SimdLevel simd)
+{
+    CodecConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.qscale = 5;
+    cfg.qp = 26;
+    cfg.me_range = 8;
+    cfg.refs = 2;
+    cfg.simd = simd;
+    return cfg;
+}
+
+struct CodecRun {
+    EncodedStream stream;
+    std::vector<Frame> decoded;
+};
+
+CodecRun
+encode_decode(CodecId codec, const CodecConfig &cfg, SequenceId seq,
+              int frames)
+{
+    CodecRun run;
+    run.stream.codec = codec_name(codec);
+    run.stream.width = cfg.width;
+    run.stream.height = cfg.height;
+    std::unique_ptr<VideoEncoder> enc = make_encoder(codec, cfg);
+    SyntheticSource source(seq, cfg.width, cfg.height);
+    for (int i = 0; i < frames; ++i)
+        EXPECT_TRUE(enc->encode(source.next(),
+                                &run.stream.packets).is_ok());
+    EXPECT_TRUE(enc->flush(&run.stream.packets).is_ok());
+
+    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+    for (const Packet &packet : run.stream.packets)
+        EXPECT_TRUE(dec->decode(packet, &run.decoded).is_ok());
+    EXPECT_TRUE(dec->flush(&run.decoded).is_ok());
+    return run;
+}
+
+using CodecSimd = std::pair<CodecId, SimdLevel>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecSimd>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (GetParam().second == SimdLevel::kSse2 &&
+            best_simd_level() != SimdLevel::kSse2) {
+            GTEST_SKIP() << "no SSE2";
+        }
+    }
+};
+
+TEST_P(CodecRoundTrip, DisplayOrderAndFrameCount)
+{
+    const auto [codec, simd] = GetParam();
+    const int frames = 10;
+    const CodecRun run = encode_decode(codec, small_config(simd),
+                                       SequenceId::kRushHour, frames);
+    ASSERT_EQ(run.decoded.size(), static_cast<size_t>(frames));
+    for (int i = 0; i < frames; ++i)
+        EXPECT_EQ(run.decoded[i].poc(), i) << "display order broken";
+    EXPECT_EQ(run.stream.packets.size(), static_cast<size_t>(frames));
+    EXPECT_EQ(run.stream.packets[0].type, PictureType::kI);
+}
+
+TEST_P(CodecRoundTrip, QualityFloorHolds)
+{
+    const auto [codec, simd] = GetParam();
+    const CodecRun run = encode_decode(codec, small_config(simd),
+                                       SequenceId::kPedestrianArea, 8);
+    SyntheticSource source(SequenceId::kPedestrianArea, kW, kH);
+    PsnrAccumulator acc;
+    for (const Frame &frame : run.decoded)
+        acc.add(source.at(static_cast<int>(frame.poc())), frame);
+    EXPECT_GT(acc.psnr_y(), 34.0);
+    EXPECT_GT(acc.psnr_all(), 34.0);
+}
+
+TEST_P(CodecRoundTrip, EncoderIsDeterministic)
+{
+    const auto [codec, simd] = GetParam();
+    const CodecConfig cfg = small_config(simd);
+    const CodecRun a =
+        encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
+    const CodecRun b =
+        encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
+    ASSERT_EQ(a.stream.packets.size(), b.stream.packets.size());
+    for (size_t i = 0; i < a.stream.packets.size(); ++i)
+        EXPECT_EQ(a.stream.packets[i].data, b.stream.packets[i].data);
+}
+
+TEST_P(CodecRoundTrip, AllPictureTypesAppear)
+{
+    const auto [codec, simd] = GetParam();
+    const CodecRun run = encode_decode(codec, small_config(simd),
+                                       SequenceId::kRushHour, 8);
+    int counts[3] = {};
+    for (const Packet &packet : run.stream.packets)
+        ++counts[static_cast<int>(packet.type)];
+    EXPECT_EQ(counts[0], 1);  // single leading I (paper Section IV)
+    EXPECT_GT(counts[1], 0);  // P anchors
+    EXPECT_GT(counts[2], 0);  // B pictures
+}
+
+TEST_P(CodecRoundTrip, CorruptPacketsRejectedNotCrashing)
+{
+    const auto [codec, simd] = GetParam();
+    const CodecConfig cfg = small_config(simd);
+    CodecRun run =
+        encode_decode(codec, cfg, SequenceId::kRiverbed, 6);
+    std::mt19937 rng(3);
+    int rejected = 0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+        EncodedStream mangled = run.stream;
+        // Corrupt one packet: flip bytes or truncate.
+        Packet &victim =
+            mangled.packets[rng() % mangled.packets.size()];
+        if (victim.data.empty())
+            continue;
+        if (t % 2 == 0) {
+            for (int k = 0; k < 5; ++k)
+                victim.data[rng() % victim.data.size()] ^=
+                    static_cast<u8>(1 + rng() % 255);
+        } else {
+            victim.data.resize(victim.data.size() / 2);
+        }
+        std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+        std::vector<Frame> frames;
+        bool ok = true;
+        for (const Packet &packet : mangled.packets) {
+            if (!dec->decode(packet, &frames).is_ok()) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            ++rejected;
+        // Either outcome is fine; the requirement is no crash/UB and
+        // any successfully decoded frames have sane geometry.
+        for (const Frame &frame : frames) {
+            EXPECT_EQ(frame.width(), kW);
+            EXPECT_EQ(frame.height(), kH);
+        }
+    }
+    SUCCEED() << rejected << "/" << trials << " corruptions rejected";
+}
+
+TEST_P(CodecRoundTrip, MissingReferenceRejected)
+{
+    const auto [codec, simd] = GetParam();
+    const CodecConfig cfg = small_config(simd);
+    CodecRun run = encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
+    // Feed a P/B packet to a fresh decoder with no I first.
+    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+    std::vector<Frame> frames;
+    ASSERT_GE(run.stream.packets.size(), 2u);
+    EXPECT_FALSE(dec->decode(run.stream.packets[1], &frames).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsBothLevels, CodecRoundTrip,
+    ::testing::Values(
+        CodecSimd{CodecId::kMpeg2, SimdLevel::kScalar},
+        CodecSimd{CodecId::kMpeg2, SimdLevel::kSse2},
+        CodecSimd{CodecId::kMpeg4, SimdLevel::kScalar},
+        CodecSimd{CodecId::kMpeg4, SimdLevel::kSse2},
+        CodecSimd{CodecId::kH264, SimdLevel::kScalar},
+        CodecSimd{CodecId::kH264, SimdLevel::kSse2}),
+    [](const ::testing::TestParamInfo<CodecSimd> &info) {
+        return std::string(codec_name(info.param.first)) + "_" +
+               simd_level_name(info.param.second);
+    });
+
+// ---- SIMD-level invariance: the Figure 1 axis must not change output
+
+class SimdInvariance : public ::testing::TestWithParam<CodecId>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (best_simd_level() != SimdLevel::kSse2)
+            GTEST_SKIP() << "no SSE2";
+    }
+};
+
+TEST_P(SimdInvariance, BitstreamAndOutputIdenticalAcrossLevels)
+{
+    const CodecId codec = GetParam();
+    const CodecRun scalar = encode_decode(
+        codec, small_config(SimdLevel::kScalar), SequenceId::kRushHour,
+        7);
+    const CodecRun simd = encode_decode(
+        codec, small_config(SimdLevel::kSse2), SequenceId::kRushHour,
+        7);
+    ASSERT_EQ(scalar.stream.packets.size(), simd.stream.packets.size());
+    for (size_t i = 0; i < scalar.stream.packets.size(); ++i) {
+        EXPECT_EQ(scalar.stream.packets[i].data,
+                  simd.stream.packets[i].data)
+            << "bitstream differs at packet " << i;
+    }
+    ASSERT_EQ(scalar.decoded.size(), simd.decoded.size());
+    for (size_t i = 0; i < scalar.decoded.size(); ++i) {
+        EXPECT_EQ(plane_sse(scalar.decoded[i].luma(),
+                            simd.decoded[i].luma()),
+                  0u);
+    }
+}
+
+TEST_P(SimdInvariance, CrossLevelDecodeMatches)
+{
+    // Encode with SIMD, decode with scalar: still identical pixels.
+    const CodecId codec = GetParam();
+    const CodecConfig enc_cfg = small_config(SimdLevel::kSse2);
+    const CodecRun simd_run = encode_decode(
+        codec, enc_cfg, SequenceId::kPedestrianArea, 7);
+    const CodecConfig dec_cfg = small_config(SimdLevel::kScalar);
+    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, dec_cfg);
+    std::vector<Frame> frames;
+    for (const Packet &packet : simd_run.stream.packets)
+        ASSERT_TRUE(dec->decode(packet, &frames).is_ok());
+    dec->flush(&frames);
+    ASSERT_EQ(frames.size(), simd_run.decoded.size());
+    for (size_t i = 0; i < frames.size(); ++i)
+        EXPECT_EQ(plane_sse(frames[i].luma(),
+                            simd_run.decoded[i].luma()),
+                  0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, SimdInvariance,
+                         ::testing::Values(CodecId::kMpeg2,
+                                           CodecId::kMpeg4,
+                                           CodecId::kH264),
+                         [](const ::testing::TestParamInfo<CodecId> &i) {
+                             return codec_name(i.param);
+                         });
+
+// ---- rate control behaviour ----
+
+class RateMonotonicity : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(RateMonotonicity, CoarserQuantiserSpendsFewerBits)
+{
+    const CodecId codec = GetParam();
+    CodecConfig fine = small_config(best_simd_level());
+    CodecConfig coarse = fine;
+    fine.qscale = 3;
+    fine.qp = 20;
+    coarse.qscale = 16;
+    coarse.qp = 40;
+    const CodecRun fine_run =
+        encode_decode(codec, fine, SequenceId::kRiverbed, 6);
+    const CodecRun coarse_run =
+        encode_decode(codec, coarse, SequenceId::kRiverbed, 6);
+    EXPECT_GT(fine_run.stream.total_bits(),
+              coarse_run.stream.total_bits());
+
+    SyntheticSource source(SequenceId::kRiverbed, kW, kH);
+    PsnrAccumulator fine_psnr, coarse_psnr;
+    for (const Frame &frame : fine_run.decoded)
+        fine_psnr.add(source.at(static_cast<int>(frame.poc())), frame);
+    for (const Frame &frame : coarse_run.decoded)
+        coarse_psnr.add(source.at(static_cast<int>(frame.poc())),
+                        frame);
+    EXPECT_GT(fine_psnr.psnr_y(), coarse_psnr.psnr_y());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, RateMonotonicity,
+                         ::testing::Values(CodecId::kMpeg2,
+                                           CodecId::kMpeg4,
+                                           CodecId::kH264),
+                         [](const ::testing::TestParamInfo<CodecId> &i) {
+                             return codec_name(i.param);
+                         });
+
+// ---- GOP structure variants ----
+
+class GopVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(GopVariants, BframeCountsRoundTrip)
+{
+    const int bframes = GetParam();
+    for (CodecId codec : kAllCodecs) {
+        CodecConfig cfg = small_config(best_simd_level());
+        cfg.bframes = bframes;
+        const int frames = 9;
+        const CodecRun run =
+            encode_decode(codec, cfg, SequenceId::kRushHour, frames);
+        ASSERT_EQ(run.decoded.size(), static_cast<size_t>(frames))
+            << codec_name(codec) << " bframes=" << bframes;
+        for (int i = 0; i < frames; ++i)
+            EXPECT_EQ(run.decoded[i].poc(), i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BframeSweep, GopVariants,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Flush, TrailingBframesAreEmittedOnFlush)
+{
+    // 6 frames with bframes=2: display 0..5; frame 4,5 pend at flush.
+    CodecConfig cfg = small_config(best_simd_level());
+    const CodecRun run = encode_decode(CodecId::kMpeg2, cfg,
+                                       SequenceId::kBlueSky, 6);
+    ASSERT_EQ(run.decoded.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(run.decoded[i].poc(), i);
+}
+
+TEST(Encode, RejectsWrongFrameSize)
+{
+    CodecConfig cfg = small_config(best_simd_level());
+    std::unique_ptr<VideoEncoder> enc =
+        make_encoder(CodecId::kH264, cfg);
+    Frame wrong(kW * 2, kH * 2);
+    std::vector<Packet> packets;
+    EXPECT_FALSE(enc->encode(wrong, &packets).is_ok());
+}
+
+}  // namespace
+}  // namespace hdvb

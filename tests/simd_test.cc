@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The central SIMD invariant: every SSE2 kernel is bit-exact with its
+ * scalar reference on randomised inputs (this is what makes SimdLevel a
+ * pure speed knob in Figure 1), plus accuracy bounds for the
+ * fixed-point transforms against the double-precision reference.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "dsp/dct_ref.h"
+#include "simd/dispatch.h"
+
+namespace hdvb {
+namespace {
+
+class KernelEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (best_simd_level() == SimdLevel::kScalar)
+            GTEST_SKIP() << "no SSE2 in this build";
+        rng_.seed(static_cast<unsigned>(GetParam()) * 7919 + 1);
+        buf_a_.resize(kStride * 40);
+        buf_b_.resize(kStride * 40);
+        for (auto &px : buf_a_)
+            px = static_cast<Pixel>(rng_());
+        for (auto &px : buf_b_)
+            px = static_cast<Pixel>(rng_());
+    }
+
+    static constexpr int kStride = 97;  // odd stride, unaligned
+    std::mt19937 rng_;
+    std::vector<Pixel> buf_a_;
+    std::vector<Pixel> buf_b_;
+    const Dsp &scalar_ = get_dsp(SimdLevel::kScalar);
+    const Dsp &simd_ = get_dsp(SimdLevel::kSse2);
+};
+
+TEST_P(KernelEquivalence, Sad)
+{
+    const Pixel *a = buf_a_.data() + 3;
+    const Pixel *b = buf_b_.data() + 5;
+    EXPECT_EQ(scalar_.sad16x16(a, kStride, b, kStride),
+              simd_.sad16x16(a, kStride, b, kStride));
+    EXPECT_EQ(scalar_.sad8x8(a, kStride, b, kStride),
+              simd_.sad8x8(a, kStride, b, kStride));
+    for (int w : {4, 8, 16}) {
+        for (int h : {4, 8, 16}) {
+            EXPECT_EQ(scalar_.sad_rect(a, kStride, b, kStride, w, h),
+                      simd_.sad_rect(a, kStride, b, kStride, w, h));
+        }
+    }
+}
+
+TEST_P(KernelEquivalence, Satd)
+{
+    const Pixel *a = buf_a_.data() + 1;
+    const Pixel *b = buf_b_.data() + 2;
+    EXPECT_EQ(scalar_.satd4x4(a, kStride, b, kStride),
+              simd_.satd4x4(a, kStride, b, kStride));
+    for (int w : {4, 8, 16}) {
+        for (int h : {4, 8, 16}) {
+            EXPECT_EQ(scalar_.satd_rect(a, kStride, b, kStride, w, h),
+                      simd_.satd_rect(a, kStride, b, kStride, w, h));
+        }
+    }
+}
+
+TEST_P(KernelEquivalence, SseRect)
+{
+    const Pixel *a = buf_a_.data() + 2;
+    const Pixel *b = buf_b_.data() + 7;
+    for (int w : {3, 8, 16, 24, 33}) {
+        EXPECT_EQ(scalar_.sse_rect(a, kStride, b, kStride, w, 16),
+                  simd_.sse_rect(a, kStride, b, kStride, w, 16));
+    }
+}
+
+TEST_P(KernelEquivalence, AvgAndAvg4)
+{
+    const Pixel *a = buf_a_.data() + 4;
+    const Pixel *b = buf_b_.data() + 9;
+    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
+    for (int w : {3, 8, 15, 16}) {
+        scalar_.avg_rect(d1.data(), 16, a, kStride, b, kStride, w, 16);
+        simd_.avg_rect(d2.data(), 16, a, kStride, b, kStride, w, 16);
+        EXPECT_EQ(d1, d2);
+        scalar_.avg4_rect(d1.data(), 16, a, kStride, w, 16);
+        simd_.avg4_rect(d2.data(), 16, a, kStride, w, 16);
+        EXPECT_EQ(d1, d2);
+    }
+}
+
+TEST_P(KernelEquivalence, QpelBilin)
+{
+    const Pixel *a = buf_a_.data() + 6;
+    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
+    for (int fx = 0; fx < 4; ++fx) {
+        for (int fy = 0; fy < 4; ++fy) {
+            scalar_.qpel_bilin_rect(d1.data(), 16, a, kStride, 16, 16,
+                                    fx, fy);
+            simd_.qpel_bilin_rect(d2.data(), 16, a, kStride, 16, 16,
+                                  fx, fy);
+            EXPECT_EQ(d1, d2) << "fx=" << fx << " fy=" << fy;
+        }
+    }
+}
+
+TEST_P(KernelEquivalence, SubAndAdd)
+{
+    const Pixel *a = buf_a_.data() + 8;
+    const Pixel *b = buf_b_.data() + 3;
+    std::vector<Coeff> r1(16 * 16), r2(16 * 16);
+    for (int w : {4, 8, 15, 16}) {
+        scalar_.sub_rect(r1.data(), 16, a, kStride, b, kStride, w, 8);
+        simd_.sub_rect(r2.data(), 16, a, kStride, b, kStride, w, 8);
+        EXPECT_EQ(r1, r2);
+    }
+    // add_rect: residuals that push past both clamp edges.
+    std::vector<Coeff> res(8 * 8);
+    for (auto &c : res)
+        c = static_cast<Coeff>(static_cast<int>(rng_() % 1200) - 600);
+    std::vector<Pixel> d1(8 * 8), d2(8 * 8);
+    for (size_t i = 0; i < d1.size(); ++i)
+        d1[i] = d2[i] = buf_a_[i];
+    scalar_.add_rect(d1.data(), 8, res.data(), 8, 8, 8);
+    simd_.add_rect(d2.data(), 8, res.data(), 8, 8, 8);
+    EXPECT_EQ(d1, d2);
+}
+
+TEST_P(KernelEquivalence, Dct8x8BitExact)
+{
+    Coeff blk1[64], blk2[64];
+    for (int i = 0; i < 64; ++i) {
+        blk1[i] = blk2[i] =
+            static_cast<Coeff>(static_cast<int>(rng_() % 511) - 255);
+    }
+    scalar_.fdct8x8(blk1);
+    simd_.fdct8x8(blk2);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(blk1[i], blk2[i]) << "fdct coeff " << i;
+
+    for (int i = 0; i < 64; ++i) {
+        blk1[i] = blk2[i] =
+            static_cast<Coeff>(static_cast<int>(rng_() % 4095) - 2047);
+    }
+    scalar_.idct8x8(blk1);
+    simd_.idct8x8(blk2);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(blk1[i], blk2[i]) << "idct sample " << i;
+}
+
+TEST_P(KernelEquivalence, H264HalfPel)
+{
+    const Pixel *src = buf_a_.data() + kStride * 4 + 8;
+    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
+    for (int w : {4, 8, 16}) {
+        scalar_.h264_hpel_h(d1.data(), 16, src, kStride, w, 16);
+        simd_.h264_hpel_h(d2.data(), 16, src, kStride, w, 16);
+        EXPECT_EQ(d1, d2);
+        scalar_.h264_hpel_v(d1.data(), 16, src, kStride, w, 16);
+        simd_.h264_hpel_v(d2.data(), 16, src, kStride, w, 16);
+        EXPECT_EQ(d1, d2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, KernelEquivalence,
+                         ::testing::Range(0, 8));
+
+// ---- transform accuracy against the double-precision reference ----
+
+TEST(Dct8x8, ForwardMatchesReferenceWithinTolerance)
+{
+    std::mt19937 rng(99);
+    const Dsp &dsp = get_dsp(SimdLevel::kScalar);
+    double worst = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+        Coeff blk[64];
+        double ref_in[64];
+        for (int i = 0; i < 64; ++i) {
+            blk[i] = static_cast<Coeff>(static_cast<int>(rng() % 511) -
+                                        255);
+            ref_in[i] = blk[i];
+        }
+        double ref_out[64];
+        fdct8x8_ref(ref_in, ref_out);
+        dsp.fdct8x8(blk);
+        for (int i = 0; i < 64; ++i)
+            worst = std::max(worst, std::abs(blk[i] - ref_out[i]));
+    }
+    EXPECT_LT(worst, 2.0);  // Q13 basis with two roundings
+}
+
+TEST(Dct8x8, RoundTripReconstructsResiduals)
+{
+    std::mt19937 rng(7);
+    const Dsp &dsp = get_dsp(best_simd_level());
+    int worst = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        Coeff blk[64], orig[64];
+        for (int i = 0; i < 64; ++i) {
+            blk[i] = orig[i] =
+                static_cast<Coeff>(static_cast<int>(rng() % 511) - 255);
+        }
+        dsp.fdct8x8(blk);
+        dsp.idct8x8(blk);
+        for (int i = 0; i < 64; ++i)
+            worst = std::max(worst, std::abs(blk[i] - orig[i]));
+    }
+    EXPECT_LE(worst, 2);  // unquantised round trip is near-lossless
+}
+
+TEST(Dct8x8, DcOnlyBlockIsFlat)
+{
+    const Dsp &dsp = get_dsp(SimdLevel::kScalar);
+    Coeff blk[64] = {};
+    blk[0] = 800;  // orthonormal DC: output = 800 / 8 = 100 per sample
+    dsp.idct8x8(blk);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(blk[i], 100, 1);
+}
+
+TEST(SimdLevel, NamesAndBestLevel)
+{
+    EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+    EXPECT_STREQ(simd_level_name(SimdLevel::kSse2), "sse2");
+    EXPECT_STREQ(get_dsp(SimdLevel::kScalar).name, "scalar");
+#if defined(__SSE2__)
+    EXPECT_EQ(best_simd_level(), SimdLevel::kSse2);
+#endif
+}
+
+}  // namespace
+}  // namespace hdvb

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the synthetic sequence generators: determinism,
+ * distinctness, and the Table III codability ordering (riverbed must be
+ * the hard-to-code outlier).
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/psnr.h"
+#include "metrics/stats.h"
+#include "synth/synth.h"
+
+namespace hdvb {
+namespace {
+
+TEST(Synth, NamesMatchPaper)
+{
+    EXPECT_STREQ(sequence_name(SequenceId::kBlueSky), "blue_sky");
+    EXPECT_STREQ(sequence_name(SequenceId::kPedestrianArea),
+                 "pedestrian_area");
+    EXPECT_STREQ(sequence_name(SequenceId::kRiverbed), "riverbed");
+    EXPECT_STREQ(sequence_name(SequenceId::kRushHour), "rush_hour");
+}
+
+TEST(Synth, GenerationIsDeterministic)
+{
+    for (SequenceId seq : kAllSequences) {
+        Frame a(96, 64), b(96, 64);
+        generate_frame(seq, 5, &a);
+        generate_frame(seq, 5, &b);
+        EXPECT_EQ(plane_sse(a.luma(), b.luma()), 0u);
+        EXPECT_EQ(plane_sse(a.cb(), b.cb()), 0u);
+        EXPECT_EQ(plane_sse(a.cr(), b.cr()), 0u);
+    }
+}
+
+TEST(Synth, SequencesAreDistinct)
+{
+    Frame frames[kSequenceCount];
+    for (int i = 0; i < kSequenceCount; ++i) {
+        frames[i] = Frame(96, 64);
+        generate_frame(kAllSequences[i], 0, &frames[i]);
+    }
+    for (int i = 0; i < kSequenceCount; ++i)
+        for (int j = i + 1; j < kSequenceCount; ++j)
+            EXPECT_GT(plane_sse(frames[i].luma(), frames[j].luma()),
+                      1000u);
+}
+
+TEST(Synth, FramesEvolveOverTime)
+{
+    for (SequenceId seq : kAllSequences) {
+        Frame a(96, 64), b(96, 64);
+        generate_frame(seq, 0, &a);
+        generate_frame(seq, 4, &b);
+        EXPECT_GT(plane_sse(a.luma(), b.luma()), 0u)
+            << sequence_name(seq);
+    }
+}
+
+TEST(Synth, SourceStreamsPocsInOrder)
+{
+    SyntheticSource source(SequenceId::kBlueSky, 64, 48);
+    for (int i = 0; i < 5; ++i) {
+        const Frame frame = source.next();
+        EXPECT_EQ(frame.poc(), i);
+    }
+    EXPECT_EQ(source.at(2).poc(), 2);
+}
+
+TEST(Synth, RandomAccessMatchesStreaming)
+{
+    SyntheticSource stream(SequenceId::kRushHour, 96, 64);
+    stream.next();
+    stream.next();
+    const Frame streamed = stream.next();  // frame 2
+    SyntheticSource random(SequenceId::kRushHour, 96, 64);
+    const Frame accessed = random.at(2);
+    EXPECT_EQ(plane_sse(streamed.luma(), accessed.luma()), 0u);
+}
+
+TEST(Synth, RiverbedHasHighestTemporalInformation)
+{
+    double ti[kSequenceCount];
+    for (int s = 0; s < kSequenceCount; ++s) {
+        SyntheticSource source(kAllSequences[s], 192, 128);
+        SiTiAccumulator acc;
+        for (int i = 0; i < 4; ++i)
+            acc.add(source.next());
+        ti[s] = acc.ti();
+    }
+    const double river = ti[static_cast<int>(SequenceId::kRiverbed)];
+    EXPECT_GT(river, ti[static_cast<int>(SequenceId::kRushHour)]);
+    EXPECT_GT(river, ti[static_cast<int>(SequenceId::kBlueSky)]);
+}
+
+TEST(Stats, FlatFrameHasZeroSpatialInformation)
+{
+    Frame frame(64, 48);
+    frame.luma().fill(128);
+    EXPECT_DOUBLE_EQ(spatial_information(frame), 0.0);
+}
+
+TEST(Stats, IdenticalFramesHaveZeroTemporalInformation)
+{
+    Frame a(64, 48), b(64, 48);
+    generate_frame(SequenceId::kBlueSky, 0, &a);
+    b.copy_from(a);
+    EXPECT_DOUBLE_EQ(temporal_information(a, b), 0.0);
+}
+
+TEST(Psnr, IdenticalPlanesSaturateAt99)
+{
+    Frame a(64, 48), b(64, 48);
+    generate_frame(SequenceId::kRushHour, 0, &a);
+    b.copy_from(a);
+    EXPECT_DOUBLE_EQ(frame_psnr_y(a, b), 99.0);
+}
+
+TEST(Psnr, KnownUniformError)
+{
+    Frame a(64, 48), b(64, 48);
+    a.luma().fill(100);
+    b.luma().fill(110);  // MSE = 100 -> PSNR = 10 log10(255^2/100)
+    EXPECT_NEAR(frame_psnr_y(a, b), 28.13, 0.01);
+}
+
+TEST(Psnr, AccumulatorCombinesPlanes)
+{
+    Frame a(64, 48), b(64, 48);
+    generate_frame(SequenceId::kPedestrianArea, 0, &a);
+    b.copy_from(a);
+    b.luma().fill(0);  // destroy luma only
+    PsnrAccumulator acc;
+    acc.add(a, b);
+    EXPECT_LT(acc.psnr_y(), 20.0);
+    EXPECT_DOUBLE_EQ(acc.psnr_cb(), 99.0);
+    EXPECT_DOUBLE_EQ(acc.psnr_cr(), 99.0);
+    EXPECT_GT(acc.psnr_all(), acc.psnr_y());
+    EXPECT_EQ(acc.frames(), 1);
+}
+
+}  // namespace
+}  // namespace hdvb

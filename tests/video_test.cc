@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the video substrate: planes, frames, border handling
+ * and Y4M file I/O.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "synth/synth.h"
+#include "video/frame.h"
+#include "video/y4m.h"
+
+namespace hdvb {
+namespace {
+
+TEST(Plane, DimensionsAndStride)
+{
+    Plane plane(64, 32, 8);
+    EXPECT_EQ(plane.width(), 64);
+    EXPECT_EQ(plane.height(), 32);
+    EXPECT_EQ(plane.border(), 8);
+    EXPECT_EQ(plane.stride(), 64 + 16);
+    EXPECT_FALSE(plane.empty());
+}
+
+TEST(Plane, FillTouchesInteriorOnly)
+{
+    Plane plane(16, 16, 4);
+    plane.fill(200);
+    EXPECT_EQ(plane.at(0, 0), 200);
+    EXPECT_EQ(plane.at(15, 15), 200);
+    EXPECT_EQ(plane.at(-1, 0), 0);  // border untouched
+}
+
+TEST(Plane, ExtendBordersReplicatesEdges)
+{
+    Plane plane(8, 8, 4);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            plane.at(x, y) = static_cast<Pixel>(10 * y + x);
+    plane.extend_borders();
+    EXPECT_EQ(plane.at(-1, 0), plane.at(0, 0));
+    EXPECT_EQ(plane.at(-4, 3), plane.at(0, 3));
+    EXPECT_EQ(plane.at(8, 5), plane.at(7, 5));
+    EXPECT_EQ(plane.at(11, 7), plane.at(7, 7));
+    EXPECT_EQ(plane.at(0, -3), plane.at(0, 0));
+    EXPECT_EQ(plane.at(5, 10), plane.at(5, 7));
+    EXPECT_EQ(plane.at(-2, -2), plane.at(0, 0));  // corner
+    EXPECT_EQ(plane.at(10, 10), plane.at(7, 7));
+}
+
+TEST(Plane, CopyFromIgnoresBorderDifferences)
+{
+    Plane src(8, 8, 0);
+    src.fill(77);
+    Plane dst(8, 8, 16);
+    dst.copy_from(src);
+    EXPECT_EQ(dst.at(4, 4), 77);
+}
+
+TEST(Frame, AllocatesChromaAtHalfResolution)
+{
+    Frame frame(64, 48, 32);
+    EXPECT_EQ(frame.luma().width(), 64);
+    EXPECT_EQ(frame.cb().width(), 32);
+    EXPECT_EQ(frame.cr().height(), 24);
+    EXPECT_EQ(frame.cb().border(), 16);
+}
+
+TEST(Frame, PlaneIndexing)
+{
+    Frame frame(32, 32);
+    EXPECT_EQ(&frame.plane(0), &frame.luma());
+    EXPECT_EQ(&frame.plane(1), &frame.cb());
+    EXPECT_EQ(&frame.plane(2), &frame.cr());
+}
+
+TEST(Frame, CopyFromPreservesPocAndPixels)
+{
+    Frame a(32, 32);
+    a.luma().fill(123);
+    a.set_poc(42);
+    Frame b(32, 32, 16);
+    b.copy_from(a);
+    EXPECT_EQ(b.poc(), 42);
+    EXPECT_EQ(b.luma().at(10, 10), 123);
+}
+
+TEST(Y4m, WriteReadRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "/hdvb_y4m_test.y4m";
+    Frame frame(64, 48);
+    generate_frame(SequenceId::kRushHour, 0, &frame);
+
+    {
+        Y4mWriter writer;
+        ASSERT_TRUE(writer.open(path, 64, 48, 25, 1).is_ok());
+        ASSERT_TRUE(writer.write_frame(frame).is_ok());
+        Frame frame2(64, 48);
+        generate_frame(SequenceId::kRushHour, 1, &frame2);
+        ASSERT_TRUE(writer.write_frame(frame2).is_ok());
+    }
+
+    Y4mReader reader;
+    ASSERT_TRUE(reader.open(path).is_ok());
+    EXPECT_EQ(reader.width(), 64);
+    EXPECT_EQ(reader.height(), 48);
+    EXPECT_EQ(reader.fps_num(), 25);
+
+    Frame loaded;
+    ASSERT_TRUE(reader.read_frame(&loaded).is_ok());
+    EXPECT_EQ(loaded.poc(), 0);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            ASSERT_EQ(loaded.luma().at(x, y), frame.luma().at(x, y));
+    ASSERT_TRUE(reader.read_frame(&loaded).is_ok());
+    EXPECT_EQ(loaded.poc(), 1);
+    // End of stream.
+    EXPECT_EQ(reader.read_frame(&loaded).code(),
+              StatusCode::kOutOfRange);
+    std::remove(path.c_str());
+}
+
+TEST(Y4m, RejectsGarbageHeader)
+{
+    const std::string path =
+        ::testing::TempDir() + "/hdvb_bad.y4m";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOT A Y4M FILE\n", f);
+    std::fclose(f);
+    Y4mReader reader;
+    EXPECT_EQ(reader.open(path).code(), StatusCode::kCorruptStream);
+    std::remove(path.c_str());
+}
+
+TEST(Y4m, RejectsMissingFile)
+{
+    Y4mReader reader;
+    EXPECT_EQ(reader.open("/nonexistent/nope.y4m").code(),
+              StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdvb
