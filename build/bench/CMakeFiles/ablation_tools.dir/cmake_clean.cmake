@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tools.dir/ablation_tools.cc.o"
+  "CMakeFiles/ablation_tools.dir/ablation_tools.cc.o.d"
+  "ablation_tools"
+  "ablation_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

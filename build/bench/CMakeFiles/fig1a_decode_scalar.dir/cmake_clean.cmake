@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_decode_scalar.dir/fig1a_decode_scalar.cc.o"
+  "CMakeFiles/fig1a_decode_scalar.dir/fig1a_decode_scalar.cc.o.d"
+  "fig1a_decode_scalar"
+  "fig1a_decode_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_decode_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_decode_simd.dir/fig1b_decode_simd.cc.o"
+  "CMakeFiles/fig1b_decode_simd.dir/fig1b_decode_simd.cc.o.d"
+  "fig1b_decode_simd"
+  "fig1b_decode_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_decode_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_encode_scalar.dir/fig1c_encode_scalar.cc.o"
+  "CMakeFiles/fig1c_encode_scalar.dir/fig1c_encode_scalar.cc.o.d"
+  "fig1c_encode_scalar"
+  "fig1c_encode_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_encode_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

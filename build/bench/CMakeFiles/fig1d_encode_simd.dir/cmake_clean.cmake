@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1d_encode_simd.dir/fig1d_encode_simd.cc.o"
+  "CMakeFiles/fig1d_encode_simd.dir/fig1d_encode_simd.cc.o.d"
+  "fig1d_encode_simd"
+  "fig1d_encode_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1d_encode_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

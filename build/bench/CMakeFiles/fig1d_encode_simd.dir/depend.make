@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1d_encode_simd.
+# This may be replaced when dependencies are built.

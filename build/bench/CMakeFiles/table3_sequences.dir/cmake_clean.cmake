@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sequences.dir/table3_sequences.cc.o"
+  "CMakeFiles/table3_sequences.dir/table3_sequences.cc.o.d"
+  "table3_sequences"
+  "table3_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rate_distortion.dir/table5_rate_distortion.cc.o"
+  "CMakeFiles/table5_rate_distortion.dir/table5_rate_distortion.cc.o.d"
+  "table5_rate_distortion"
+  "table5_rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/make_sequences.cc" "examples/CMakeFiles/make_sequences.dir/make_sequences.cc.o" "gcc" "examples/CMakeFiles/make_sequences.dir/make_sequences.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdvb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg2/CMakeFiles/hdvb_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg4/CMakeFiles/hdvb_mpeg4.dir/DependInfo.cmake"
+  "/root/repo/build/src/h264/CMakeFiles/hdvb_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hdvb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hdvb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/hdvb_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/hdvb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/hdvb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/me/CMakeFiles/hdvb_me.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/hdvb_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/hdvb_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/hdvb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/hdvb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

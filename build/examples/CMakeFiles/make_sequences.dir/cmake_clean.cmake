@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_sequences.dir/make_sequences.cc.o"
+  "CMakeFiles/make_sequences.dir/make_sequences.cc.o.d"
+  "make_sequences"
+  "make_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

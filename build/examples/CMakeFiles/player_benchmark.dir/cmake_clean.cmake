@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_benchmark.dir/player_benchmark.cc.o"
+  "CMakeFiles/player_benchmark.dir/player_benchmark.cc.o.d"
+  "player_benchmark"
+  "player_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

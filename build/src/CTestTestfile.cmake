@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bitstream")
+subdirs("video")
+subdirs("simd")
+subdirs("dsp")
+subdirs("mc")
+subdirs("me")
+subdirs("codec")
+subdirs("mpeg2")
+subdirs("container")
+subdirs("synth")
+subdirs("metrics")
+subdirs("mpeg4")
+subdirs("h264")
+subdirs("core")

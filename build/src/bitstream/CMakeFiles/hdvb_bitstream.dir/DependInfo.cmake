@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bit_reader.cc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/bit_reader.cc.o" "gcc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/bit_reader.cc.o.d"
+  "/root/repo/src/bitstream/bit_writer.cc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/bit_writer.cc.o" "gcc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/bit_writer.cc.o.d"
+  "/root/repo/src/bitstream/range_coder.cc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/range_coder.cc.o" "gcc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/range_coder.cc.o.d"
+  "/root/repo/src/bitstream/vlc.cc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/vlc.cc.o" "gcc" "src/bitstream/CMakeFiles/hdvb_bitstream.dir/vlc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_bitstream.dir/bit_reader.cc.o"
+  "CMakeFiles/hdvb_bitstream.dir/bit_reader.cc.o.d"
+  "CMakeFiles/hdvb_bitstream.dir/bit_writer.cc.o"
+  "CMakeFiles/hdvb_bitstream.dir/bit_writer.cc.o.d"
+  "CMakeFiles/hdvb_bitstream.dir/range_coder.cc.o"
+  "CMakeFiles/hdvb_bitstream.dir/range_coder.cc.o.d"
+  "CMakeFiles/hdvb_bitstream.dir/vlc.cc.o"
+  "CMakeFiles/hdvb_bitstream.dir/vlc.cc.o.d"
+  "libhdvb_bitstream.a"
+  "libhdvb_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

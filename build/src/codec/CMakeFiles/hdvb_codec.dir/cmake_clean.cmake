@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_codec.dir/codec.cc.o"
+  "CMakeFiles/hdvb_codec.dir/codec.cc.o.d"
+  "CMakeFiles/hdvb_codec.dir/run_level.cc.o"
+  "CMakeFiles/hdvb_codec.dir/run_level.cc.o.d"
+  "libhdvb_codec.a"
+  "libhdvb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

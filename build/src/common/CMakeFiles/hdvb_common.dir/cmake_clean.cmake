@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_common.dir/log.cc.o"
+  "CMakeFiles/hdvb_common.dir/log.cc.o.d"
+  "CMakeFiles/hdvb_common.dir/status.cc.o"
+  "CMakeFiles/hdvb_common.dir/status.cc.o.d"
+  "libhdvb_common.a"
+  "libhdvb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

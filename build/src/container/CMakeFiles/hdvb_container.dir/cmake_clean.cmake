@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_container.dir/container.cc.o"
+  "CMakeFiles/hdvb_container.dir/container.cc.o.d"
+  "libhdvb_container.a"
+  "libhdvb_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

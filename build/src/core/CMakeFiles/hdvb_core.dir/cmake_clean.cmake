@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_core.dir/benchmark.cc.o"
+  "CMakeFiles/hdvb_core.dir/benchmark.cc.o.d"
+  "CMakeFiles/hdvb_core.dir/report.cc.o"
+  "CMakeFiles/hdvb_core.dir/report.cc.o.d"
+  "CMakeFiles/hdvb_core.dir/runner.cc.o"
+  "CMakeFiles/hdvb_core.dir/runner.cc.o.d"
+  "libhdvb_core.a"
+  "libhdvb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/dct_ref.cc" "src/dsp/CMakeFiles/hdvb_dsp.dir/dct_ref.cc.o" "gcc" "src/dsp/CMakeFiles/hdvb_dsp.dir/dct_ref.cc.o.d"
+  "/root/repo/src/dsp/quant.cc" "src/dsp/CMakeFiles/hdvb_dsp.dir/quant.cc.o" "gcc" "src/dsp/CMakeFiles/hdvb_dsp.dir/quant.cc.o.d"
+  "/root/repo/src/dsp/transform4x4.cc" "src/dsp/CMakeFiles/hdvb_dsp.dir/transform4x4.cc.o" "gcc" "src/dsp/CMakeFiles/hdvb_dsp.dir/transform4x4.cc.o.d"
+  "/root/repo/src/dsp/zigzag.cc" "src/dsp/CMakeFiles/hdvb_dsp.dir/zigzag.cc.o" "gcc" "src/dsp/CMakeFiles/hdvb_dsp.dir/zigzag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/hdvb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

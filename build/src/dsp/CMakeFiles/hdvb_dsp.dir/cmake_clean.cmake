@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_dsp.dir/dct_ref.cc.o"
+  "CMakeFiles/hdvb_dsp.dir/dct_ref.cc.o.d"
+  "CMakeFiles/hdvb_dsp.dir/quant.cc.o"
+  "CMakeFiles/hdvb_dsp.dir/quant.cc.o.d"
+  "CMakeFiles/hdvb_dsp.dir/transform4x4.cc.o"
+  "CMakeFiles/hdvb_dsp.dir/transform4x4.cc.o.d"
+  "CMakeFiles/hdvb_dsp.dir/zigzag.cc.o"
+  "CMakeFiles/hdvb_dsp.dir/zigzag.cc.o.d"
+  "libhdvb_dsp.a"
+  "libhdvb_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h264/deblock.cc" "src/h264/CMakeFiles/hdvb_h264.dir/deblock.cc.o" "gcc" "src/h264/CMakeFiles/hdvb_h264.dir/deblock.cc.o.d"
+  "/root/repo/src/h264/decoder.cc" "src/h264/CMakeFiles/hdvb_h264.dir/decoder.cc.o" "gcc" "src/h264/CMakeFiles/hdvb_h264.dir/decoder.cc.o.d"
+  "/root/repo/src/h264/encoder.cc" "src/h264/CMakeFiles/hdvb_h264.dir/encoder.cc.o" "gcc" "src/h264/CMakeFiles/hdvb_h264.dir/encoder.cc.o.d"
+  "/root/repo/src/h264/intra_pred.cc" "src/h264/CMakeFiles/hdvb_h264.dir/intra_pred.cc.o" "gcc" "src/h264/CMakeFiles/hdvb_h264.dir/intra_pred.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/hdvb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/hdvb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/me/CMakeFiles/hdvb_me.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/hdvb_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/hdvb_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/hdvb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/hdvb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_h264.dir/deblock.cc.o"
+  "CMakeFiles/hdvb_h264.dir/deblock.cc.o.d"
+  "CMakeFiles/hdvb_h264.dir/decoder.cc.o"
+  "CMakeFiles/hdvb_h264.dir/decoder.cc.o.d"
+  "CMakeFiles/hdvb_h264.dir/encoder.cc.o"
+  "CMakeFiles/hdvb_h264.dir/encoder.cc.o.d"
+  "CMakeFiles/hdvb_h264.dir/intra_pred.cc.o"
+  "CMakeFiles/hdvb_h264.dir/intra_pred.cc.o.d"
+  "libhdvb_h264.a"
+  "libhdvb_h264.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_h264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_mc.dir/mc.cc.o"
+  "CMakeFiles/hdvb_mc.dir/mc.cc.o.d"
+  "libhdvb_mc.a"
+  "libhdvb_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_me.dir/me.cc.o"
+  "CMakeFiles/hdvb_me.dir/me.cc.o.d"
+  "libhdvb_me.a"
+  "libhdvb_me.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_me.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_metrics.dir/psnr.cc.o"
+  "CMakeFiles/hdvb_metrics.dir/psnr.cc.o.d"
+  "CMakeFiles/hdvb_metrics.dir/stats.cc.o"
+  "CMakeFiles/hdvb_metrics.dir/stats.cc.o.d"
+  "libhdvb_metrics.a"
+  "libhdvb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_mpeg4.dir/decoder.cc.o"
+  "CMakeFiles/hdvb_mpeg4.dir/decoder.cc.o.d"
+  "CMakeFiles/hdvb_mpeg4.dir/encoder.cc.o"
+  "CMakeFiles/hdvb_mpeg4.dir/encoder.cc.o.d"
+  "libhdvb_mpeg4.a"
+  "libhdvb_mpeg4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_mpeg4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hdvb_mpeg4.
+# This may be replaced when dependencies are built.

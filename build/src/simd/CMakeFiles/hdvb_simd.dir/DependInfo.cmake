@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/dct_matrix.cc" "src/simd/CMakeFiles/hdvb_simd.dir/dct_matrix.cc.o" "gcc" "src/simd/CMakeFiles/hdvb_simd.dir/dct_matrix.cc.o.d"
+  "/root/repo/src/simd/dispatch.cc" "src/simd/CMakeFiles/hdvb_simd.dir/dispatch.cc.o" "gcc" "src/simd/CMakeFiles/hdvb_simd.dir/dispatch.cc.o.d"
+  "/root/repo/src/simd/kernels_scalar.cc" "src/simd/CMakeFiles/hdvb_simd.dir/kernels_scalar.cc.o" "gcc" "src/simd/CMakeFiles/hdvb_simd.dir/kernels_scalar.cc.o.d"
+  "/root/repo/src/simd/kernels_sse2.cc" "src/simd/CMakeFiles/hdvb_simd.dir/kernels_sse2.cc.o" "gcc" "src/simd/CMakeFiles/hdvb_simd.dir/kernels_sse2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

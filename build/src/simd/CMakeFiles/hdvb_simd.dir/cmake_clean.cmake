@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_simd.dir/dct_matrix.cc.o"
+  "CMakeFiles/hdvb_simd.dir/dct_matrix.cc.o.d"
+  "CMakeFiles/hdvb_simd.dir/dispatch.cc.o"
+  "CMakeFiles/hdvb_simd.dir/dispatch.cc.o.d"
+  "CMakeFiles/hdvb_simd.dir/kernels_scalar.cc.o"
+  "CMakeFiles/hdvb_simd.dir/kernels_scalar.cc.o.d"
+  "CMakeFiles/hdvb_simd.dir/kernels_sse2.cc.o"
+  "CMakeFiles/hdvb_simd.dir/kernels_sse2.cc.o.d"
+  "libhdvb_simd.a"
+  "libhdvb_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

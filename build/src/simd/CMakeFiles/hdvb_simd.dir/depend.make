@@ -1,0 +1,2 @@
+# Empty dependencies file for hdvb_simd.
+# This may be replaced when dependencies are built.

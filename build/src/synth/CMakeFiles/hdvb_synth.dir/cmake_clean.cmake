@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_synth.dir/noise.cc.o"
+  "CMakeFiles/hdvb_synth.dir/noise.cc.o.d"
+  "CMakeFiles/hdvb_synth.dir/synth.cc.o"
+  "CMakeFiles/hdvb_synth.dir/synth.cc.o.d"
+  "libhdvb_synth.a"
+  "libhdvb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cc" "src/video/CMakeFiles/hdvb_video.dir/frame.cc.o" "gcc" "src/video/CMakeFiles/hdvb_video.dir/frame.cc.o.d"
+  "/root/repo/src/video/plane.cc" "src/video/CMakeFiles/hdvb_video.dir/plane.cc.o" "gcc" "src/video/CMakeFiles/hdvb_video.dir/plane.cc.o.d"
+  "/root/repo/src/video/y4m.cc" "src/video/CMakeFiles/hdvb_video.dir/y4m.cc.o" "gcc" "src/video/CMakeFiles/hdvb_video.dir/y4m.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdvb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_video.dir/frame.cc.o"
+  "CMakeFiles/hdvb_video.dir/frame.cc.o.d"
+  "CMakeFiles/hdvb_video.dir/plane.cc.o"
+  "CMakeFiles/hdvb_video.dir/plane.cc.o.d"
+  "CMakeFiles/hdvb_video.dir/y4m.cc.o"
+  "CMakeFiles/hdvb_video.dir/y4m.cc.o.d"
+  "libhdvb_video.a"
+  "libhdvb_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdvb_tests.dir/bitstream_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/bitstream_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/codec_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/codec_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/dsp_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/dsp_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/h264_parts_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/h264_parts_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/integration_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/mc_me_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/mc_me_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/roundtrip_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/roundtrip_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/simd_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/simd_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/synth_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/synth_test.cc.o.d"
+  "CMakeFiles/hdvb_tests.dir/video_test.cc.o"
+  "CMakeFiles/hdvb_tests.dir/video_test.cc.o.d"
+  "hdvb_tests"
+  "hdvb_tests.pdb"
+  "hdvb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdvb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
