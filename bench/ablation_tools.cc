@@ -8,11 +8,15 @@
  *   MPEG-4-class: quarter-pel MC off, 4MV off.
  *   H.264-class: deblocking off, Intra4x4 off, partitions off,
  *                single reference.
+ *
+ * Each variant's points carry their tweaked CodecConfig inside the
+ * BenchPoint, and the whole variant x sequence list runs as one
+ * parallel sweep.
  */
 #include <cstdio>
 
 #include "core/report.h"
-#include "core/runner.h"
+#include "core/sweep.h"
 
 using namespace hdvb;
 
@@ -51,9 +55,8 @@ main()
     const int frames = bench_frames_default();
     print_banner("Ablation: codec-tool contributions at 576p25");
 
-    TableWriter table({"Variant", "PSNR-Y (dB)", "kbps", "enc fps"});
+    std::vector<BenchPoint> points;
     for (const Variant &variant : kVariants) {
-        double kbps_sum = 0.0, psnr_sum = 0.0, fps_sum = 0.0;
         for (SequenceId seq : kAllSequences) {
             BenchPoint point;
             point.codec = variant.codec;
@@ -63,19 +66,36 @@ main()
             CodecConfig cfg = benchmark_config(
                 point.codec, point.resolution, point.simd);
             variant.tweak(&cfg);
-            const EncodeRun enc = run_encode(point, &cfg);
-            const DecodeRun dec = run_decode(point, enc.stream, &cfg);
-            kbps_sum += enc.bitrate_kbps();
-            psnr_sum += dec.psnr_y;
-            fps_sum += enc.fps();
+            point.config = cfg;
+            points.push_back(std::move(point));
+        }
+    }
+
+    SweepOptions options;
+    options.json_path = "hdvb_cache/ablation_report.json";
+    SweepRunner runner(options);
+    const std::vector<SweepResult> results = runner.run(points);
+
+    TableWriter table({"Variant", "PSNR-Y (dB)", "kbps", "enc fps"});
+    size_t next = 0;
+    for (const Variant &variant : kVariants) {
+        double kbps_sum = 0.0, psnr_sum = 0.0, fps_sum = 0.0;
+        for (int s = 0; s < kSequenceCount; ++s) {
+            const SweepResult &r = results[next++];
+            HDVB_CHECK(r.point.codec == variant.codec);
+            kbps_sum += r.bitrate_kbps();
+            psnr_sum += r.psnr_y;
+            fps_sum += r.encode_fps();
         }
         table.add_row({variant.name,
                        TableWriter::fmt(psnr_sum / kSequenceCount, 2),
                        TableWriter::fmt(kbps_sum / kSequenceCount, 0),
                        TableWriter::fmt(fps_sum / kSequenceCount, 1)});
-        std::fflush(stdout);
     }
     table.print();
+    std::printf("\n(sweep: %zu points in %.1fs wall, report %s)\n",
+                results.size(), runner.last_wall_seconds(),
+                options.json_path.c_str());
     std::printf("\nReading: removing a tool should cost bitrate at "
                 "roughly equal PSNR (or PSNR at equal rate), tracing "
                 "Table V's generation gaps to specific tools.\n");

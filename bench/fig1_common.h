@@ -2,20 +2,24 @@
  * @file
  * Shared driver for the four Figure 1 benches: decode/encode fps per
  * codec and resolution at a chosen SIMD level, with the paper's 25 fps
- * real-time reference line and the Section VI speedup summaries.
+ * real-time reference line and the Section VI speedup summaries. The
+ * measurement grid runs on the parallel SweepRunner (HDVB_JOBS
+ * workers); each point's timed region remains single-threaded, so fps
+ * numbers are unchanged from a serial run.
  */
 #ifndef HDVB_BENCH_FIG1_COMMON_H
 #define HDVB_BENCH_FIG1_COMMON_H
 
 #include <cstdio>
+#include <sys/stat.h>
 
-#include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "core/sweep.h"
 
 namespace hdvb::bench {
 
 inline constexpr double kRealTimeFps = 25.0;
+inline constexpr char kCacheDir[] = "hdvb_cache";
 
 /** fps results indexed [codec][resolution] (averaged over the four
  * input sequences, matching Figure 1's per-resolution groups). */
@@ -29,7 +33,7 @@ inline std::string
 series_path(const char *what, SimdLevel simd, int frames)
 {
     char buf[128];
-    std::snprintf(buf, sizeof(buf), "hdvb_cache/fig1_%s_%s_%d.txt",
+    std::snprintf(buf, sizeof(buf), "%s/fig1_%s_%s_%d.txt", kCacheDir,
                   what, simd_level_name(simd), frames);
     return buf;
 }
@@ -51,7 +55,7 @@ load_series(const std::string &path, Fig1Series *series)
 inline void
 save_series(const std::string &path, const Fig1Series &series)
 {
-    ::mkdir("hdvb_cache", 0755);
+    ::mkdir(kCacheDir, 0755);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return;
@@ -61,57 +65,47 @@ save_series(const std::string &path, const Fig1Series &series)
     std::fclose(f);
 }
 
-/** Measure decode fps for every (codec, resolution) at @p simd. */
+/**
+ * Measure the full Figure-1 grid at @p simd with the sweep engine and
+ * fold the per-sequence results into per-(codec, resolution) averages.
+ * @p encode selects the timed direction; @p report names the JSON
+ * observability report written under the cache directory.
+ */
 inline Fig1Series
-measure_decode(SimdLevel simd, int frames)
+measure_grid(bool encode, SimdLevel simd, int frames, const char *report)
 {
+    SweepOptions options;
+    options.measure_encode = encode;
+    options.measure_decode = !encode;
+    options.cache_dir = kCacheDir;
+    options.json_path =
+        std::string(kCacheDir) + "/" + report + "_report.json";
+    SweepRunner runner(options);
+
+    const std::vector<BenchPoint> grid = sweep_grid(frames, simd);
     Fig1Series series;
-    for (CodecId codec : kAllCodecs) {
-        for (Resolution res : kAllResolutions) {
-            double sum = 0.0;
-            for (SequenceId seq : kAllSequences) {
-                BenchPoint point;
-                point.codec = codec;
-                point.sequence = seq;
-                point.resolution = res;
-                point.frames = frames;
-                point.simd = simd;
-                const EncodedStream stream = get_or_encode(point);
-                const DecodeRun run = run_decode(point, stream);
-                sum += run.fps();
-            }
-            series.fps[static_cast<int>(codec)][static_cast<int>(res)] =
-                sum / kSequenceCount;
-            std::fflush(stdout);
-        }
+    for (const SweepResult &result : runner.run(grid)) {
+        series.fps[static_cast<int>(result.point.codec)]
+                  [static_cast<int>(result.point.resolution)] +=
+            (encode ? result.encode_fps() : result.decode_fps()) /
+            kSequenceCount;
     }
+    std::printf("(sweep: %zu points in %.1fs wall, report %s)\n",
+                grid.size(), runner.last_wall_seconds(),
+                options.json_path.c_str());
     return series;
 }
 
-/** Measure encode fps for every (codec, resolution) at @p simd. */
 inline Fig1Series
-measure_encode(SimdLevel simd, int frames)
+measure_decode(SimdLevel simd, int frames, const char *report)
 {
-    Fig1Series series;
-    for (CodecId codec : kAllCodecs) {
-        for (Resolution res : kAllResolutions) {
-            double sum = 0.0;
-            for (SequenceId seq : kAllSequences) {
-                BenchPoint point;
-                point.codec = codec;
-                point.sequence = seq;
-                point.resolution = res;
-                point.frames = frames;
-                point.simd = simd;
-                const EncodeRun run = run_encode(point);
-                sum += run.fps();
-            }
-            series.fps[static_cast<int>(codec)][static_cast<int>(res)] =
-                sum / kSequenceCount;
-            std::fflush(stdout);
-        }
-    }
-    return series;
+    return measure_grid(false, simd, frames, report);
+}
+
+inline Fig1Series
+measure_encode(SimdLevel simd, int frames, const char *report)
+{
+    return measure_grid(true, simd, frames, report);
 }
 
 /** Print one Figure 1 panel. */

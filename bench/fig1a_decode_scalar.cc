@@ -17,7 +17,8 @@ main()
 {
     const int frames = bench_frames_default();
     print_banner("Figure 1(a): decoding performance, scalar version");
-    const Fig1Series scalar = measure_decode(SimdLevel::kScalar, frames);
+    const Fig1Series scalar =
+        measure_decode(SimdLevel::kScalar, frames, "fig1a");
     save_series(series_path("dec", SimdLevel::kScalar, frames), scalar);
     print_series("(a)", SimdLevel::kScalar, scalar);
     return 0;

@@ -21,12 +21,14 @@ main()
                     "compare.\n");
         return 0;
     }
-    const Fig1Series simd = measure_decode(SimdLevel::kSse2, frames);
+    const Fig1Series simd =
+        measure_decode(SimdLevel::kSse2, frames, "fig1b");
     print_series("(b)", SimdLevel::kSse2, simd);
     Fig1Series scalar;
     if (!load_series(series_path("dec", SimdLevel::kScalar, frames),
                      &scalar)) {
-        scalar = measure_decode(SimdLevel::kScalar, frames);
+        scalar = measure_decode(SimdLevel::kScalar, frames,
+                                "fig1b_scalar");
         save_series(series_path("dec", SimdLevel::kScalar, frames),
                     scalar);
     }

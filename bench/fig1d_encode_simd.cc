@@ -22,12 +22,14 @@ main()
                     "compare.\n");
         return 0;
     }
-    const Fig1Series simd = measure_encode(SimdLevel::kSse2, frames);
+    const Fig1Series simd =
+        measure_encode(SimdLevel::kSse2, frames, "fig1d");
     print_series("(d)", SimdLevel::kSse2, simd);
     Fig1Series scalar;
     if (!load_series(series_path("enc", SimdLevel::kScalar, frames),
                      &scalar)) {
-        scalar = measure_encode(SimdLevel::kScalar, frames);
+        scalar = measure_encode(SimdLevel::kScalar, frames,
+                                "fig1d_scalar");
         save_series(series_path("enc", SimdLevel::kScalar, frames),
                     scalar);
     }

@@ -10,8 +10,10 @@
  *                    [-res 576p25|720p25|1088p25] [-frames N]
  *                    [-simd scalar|sse2] [-vo out.y4m]
  *
- * Without -i, a stream is first encoded from the synthetic blue_sky
- * sequence (like pointing MPlayer at a bundled clip). With -vo, decoded
+ * Without -i, the benchmark point (synthetic blue_sky) runs through the
+ * SweepRunner measurement engine — the same code path the Figure 1
+ * benches use. With -i, the given stream file is decoded directly (its
+ * geometry need not match a benchmark resolution). With -vo, decoded
  * frames are written to a Y4M file instead of being discarded.
  */
 #include <cstdio>
@@ -20,7 +22,7 @@
 #include <string>
 
 #include "container/container.h"
-#include "core/runner.h"
+#include "core/sweep.h"
 #include "metrics/timer.h"
 #include "video/y4m.h"
 
@@ -35,6 +37,41 @@ usage()
                  "usage: player_benchmark -vc <mpeg2|mpeg4|h264> "
                  "[-i stream.hdv] [-res 576p25|720p25|1088p25] "
                  "[-frames N] [-simd scalar|sse2] [-vo out.y4m]\n");
+}
+
+/** Decode @p stream (untimed) into @p frames for -vo output. */
+bool
+decode_all(CodecId codec, const CodecConfig &cfg,
+           const EncodedStream &stream, std::vector<Frame> *frames)
+{
+    StatusOr<std::unique_ptr<VideoDecoder>> decoder =
+        make_decoder(codec, cfg);
+    if (!decoder.is_ok()) {
+        std::fprintf(stderr, "decoder: %s\n",
+                     decoder.status().to_string().c_str());
+        return false;
+    }
+    for (const Packet &packet : stream.packets) {
+        if (!decoder.value()->decode(packet, frames).is_ok())
+            return false;
+    }
+    return decoder.value()->flush(frames).is_ok();
+}
+
+bool
+write_y4m(const std::string &path, const CodecConfig &cfg,
+          const std::vector<Frame> &frames)
+{
+    Y4mWriter writer;
+    if (!writer
+             .open(path, cfg.width, cfg.height, cfg.fps_num, cfg.fps_den)
+             .is_ok()) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    for (const Frame &frame : frames)
+        writer.write_frame(frame);
+    return true;
 }
 
 }  // namespace
@@ -56,18 +93,26 @@ main(int argc, char **argv)
             return i + 1 < argc ? argv[++i] : "";
         };
         if (arg == "-vc") {
-            if (!parse_codec(next(), &codec)) {
+            const StatusOr<CodecId> parsed = parse_codec(next());
+            if (!parsed.is_ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.status().to_string().c_str());
                 usage();
                 return 1;
             }
+            codec = parsed.value();
             codec_set = true;
         } else if (arg == "-i") {
             input = next();
         } else if (arg == "-res") {
-            if (!parse_resolution(next(), &res)) {
+            const StatusOr<Resolution> parsed = parse_resolution(next());
+            if (!parsed.is_ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.status().to_string().c_str());
                 usage();
                 return 1;
             }
+            res = parsed.value();
         } else if (arg == "-frames") {
             frames = std::atoi(next());
         } else if (arg == "-simd") {
@@ -86,33 +131,54 @@ main(int argc, char **argv)
         return 1;
     }
 
-    EncodedStream stream;
-    if (!input.empty()) {
-        const Status status = read_stream_file(input, &stream);
-        if (!status.is_ok()) {
-            std::fprintf(stderr, "%s: %s\n", input.c_str(),
-                         status.to_string().c_str());
-            return 1;
-        }
-        CodecId file_codec;
-        if (!parse_codec(stream.codec, &file_codec) ||
-            file_codec != codec) {
-            std::fprintf(stderr,
-                         "stream codec '%s' does not match -vc %s\n",
-                         stream.codec.c_str(), codec_name(codec));
-            return 1;
-        }
-    } else {
+    if (input.empty()) {
+        // Benchmark mode: one point through the sweep engine.
         BenchPoint point;
         point.codec = codec;
         point.sequence = SequenceId::kBlueSky;
         point.resolution = res;
         point.frames = frames;
         point.simd = simd;
-        std::fprintf(stderr, "[player] no -i given, encoding %d "
-                             "synthetic frames first...\n",
-                     frames);
-        stream = run_encode(point).stream;
+
+        SweepOptions options;
+        options.measure_encode = false;
+        options.measure_decode = true;
+        options.keep_streams = !vo.empty();
+        SweepRunner runner(options);
+        std::fprintf(stderr,
+                     "[player] no -i given, measuring point %s...\n",
+                     point.label().c_str());
+        const SweepResult result = runner.run({point}).front();
+
+        if (!vo.empty()) {
+            const CodecConfig cfg = point.effective_config();
+            std::vector<Frame> decoded;
+            if (!decode_all(codec, cfg, result.stream, &decoded) ||
+                !write_y4m(vo, cfg, decoded))
+                return 1;
+        }
+        std::printf("BENCHMARKs: VC %8.3fs (video codec only)\n",
+                    result.decode_seconds);
+        std::printf("BENCHMARK%%: decoded %d frames at %.2f fps (%s)\n",
+                    result.decode_frames, result.decode_fps(),
+                    point.label().c_str());
+        return 0;
+    }
+
+    // File mode: decode the supplied stream directly.
+    EncodedStream stream;
+    const Status status = read_stream_file(input, &stream);
+    if (!status.is_ok()) {
+        std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                     status.to_string().c_str());
+        return 1;
+    }
+    const StatusOr<CodecId> file_codec = parse_codec(stream.codec);
+    if (!file_codec.is_ok() || file_codec.value() != codec) {
+        std::fprintf(stderr,
+                     "stream codec '%s' does not match -vc %s\n",
+                     stream.codec.c_str(), codec_name(codec));
+        return 1;
     }
 
     CodecConfig cfg;
@@ -121,41 +187,32 @@ main(int argc, char **argv)
     cfg.fps_num = stream.fps_num;
     cfg.fps_den = stream.fps_den;
     cfg.simd = simd;
-    const Status valid = cfg.validate();
-    if (!valid.is_ok()) {
+    StatusOr<std::unique_ptr<VideoDecoder>> decoder =
+        make_decoder(codec, cfg);
+    if (!decoder.is_ok()) {
         std::fprintf(stderr, "bad stream geometry: %s\n",
-                     valid.to_string().c_str());
+                     decoder.status().to_string().c_str());
         return 1;
     }
-
-    std::unique_ptr<VideoDecoder> decoder = make_decoder(codec, cfg);
     std::vector<Frame> decoded;
     WallTimer timer;
     for (const Packet &packet : stream.packets) {
         timer.start();
-        const Status status = decoder->decode(packet, &decoded);
+        const Status decode_status =
+            decoder.value()->decode(packet, &decoded);
         timer.stop();
-        if (!status.is_ok()) {
+        if (!decode_status.is_ok()) {
             std::fprintf(stderr, "decode error: %s\n",
-                         status.to_string().c_str());
+                         decode_status.to_string().c_str());
             return 1;
         }
     }
     timer.start();
-    decoder->flush(&decoded);
+    decoder.value()->flush(&decoded);
     timer.stop();
 
-    if (!vo.empty()) {
-        Y4mWriter writer;
-        if (!writer.open(vo, cfg.width, cfg.height, cfg.fps_num,
-                         cfg.fps_den)
-                 .is_ok()) {
-            std::fprintf(stderr, "cannot open %s\n", vo.c_str());
-            return 1;
-        }
-        for (const Frame &frame : decoded)
-            writer.write_frame(frame);
-    }
+    if (!vo.empty() && !write_y4m(vo, cfg, decoded))
+        return 1;
 
     // MPlayer "BENCHMARKs" style summary.
     std::printf("BENCHMARKs: VC %8.3fs (video codec only)\n",

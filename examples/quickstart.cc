@@ -22,10 +22,14 @@ int
 main(int argc, char **argv)
 {
     CodecId codec = CodecId::kH264;
-    if (argc > 1 && !parse_codec(argv[1], &codec)) {
-        std::fprintf(stderr, "unknown codec '%s' (mpeg2|mpeg4|h264)\n",
-                     argv[1]);
-        return 1;
+    if (argc > 1) {
+        const StatusOr<CodecId> parsed = parse_codec(argv[1]);
+        if (!parsed.is_ok()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().to_string().c_str());
+            return 1;
+        }
+        codec = parsed.value();
     }
     const int frames = argc > 2 ? std::atoi(argv[2]) : 16;
 
@@ -34,8 +38,17 @@ main(int argc, char **argv)
                                              best_simd_level());
 
     // 2. Encode frames from a synthetic source (swap in Y4mReader for
-    //    real footage).
-    std::unique_ptr<VideoEncoder> encoder = make_encoder(codec, cfg);
+    //    real footage). make_encoder validates the config and reports
+    //    problems as a Status instead of constructing badly.
+    StatusOr<std::unique_ptr<VideoEncoder>> maybe_encoder =
+        make_encoder(codec, cfg);
+    if (!maybe_encoder.is_ok()) {
+        std::fprintf(stderr, "encoder: %s\n",
+                     maybe_encoder.status().to_string().c_str());
+        return 1;
+    }
+    std::unique_ptr<VideoEncoder> encoder =
+        std::move(maybe_encoder).value();
     SyntheticSource source(SequenceId::kBlueSky, cfg.width, cfg.height);
     EncodedStream stream;
     stream.codec = codec_name(codec);
@@ -70,7 +83,8 @@ main(int argc, char **argv)
     }
 
     // 4. Decode and measure quality against the original frames.
-    std::unique_ptr<VideoDecoder> decoder = make_decoder(codec, cfg);
+    std::unique_ptr<VideoDecoder> decoder =
+        make_decoder(codec, cfg).value();
     std::vector<Frame> decoded;
     WallTimer dec_timer;
     for (const Packet &packet : loaded.packets) {

@@ -61,8 +61,10 @@ main(int argc, char **argv)
         benchmark_config(to, res, best_simd_level());
 
     // Decode old -> encode new, streaming frame by frame.
-    std::unique_ptr<VideoDecoder> decoder = make_decoder(from, from_cfg);
-    std::unique_ptr<VideoEncoder> encoder = make_encoder(to, to_cfg);
+    std::unique_ptr<VideoDecoder> decoder =
+        make_decoder(from, from_cfg).value();
+    std::unique_ptr<VideoEncoder> encoder =
+        make_encoder(to, to_cfg).value();
     EncodedStream out;
     out.codec = codec_name(to);
     out.width = to_cfg.width;
@@ -94,7 +96,8 @@ main(int argc, char **argv)
     }
 
     // Quality of the final generation against the pristine source.
-    std::unique_ptr<VideoDecoder> verify = make_decoder(to, to_cfg);
+    std::unique_ptr<VideoDecoder> verify =
+        make_decoder(to, to_cfg).value();
     std::vector<Frame> final_frames;
     for (const Packet &packet : out.packets)
         verify->decode(packet, &final_frames);

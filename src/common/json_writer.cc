@@ -1,0 +1,146 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hdvb {
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_item_.empty()) {
+        if (has_item_.back())
+            out_ += ',';
+        has_item_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    separate();
+    out_ += '{';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    has_item_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    separate();
+    out_ += '[';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    has_item_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    if (!std::isfinite(number)) {
+        out_ += "null";  // JSON has no inf/nan
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(s64 number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(u64 number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace hdvb

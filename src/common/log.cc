@@ -1,12 +1,13 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace hdvb {
 
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char *
 level_tag(LogLevel level)
@@ -25,20 +26,23 @@ level_tag(LogLevel level)
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 log_message(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_level))
+    if (static_cast<int>(level) <
+        static_cast<int>(g_level.load(std::memory_order_relaxed)))
         return;
+    // One fprintf per line: POSIX stdio locks per call, so lines from
+    // concurrent sweep workers interleave whole, never mid-line.
     std::fprintf(stderr, "[hdvb %s] %s\n", level_tag(level), msg.c_str());
 }
 

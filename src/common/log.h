@@ -17,7 +17,8 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/** Emit one log line to stderr (thread-unsafe by design: 1-core bench). */
+/** Emit one log line to stderr. Safe to call from sweep workers:
+ * each line is a single stdio call, so lines never interleave. */
 void log_message(LogLevel level, const std::string &msg);
 
 namespace detail {

@@ -9,8 +9,11 @@
 #ifndef HDVB_COMMON_STATUS_H
 #define HDVB_COMMON_STATUS_H
 
+#include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace hdvb {
 
@@ -63,6 +66,56 @@ class Status
   private:
     StatusCode code_ = StatusCode::kOk;
     std::string message_;
+};
+
+/**
+ * Either a value or the Status explaining why there is none. The
+ * factory and parsing layers return this so that invalid input is a
+ * reportable error instead of a silent bad construction.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from a non-OK status (OK without a value is a bug). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        HDVB_CHECK(!status_.is_ok());
+    }
+
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool is_ok() const { return status_.is_ok(); }
+
+    /** OK unless the value is absent. */
+    const Status &status() const { return status_; }
+
+    /** The held value; HDVB_CHECKs that one is present. */
+    const T &
+    value() const &
+    {
+        HDVB_CHECK(value_.has_value());
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        HDVB_CHECK(value_.has_value());
+        return *value_;
+    }
+
+    /** Move the value out (for move-only payloads like unique_ptr). */
+    T &&
+    value() &&
+    {
+        HDVB_CHECK(value_.has_value());
+        return *std::move(value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
 };
 
 /** Propagate a non-OK status to the caller. */

@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace hdvb {
+
+int
+default_job_count()
+{
+    const char *env = std::getenv("HDVB_JOBS");
+    if (env != nullptr) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int workers)
+{
+    const int n = workers < 1 ? 1 : workers;
+    threads_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void(int)> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::worker_main(int id)
+{
+    for (;;) {
+        std::function<void(int)> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(id);
+    }
+}
+
+void
+parallel_for(ThreadPool &pool, int count,
+             const std::function<void(int, int)> &body)
+{
+    if (count <= 0)
+        return;
+
+    struct Shared {
+        std::atomic<int> next{0};
+        std::mutex mu;
+        std::condition_variable done;
+        int active = 0;
+        std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    const int drivers =
+        pool.worker_count() < count ? pool.worker_count() : count;
+    shared->active = drivers;
+    for (int d = 0; d < drivers; ++d) {
+        pool.submit([shared, count, &body](int worker) {
+            for (;;) {
+                const int i =
+                    shared->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                {
+                    std::lock_guard<std::mutex> lock(shared->mu);
+                    if (shared->error)
+                        break;  // abandon unclaimed indices
+                }
+                try {
+                    body(i, worker);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(shared->mu);
+                    if (!shared->error)
+                        shared->error = std::current_exception();
+                }
+            }
+            std::lock_guard<std::mutex> lock(shared->mu);
+            if (--shared->active == 0)
+                shared->done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done.wait(lock, [&] { return shared->active == 0; });
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+}  // namespace hdvb

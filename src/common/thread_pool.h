@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-size worker pool and a blocking parallel_for on top of it — the
+ * concurrency substrate of the sweep engine. The pool parallelises
+ * *across* measurement points; each point's timed region stays
+ * single-threaded so per-point fps remains comparable to the paper's
+ * single-core numbers.
+ */
+#ifndef HDVB_COMMON_THREAD_POOL_H
+#define HDVB_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdvb {
+
+/**
+ * Default worker count for sweep-style parallelism: the HDVB_JOBS
+ * environment variable when set to a positive integer, otherwise the
+ * hardware concurrency (at least 1).
+ */
+int default_job_count();
+
+/**
+ * A fixed set of worker threads draining a FIFO task queue. Tasks
+ * receive the id (0..worker_count-1) of the worker running them, which
+ * the sweep engine records for observability. Destruction drains the
+ * queue, then joins.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (clamped to at least 1). */
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int worker_count() const { return static_cast<int>(threads_.size()); }
+
+    /** Enqueue @p task; it runs on some worker as task(worker_id). */
+    void submit(std::function<void(int)> task);
+
+  private:
+    void worker_main(int id);
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void(int)>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run body(index, worker_id) for every index in [0, count) across the
+ * pool's workers and block until all complete. Indices are claimed
+ * dynamically (no static partition), so uneven point costs — a 1088p
+ * H.264 encode next to a 576p MPEG-2 decode — still balance.
+ *
+ * The first exception thrown by any invocation is rethrown here after
+ * the remaining in-flight bodies finish; unclaimed indices are skipped
+ * once an exception is recorded. count <= 0 is a no-op. Must not be
+ * called from inside a task running on the same pool (the caller
+ * blocks, and nested waits could consume every worker).
+ */
+void parallel_for(ThreadPool &pool, int count,
+                  const std::function<void(int, int)> &body);
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_THREAD_POOL_H

@@ -56,6 +56,22 @@ parse_codec(const std::string &name, CodecId *out)
     return false;
 }
 
+StatusOr<CodecId>
+parse_codec(const std::string &name)
+{
+    CodecId id;
+    if (parse_codec(name, &id))
+        return id;
+    std::string legal;
+    for (CodecId c : kAllCodecs) {
+        if (!legal.empty())
+            legal += ", ";
+        legal += codec_name(c);
+    }
+    return Status::invalid_argument("unknown codec '" + name +
+                                    "' (legal: " + legal + ")");
+}
+
 ResolutionInfo
 resolution_info(Resolution res)
 {
@@ -77,6 +93,22 @@ parse_resolution(const std::string &name, Resolution *out)
         }
     }
     return false;
+}
+
+StatusOr<Resolution>
+parse_resolution(const std::string &name)
+{
+    Resolution res;
+    if (parse_resolution(name, &res))
+        return res;
+    std::string legal;
+    for (Resolution r : kAllResolutions) {
+        if (!legal.empty())
+            legal += ", ";
+        legal += resolution_info(r).name;
+    }
+    return Status::invalid_argument("unknown resolution '" + name +
+                                    "' (legal: " + legal + ")");
 }
 
 CodecConfig
@@ -111,26 +143,28 @@ benchmark_config(CodecId codec, Resolution res, SimdLevel simd)
     return cfg;
 }
 
-std::unique_ptr<VideoEncoder>
+StatusOr<std::unique_ptr<VideoEncoder>>
 make_encoder(CodecId codec, const CodecConfig &config)
 {
+    HDVB_RETURN_IF_ERROR(config.validate());
     switch (codec) {
       case CodecId::kMpeg2: return create_mpeg2_encoder(config);
       case CodecId::kMpeg4: return create_mpeg4_encoder(config);
       case CodecId::kH264: return create_h264_encoder(config);
     }
-    return nullptr;
+    return Status::invalid_argument("unknown codec id");
 }
 
-std::unique_ptr<VideoDecoder>
+StatusOr<std::unique_ptr<VideoDecoder>>
 make_decoder(CodecId codec, const CodecConfig &config)
 {
+    HDVB_RETURN_IF_ERROR(config.validate());
     switch (codec) {
       case CodecId::kMpeg2: return create_mpeg2_decoder(config);
       case CodecId::kMpeg4: return create_mpeg4_decoder(config);
       case CodecId::kH264: return create_h264_decoder(config);
     }
-    return nullptr;
+    return Status::invalid_argument("unknown codec id");
 }
 
 }  // namespace hdvb

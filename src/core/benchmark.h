@@ -34,6 +34,9 @@ const char *codec_application(CodecId id, bool encoder);
 /** Parse "mpeg2"/"mpeg4"/"h264" (returns false on anything else). */
 bool parse_codec(const std::string &name, CodecId *out);
 
+/** Parsing overload whose error names the legal spellings. */
+StatusOr<CodecId> parse_codec(const std::string &name);
+
 /** The three benchmark resolutions of Section IV. */
 enum class Resolution { k576p25 = 0, k720p25 = 1, k1088p25 = 2 };
 
@@ -51,6 +54,9 @@ struct ResolutionInfo {
 ResolutionInfo resolution_info(Resolution res);
 
 bool parse_resolution(const std::string &name, Resolution *out);
+
+/** Parsing overload whose error names the legal spellings. */
+StatusOr<Resolution> parse_resolution(const std::string &name);
 
 /** The paper's MPEG-class quantiser (vqscale / fixed_quant = 5). */
 inline constexpr int kBenchmarkMpegQscale = 5;
@@ -70,13 +76,16 @@ inline constexpr int kPaperFrameCount = 100;
 CodecConfig benchmark_config(CodecId codec, Resolution res,
                              SimdLevel simd);
 
-/** Instantiate a benchmark encoder. */
-std::unique_ptr<VideoEncoder> make_encoder(CodecId codec,
-                                           const CodecConfig &config);
+/**
+ * Instantiate a benchmark encoder. Validates @p config first and
+ * returns the validation error instead of constructing on bad input.
+ */
+StatusOr<std::unique_ptr<VideoEncoder>>
+make_encoder(CodecId codec, const CodecConfig &config);
 
-/** Instantiate a benchmark decoder. */
-std::unique_ptr<VideoDecoder> make_decoder(CodecId codec,
-                                           const CodecConfig &config);
+/** Instantiate a benchmark decoder (same validation contract). */
+StatusOr<std::unique_ptr<VideoDecoder>>
+make_decoder(CodecId codec, const CodecConfig &config);
 
 }  // namespace hdvb
 

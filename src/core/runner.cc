@@ -7,6 +7,27 @@
 
 namespace hdvb {
 
+CodecConfig
+BenchPoint::effective_config() const
+{
+    if (config.has_value())
+        return *config;
+    return benchmark_config(codec, resolution, simd);
+}
+
+std::string
+BenchPoint::label() const
+{
+    std::string out = codec_name(codec);
+    out += '/';
+    out += sequence_name(sequence);
+    out += '/';
+    out += resolution_info(resolution).name;
+    out += '/';
+    out += simd_level_name(simd);
+    return out;
+}
+
 int
 bench_frames_default()
 {
@@ -20,15 +41,12 @@ bench_frames_default()
 }
 
 EncodeRun
-run_encode(const BenchPoint &point, const CodecConfig *config_override)
+run_encode(const BenchPoint &point)
 {
-    const CodecConfig cfg =
-        config_override != nullptr
-            ? *config_override
-            : benchmark_config(point.codec, point.resolution, point.simd);
-    std::unique_ptr<VideoEncoder> encoder =
+    const CodecConfig cfg = point.effective_config();
+    StatusOr<std::unique_ptr<VideoEncoder>> encoder =
         make_encoder(point.codec, cfg);
-    HDVB_CHECK(encoder != nullptr);
+    HDVB_CHECK(encoder.is_ok());
 
     SyntheticSource source(point.sequence, cfg.width, cfg.height);
     EncodeRun run;
@@ -43,39 +61,36 @@ run_encode(const BenchPoint &point, const CodecConfig *config_override)
     for (int i = 0; i < point.frames; ++i) {
         const Frame frame = source.next();  // untimed generation
         timer.start();
-        const Status status = encoder->encode(frame, &run.stream.packets);
+        const Status status =
+            encoder.value()->encode(frame, &run.stream.packets);
         timer.stop();
         HDVB_CHECK(status.is_ok());
     }
     timer.start();
-    HDVB_CHECK(encoder->flush(&run.stream.packets).is_ok());
+    HDVB_CHECK(encoder.value()->flush(&run.stream.packets).is_ok());
     timer.stop();
     run.seconds = timer.seconds();
     return run;
 }
 
 DecodeRun
-run_decode(const BenchPoint &point, const EncodedStream &stream,
-           const CodecConfig *config_override)
+run_decode(const BenchPoint &point, const EncodedStream &stream)
 {
-    const CodecConfig cfg =
-        config_override != nullptr
-            ? *config_override
-            : benchmark_config(point.codec, point.resolution, point.simd);
-    std::unique_ptr<VideoDecoder> decoder =
+    const CodecConfig cfg = point.effective_config();
+    StatusOr<std::unique_ptr<VideoDecoder>> decoder =
         make_decoder(point.codec, cfg);
-    HDVB_CHECK(decoder != nullptr);
+    HDVB_CHECK(decoder.is_ok());
 
     std::vector<Frame> frames;
     WallTimer timer;
     for (const Packet &packet : stream.packets) {
         timer.start();
-        const Status status = decoder->decode(packet, &frames);
+        const Status status = decoder.value()->decode(packet, &frames);
         timer.stop();
         HDVB_CHECK(status.is_ok());
     }
     timer.start();
-    HDVB_CHECK(decoder->flush(&frames).is_ok());
+    HDVB_CHECK(decoder.value()->flush(&frames).is_ok());
     timer.stop();
 
     DecodeRun run;

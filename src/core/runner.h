@@ -8,6 +8,9 @@
 #ifndef HDVB_CORE_RUNNER_H
 #define HDVB_CORE_RUNNER_H
 
+#include <optional>
+#include <string>
+
 #include "container/container.h"
 #include "core/benchmark.h"
 #include "metrics/psnr.h"
@@ -21,6 +24,18 @@ struct BenchPoint {
     Resolution resolution = Resolution::k576p25;
     int frames = 4;
     SimdLevel simd = best_simd_level();
+
+    /** When set, replaces the Table IV configuration for this point
+     * (ablations, reduced-size test runs). */
+    std::optional<CodecConfig> config;
+
+    /** The configuration the point actually runs with: the override if
+     * present, otherwise benchmark_config(codec, resolution, simd). */
+    CodecConfig effective_config() const;
+
+    /** Stable identifier, e.g. "h264/blue_sky/1088p25/sse2" — the one
+     * spelling of a point used in tables, logs and JSON reports. */
+    std::string label() const;
 };
 
 /** Frames per point: HDVB_FRAMES env var, default 4 — one full
@@ -45,12 +60,9 @@ struct EncodeRun {
     }
 };
 
-/**
- * Encode @p point.frames synthetic frames. Optionally override the
- * Table IV configuration via @p config_override (used by ablations).
- */
-EncodeRun run_encode(const BenchPoint &point,
-                     const CodecConfig *config_override = nullptr);
+/** Encode @p point.frames synthetic frames with the point's effective
+ * configuration. */
+EncodeRun run_encode(const BenchPoint &point);
 
 /** Decode measurement (plus quality versus the original source). */
 struct DecodeRun {
@@ -66,8 +78,7 @@ struct DecodeRun {
  * Decode @p stream (as produced by run_encode for the same point) and
  * measure decode fps and PSNR against the regenerated source frames.
  */
-DecodeRun run_decode(const BenchPoint &point, const EncodedStream &stream,
-                     const CodecConfig *config_override = nullptr);
+DecodeRun run_decode(const BenchPoint &point, const EncodedStream &stream);
 
 }  // namespace hdvb
 

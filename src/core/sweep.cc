@@ -1,0 +1,240 @@
+#include "core/sweep.h"
+
+#include <cstdio>
+#include <sys/resource.h>
+#include <sys/stat.h>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "metrics/timer.h"
+
+namespace hdvb {
+
+namespace {
+
+long
+current_peak_rss_kb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+void
+ensure_parent_dir(const std::string &path)
+{
+    const size_t slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0)
+        ::mkdir(path.substr(0, slash).c_str(), 0755);
+}
+
+}  // namespace
+
+std::string
+stream_cache_path(const std::string &cache_dir, const BenchPoint &point)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s/%s_%s_%s_%d.hdv",
+                  cache_dir.c_str(), codec_name(point.codec),
+                  sequence_name(point.sequence),
+                  resolution_info(point.resolution).name, point.frames);
+    return buf;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options))
+{
+}
+
+SweepResult
+SweepRunner::run_point(const BenchPoint &point, int worker) const
+{
+    WallTimer wall;
+    wall.start();
+
+    SweepResult result;
+    result.point = point;
+    result.worker = worker;
+
+    // Config overrides make a point's stream incomparable with the
+    // canonical Table IV one, so such points bypass the cache.
+    const bool cacheable =
+        !options_.cache_dir.empty() && !point.config.has_value();
+    const std::string cache_path =
+        cacheable ? stream_cache_path(options_.cache_dir, point) : "";
+
+    EncodedStream stream;
+    bool have_stream = false;
+    if (cacheable && !options_.measure_encode &&
+        read_stream_file(cache_path, &stream).is_ok() &&
+        stream.codec == codec_name(point.codec)) {
+        result.from_cache = true;
+        have_stream = true;
+    }
+    if (!have_stream) {
+        EncodeRun enc = run_encode(point);
+        result.encode_measured = options_.measure_encode;
+        result.encode_frames = enc.frames;
+        result.encode_seconds = enc.seconds;
+        stream = std::move(enc.stream);
+        if (cacheable) {
+            ::mkdir(options_.cache_dir.c_str(), 0755);
+            (void)write_stream_file(cache_path, stream);
+        }
+    }
+    result.stream_bits = stream.total_bits();
+
+    if (options_.measure_decode) {
+        const DecodeRun dec = run_decode(point, stream);
+        result.decode_measured = true;
+        result.decode_frames = dec.frames;
+        result.decode_seconds = dec.seconds;
+        result.psnr_y = dec.psnr_y;
+        result.psnr_all = dec.psnr_all;
+    }
+
+    if (options_.keep_streams)
+        result.stream = std::move(stream);
+
+    wall.stop();
+    result.wall_seconds = wall.seconds();
+    result.peak_rss_kb = current_peak_rss_kb();
+    HDVB_LOG(kDebug) << "sweep " << point.label() << " worker "
+                     << worker << " wall " << result.wall_seconds
+                     << "s";
+    return result;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<BenchPoint> &points)
+{
+    const int jobs =
+        options_.jobs > 0 ? options_.jobs : default_job_count();
+
+    std::vector<SweepResult> results(points.size());
+    WallTimer wall;
+    wall.start();
+    {
+        ThreadPool pool(jobs);
+        // Indexed writes into the preallocated vector keep results in
+        // input order no matter which worker finishes when.
+        parallel_for(pool, static_cast<int>(points.size()),
+                     [&](int i, int worker) {
+                         results[i] = run_point(points[i], worker);
+                     });
+    }
+    wall.stop();
+    last_wall_seconds_ = wall.seconds();
+
+    if (!options_.json_path.empty()) {
+        const Status status = write_report(results);
+        if (!status.is_ok())
+            HDVB_LOG(kWarn) << "sweep report not written: "
+                            << status.to_string();
+    }
+    return results;
+}
+
+Status
+SweepRunner::write_report(const std::vector<SweepResult> &results) const
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "hdvb-sweep/1");
+    json.field("jobs", options_.jobs > 0 ? options_.jobs
+                                         : default_job_count());
+    json.field("wall_seconds", last_wall_seconds_);
+    json.key("points");
+    json.begin_array();
+    for (const SweepResult &r : results) {
+        json.begin_object();
+        json.field("label", r.point.label());
+        json.field("codec", codec_name(r.point.codec));
+        json.field("sequence", sequence_name(r.point.sequence));
+        json.field("resolution", resolution_info(r.point.resolution).name);
+        json.field("simd", simd_level_name(r.point.simd));
+        json.field("frames", r.point.frames);
+        json.field("config_override", r.point.config.has_value());
+        json.field("stream_bits", r.stream_bits);
+        json.field("bitrate_kbps", r.bitrate_kbps());
+        json.field("from_cache", r.from_cache);
+        if (r.encode_measured) {
+            json.key("encode");
+            json.begin_object();
+            json.field("frames", r.encode_frames);
+            json.field("seconds", r.encode_seconds);
+            json.field("fps", r.encode_fps());
+            json.end_object();
+        }
+        if (r.decode_measured) {
+            json.key("decode");
+            json.begin_object();
+            json.field("frames", r.decode_frames);
+            json.field("seconds", r.decode_seconds);
+            json.field("fps", r.decode_fps());
+            json.field("psnr_y", r.psnr_y);
+            json.field("psnr_all", r.psnr_all);
+            json.end_object();
+        }
+        json.field("wall_seconds", r.wall_seconds);
+        json.field("worker", r.worker);
+        json.field("peak_rss_kb", static_cast<s64>(r.peak_rss_kb));
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    ensure_parent_dir(options_.json_path);
+    std::FILE *f = std::fopen(options_.json_path.c_str(), "w");
+    if (f == nullptr)
+        return Status::invalid_argument("cannot open " +
+                                        options_.json_path);
+    const std::string &text = json.str();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    if (!ok)
+        return Status::internal("short write to " + options_.json_path);
+    return Status::ok();
+}
+
+std::vector<BenchPoint>
+sweep_grid(int frames, SimdLevel simd)
+{
+    return sweep_grid(
+        {kAllCodecs, kAllCodecs + kCodecCount},
+        {kAllSequences, kAllSequences + kSequenceCount},
+        {kAllResolutions, kAllResolutions + kResolutionCount}, frames,
+        simd);
+}
+
+std::vector<BenchPoint>
+sweep_grid(const std::vector<CodecId> &codecs,
+           const std::vector<SequenceId> &sequences,
+           const std::vector<Resolution> &resolutions, int frames,
+           SimdLevel simd)
+{
+    std::vector<BenchPoint> points;
+    points.reserve(codecs.size() * sequences.size() *
+                   resolutions.size());
+    for (Resolution res : resolutions) {
+        for (SequenceId seq : sequences) {
+            for (CodecId codec : codecs) {
+                BenchPoint point;
+                point.codec = codec;
+                point.sequence = seq;
+                point.resolution = res;
+                point.frames = frames;
+                point.simd = simd;
+                points.push_back(point);
+            }
+        }
+    }
+    return points;
+}
+
+}  // namespace hdvb

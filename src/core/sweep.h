@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The parallel sweep engine. A sweep is the benchmark's outer product —
+ * codec x sequence x resolution x SIMD (Figure 1, Table V) — and its
+ * points are independent measurements, so SweepRunner distributes them
+ * across a thread pool. Each point's *timed region* stays
+ * single-threaded (one encoder or decoder instance per point, exactly
+ * as in a serial run), so per-point fps is unchanged and stays
+ * comparable to the paper's single-core numbers; only the grid's
+ * wall-clock time shrinks.
+ *
+ * Results come back in the order of the input point list regardless of
+ * completion order, so table output is deterministic, and the engine
+ * records per-point observability (wall time, worker id, peak RSS)
+ * which it can emit as a machine-readable JSON report.
+ */
+#ifndef HDVB_CORE_SWEEP_H
+#define HDVB_CORE_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/runner.h"
+
+namespace hdvb {
+
+/** What SweepRunner measured for one BenchPoint. */
+struct SweepResult {
+    BenchPoint point;
+
+    // ---- encode measurement ----
+    /** False when the stream came from the cache (no encode timing). */
+    bool encode_measured = false;
+    int encode_frames = 0;
+    double encode_seconds = 0.0;
+
+    // ---- stream properties (valid in either case) ----
+    u64 stream_bits = 0;
+    bool from_cache = false;
+
+    // ---- decode measurement (SweepOptions::measure_decode) ----
+    bool decode_measured = false;
+    int decode_frames = 0;
+    double decode_seconds = 0.0;
+    double psnr_y = 0.0;
+    double psnr_all = 0.0;
+
+    /** The encoded stream (only with SweepOptions::keep_streams). */
+    EncodedStream stream;
+
+    // ---- observability ----
+    double wall_seconds = 0.0;  ///< whole point, untimed phases included
+    int worker = -1;            ///< pool worker id that ran the point
+    long peak_rss_kb = 0;       ///< process peak RSS at point completion
+
+    double
+    encode_fps() const
+    {
+        return encode_seconds > 0 ? encode_frames / encode_seconds : 0.0;
+    }
+
+    double
+    decode_fps() const
+    {
+        return decode_seconds > 0 ? decode_frames / decode_seconds : 0.0;
+    }
+
+    /** kbit/s at the benchmark's 25 fps playback rate. */
+    double
+    bitrate_kbps() const
+    {
+        return point.frames > 0 ? static_cast<double>(stream_bits) *
+                                      25.0 / point.frames / 1000.0
+                                : 0.0;
+    }
+};
+
+/** Sweep behaviour; the defaults measure encode+decode, uncached. */
+struct SweepOptions {
+    /** Worker threads; 0 means default_job_count() (HDVB_JOBS env). */
+    int jobs = 0;
+
+    /** Time the encode. When false and a cached stream exists, the
+     * encode is skipped entirely (decode-only benches). */
+    bool measure_encode = true;
+
+    /** Decode the stream, timing it and computing PSNR. */
+    bool measure_decode = true;
+
+    /** Retain each point's encoded stream in its SweepResult. */
+    bool keep_streams = false;
+
+    /** Directory for the .hdv stream cache shared between bench
+     * binaries; empty disables caching. Points carrying a config
+     * override never touch the cache. */
+    std::string cache_dir;
+
+    /** Path for the machine-readable JSON report; empty disables. */
+    std::string json_path;
+};
+
+/**
+ * Runs a list of BenchPoints across a thread pool and returns one
+ * SweepResult per point, in input order.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** Execute the sweep. Aborts (HDVB_CHECK) on codec failure, like
+     * the serial runner; propagates exceptions from worker threads. */
+    std::vector<SweepResult> run(const std::vector<BenchPoint> &points);
+
+    /** Wall-clock seconds of the last run() (the Figure-1 grid time
+     * the parallel engine exists to shrink). */
+    double last_wall_seconds() const { return last_wall_seconds_; }
+
+  private:
+    SweepResult run_point(const BenchPoint &point, int worker) const;
+    Status write_report(const std::vector<SweepResult> &results) const;
+
+    SweepOptions options_;
+    double last_wall_seconds_ = 0.0;
+};
+
+/**
+ * The benchmark's full measurement grid in canonical order: resolution
+ * (outer) -> sequence -> codec (inner). The order is part of the
+ * contract — Table V consumes it row by row.
+ */
+std::vector<BenchPoint> sweep_grid(int frames, SimdLevel simd);
+
+/** Grid restricted to explicit axis values, same nesting order. */
+std::vector<BenchPoint>
+sweep_grid(const std::vector<CodecId> &codecs,
+           const std::vector<SequenceId> &sequences,
+           const std::vector<Resolution> &resolutions, int frames,
+           SimdLevel simd);
+
+/** Cache file path for a point's encoded stream (shared layout across
+ * the bench binaries; independent of SimdLevel — kernels are
+ * bit-exact, so one entry serves scalar and SIMD runs alike). */
+std::string stream_cache_path(const std::string &cache_dir,
+                              const BenchPoint &point);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_SWEEP_H

@@ -33,6 +33,73 @@ TEST(BenchmarkDefinition, TableIiNamesResolve)
     EXPECT_FALSE(parse_codec("vp8", &dummy));
 }
 
+TEST(BenchmarkDefinition, StatusParsingOverloadsNameLegalValues)
+{
+    const StatusOr<CodecId> codec = parse_codec("h264");
+    ASSERT_TRUE(codec.is_ok());
+    EXPECT_EQ(codec.value(), CodecId::kH264);
+
+    const StatusOr<CodecId> bad_codec = parse_codec("vp8");
+    ASSERT_FALSE(bad_codec.is_ok());
+    EXPECT_EQ(bad_codec.status().code(), StatusCode::kInvalidArgument);
+    // The error lists every legal spelling.
+    for (CodecId id : kAllCodecs)
+        EXPECT_NE(bad_codec.status().message().find(codec_name(id)),
+                  std::string::npos);
+
+    const StatusOr<Resolution> res = parse_resolution("720p25");
+    ASSERT_TRUE(res.is_ok());
+    EXPECT_EQ(res.value(), Resolution::k720p25);
+
+    const StatusOr<Resolution> bad_res = parse_resolution("480i");
+    ASSERT_FALSE(bad_res.is_ok());
+    for (Resolution r : kAllResolutions)
+        EXPECT_NE(bad_res.status().message().find(
+                      resolution_info(r).name),
+                  std::string::npos);
+}
+
+TEST(BenchmarkDefinition, FactoriesRejectInvalidConfig)
+{
+    CodecConfig bad;
+    bad.width = 100;  // not a multiple of 16
+    bad.height = 48;
+    for (CodecId codec : kAllCodecs) {
+        const auto enc = make_encoder(codec, bad);
+        ASSERT_FALSE(enc.is_ok()) << codec_name(codec);
+        EXPECT_EQ(enc.status().code(), StatusCode::kInvalidArgument);
+        const auto dec = make_decoder(codec, bad);
+        ASSERT_FALSE(dec.is_ok()) << codec_name(codec);
+    }
+}
+
+TEST(BenchPointApi, LabelIsStable)
+{
+    BenchPoint point;
+    point.codec = CodecId::kH264;
+    point.sequence = SequenceId::kBlueSky;
+    point.resolution = Resolution::k1088p25;
+    point.simd = SimdLevel::kSse2;
+    EXPECT_EQ(point.label(), "h264/blue_sky/1088p25/sse2");
+    point.simd = SimdLevel::kScalar;
+    point.codec = CodecId::kMpeg2;
+    EXPECT_EQ(point.label(), "mpeg2/blue_sky/1088p25/scalar");
+}
+
+TEST(BenchPointApi, EffectiveConfigPrefersOverride)
+{
+    BenchPoint point;
+    point.codec = CodecId::kMpeg4;
+    point.resolution = Resolution::k576p25;
+    EXPECT_EQ(point.effective_config().width, 720);
+
+    CodecConfig tiny;
+    tiny.width = 96;
+    tiny.height = 64;
+    point.config = tiny;
+    EXPECT_EQ(point.effective_config().width, 96);
+}
+
 TEST(BenchmarkDefinition, TableIiiResolutions)
 {
     EXPECT_EQ(resolution_info(Resolution::k576p25).width, 720);
@@ -86,13 +153,14 @@ TEST(Runner, EncodeDecodePipelineOnCustomConfig)
     point.codec = CodecId::kMpeg4;
     point.sequence = SequenceId::kRushHour;
     point.frames = 7;
-    const EncodeRun enc = run_encode(point, &cfg);
+    point.config = cfg;
+    const EncodeRun enc = run_encode(point);
     EXPECT_EQ(enc.frames, 7);
     EXPECT_GT(enc.fps(), 0.0);
     EXPECT_GT(enc.bitrate_kbps(), 0.0);
     EXPECT_EQ(enc.stream.packets.size(), 7u);
 
-    const DecodeRun dec = run_decode(point, enc.stream, &cfg);
+    const DecodeRun dec = run_decode(point, enc.stream);
     EXPECT_EQ(dec.frames, 7);
     EXPECT_GT(dec.fps(), 0.0);
     EXPECT_GT(dec.psnr_y, 30.0);
@@ -106,7 +174,8 @@ TEST(Pipeline, EncodeFileDecodeAcrossAllCodecs)
         cfg.height = 48;
         cfg.me_range = 8;
         cfg.refs = 2;
-        std::unique_ptr<VideoEncoder> enc = make_encoder(codec, cfg);
+        std::unique_ptr<VideoEncoder> enc =
+            make_encoder(codec, cfg).value();
         SyntheticSource source(SequenceId::kBlueSky, 64, 48);
         EncodedStream stream;
         stream.codec = codec_name(codec);
@@ -125,7 +194,8 @@ TEST(Pipeline, EncodeFileDecodeAcrossAllCodecs)
         ASSERT_TRUE(read_stream_file(path, &loaded).is_ok());
         EXPECT_EQ(loaded.codec, codec_name(codec));
 
-        std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+        std::unique_ptr<VideoDecoder> dec =
+            make_decoder(codec, cfg).value();
         std::vector<Frame> frames;
         for (const Packet &packet : loaded.packets)
             ASSERT_TRUE(dec->decode(packet, &frames).is_ok());
@@ -162,8 +232,9 @@ TEST(TableVShape, GenerationOrderingHoldsOnSmallRun)
         point.codec = codec;
         point.sequence = SequenceId::kRushHour;
         point.frames = 8;
-        const EncodeRun enc = run_encode(point, &cfg);
-        const DecodeRun dec = run_decode(point, enc.stream, &cfg);
+        point.config = cfg;
+        const EncodeRun enc = run_encode(point);
+        const DecodeRun dec = run_decode(point, enc.stream);
         bits[static_cast<int>(codec)] = enc.stream.total_bits();
         psnr[static_cast<int>(codec)] = dec.psnr_y;
     }

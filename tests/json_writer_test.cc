@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the JSON emitter behind the sweep reports.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/json_writer.h"
+
+namespace hdvb {
+namespace {
+
+TEST(JsonWriter, NestedDocumentWithCommas)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("name", "sweep");
+    json.field("jobs", 4);
+    json.field("wall", 1.5);
+    json.field("ok", true);
+    json.key("points");
+    json.begin_array();
+    json.begin_object();
+    json.field("i", 0);
+    json.end_object();
+    json.begin_object();
+    json.field("i", 1);
+    json.end_object();
+    json.end_array();
+    json.end_object();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"sweep\",\"jobs\":4,\"wall\":1.5,"
+              "\"ok\":true,\"points\":[{\"i\":0},{\"i\":1}]}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(JsonWriter::escape(std::string("x\x01y")), "x\\u0001y");
+    JsonWriter json;
+    json.begin_object();
+    json.field("k\"ey", "v\\al");
+    json.end_object();
+    EXPECT_EQ(json.str(), "{\"k\\\"ey\":\"v\\\\al\"}");
+}
+
+TEST(JsonWriter, TopLevelScalarsAndArrays)
+{
+    JsonWriter json;
+    json.begin_array();
+    json.value(1);
+    json.value(2.25);
+    json.value("three");
+    json.value(false);
+    json.value(u64{18446744073709551615ull});
+    json.end_array();
+    EXPECT_EQ(json.str(),
+              "[1,2.25,\"three\",false,18446744073709551615]");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.begin_array();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.end_array();
+    EXPECT_EQ(json.str(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace hdvb

@@ -48,14 +48,16 @@ encode_decode(CodecId codec, const CodecConfig &cfg, SequenceId seq,
     run.stream.codec = codec_name(codec);
     run.stream.width = cfg.width;
     run.stream.height = cfg.height;
-    std::unique_ptr<VideoEncoder> enc = make_encoder(codec, cfg);
+    std::unique_ptr<VideoEncoder> enc =
+        make_encoder(codec, cfg).value();
     SyntheticSource source(seq, cfg.width, cfg.height);
     for (int i = 0; i < frames; ++i)
         EXPECT_TRUE(enc->encode(source.next(),
                                 &run.stream.packets).is_ok());
     EXPECT_TRUE(enc->flush(&run.stream.packets).is_ok());
 
-    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+    std::unique_ptr<VideoDecoder> dec =
+        make_decoder(codec, cfg).value();
     for (const Packet &packet : run.stream.packets)
         EXPECT_TRUE(dec->decode(packet, &run.decoded).is_ok());
     EXPECT_TRUE(dec->flush(&run.decoded).is_ok());
@@ -152,7 +154,8 @@ TEST_P(CodecRoundTrip, CorruptPacketsRejectedNotCrashing)
         } else {
             victim.data.resize(victim.data.size() / 2);
         }
-        std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+        std::unique_ptr<VideoDecoder> dec =
+            make_decoder(codec, cfg).value();
         std::vector<Frame> frames;
         bool ok = true;
         for (const Packet &packet : mangled.packets) {
@@ -179,7 +182,8 @@ TEST_P(CodecRoundTrip, MissingReferenceRejected)
     const CodecConfig cfg = small_config(simd);
     CodecRun run = encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
     // Feed a P/B packet to a fresh decoder with no I first.
-    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg);
+    std::unique_ptr<VideoDecoder> dec =
+        make_decoder(codec, cfg).value();
     std::vector<Frame> frames;
     ASSERT_GE(run.stream.packets.size(), 2u);
     EXPECT_FALSE(dec->decode(run.stream.packets[1], &frames).is_ok());
@@ -243,7 +247,8 @@ TEST_P(SimdInvariance, CrossLevelDecodeMatches)
     const CodecRun simd_run = encode_decode(
         codec, enc_cfg, SequenceId::kPedestrianArea, 7);
     const CodecConfig dec_cfg = small_config(SimdLevel::kScalar);
-    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, dec_cfg);
+    std::unique_ptr<VideoDecoder> dec =
+        make_decoder(codec, dec_cfg).value();
     std::vector<Frame> frames;
     for (const Packet &packet : simd_run.stream.packets)
         ASSERT_TRUE(dec->decode(packet, &frames).is_ok());
@@ -339,7 +344,7 @@ TEST(Encode, RejectsWrongFrameSize)
 {
     CodecConfig cfg = small_config(best_simd_level());
     std::unique_ptr<VideoEncoder> enc =
-        make_encoder(CodecId::kH264, cfg);
+        make_encoder(CodecId::kH264, cfg).value();
     Frame wrong(kW * 2, kH * 2);
     std::vector<Packet> packets;
     EXPECT_FALSE(enc->encode(wrong, &packets).is_ok());

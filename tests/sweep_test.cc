@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the ordering contract (results
+ * in input order), bit-identical streams between serial and parallel
+ * runs (the Figure-1 comparability guarantee), per-point observability,
+ * stream caching, and the JSON report.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "container/container.h"
+#include "core/sweep.h"
+
+namespace hdvb {
+namespace {
+
+/** Reduced-size grid so the sweep tests stay fast: every codec over
+ * two sequences at 96x64 with a config override. */
+std::vector<BenchPoint>
+tiny_points()
+{
+    CodecConfig cfg;
+    cfg.width = 96;
+    cfg.height = 64;
+    cfg.me_range = 8;
+    cfg.refs = 2;
+    std::vector<BenchPoint> points;
+    for (SequenceId seq :
+         {SequenceId::kBlueSky, SequenceId::kRushHour}) {
+        for (CodecId codec : kAllCodecs) {
+            BenchPoint point;
+            point.codec = codec;
+            point.sequence = seq;
+            point.frames = 5;
+            point.config = cfg;
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(SweepRunner, ResultsComeBackInInputOrder)
+{
+    SweepOptions options;
+    options.jobs = 4;
+    options.measure_decode = false;
+    SweepRunner runner(options);
+    const std::vector<BenchPoint> points = tiny_points();
+    const std::vector<SweepResult> results = runner.run(points);
+    ASSERT_EQ(results.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(results[i].point.label(), points[i].label());
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly)
+{
+    // The engine's core guarantee: HDVB_JOBS only changes wall-clock
+    // time. A 4-worker sweep must produce byte-identical encoded
+    // streams, identical measured frame counts and identical PSNR to a
+    // 1-worker sweep of the same point list.
+    const std::vector<BenchPoint> points = tiny_points();
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.keep_streams = true;
+    SweepOptions parallel = serial;
+    parallel.jobs = 4;
+
+    const std::vector<SweepResult> a =
+        SweepRunner(serial).run(points);
+    const std::vector<SweepResult> b =
+        SweepRunner(parallel).run(points);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(points[i].label());
+        EXPECT_EQ(serialize_stream(a[i].stream),
+                  serialize_stream(b[i].stream));
+        EXPECT_EQ(a[i].stream_bits, b[i].stream_bits);
+        EXPECT_EQ(a[i].encode_frames, b[i].encode_frames);
+        EXPECT_EQ(a[i].decode_frames, b[i].decode_frames);
+        EXPECT_DOUBLE_EQ(a[i].psnr_y, b[i].psnr_y);
+        EXPECT_DOUBLE_EQ(a[i].psnr_all, b[i].psnr_all);
+    }
+}
+
+TEST(SweepRunner, RecordsPerPointObservability)
+{
+    SweepOptions options;
+    options.jobs = 2;
+    SweepRunner runner(options);
+    const std::vector<SweepResult> results = runner.run(tiny_points());
+    for (const SweepResult &r : results) {
+        EXPECT_GT(r.wall_seconds, 0.0);
+        EXPECT_GE(r.worker, 0);
+        EXPECT_LT(r.worker, 2);
+        EXPECT_GT(r.peak_rss_kb, 0);
+        EXPECT_TRUE(r.encode_measured);
+        EXPECT_TRUE(r.decode_measured);
+        EXPECT_GT(r.encode_fps(), 0.0);
+        EXPECT_GT(r.decode_fps(), 0.0);
+        EXPECT_GT(r.bitrate_kbps(), 0.0);
+    }
+    EXPECT_GT(runner.last_wall_seconds(), 0.0);
+}
+
+TEST(SweepRunner, WritesJsonReport)
+{
+    const std::string path =
+        ::testing::TempDir() + "/hdvb_sweep_report.json";
+    SweepOptions options;
+    options.jobs = 2;
+    options.json_path = path;
+    SweepRunner runner(options);
+    const std::vector<BenchPoint> points = tiny_points();
+    runner.run(points);
+
+    const std::string report = read_file(path);
+    ASSERT_FALSE(report.empty());
+    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/1\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"jobs\":2"), std::string::npos);
+    // Every point appears, by its stable label.
+    for (const BenchPoint &point : points)
+        EXPECT_NE(report.find("\"label\":\"" + point.label() + "\""),
+                  std::string::npos);
+    // Balanced structure (cheap well-formedness smoke).
+    EXPECT_EQ(std::count(report.begin(), report.end(), '{'),
+              std::count(report.begin(), report.end(), '}'));
+    EXPECT_EQ(std::count(report.begin(), report.end(), '['),
+              std::count(report.begin(), report.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunner, StreamCacheRoundTrips)
+{
+    const std::string dir = ::testing::TempDir() + "/hdvb_sweep_cache";
+    BenchPoint point;  // canonical point: cacheable (no override)
+    point.codec = CodecId::kMpeg2;
+    point.sequence = SequenceId::kBlueSky;
+    point.resolution = Resolution::k576p25;
+    point.frames = 2;
+
+    SweepOptions options;
+    options.jobs = 1;
+    options.measure_encode = false;
+    options.measure_decode = false;
+    options.keep_streams = true;
+    options.cache_dir = dir;
+
+    const SweepResult first =
+        SweepRunner(options).run({point}).front();
+    EXPECT_FALSE(first.from_cache);
+    const SweepResult second =
+        SweepRunner(options).run({point}).front();
+    EXPECT_TRUE(second.from_cache);
+    EXPECT_EQ(serialize_stream(first.stream),
+              serialize_stream(second.stream));
+
+    // measure_encode forces a fresh timed encode despite the cache.
+    options.measure_encode = true;
+    const SweepResult timed =
+        SweepRunner(options).run({point}).front();
+    EXPECT_FALSE(timed.from_cache);
+    EXPECT_TRUE(timed.encode_measured);
+    EXPECT_GT(timed.encode_seconds, 0.0);
+
+    std::remove(stream_cache_path(dir, point).c_str());
+}
+
+TEST(SweepGrid, CanonicalOrderAndSize)
+{
+    const std::vector<BenchPoint> grid =
+        sweep_grid(4, SimdLevel::kScalar);
+    ASSERT_EQ(grid.size(), static_cast<size_t>(kCodecCount) *
+                               kSequenceCount * kResolutionCount);
+    // Codec is the innermost axis; resolution the outermost.
+    EXPECT_EQ(grid[0].label(), "mpeg2/blue_sky/576p25/scalar");
+    EXPECT_EQ(grid[1].label(), "mpeg4/blue_sky/576p25/scalar");
+    EXPECT_EQ(grid[kCodecCount].label(),
+              "mpeg2/pedestrian_area/576p25/scalar");
+    for (const BenchPoint &point : grid) {
+        EXPECT_EQ(point.frames, 4);
+        EXPECT_EQ(point.simd, SimdLevel::kScalar);
+        EXPECT_FALSE(point.config.has_value());
+    }
+    // Row structure: each consecutive kCodecCount block shares
+    // (resolution, sequence) — the Table V consumption contract.
+    for (size_t i = 0; i < grid.size(); i += kCodecCount) {
+        for (int c = 1; c < kCodecCount; ++c) {
+            EXPECT_EQ(grid[i + c].sequence, grid[i].sequence);
+            EXPECT_EQ(grid[i + c].resolution, grid[i].resolution);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hdvb
