@@ -53,7 +53,13 @@ main(int argc, char **argv)
     point.frames = frames;
     std::fprintf(stderr, "[transcode] preparing %s source stream...\n",
                  codec_name(from));
-    const EncodeRun source_run = run_encode(point);
+    StatusOr<EncodeRun> source_or = run_encode(point);
+    if (!source_or.is_ok()) {
+        std::fprintf(stderr, "[transcode] source encode failed: %s\n",
+                     source_or.status().to_string().c_str());
+        return 1;
+    }
+    const EncodeRun &source_run = source_or.value();
 
     const CodecConfig from_cfg =
         benchmark_config(from, res, best_simd_level());

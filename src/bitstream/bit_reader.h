@@ -87,6 +87,10 @@ class BitReader
     /** True once a read ran past the end of the buffer. */
     bool has_error() const { return error_; }
 
+    /** Latch the error flag from outside (malformed syntax, e.g. an
+     * overlong Exp-Golomb prefix that is not a truncation). */
+    void set_error() { error_ = true; }
+
     /** True when every bit has been consumed (ignores alignment pad). */
     bool exhausted() const { return pos_ == size_ && acc_bits_ == 0; }
 

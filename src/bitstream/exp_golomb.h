@@ -37,8 +37,12 @@ read_ue(BitReader &br)
             return 0;
         ++zeros;
     }
-    if (zeros >= 32)
-        return 0;  // malformed; caller sees reader error / bad syntax
+    if (zeros >= 32) {
+        // Malformed prefix: no legal code starts with 32 zeros. Latch
+        // the reader error so callers can tell this from a legal 0.
+        br.set_error();
+        return 0;
+    }
     u32 value = 1;
     if (zeros > 0)
         value = (1u << zeros) | br.get_bits(zeros);

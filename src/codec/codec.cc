@@ -101,7 +101,18 @@ Status
 DecoderBase::decode(const Packet &packet, std::vector<Frame> *out)
 {
     Frame frame;
-    HDVB_RETURN_IF_ERROR(decode_picture(packet, &frame));
+    const Status status = decode_picture(packet, &frame);
+    if (!status.is_ok()) {
+        // Resilient last resort: a picture too damaged even for
+        // concealment is replaced by a repeat of the newest anchor.
+        // The subclass's reference state is untouched, which stays
+        // consistent because the repeated picture equals that anchor.
+        if (!config_.error_resilience || !has_held_)
+            return status;
+        frame = Frame(config_.width, config_.height);
+        frame.copy_from(held_anchor_);
+        ++stats_.pictures_dropped;
+    }
     frame.set_poc(packet.poc);
 
     if (packet.type == PictureType::kB) {

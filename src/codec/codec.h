@@ -65,8 +65,23 @@ struct CodecConfig {
     bool intra4 = true;   ///< H.264-class Intra4x4 modes
     bool partitions = true;  ///< H.264-class 16x8/8x16/8x8 partitions
 
+    /**
+     * Emit per-macroblock-row resync markers and decode with
+     * resynchronisation + concealment (see src/bitstream/resync.h).
+     * Off by default: golden streams stay bit-identical.
+     */
+    bool error_resilience = false;
+
     /** Check invariants (16-aligned dimensions, ranges). */
     Status validate() const;
+};
+
+/** Error-resilience counters a decoder accumulates across decode()
+ * calls. All zero unless the stream was damaged (or markers lied). */
+struct DecodeStats {
+    s64 mbs_concealed = 0;    ///< macroblocks filled by concealment
+    s64 resyncs = 0;          ///< successful re-locks after an error
+    s64 pictures_dropped = 0; ///< pictures replaced by a repeated anchor
 };
 
 /** Streaming encoder interface. */
@@ -100,6 +115,10 @@ class VideoDecoder
     virtual Status flush(std::vector<Frame> *out) = 0;
 
     virtual const char *name() const = 0;
+
+    /** Cumulative error-resilience counters (zeros when the decoder
+     * does not track them). */
+    virtual DecodeStats stats() const { return {}; }
 };
 
 /**
@@ -151,9 +170,14 @@ class DecoderBase : public VideoDecoder
 
     const CodecConfig &config() const { return config_; }
 
+    DecodeStats stats() const final { return stats_; }
+
   protected:
     /** Decode one picture into @p out (any size; base resizes). */
     virtual Status decode_picture(const Packet &packet, Frame *out) = 0;
+
+    /** Subclasses bump these while decoding resilient pictures. */
+    DecodeStats stats_;
 
   private:
     CodecConfig config_;

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Macroblock concealment for the error-resilient decode paths. Two
+ * strategies, per the classic decoder playbook: temporal (copy the
+ * co-located macroblock from the newest reference picture — used for P
+ * and B pictures) and spatial DC (fill from the reconstructed pixel row
+ * directly above — used for intra pictures, which have no reference).
+ */
+#ifndef HDVB_CODEC_CONCEAL_H
+#define HDVB_CODEC_CONCEAL_H
+
+#include "video/frame.h"
+
+namespace hdvb {
+
+/** Copy the co-located 16x16 luma (8x8 chroma) macroblock at
+ * (mbx, mby) from @p ref into @p dst. Frames must share dimensions. */
+void conceal_mb_from_ref(Frame *dst, const Frame &ref, int mbx, int mby);
+
+/**
+ * Fill the macroblock at (mbx, mby) of @p dst with, per plane, the
+ * average of the pixel row directly above the macroblock (mid-grey 128
+ * for the top row, which has no neighbour).
+ */
+void conceal_mb_dc(Frame *dst, int mbx, int mby);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CODEC_CONCEAL_H

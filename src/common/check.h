@@ -29,7 +29,9 @@ check_failed(const char *file, int line, const char *expr)
     } while (0)
 
 #ifdef NDEBUG
-#define HDVB_DCHECK(expr) do {} while (0)
+/* Keep expr referenced (unevaluated) so release builds don't warn about
+ * variables that exist only to be checked. */
+#define HDVB_DCHECK(expr) do { (void)sizeof((expr) ? 1 : 0); } while (0)
 #else
 #define HDVB_DCHECK(expr) HDVB_CHECK(expr)
 #endif

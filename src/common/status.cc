@@ -12,6 +12,7 @@ status_code_name(StatusCode code)
       case StatusCode::kOutOfRange: return "out-of-range";
       case StatusCode::kUnimplemented: return "unimplemented";
       case StatusCode::kInternal: return "internal";
+      case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     }
     return "unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
     kOutOfRange,        ///< Index or size outside the valid domain.
     kUnimplemented,     ///< Feature intentionally not built.
     kInternal,          ///< Unexpected internal failure.
+    kDeadlineExceeded,  ///< Operation ran past its wall-clock budget.
 };
 
 /** Human-readable name of a StatusCode ("ok", "corrupt-stream", ...). */
@@ -55,6 +56,8 @@ class Status
     { return Status(StatusCode::kUnimplemented, std::move(msg)); }
     static Status internal(std::string msg)
     { return Status(StatusCode::kInternal, std::move(msg)); }
+    static Status deadline_exceeded(std::string msg)
+    { return Status(StatusCode::kDeadlineExceeded, std::move(msg)); }
 
     bool is_ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }

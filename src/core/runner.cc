@@ -1,11 +1,40 @@
 #include "core/runner.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/check.h"
 #include "metrics/timer.h"
 
 namespace hdvb {
+
+namespace {
+
+/** Per-frame fault-injection delay (untimed, but inside the deadline
+ * window — this is how tests simulate a hung point deterministically). */
+void
+inject_frame_delay(const BenchPoint &point)
+{
+    if (point.fault.has_value() && point.fault->delay_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            point.fault->delay_seconds));
+    }
+}
+
+/** True once a non-zero @p deadline has passed since @p start. */
+bool
+past_deadline(std::chrono::steady_clock::time_point start,
+              double deadline_seconds)
+{
+    if (deadline_seconds <= 0.0)
+        return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() > deadline_seconds;
+}
+
+}  // namespace
 
 CodecConfig
 BenchPoint::effective_config() const
@@ -40,13 +69,15 @@ bench_frames_default()
     return 4;
 }
 
-EncodeRun
-run_encode(const BenchPoint &point)
+StatusOr<EncodeRun>
+run_encode(const BenchPoint &point, double deadline_seconds)
 {
+    const auto start = std::chrono::steady_clock::now();
     const CodecConfig cfg = point.effective_config();
     StatusOr<std::unique_ptr<VideoEncoder>> encoder =
         make_encoder(point.codec, cfg);
-    HDVB_CHECK(encoder.is_ok());
+    if (!encoder.is_ok())
+        return encoder.status();
 
     SyntheticSource source(point.sequence, cfg.width, cfg.height);
     EncodeRun run;
@@ -59,43 +90,61 @@ run_encode(const BenchPoint &point)
 
     WallTimer timer;
     for (int i = 0; i < point.frames; ++i) {
+        inject_frame_delay(point);
+        if (past_deadline(start, deadline_seconds))
+            return Status::deadline_exceeded("encode of " +
+                                             point.label());
         const Frame frame = source.next();  // untimed generation
         timer.start();
         const Status status =
             encoder.value()->encode(frame, &run.stream.packets);
         timer.stop();
-        HDVB_CHECK(status.is_ok());
+        if (!status.is_ok())
+            return status;
     }
     timer.start();
-    HDVB_CHECK(encoder.value()->flush(&run.stream.packets).is_ok());
+    const Status status = encoder.value()->flush(&run.stream.packets);
     timer.stop();
+    if (!status.is_ok())
+        return status;
     run.seconds = timer.seconds();
     return run;
 }
 
-DecodeRun
-run_decode(const BenchPoint &point, const EncodedStream &stream)
+StatusOr<DecodeRun>
+run_decode(const BenchPoint &point, const EncodedStream &stream,
+           double deadline_seconds)
 {
+    const auto start = std::chrono::steady_clock::now();
     const CodecConfig cfg = point.effective_config();
     StatusOr<std::unique_ptr<VideoDecoder>> decoder =
         make_decoder(point.codec, cfg);
-    HDVB_CHECK(decoder.is_ok());
+    if (!decoder.is_ok())
+        return decoder.status();
 
     std::vector<Frame> frames;
     WallTimer timer;
     for (const Packet &packet : stream.packets) {
+        inject_frame_delay(point);
+        if (past_deadline(start, deadline_seconds))
+            return Status::deadline_exceeded("decode of " +
+                                             point.label());
         timer.start();
         const Status status = decoder.value()->decode(packet, &frames);
         timer.stop();
-        HDVB_CHECK(status.is_ok());
+        if (!status.is_ok())
+            return status;
     }
     timer.start();
-    HDVB_CHECK(decoder.value()->flush(&frames).is_ok());
+    const Status status = decoder.value()->flush(&frames);
     timer.stop();
+    if (!status.is_ok())
+        return status;
 
     DecodeRun run;
     run.frames = static_cast<int>(frames.size());
     run.seconds = timer.seconds();
+    run.stats = decoder.value()->stats();
 
     SyntheticSource source(point.sequence, cfg.width, cfg.height);
     PsnrAccumulator acc;

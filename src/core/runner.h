@@ -13,6 +13,7 @@
 
 #include "container/container.h"
 #include "core/benchmark.h"
+#include "fault/fault.h"
 #include "metrics/psnr.h"
 
 namespace hdvb {
@@ -28,6 +29,12 @@ struct BenchPoint {
     /** When set, replaces the Table IV configuration for this point
      * (ablations, reduced-size test runs). */
     std::optional<CodecConfig> config;
+
+    /** When set, the sweep engine corrupts a *copy* of the encoded
+     * stream with this plan before the decode measurement (the stream
+     * cache always holds clean streams), and FaultPlan::delay_seconds
+     * is injected per frame (untimed) to exercise timeouts. */
+    std::optional<FaultPlan> fault;
 
     /** The configuration the point actually runs with: the override if
      * present, otherwise benchmark_config(codec, resolution, simd). */
@@ -60,9 +67,16 @@ struct EncodeRun {
     }
 };
 
-/** Encode @p point.frames synthetic frames with the point's effective
- * configuration. */
-EncodeRun run_encode(const BenchPoint &point);
+/**
+ * Encode @p point.frames synthetic frames with the point's effective
+ * configuration. Codec failures come back as a Status instead of
+ * aborting, so a sweep can survive a bad point. A non-zero
+ * @p deadline_seconds bounds the call's wall-clock time, checked
+ * cooperatively once per frame (Status::deadline_exceeded; a single
+ * frame that hangs inside the codec cannot be interrupted).
+ */
+StatusOr<EncodeRun> run_encode(const BenchPoint &point,
+                               double deadline_seconds = 0.0);
 
 /** Decode measurement (plus quality versus the original source). */
 struct DecodeRun {
@@ -71,14 +85,21 @@ struct DecodeRun {
     double psnr_y = 0.0;
     double psnr_all = 0.0;
 
+    /** Error-resilience counters reported by the decoder (all zero for
+     * clean streams or when error_resilience is off). */
+    DecodeStats stats;
+
     double fps() const { return seconds > 0 ? frames / seconds : 0.0; }
 };
 
 /**
  * Decode @p stream (as produced by run_encode for the same point) and
  * measure decode fps and PSNR against the regenerated source frames.
+ * Same error and deadline contract as run_encode.
  */
-DecodeRun run_decode(const BenchPoint &point, const EncodedStream &stream);
+StatusOr<DecodeRun> run_decode(const BenchPoint &point,
+                               const EncodedStream &stream,
+                               double deadline_seconds = 0.0);
 
 }  // namespace hdvb
 

@@ -1,6 +1,9 @@
 #include "core/sweep.h"
 
+#include <chrono>
 #include <cstdio>
+#include <exception>
+#include <thread>
 #include <sys/resource.h>
 #include <sys/stat.h>
 
@@ -49,16 +52,10 @@ SweepRunner::SweepRunner(SweepOptions options)
 {
 }
 
-SweepResult
-SweepRunner::run_point(const BenchPoint &point, int worker) const
+Status
+SweepRunner::attempt_point(const BenchPoint &point,
+                           SweepResult *result) const
 {
-    WallTimer wall;
-    wall.start();
-
-    SweepResult result;
-    result.point = point;
-    result.worker = worker;
-
     // Config overrides make a point's stream incomparable with the
     // canonical Table IV one, so such points bypass the cache.
     const bool cacheable =
@@ -71,33 +68,90 @@ SweepRunner::run_point(const BenchPoint &point, int worker) const
     if (cacheable && !options_.measure_encode &&
         read_stream_file(cache_path, &stream).is_ok() &&
         stream.codec == codec_name(point.codec)) {
-        result.from_cache = true;
+        result->from_cache = true;
         have_stream = true;
     }
     if (!have_stream) {
-        EncodeRun enc = run_encode(point);
-        result.encode_measured = options_.measure_encode;
-        result.encode_frames = enc.frames;
-        result.encode_seconds = enc.seconds;
-        stream = std::move(enc.stream);
+        StatusOr<EncodeRun> enc =
+            run_encode(point, options_.point_timeout_seconds);
+        if (!enc.is_ok())
+            return enc.status();
+        result->encode_measured = options_.measure_encode;
+        result->encode_frames = enc.value().frames;
+        result->encode_seconds = enc.value().seconds;
+        stream = std::move(enc.value().stream);
         if (cacheable) {
             ::mkdir(options_.cache_dir.c_str(), 0755);
             (void)write_stream_file(cache_path, stream);
         }
     }
-    result.stream_bits = stream.total_bits();
+    result->stream_bits = stream.total_bits();
 
     if (options_.measure_decode) {
-        const DecodeRun dec = run_decode(point, stream);
-        result.decode_measured = true;
-        result.decode_frames = dec.frames;
-        result.decode_seconds = dec.seconds;
-        result.psnr_y = dec.psnr_y;
-        result.psnr_all = dec.psnr_all;
+        // Fault injection corrupts a copy, untimed: the cache (and
+        // keep_streams) only ever hold the clean encoder output.
+        EncodedStream corrupted;
+        const EncodedStream *to_decode = &stream;
+        if (point.fault.has_value() && !point.fault->is_noop()) {
+            corrupted = corrupted_copy(stream, *point.fault);
+            to_decode = &corrupted;
+        }
+        StatusOr<DecodeRun> dec = run_decode(
+            point, *to_decode, options_.point_timeout_seconds);
+        if (!dec.is_ok())
+            return dec.status();
+        result->decode_measured = true;
+        result->decode_frames = dec.value().frames;
+        result->decode_seconds = dec.value().seconds;
+        result->psnr_y = dec.value().psnr_y;
+        result->psnr_all = dec.value().psnr_all;
+        result->decode_stats = dec.value().stats;
     }
 
     if (options_.keep_streams)
-        result.stream = std::move(stream);
+        result->stream = std::move(stream);
+    return Status::ok();
+}
+
+SweepResult
+SweepRunner::run_point(const BenchPoint &point, int worker) const
+{
+    WallTimer wall;
+    wall.start();
+
+    const int max_attempts =
+        options_.max_attempts > 0 ? options_.max_attempts : 1;
+    double backoff = options_.retry_backoff_seconds;
+
+    SweepResult result;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        SweepResult trial;
+        trial.point = point;
+        trial.worker = worker;
+        trial.attempts = attempt;
+        Status status;
+        try {
+            status = attempt_point(point, &trial);
+        } catch (const std::exception &e) {
+            // parallel_for rethrows uncaught worker exceptions, which
+            // would abort the whole grid — contain them per point.
+            status = Status::internal(std::string("uncaught exception: ") +
+                                      e.what());
+        }
+        trial.status = status;
+        trial.timed_out =
+            status.code() == StatusCode::kDeadlineExceeded;
+        result = std::move(trial);
+        if (status.is_ok())
+            break;
+        HDVB_LOG(kWarn) << "sweep " << point.label() << " attempt "
+                        << attempt << " failed: " << status.to_string();
+        if (attempt < max_attempts && backoff > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+            backoff *= 2;
+        }
+    }
 
     wall.stop();
     result.wall_seconds = wall.seconds();
@@ -143,7 +197,7 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
 {
     JsonWriter json;
     json.begin_object();
-    json.field("schema", "hdvb-sweep/1");
+    json.field("schema", "hdvb-sweep/2");
     json.field("jobs", options_.jobs > 0 ? options_.jobs
                                          : default_job_count());
     json.field("wall_seconds", last_wall_seconds_);
@@ -158,6 +212,14 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
         json.field("simd", simd_level_name(r.point.simd));
         json.field("frames", r.point.frames);
         json.field("config_override", r.point.config.has_value());
+        json.field("status", status_code_name(r.status.code()));
+        if (!r.status.is_ok())
+            json.field("error", r.status.message());
+        json.field("attempts", r.attempts);
+        json.field("timed_out", r.timed_out);
+        json.field("fault_injected",
+                   r.point.fault.has_value() &&
+                       !r.point.fault->is_noop());
         json.field("stream_bits", r.stream_bits);
         json.field("bitrate_kbps", r.bitrate_kbps());
         json.field("from_cache", r.from_cache);
@@ -177,6 +239,13 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
             json.field("fps", r.decode_fps());
             json.field("psnr_y", r.psnr_y);
             json.field("psnr_all", r.psnr_all);
+            json.key("concealment");
+            json.begin_object();
+            json.field("mbs_concealed", r.decode_stats.mbs_concealed);
+            json.field("resyncs", r.decode_stats.resyncs);
+            json.field("pictures_dropped",
+                       r.decode_stats.pictures_dropped);
+            json.end_object();
             json.end_object();
         }
         json.field("wall_seconds", r.wall_seconds);
@@ -187,18 +256,25 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
     json.end_array();
     json.end_object();
 
+    // Atomic publish: write next to the target, then rename over it,
+    // so a concurrent reader never sees a half-written report.
     ensure_parent_dir(options_.json_path);
-    std::FILE *f = std::fopen(options_.json_path.c_str(), "w");
+    const std::string tmp_path = options_.json_path + ".tmp";
+    std::FILE *f = std::fopen(tmp_path.c_str(), "w");
     if (f == nullptr)
-        return Status::invalid_argument("cannot open " +
-                                        options_.json_path);
+        return Status::invalid_argument("cannot open " + tmp_path);
     const std::string &text = json.str();
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
         std::fputc('\n', f) != EOF;
-    std::fclose(f);
-    if (!ok)
-        return Status::internal("short write to " + options_.json_path);
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp_path.c_str());
+        return Status::internal("short write to " + tmp_path);
+    }
+    if (std::rename(tmp_path.c_str(), options_.json_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return Status::internal("cannot rename " + tmp_path);
+    }
     return Status::ok();
 }
 

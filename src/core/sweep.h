@@ -29,6 +29,17 @@ namespace hdvb {
 struct SweepResult {
     BenchPoint point;
 
+    // ---- fault isolation ----
+    /** Outcome of the point's final attempt. Non-OK means the
+     * measurement fields below are unreliable; the rest of the sweep
+     * ran to completion regardless. */
+    Status status;
+    /** Attempts consumed (1 on first-try success; up to
+     * SweepOptions::max_attempts). */
+    int attempts = 0;
+    /** True when the final attempt hit the per-point timeout. */
+    bool timed_out = false;
+
     // ---- encode measurement ----
     /** False when the stream came from the cache (no encode timing). */
     bool encode_measured = false;
@@ -45,6 +56,10 @@ struct SweepResult {
     double decode_seconds = 0.0;
     double psnr_y = 0.0;
     double psnr_all = 0.0;
+
+    /** Error-resilience counters from the decoder (all zero unless the
+     * point decoded a corrupted stream with error_resilience on). */
+    DecodeStats decode_stats;
 
     /** The encoded stream (only with SweepOptions::keep_streams). */
     EncodedStream stream;
@@ -96,8 +111,24 @@ struct SweepOptions {
      * override never touch the cache. */
     std::string cache_dir;
 
-    /** Path for the machine-readable JSON report; empty disables. */
+    /** Path for the machine-readable JSON report; empty disables. The
+     * report is written atomically (temp file + rename), so readers
+     * never observe a half-written file. */
     std::string json_path;
+
+    /** Per-point wall-clock budget in seconds, applied to the encode
+     * and decode phases each; 0 disables. Checked cooperatively once
+     * per frame, so a single frame that hangs inside a codec call is
+     * not interruptible. */
+    double point_timeout_seconds = 0.0;
+
+    /** Attempts per point before its failure is recorded (>= 1).
+     * Retries re-run the whole point from scratch. */
+    int max_attempts = 1;
+
+    /** Sleep before the first retry; doubles after each further
+     * failure (bounded exponential backoff). */
+    double retry_backoff_seconds = 0.05;
 };
 
 /**
@@ -109,8 +140,10 @@ class SweepRunner
   public:
     explicit SweepRunner(SweepOptions options = {});
 
-    /** Execute the sweep. Aborts (HDVB_CHECK) on codec failure, like
-     * the serial runner; propagates exceptions from worker threads. */
+    /** Execute the sweep. A failing point — codec Status error,
+     * uncaught exception, or per-point timeout — is recorded in its
+     * SweepResult::status (after SweepOptions::max_attempts tries) and
+     * never takes down the rest of the grid. */
     std::vector<SweepResult> run(const std::vector<BenchPoint> &points);
 
     /** Wall-clock seconds of the last run() (the Figure-1 grid time
@@ -119,6 +152,8 @@ class SweepRunner
 
   private:
     SweepResult run_point(const BenchPoint &point, int worker) const;
+    Status attempt_point(const BenchPoint &point,
+                         SweepResult *result) const;
     Status write_report(const std::vector<SweepResult> &results) const;
 
     SweepOptions options_;

@@ -1,0 +1,104 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace hdvb {
+namespace {
+
+/** splitmix64 — tiny, seedable, and good enough to place faults. The
+ * standard <random> engines are avoided so the damage pattern for a
+ * given (seed, packet index) is pinned by this file alone, not by a
+ * library's distribution implementation. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed) : state_(seed) { (void)next(); }
+
+    u64
+    next()
+    {
+        u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, 1). */
+    double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  private:
+    u64 state_;
+};
+
+u64
+packet_seed(u64 seed, u64 packet_index)
+{
+    // Distinct, order-independent stream per packet.
+    return seed ^ (packet_index + 1) * 0x9E3779B97F4A7C15ull;
+}
+
+}  // namespace
+
+bool
+FaultPlan::is_noop() const
+{
+    return (flip_density <= 0.0 && garble_density <= 0.0 &&
+            truncate_fraction <= 0.0) ||
+           packet_fraction <= 0.0;
+}
+
+void
+StreamCorrupter::corrupt_packet(std::vector<u8> *data,
+                                u64 packet_index) const
+{
+    Rng rng(packet_seed(plan_.seed, packet_index));
+    if (plan_.packet_fraction < 1.0 &&
+        rng.next_double() >= plan_.packet_fraction)
+        return;
+
+    if (plan_.truncate_fraction > 0.0 && !data->empty()) {
+        const double keep =
+            1.0 - std::min(plan_.truncate_fraction, 1.0);
+        data->resize(static_cast<size_t>(
+            static_cast<double>(data->size()) * keep));
+    }
+
+    size_t region = data->size();
+    if (plan_.target_headers)
+        region = std::min(region, static_cast<size_t>(
+                                      std::max(plan_.header_bytes, 0)));
+
+    if (plan_.garble_density > 0.0) {
+        for (size_t i = 0; i < region; ++i)
+            if (rng.next_double() < plan_.garble_density)
+                (*data)[i] = static_cast<u8>(rng.next() & 0xFF);
+    }
+
+    if (plan_.flip_density > 0.0) {
+        for (size_t i = 0; i < region; ++i)
+            for (int bit = 0; bit < 8; ++bit)
+                if (rng.next_double() < plan_.flip_density)
+                    (*data)[i] ^= static_cast<u8>(1u << bit);
+    }
+}
+
+void
+StreamCorrupter::corrupt_stream(EncodedStream *stream) const
+{
+    for (size_t i = 0; i < stream->packets.size(); ++i) {
+        if (plan_.protect_first_packet && i == 0)
+            continue;
+        corrupt_packet(&stream->packets[i].data, i);
+    }
+}
+
+EncodedStream
+corrupted_copy(const EncodedStream &stream, const FaultPlan &plan)
+{
+    EncodedStream copy = stream;
+    StreamCorrupter(plan).corrupt_stream(&copy);
+    return copy;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic, seeded stream corruption — the fault-injection side of
+ * the robustness story. A FaultPlan describes *what* to damage (bit
+ * flips, byte garbling, truncation, header targeting) and *how much*;
+ * StreamCorrupter applies it reproducibly: each packet's damage depends
+ * only on (plan.seed, packet index), never on application order, so a
+ * corruption sweep is bit-stable across runs and worker counts.
+ *
+ * Consumers: tests/corruption_test.cc feeds damaged streams straight to
+ * the decoders; the sweep engine applies a BenchPoint's optional
+ * FaultPlan to a copy of the (clean, cacheable) encoded stream before
+ * the timed decode, which is how bench/corruption_sweep draws its
+ * graceful-degradation curves.
+ */
+#ifndef HDVB_FAULT_FAULT_H
+#define HDVB_FAULT_FAULT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "container/container.h"
+
+namespace hdvb {
+
+/** A reproducible description of stream damage. Default-constructed
+ * plans are no-ops. */
+struct FaultPlan {
+    u64 seed = 1;
+
+    /** Per-bit flip probability (e.g. 1e-4). */
+    double flip_density = 0.0;
+
+    /** Per-byte probability of replacing the byte with a random one. */
+    double garble_density = 0.0;
+
+    /** Fraction of a hit packet's tail bytes to chop off. */
+    double truncate_fraction = 0.0;
+
+    /** Fraction of packets that are hit at all (1.0 = every packet). */
+    double packet_fraction = 1.0;
+
+    /** Restrict flip/garble damage to the first header_bytes bytes. */
+    bool target_headers = false;
+    int header_bytes = 8;
+
+    /** Leave packet 0 (the opening intra picture) untouched, so
+     * concealment always has an anchor to fall back on. */
+    bool protect_first_packet = false;
+
+    /** Test hook consumed by the sweep engine, not the corrupter: sleep
+     * this long per decoded frame to simulate a hung point. */
+    double delay_seconds = 0.0;
+
+    /** True when applying the plan cannot change any byte. */
+    bool is_noop() const;
+};
+
+/** Applies a FaultPlan to packets/streams, deterministically. */
+class StreamCorrupter
+{
+  public:
+    explicit StreamCorrupter(const FaultPlan &plan) : plan_(plan) {}
+
+    /** Damage one packet in place. @p packet_index seeds the per-packet
+     * RNG together with plan.seed. */
+    void corrupt_packet(std::vector<u8> *data, u64 packet_index) const;
+
+    /** Damage every packet of @p stream in place (honouring
+     * packet_fraction and protect_first_packet). */
+    void corrupt_stream(EncodedStream *stream) const;
+
+  private:
+    FaultPlan plan_;
+};
+
+/** Convenience: copy @p stream and apply @p plan to the copy. */
+EncodedStream corrupted_copy(const EncodedStream &stream,
+                             const FaultPlan &plan);
+
+}  // namespace hdvb
+
+#endif  // HDVB_FAULT_FAULT_H

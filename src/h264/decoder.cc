@@ -9,7 +9,10 @@
 #include <deque>
 #include <vector>
 
+#include "bitstream/bit_reader.h"
+#include "bitstream/resync.h"
 #include "codec/codec.h"
+#include "codec/conceal.h"
 #include "common/check.h"
 #include "dsp/quant.h"
 #include "dsp/transform4x4.h"
@@ -68,6 +71,11 @@ class H264Decoder final : public DecoderBase
         MotionVector left_bwd;
     };
 
+    Status decode_picture_resilient(const Packet &packet, Frame *out);
+    bool decode_resilient_row(MbState &st, const std::vector<u8> &row,
+                              int mby, int *bad_from);
+    void conceal_row(Frame *frame, PictureType type, int from, int mby);
+
     bool decode_mb(MbState &st);
     bool decode_intra_mb(MbState &st);
     bool decode_luma_intra16(MbState &st);
@@ -109,7 +117,8 @@ H264Decoder::median_pred(int mbx, int mby) const
     const MotionVector zero{};
     const MotionVector a =
         mbx > 0 ? mv_grid_[mby * mb_w_ + mbx - 1] : zero;
-    if (mby == 0)
+    // Matches the encoder: resilient rows predict from the left only.
+    if (mby == 0 || config().error_resilience)
         return a;
     const MotionVector b = mv_grid_[(mby - 1) * mb_w_ + mbx];
     const MotionVector c = mbx + 1 < mb_w_
@@ -526,9 +535,156 @@ H264Decoder::decode_mb(MbState &st)
     return true;
 }
 
+void
+H264Decoder::conceal_row(Frame *frame, PictureType type, int from,
+                         int mby)
+{
+    const bool have_ref = !dpb_.empty();
+    MbState st{};
+    st.frame = frame;
+    st.type = type;
+    st.mby = mby;
+    Partition part = kPartGeom[kPart16x16][0];
+    for (int mbx = from; mbx < mb_w_; ++mbx) {
+        st.mbx = mbx;
+        if (type == PictureType::kI || !have_ref) {
+            conceal_mb_dc(frame, mbx, mby);
+            fill_binfo(st, true, -1, nullptr, 0, 0);
+        } else {
+            conceal_mb_from_ref(frame, dpb_.back(), mbx, mby);
+            fill_binfo(st, false, 0, &part, 1, 0);
+        }
+        mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
+    }
+}
+
+bool
+H264Decoder::decode_resilient_row(MbState &st, const std::vector<u8> &row,
+                                  int mby, int *bad_from)
+{
+    *bad_from = 0;
+    RangeDecoder rc(row);
+    rc_ = &rc;
+    ctx_.reset();
+    st.mby = mby;
+    st.left_fwd = st.left_bwd = MotionVector{};
+    for (int mbx = 0; mbx < mb_w_; ++mbx) {
+        st.mbx = mbx;
+        if (!decode_mb(st) || rc.has_error()) {
+            *bad_from = mbx;
+            rc_ = nullptr;
+            return false;
+        }
+    }
+    // The range coder rarely self-detects garbage; a wrong sentinel
+    // condemns the whole row (bad_from stays 0).
+    const u32 sentinel = rc.decode_bypass_bits(8);
+    const bool over_read = rc.has_error();
+    rc_ = nullptr;
+    return !over_read && sentinel == kRowSentinel;
+}
+
+Status
+H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
+{
+    const CodecConfig &cfg = config();
+
+    const std::vector<ResyncMarker> candidates =
+        scan_resync_markers(packet.data, mb_h_);
+    std::vector<ResyncMarker> markers;
+    markers.reserve(candidates.size());
+    int prev_row = -1;
+    for (const ResyncMarker &m : candidates) {
+        if (m.row > prev_row) {
+            markers.push_back(m);
+            prev_row = m.row;
+        }
+    }
+    if (markers.empty())
+        return Status::corrupt_stream("no resync markers in h264 picture");
+
+    const std::vector<u8> header =
+        unescape_emulation(packet.data.data(), markers.front().pos);
+    BitReader hbr(header);
+    const PictureType type = static_cast<PictureType>(hbr.get_bits(2));
+    const int qp = static_cast<int>(hbr.get_bits(6));
+    const bool deblock = hbr.get_bit() != 0;
+    hbr.skip_bits(16);  // poc_lsb
+    if (hbr.has_error() || type != packet.type)
+        return Status::corrupt_stream("bad h264 picture header");
+    if (qp < 0 || qp > 51)
+        return Status::corrupt_stream("bad h264 qp");
+    if (type == PictureType::kP && dpb_.empty())
+        return Status::corrupt_stream("P picture without reference");
+    if (type == PictureType::kB && dpb_.size() < 2)
+        return Status::corrupt_stream("B picture without two references");
+
+    const H264Quantizer quant_i(qp, true);
+    const H264Quantizer quant_p(qp, false);
+    quant_i_ = &quant_i;
+    quant_p_ = &quant_p;
+
+    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    binfo_.clear();
+    std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
+
+    MbState st{};
+    st.frame = out;
+    st.type = type;
+    bool any_ok = false;
+    bool in_error = false;
+    size_t k = 0;
+    for (int mby = 0; mby < mb_h_; ++mby) {
+        int bad_from = 0;
+        bool ok = false;
+        if (k < markers.size() && markers[k].row == mby) {
+            const size_t begin = markers[k].pos + 4;
+            const size_t end = k + 1 < markers.size()
+                                   ? markers[k + 1].pos
+                                   : packet.data.size();
+            const std::vector<u8> row = unescape_emulation(
+                packet.data.data() + begin, end - begin);
+            ok = decode_resilient_row(st, row, mby, &bad_from);
+            ++k;
+        }
+        if (ok) {
+            if (in_error) {
+                ++stats_.resyncs;
+                in_error = false;
+            }
+            any_ok = true;
+        } else {
+            in_error = true;
+            conceal_row(out, type, bad_from, mby);
+            stats_.mbs_concealed += mb_w_ - bad_from;
+        }
+    }
+    quant_i_ = quant_p_ = nullptr;
+    if (!any_ok)
+        return Status::corrupt_stream("every row of the picture lost");
+
+    if (deblock)
+        deblock_picture(out, binfo_, qp);
+
+    if (type != PictureType::kB) {
+        Frame ref(cfg.width, cfg.height, kRefBorder);
+        ref.copy_from(*out);
+        ref.extend_borders();
+        dpb_.push_back(std::move(ref));
+        const size_t max_dpb =
+            static_cast<size_t>(clamp(cfg.refs, 2, 16)) + 1;
+        while (dpb_.size() > max_dpb)
+            dpb_.pop_front();
+    }
+    return Status::ok();
+}
+
 Status
 H264Decoder::decode_picture(const Packet &packet, Frame *out)
 {
+    if (config().error_resilience)
+        return decode_picture_resilient(packet, out);
+
     const CodecConfig &cfg = config();
     RangeDecoder rc(packet.data);
     rc_ = &rc;

@@ -13,6 +13,8 @@
 #include <deque>
 #include <vector>
 
+#include "bitstream/bit_writer.h"
+#include "bitstream/resync.h"
 #include "codec/codec.h"
 #include "common/check.h"
 #include "dsp/quant.h"
@@ -139,7 +141,8 @@ H264Encoder::median_pred(int mbx, int mby) const
     const MotionVector zero{};
     const MotionVector a =
         mbx > 0 ? mv_grid_[mby * mb_w_ + mbx - 1] : zero;
-    if (mby == 0)
+    // Resilient rows must parse standalone: predict from the left only.
+    if (mby == 0 || config().error_resilience)
         return a;
     const MotionVector b = mv_grid_[(mby - 1) * mb_w_ + mbx];
     const MotionVector c = mbx + 1 < mb_w_
@@ -794,13 +797,6 @@ std::vector<u8>
 H264Encoder::encode_picture(const Frame &src, PictureType type)
 {
     const CodecConfig &cfg = config();
-    RangeEncoder rc;
-    rc_ = &rc;
-    ctx_models_.reset();
-    rc.encode_bypass_bits(static_cast<u32>(type), 2);
-    rc.encode_bypass_bits(static_cast<u32>(cfg.qp), 6);
-    rc.encode_bypass(cfg.deblock ? 1 : 0);
-    rc.encode_bypass_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
 
     recon_ = Frame(cfg.width, cfg.height, kRefBorder);
     binfo_.clear();
@@ -809,13 +805,56 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
     MbContext ctx{};
     ctx.src = &src;
     ctx.type = type;
-    for (int mby = 0; mby < mb_h_; ++mby) {
-        ctx.mby = mby;
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
-        for (int mbx = 0; mbx < mb_w_; ++mbx) {
-            ctx.mbx = mbx;
-            encode_mb(ctx);
+
+    std::vector<u8> out;
+    if (cfg.error_resilience) {
+        // Plain-bit header segment (the range coder cannot resume after
+        // damage, so the header must parse without it), escaped so it
+        // cannot fake a resync marker.
+        BitWriter hbw;
+        hbw.put_bits(static_cast<u32>(type), 2);
+        hbw.put_bits(static_cast<u32>(cfg.qp), 6);
+        hbw.put_bit(cfg.deblock ? 1 : 0);
+        hbw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        const std::vector<u8> header = hbw.finish();
+        escape_emulation(header.data(), header.size(), &out);
+
+        // Each MB row is an independently decodable range-coded chunk:
+        // fresh coder state and fresh context models per row.
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            RangeEncoder rc;
+            rc_ = &rc;
+            ctx_models_.reset();
+            ctx.mby = mby;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+            rc.encode_bypass_bits(kRowSentinel, 8);
+            const std::vector<u8> row = rc.finish();
+            append_resync_marker(&out, mby);
+            escape_emulation(row.data(), row.size(), &out);
         }
+        rc_ = nullptr;
+    } else {
+        RangeEncoder rc;
+        rc_ = &rc;
+        ctx_models_.reset();
+        rc.encode_bypass_bits(static_cast<u32>(type), 2);
+        rc.encode_bypass_bits(static_cast<u32>(cfg.qp), 6);
+        rc.encode_bypass(cfg.deblock ? 1 : 0);
+        rc.encode_bypass_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            ctx.mby = mby;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+        }
+        rc_ = nullptr;
+        out = rc.finish();
     }
 
     if (cfg.deblock)
@@ -832,8 +871,7 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
         while (dpb_.size() > max_dpb)
             dpb_.pop_front();
     }
-    rc_ = nullptr;
-    return rc.finish();
+    return out;
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 
 #include "bitstream/bit_reader.h"
 #include "bitstream/exp_golomb.h"
+#include "bitstream/resync.h"
+#include "codec/conceal.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
@@ -59,6 +61,10 @@ class Mpeg2Decoder final : public DecoderBase
     bool decode_intra_mb(MbState &st);
     bool decode_inter_mb(MbState &st, bool is_b, int mode);
     void recon_skip_mb(Frame *frame, PictureType type, int mbx, int mby);
+    Status decode_picture_resilient(const Packet &packet, Frame *out);
+    bool decode_resilient_row(MbState &st, const std::vector<u8> &bytes,
+                              int mby, int *bad_from);
+    void conceal_row(Frame *out, PictureType type, int from, int mby);
     void predict_mb(const Frame &fwd_ref, const Frame *bwd_ref,
                     MotionVector fwd, MotionVector bwd, int mbx,
                     int mby, Pixel luma[16 * 16], Pixel cb[8 * 8],
@@ -244,9 +250,195 @@ Mpeg2Decoder::recon_skip_mb(Frame *frame, PictureType type, int mbx,
     }
 }
 
+void
+Mpeg2Decoder::conceal_row(Frame *out, PictureType type, int from,
+                          int mby)
+{
+    for (int mbx = from; mbx < mb_w_; ++mbx) {
+        if (type == PictureType::kI || last_anchor_.empty())
+            conceal_mb_dc(out, mbx, mby);
+        else
+            conceal_mb_from_ref(out, last_anchor_, mbx, mby);
+    }
+}
+
+bool
+Mpeg2Decoder::decode_resilient_row(MbState &st,
+                                   const std::vector<u8> &bytes, int mby,
+                                   int *bad_from)
+{
+    BitReader br(bytes);
+    st.br = &br;
+    st.mby = mby;
+    st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    st.left_fwd = st.left_bwd = MotionVector{};
+    *bad_from = 0;
+
+    if (st.type == PictureType::kI) {
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            st.mbx = mbx;
+            if (!decode_intra_mb(st)) {
+                *bad_from = mbx;
+                return false;
+            }
+        }
+    } else {
+        // Row-scoped skip runs: a run before each coded MB, plus a
+        // trailing run only when the row ends in skips.
+        const bool is_b = st.type == PictureType::kB;
+        int mbx = 0;
+        while (mbx < mb_w_) {
+            const int run = static_cast<int>(read_ue(br));
+            if (br.has_error() || run > mb_w_ - mbx) {
+                *bad_from = mbx;
+                return false;
+            }
+            for (int i = 0; i < run; ++i) {
+                st.mbx = mbx;
+                recon_skip_mb(st.frame, st.type, mbx, mby);
+                st.left_fwd = st.left_bwd = MotionVector{};
+                st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
+                    kDcPredReset;
+                ++mbx;
+            }
+            if (mbx >= mb_w_)
+                break;
+            st.mbx = mbx;
+            bool ok;
+            if (is_b) {
+                const u32 mode = read_ue(br);
+                if (mode > 3 || br.has_error()) {
+                    *bad_from = mbx;
+                    return false;
+                }
+                ok = mode == mpeg2::kBIntra
+                         ? decode_intra_mb(st)
+                         : decode_inter_mb(st, true,
+                                           static_cast<int>(mode));
+            } else {
+                const int bit = br.get_bit();
+                if (br.has_error()) {
+                    *bad_from = mbx;
+                    return false;
+                }
+                ok = bit == mpeg2::kPIntra
+                         ? decode_intra_mb(st)
+                         : decode_inter_mb(st, false, 0);
+            }
+            if (!ok) {
+                *bad_from = mbx;
+                return false;
+            }
+            ++mbx;
+        }
+    }
+
+    // A wrong or missing sentinel means the row decoded to garbage
+    // without tripping a syntax error; treat the whole row as lost.
+    const u32 sentinel = br.get_bits(8);
+    if (br.has_error() || sentinel != kRowSentinel)
+        return false;
+    if (bytes.size() * 8 - br.bits_consumed() >= 8)
+        return false;  // trailing junk beyond alignment padding
+    return true;
+}
+
+Status
+Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
+{
+    const CodecConfig &cfg = config();
+    const std::vector<ResyncMarker> cands =
+        scan_resync_markers(packet.data, mb_h_);
+    std::vector<ResyncMarker> markers;
+    int last_row = -1;
+    for (const ResyncMarker &m : cands) {
+        if (m.row > last_row) {
+            markers.push_back(m);
+            last_row = m.row;
+        }
+    }
+    if (markers.empty())
+        return Status::corrupt_stream("no resync markers survive");
+
+    const std::vector<u8> header =
+        unescape_emulation(packet.data.data(), markers.front().pos);
+    BitReader hbr(header);
+    const PictureType type = static_cast<PictureType>(hbr.get_bits(2));
+    const int qscale = static_cast<int>(hbr.get_bits(5));
+    hbr.skip_bits(16);  // poc_lsb, unused
+    if (hbr.has_error() || type != packet.type)
+        return Status::corrupt_stream("bad mpeg2 picture header");
+    if (qscale < 1 || qscale > 31)
+        return Status::corrupt_stream("bad mpeg2 qscale");
+    if (type != PictureType::kI && last_anchor_.empty())
+        return Status::corrupt_stream("inter picture without reference");
+    if (type == PictureType::kB && prev_anchor_.empty())
+        return Status::corrupt_stream("B picture without two references");
+
+    const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32, 4);
+    const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 8, 4);
+
+    *out = Frame(cfg.width, cfg.height, kRefBorder);
+
+    // Map each surviving marker to its row's byte segment.
+    std::vector<std::pair<const u8 *, size_t>> segments(
+        static_cast<size_t>(mb_h_), {nullptr, 0});
+    for (size_t i = 0; i < markers.size(); ++i) {
+        const size_t start = markers[i].pos + 4;
+        const size_t end = i + 1 < markers.size() ? markers[i + 1].pos
+                                                  : packet.data.size();
+        segments[static_cast<size_t>(markers[i].row)] = {
+            packet.data.data() + start, end - start};
+    }
+
+    MbState st{};
+    st.frame = out;
+    st.type = type;
+    st.intra_quant = &intra_quant;
+    st.inter_quant = &inter_quant;
+
+    bool in_error = false;
+    bool any_ok = false;
+    for (int mby = 0; mby < mb_h_; ++mby) {
+        int bad_from = 0;
+        bool ok = false;
+        if (segments[static_cast<size_t>(mby)].first != nullptr) {
+            const std::vector<u8> row_bytes = unescape_emulation(
+                segments[static_cast<size_t>(mby)].first,
+                segments[static_cast<size_t>(mby)].second);
+            ok = decode_resilient_row(st, row_bytes, mby, &bad_from);
+        }
+        if (ok) {
+            if (in_error) {
+                ++stats_.resyncs;
+                in_error = false;
+            }
+            any_ok = true;
+        } else {
+            in_error = true;
+            conceal_row(out, type, bad_from, mby);
+            stats_.mbs_concealed += mb_w_ - bad_from;
+        }
+    }
+    if (!any_ok)
+        return Status::corrupt_stream("every row of the picture lost");
+
+    if (type != PictureType::kB) {
+        out->extend_borders();
+        prev_anchor_ = std::move(last_anchor_);
+        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_.copy_from(*out);
+        last_anchor_.extend_borders();
+    }
+    return Status::ok();
+}
+
 Status
 Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
 {
+    if (config().error_resilience)
+        return decode_picture_resilient(packet, out);
+
     const CodecConfig &cfg = config();
     BitReader br(packet.data);
     const PictureType type = static_cast<PictureType>(br.get_bits(2));

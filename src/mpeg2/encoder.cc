@@ -10,6 +10,7 @@
 
 #include "bitstream/bit_writer.h"
 #include "bitstream/exp_golomb.h"
+#include "bitstream/resync.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
@@ -107,29 +108,66 @@ std::vector<u8>
 Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
 {
     const CodecConfig &cfg = config();
-    BitWriter bw;
-    bw.put_bits(static_cast<u32>(type), 2);
-    bw.put_bits(static_cast<u32>(cfg.qscale), 5);
-    bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-
     recon_ = Frame(cfg.width, cfg.height, kRefBorder);
     std::fill(cur_mvs_.begin(), cur_mvs_.end(), MotionVector{});
 
     MbContext ctx{};
-    ctx.bw = &bw;
     ctx.src = &src;
     ctx.type = type;
-    for (int mby = 0; mby < mb_h_; ++mby) {
-        ctx.mby = mby;
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
-        for (int mbx = 0; mbx < mb_w_; ++mbx) {
-            ctx.mbx = mbx;
-            encode_mb(ctx);
+
+    std::vector<u8> out;
+    if (cfg.error_resilience) {
+        // Resilient layout: escaped header, then a resync marker plus
+        // an escaped, sentinel-terminated segment per macroblock row.
+        // Skip runs are row-scoped so each segment parses standalone.
+        BitWriter hbw;
+        hbw.put_bits(static_cast<u32>(type), 2);
+        hbw.put_bits(static_cast<u32>(cfg.qscale), 5);
+        hbw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        const std::vector<u8> header = hbw.finish();
+        escape_emulation(header.data(), header.size(), &out);
+
+        BitWriter rbw;
+        ctx.bw = &rbw;
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            ctx.mby = mby;
+            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
+                kDcPredReset;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            ctx.pending_skips = 0;
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+            if (type != PictureType::kI && ctx.pending_skips > 0) {
+                write_ue(rbw, static_cast<u32>(ctx.pending_skips));
+                ctx.pending_skips = 0;
+            }
+            rbw.put_bits(kRowSentinel, 8);
+            const std::vector<u8> row = rbw.finish();
+            append_resync_marker(&out, mby);
+            escape_emulation(row.data(), row.size(), &out);
         }
+    } else {
+        BitWriter bw;
+        bw.put_bits(static_cast<u32>(type), 2);
+        bw.put_bits(static_cast<u32>(cfg.qscale), 5);
+        bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        ctx.bw = &bw;
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            ctx.mby = mby;
+            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
+                kDcPredReset;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+        }
+        if (type != PictureType::kI)
+            write_ue(bw, static_cast<u32>(ctx.pending_skips));
+        out = bw.finish();
     }
-    if (type != PictureType::kI)
-        write_ue(bw, static_cast<u32>(ctx.pending_skips));
 
     recon_.extend_borders();
     if (type != PictureType::kB) {
@@ -137,7 +175,7 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
         last_anchor_ = std::move(recon_);
         anchor_mvs_ = cur_mvs_;
     }
-    return bw.finish();
+    return out;
 }
 
 std::vector<MotionVector>

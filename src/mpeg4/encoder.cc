@@ -11,6 +11,7 @@
 
 #include "bitstream/bit_writer.h"
 #include "bitstream/exp_golomb.h"
+#include "bitstream/resync.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
@@ -133,7 +134,10 @@ Mpeg4Encoder::median_pred(int mbx, int mby) const
     const MotionVector zero{};
     const MotionVector a =
         mbx > 0 ? mv_grid_[mby * mb_w_ + mbx - 1] : zero;
-    if (mby == 0)
+    // Resilient rows must parse standalone: predict from the left
+    // neighbour only, so a concealed row cannot skew the MVs of the
+    // rows below it (the decoder mirrors this).
+    if (mby == 0 || config().error_resilience)
         return a;
     const MotionVector b = mv_grid_[(mby - 1) * mb_w_ + mbx];
     const MotionVector c = mbx + 1 < mb_w_
@@ -275,31 +279,70 @@ std::vector<u8>
 Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
 {
     const CodecConfig &cfg = config();
-    BitWriter bw;
-    bw.put_bits(static_cast<u32>(type), 2);
-    bw.put_bits(static_cast<u32>(cfg.qscale), 5);
-    bw.put_bit(cfg.qpel);
-    bw.put_bit(cfg.four_mv);
-    bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-
     recon_ = Frame(cfg.width, cfg.height, kRefBorder);
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
     MbContext ctx{};
-    ctx.bw = &bw;
     ctx.src = &src;
     ctx.type = type;
-    for (int mby = 0; mby < mb_h_; ++mby) {
-        ctx.mby = mby;
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
-        for (int mbx = 0; mbx < mb_w_; ++mbx) {
-            ctx.mbx = mbx;
-            encode_mb(ctx);
+
+    std::vector<u8> out;
+    if (cfg.error_resilience) {
+        // Resilient layout (see src/bitstream/resync.h): escaped
+        // header, then per row a resync marker plus an escaped,
+        // sentinel-terminated segment with row-scoped skip runs.
+        BitWriter hbw;
+        hbw.put_bits(static_cast<u32>(type), 2);
+        hbw.put_bits(static_cast<u32>(cfg.qscale), 5);
+        hbw.put_bit(cfg.qpel);
+        hbw.put_bit(cfg.four_mv);
+        hbw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        const std::vector<u8> header = hbw.finish();
+        escape_emulation(header.data(), header.size(), &out);
+
+        BitWriter rbw;
+        ctx.bw = &rbw;
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            ctx.mby = mby;
+            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
+                kDcPredReset;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            ctx.pending_skips = 0;
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+            if (type != PictureType::kI && ctx.pending_skips > 0) {
+                write_ue(rbw, static_cast<u32>(ctx.pending_skips));
+                ctx.pending_skips = 0;
+            }
+            rbw.put_bits(kRowSentinel, 8);
+            const std::vector<u8> row = rbw.finish();
+            append_resync_marker(&out, mby);
+            escape_emulation(row.data(), row.size(), &out);
         }
+    } else {
+        BitWriter bw;
+        bw.put_bits(static_cast<u32>(type), 2);
+        bw.put_bits(static_cast<u32>(cfg.qscale), 5);
+        bw.put_bit(cfg.qpel);
+        bw.put_bit(cfg.four_mv);
+        bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        ctx.bw = &bw;
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            ctx.mby = mby;
+            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
+                kDcPredReset;
+            ctx.left_fwd = ctx.left_bwd = MotionVector{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                ctx.mbx = mbx;
+                encode_mb(ctx);
+            }
+        }
+        if (type != PictureType::kI)
+            write_ue(bw, static_cast<u32>(ctx.pending_skips));
+        out = bw.finish();
     }
-    if (type != PictureType::kI)
-        write_ue(bw, static_cast<u32>(ctx.pending_skips));
 
     recon_.extend_borders();
     if (type != PictureType::kB) {
@@ -309,7 +352,7 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
             anchor_mvs_[i] = {static_cast<s16>(mv_grid_[i].x >> 2),
                               static_cast<s16>(mv_grid_[i].y >> 2)};
     }
-    return bw.finish();
+    return out;
 }
 
 void

@@ -154,13 +154,17 @@ TEST(Runner, EncodeDecodePipelineOnCustomConfig)
     point.sequence = SequenceId::kRushHour;
     point.frames = 7;
     point.config = cfg;
-    const EncodeRun enc = run_encode(point);
+    StatusOr<EncodeRun> enc_or = run_encode(point);
+    ASSERT_TRUE(enc_or.is_ok()) << enc_or.status().to_string();
+    const EncodeRun &enc = enc_or.value();
     EXPECT_EQ(enc.frames, 7);
     EXPECT_GT(enc.fps(), 0.0);
     EXPECT_GT(enc.bitrate_kbps(), 0.0);
     EXPECT_EQ(enc.stream.packets.size(), 7u);
 
-    const DecodeRun dec = run_decode(point, enc.stream);
+    StatusOr<DecodeRun> dec_or = run_decode(point, enc.stream);
+    ASSERT_TRUE(dec_or.is_ok()) << dec_or.status().to_string();
+    const DecodeRun &dec = dec_or.value();
     EXPECT_EQ(dec.frames, 7);
     EXPECT_GT(dec.fps(), 0.0);
     EXPECT_GT(dec.psnr_y, 30.0);
@@ -233,10 +237,12 @@ TEST(TableVShape, GenerationOrderingHoldsOnSmallRun)
         point.sequence = SequenceId::kRushHour;
         point.frames = 8;
         point.config = cfg;
-        const EncodeRun enc = run_encode(point);
-        const DecodeRun dec = run_decode(point, enc.stream);
-        bits[static_cast<int>(codec)] = enc.stream.total_bits();
-        psnr[static_cast<int>(codec)] = dec.psnr_y;
+        StatusOr<EncodeRun> enc = run_encode(point);
+        ASSERT_TRUE(enc.is_ok()) << enc.status().to_string();
+        StatusOr<DecodeRun> dec = run_decode(point, enc.value().stream);
+        ASSERT_TRUE(dec.is_ok()) << dec.status().to_string();
+        bits[static_cast<int>(codec)] = enc.value().stream.total_bits();
+        psnr[static_cast<int>(codec)] = dec.value().psnr_y;
     }
     const u64 mpeg2 = bits[0], mpeg4 = bits[1], h264 = bits[2];
     EXPECT_LT(mpeg4, mpeg2) << "MPEG-4 must beat MPEG-2";

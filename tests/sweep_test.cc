@@ -129,9 +129,15 @@ TEST(SweepRunner, WritesJsonReport)
 
     const std::string report = read_file(path);
     ASSERT_FALSE(report.empty());
-    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/1\""),
+    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/2\""),
               std::string::npos);
     EXPECT_NE(report.find("\"jobs\":2"), std::string::npos);
+    // Schema 2: per-point fault-isolation fields.
+    EXPECT_NE(report.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(report.find("\"attempts\":1"), std::string::npos);
+    EXPECT_NE(report.find("\"concealment\""), std::string::npos);
+    // The report is published atomically: no temp file left behind.
+    EXPECT_TRUE(read_file(path + ".tmp").empty());
     // Every point appears, by its stable label.
     for (const BenchPoint &point : points)
         EXPECT_NE(report.find("\"label\":\"" + point.label() + "\""),
@@ -141,6 +147,72 @@ TEST(SweepRunner, WritesJsonReport)
               std::count(report.begin(), report.end(), '}'));
     EXPECT_EQ(std::count(report.begin(), report.end(), '['),
               std::count(report.begin(), report.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunner, FaultIsolationAndTimeout)
+{
+    // Three-point grid: a good point, a point whose config override
+    // fails validation, and a point that "hangs" (per-frame injected
+    // delay far past the timeout budget). The sweep must complete
+    // every point, record each failure in its own result, and still
+    // write a well-formed report.
+    CodecConfig good;
+    good.width = 96;
+    good.height = 64;
+    good.me_range = 8;
+    good.refs = 2;
+
+    BenchPoint ok_point;
+    ok_point.codec = CodecId::kMpeg2;
+    ok_point.sequence = SequenceId::kBlueSky;
+    ok_point.frames = 3;
+    ok_point.config = good;
+
+    BenchPoint bad_point = ok_point;
+    CodecConfig bad = good;
+    bad.width = 100;  // not a macroblock multiple: fails validate()
+    bad_point.config = bad;
+
+    BenchPoint slow_point = ok_point;
+    FaultPlan hang;
+    hang.delay_seconds = 0.2;  // per frame; far past the 50 ms budget
+    slow_point.fault = hang;
+
+    const std::string path =
+        ::testing::TempDir() + "/hdvb_sweep_faults.json";
+    SweepOptions options;
+    options.jobs = 2;
+    options.point_timeout_seconds = 0.05;
+    options.max_attempts = 2;
+    options.retry_backoff_seconds = 0.01;
+    options.json_path = path;
+    SweepRunner runner(options);
+    const std::vector<SweepResult> results =
+        runner.run({ok_point, bad_point, slow_point});
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_TRUE(results[0].status.is_ok());
+    EXPECT_EQ(results[0].attempts, 1);
+    EXPECT_FALSE(results[0].timed_out);
+    EXPECT_GT(results[0].psnr_y, 0.0);
+
+    EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(results[1].attempts, 2);
+    EXPECT_FALSE(results[1].timed_out);
+
+    EXPECT_EQ(results[2].status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(results[2].timed_out);
+    EXPECT_EQ(results[2].attempts, 2);
+
+    const std::string report = read_file(path);
+    ASSERT_FALSE(report.empty());
+    EXPECT_NE(report.find("\"status\":\"invalid-argument\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"status\":\"deadline-exceeded\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"attempts\":2"), std::string::npos);
+    EXPECT_NE(report.find("\"timed_out\":true"), std::string::npos);
     std::remove(path.c_str());
 }
 
