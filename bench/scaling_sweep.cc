@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Intra-codec thread scaling: encode/decode fps per codec and
+ * resolution as CodecConfig::threads grows. The band-parallel codec
+ * paths guarantee bit-exact streams at every thread count, so this
+ * bench measures pure wall-clock scaling of the same work — the
+ * speedup column against the threads=1 baseline is the headline
+ * number (acceptance: > 1.5x at 4 threads for 576p encode).
+ *
+ * Points run through SweepRunner with jobs=1: exactly one point is in
+ * flight at a time, so the codec's private pool is the only source of
+ * concurrency and per-point fps is undisturbed by neighbours. The
+ * observability report lands in hdvb_cache/scaling_report.json
+ * (schema hdvb-sweep/3, per-point "threads" field).
+ */
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace hdvb;
+
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+constexpr int kThreadCountN =
+    static_cast<int>(sizeof(kThreadCounts) / sizeof(kThreadCounts[0]));
+
+/** fps indexed [codec][resolution][thread-count slot]. */
+struct ScalingSeries {
+    double enc[kCodecCount][kResolutionCount][kThreadCountN] = {};
+    double dec[kCodecCount][kResolutionCount][kThreadCountN] = {};
+};
+
+void
+print_direction(const char *what,
+                const double fps[kCodecCount][kResolutionCount]
+                                [kThreadCountN])
+{
+    std::printf("\n%s fps vs codec threads (speedup vs t=1):\n", what);
+    TableWriter table({"Codec", "Resolution", "t=1", "t=2", "t=4",
+                       "speedup@4"});
+    for (CodecId codec : kAllCodecs) {
+        const int c = static_cast<int>(codec);
+        for (Resolution res : kAllResolutions) {
+            const int r = static_cast<int>(res);
+            const double base = fps[c][r][0];
+            table.add_row(
+                {codec_display_name(codec), resolution_info(res).name,
+                 TableWriter::fmt(fps[c][r][0], 2),
+                 TableWriter::fmt(fps[c][r][1], 2),
+                 TableWriter::fmt(fps[c][r][2], 2),
+                 base > 0 ? TableWriter::fmt(fps[c][r][2] / base, 2) +
+                                "x"
+                          : "-"});
+        }
+    }
+    table.print();
+}
+
+}  // namespace
+
+int
+main()
+{
+    const int frames = bench_frames_default();
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("HD-VideoBench thread-scaling sweep (%d frames/point, "
+                "sequence rush_hour, %u hardware threads)\n",
+                frames, cores);
+    if (cores < 4) {
+        std::printf("note: fewer hardware threads than the largest "
+                    "measured count — speedups are core-bound and "
+                    "oversubscribed points may run slower than t=1\n");
+    }
+
+    std::vector<BenchPoint> points;
+    for (int t : kThreadCounts) {
+        std::vector<BenchPoint> grid = sweep_grid(
+            {kAllCodecs, kAllCodecs + kCodecCount},
+            {SequenceId::kRushHour},
+            {kAllResolutions, kAllResolutions + kResolutionCount},
+            frames, best_simd_level());
+        for (BenchPoint &point : grid) {
+            point.threads = t;
+            points.push_back(point);
+        }
+    }
+
+    SweepOptions options;
+    options.jobs = 1;  // one point at a time: the codec pool is the
+                       // only concurrency, so fps is scaling-clean
+    options.json_path = "hdvb_cache/scaling_report.json";
+    SweepRunner runner(options);
+    const std::vector<SweepResult> results = runner.run(points);
+
+    ScalingSeries series;
+    for (const SweepResult &result : results) {
+        if (!result.status.is_ok()) {
+            std::fprintf(stderr, "point %s (t=%d) failed: %s\n",
+                         result.point.label().c_str(),
+                         result.point.threads,
+                         result.status.to_string().c_str());
+            continue;
+        }
+        int slot = 0;
+        for (int i = 0; i < kThreadCountN; ++i)
+            if (kThreadCounts[i] == result.point.threads)
+                slot = i;
+        const int c = static_cast<int>(result.point.codec);
+        const int r = static_cast<int>(result.point.resolution);
+        series.enc[c][r][slot] = result.encode_fps();
+        series.dec[c][r][slot] = result.decode_fps();
+    }
+
+    print_direction("Encode", series.enc);
+    print_direction("Decode", series.dec);
+    std::printf("\n(sweep: %zu points in %.1fs wall, report %s)\n",
+                points.size(), runner.last_wall_seconds(),
+                options.json_path.c_str());
+    return 0;
+}

@@ -22,6 +22,9 @@ namespace hdvb {
 /** Picture coding type. */
 enum class PictureType : u8 { kI = 0, kP = 1, kB = 2 };
 
+/** Upper bound on CodecConfig::threads (sanity cap, not a target). */
+inline constexpr int kMaxCodecThreads = 64;
+
 /** One-letter picture type name. */
 const char *picture_type_name(PictureType type);
 
@@ -71,6 +74,19 @@ struct CodecConfig {
      * Off by default: golden streams stay bit-identical.
      */
     bool error_resilience = false;
+
+    /**
+     * Worker threads *inside* one encode/decode (1..kMaxCodecThreads).
+     * Pictures are partitioned into MB-row bands whose analysis stage
+     * (ME + transform + quant + reconstruction) runs wavefront-ordered
+     * on a codec-private hdvb::ThreadPool; entropy coding is then
+     * serialised in band order, so the emitted bitstream is
+     * byte-identical for every thread count. Default 1 keeps the
+     * paper-comparable single-core fps numbers (and skips the pool
+     * entirely). Orthogonal to HDVB_JOBS, which sizes the sweep-level
+     * pool that parallelises across measurement points.
+     */
+    int threads = 1;
 
     /** Check invariants (16-aligned dimensions, ranges). */
     Status validate() const;

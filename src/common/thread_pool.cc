@@ -1,19 +1,38 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 
+#include "common/check.h"
+#include "common/log.h"
+
 namespace hdvb {
+
+namespace {
+
+/** The pool (if any) whose worker_main is running on this thread. */
+thread_local const ThreadPool *t_current_pool = nullptr;
+
+}  // namespace
 
 int
 default_job_count()
 {
     const char *env = std::getenv("HDVB_JOBS");
-    if (env != nullptr) {
-        const int n = std::atoi(env);
-        if (n > 0)
+    if (env != nullptr && *env != '\0') {
+        // Full-string validation: "8x" and "abc" are configuration
+        // mistakes, not requests for 8 or for the fallback.
+        const char *end = env + std::strlen(env);
+        int n = 0;
+        const auto [ptr, ec] = std::from_chars(env, end, n);
+        if (ec == std::errc() && ptr == end && n > 0)
             return n;
+        HDVB_LOG(kWarn) << "ignoring malformed HDVB_JOBS=\"" << env
+                        << "\" (want a positive integer); using "
+                           "hardware concurrency";
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
@@ -48,9 +67,16 @@ ThreadPool::submit(std::function<void(int)> task)
     cv_.notify_one();
 }
 
+bool
+ThreadPool::on_worker_thread() const
+{
+    return t_current_pool == this;
+}
+
 void
 ThreadPool::worker_main(int id)
 {
+    t_current_pool = this;
     for (;;) {
         std::function<void(int)> task;
         {
@@ -70,6 +96,7 @@ void
 parallel_for(ThreadPool &pool, int count,
              const std::function<void(int, int)> &body)
 {
+    HDVB_DCHECK(!pool.on_worker_thread());
     if (count <= 0)
         return;
 
@@ -115,6 +142,46 @@ parallel_for(ThreadPool &pool, int count,
     shared->done.wait(lock, [&] { return shared->active == 0; });
     if (shared->error)
         std::rethrow_exception(shared->error);
+}
+
+TaskGroup::~TaskGroup()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+TaskGroup::run(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++pending_;
+    }
+    pool_.submit([this, task = std::move(task)](int) {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0)
+            done_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    HDVB_DCHECK(!pool_.on_worker_thread());
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
 }
 
 }  // namespace hdvb

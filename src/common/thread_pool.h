@@ -1,10 +1,11 @@
 /**
  * @file
  * Fixed-size worker pool and a blocking parallel_for on top of it — the
- * concurrency substrate of the sweep engine. The pool parallelises
- * *across* measurement points; each point's timed region stays
- * single-threaded so per-point fps remains comparable to the paper's
- * single-core numbers.
+ * concurrency substrate of the sweep engine and, since the threads
+ * knob on CodecConfig, of the codecs themselves. The sweep pool
+ * parallelises *across* measurement points; each codec instance may
+ * additionally own a private pool that parallelises MB-row bands
+ * *inside* one encode/decode (see src/common/wavefront.h).
  */
 #ifndef HDVB_COMMON_THREAD_POOL_H
 #define HDVB_COMMON_THREAD_POOL_H
@@ -21,7 +22,9 @@ namespace hdvb {
 /**
  * Default worker count for sweep-style parallelism: the HDVB_JOBS
  * environment variable when set to a positive integer, otherwise the
- * hardware concurrency (at least 1).
+ * hardware concurrency (at least 1). Malformed values (trailing
+ * garbage, non-numeric, zero or negative) are rejected with a logged
+ * warning rather than silently truncated the way atoi would.
  */
 int default_job_count();
 
@@ -46,6 +49,14 @@ class ThreadPool
     /** Enqueue @p task; it runs on some worker as task(worker_id). */
     void submit(std::function<void(int)> task);
 
+    /**
+     * True when the calling thread is one of *this* pool's workers.
+     * Distinguishes pools: a sweep worker driving a codec's private
+     * band pool is on_worker_thread() for the sweep pool only, so the
+     * codec pool's parallel_for re-entrancy check still passes.
+     */
+    bool on_worker_thread() const;
+
   private:
     void worker_main(int id);
 
@@ -64,12 +75,47 @@ class ThreadPool
  *
  * The first exception thrown by any invocation is rethrown here after
  * the remaining in-flight bodies finish; unclaimed indices are skipped
- * once an exception is recorded. count <= 0 is a no-op. Must not be
- * called from inside a task running on the same pool (the caller
- * blocks, and nested waits could consume every worker).
+ * once an exception is recorded. count <= 0 is a no-op.
+ *
+ * Must not be called from inside a task running on the same pool: the
+ * caller blocks, and nested waits could consume every worker. This is
+ * enforced with an HDVB_DCHECK (calling from a *different* pool's
+ * worker is fine and is exactly how sweep workers drive codec pools).
  */
 void parallel_for(ThreadPool &pool, int count,
                   const std::function<void(int, int)> &body);
+
+/**
+ * A batch of tasks submitted to a pool that can be awaited as a unit.
+ * Unlike parallel_for the task list need not be known up front: tasks
+ * can be run() one by one (e.g. one per parsed bitstream row) and
+ * wait() blocks until every one of them has finished, rethrowing the
+ * first exception any task threw. Not reusable after wait().
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** Joins outstanding tasks; any unretrieved exception is lost. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue @p task on the pool as part of this group. */
+    void run(std::function<void()> task);
+
+    /** Block until all run() tasks finish; rethrow their first error. */
+    void wait();
+
+  private:
+    ThreadPool &pool_;
+    std::mutex mu_;
+    std::condition_variable done_;
+    int pending_ = 0;
+    std::exception_ptr error_;
+};
 
 }  // namespace hdvb
 

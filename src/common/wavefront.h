@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Column-progress tracker for wavefront-ordered macroblock processing.
+ *
+ * The codecs' threaded mode partitions a picture into MB-row bands and
+ * runs the analysis stage (motion estimation, transform, quant,
+ * reconstruction) of each band on its own worker. Rows are not
+ * independent: a macroblock may read reconstructed pixels, motion
+ * vectors and predictor state from the row above, up to and including
+ * the above-right neighbour. The classic wavefront order makes that
+ * safe without changing any decision: before working on column c of
+ * row r, wait until row r-1 has completed columns 0..c+1.
+ *
+ * WavefrontScheduler is that ordering as data: one atomic
+ * columns-completed counter per row. Writers publish() with release
+ * semantics after finishing a macroblock; readers wait_for() with
+ * acquire semantics before starting one, which also gives TSan-visible
+ * happens-before edges for every cross-row read.
+ *
+ * Progress counters are monotone and rows are claimed in increasing
+ * order by parallel_for, so a waiter always chases a row that is
+ * either finished or actively running — the wait cannot deadlock.
+ * RowGuard poisons a row to fully-complete on scope exit so that an
+ * exception unwinding a band can never strand the rows below it.
+ */
+#ifndef HDVB_COMMON_WAVEFRONT_H
+#define HDVB_COMMON_WAVEFRONT_H
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hdvb {
+
+class WavefrontScheduler
+{
+  public:
+    WavefrontScheduler(int rows, int cols)
+        : progress_(rows > 0 ? rows : 0), cols_(cols)
+    {
+        HDVB_DCHECK(rows >= 0 && cols > 0);
+    }
+
+    int rows() const { return static_cast<int>(progress_.size()); }
+    int cols() const { return cols_; }
+
+    /** Mark columns [0, cols_done) of @p row complete. */
+    void
+    publish(int row, int cols_done)
+    {
+        progress_[row].done.store(cols_done, std::memory_order_release);
+    }
+
+    /** Block until @p row has completed at least @p cols_done columns.
+     * Spins with yield: bands are balanced, so waits are short. On a
+     * single hardware thread spinning only delays the producer band,
+     * so there the waiter yields immediately instead. */
+    void
+    wait_for(int row, int cols_done) const
+    {
+        if (cols_done > cols_)
+            cols_done = cols_;
+        static const bool spin_first =
+            std::thread::hardware_concurrency() > 1;
+        const std::atomic<int> &done = progress_[row].done;
+        int spins = 0;
+        while (done.load(std::memory_order_acquire) < cols_done) {
+            if (!spin_first || ++spins > 64) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+    /** Convenience: the wavefront dependency of MB (col, row) — the
+     * row above must be done through its above-right neighbour. */
+    void
+    wait_above(int row, int col) const
+    {
+        if (row > 0)
+            wait_for(row - 1, col + 2);
+    }
+
+  private:
+    struct alignas(64) RowProgress {
+        std::atomic<int> done{0};
+    };
+    std::vector<RowProgress> progress_;
+    int cols_;
+};
+
+/**
+ * Scope guard for one band: on destruction — normal completion or
+ * exception unwind — marks the row fully complete so rows below never
+ * wait on a dead band. On the unwind path the parallel_for machinery
+ * is already recording the exception; the poisoned row only exists to
+ * let in-flight siblings drain.
+ */
+class WavefrontRowGuard
+{
+  public:
+    WavefrontRowGuard(WavefrontScheduler &scheduler, int row)
+        : scheduler_(scheduler), row_(row)
+    {
+    }
+    ~WavefrontRowGuard() { scheduler_.publish(row_, scheduler_.cols()); }
+
+    WavefrontRowGuard(const WavefrontRowGuard &) = delete;
+    WavefrontRowGuard &operator=(const WavefrontRowGuard &) = delete;
+
+  private:
+    WavefrontScheduler &scheduler_;
+    int row_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_WAVEFRONT_H

@@ -39,9 +39,12 @@ past_deadline(std::chrono::steady_clock::time_point start,
 CodecConfig
 BenchPoint::effective_config() const
 {
-    if (config.has_value())
-        return *config;
-    return benchmark_config(codec, resolution, simd);
+    CodecConfig cfg = config.has_value()
+                          ? *config
+                          : benchmark_config(codec, resolution, simd);
+    if (threads > 1)
+        cfg.threads = threads;
+    return cfg;
 }
 
 std::string

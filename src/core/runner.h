@@ -26,6 +26,12 @@ struct BenchPoint {
     int frames = 4;
     SimdLevel simd = best_simd_level();
 
+    /** Intra-codec worker threads for this point (CodecConfig::threads).
+     * 1 keeps the timed region single-threaded and paper-comparable;
+     * larger values exercise the codecs' band-parallel paths (the
+     * bitstream and reconstruction stay bit-exact either way). */
+    int threads = 1;
+
     /** When set, replaces the Table IV configuration for this point
      * (ablations, reduced-size test runs). */
     std::optional<CodecConfig> config;
@@ -37,7 +43,8 @@ struct BenchPoint {
     std::optional<FaultPlan> fault;
 
     /** The configuration the point actually runs with: the override if
-     * present, otherwise benchmark_config(codec, resolution, simd). */
+     * present, otherwise benchmark_config(codec, resolution, simd);
+     * BenchPoint::threads is applied on top when it is > 1. */
     CodecConfig effective_config() const;
 
     /** Stable identifier, e.g. "h264/blue_sky/1088p25/sse2" — the one

@@ -155,7 +155,11 @@ SweepRunner::run_point(const BenchPoint &point, int worker) const
 
     wall.stop();
     result.wall_seconds = wall.seconds();
-    result.peak_rss_kb = current_peak_rss_kb();
+    // ru_maxrss is a process-lifetime high-water mark; report the
+    // growth since the sweep's baseline, not the absolute value.
+    const long rss_now = current_peak_rss_kb();
+    result.peak_rss_delta_kb =
+        rss_now > rss_baseline_kb_ ? rss_now - rss_baseline_kb_ : 0;
     HDVB_LOG(kDebug) << "sweep " << point.label() << " worker "
                      << worker << " wall " << result.wall_seconds
                      << "s";
@@ -169,6 +173,7 @@ SweepRunner::run(const std::vector<BenchPoint> &points)
         options_.jobs > 0 ? options_.jobs : default_job_count();
 
     std::vector<SweepResult> results(points.size());
+    rss_baseline_kb_ = current_peak_rss_kb();
     WallTimer wall;
     wall.start();
     {
@@ -197,7 +202,7 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
 {
     JsonWriter json;
     json.begin_object();
-    json.field("schema", "hdvb-sweep/2");
+    json.field("schema", "hdvb-sweep/3");
     json.field("jobs", options_.jobs > 0 ? options_.jobs
                                          : default_job_count());
     json.field("wall_seconds", last_wall_seconds_);
@@ -211,6 +216,7 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
         json.field("resolution", resolution_info(r.point.resolution).name);
         json.field("simd", simd_level_name(r.point.simd));
         json.field("frames", r.point.frames);
+        json.field("threads", r.point.threads);
         json.field("config_override", r.point.config.has_value());
         json.field("status", status_code_name(r.status.code()));
         if (!r.status.is_ok())
@@ -250,7 +256,8 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
         }
         json.field("wall_seconds", r.wall_seconds);
         json.field("worker", r.worker);
-        json.field("peak_rss_kb", static_cast<s64>(r.peak_rss_kb));
+        json.field("peak_rss_delta_kb",
+                   static_cast<s64>(r.peak_rss_delta_kb));
         json.end_object();
     }
     json.end_array();

@@ -3,16 +3,21 @@
  * The parallel sweep engine. A sweep is the benchmark's outer product —
  * codec x sequence x resolution x SIMD (Figure 1, Table V) — and its
  * points are independent measurements, so SweepRunner distributes them
- * across a thread pool. Each point's *timed region* stays
+ * across a thread pool. By default each point's *timed region* stays
  * single-threaded (one encoder or decoder instance per point, exactly
  * as in a serial run), so per-point fps is unchanged and stays
  * comparable to the paper's single-core numbers; only the grid's
- * wall-clock time shrinks.
+ * wall-clock time shrinks. A point may opt into intra-codec
+ * parallelism via BenchPoint::threads — the codec then runs its
+ * MB-row bands on a private pool of that size (bitstreams stay
+ * bit-exact), which is how the scaling bench measures fps versus
+ * thread count.
  *
  * Results come back in the order of the input point list regardless of
  * completion order, so table output is deterministic, and the engine
- * records per-point observability (wall time, worker id, peak RSS)
- * which it can emit as a machine-readable JSON report.
+ * records per-point observability (wall time, worker id, peak-RSS
+ * growth over the sweep) which it can emit as a machine-readable JSON
+ * report (schema hdvb-sweep/3).
  */
 #ifndef HDVB_CORE_SWEEP_H
 #define HDVB_CORE_SWEEP_H
@@ -67,7 +72,14 @@ struct SweepResult {
     // ---- observability ----
     double wall_seconds = 0.0;  ///< whole point, untimed phases included
     int worker = -1;            ///< pool worker id that ran the point
-    long peak_rss_kb = 0;       ///< process peak RSS at point completion
+    /** Growth of the process peak RSS between the start of the sweep
+     * and this point's completion, in kB. ru_maxrss is a
+     * process-lifetime high-water mark, so the raw value mostly
+     * reflects whatever ran before the sweep; the delta against the
+     * run() baseline is what a point can actually be charged with.
+     * Monotone over the sweep's completion order, and 0 for points
+     * that fit inside the footprint already reached. */
+    long peak_rss_delta_kb = 0;
 
     double
     encode_fps() const
@@ -158,6 +170,9 @@ class SweepRunner
 
     SweepOptions options_;
     double last_wall_seconds_ = 0.0;
+    /** Peak RSS captured at the top of run(); the baseline that
+     * per-point peak_rss_delta_kb values are measured against. */
+    long rss_baseline_kb_ = 0;
 };
 
 /**

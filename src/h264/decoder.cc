@@ -2,11 +2,22 @@
  * @file
  * H.264-class decoder: exact mirror of the encoder's range-coded syntax
  * and reconstruction, including the in-loop deblocking filter.
+ *
+ * With CodecConfig::threads > 1 the error-resilient path decodes in
+ * two phases. Each row is an independent range-coded chunk, so phase 1
+ * parses every row's syntax in parallel into per-MB records (all
+ * failure conditions — coder errors, mode availability, reference
+ * bounds, the row sentinel — are syntax-level, so a row's fate is
+ * fully decided here). Phase 2 reconstructs from the records in
+ * wavefront order across rows, because intra prediction reads pixels
+ * from the row above; failed rows conceal in the same wavefront slot.
+ * Output is identical to the serial schedule for any thread count.
  */
 #include "h264/h264.h"
 
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_reader.h"
@@ -14,6 +25,8 @@
 #include "codec/codec.h"
 #include "codec/conceal.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/wavefront.h"
 #include "dsp/quant.h"
 #include "dsp/transform4x4.h"
 #include "h264/cabac_syntax.h"
@@ -52,7 +65,10 @@ class H264Decoder final : public DecoderBase
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           binfo_(cfg.width, cfg.height),
-          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_)
+          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -75,6 +91,34 @@ class H264Decoder final : public DecoderBase
     bool decode_resilient_row(MbState &st, const std::vector<u8> &row,
                               int mby, int *bad_from);
     void conceal_row(Frame *frame, PictureType type, int from, int mby);
+
+    /** Parsed syntax of one MB for the two-phase parallel decode. */
+    struct MbRec {
+        enum Kind : u8 { kSkipMb, kIntraMb, kInterPMb, kInterBMb };
+        Kind kind = kSkipMb;
+        bool use_i4 = false;
+        u8 i16_mode = 0;
+        u8 i4_modes[16] = {};
+        u8 part_mode = 0;
+        u8 ref = 0;
+        u8 b_mode = 0;
+        s16 mvd[4][2] = {};  ///< P: per partition; B: fwd=0 / bwd=1
+        Coeff dc_levels[16] = {};
+        Coeff luma[16][16] = {};
+        Coeff chroma[2][4][16] = {};
+    };
+
+    bool parse_mb(RangeDecoder &rc, Contexts &cm, const Plane &luma,
+                  PictureType type, int mbx, int mby, MbRec &rec) const;
+    bool parse_intra_mb(RangeDecoder &rc, Contexts &cm,
+                        const Plane &luma, int mbx, int mby,
+                        MbRec &rec) const;
+    bool parse_residual(RangeDecoder &rc, Contexts &cm, MbRec &rec) const;
+    bool parse_resilient_row(const std::vector<u8> &row,
+                             const Plane &luma, PictureType type,
+                             int mby, MbRec *recs, int *bad_from) const;
+    void recon_mb_rec(MbState &st, const MbRec &rec);
+    void recon_intra_rec(MbState &st, const MbRec &rec);
 
     bool decode_mb(MbState &st);
     bool decode_intra_mb(MbState &st);
@@ -104,6 +148,8 @@ class H264Decoder final : public DecoderBase
     std::deque<Frame> dpb_;
     BlockInfoGrid binfo_;
     std::vector<MotionVector> mv_grid_;
+    std::vector<MbRec> records_;        ///< phase-1 output (threads > 1)
+    std::unique_ptr<ThreadPool> pool_;  ///< row pool (threads > 1)
     Contexts ctx_;
     RangeDecoder *rc_ = nullptr;
     const H264Quantizer *quant_i_ = nullptr;
@@ -584,6 +630,384 @@ H264Decoder::decode_resilient_row(MbState &st, const std::vector<u8> &row,
     return !over_read && sentinel == kRowSentinel;
 }
 
+// ---- phase 1: syntax parse (no pixel access) ----
+
+bool
+H264Decoder::parse_residual(RangeDecoder &rc, Contexts &cm,
+                            MbRec &rec) const
+{
+    for (int b = 0; b < 16; ++b) {
+        if (!decode_block4x4(rc, cm, rec.luma[b], 0, 0))
+            return false;
+    }
+    for (int c = 0; c < 2; ++c) {
+        for (int b = 0; b < 4; ++b) {
+            if (!decode_block4x4(rc, cm, rec.chroma[c][b], 0, 1))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+H264Decoder::parse_intra_mb(RangeDecoder &rc, Contexts &cm,
+                            const Plane &luma, int mbx, int mby,
+                            MbRec &rec) const
+{
+    rec.kind = MbRec::kIntraMb;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    rec.use_i4 = rc.decode_bit(cm.intra4_flag) != 0;
+    if (rec.use_i4) {
+        // Availability is positional, so it validates at parse time;
+        // the plane is only consulted for its geometry.
+        for (int b = 0; b < 16; ++b) {
+            const int x = lx + (b & 3) * 4;
+            const int y = ly + (b >> 2) * 4;
+            const int m2 = rc.decode_bit(cm.intra4_mode[0]);
+            const int m1 = rc.decode_bit(cm.intra4_mode[1]);
+            const int m0 = rc.decode_bit(cm.intra4_mode[2]);
+            const int mode_idx = m2 * 4 + m1 * 2 + m0;
+            if (mode_idx >= kI4ModeCount)
+                return false;
+            if (!intra4_mode_available(luma, x, y,
+                                       static_cast<Intra4Mode>(
+                                           mode_idx)))
+                return false;
+            rec.i4_modes[b] = static_cast<u8>(mode_idx);
+            if (!decode_block4x4(rc, cm, rec.luma[b], 0, 0))
+                return false;
+        }
+    } else {
+        const int m0 = rc.decode_bit(cm.intra16_mode[0]);
+        const int m1 = rc.decode_bit(cm.intra16_mode[1]);
+        rec.i16_mode = static_cast<u8>(m0 * 2 + m1);
+        if (!intra16_mode_available(
+                lx, ly, static_cast<Intra16Mode>(rec.i16_mode)))
+            return false;
+        if (!decode_block4x4(rc, cm, rec.dc_levels, 0, 2))
+            return false;
+        for (int b = 0; b < 16; ++b) {
+            if (!decode_block4x4(rc, cm, rec.luma[b], 1, 0))
+                return false;
+        }
+    }
+    for (int c = 0; c < 2; ++c) {
+        for (int b = 0; b < 4; ++b) {
+            if (!decode_block4x4(rc, cm, rec.chroma[c][b], 0, 1))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+H264Decoder::parse_mb(RangeDecoder &rc, Contexts &cm, const Plane &luma,
+                      PictureType type, int mbx, int mby,
+                      MbRec &rec) const
+{
+    const CodecConfig &cfg = config();
+
+    if (type == PictureType::kI)
+        return parse_intra_mb(rc, cm, luma, mbx, mby, rec);
+
+    if (rc.decode_bit(cm.mb_skip) != 0) {
+        rec.kind = MbRec::kSkipMb;
+        return !rc.has_error();
+    }
+    if (rc.decode_bit(cm.mb_intra) != 0)
+        return parse_intra_mb(rc, cm, luma, mbx, mby, rec);
+
+    if (type == PictureType::kP) {
+        rec.kind = MbRec::kInterPMb;
+        const int m0 = rc.decode_bit(cm.part_mode[0]);
+        const int m1 = rc.decode_bit(cm.part_mode[1]);
+        rec.part_mode = static_cast<u8>(m0 * 2 + m1);
+        int ref = 0;
+        if (cfg.refs > 1) {
+            const int max_ref =
+                clamp<int>(static_cast<int>(dpb_.size()), 1, cfg.refs);
+            ref = decode_ref_idx(rc, cm, max_ref);
+        }
+        if (ref >= static_cast<int>(dpb_.size()))
+            return false;
+        rec.ref = static_cast<u8>(ref);
+        const int count = kPartCount[rec.part_mode];
+        for (int p = 0; p < count; ++p) {
+            rec.mvd[p][0] = static_cast<s16>(decode_mvd(rc, cm, 0));
+            rec.mvd[p][1] = static_cast<s16>(decode_mvd(rc, cm, 1));
+        }
+        if (rc.has_error())
+            return false;
+        return parse_residual(rc, cm, rec);
+    }
+
+    rec.kind = MbRec::kInterBMb;
+    const int b0 = rc.decode_bit(cm.b_mode[0]);
+    int mode = kBBi;
+    if (b0 != 0)
+        mode = rc.decode_bit(cm.b_mode[1]) != 0 ? kBBwd : kBFwd;
+    rec.b_mode = static_cast<u8>(mode);
+    if (mode != kBBwd) {
+        rec.mvd[0][0] = static_cast<s16>(decode_mvd(rc, cm, 0));
+        rec.mvd[0][1] = static_cast<s16>(decode_mvd(rc, cm, 1));
+    }
+    if (mode != kBFwd) {
+        rec.mvd[1][0] = static_cast<s16>(decode_mvd(rc, cm, 0));
+        rec.mvd[1][1] = static_cast<s16>(decode_mvd(rc, cm, 1));
+    }
+    if (rc.has_error())
+        return false;
+    return parse_residual(rc, cm, rec);
+}
+
+bool
+H264Decoder::parse_resilient_row(const std::vector<u8> &row,
+                                 const Plane &luma, PictureType type,
+                                 int mby, MbRec *recs,
+                                 int *bad_from) const
+{
+    *bad_from = 0;
+    RangeDecoder rc(row);
+    Contexts cm;
+    cm.reset();
+    for (int mbx = 0; mbx < mb_w_; ++mbx) {
+        recs[mbx] = MbRec{};
+        if (!parse_mb(rc, cm, luma, type, mbx, mby, recs[mbx]) ||
+            rc.has_error()) {
+            *bad_from = mbx;
+            return false;
+        }
+    }
+    const u32 sentinel = rc.decode_bypass_bits(8);
+    return !rc.has_error() && sentinel == kRowSentinel;
+}
+
+// ---- phase 2: reconstruction from records ----
+
+void
+H264Decoder::recon_intra_rec(MbState &st, const MbRec &rec)
+{
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+    Plane &luma = st.frame->luma();
+    u16 nz_map = 0;
+
+    if (rec.use_i4) {
+        for (int b = 0; b < 16; ++b) {
+            const int x = lx + (b & 3) * 4;
+            const int y = ly + (b >> 2) * 4;
+            Pixel pred[16];
+            predict_intra4(luma, x, y,
+                           static_cast<Intra4Mode>(rec.i4_modes[b]),
+                           pred, 4);
+            Pixel *dst = luma.row(y) + x;
+            dsp_.copy_rect(dst, luma.stride(), pred, 4, 4, 4);
+            recon4x4(dsp_, rec.luma[b], *quant_i_, INT32_MIN, dst,
+                     luma.stride());
+            for (int i = 0; i < 16; ++i) {
+                if (rec.luma[b][i] != 0) {
+                    nz_map |= 1u << b;
+                    break;
+                }
+            }
+        }
+    } else {
+        Pixel pred[16 * 16];
+        predict_intra16(luma, lx, ly,
+                        static_cast<Intra16Mode>(rec.i16_mode), pred,
+                        16);
+        s32 dc_rec[16];
+        bool dc_nz = false;
+        for (int b = 0; b < 16; ++b) {
+            dc_rec[b] = quant_i_->dequantize_dc(rec.dc_levels[b]);
+            dc_nz |= rec.dc_levels[b] != 0;
+        }
+        hadamard4x4_inv(dc_rec);
+        for (int b = 0; b < 16; ++b) {
+            const int x = lx + (b & 3) * 4;
+            const int y = ly + (b >> 2) * 4;
+            Pixel *dst = luma.row(y) + x;
+            dsp_.copy_rect(dst, luma.stride(),
+                           pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16,
+                           4, 4);
+            recon4x4(dsp_, rec.luma[b], *quant_i_, (dc_rec[b] + 8) >> 4,
+                     dst, luma.stride());
+            bool nz = dc_nz;
+            for (int i = 1; i < 16; ++i)
+                nz |= rec.luma[b][i] != 0;
+            if (nz)
+                nz_map |= 1u << b;
+        }
+    }
+
+    Pixel cb_pred[8 * 8], cr_pred[8 * 8];
+    predict_chroma_dc(st.frame->cb(), st.mbx * 8, st.mby * 8, cb_pred,
+                      8);
+    predict_chroma_dc(st.frame->cr(), st.mbx * 8, st.mby * 8, cr_pred,
+                      8);
+    for (int comp = 1; comp < 3; ++comp) {
+        Plane &plane = st.frame->plane(comp);
+        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
+        for (int b = 0; b < 4; ++b) {
+            const int x = st.mbx * 8 + (b & 1) * 4;
+            const int y = st.mby * 8 + (b >> 1) * 4;
+            const Pixel *pp = pred + (b >> 1) * 4 * 8 + (b & 1) * 4;
+            Pixel *dst = plane.row(y) + x;
+            dsp_.copy_rect(dst, plane.stride(), pp, 8, 4, 4);
+            recon4x4(dsp_, rec.chroma[comp - 1][b], *quant_i_,
+                     INT32_MIN, dst, plane.stride());
+        }
+    }
+
+    fill_binfo(st, true, -1, nullptr, 0, nz_map);
+    mv_grid_[st.mby * mb_w_ + st.mbx] = MotionVector{};
+    st.left_fwd = st.left_bwd = MotionVector{};
+}
+
+void
+H264Decoder::recon_mb_rec(MbState &st, const MbRec &rec)
+{
+    const int lx = st.mbx * 16;
+    const int ly = st.mby * 16;
+
+    if (rec.kind == MbRec::kSkipMb) {
+        recon_skip(st);
+        return;
+    }
+    if (rec.kind == MbRec::kIntraMb) {
+        recon_intra_rec(st, rec);
+        return;
+    }
+
+    Pixel luma_pred[16 * 16], cb_pred[8 * 8], cr_pred[8 * 8];
+    Partition parts[4];
+    int count = 1;
+    s8 binfo_ref = 0;
+    if (rec.kind == MbRec::kInterPMb) {
+        count = kPartCount[rec.part_mode];
+        MotionVector chain = median_pred(st.mbx, st.mby);
+        for (int p = 0; p < count; ++p) {
+            parts[p] = kPartGeom[rec.part_mode][p];
+            MotionVector mv{
+                static_cast<s16>(chain.x + rec.mvd[p][0]),
+                static_cast<s16>(chain.y + rec.mvd[p][1])};
+            mv = clamp_mv(mv, lx + parts[p].x, ly + parts[p].y,
+                          parts[p].w, parts[p].h);
+            parts[p].mv = mv;
+            chain = mv;
+        }
+        binfo_ref = static_cast<s8>(rec.ref);
+        const Frame &ref = ref_frame(rec.ref);
+        for (int p = 0; p < count; ++p) {
+            const Partition &part = parts[p];
+            mc_h264_luma(ref.luma(), lx + part.x, ly + part.y, part.mv,
+                         luma_pred + part.y * 16 + part.x, 16, part.w,
+                         part.h, dsp_);
+            mc_h264_chroma(ref.cb(), st.mbx * 8 + part.x / 2,
+                           st.mby * 8 + part.y / 2, part.mv,
+                           cb_pred + (part.y / 2) * 8 + part.x / 2, 8,
+                           part.w / 2, part.h / 2);
+            mc_h264_chroma(ref.cr(), st.mbx * 8 + part.x / 2,
+                           st.mby * 8 + part.y / 2, part.mv,
+                           cr_pred + (part.y / 2) * 8 + part.x / 2, 8,
+                           part.w / 2, part.h / 2);
+        }
+    } else {
+        const int mode = rec.b_mode;
+        MotionVector fmv{}, bmv{};
+        if (mode != kBBwd) {
+            fmv = {static_cast<s16>(st.left_fwd.x + rec.mvd[0][0]),
+                   static_cast<s16>(st.left_fwd.y + rec.mvd[0][1])};
+            fmv = clamp_mv(fmv, lx, ly, 16, 16);
+        }
+        if (mode != kBFwd) {
+            bmv = {static_cast<s16>(st.left_bwd.x + rec.mvd[1][0]),
+                   static_cast<s16>(st.left_bwd.y + rec.mvd[1][1])};
+            bmv = clamp_mv(bmv, lx, ly, 16, 16);
+        }
+        const Frame &fwd_ref = dpb_[dpb_.size() - 2];
+        const Frame &bwd_ref = dpb_.back();
+        if (mode == kBFwd) {
+            mc_h264_luma(fwd_ref.luma(), lx, ly, fmv, luma_pred, 16, 16,
+                         16, dsp_);
+            mc_h264_chroma(fwd_ref.cb(), st.mbx * 8, st.mby * 8, fmv,
+                           cb_pred, 8, 8, 8);
+            mc_h264_chroma(fwd_ref.cr(), st.mbx * 8, st.mby * 8, fmv,
+                           cr_pred, 8, 8, 8);
+        } else if (mode == kBBwd) {
+            mc_h264_luma(bwd_ref.luma(), lx, ly, bmv, luma_pred, 16, 16,
+                         16, dsp_);
+            mc_h264_chroma(bwd_ref.cb(), st.mbx * 8, st.mby * 8, bmv,
+                           cb_pred, 8, 8, 8);
+            mc_h264_chroma(bwd_ref.cr(), st.mbx * 8, st.mby * 8, bmv,
+                           cr_pred, 8, 8, 8);
+        } else {
+            Pixel fb[16 * 16], bb[16 * 16], fc[8 * 8], bc[8 * 8];
+            mc_h264_luma(fwd_ref.luma(), lx, ly, fmv, fb, 16, 16, 16,
+                         dsp_);
+            mc_h264_luma(bwd_ref.luma(), lx, ly, bmv, bb, 16, 16, 16,
+                         dsp_);
+            dsp_.avg_rect(luma_pred, 16, fb, 16, bb, 16, 16, 16);
+            mc_h264_chroma(fwd_ref.cb(), st.mbx * 8, st.mby * 8, fmv,
+                           fc, 8, 8, 8);
+            mc_h264_chroma(bwd_ref.cb(), st.mbx * 8, st.mby * 8, bmv,
+                           bc, 8, 8, 8);
+            dsp_.avg_rect(cb_pred, 8, fc, 8, bc, 8, 8, 8);
+            mc_h264_chroma(fwd_ref.cr(), st.mbx * 8, st.mby * 8, fmv,
+                           fc, 8, 8, 8);
+            mc_h264_chroma(bwd_ref.cr(), st.mbx * 8, st.mby * 8, bmv,
+                           bc, 8, 8, 8);
+            dsp_.avg_rect(cr_pred, 8, fc, 8, bc, 8, 8, 8);
+        }
+        parts[0] = kPartGeom[kPart16x16][0];
+        parts[0].mv = mode == kBBwd ? bmv : fmv;
+        st.left_fwd = mode == kBBwd ? MotionVector{} : fmv;
+        st.left_bwd = mode == kBFwd ? MotionVector{} : bmv;
+    }
+
+    // Residual add, shared for P and B.
+    Plane &luma = st.frame->luma();
+    u16 nz_map = 0;
+    for (int b = 0; b < 16; ++b) {
+        const int x = lx + (b & 3) * 4;
+        const int y = ly + (b >> 2) * 4;
+        Pixel *dst = luma.row(y) + x;
+        dsp_.copy_rect(dst, luma.stride(),
+                       luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16,
+                       4, 4);
+        recon4x4(dsp_, rec.luma[b], *quant_p_, INT32_MIN, dst,
+                 luma.stride());
+        for (int i = 0; i < 16; ++i) {
+            if (rec.luma[b][i] != 0) {
+                nz_map |= 1u << b;
+                break;
+            }
+        }
+    }
+    for (int comp = 1; comp < 3; ++comp) {
+        Plane &plane = st.frame->plane(comp);
+        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
+        for (int b = 0; b < 4; ++b) {
+            const int x = st.mbx * 8 + (b & 1) * 4;
+            const int y = st.mby * 8 + (b >> 1) * 4;
+            Pixel *dst = plane.row(y) + x;
+            dsp_.copy_rect(dst, plane.stride(),
+                           pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, 4,
+                           4);
+            recon4x4(dsp_, rec.chroma[comp - 1][b], *quant_p_,
+                     INT32_MIN, dst, plane.stride());
+        }
+    }
+
+    if (rec.kind == MbRec::kInterPMb) {
+        fill_binfo(st, false, binfo_ref, parts, count, nz_map);
+        mv_grid_[st.mby * mb_w_ + st.mbx] = parts[0].mv;
+    } else {
+        fill_binfo(st, false, 0, parts, 1, nz_map);
+    }
+}
+
 Status
 H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
 {
@@ -628,26 +1052,98 @@ H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
-    MbState st{};
-    st.frame = out;
-    st.type = type;
+    struct RowResult {
+        bool ok = false;
+        int bad_from = 0;
+    };
+    std::vector<RowResult> rows(static_cast<size_t>(mb_h_));
+
+    if (pool_ != nullptr) {
+        // Two-phase parallel decode (see the file comment). Map each
+        // surviving marker to its row's byte segment first.
+        std::vector<std::pair<size_t, size_t>> segments(
+            static_cast<size_t>(mb_h_), {0, 0});
+        for (size_t i = 0; i < markers.size(); ++i) {
+            const size_t begin = markers[i].pos + 4;
+            const size_t end = i + 1 < markers.size()
+                                   ? markers[i + 1].pos
+                                   : packet.data.size();
+            segments[static_cast<size_t>(markers[i].row)] = {begin, end};
+        }
+        records_.resize(static_cast<size_t>(mb_w_) * mb_h_);
+
+        // Phase 1: rows are independent entropy chunks — parse them
+        // all concurrently.
+        parallel_for(*pool_, mb_h_, [&](int mby, int) {
+            const auto &seg = segments[static_cast<size_t>(mby)];
+            if (seg.second <= seg.first)
+                return;
+            const std::vector<u8> row = unescape_emulation(
+                packet.data.data() + seg.first, seg.second - seg.first);
+            RowResult &r = rows[static_cast<size_t>(mby)];
+            r.ok = parse_resilient_row(row, out->luma(), type, mby,
+                                       records_.data() + mby * mb_w_,
+                                       &r.bad_from);
+        });
+
+        // Phase 2: reconstruct in wavefront order — intra prediction
+        // and spatial concealment read pixels from the row above, so
+        // row y-1 must be complete through column x+1 before MB (x, y)
+        // runs (same lag as the encoder's analysis wavefront).
+        WavefrontScheduler wf(mb_h_, mb_w_);
+        parallel_for(*pool_, mb_h_, [&](int mby, int) {
+            WavefrontRowGuard guard(wf, mby);
+            MbState st{};
+            st.frame = out;
+            st.type = type;
+            st.mby = mby;
+            const RowResult &r = rows[static_cast<size_t>(mby)];
+            const int good = r.ok ? mb_w_ : r.bad_from;
+            const Partition part16 = kPartGeom[kPart16x16][0];
+            for (int mbx = 0; mbx < mb_w_; ++mbx) {
+                wf.wait_above(mby, mbx);
+                st.mbx = mbx;
+                if (mbx < good) {
+                    recon_mb_rec(st, records_[mby * mb_w_ + mbx]);
+                } else if (type == PictureType::kI || dpb_.empty()) {
+                    conceal_mb_dc(out, mbx, mby);
+                    fill_binfo(st, true, -1, nullptr, 0, 0);
+                    mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
+                } else {
+                    conceal_mb_from_ref(out, dpb_.back(), mbx, mby);
+                    fill_binfo(st, false, 0, &part16, 1, 0);
+                    mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
+                }
+                wf.publish(mby, mbx + 1);
+            }
+        });
+    } else {
+        MbState st{};
+        st.frame = out;
+        st.type = type;
+        size_t k = 0;
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            RowResult &r = rows[static_cast<size_t>(mby)];
+            if (k < markers.size() && markers[k].row == mby) {
+                const size_t begin = markers[k].pos + 4;
+                const size_t end = k + 1 < markers.size()
+                                       ? markers[k + 1].pos
+                                       : packet.data.size();
+                const std::vector<u8> row = unescape_emulation(
+                    packet.data.data() + begin, end - begin);
+                r.ok = decode_resilient_row(st, row, mby, &r.bad_from);
+                ++k;
+            }
+            if (!r.ok)
+                conceal_row(out, type, r.bad_from, mby);
+        }
+    }
+
     bool any_ok = false;
     bool in_error = false;
-    size_t k = 0;
     for (int mby = 0; mby < mb_h_; ++mby) {
-        int bad_from = 0;
-        bool ok = false;
-        if (k < markers.size() && markers[k].row == mby) {
-            const size_t begin = markers[k].pos + 4;
-            const size_t end = k + 1 < markers.size()
-                                   ? markers[k + 1].pos
-                                   : packet.data.size();
-            const std::vector<u8> row = unescape_emulation(
-                packet.data.data() + begin, end - begin);
-            ok = decode_resilient_row(st, row, mby, &bad_from);
-            ++k;
-        }
-        if (ok) {
+        const RowResult &r = rows[static_cast<size_t>(mby)];
+        if (r.ok) {
             if (in_error) {
                 ++stats_.resyncs;
                 in_error = false;
@@ -655,8 +1151,7 @@ H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
             any_ok = true;
         } else {
             in_error = true;
-            conceal_row(out, type, bad_from, mby);
-            stats_.mbs_concealed += mb_w_ - bad_from;
+            stats_.mbs_concealed += mb_w_ - r.bad_from;
         }
     }
     quant_i_ = quant_p_ = nullptr;

@@ -5,18 +5,29 @@
  * multiple reference pictures (`--ref`), Intra4/Intra16 prediction,
  * 4x4 integer transform, in-loop deblocking and adaptive binary range
  * coding.
+ *
+ * Like the MPEG encoders, encoding is split into an analysis phase
+ * (all decisions, quantised levels and the reconstruction, wavefront-
+ * parallel across MB rows when CodecConfig::threads > 1) and a serial
+ * write phase that replays per-MB records through the adaptive range
+ * coder in raster order. The range coder is inherently sequential —
+ * every bin shifts the context models — so it lives entirely in the
+ * replay, which emits the identical bit sequence for any thread count.
  */
 #include "h264/h264.h"
 
 #include <cmath>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_writer.h"
 #include "bitstream/resync.h"
 #include "codec/codec.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/wavefront.h"
 #include "dsp/quant.h"
 #include "dsp/transform4x4.h"
 #include "h264/cabac_syntax.h"
@@ -65,7 +76,11 @@ class H264Encoder final : public EncoderBase
           mb_h_(cfg.height / 16),
           binfo_(cfg.width, cfg.height),
           mv_grid_(static_cast<size_t>(mb_w_) * mb_h_),
-          anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_)
+          anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
+          records_(static_cast<size_t>(mb_w_) * mb_h_),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -76,27 +91,67 @@ class H264Encoder final : public EncoderBase
                                    PictureType type) override;
 
   private:
-    struct MbContext {
-        const Frame *src;
-        PictureType type;
-        int mbx;
-        int mby;
-        MotionVector left_fwd;  ///< B-picture MV chains
+    /** Everything the serial write phase needs to replay one MB
+     * through the range coder. */
+    struct MbRecord {
+        enum Kind : u8 { kSkip, kIntra, kInterP, kInterB };
+        Kind kind = kIntra;
+        // intra
+        bool use_i4 = false;
+        u8 i16_mode = 0;       ///< Intra16Mode
+        u8 i4_modes[16] = {};  ///< Intra4Mode per 4x4 block
+        // inter (P)
+        u8 part_mode = 0;
+        u8 ref = 0;
+        MotionVector part_mv[4];
+        MotionVector pred_mv;  ///< median predictor, MVD chain start
+        // inter (B)
+        u8 b_mode = 0;
+        MotionVector fmv;
+        MotionVector bmv;
+        // residual levels as quantised by the analysis phase
+        Coeff dc_levels[16] = {};      ///< intra16 Hadamard DC
+        Coeff luma[16][16] = {};
+        Coeff chroma[2][4][16] = {};
+    };
+
+    /** Analysis-side row-scoped B-picture MV chains. */
+    struct RowState {
+        MotionVector left_fwd;
         MotionVector left_bwd;
     };
 
-    void encode_mb(MbContext &ctx);
-    void encode_intra_mb(MbContext &ctx, bool write_intra_flag);
-    void code_luma_intra16(MbContext &ctx, Intra16Mode mode);
-    void code_luma_intra4(MbContext &ctx);
-    /** Transform + quantise + entropy-code + reconstruct the MB's
-     * residual against @p pred (luma 16x16 + chroma 8x8 pair).
-     * Returns true if any coefficient was coded. */
-    bool code_inter_residual(MbContext &ctx, const Pixel *luma_pred,
-                             const Pixel *cb_pred, const Pixel *cr_pred,
-                             bool dry_run);
-    void code_chroma(MbContext &ctx, const Pixel *cb_pred,
-                     const Pixel *cr_pred, bool intra);
+    void analyze_picture(const Frame &src, PictureType type);
+    void analyze_mb(RowState &rs, const Frame &src, PictureType type,
+                    int mbx, int mby, MbRecord &rec);
+    void analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                          int mby, MbRecord &rec);
+    u16 analyze_luma_intra16(const Frame &src, int mbx, int mby,
+                             MbRecord &rec);
+    u16 analyze_luma_intra4(const Frame &src, int mbx, int mby,
+                            MbRecord &rec);
+    void analyze_chroma(const Frame &src, int mbx, int mby, bool intra,
+                        const Pixel *cb_pred, const Pixel *cr_pred,
+                        MbRecord &rec);
+    /** Transform + quantise the inter residual into @p rec and return
+     * whether any coefficient is nonzero; @p nz_map gets the per-4x4
+     * luma nonzero map. Does not touch the reconstruction. */
+    bool quantize_inter_residual(const Frame &src, int mbx, int mby,
+                                 const Pixel *luma_pred,
+                                 const Pixel *cb_pred,
+                                 const Pixel *cr_pred, MbRecord &rec,
+                                 u16 *nz_map);
+    void recon_inter_mb(int mbx, int mby, const Pixel *luma_pred,
+                        const Pixel *cb_pred, const Pixel *cr_pred,
+                        const MbRecord &rec);
+
+    /** Write-side replay of one record (see the file comment). */
+    struct WriteChains {
+        MotionVector left_fwd;
+        MotionVector left_bwd;
+    };
+    void write_mb(RangeEncoder &rc, WriteChains &wc,
+                  const MbRecord &rec, PictureType type);
 
     MotionVector median_pred(int mbx, int mby) const;
     MeResult estimate(const Frame &src, const Plane &ref, int x0, int y0,
@@ -105,7 +160,7 @@ class H264Encoder final : public EncoderBase
     void predict_inter_luma(const Plane &ref, int mbx, int mby,
                             const Partition *parts, int count,
                             Pixel luma[16 * 16]) const;
-    void fill_binfo(MbContext &ctx, bool intra, s8 ref,
+    void fill_binfo(int mbx, int mby, bool intra, s8 ref,
                     const Partition *parts, int count, u16 nz_map);
 
     const Frame &ref_frame(int ref_idx) const;
@@ -123,8 +178,8 @@ class H264Encoder final : public EncoderBase
     std::vector<MotionVector> anchor_mvs_;  ///< full-pel collocated
     Frame recon_;
     Contexts ctx_models_;
-    RangeEncoder *rc_ = nullptr;
-    u16 mb_nz_map_ = 0;  ///< per-4x4 nonzero map of the current MB
+    std::vector<MbRecord> records_;   ///< one per MB, raster order
+    std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
 };
 
 const Frame &
@@ -188,11 +243,11 @@ H264Encoder::predict_inter_luma(const Plane &ref, int mbx, int mby,
 }
 
 void
-H264Encoder::fill_binfo(MbContext &ctx, bool intra, s8 ref,
+H264Encoder::fill_binfo(int mbx, int mby, bool intra, s8 ref,
                         const Partition *parts, int count, u16 nz_map)
 {
-    const int bx0 = ctx.mbx * 4;
-    const int by0 = ctx.mby * 4;
+    const int bx0 = mbx * 4;
+    const int by0 = mby * 4;
     for (int by = 0; by < 4; ++by) {
         for (int bx = 0; bx < 4; ++bx) {
             BlockInfo &info = binfo_.at(bx0 + bx, by0 + by);
@@ -214,7 +269,7 @@ H264Encoder::fill_binfo(MbContext &ctx, bool intra, s8 ref,
     }
 }
 
-// ---- residual coding ----
+// ---- residual helpers ----
 
 namespace {
 
@@ -252,24 +307,24 @@ recon4x4(const Dsp &dsp, const Coeff levels[16],
 }  // namespace
 
 void
-H264Encoder::code_chroma(MbContext &ctx, const Pixel *cb_pred,
-                         const Pixel *cr_pred, bool intra)
+H264Encoder::analyze_chroma(const Frame &src, int mbx, int mby,
+                            bool intra, const Pixel *cb_pred,
+                            const Pixel *cr_pred, MbRecord &rec)
 {
     const H264Quantizer &quant = intra ? quant_i_ : quant_p_;
     for (int comp = 1; comp < 3; ++comp) {
-        const Plane &src_plane = ctx.src->plane(comp);
+        const Plane &src_plane = src.plane(comp);
         Plane &rec_plane = recon_.plane(comp);
         const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
-        const int cx = ctx.mbx * 8;
-        const int cy = ctx.mby * 8;
+        const int cx = mbx * 8;
+        const int cy = mby * 8;
         for (int b = 0; b < 4; ++b) {
             const int x = cx + (b & 1) * 4;
             const int y = cy + (b >> 1) * 4;
-            Coeff blk[16];
+            Coeff *blk = rec.chroma[comp - 1][b];
             const Pixel *pp = pred + (b >> 1) * 4 * 8 + (b & 1) * 4;
             transform_quant4x4(dsp_, src_plane, x, y, pp, 8, quant, blk,
                                nullptr);
-            encode_block4x4(*rc_, ctx_models_, blk, 0, 1);
             Pixel *dst = rec_plane.row(y) + x;
             dsp_.copy_rect(dst, rec_plane.stride(), pp, 8, 4, 4);
             recon4x4(dsp_, blk, quant, INT32_MIN, dst,
@@ -278,74 +333,65 @@ H264Encoder::code_chroma(MbContext &ctx, const Pixel *cb_pred,
     }
 }
 
-void
-H264Encoder::code_luma_intra16(MbContext &ctx, Intra16Mode mode)
+u16
+H264Encoder::analyze_luma_intra16(const Frame &src, int mbx, int mby,
+                                  MbRecord &rec)
 {
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
     Pixel pred[16 * 16];
-    predict_intra16(recon_.luma(), lx, ly, mode, pred, 16);
-
-    // Mode bins.
-    rc_->encode_bit(ctx_models_.intra16_mode[0],
-                    (static_cast<int>(mode) >> 1) & 1);
-    rc_->encode_bit(ctx_models_.intra16_mode[1],
-                    static_cast<int>(mode) & 1);
+    predict_intra16(recon_.luma(), lx, ly,
+                    static_cast<Intra16Mode>(rec.i16_mode), pred, 16);
 
     // Transform all 16 blocks; pull the DCs through the Hadamard.
-    Coeff levels[16][16];
     s32 dc[16];
     for (int b = 0; b < 16; ++b) {
         Coeff dc_c;
         const int x = lx + (b & 3) * 4;
         const int y = ly + (b >> 2) * 4;
-        transform_quant4x4(dsp_, ctx.src->luma(), x, y,
+        transform_quant4x4(dsp_, src.luma(), x, y,
                            pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16,
-                           quant_i_, levels[b], &dc_c);
+                           quant_i_, rec.luma[b], &dc_c);
         dc[b] = dc_c;
     }
     hadamard4x4_fwd(dc);
-    Coeff dc_levels[16];
     for (int b = 0; b < 16; ++b)
-        dc_levels[b] = quant_i_.quantize_dc(dc[b]);
-
-    // Entropy: DC block then the 15-coefficient AC blocks.
-    encode_block4x4(*rc_, ctx_models_, dc_levels, 0, 2);
-    for (int b = 0; b < 16; ++b)
-        encode_block4x4(*rc_, ctx_models_, levels[b], 1, 0);
+        rec.dc_levels[b] = quant_i_.quantize_dc(dc[b]);
 
     // Reconstruction.
     s32 dc_rec[16];
     bool dc_nz = false;
     for (int b = 0; b < 16; ++b) {
-        dc_rec[b] = quant_i_.dequantize_dc(dc_levels[b]);
-        dc_nz |= dc_levels[b] != 0;
+        dc_rec[b] = quant_i_.dequantize_dc(rec.dc_levels[b]);
+        dc_nz |= rec.dc_levels[b] != 0;
     }
     hadamard4x4_inv(dc_rec);
-    mb_nz_map_ = 0;
+    u16 nz_map = 0;
     for (int b = 0; b < 16; ++b) {
         const int x = lx + (b & 3) * 4;
         const int y = ly + (b >> 2) * 4;
         Pixel *dst = recon_.luma().row(y) + x;
         dsp_.copy_rect(dst, recon_.luma().stride(),
                        pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16, 4, 4);
-        recon4x4(dsp_, levels[b], quant_i_, (dc_rec[b] + 8) >> 4, dst,
+        recon4x4(dsp_, rec.luma[b], quant_i_, (dc_rec[b] + 8) >> 4, dst,
                  recon_.luma().stride());
         bool nz = dc_nz;
         for (int i = 1; i < 16; ++i)
-            nz |= levels[b][i] != 0;
+            nz |= rec.luma[b][i] != 0;
         if (nz)
-            mb_nz_map_ |= 1u << b;
+            nz_map |= 1u << b;
     }
+    return nz_map;
 }
 
-void
-H264Encoder::code_luma_intra4(MbContext &ctx)
+u16
+H264Encoder::analyze_luma_intra4(const Frame &src, int mbx, int mby,
+                                 MbRecord &rec)
 {
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
-    const Plane &src_luma = ctx.src->luma();
-    mb_nz_map_ = 0;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    const Plane &src_luma = src.luma();
+    u16 nz_map = 0;
     for (int b = 0; b < 16; ++b) {
         const int x = lx + (b & 3) * 4;
         const int y = ly + (b >> 2) * 4;
@@ -366,36 +412,30 @@ H264Encoder::code_luma_intra4(MbContext &ctx)
                 best_mode = mode;
             }
         }
-        rc_->encode_bit(ctx_models_.intra4_mode[0],
-                        (static_cast<int>(best_mode) >> 2) & 1);
-        rc_->encode_bit(ctx_models_.intra4_mode[1],
-                        (static_cast<int>(best_mode) >> 1) & 1);
-        rc_->encode_bit(ctx_models_.intra4_mode[2],
-                        static_cast<int>(best_mode) & 1);
+        rec.i4_modes[b] = static_cast<u8>(best_mode);
 
         predict_intra4(recon_.luma(), x, y, best_mode, pred, 4);
-        Coeff blk[16];
         const int nz = transform_quant4x4(dsp_, src_luma, x, y, pred, 4,
-                                          quant_i_, blk, nullptr);
-        encode_block4x4(*rc_, ctx_models_, blk, 0, 0);
+                                          quant_i_, rec.luma[b],
+                                          nullptr);
         Pixel *dst = recon_.luma().row(y) + x;
         dsp_.copy_rect(dst, recon_.luma().stride(), pred, 4, 4, 4);
-        recon4x4(dsp_, blk, quant_i_, INT32_MIN, dst,
+        recon4x4(dsp_, rec.luma[b], quant_i_, INT32_MIN, dst,
                  recon_.luma().stride());
         if (nz != 0)
-            mb_nz_map_ |= 1u << b;
+            nz_map |= 1u << b;
     }
+    return nz_map;
 }
 
 void
-H264Encoder::encode_intra_mb(MbContext &ctx, bool write_intra_flag)
+H264Encoder::analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                              int mby, MbRecord &rec)
 {
-    if (write_intra_flag)
-        rc_->encode_bit(ctx_models_.mb_intra, 1);
-
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
-    const Plane &src_luma = ctx.src->luma();
+    rec.kind = MbRecord::kIntra;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    const Plane &src_luma = src.luma();
 
     // Choose Intra16 mode by SATD.
     Intra16Mode best16 = kI16Dc;
@@ -439,44 +479,118 @@ H264Encoder::encode_intra_mb(MbContext &ctx, bool write_intra_flag)
         use_i4 = cost4 < cost16;
     }
 
-    rc_->encode_bit(ctx_models_.intra4_flag, use_i4 ? 1 : 0);
-    if (use_i4)
-        code_luma_intra4(ctx);
-    else
-        code_luma_intra16(ctx, best16);
+    rec.use_i4 = use_i4;
+    rec.i16_mode = static_cast<u8>(best16);
+    const u16 nz_map = use_i4 ? analyze_luma_intra4(src, mbx, mby, rec)
+                              : analyze_luma_intra16(src, mbx, mby, rec);
 
     Pixel cb_pred[8 * 8], cr_pred[8 * 8];
-    predict_chroma_dc(recon_.cb(), ctx.mbx * 8, ctx.mby * 8, cb_pred, 8);
-    predict_chroma_dc(recon_.cr(), ctx.mbx * 8, ctx.mby * 8, cr_pred, 8);
-    code_chroma(ctx, cb_pred, cr_pred, true);
+    predict_chroma_dc(recon_.cb(), mbx * 8, mby * 8, cb_pred, 8);
+    predict_chroma_dc(recon_.cr(), mbx * 8, mby * 8, cr_pred, 8);
+    analyze_chroma(src, mbx, mby, true, cb_pred, cr_pred, rec);
 
-    fill_binfo(ctx, true, -1, nullptr, 0, mb_nz_map_);
-    mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
-    ctx.left_fwd = ctx.left_bwd = MotionVector{};
+    fill_binfo(mbx, mby, true, -1, nullptr, 0, nz_map);
+    mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
+    rs.left_fwd = rs.left_bwd = MotionVector{};
+}
+
+bool
+H264Encoder::quantize_inter_residual(const Frame &src, int mbx, int mby,
+                                     const Pixel *luma_pred,
+                                     const Pixel *cb_pred,
+                                     const Pixel *cr_pred, MbRecord &rec,
+                                     u16 *nz_map)
+{
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    bool any = false;
+    *nz_map = 0;
+    for (int b = 0; b < 16; ++b) {
+        const int x = lx + (b & 3) * 4;
+        const int y = ly + (b >> 2) * 4;
+        const int nz = transform_quant4x4(
+            dsp_, src.luma(), x, y,
+            luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16, quant_p_,
+            rec.luma[b], nullptr);
+        if (nz != 0) {
+            any = true;
+            *nz_map |= 1u << b;
+        }
+    }
+
+    // Chroma residual (evaluated for the skip test as well).
+    for (int comp = 1; comp < 3; ++comp) {
+        const Plane &src_plane = src.plane(comp);
+        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
+        for (int b = 0; b < 4; ++b) {
+            const int x = mbx * 8 + (b & 1) * 4;
+            const int y = mby * 8 + (b >> 1) * 4;
+            const int nz = transform_quant4x4(
+                dsp_, src_plane, x, y,
+                pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, quant_p_,
+                rec.chroma[comp - 1][b], nullptr);
+            any |= nz != 0;
+        }
+    }
+    return any;
 }
 
 void
-H264Encoder::encode_mb(MbContext &ctx)
+H264Encoder::recon_inter_mb(int mbx, int mby, const Pixel *luma_pred,
+                            const Pixel *cb_pred, const Pixel *cr_pred,
+                            const MbRecord &rec)
+{
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
+    for (int b = 0; b < 16; ++b) {
+        const int x = lx + (b & 3) * 4;
+        const int y = ly + (b >> 2) * 4;
+        Pixel *dst = recon_.luma().row(y) + x;
+        dsp_.copy_rect(dst, recon_.luma().stride(),
+                       luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16,
+                       4, 4);
+        recon4x4(dsp_, rec.luma[b], quant_p_, INT32_MIN, dst,
+                 recon_.luma().stride());
+    }
+    for (int comp = 1; comp < 3; ++comp) {
+        Plane &rec_plane = recon_.plane(comp);
+        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
+        for (int b = 0; b < 4; ++b) {
+            const int x = mbx * 8 + (b & 1) * 4;
+            const int y = mby * 8 + (b >> 1) * 4;
+            Pixel *dst = rec_plane.row(y) + x;
+            dsp_.copy_rect(dst, rec_plane.stride(),
+                           pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, 4,
+                           4);
+            recon4x4(dsp_, rec.chroma[comp - 1][b], quant_p_, INT32_MIN,
+                     dst, rec_plane.stride());
+        }
+    }
+}
+
+void
+H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
+                        int mbx, int mby, MbRecord &rec)
 {
     const CodecConfig &cfg = config();
-    const Plane &src_luma = ctx.src->luma();
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    const Plane &src_luma = src.luma();
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
 
-    if (ctx.type == PictureType::kI) {
-        encode_intra_mb(ctx, /*write_intra_flag=*/false);
+    if (type == PictureType::kI) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
         return;
     }
 
     // ---- inter candidates ----
-    const MotionVector pred_mv = median_pred(ctx.mbx, ctx.mby);
+    const MotionVector pred_mv = median_pred(mbx, mby);
     std::vector<MotionVector> cands;
     cands.reserve(4);
-    const int idx = ctx.mby * mb_w_ + ctx.mbx;
-    if (ctx.mbx > 0)
+    const int idx = mby * mb_w_ + mbx;
+    if (mbx > 0)
         cands.push_back({static_cast<s16>(mv_grid_[idx - 1].x >> 2),
                          static_cast<s16>(mv_grid_[idx - 1].y >> 2)});
-    if (ctx.mby > 0)
+    if (mby > 0)
         cands.push_back(
             {static_cast<s16>(mv_grid_[idx - mb_w_].x >> 2),
              static_cast<s16>(mv_grid_[idx - mb_w_].y >> 2)});
@@ -497,15 +611,15 @@ H264Encoder::encode_mb(MbContext &ctx)
     }
     intra_cost += (me_.params().lambda16 * 32) >> 4;
 
-    if (ctx.type == PictureType::kP) {
+    if (type == PictureType::kP) {
         // 16x16 over every reference.
         const int nrefs =
             clamp<int>(static_cast<int>(dpb_.size()), 1, cfg.refs);
         MeResult best16;
         int best_ref = 0;
         for (int r = 0; r < nrefs; ++r) {
-            MeResult res = estimate(*ctx.src, ref_frame(r).luma(), lx,
-                                    ly, 16, 16, pred_mv, cands);
+            MeResult res = estimate(src, ref_frame(r).luma(), lx, ly,
+                                    16, 16, pred_mv, cands);
             res.cost += (me_.params().lambda16 * 2 * r) >> 4;
             if (res.cost < best16.cost) {
                 best16 = res;
@@ -530,9 +644,8 @@ H264Encoder::encode_mb(MbContext &ctx)
                 for (int p = 0; p < count && cost < best_cost; ++p) {
                     trial[p] = kPartGeom[mode][p];
                     const MeResult r = estimate(
-                        *ctx.src, ref_luma, lx + trial[p].x,
-                        ly + trial[p].y, trial[p].w, trial[p].h,
-                        best16.mv, sub_cands);
+                        src, ref_luma, lx + trial[p].x, ly + trial[p].y,
+                        trial[p].w, trial[p].h, best16.mv, sub_cands);
                     trial[p].mv = r.mv;
                     cost += r.cost;
                 }
@@ -546,67 +659,62 @@ H264Encoder::encode_mb(MbContext &ctx)
         }
 
         if (intra_cost < best_cost) {
-            rc_->encode_bit(ctx_models_.mb_skip, 0);
-            encode_intra_mb(ctx, /*write_intra_flag=*/true);
+            analyze_intra_mb(rs, src, mbx, mby, rec);
             return;
         }
 
         // Build the prediction and quantise the residual.
         Pixel luma_pred[16 * 16], cb_pred[8 * 8], cr_pred[8 * 8];
         const int count = kPartCount[best_mode];
-        predict_inter_luma(ref_luma, ctx.mbx, ctx.mby, parts, count,
-                           luma_pred);
+        predict_inter_luma(ref_luma, mbx, mby, parts, count, luma_pred);
         {
             // Chroma from the partition MVs.
             const Frame &ref = ref_frame(best_ref);
             for (int p = 0; p < count; ++p) {
                 const Partition &part = parts[p];
-                mc_h264_chroma(ref.cb(),
-                               ctx.mbx * 8 + part.x / 2,
-                               ctx.mby * 8 + part.y / 2, part.mv,
+                mc_h264_chroma(ref.cb(), mbx * 8 + part.x / 2,
+                               mby * 8 + part.y / 2, part.mv,
                                cb_pred + (part.y / 2) * 8 + part.x / 2,
                                8, part.w / 2, part.h / 2);
-                mc_h264_chroma(ref.cr(),
-                               ctx.mbx * 8 + part.x / 2,
-                               ctx.mby * 8 + part.y / 2, part.mv,
+                mc_h264_chroma(ref.cr(), mbx * 8 + part.x / 2,
+                               mby * 8 + part.y / 2, part.mv,
                                cr_pred + (part.y / 2) * 8 + part.x / 2,
                                8, part.w / 2, part.h / 2);
             }
         }
 
+        u16 nz_map = 0;
+        const bool any = quantize_inter_residual(
+            src, mbx, mby, luma_pred, cb_pred, cr_pred, rec, &nz_map);
+
         // Skip test: 16x16, ref 0, MV == predictor, zero residual.
         const bool skip_candidate = best_mode == kPart16x16 &&
                                     best_ref == 0 &&
                                     parts[0].mv == pred_mv;
-        if (skip_candidate &&
-            !code_inter_residual(ctx, luma_pred, cb_pred, cr_pred,
-                                 /*dry_run=*/true)) {
-            rc_->encode_bit(ctx_models_.mb_skip, 1);
-            // Reconstruction = prediction (written by the dry run).
-            fill_binfo(ctx, false, 0, parts, 1, 0);
+        if (skip_candidate && !any) {
+            rec.kind = MbRecord::kSkip;
+            // Reconstruction = prediction.
+            dsp_.copy_rect(recon_.luma().row(ly) + lx,
+                           recon_.luma().stride(), luma_pred, 16, 16,
+                           16);
+            dsp_.copy_rect(recon_.cb().row(mby * 8) + mbx * 8,
+                           recon_.cb().stride(), cb_pred, 8, 8, 8);
+            dsp_.copy_rect(recon_.cr().row(mby * 8) + mbx * 8,
+                           recon_.cr().stride(), cr_pred, 8, 8, 8);
+            fill_binfo(mbx, mby, false, 0, parts, 1, 0);
             mv_grid_[idx] = parts[0].mv;
             return;
         }
 
-        rc_->encode_bit(ctx_models_.mb_skip, 0);
-        rc_->encode_bit(ctx_models_.mb_intra, 0);
-        rc_->encode_bit(ctx_models_.part_mode[0], best_mode >> 1);
-        rc_->encode_bit(ctx_models_.part_mode[1], best_mode & 1);
-        if (cfg.refs > 1) {
-            encode_ref_idx(*rc_, ctx_models_, best_ref,
-                           clamp<int>(static_cast<int>(dpb_.size()), 1,
-                                      cfg.refs));
-        }
-        MotionVector chain = pred_mv;
-        for (int p = 0; p < count; ++p) {
-            encode_mvd(*rc_, ctx_models_, 0, parts[p].mv.x - chain.x);
-            encode_mvd(*rc_, ctx_models_, 1, parts[p].mv.y - chain.y);
-            chain = parts[p].mv;
-        }
-        code_inter_residual(ctx, luma_pred, cb_pred, cr_pred,
-                            /*dry_run=*/false);
-        fill_binfo(ctx, false, static_cast<s8>(best_ref), parts, count,
-                   mb_nz_map_);
+        rec.kind = MbRecord::kInterP;
+        rec.part_mode = static_cast<u8>(best_mode);
+        rec.ref = static_cast<u8>(best_ref);
+        rec.pred_mv = pred_mv;
+        for (int p = 0; p < count; ++p)
+            rec.part_mv[p] = parts[p].mv;
+        recon_inter_mb(mbx, mby, luma_pred, cb_pred, cr_pred, rec);
+        fill_binfo(mbx, mby, false, static_cast<s8>(best_ref), parts,
+                   count, nz_map);
         mv_grid_[idx] = parts[0].mv;
         return;
     }
@@ -614,10 +722,10 @@ H264Encoder::encode_mb(MbContext &ctx)
     // ---- B picture: 16x16 fwd/bwd/bi (+ intra) ----
     const Frame &fwd_ref = dpb_[dpb_.size() - 2];
     const Frame &bwd_ref = dpb_.back();
-    const MeResult fwd = estimate(*ctx.src, fwd_ref.luma(), lx, ly, 16,
-                                  16, ctx.left_fwd, cands);
-    const MeResult bwd = estimate(*ctx.src, bwd_ref.luma(), lx, ly, 16,
-                                  16, ctx.left_bwd, cands);
+    const MeResult fwd = estimate(src, fwd_ref.luma(), lx, ly, 16, 16,
+                                  rs.left_fwd, cands);
+    const MeResult bwd = estimate(src, bwd_ref.luma(), lx, ly, 16, 16,
+                                  rs.left_bwd, cands);
 
     Pixel fbuf[16 * 16], bbuf[16 * 16], bibuf[16 * 16];
     mc_h264_luma(fwd_ref.luma(), lx, ly, fwd.mv, fbuf, 16, 16, 16, dsp_);
@@ -628,8 +736,8 @@ H264Encoder::encode_mb(MbContext &ctx)
                                       16);
     const int bi_cost =
         bi_sad +
-        mv_rate_cost(fwd.mv, ctx.left_fwd, me_.params().lambda16) +
-        mv_rate_cost(bwd.mv, ctx.left_bwd, me_.params().lambda16);
+        mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16) +
+        mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
 
     int mode = kBBi;
     int best_cost = bi_cost;
@@ -642,8 +750,7 @@ H264Encoder::encode_mb(MbContext &ctx)
         best_cost = bwd.cost;
     }
     if (intra_cost < best_cost) {
-        rc_->encode_bit(ctx_models_.mb_skip, 0);
-        encode_intra_mb(ctx, /*write_intra_flag=*/true);
+        analyze_intra_mb(rs, src, mbx, mby, rec);
         return;
     }
 
@@ -653,144 +760,175 @@ H264Encoder::encode_mb(MbContext &ctx)
     Pixel luma_pred[16 * 16], cb_pred[8 * 8], cr_pred[8 * 8];
     if (mode == kBFwd) {
         std::memcpy(luma_pred, fbuf, sizeof(fbuf));
-        mc_h264_chroma(fwd_ref.cb(), ctx.mbx * 8, ctx.mby * 8, fmv,
-                       cb_pred, 8, 8, 8);
-        mc_h264_chroma(fwd_ref.cr(), ctx.mbx * 8, ctx.mby * 8, fmv,
-                       cr_pred, 8, 8, 8);
+        mc_h264_chroma(fwd_ref.cb(), mbx * 8, mby * 8, fmv, cb_pred, 8,
+                       8, 8);
+        mc_h264_chroma(fwd_ref.cr(), mbx * 8, mby * 8, fmv, cr_pred, 8,
+                       8, 8);
     } else if (mode == kBBwd) {
         std::memcpy(luma_pred, bbuf, sizeof(bbuf));
-        mc_h264_chroma(bwd_ref.cb(), ctx.mbx * 8, ctx.mby * 8, bmv,
-                       cb_pred, 8, 8, 8);
-        mc_h264_chroma(bwd_ref.cr(), ctx.mbx * 8, ctx.mby * 8, bmv,
-                       cr_pred, 8, 8, 8);
+        mc_h264_chroma(bwd_ref.cb(), mbx * 8, mby * 8, bmv, cb_pred, 8,
+                       8, 8);
+        mc_h264_chroma(bwd_ref.cr(), mbx * 8, mby * 8, bmv, cr_pred, 8,
+                       8, 8);
     } else {
         std::memcpy(luma_pred, bibuf, sizeof(bibuf));
         Pixel fc[8 * 8], bc[8 * 8];
-        mc_h264_chroma(fwd_ref.cb(), ctx.mbx * 8, ctx.mby * 8, fmv, fc,
-                       8, 8, 8);
-        mc_h264_chroma(bwd_ref.cb(), ctx.mbx * 8, ctx.mby * 8, bmv, bc,
-                       8, 8, 8);
+        mc_h264_chroma(fwd_ref.cb(), mbx * 8, mby * 8, fmv, fc, 8, 8, 8);
+        mc_h264_chroma(bwd_ref.cb(), mbx * 8, mby * 8, bmv, bc, 8, 8, 8);
         dsp_.avg_rect(cb_pred, 8, fc, 8, bc, 8, 8, 8);
-        mc_h264_chroma(fwd_ref.cr(), ctx.mbx * 8, ctx.mby * 8, fmv, fc,
-                       8, 8, 8);
-        mc_h264_chroma(bwd_ref.cr(), ctx.mbx * 8, ctx.mby * 8, bmv, bc,
-                       8, 8, 8);
+        mc_h264_chroma(fwd_ref.cr(), mbx * 8, mby * 8, fmv, fc, 8, 8, 8);
+        mc_h264_chroma(bwd_ref.cr(), mbx * 8, mby * 8, bmv, bc, 8, 8, 8);
         dsp_.avg_rect(cr_pred, 8, fc, 8, bc, 8, 8, 8);
     }
 
+    u16 nz_map = 0;
+    const bool any = quantize_inter_residual(src, mbx, mby, luma_pred,
+                                             cb_pred, cr_pred, rec,
+                                             &nz_map);
+
     // B-skip: bi-prediction at (0,0) with zero residual.
     if (mode == kBBi && fmv == MotionVector{} && bmv == MotionVector{} &&
-        !code_inter_residual(ctx, luma_pred, cb_pred, cr_pred,
-                             /*dry_run=*/true)) {
-        rc_->encode_bit(ctx_models_.mb_skip, 1);
+        !any) {
+        rec.kind = MbRecord::kSkip;
+        dsp_.copy_rect(recon_.luma().row(ly) + lx,
+                       recon_.luma().stride(), luma_pred, 16, 16, 16);
+        dsp_.copy_rect(recon_.cb().row(mby * 8) + mbx * 8,
+                       recon_.cb().stride(), cb_pred, 8, 8, 8);
+        dsp_.copy_rect(recon_.cr().row(mby * 8) + mbx * 8,
+                       recon_.cr().stride(), cr_pred, 8, 8, 8);
         Partition part = kPartGeom[kPart16x16][0];
-        fill_binfo(ctx, false, 0, &part, 1, 0);
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
+        fill_binfo(mbx, mby, false, 0, &part, 1, 0);
+        rs.left_fwd = rs.left_bwd = MotionVector{};
         return;
     }
 
-    rc_->encode_bit(ctx_models_.mb_skip, 0);
-    rc_->encode_bit(ctx_models_.mb_intra, 0);
-    rc_->encode_bit(ctx_models_.b_mode[0], mode == kBBi ? 0 : 1);
-    if (mode != kBBi)
-        rc_->encode_bit(ctx_models_.b_mode[1], mode == kBBwd ? 1 : 0);
-    if (mode != kBBwd) {
-        encode_mvd(*rc_, ctx_models_, 0, fmv.x - ctx.left_fwd.x);
-        encode_mvd(*rc_, ctx_models_, 1, fmv.y - ctx.left_fwd.y);
-    }
-    if (mode != kBFwd) {
-        encode_mvd(*rc_, ctx_models_, 0, bmv.x - ctx.left_bwd.x);
-        encode_mvd(*rc_, ctx_models_, 1, bmv.y - ctx.left_bwd.y);
-    }
-    code_inter_residual(ctx, luma_pred, cb_pred, cr_pred,
-                        /*dry_run=*/false);
+    rec.kind = MbRecord::kInterB;
+    rec.b_mode = static_cast<u8>(mode);
+    rec.fmv = fmv;
+    rec.bmv = bmv;
+    recon_inter_mb(mbx, mby, luma_pred, cb_pred, cr_pred, rec);
     Partition part = kPartGeom[kPart16x16][0];
     part.mv = mode == kBBwd ? bmv : fmv;
-    fill_binfo(ctx, false, 0, &part, 1, mb_nz_map_);
-    ctx.left_fwd = mode == kBBwd ? MotionVector{} : fmv;
-    ctx.left_bwd = mode == kBFwd ? MotionVector{} : bmv;
+    fill_binfo(mbx, mby, false, 0, &part, 1, nz_map);
+    rs.left_fwd = mode == kBBwd ? MotionVector{} : fmv;
+    rs.left_bwd = mode == kBFwd ? MotionVector{} : bmv;
 }
 
-bool
-H264Encoder::code_inter_residual(MbContext &ctx, const Pixel *luma_pred,
-                                 const Pixel *cb_pred,
-                                 const Pixel *cr_pred, bool dry_run)
+void
+H264Encoder::write_mb(RangeEncoder &rc, WriteChains &wc,
+                      const MbRecord &rec, PictureType type)
 {
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
-    Coeff levels[16][16];
-    bool any = false;
-    mb_nz_map_ = 0;
-    for (int b = 0; b < 16; ++b) {
-        const int x = lx + (b & 3) * 4;
-        const int y = ly + (b >> 2) * 4;
-        const int nz = transform_quant4x4(
-            dsp_, ctx.src->luma(), x, y,
-            luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16, quant_p_,
-            levels[b], nullptr);
-        if (nz != 0) {
-            any = true;
-            mb_nz_map_ |= 1u << b;
+    const CodecConfig &cfg = config();
+
+    if (type != PictureType::kI) {
+        rc.encode_bit(ctx_models_.mb_skip,
+                      rec.kind == MbRecord::kSkip ? 1 : 0);
+        if (rec.kind == MbRecord::kSkip) {
+            wc.left_fwd = wc.left_bwd = MotionVector{};
+            return;
         }
+        rc.encode_bit(ctx_models_.mb_intra,
+                      rec.kind == MbRecord::kIntra ? 1 : 0);
     }
 
-    // Chroma residual (evaluated for the skip test as well).
-    Coeff clevels[2][4][16];
-    for (int comp = 1; comp < 3; ++comp) {
-        const Plane &src_plane = ctx.src->plane(comp);
-        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
-        for (int b = 0; b < 4; ++b) {
-            const int x = ctx.mbx * 8 + (b & 1) * 4;
-            const int y = ctx.mby * 8 + (b >> 1) * 4;
-            const int nz = transform_quant4x4(
-                dsp_, src_plane, x, y,
-                pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, quant_p_,
-                clevels[comp - 1][b], nullptr);
-            any |= nz != 0;
+    if (rec.kind == MbRecord::kIntra) {
+        rc.encode_bit(ctx_models_.intra4_flag, rec.use_i4 ? 1 : 0);
+        if (rec.use_i4) {
+            for (int b = 0; b < 16; ++b) {
+                const int mode = rec.i4_modes[b];
+                rc.encode_bit(ctx_models_.intra4_mode[0],
+                              (mode >> 2) & 1);
+                rc.encode_bit(ctx_models_.intra4_mode[1],
+                              (mode >> 1) & 1);
+                rc.encode_bit(ctx_models_.intra4_mode[2], mode & 1);
+                encode_block4x4(rc, ctx_models_, rec.luma[b], 0, 0);
+            }
+        } else {
+            rc.encode_bit(ctx_models_.intra16_mode[0],
+                          (rec.i16_mode >> 1) & 1);
+            rc.encode_bit(ctx_models_.intra16_mode[1],
+                          rec.i16_mode & 1);
+            encode_block4x4(rc, ctx_models_, rec.dc_levels, 0, 2);
+            for (int b = 0; b < 16; ++b)
+                encode_block4x4(rc, ctx_models_, rec.luma[b], 1, 0);
         }
+        for (int c = 0; c < 2; ++c)
+            for (int b = 0; b < 4; ++b)
+                encode_block4x4(rc, ctx_models_, rec.chroma[c][b], 0, 1);
+        wc.left_fwd = wc.left_bwd = MotionVector{};
+        return;
     }
 
-    if (dry_run) {
-        if (any)
-            return true;  // caller falls through to regular coding
-        // Zero residual: reconstruction is exactly the prediction.
-        dsp_.copy_rect(recon_.luma().row(ly) + lx,
-                       recon_.luma().stride(), luma_pred, 16, 16, 16);
-        dsp_.copy_rect(recon_.cb().row(ctx.mby * 8) + ctx.mbx * 8,
-                       recon_.cb().stride(), cb_pred, 8, 8, 8);
-        dsp_.copy_rect(recon_.cr().row(ctx.mby * 8) + ctx.mbx * 8,
-                       recon_.cr().stride(), cr_pred, 8, 8, 8);
-        return false;
+    if (rec.kind == MbRecord::kInterP) {
+        rc.encode_bit(ctx_models_.part_mode[0], rec.part_mode >> 1);
+        rc.encode_bit(ctx_models_.part_mode[1], rec.part_mode & 1);
+        if (cfg.refs > 1) {
+            encode_ref_idx(rc, ctx_models_, rec.ref,
+                           clamp<int>(static_cast<int>(dpb_.size()), 1,
+                                      cfg.refs));
+        }
+        MotionVector chain = rec.pred_mv;
+        const int count = kPartCount[rec.part_mode];
+        for (int p = 0; p < count; ++p) {
+            encode_mvd(rc, ctx_models_, 0, rec.part_mv[p].x - chain.x);
+            encode_mvd(rc, ctx_models_, 1, rec.part_mv[p].y - chain.y);
+            chain = rec.part_mv[p];
+        }
+    } else {
+        rc.encode_bit(ctx_models_.b_mode[0],
+                      rec.b_mode == kBBi ? 0 : 1);
+        if (rec.b_mode != kBBi)
+            rc.encode_bit(ctx_models_.b_mode[1],
+                          rec.b_mode == kBBwd ? 1 : 0);
+        if (rec.b_mode != kBBwd) {
+            encode_mvd(rc, ctx_models_, 0, rec.fmv.x - wc.left_fwd.x);
+            encode_mvd(rc, ctx_models_, 1, rec.fmv.y - wc.left_fwd.y);
+        }
+        if (rec.b_mode != kBFwd) {
+            encode_mvd(rc, ctx_models_, 0, rec.bmv.x - wc.left_bwd.x);
+            encode_mvd(rc, ctx_models_, 1, rec.bmv.y - wc.left_bwd.y);
+        }
+        wc.left_fwd = rec.b_mode == kBBwd ? MotionVector{} : rec.fmv;
+        wc.left_bwd = rec.b_mode == kBFwd ? MotionVector{} : rec.bmv;
     }
 
-    for (int b = 0; b < 16; ++b) {
-        encode_block4x4(*rc_, ctx_models_, levels[b], 0, 0);
-        const int x = lx + (b & 3) * 4;
-        const int y = ly + (b >> 2) * 4;
-        Pixel *dst = recon_.luma().row(y) + x;
-        dsp_.copy_rect(dst, recon_.luma().stride(),
-                       luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16,
-                       4, 4);
-        recon4x4(dsp_, levels[b], quant_p_, INT32_MIN, dst,
-                 recon_.luma().stride());
-    }
-    for (int comp = 1; comp < 3; ++comp) {
-        Plane &rec_plane = recon_.plane(comp);
-        const Pixel *pred = comp == 1 ? cb_pred : cr_pred;
-        for (int b = 0; b < 4; ++b) {
-            const int x = ctx.mbx * 8 + (b & 1) * 4;
-            const int y = ctx.mby * 8 + (b >> 1) * 4;
-            encode_block4x4(*rc_, ctx_models_, clevels[comp - 1][b], 0,
-                            1);
-            Pixel *dst = rec_plane.row(y) + x;
-            dsp_.copy_rect(dst, rec_plane.stride(),
-                           pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, 4,
-                           4);
-            recon4x4(dsp_, clevels[comp - 1][b], quant_p_, INT32_MIN,
-                     dst, rec_plane.stride());
+    for (int b = 0; b < 16; ++b)
+        encode_block4x4(rc, ctx_models_, rec.luma[b], 0, 0);
+    for (int c = 0; c < 2; ++c)
+        for (int b = 0; b < 4; ++b)
+            encode_block4x4(rc, ctx_models_, rec.chroma[c][b], 0, 1);
+}
+
+void
+H264Encoder::analyze_picture(const Frame &src, PictureType type)
+{
+    if (pool_ == nullptr || mb_h_ < 2) {
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            RowState rs{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                analyze_mb(rs, src, type, mbx, mby,
+                           records_[mby * mb_w_ + mbx]);
         }
+        return;
     }
-    return any;
+
+    // Wavefront bands. MB (x, y) reads from row y-1: reconstructed
+    // pixels for intra prediction (Intra16 planes reach x0+15, the
+    // Intra4 down-left modes reach the above-right MB's first columns)
+    // and mv_grid_ for the median predictor / ME candidates — all
+    // within the above-right neighbour, so row y-1 must be done
+    // through column x+1 first.
+    WavefrontScheduler wf(mb_h_, mb_w_);
+    parallel_for(*pool_, mb_h_, [&](int mby, int) {
+        WavefrontRowGuard guard(wf, mby);
+        RowState rs{};
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            wf.wait_above(mby, mbx);
+            analyze_mb(rs, src, type, mbx, mby,
+                       records_[mby * mb_w_ + mbx]);
+            wf.publish(mby, mbx + 1);
+        }
+    });
 }
 
 std::vector<u8>
@@ -802,9 +940,7 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
-    MbContext ctx{};
-    ctx.src = &src;
-    ctx.type = type;
+    analyze_picture(src, type);
 
     std::vector<u8> out;
     if (cfg.error_resilience) {
@@ -823,37 +959,27 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
         // fresh coder state and fresh context models per row.
         for (int mby = 0; mby < mb_h_; ++mby) {
             RangeEncoder rc;
-            rc_ = &rc;
             ctx_models_.reset();
-            ctx.mby = mby;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
+            WriteChains wc;
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(rc, wc, records_[mby * mb_w_ + mbx], type);
             rc.encode_bypass_bits(kRowSentinel, 8);
             const std::vector<u8> row = rc.finish();
             append_resync_marker(&out, mby);
             escape_emulation(row.data(), row.size(), &out);
         }
-        rc_ = nullptr;
     } else {
         RangeEncoder rc;
-        rc_ = &rc;
         ctx_models_.reset();
         rc.encode_bypass_bits(static_cast<u32>(type), 2);
         rc.encode_bypass_bits(static_cast<u32>(cfg.qp), 6);
         rc.encode_bypass(cfg.deblock ? 1 : 0);
         rc.encode_bypass_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
         for (int mby = 0; mby < mb_h_; ++mby) {
-            ctx.mby = mby;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
+            WriteChains wc;
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(rc, wc, records_[mby * mb_w_ + mbx], type);
         }
-        rc_ = nullptr;
         out = rc.finish();
     }
 

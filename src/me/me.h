@@ -65,8 +65,10 @@ mv_rate_cost(MotionVector mv, MotionVector pred, int lambda16)
 }
 
 /**
- * Block motion estimator. Stateless apart from its parameters; one
- * instance per encoder thread.
+ * Block motion estimator. Stateless apart from its parameters, and
+ * every search method is const, so a single instance may be shared by
+ * concurrent callers — the band-parallel encoders run one search per
+ * macroblock-row worker against the same estimator.
  */
 class MotionEstimator
 {

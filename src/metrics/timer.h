@@ -10,17 +10,35 @@
 
 #include <chrono>
 
+#include "common/check.h"
+
 namespace hdvb {
 
-/** Steady-clock stopwatch accumulating across start/stop pairs. */
+/**
+ * Steady-clock stopwatch accumulating across start/stop pairs. Calls
+ * must pair up: stop() without a matching start() would otherwise
+ * charge the interval since an arbitrary (default-constructed) epoch,
+ * so the pairing is enforced with HDVB_DCHECK and a mismatched stop()
+ * is a no-op in release builds.
+ */
 class WallTimer
 {
   public:
-    void start() { begin_ = Clock::now(); }
+    void
+    start()
+    {
+        HDVB_DCHECK(!running_);
+        running_ = true;
+        begin_ = Clock::now();
+    }
 
     void
     stop()
     {
+        HDVB_DCHECK(running_);
+        if (!running_)
+            return;
+        running_ = false;
         total_ += std::chrono::duration<double>(Clock::now() - begin_)
                       .count();
     }
@@ -28,12 +46,18 @@ class WallTimer
     /** Accumulated seconds. */
     double seconds() const { return total_; }
 
-    void reset() { total_ = 0.0; }
+    void
+    reset()
+    {
+        total_ = 0.0;
+        running_ = false;
+    }
 
   private:
     using Clock = std::chrono::steady_clock;
-    Clock::time_point begin_;
+    Clock::time_point begin_{};
     double total_ = 0.0;
+    bool running_ = false;
 };
 
 }  // namespace hdvb

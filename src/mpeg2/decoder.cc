@@ -6,6 +6,7 @@
  */
 #include "mpeg2/mpeg2.h"
 
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_reader.h"
@@ -15,6 +16,7 @@
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -35,7 +37,10 @@ class Mpeg2Decoder final : public DecoderBase
           intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Intra)),
           inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Inter)),
           mb_w_(cfg.width / 16),
-          mb_h_(cfg.height / 16)
+          mb_h_(cfg.height / 16),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -76,6 +81,7 @@ class Mpeg2Decoder final : public DecoderBase
     const RunLevelCoder &inter_rl_;
     int mb_w_;
     int mb_h_;
+    std::unique_ptr<ThreadPool> pool_;  ///< row pool (threads > 1)
 
     Frame prev_anchor_;
     Frame last_anchor_;
@@ -391,24 +397,44 @@ Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
             packet.data.data() + start, end - start};
     }
 
-    MbState st{};
-    st.frame = out;
-    st.type = type;
-    st.intra_quant = &intra_quant;
-    st.inter_quant = &inter_quant;
+    // Rows are fully independent (fresh per-row entropy chunk and
+    // predictors; inter prediction reads only the anchor frames), so
+    // they decode in parallel when the codec has a band pool.
+    // Concealment runs afterwards as a serial top-to-bottom pass —
+    // spatial DC concealment reads the pixel row above, which is in
+    // its final state by then, exactly as in the serial schedule.
+    struct RowResult {
+        bool ok = false;
+        int bad_from = 0;
+    };
+    std::vector<RowResult> rows(static_cast<size_t>(mb_h_));
+    auto decode_row = [&](int mby) {
+        const auto &seg = segments[static_cast<size_t>(mby)];
+        if (seg.first == nullptr)
+            return;
+        MbState st{};
+        st.frame = out;
+        st.type = type;
+        st.intra_quant = &intra_quant;
+        st.inter_quant = &inter_quant;
+        const std::vector<u8> row_bytes =
+            unescape_emulation(seg.first, seg.second);
+        RowResult &r = rows[static_cast<size_t>(mby)];
+        r.ok = decode_resilient_row(st, row_bytes, mby, &r.bad_from);
+    };
+    if (pool_ != nullptr) {
+        parallel_for(*pool_, mb_h_,
+                     [&](int mby, int) { decode_row(mby); });
+    } else {
+        for (int mby = 0; mby < mb_h_; ++mby)
+            decode_row(mby);
+    }
 
     bool in_error = false;
     bool any_ok = false;
     for (int mby = 0; mby < mb_h_; ++mby) {
-        int bad_from = 0;
-        bool ok = false;
-        if (segments[static_cast<size_t>(mby)].first != nullptr) {
-            const std::vector<u8> row_bytes = unescape_emulation(
-                segments[static_cast<size_t>(mby)].first,
-                segments[static_cast<size_t>(mby)].second);
-            ok = decode_resilient_row(st, row_bytes, mby, &bad_from);
-        }
-        if (ok) {
+        const RowResult &r = rows[static_cast<size_t>(mby)];
+        if (r.ok) {
             if (in_error) {
                 ++stats_.resyncs;
                 in_error = false;
@@ -416,8 +442,8 @@ Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
             any_ok = true;
         } else {
             in_error = true;
-            conceal_row(out, type, bad_from, mby);
-            stats_.mbs_concealed += mb_w_ - bad_from;
+            conceal_row(out, type, r.bad_from, mby);
+            stats_.mbs_concealed += mb_w_ - r.bad_from;
         }
     }
     if (!any_ok)

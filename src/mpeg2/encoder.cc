@@ -2,10 +2,21 @@
  * @file
  * MPEG-2-class encoder: EPZS motion estimation, half-sample MC, 8x8 DCT
  * with the MPEG weighting matrices, run/level VLC entropy coding.
+ *
+ * Encoding is a two-phase pipeline so CodecConfig::threads can
+ * parallelise the expensive part without touching a single emitted bit:
+ * an analysis phase makes every decision (ME, mode, quantised levels,
+ * reconstruction) into per-MB records — wavefront-ordered across MB
+ * rows when a thread pool is configured — and a serial write phase
+ * replays the records through the entropy coder in raster order. The
+ * same two phases run back-to-back on the caller's thread when
+ * threads == 1, so the bitstream is byte-identical for any thread
+ * count (and identical to the historical single-phase encoder).
  */
 #include "mpeg2/mpeg2.h"
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_writer.h"
@@ -14,6 +25,8 @@
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/wavefront.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -48,7 +61,11 @@ class Mpeg2Encoder final : public EncoderBase
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
-          cur_mvs_(static_cast<size_t>(mb_w_) * mb_h_)
+          cur_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
+          records_(static_cast<size_t>(mb_w_) * mb_h_),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -59,24 +76,52 @@ class Mpeg2Encoder final : public EncoderBase
                                    PictureType type) override;
 
   private:
-    struct MbContext {
-        BitWriter *bw;
-        const Frame *src;
-        PictureType type;
-        int mbx;
-        int mby;
-        // Row-scoped predictors.
-        int dc_pred[3];
-        MotionVector left_fwd;  // half-sample units
-        MotionVector left_bwd;
-        int pending_skips;
+    /** Everything the serial write phase needs to replay one MB. */
+    struct MbRecord {
+        enum Kind : u8 { kIntra, kInter, kSkip };
+        Kind kind = kIntra;
+        u8 mode = 0;  ///< B-picture inter mode (mpeg2::kB*)
+        u8 cbp = 0;
+        bool use_fwd = false;
+        bool use_bwd = false;
+        MotionVector fwd;  // half-sample units
+        MotionVector bwd;
+        s16 dc[6] = {};            ///< intra DC levels (absolute)
+        Coeff levels[6][64] = {};  ///< quantised coefficients
     };
 
-    void encode_mb(MbContext &ctx);
-    void encode_intra_mb(MbContext &ctx);
-    /** Returns true if the MB was emitted as a skip. */
-    bool encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
-                         MotionVector bwd);
+    /** Analysis-side row-scoped predictor state. */
+    struct RowState {
+        MotionVector left_fwd;  // half-sample units
+        MotionVector left_bwd;
+    };
+
+    /** Write-side row/picture-scoped predictor state. */
+    struct WriteState {
+        int dc_pred[3] = {kDcPredReset, kDcPredReset, kDcPredReset};
+        MotionVector left_fwd;
+        MotionVector left_bwd;
+        int pending_skips = 0;
+
+        void
+        reset_row()
+        {
+            dc_pred[0] = dc_pred[1] = dc_pred[2] = kDcPredReset;
+            left_fwd = left_bwd = MotionVector{};
+        }
+    };
+
+    void analyze_picture(const Frame &src, PictureType type);
+    void analyze_mb(RowState &rs, const Frame &src, PictureType type,
+                    int mbx, int mby, MbRecord &rec);
+    void analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                          int mby, MbRecord &rec);
+    void analyze_inter_mb(RowState &rs, const Frame &src,
+                          PictureType type, int mode, MotionVector fwd,
+                          MotionVector bwd, int mbx, int mby,
+                          MbRecord &rec);
+    void write_mb(BitWriter &bw, WriteState &ws, const MbRecord &rec,
+                  PictureType type) const;
 
     MeResult estimate(const Frame &src, const Frame &ref, int mbx,
                       int mby, MotionVector pred_sub,
@@ -85,7 +130,8 @@ class Mpeg2Encoder final : public EncoderBase
                     MotionVector fwd, MotionVector bwd, int mbx,
                     int mby, PredBuffers *pred) const;
     int intra_cost(const Frame &src, int mbx, int mby) const;
-    std::vector<MotionVector> gather_candidates(const MbContext &ctx,
+    std::vector<MotionVector> gather_candidates(const RowState &rs,
+                                                int mbx, int mby,
                                                 bool backward) const;
 
     const Dsp &dsp_;
@@ -102,6 +148,8 @@ class Mpeg2Encoder final : public EncoderBase
     std::vector<MotionVector> anchor_mvs_;  ///< full-pel, last anchor
     std::vector<MotionVector> cur_mvs_;     ///< full-pel, current pic
     Frame recon_;
+    std::vector<MbRecord> records_;   ///< one per MB, raster order
+    std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
 };
 
 std::vector<u8>
@@ -111,9 +159,7 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
     recon_ = Frame(cfg.width, cfg.height, kRefBorder);
     std::fill(cur_mvs_.begin(), cur_mvs_.end(), MotionVector{});
 
-    MbContext ctx{};
-    ctx.src = &src;
-    ctx.type = type;
+    analyze_picture(src, type);
 
     std::vector<u8> out;
     if (cfg.error_resilience) {
@@ -128,21 +174,12 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
         escape_emulation(header.data(), header.size(), &out);
 
         BitWriter rbw;
-        ctx.bw = &rbw;
         for (int mby = 0; mby < mb_h_; ++mby) {
-            ctx.mby = mby;
-            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
-                kDcPredReset;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            ctx.pending_skips = 0;
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
-            if (type != PictureType::kI && ctx.pending_skips > 0) {
-                write_ue(rbw, static_cast<u32>(ctx.pending_skips));
-                ctx.pending_skips = 0;
-            }
+            WriteState ws;
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(rbw, ws, records_[mby * mb_w_ + mbx], type);
+            if (type != PictureType::kI && ws.pending_skips > 0)
+                write_ue(rbw, static_cast<u32>(ws.pending_skips));
             rbw.put_bits(kRowSentinel, 8);
             const std::vector<u8> row = rbw.finish();
             append_resync_marker(&out, mby);
@@ -153,19 +190,14 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
         bw.put_bits(static_cast<u32>(type), 2);
         bw.put_bits(static_cast<u32>(cfg.qscale), 5);
         bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-        ctx.bw = &bw;
+        WriteState ws;
         for (int mby = 0; mby < mb_h_; ++mby) {
-            ctx.mby = mby;
-            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
-                kDcPredReset;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
+            ws.reset_row();
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(bw, ws, records_[mby * mb_w_ + mbx], type);
         }
         if (type != PictureType::kI)
-            write_ue(bw, static_cast<u32>(ctx.pending_skips));
+            write_ue(bw, static_cast<u32>(ws.pending_skips));
         out = bw.finish();
     }
 
@@ -178,18 +210,51 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
     return out;
 }
 
+void
+Mpeg2Encoder::analyze_picture(const Frame &src, PictureType type)
+{
+    if (pool_ == nullptr || mb_h_ < 2) {
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            RowState rs{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                analyze_mb(rs, src, type, mbx, mby,
+                           records_[mby * mb_w_ + mbx]);
+        }
+        return;
+    }
+
+    // One band per MB row, wavefront-ordered: before MB (x, y) runs,
+    // row y-1 must be done through column x+1 (its above-right
+    // neighbour), which covers every cross-row read — the cur_mvs_
+    // candidates of gather_candidates(). Row-local predictors live in
+    // RowState, so bands share no mutable state beyond the published
+    // per-MB results.
+    WavefrontScheduler wf(mb_h_, mb_w_);
+    parallel_for(*pool_, mb_h_, [&](int mby, int) {
+        WavefrontRowGuard guard(wf, mby);
+        RowState rs{};
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            wf.wait_above(mby, mbx);
+            analyze_mb(rs, src, type, mbx, mby,
+                       records_[mby * mb_w_ + mbx]);
+            wf.publish(mby, mbx + 1);
+        }
+    });
+}
+
 std::vector<MotionVector>
-Mpeg2Encoder::gather_candidates(const MbContext &ctx, bool backward) const
+Mpeg2Encoder::gather_candidates(const RowState &rs, int mbx, int mby,
+                                bool backward) const
 {
     std::vector<MotionVector> cands;
     cands.reserve(4);
-    const int idx = ctx.mby * mb_w_ + ctx.mbx;
-    const MotionVector left = backward ? ctx.left_bwd : ctx.left_fwd;
+    const int idx = mby * mb_w_ + mbx;
+    const MotionVector left = backward ? rs.left_bwd : rs.left_fwd;
     cands.push_back({static_cast<s16>(left.x >> 1),
                      static_cast<s16>(left.y >> 1)});
-    if (ctx.mby > 0) {
+    if (mby > 0) {
         cands.push_back(cur_mvs_[idx - mb_w_]);
-        if (ctx.mbx + 1 < mb_w_)
+        if (mbx + 1 < mb_w_)
             cands.push_back(cur_mvs_[idx - mb_w_ + 1]);
     }
     cands.push_back(anchor_mvs_[idx]);  // collocated (temporal)
@@ -271,53 +336,51 @@ Mpeg2Encoder::intra_cost(const Frame &src, int mbx, int mby) const
 }
 
 void
-Mpeg2Encoder::encode_mb(MbContext &ctx)
+Mpeg2Encoder::analyze_mb(RowState &rs, const Frame &src,
+                         PictureType type, int mbx, int mby,
+                         MbRecord &rec)
 {
-    if (ctx.type == PictureType::kI) {
-        encode_intra_mb(ctx);
+    if (type == PictureType::kI) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
         return;
     }
 
     const Frame &fwd_ref =
-        ctx.type == PictureType::kP ? last_anchor_ : prev_anchor_;
-    const int icost = intra_cost(*ctx.src, ctx.mbx, ctx.mby);
+        type == PictureType::kP ? last_anchor_ : prev_anchor_;
+    const int icost = intra_cost(src, mbx, mby);
 
-    if (ctx.type == PictureType::kP) {
+    if (type == PictureType::kP) {
         const MeResult res =
-            estimate(*ctx.src, fwd_ref, ctx.mbx, ctx.mby, ctx.left_fwd,
-                     gather_candidates(ctx, false));
-        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = {
-            static_cast<s16>(res.mv.x >> 1),
-            static_cast<s16>(res.mv.y >> 1)};
+            estimate(src, fwd_ref, mbx, mby, rs.left_fwd,
+                     gather_candidates(rs, mbx, mby, false));
+        cur_mvs_[mby * mb_w_ + mbx] = {static_cast<s16>(res.mv.x >> 1),
+                                       static_cast<s16>(res.mv.y >> 1)};
         if (icost < res.cost) {
-            write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
-            ctx.pending_skips = 0;
-            ctx.bw->put_bit(mpeg2::kPIntra);
-            encode_intra_mb(ctx);
+            analyze_intra_mb(rs, src, mbx, mby, rec);
             return;
         }
-        encode_inter_mb(ctx, mpeg2::kPInter, res.mv, {});
+        analyze_inter_mb(rs, src, type, mpeg2::kPInter, res.mv, {}, mbx,
+                         mby, rec);
         return;
     }
 
     // B picture: forward / backward / bi / intra decision.
     const MeResult fwd =
-        estimate(*ctx.src, prev_anchor_, ctx.mbx, ctx.mby, ctx.left_fwd,
-                 gather_candidates(ctx, false));
+        estimate(src, prev_anchor_, mbx, mby, rs.left_fwd,
+                 gather_candidates(rs, mbx, mby, false));
     const MeResult bwd =
-        estimate(*ctx.src, last_anchor_, ctx.mbx, ctx.mby, ctx.left_bwd,
-                 gather_candidates(ctx, true));
+        estimate(src, last_anchor_, mbx, mby, rs.left_bwd,
+                 gather_candidates(rs, mbx, mby, true));
 
     PredBuffers bi;
-    build_pred(prev_anchor_, &last_anchor_, fwd.mv, bwd.mv, ctx.mbx,
-               ctx.mby, &bi);
-    const Plane &luma = ctx.src->luma();
-    const int bi_sad =
-        dsp_.sad16x16(luma.row(ctx.mby * 16) + ctx.mbx * 16,
-                      luma.stride(), bi.luma, 16);
+    build_pred(prev_anchor_, &last_anchor_, fwd.mv, bwd.mv, mbx, mby,
+               &bi);
+    const Plane &luma = src.luma();
+    const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
+                                     luma.stride(), bi.luma, 16);
     const int bi_cost =
-        bi_sad + mv_rate_cost(fwd.mv, ctx.left_fwd, me_.params().lambda16)
-        + mv_rate_cost(bwd.mv, ctx.left_bwd, me_.params().lambda16);
+        bi_sad + mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16)
+        + mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
 
     int best = mpeg2::kBBi;
     int best_cost = bi_cost;
@@ -330,30 +393,28 @@ Mpeg2Encoder::encode_mb(MbContext &ctx)
         best_cost = bwd.cost;
     }
     if (icost < best_cost) {
-        write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
-        ctx.pending_skips = 0;
-        write_ue(*ctx.bw, mpeg2::kBIntra);
-        encode_intra_mb(ctx);
+        analyze_intra_mb(rs, src, mbx, mby, rec);
         return;
     }
-    encode_inter_mb(ctx, best, fwd.mv, bwd.mv);
+    analyze_inter_mb(rs, src, type, best, fwd.mv, bwd.mv, mbx, mby,
+                     rec);
 }
 
 void
-Mpeg2Encoder::encode_intra_mb(MbContext &ctx)
+Mpeg2Encoder::analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                               int mby, MbRecord &rec)
 {
-    // Caller already wrote skip-run and mb-type for P/B pictures.
-    BitWriter &bw = *ctx.bw;
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    rec.kind = MbRecord::kIntra;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
-        const Plane &src_plane = ctx.src->plane(comp);
+        const Plane &src_plane = src.plane(comp);
         Plane &rec_plane = recon_.plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
 
-        Coeff blk[64];
+        Coeff *blk = rec.levels[b];
         for (int yy = 0; yy < 8; ++yy) {
             const Pixel *row = src_plane.row(y + yy) + x;
             for (int xx = 0; xx < 8; ++xx)
@@ -363,10 +424,7 @@ Mpeg2Encoder::encode_intra_mb(MbContext &ctx)
         const int dc_level = clamp(div_round(blk[0], kDcStep), 0, 255);
         blk[0] = 0;
         intra_quant_.quantize(blk);
-
-        write_se(bw, dc_level - ctx.dc_pred[comp]);
-        ctx.dc_pred[comp] = dc_level;
-        intra_rl_.encode_block(bw, blk, 1);
+        rec.dc[b] = static_cast<s16>(dc_level);
 
         Pixel *dst = rec_plane.row(y) + x;
         zero_block8(dst, rec_plane.stride());
@@ -374,15 +432,17 @@ Mpeg2Encoder::encode_intra_mb(MbContext &ctx)
                          rec_plane.stride(), dsp_);
     }
     // Intra interrupts the MV prediction chain.
-    ctx.left_fwd = ctx.left_bwd = MotionVector{};
-    cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+    rs.left_fwd = rs.left_bwd = MotionVector{};
+    cur_mvs_[mby * mb_w_ + mbx] = MotionVector{};
 }
 
-bool
-Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
-                              MotionVector bwd)
+void
+Mpeg2Encoder::analyze_inter_mb(RowState &rs, const Frame &src,
+                               PictureType type, int mode,
+                               MotionVector fwd, MotionVector bwd,
+                               int mbx, int mby, MbRecord &rec)
 {
-    const bool is_b = ctx.type == PictureType::kB;
+    const bool is_b = type == PictureType::kB;
     const Frame &fwd_ref = is_b ? prev_anchor_ : last_anchor_;
     const Frame *bwd_ref = nullptr;
     bool use_fwd = true;
@@ -401,23 +461,21 @@ Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
     PredBuffers pred;
     if (is_b && !use_fwd) {
         // Backward-only prediction.
-        build_pred(last_anchor_, nullptr, bwd, {}, ctx.mbx, ctx.mby,
-                   &pred);
+        build_pred(last_anchor_, nullptr, bwd, {}, mbx, mby, &pred);
     } else {
-        build_pred(fwd_ref, use_bwd ? bwd_ref : nullptr, fwd, bwd,
-                   ctx.mbx, ctx.mby, &pred);
+        build_pred(fwd_ref, use_bwd ? bwd_ref : nullptr, fwd, bwd, mbx,
+                   mby, &pred);
     }
 
     // Transform/quantise the six residual blocks.
-    Coeff blocks[6][64];
     int cbp = 0;
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
-        const Plane &src_plane = ctx.src->plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Plane &src_plane = src.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
         const Pixel *pp;
         int ps;
         if (b < 4) {
@@ -427,10 +485,10 @@ Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
             pp = b == 4 ? pred.cb : pred.cr;
             ps = 8;
         }
-        dsp_.sub_rect(blocks[b], 8, src_plane.row(y) + x,
+        dsp_.sub_rect(rec.levels[b], 8, src_plane.row(y) + x,
                       src_plane.stride(), pp, ps, 8, 8);
-        dsp_.fdct8x8(blocks[b]);
-        if (inter_quant_.quantize(blocks[b]) != 0)
+        dsp_.fdct8x8(rec.levels[b]);
+        if (inter_quant_.quantize(rec.levels[b]) != 0)
             cbp |= 1 << b;
     }
 
@@ -443,35 +501,21 @@ Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
                  bwd == MotionVector{})
               : fwd == MotionVector{});
     if (skippable) {
-        ++ctx.pending_skips;
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
-        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+        rec.kind = MbRecord::kSkip;
+        rs.left_fwd = rs.left_bwd = MotionVector{};
+        cur_mvs_[mby * mb_w_ + mbx] = MotionVector{};
         // Reconstruction = prediction.
     } else {
-        BitWriter &bw = *ctx.bw;
-        write_ue(bw, static_cast<u32>(ctx.pending_skips));
-        ctx.pending_skips = 0;
-        if (is_b)
-            write_ue(bw, static_cast<u32>(mode));
-        else
-            bw.put_bit(mpeg2::kPInter);
-        if (use_fwd) {
-            write_se(bw, fwd.x - ctx.left_fwd.x);
-            write_se(bw, fwd.y - ctx.left_fwd.y);
-        }
-        if (use_bwd) {
-            write_se(bw, bwd.x - ctx.left_bwd.x);
-            write_se(bw, bwd.y - ctx.left_bwd.y);
-        }
-        bw.put_bits(static_cast<u32>(cbp), 6);
-        for (int b = 0; b < 6; ++b) {
-            if (cbp & (1 << b))
-                inter_rl_.encode_block(bw, blocks[b], 0);
-        }
-        ctx.left_fwd = use_fwd ? fwd : MotionVector{};
-        ctx.left_bwd = use_bwd ? bwd : MotionVector{};
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
-        cur_mvs_[ctx.mby * mb_w_ + ctx.mbx] = {
+        rec.kind = MbRecord::kInter;
+        rec.mode = static_cast<u8>(mode);
+        rec.cbp = static_cast<u8>(cbp);
+        rec.use_fwd = use_fwd;
+        rec.use_bwd = use_bwd;
+        rec.fwd = fwd;
+        rec.bwd = bwd;
+        rs.left_fwd = use_fwd ? fwd : MotionVector{};
+        rs.left_bwd = use_bwd ? bwd : MotionVector{};
+        cur_mvs_[mby * mb_w_ + mbx] = {
             static_cast<s16>((use_fwd ? fwd.x : bwd.x) >> 1),
             static_cast<s16>((use_fwd ? fwd.y : bwd.y) >> 1)};
     }
@@ -480,8 +524,8 @@ Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
         Plane &rec_plane = recon_.plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
         const Pixel *pp;
         int ps;
         if (b < 4) {
@@ -494,14 +538,66 @@ Mpeg2Encoder::encode_inter_mb(MbContext &ctx, int mode, MotionVector fwd,
         Pixel *dst = rec_plane.row(y) + x;
         dsp_.copy_rect(dst, rec_plane.stride(), pp, ps, 8, 8);
         if (cbp & (1 << b)) {
-            mpeg_recon_block(blocks[b], inter_quant_, -1, dst,
+            mpeg_recon_block(rec.levels[b], inter_quant_, -1, dst,
                              rec_plane.stride(), dsp_);
         }
     }
-    if (skippable) {
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
+}
+
+void
+Mpeg2Encoder::write_mb(BitWriter &bw, WriteState &ws,
+                       const MbRecord &rec, PictureType type) const
+{
+    const bool is_b = type == PictureType::kB;
+
+    if (rec.kind == MbRecord::kSkip) {
+        ++ws.pending_skips;
+        ws.left_fwd = ws.left_bwd = MotionVector{};
+        ws.dc_pred[0] = ws.dc_pred[1] = ws.dc_pred[2] = kDcPredReset;
+        return;
     }
-    return skippable;
+
+    if (rec.kind == MbRecord::kIntra) {
+        if (type != PictureType::kI) {
+            write_ue(bw, static_cast<u32>(ws.pending_skips));
+            ws.pending_skips = 0;
+            if (is_b)
+                write_ue(bw, mpeg2::kBIntra);
+            else
+                bw.put_bit(mpeg2::kPIntra);
+        }
+        for (int b = 0; b < 6; ++b) {
+            const int comp = b < 4 ? 0 : b - 3;
+            write_se(bw, rec.dc[b] - ws.dc_pred[comp]);
+            ws.dc_pred[comp] = rec.dc[b];
+            intra_rl_.encode_block(bw, rec.levels[b], 1);
+        }
+        ws.left_fwd = ws.left_bwd = MotionVector{};
+        return;
+    }
+
+    write_ue(bw, static_cast<u32>(ws.pending_skips));
+    ws.pending_skips = 0;
+    if (is_b)
+        write_ue(bw, static_cast<u32>(rec.mode));
+    else
+        bw.put_bit(mpeg2::kPInter);
+    if (rec.use_fwd) {
+        write_se(bw, rec.fwd.x - ws.left_fwd.x);
+        write_se(bw, rec.fwd.y - ws.left_fwd.y);
+    }
+    if (rec.use_bwd) {
+        write_se(bw, rec.bwd.x - ws.left_bwd.x);
+        write_se(bw, rec.bwd.y - ws.left_bwd.y);
+    }
+    bw.put_bits(rec.cbp, 6);
+    for (int b = 0; b < 6; ++b) {
+        if (rec.cbp & (1 << b))
+            inter_rl_.encode_block(bw, rec.levels[b], 0);
+    }
+    ws.left_fwd = rec.use_fwd ? rec.fwd : MotionVector{};
+    ws.left_bwd = rec.use_bwd ? rec.bwd : MotionVector{};
+    ws.dc_pred[0] = ws.dc_pred[1] = ws.dc_pred[2] = kDcPredReset;
 }
 
 }  // namespace

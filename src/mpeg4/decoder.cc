@@ -6,6 +6,7 @@
 #include "mpeg4/mpeg4.h"
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_reader.h"
@@ -15,6 +16,7 @@
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -45,7 +47,10 @@ class Mpeg4Decoder final : public DecoderBase
           inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Inter)),
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
-          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_)
+          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -94,6 +99,7 @@ class Mpeg4Decoder final : public DecoderBase
     Frame prev_anchor_;
     Frame last_anchor_;
     std::vector<MotionVector> mv_grid_;
+    std::unique_ptr<ThreadPool> pool_;  ///< row pool (threads > 1)
 };
 
 MotionVector
@@ -467,24 +473,46 @@ Mpeg4Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
             packet.data.data() + start, end - start};
     }
 
-    MbState st{};
-    st.frame = out;
-    st.type = type;
-    st.intra_quant = &intra_quant;
-    st.inter_quant = &inter_quant;
+    // Rows are fully independent here: fresh per-row entropy chunk and
+    // predictors, MV prediction is left-only in resilient mode (so
+    // mv_grid_ reads stay within the row each task writes), and inter
+    // prediction reads only the anchor frames. Decode the rows in
+    // parallel when the codec has a band pool, then run concealment
+    // and stats as a serial top-to-bottom pass — spatial DC
+    // concealment reads the pixel row above, which is final by then,
+    // exactly as in the serial schedule.
+    struct RowResult {
+        bool ok = false;
+        int bad_from = 0;
+    };
+    std::vector<RowResult> rows(static_cast<size_t>(mb_h_));
+    auto decode_row = [&](int mby) {
+        const auto &seg = segments[static_cast<size_t>(mby)];
+        if (seg.first == nullptr)
+            return;
+        MbState st{};
+        st.frame = out;
+        st.type = type;
+        st.intra_quant = &intra_quant;
+        st.inter_quant = &inter_quant;
+        const std::vector<u8> row_bytes =
+            unescape_emulation(seg.first, seg.second);
+        RowResult &r = rows[static_cast<size_t>(mby)];
+        r.ok = decode_resilient_row(st, row_bytes, mby, &r.bad_from);
+    };
+    if (pool_ != nullptr) {
+        parallel_for(*pool_, mb_h_,
+                     [&](int mby, int) { decode_row(mby); });
+    } else {
+        for (int mby = 0; mby < mb_h_; ++mby)
+            decode_row(mby);
+    }
 
     bool in_error = false;
     bool any_ok = false;
     for (int mby = 0; mby < mb_h_; ++mby) {
-        int bad_from = 0;
-        bool ok = false;
-        if (segments[static_cast<size_t>(mby)].first != nullptr) {
-            const std::vector<u8> row_bytes = unescape_emulation(
-                segments[static_cast<size_t>(mby)].first,
-                segments[static_cast<size_t>(mby)].second);
-            ok = decode_resilient_row(st, row_bytes, mby, &bad_from);
-        }
-        if (ok) {
+        const RowResult &r = rows[static_cast<size_t>(mby)];
+        if (r.ok) {
             if (in_error) {
                 ++stats_.resyncs;
                 in_error = false;
@@ -492,8 +520,8 @@ Mpeg4Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
             any_ok = true;
         } else {
             in_error = true;
-            conceal_row(out, type, bad_from, mby);
-            stats_.mbs_concealed += mb_w_ - bad_from;
+            conceal_row(out, type, r.bad_from, mby);
+            stats_.mbs_concealed += mb_w_ - r.bad_from;
         }
     }
     if (!any_ok)

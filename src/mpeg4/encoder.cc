@@ -3,10 +3,17 @@
  * MPEG-4-ASP-class encoder: EPZS motion estimation, quarter-sample MC,
  * optional four-MV macroblocks, median MV prediction, 8x8 DCT with a
  * tuned dead zone.
+ *
+ * Structured as analysis (decisions + reconstruction, wavefront-
+ * parallel across MB rows when CodecConfig::threads > 1) followed by a
+ * serial entropy-coding replay of per-MB records, exactly like the
+ * MPEG-2 encoder — see src/mpeg2/encoder.cc for the pipeline notes.
+ * The replay emits the identical bit sequence for any thread count.
  */
 #include "mpeg4/mpeg4.h"
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bitstream/bit_writer.h"
@@ -15,6 +22,8 @@
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/wavefront.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -57,7 +66,11 @@ class Mpeg4Encoder final : public EncoderBase
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
-          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_)
+          mv_grid_(static_cast<size_t>(mb_w_) * mb_h_),
+          records_(static_cast<size_t>(mb_w_) * mb_h_),
+          pool_(cfg.threads > 1
+                    ? std::make_unique<ThreadPool>(cfg.threads)
+                    : nullptr)
     {
     }
 
@@ -68,22 +81,54 @@ class Mpeg4Encoder final : public EncoderBase
                                    PictureType type) override;
 
   private:
-    struct MbContext {
-        BitWriter *bw;
-        const Frame *src;
-        PictureType type;
-        int mbx;
-        int mby;
-        int dc_pred[3];
-        MotionVector left_fwd;  // B-picture chains (quarter-pel)
-        MotionVector left_bwd;
-        int pending_skips;
+    /** Everything the serial write phase needs to replay one MB. */
+    struct MbRecord {
+        enum Kind : u8 { kIntra, kInter, kSkip };
+        Kind kind = kIntra;
+        u8 mode = 0;  ///< mpeg4 mode code (kPInter16/kPInter4v/kB*)
+        u8 cbp = 0;
+        bool four = false;
+        bool use_fwd = false;
+        bool use_bwd = false;
+        MotionVector mv[4];  // quarter-sample; fwd (4MV uses all four)
+        MotionVector bwd;
+        MotionVector pred_p;  ///< P-picture median predictor for MVDs
+        s16 dc[6] = {};
+        Coeff levels[6][64] = {};
     };
 
-    void encode_mb(MbContext &ctx);
-    void encode_intra_mb(MbContext &ctx);
-    void encode_inter_mb(MbContext &ctx, int mode, const MotionVector *mv,
-                         MotionVector bwd);
+    /** Analysis-side row-scoped predictor state (B-picture chains). */
+    struct RowState {
+        MotionVector left_fwd;  // quarter-sample
+        MotionVector left_bwd;
+    };
+
+    /** Write-side row/picture-scoped predictor state. */
+    struct WriteState {
+        int dc_pred[3] = {kDcPredReset, kDcPredReset, kDcPredReset};
+        MotionVector left_fwd;
+        MotionVector left_bwd;
+        int pending_skips = 0;
+
+        void
+        reset_row()
+        {
+            dc_pred[0] = dc_pred[1] = dc_pred[2] = kDcPredReset;
+            left_fwd = left_bwd = MotionVector{};
+        }
+    };
+
+    void analyze_picture(const Frame &src, PictureType type);
+    void analyze_mb(RowState &rs, const Frame &src, PictureType type,
+                    int mbx, int mby, MbRecord &rec);
+    void analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                          int mby, MbRecord &rec);
+    void analyze_inter_mb(RowState &rs, const Frame &src,
+                          PictureType type, int mode,
+                          const MotionVector *mv, MotionVector bwd,
+                          int mbx, int mby, MbRecord &rec);
+    void write_mb(BitWriter &bw, WriteState &ws, const MbRecord &rec,
+                  PictureType type) const;
 
     /** Median MV predictor from the decoded-MV grid (P pictures). */
     MotionVector median_pred(int mbx, int mby) const;
@@ -117,6 +162,8 @@ class Mpeg4Encoder final : public EncoderBase
     std::vector<MotionVector> anchor_mvs_;  ///< full-pel collocated
     std::vector<MotionVector> mv_grid_;     ///< quarter-pel, current
     Frame recon_;
+    std::vector<MbRecord> records_;   ///< one per MB, raster order
+    std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
 };
 
 MotionVector
@@ -282,9 +329,7 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
     recon_ = Frame(cfg.width, cfg.height, kRefBorder);
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
-    MbContext ctx{};
-    ctx.src = &src;
-    ctx.type = type;
+    analyze_picture(src, type);
 
     std::vector<u8> out;
     if (cfg.error_resilience) {
@@ -301,21 +346,12 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
         escape_emulation(header.data(), header.size(), &out);
 
         BitWriter rbw;
-        ctx.bw = &rbw;
         for (int mby = 0; mby < mb_h_; ++mby) {
-            ctx.mby = mby;
-            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
-                kDcPredReset;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            ctx.pending_skips = 0;
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
-            if (type != PictureType::kI && ctx.pending_skips > 0) {
-                write_ue(rbw, static_cast<u32>(ctx.pending_skips));
-                ctx.pending_skips = 0;
-            }
+            WriteState ws;
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(rbw, ws, records_[mby * mb_w_ + mbx], type);
+            if (type != PictureType::kI && ws.pending_skips > 0)
+                write_ue(rbw, static_cast<u32>(ws.pending_skips));
             rbw.put_bits(kRowSentinel, 8);
             const std::vector<u8> row = rbw.finish();
             append_resync_marker(&out, mby);
@@ -328,19 +364,14 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
         bw.put_bit(cfg.qpel);
         bw.put_bit(cfg.four_mv);
         bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-        ctx.bw = &bw;
+        WriteState ws;
         for (int mby = 0; mby < mb_h_; ++mby) {
-            ctx.mby = mby;
-            ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] =
-                kDcPredReset;
-            ctx.left_fwd = ctx.left_bwd = MotionVector{};
-            for (int mbx = 0; mbx < mb_w_; ++mbx) {
-                ctx.mbx = mbx;
-                encode_mb(ctx);
-            }
+            ws.reset_row();
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                write_mb(bw, ws, records_[mby * mb_w_ + mbx], type);
         }
         if (type != PictureType::kI)
-            write_ue(bw, static_cast<u32>(ctx.pending_skips));
+            write_ue(bw, static_cast<u32>(ws.pending_skips));
         out = bw.finish();
     }
 
@@ -356,22 +387,52 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
 }
 
 void
-Mpeg4Encoder::encode_mb(MbContext &ctx)
+Mpeg4Encoder::analyze_picture(const Frame &src, PictureType type)
 {
-    if (ctx.type == PictureType::kI) {
-        encode_intra_mb(ctx);
+    if (pool_ == nullptr || mb_h_ < 2) {
+        for (int mby = 0; mby < mb_h_; ++mby) {
+            RowState rs{};
+            for (int mbx = 0; mbx < mb_w_; ++mbx)
+                analyze_mb(rs, src, type, mbx, mby,
+                           records_[mby * mb_w_ + mbx]);
+        }
         return;
     }
 
-    const int icost = intra_cost(*ctx.src, ctx.mbx, ctx.mby);
+    // Wavefront bands: MB (x, y) may read mv_grid_ above and
+    // above-right (median predictor + ME candidates), so row y-1 must
+    // be done through column x+1 first.
+    WavefrontScheduler wf(mb_h_, mb_w_);
+    parallel_for(*pool_, mb_h_, [&](int mby, int) {
+        WavefrontRowGuard guard(wf, mby);
+        RowState rs{};
+        for (int mbx = 0; mbx < mb_w_; ++mbx) {
+            wf.wait_above(mby, mbx);
+            analyze_mb(rs, src, type, mbx, mby,
+                       records_[mby * mb_w_ + mbx]);
+            wf.publish(mby, mbx + 1);
+        }
+    });
+}
 
-    if (ctx.type == PictureType::kP) {
-        const MotionVector pred = median_pred(ctx.mbx, ctx.mby);
+void
+Mpeg4Encoder::analyze_mb(RowState &rs, const Frame &src,
+                         PictureType type, int mbx, int mby,
+                         MbRecord &rec)
+{
+    if (type == PictureType::kI) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
+        return;
+    }
+
+    const int icost = intra_cost(src, mbx, mby);
+
+    if (type == PictureType::kP) {
+        const MotionVector pred = median_pred(mbx, mby);
         const std::vector<MotionVector> cands =
-            gather_candidates(ctx.mbx, ctx.mby);
-        const MeResult r16 = estimate(*ctx.src, last_anchor_,
-                                      ctx.mbx * 16, ctx.mby * 16, 16,
-                                      pred, cands);
+            gather_candidates(mbx, mby);
+        const MeResult r16 = estimate(src, last_anchor_, mbx * 16,
+                                      mby * 16, 16, pred, cands);
 
         MotionVector mv[4] = {r16.mv, r16.mv, r16.mv, r16.mv};
         bool four = false;
@@ -384,10 +445,9 @@ Mpeg4Encoder::encode_mb(MbContext &ctx)
             c8.push_back({static_cast<s16>(r16.mv.x >> 2),
                           static_cast<s16>(r16.mv.y >> 2)});
             for (int b = 0; b < 4; ++b) {
-                sub[b] = estimate(*ctx.src, last_anchor_,
-                                  ctx.mbx * 16 + (b & 1) * 8,
-                                  ctx.mby * 16 + (b >> 1) * 8, 8, pred,
-                                  c8);
+                sub[b] = estimate(src, last_anchor_,
+                                  mbx * 16 + (b & 1) * 8,
+                                  mby * 16 + (b >> 1) * 8, 8, pred, c8);
                 cost4 += sub[b].cost;
             }
             if (cost4 < r16.cost) {
@@ -399,37 +459,33 @@ Mpeg4Encoder::encode_mb(MbContext &ctx)
 
         const int inter_cost = four ? 0 : r16.cost;  // four => chosen
         if (!four && icost < inter_cost) {
-            write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
-            ctx.pending_skips = 0;
-            write_ue(*ctx.bw, mpeg4::kPIntra);
-            encode_intra_mb(ctx);
+            analyze_intra_mb(rs, src, mbx, mby, rec);
             return;
         }
-        encode_inter_mb(ctx,
-                        four ? mpeg4::kPInter4v : mpeg4::kPInter16, mv,
-                        {});
+        analyze_inter_mb(rs, src, type,
+                         four ? mpeg4::kPInter4v : mpeg4::kPInter16, mv,
+                         {}, mbx, mby, rec);
         return;
     }
 
     // B picture.
-    const MeResult fwd = estimate(*ctx.src, prev_anchor_, ctx.mbx * 16,
-                                  ctx.mby * 16, 16, ctx.left_fwd,
-                                  gather_candidates(ctx.mbx, ctx.mby));
-    const MeResult bwd = estimate(*ctx.src, last_anchor_, ctx.mbx * 16,
-                                  ctx.mby * 16, 16, ctx.left_bwd,
-                                  gather_candidates(ctx.mbx, ctx.mby));
+    const MeResult fwd = estimate(src, prev_anchor_, mbx * 16, mby * 16,
+                                  16, rs.left_fwd,
+                                  gather_candidates(mbx, mby));
+    const MeResult bwd = estimate(src, last_anchor_, mbx * 16, mby * 16,
+                                  16, rs.left_bwd,
+                                  gather_candidates(mbx, mby));
 
     PredBuffers bi;
     const MotionVector fmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
-    build_pred(prev_anchor_, &last_anchor_, fmv, false, bwd.mv, ctx.mbx,
-               ctx.mby, &bi);
-    const Plane &luma = ctx.src->luma();
-    const int bi_sad =
-        dsp_.sad16x16(luma.row(ctx.mby * 16) + ctx.mbx * 16,
-                      luma.stride(), bi.luma, 16);
+    build_pred(prev_anchor_, &last_anchor_, fmv, false, bwd.mv, mbx,
+               mby, &bi);
+    const Plane &luma = src.luma();
+    const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
+                                     luma.stride(), bi.luma, 16);
     const int bi_cost =
-        bi_sad + mv_rate_cost(fwd.mv, ctx.left_fwd, me_.params().lambda16)
-        + mv_rate_cost(bwd.mv, ctx.left_bwd, me_.params().lambda16);
+        bi_sad + mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16)
+        + mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
 
     int best = mpeg4::kBBi;
     int best_cost = bi_cost;
@@ -442,30 +498,28 @@ Mpeg4Encoder::encode_mb(MbContext &ctx)
         best_cost = bwd.cost;
     }
     if (icost < best_cost) {
-        write_ue(*ctx.bw, static_cast<u32>(ctx.pending_skips));
-        ctx.pending_skips = 0;
-        write_ue(*ctx.bw, mpeg4::kBIntra);
-        encode_intra_mb(ctx);
+        analyze_intra_mb(rs, src, mbx, mby, rec);
         return;
     }
     const MotionVector bmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
-    encode_inter_mb(ctx, best, bmv, bwd.mv);
+    analyze_inter_mb(rs, src, type, best, bmv, bwd.mv, mbx, mby, rec);
 }
 
 void
-Mpeg4Encoder::encode_intra_mb(MbContext &ctx)
+Mpeg4Encoder::analyze_intra_mb(RowState &rs, const Frame &src, int mbx,
+                               int mby, MbRecord &rec)
 {
-    BitWriter &bw = *ctx.bw;
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    rec.kind = MbRecord::kIntra;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
-        const Plane &src_plane = ctx.src->plane(comp);
+        const Plane &src_plane = src.plane(comp);
         Plane &rec_plane = recon_.plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
 
-        Coeff blk[64];
+        Coeff *blk = rec.levels[b];
         for (int yy = 0; yy < 8; ++yy) {
             const Pixel *row = src_plane.row(y + yy) + x;
             for (int xx = 0; xx < 8; ++xx)
@@ -475,25 +529,24 @@ Mpeg4Encoder::encode_intra_mb(MbContext &ctx)
         const int dc_level = clamp(div_round(blk[0], kDcStep), 0, 255);
         blk[0] = 0;
         intra_quant_.quantize(blk);
-
-        write_se(bw, dc_level - ctx.dc_pred[comp]);
-        ctx.dc_pred[comp] = dc_level;
-        intra_rl_.encode_block(bw, blk, 1);
+        rec.dc[b] = static_cast<s16>(dc_level);
 
         Pixel *dst = rec_plane.row(y) + x;
         zero_block8(dst, rec_plane.stride());
         mpeg_recon_block(blk, intra_quant_, dc_level * kDcStep, dst,
                          rec_plane.stride(), dsp_);
     }
-    ctx.left_fwd = ctx.left_bwd = MotionVector{};
-    mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+    rs.left_fwd = rs.left_bwd = MotionVector{};
+    mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
 }
 
 void
-Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
-                              const MotionVector *mv, MotionVector bwd)
+Mpeg4Encoder::analyze_inter_mb(RowState &rs, const Frame &src,
+                               PictureType type, int mode,
+                               const MotionVector *mv, MotionVector bwd,
+                               int mbx, int mby, MbRecord &rec)
 {
-    const bool is_b = ctx.type == PictureType::kB;
+    const bool is_b = type == PictureType::kB;
     const bool four = !is_b && mode == mpeg4::kPInter4v;
     bool use_fwd = true;
     bool use_bwd = false;
@@ -511,27 +564,26 @@ Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
     if (is_b) {
         if (!use_fwd) {
             const MotionVector bmv[4] = {bwd, bwd, bwd, bwd};
-            build_pred(last_anchor_, nullptr, bmv, false, {}, ctx.mbx,
-                       ctx.mby, &pred);
+            build_pred(last_anchor_, nullptr, bmv, false, {}, mbx, mby,
+                       &pred);
         } else {
             const MotionVector fmv[4] = {fwd, fwd, fwd, fwd};
             build_pred(prev_anchor_, use_bwd ? &last_anchor_ : nullptr,
-                       fmv, false, bwd, ctx.mbx, ctx.mby, &pred);
+                       fmv, false, bwd, mbx, mby, &pred);
         }
     } else {
-        build_pred(last_anchor_, nullptr, mv, four, {}, ctx.mbx,
-                   ctx.mby, &pred);
+        build_pred(last_anchor_, nullptr, mv, four, {}, mbx, mby,
+                   &pred);
     }
 
-    Coeff blocks[6][64];
     int cbp = 0;
-    const int lx = ctx.mbx * 16;
-    const int ly = ctx.mby * 16;
+    const int lx = mbx * 16;
+    const int ly = mby * 16;
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
-        const Plane &src_plane = ctx.src->plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const Plane &src_plane = src.plane(comp);
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
         const Pixel *pp;
         int ps;
         if (b < 4) {
@@ -541,10 +593,10 @@ Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
             pp = b == 4 ? pred.cb : pred.cr;
             ps = 8;
         }
-        dsp_.sub_rect(blocks[b], 8, src_plane.row(y) + x,
+        dsp_.sub_rect(rec.levels[b], 8, src_plane.row(y) + x,
                       src_plane.stride(), pp, ps, 8, 8);
-        dsp_.fdct8x8(blocks[b]);
-        if (inter_quant_.quantize(blocks[b]) != 0)
+        dsp_.fdct8x8(rec.levels[b]);
+        if (inter_quant_.quantize(rec.levels[b]) != 0)
             cbp |= 1 << b;
     }
 
@@ -554,50 +606,36 @@ Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
                  bwd == MotionVector{})
               : fwd == MotionVector{});
     if (skippable) {
-        ++ctx.pending_skips;
-        ctx.left_fwd = ctx.left_bwd = MotionVector{};
-        mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = MotionVector{};
+        rec.kind = MbRecord::kSkip;
+        rs.left_fwd = rs.left_bwd = MotionVector{};
+        mv_grid_[mby * mb_w_ + mbx] = MotionVector{};
     } else {
-        BitWriter &bw = *ctx.bw;
-        write_ue(bw, static_cast<u32>(ctx.pending_skips));
-        ctx.pending_skips = 0;
-        write_ue(bw, static_cast<u32>(mode));
+        rec.kind = MbRecord::kInter;
+        rec.mode = static_cast<u8>(mode);
+        rec.cbp = static_cast<u8>(cbp);
+        rec.four = four;
+        rec.use_fwd = use_fwd;
+        rec.use_bwd = use_bwd;
+        for (int b = 0; b < 4; ++b)
+            rec.mv[b] = is_b ? (b == 0 ? fwd : MotionVector{}) : mv[b];
+        rec.bwd = bwd;
         if (is_b) {
-            if (use_fwd) {
-                write_se(bw, fwd.x - ctx.left_fwd.x);
-                write_se(bw, fwd.y - ctx.left_fwd.y);
-            }
-            if (use_bwd) {
-                write_se(bw, bwd.x - ctx.left_bwd.x);
-                write_se(bw, bwd.y - ctx.left_bwd.y);
-            }
-            ctx.left_fwd = use_fwd ? fwd : MotionVector{};
-            ctx.left_bwd = use_bwd ? bwd : MotionVector{};
+            rs.left_fwd = use_fwd ? fwd : MotionVector{};
+            rs.left_bwd = use_bwd ? bwd : MotionVector{};
         } else {
-            const MotionVector p = median_pred(ctx.mbx, ctx.mby);
-            const int count = four ? 4 : 1;
-            for (int b = 0; b < count; ++b) {
-                write_se(bw, mv[b].x - p.x);
-                write_se(bw, mv[b].y - p.y);
-            }
+            // Recorded at the same sequence point the serial encoder
+            // evaluated it: after the left MB's mv_grid_ update,
+            // before this MB's own.
+            rec.pred_p = median_pred(mbx, mby);
+            mv_grid_[mby * mb_w_ + mbx] = mv[0];
         }
-        bw.put_bits(static_cast<u32>(cbp), 6);
-        for (int b = 0; b < 6; ++b) {
-            if (cbp & (1 << b))
-                inter_rl_.encode_block(bw, blocks[b], 0);
-        }
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
-        if (!is_b)
-            mv_grid_[ctx.mby * mb_w_ + ctx.mbx] = mv[0];
     }
-    if (skippable)
-        ctx.dc_pred[0] = ctx.dc_pred[1] = ctx.dc_pred[2] = kDcPredReset;
 
     for (int b = 0; b < 6; ++b) {
         const int comp = b < 4 ? 0 : b - 3;
         Plane &rec_plane = recon_.plane(comp);
-        const int x = b < 4 ? lx + (b & 1) * 8 : ctx.mbx * 8;
-        const int y = b < 4 ? ly + (b >> 1) * 8 : ctx.mby * 8;
+        const int x = b < 4 ? lx + (b & 1) * 8 : mbx * 8;
+        const int y = b < 4 ? ly + (b >> 1) * 8 : mby * 8;
         const Pixel *pp;
         int ps;
         if (b < 4) {
@@ -610,10 +648,69 @@ Mpeg4Encoder::encode_inter_mb(MbContext &ctx, int mode,
         Pixel *dst = rec_plane.row(y) + x;
         dsp_.copy_rect(dst, rec_plane.stride(), pp, ps, 8, 8);
         if (cbp & (1 << b)) {
-            mpeg_recon_block(blocks[b], inter_quant_, -1, dst,
+            mpeg_recon_block(rec.levels[b], inter_quant_, -1, dst,
                              rec_plane.stride(), dsp_);
         }
     }
+}
+
+void
+Mpeg4Encoder::write_mb(BitWriter &bw, WriteState &ws,
+                       const MbRecord &rec, PictureType type) const
+{
+    const bool is_b = type == PictureType::kB;
+
+    if (rec.kind == MbRecord::kSkip) {
+        ++ws.pending_skips;
+        ws.left_fwd = ws.left_bwd = MotionVector{};
+        ws.dc_pred[0] = ws.dc_pred[1] = ws.dc_pred[2] = kDcPredReset;
+        return;
+    }
+
+    if (rec.kind == MbRecord::kIntra) {
+        if (type != PictureType::kI) {
+            write_ue(bw, static_cast<u32>(ws.pending_skips));
+            ws.pending_skips = 0;
+            write_ue(bw, is_b ? static_cast<u32>(mpeg4::kBIntra)
+                              : static_cast<u32>(mpeg4::kPIntra));
+        }
+        for (int b = 0; b < 6; ++b) {
+            const int comp = b < 4 ? 0 : b - 3;
+            write_se(bw, rec.dc[b] - ws.dc_pred[comp]);
+            ws.dc_pred[comp] = rec.dc[b];
+            intra_rl_.encode_block(bw, rec.levels[b], 1);
+        }
+        ws.left_fwd = ws.left_bwd = MotionVector{};
+        return;
+    }
+
+    write_ue(bw, static_cast<u32>(ws.pending_skips));
+    ws.pending_skips = 0;
+    write_ue(bw, static_cast<u32>(rec.mode));
+    if (is_b) {
+        if (rec.use_fwd) {
+            write_se(bw, rec.mv[0].x - ws.left_fwd.x);
+            write_se(bw, rec.mv[0].y - ws.left_fwd.y);
+        }
+        if (rec.use_bwd) {
+            write_se(bw, rec.bwd.x - ws.left_bwd.x);
+            write_se(bw, rec.bwd.y - ws.left_bwd.y);
+        }
+        ws.left_fwd = rec.use_fwd ? rec.mv[0] : MotionVector{};
+        ws.left_bwd = rec.use_bwd ? rec.bwd : MotionVector{};
+    } else {
+        const int count = rec.four ? 4 : 1;
+        for (int b = 0; b < count; ++b) {
+            write_se(bw, rec.mv[b].x - rec.pred_p.x);
+            write_se(bw, rec.mv[b].y - rec.pred_p.y);
+        }
+    }
+    bw.put_bits(rec.cbp, 6);
+    for (int b = 0; b < 6; ++b) {
+        if (rec.cbp & (1 << b))
+            inter_rl_.encode_block(bw, rec.levels[b], 0);
+    }
+    ws.dc_pred[0] = ws.dc_pred[1] = ws.dc_pred[2] = kDcPredReset;
 }
 
 }  // namespace

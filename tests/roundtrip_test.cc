@@ -2,9 +2,10 @@
  * @file
  * End-to-end codec tests, parameterised over all three codecs and both
  * SIMD levels: decode reproduces display order, quality floors hold,
- * bitstreams are invariant to the SIMD level and deterministic, rate
- * responds monotonically to the quantiser, and corrupt streams are
- * rejected cleanly.
+ * bitstreams are invariant to the SIMD level and to the intra-codec
+ * thread count (CodecConfig::threads) and deterministic, rate responds
+ * monotonically to the quantiser, and corrupt streams are rejected
+ * cleanly.
  */
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 
 #include "container/container.h"
 #include "core/benchmark.h"
+#include "fault/fault.h"
 #include "metrics/psnr.h"
 #include "synth/synth.h"
 
@@ -261,6 +263,113 @@ TEST_P(SimdInvariance, CrossLevelDecodeMatches)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, SimdInvariance,
+                         ::testing::Values(CodecId::kMpeg2,
+                                           CodecId::kMpeg4,
+                                           CodecId::kH264),
+                         [](const ::testing::TestParamInfo<CodecId> &i) {
+                             return codec_name(i.param);
+                         });
+
+// ---- thread-count invariance: CodecConfig::threads is a pure
+// wall-clock knob, so the band-parallel paths must reproduce the
+// single-threaded bitstream and reconstruction exactly ----
+
+class ThreadInvariance : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(ThreadInvariance, BitstreamAndReconIdenticalAcrossThreadCounts)
+{
+    const CodecId codec = GetParam();
+    const CodecConfig base = small_config(best_simd_level());
+    const CodecRun serial =
+        encode_decode(codec, base, SequenceId::kRushHour, 8);
+    for (int threads : {2, 4}) {
+        SCOPED_TRACE(std::string(codec_name(codec)) + " threads=" +
+                     std::to_string(threads));
+        CodecConfig cfg = base;
+        cfg.threads = threads;
+        const CodecRun run =
+            encode_decode(codec, cfg, SequenceId::kRushHour, 8);
+        ASSERT_EQ(run.stream.packets.size(),
+                  serial.stream.packets.size());
+        for (size_t i = 0; i < serial.stream.packets.size(); ++i) {
+            EXPECT_EQ(run.stream.packets[i].data,
+                      serial.stream.packets[i].data)
+                << "bitstream differs at packet " << i;
+        }
+        ASSERT_EQ(run.decoded.size(), serial.decoded.size());
+        for (size_t i = 0; i < serial.decoded.size(); ++i) {
+            for (int p = 0; p < 3; ++p) {
+                EXPECT_EQ(plane_sse(run.decoded[i].plane(p),
+                                    serial.decoded[i].plane(p)),
+                          0u)
+                    << "recon differs at frame " << i << " plane " << p;
+            }
+        }
+    }
+}
+
+TEST_P(ThreadInvariance, ResilientConcealmentMatchesAcrossThreadCounts)
+{
+    // The resilient decode path is where the parallel row/wavefront
+    // machinery does real work (resync, per-row parsing, concealment).
+    // Corrupt a resilient stream deterministically and require the
+    // threaded decoders to produce the threads=1 pixels and counters.
+    const CodecId codec = GetParam();
+    CodecConfig cfg = small_config(best_simd_level());
+    cfg.error_resilience = true;
+
+    const CodecRun clean =
+        encode_decode(codec, cfg, SequenceId::kRiverbed, 8);
+    FaultPlan plan;
+    plan.seed = 9;
+    plan.flip_density = 2e-3;
+    plan.protect_first_packet = true;
+    const EncodedStream corrupted = corrupted_copy(clean.stream, plan);
+
+    std::vector<Frame> baseline;
+    DecodeStats baseline_stats;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int threads : {1, 2, 4}) {
+            CodecConfig dcfg = cfg;
+            dcfg.threads = threads;
+            std::unique_ptr<VideoDecoder> dec =
+                make_decoder(codec, dcfg).value();
+            std::vector<Frame> frames;
+            for (const Packet &packet :
+                 (pass == 0 ? clean.stream : corrupted).packets)
+                (void)dec->decode(packet, &frames);
+            dec->flush(&frames);
+            if (threads == 1) {
+                baseline = std::move(frames);
+                baseline_stats = dec->stats();
+                if (pass == 1) {
+                    EXPECT_GT(baseline_stats.mbs_concealed, 0);
+                }
+                continue;
+            }
+            SCOPED_TRACE(std::string(codec_name(codec)) +
+                         (pass == 0 ? " clean" : " corrupted") +
+                         " threads=" + std::to_string(threads));
+            ASSERT_EQ(frames.size(), baseline.size());
+            for (size_t i = 0; i < frames.size(); ++i) {
+                for (int p = 0; p < 3; ++p) {
+                    EXPECT_EQ(plane_sse(frames[i].plane(p),
+                                        baseline[i].plane(p)),
+                              0u)
+                        << "frame " << i << " plane " << p;
+                }
+            }
+            const DecodeStats stats = dec->stats();
+            EXPECT_EQ(stats.mbs_concealed,
+                      baseline_stats.mbs_concealed);
+            EXPECT_EQ(stats.resyncs, baseline_stats.resyncs);
+            EXPECT_EQ(stats.pictures_dropped,
+                      baseline_stats.pictures_dropped);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, ThreadInvariance,
                          ::testing::Values(CodecId::kMpeg2,
                                            CodecId::kMpeg4,
                                            CodecId::kH264),

@@ -96,6 +96,36 @@ TEST(SweepRunner, ParallelMatchesSerialBitExactly)
     }
 }
 
+TEST(SweepRunner, ThreadedPointsMatchSingleThreadedBitExactly)
+{
+    // BenchPoint::threads turns on intra-codec band parallelism; the
+    // contract is that it only changes wall-clock time. Encoded
+    // streams, frame counts and PSNR must be byte-for-byte identical
+    // to the threads=1 run for every codec.
+    std::vector<BenchPoint> base = tiny_points();
+    std::vector<BenchPoint> threaded = base;
+    for (BenchPoint &point : threaded)
+        point.threads = 4;
+
+    SweepOptions options;
+    options.jobs = 2;
+    options.keep_streams = true;
+    const std::vector<SweepResult> a = SweepRunner(options).run(base);
+    const std::vector<SweepResult> b =
+        SweepRunner(options).run(threaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(base[i].label());
+        EXPECT_EQ(b[i].point.threads, 4);
+        EXPECT_EQ(b[i].point.effective_config().threads, 4);
+        EXPECT_EQ(serialize_stream(a[i].stream),
+                  serialize_stream(b[i].stream));
+        EXPECT_EQ(a[i].decode_frames, b[i].decode_frames);
+        EXPECT_DOUBLE_EQ(a[i].psnr_y, b[i].psnr_y);
+        EXPECT_DOUBLE_EQ(a[i].psnr_all, b[i].psnr_all);
+    }
+}
+
 TEST(SweepRunner, RecordsPerPointObservability)
 {
     SweepOptions options;
@@ -106,7 +136,10 @@ TEST(SweepRunner, RecordsPerPointObservability)
         EXPECT_GT(r.wall_seconds, 0.0);
         EXPECT_GE(r.worker, 0);
         EXPECT_LT(r.worker, 2);
-        EXPECT_GT(r.peak_rss_kb, 0);
+        // Peak-RSS growth since the sweep baseline: zero is legal (a
+        // point that fits in the footprint already reached), negative
+        // is not.
+        EXPECT_GE(r.peak_rss_delta_kb, 0);
         EXPECT_TRUE(r.encode_measured);
         EXPECT_TRUE(r.decode_measured);
         EXPECT_GT(r.encode_fps(), 0.0);
@@ -129,13 +162,19 @@ TEST(SweepRunner, WritesJsonReport)
 
     const std::string report = read_file(path);
     ASSERT_FALSE(report.empty());
-    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/2\""),
+    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/3\""),
               std::string::npos);
     EXPECT_NE(report.find("\"jobs\":2"), std::string::npos);
     // Schema 2: per-point fault-isolation fields.
     EXPECT_NE(report.find("\"status\":\"ok\""), std::string::npos);
     EXPECT_NE(report.find("\"attempts\":1"), std::string::npos);
     EXPECT_NE(report.find("\"concealment\""), std::string::npos);
+    // Schema 3: per-point codec thread count and peak-RSS growth
+    // relative to the sweep baseline (the old absolute peak_rss_kb
+    // field is gone).
+    EXPECT_NE(report.find("\"threads\":1"), std::string::npos);
+    EXPECT_NE(report.find("\"peak_rss_delta_kb\""), std::string::npos);
+    EXPECT_EQ(report.find("\"peak_rss_kb\""), std::string::npos);
     // The report is published atomically: no temp file left behind.
     EXPECT_TRUE(read_file(path + ".tmp").empty());
     // Every point appears, by its stable label.

@@ -1,18 +1,24 @@
 /**
  * @file
- * Unit tests for the sweep engine's concurrency substrate: ThreadPool
- * task dispatch and parallel_for semantics (full coverage of the index
- * range, dynamic balancing with more tasks than workers, exception
- * propagation, empty ranges, worker-id reporting).
+ * Unit tests for the concurrency substrate shared by the sweep engine
+ * and the codecs' band-parallel mode: ThreadPool task dispatch,
+ * parallel_for semantics (full coverage of the index range, dynamic
+ * balancing with more tasks than workers, exception propagation, empty
+ * ranges, worker-id reporting), pool identity (on_worker_thread,
+ * cross-pool nesting), TaskGroup, HDVB_JOBS parsing, and the wavefront
+ * scheduler's happens-before ordering (the band-partition test is the
+ * one a TSAN build leans on).
  */
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/wavefront.h"
 
 namespace hdvb {
 namespace {
@@ -102,9 +108,169 @@ TEST(ParallelFor, ResultsLandAtTheirOwnIndex)
         EXPECT_EQ(results[i], i * i);
 }
 
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools)
+{
+    ThreadPool a(2);
+    ThreadPool b(2);
+    EXPECT_FALSE(a.on_worker_thread());  // main thread
+    std::atomic<int> checked{0};
+    parallel_for(a, 8, [&](int, int) {
+        if (a.on_worker_thread() && !b.on_worker_thread())
+            ++checked;
+    });
+    EXPECT_EQ(checked.load(), 8);
+}
+
+TEST(ParallelFor, NestsAcrossDistinctPools)
+{
+    // The documented-legal nesting: a task on one pool drives a
+    // parallel_for on a *different* pool — exactly how a sweep worker
+    // drives a codec's private band pool. The same-pool case is an
+    // HDVB_DCHECK failure and is not exercised here.
+    ThreadPool outer(2);
+    ThreadPool inner(3);
+    std::atomic<int> total{0};
+    parallel_for(outer, 4, [&](int, int) {
+        parallel_for(inner, 5, [&](int, int) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 20);
+}
+
+TEST(TaskGroup, WaitsForIncrementallySubmittedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 40; ++i)
+        group.run([&done] { ++done; });
+    group.wait();
+    EXPECT_EQ(done.load(), 40);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstTaskError)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 10; ++i) {
+        group.run([&completed, i] {
+            if (i == 4)
+                throw std::runtime_error("row failed");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_LE(completed.load(), 9);
+
+    // The pool itself is unaffected.
+    std::atomic<int> after{0};
+    parallel_for(pool, 6, [&after](int, int) { ++after; });
+    EXPECT_EQ(after.load(), 6);
+}
+
 TEST(DefaultJobCount, IsPositive)
 {
     EXPECT_GE(default_job_count(), 1);
+}
+
+TEST(DefaultJobCount, ParsesHdvbJobsStrictly)
+{
+    const char *saved = std::getenv("HDVB_JOBS");
+    const std::string saved_copy = saved != nullptr ? saved : "";
+
+    ::unsetenv("HDVB_JOBS");
+    const int fallback = default_job_count();
+    EXPECT_GE(fallback, 1);
+
+    ::setenv("HDVB_JOBS", "7", 1);
+    EXPECT_EQ(default_job_count(), 7);
+
+    // atoi would have truncated these to a number or to 0; the strict
+    // parser rejects the whole value and falls back instead.
+    for (const char *bad : {"7x", "3 4", "", " 5", "0", "-2", "jobs"}) {
+        ::setenv("HDVB_JOBS", bad, 1);
+        EXPECT_EQ(default_job_count(), fallback)
+            << "HDVB_JOBS=\"" << bad << '"';
+    }
+
+    if (saved != nullptr)
+        ::setenv("HDVB_JOBS", saved_copy.c_str(), 1);
+    else
+        ::unsetenv("HDVB_JOBS");
+}
+
+// ---- wavefront scheduling ----
+
+TEST(Wavefront, BandPartitionRespectsAboveRightDependency)
+{
+    // A miniature of the codecs' threaded picture pass: every cell of
+    // an mb-grid-shaped table is computed from its left neighbour and
+    // its above-right neighbour, one row per band, synchronised only by
+    // the WavefrontScheduler. The non-atomic cross-row reads make this
+    // the test a TSAN build uses to vouch for the publish/wait_for
+    // happens-before edges; the value check makes lost updates visible
+    // on any build.
+    constexpr int kRows = 16;
+    constexpr int kCols = 24;
+
+    std::vector<std::vector<long>> want(kRows,
+                                        std::vector<long>(kCols, 0));
+    for (int r = 0; r < kRows; ++r) {
+        for (int c = 0; c < kCols; ++c) {
+            const long left = c > 0 ? want[r][c - 1] : 1;
+            const long above_right =
+                r > 0 ? want[r - 1][c + 1 < kCols ? c + 1 : kCols - 1]
+                      : 1;
+            want[r][c] = left + above_right + r + c;
+        }
+    }
+
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<std::vector<long>> got(kRows,
+                                           std::vector<long>(kCols, 0));
+        ThreadPool pool(4);
+        WavefrontScheduler wf(kRows, kCols);
+        parallel_for(pool, kRows, [&](int r, int) {
+            WavefrontRowGuard guard(wf, r);
+            for (int c = 0; c < kCols; ++c) {
+                wf.wait_above(r, c);
+                const long left = c > 0 ? got[r][c - 1] : 1;
+                const long above_right =
+                    r > 0
+                        ? got[r - 1][c + 1 < kCols ? c + 1 : kCols - 1]
+                        : 1;
+                got[r][c] = left + above_right + r + c;
+                wf.publish(r, c + 1);
+            }
+        });
+        ASSERT_EQ(got, want) << "trial " << trial;
+    }
+}
+
+TEST(Wavefront, RowGuardPoisonsRowOnException)
+{
+    // A band that dies mid-row must still unblock the rows below it —
+    // the guard publishes full completion on unwind, so the loop's
+    // exception surfaces instead of a deadlock.
+    constexpr int kRows = 8;
+    constexpr int kCols = 8;
+    ThreadPool pool(4);
+    WavefrontScheduler wf(kRows, kCols);
+    std::atomic<int> cells{0};
+    EXPECT_THROW(
+        parallel_for(pool, kRows,
+                     [&](int r, int) {
+                         WavefrontRowGuard guard(wf, r);
+                         for (int c = 0; c < kCols; ++c) {
+                             wf.wait_above(r, c);
+                             if (r == 2 && c == 3)
+                                 throw std::runtime_error("band died");
+                             ++cells;
+                             wf.publish(r, c + 1);
+                         }
+                     }),
+        std::runtime_error);
+    EXPECT_LT(cells.load(), kRows * kCols);
 }
 
 }  // namespace
