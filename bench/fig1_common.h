@@ -11,8 +11,11 @@
 #define HDVB_BENCH_FIG1_COMMON_H
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 #include <sys/stat.h>
 
+#include "common/log.h"
 #include "core/report.h"
 #include "core/sweep.h"
 
@@ -20,6 +23,12 @@ namespace hdvb::bench {
 
 inline constexpr double kRealTimeFps = 25.0;
 inline constexpr char kCacheDir[] = "hdvb_cache";
+
+/** Version tag written as the first line of every series cache file.
+ * Bumped whenever the payload layout or its meaning changes, so a
+ * stale cache from an older checkout is re-measured instead of being
+ * silently misread as current data. */
+inline constexpr char kSeriesSchema[] = "hdvb-fig1-series/2";
 
 /** fps results indexed [codec][resolution] (averaged over the four
  * input sequences, matching Figure 1's per-resolution groups). */
@@ -38,13 +47,30 @@ series_path(const char *what, SimdLevel simd, int frames)
     return buf;
 }
 
+/**
+ * Load a cached series, validating the header line ("<schema> <what>
+ * <simd> <frames>") against what the caller is about to interpret the
+ * numbers as. Returns false — forcing a fresh measurement — for a
+ * missing file, an older schema, a header that disagrees with the
+ * request, or a truncated payload.
+ */
 inline bool
-load_series(const std::string &path, Fig1Series *series)
+load_series(const std::string &path, const char *what, SimdLevel simd,
+            int frames, Fig1Series *series)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
     if (f == nullptr)
         return false;
-    bool ok = true;
+    char schema[32] = {};
+    char got_what[16] = {};
+    char got_simd[16] = {};
+    int got_frames = 0;
+    bool ok = std::fscanf(f, "%31s %15s %15s %d", schema, got_what,
+                          got_simd, &got_frames) == 4 &&
+              std::strcmp(schema, kSeriesSchema) == 0 &&
+              std::strcmp(got_what, what) == 0 &&
+              std::strcmp(got_simd, simd_level_name(simd)) == 0 &&
+              got_frames == frames;
     for (int c = 0; c < kCodecCount && ok; ++c)
         for (int r = 0; r < kResolutionCount && ok; ++r)
             ok = std::fscanf(f, "%lf", &series->fps[c][r]) == 1;
@@ -53,16 +79,36 @@ load_series(const std::string &path, Fig1Series *series)
 }
 
 inline void
-save_series(const std::string &path, const Fig1Series &series)
+save_series(const std::string &path, const char *what, SimdLevel simd,
+            int frames, const Fig1Series &series)
 {
     ::mkdir(kCacheDir, 0755);
     std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
+    if (f == nullptr) {
+        HDVB_LOG(kWarn) << "series cache not written: " << path
+                        << " (open failed); the next bench will "
+                           "re-measure this series";
         return;
+    }
+    std::fprintf(f, "%s %s %s %d\n", kSeriesSchema, what,
+                 simd_level_name(simd), frames);
     for (int c = 0; c < kCodecCount; ++c)
         for (int r = 0; r < kResolutionCount; ++r)
             std::fprintf(f, "%f\n", series.fps[c][r]);
     std::fclose(f);
+}
+
+/** Every level the running machine can execute, weakest first:
+ * kScalar .. detected_simd_level(). The SIMD panels of Figure 1 (b/d)
+ * and the speedup summaries iterate this instead of assuming the
+ * two-level scalar/SSE2 world. */
+inline std::vector<SimdLevel>
+supported_simd_levels()
+{
+    std::vector<SimdLevel> levels;
+    for (int i = 0; i <= static_cast<int>(detected_simd_level()); ++i)
+        levels.push_back(static_cast<SimdLevel>(i));
+    return levels;
 }
 
 /**
@@ -108,6 +154,25 @@ measure_encode(SimdLevel simd, int frames, const char *report)
     return measure_grid(true, simd, frames, report);
 }
 
+/** Load-or-measure: the (b)/(d) benches call this for every level so a
+ * series measured by a previous run (or by fig1a/c) is never re-timed. */
+inline Fig1Series
+load_or_measure(bool encode, SimdLevel simd, int frames,
+                const char *report)
+{
+    const char *what = encode ? "enc" : "dec";
+    const std::string path = series_path(what, simd, frames);
+    Fig1Series series;
+    if (load_series(path, what, simd, frames, &series)) {
+        std::printf("(%s %s series loaded from %s)\n",
+                    simd_level_name(simd), what, path.c_str());
+        return series;
+    }
+    series = measure_grid(encode, simd, frames, report);
+    save_series(path, what, simd, frames, series);
+    return series;
+}
+
 /** Print one Figure 1 panel. */
 inline void
 print_series(const char *what, SimdLevel simd, const Fig1Series &series)
@@ -120,8 +185,7 @@ print_series(const char *what, SimdLevel simd, const Fig1Series &series)
         for (int r = 0; r < kResolutionCount; ++r)
             rt += row[r] >= kRealTimeFps ? 'y' : 'n';
         table.add_row({std::string(codec_display_name(codec)) + "_" +
-                           (simd == SimdLevel::kScalar ? "Scalar"
-                                                       : "SIMD"),
+                           simd_level_name(simd),
                        TableWriter::fmt(row[0], 1),
                        TableWriter::fmt(row[1], 1),
                        TableWriter::fmt(row[2], 1), rt});
@@ -132,23 +196,36 @@ print_series(const char *what, SimdLevel simd, const Fig1Series &series)
                 kRealTimeFps, what);
 }
 
-/** Print the Section VI average SIMD speedups (simd vs scalar). */
+/** Print the Section VI average speedups of @p simd over the scalar
+ * baseline. Resolutions whose baseline fps is zero (a failed or
+ * skipped point) are excluded from the average rather than dividing
+ * by zero. */
 inline void
 print_speedups(const Fig1Series &scalar, const Fig1Series &simd,
-               const char *paper_values)
+               SimdLevel level, const char *paper_values)
 {
-    std::printf("\nAverage SIMD speedup per codec (over all "
-                "resolutions):\n");
+    std::printf("\nAverage %s speedup per codec (over all "
+                "resolutions):\n",
+                simd_level_name(level));
     for (CodecId codec : kAllCodecs) {
         double ratio = 0.0;
+        int counted = 0;
         for (int r = 0; r < kResolutionCount; ++r) {
-            ratio += simd.fps[static_cast<int>(codec)][r] /
-                     scalar.fps[static_cast<int>(codec)][r];
+            const double base = scalar.fps[static_cast<int>(codec)][r];
+            if (base <= 0.0)
+                continue;
+            ratio += simd.fps[static_cast<int>(codec)][r] / base;
+            ++counted;
         }
-        std::printf("  %-7s %.2fx\n", codec_display_name(codec),
-                    ratio / kResolutionCount);
+        if (counted == 0)
+            std::printf("  %-7s n/a (no scalar baseline)\n",
+                        codec_display_name(codec));
+        else
+            std::printf("  %-7s %.2fx\n", codec_display_name(codec),
+                        ratio / counted);
     }
-    std::printf("  (paper: %s)\n", paper_values);
+    if (paper_values != nullptr)
+        std::printf("  (paper: %s)\n", paper_values);
 }
 
 }  // namespace hdvb::bench

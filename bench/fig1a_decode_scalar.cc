@@ -19,7 +19,8 @@ main()
     print_banner("Figure 1(a): decoding performance, scalar version");
     const Fig1Series scalar =
         measure_decode(SimdLevel::kScalar, frames, "fig1a");
-    save_series(series_path("dec", SimdLevel::kScalar, frames), scalar);
+    save_series(series_path("dec", SimdLevel::kScalar, frames), "dec",
+                SimdLevel::kScalar, frames, scalar);
     print_series("(a)", SimdLevel::kScalar, scalar);
     return 0;
 }

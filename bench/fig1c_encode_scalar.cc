@@ -17,7 +17,8 @@ main()
     print_banner("Figure 1(c): encoding performance, scalar version");
     const Fig1Series scalar =
         measure_encode(SimdLevel::kScalar, frames, "fig1c");
-    save_series(series_path("enc", SimdLevel::kScalar, frames), scalar);
+    save_series(series_path("enc", SimdLevel::kScalar, frames), "enc",
+                SimdLevel::kScalar, frames, scalar);
     print_series("(c)", SimdLevel::kScalar, scalar);
     return 0;
 }

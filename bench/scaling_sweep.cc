@@ -11,7 +11,7 @@
  * flight at a time, so the codec's private pool is the only source of
  * concurrency and per-point fps is undisturbed by neighbours. The
  * observability report lands in hdvb_cache/scaling_report.json
- * (schema hdvb-sweep/3, per-point "threads" field).
+ * (schema hdvb-sweep/4, per-point "threads" field).
  */
 #include <cstdio>
 #include <thread>

@@ -8,7 +8,7 @@
  * Usage:
  *   player_benchmark -vc <mpeg2|mpeg4|h264> [-i stream.hdv]
  *                    [-res 576p25|720p25|1088p25] [-frames N]
- *                    [-simd scalar|sse2] [-vo out.y4m]
+ *                    [-simd scalar|sse2|avx2] [-vo out.y4m]
  *
  * Without -i, the benchmark point (synthetic blue_sky) runs through the
  * SweepRunner measurement engine — the same code path the Figure 1
@@ -36,7 +36,7 @@ usage()
     std::fprintf(stderr,
                  "usage: player_benchmark -vc <mpeg2|mpeg4|h264> "
                  "[-i stream.hdv] [-res 576p25|720p25|1088p25] "
-                 "[-frames N] [-simd scalar|sse2] [-vo out.y4m]\n");
+                 "[-frames N] [-simd scalar|sse2|avx2] [-vo out.y4m]\n");
 }
 
 /** Decode @p stream (untimed) into @p frames for -vo output. */
@@ -117,8 +117,13 @@ main(int argc, char **argv)
             frames = std::atoi(next());
         } else if (arg == "-simd") {
             const std::string level = next();
-            simd = level == "scalar" ? SimdLevel::kScalar
-                                     : SimdLevel::kSse2;
+            if (!parse_simd_level(level, &simd)) {
+                std::fprintf(stderr,
+                             "unknown SIMD level \"%s\" (one of: %s)\n",
+                             level.c_str(), simd_level_names());
+                usage();
+                return 1;
+            }
         } else if (arg == "-vo") {
             vo = next();
         } else {

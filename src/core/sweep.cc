@@ -202,7 +202,9 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
 {
     JsonWriter json;
     json.begin_object();
-    json.field("schema", "hdvb-sweep/3");
+    json.field("schema", "hdvb-sweep/4");
+    json.field("simd_detected", simd_level_name(detected_simd_level()));
+    json.field("simd_best", simd_level_name(best_simd_level()));
     json.field("jobs", options_.jobs > 0 ? options_.jobs
                                          : default_job_count());
     json.field("wall_seconds", last_wall_seconds_);

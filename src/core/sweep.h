@@ -17,7 +17,9 @@
  * completion order, so table output is deterministic, and the engine
  * records per-point observability (wall time, worker id, peak-RSS
  * growth over the sweep) which it can emit as a machine-readable JSON
- * report (schema hdvb-sweep/3).
+ * report (schema hdvb-sweep/4: adds the machine's detected and
+ * effective SIMD levels at the top level, next to the per-point
+ * "simd" field, so a report is attributable to silicon).
  */
 #ifndef HDVB_CORE_SWEEP_H
 #define HDVB_CORE_SWEEP_H

@@ -5,28 +5,59 @@
  * The paper's Figure 1 compares two builds of every codec: plain C
  * ("scalar") and SIMD-optimised. We reproduce that axis with a kernel
  * dispatch table: every pixel-level primitive the codecs use exists in a
- * scalar reference implementation and an SSE2 implementation, selected
- * by SimdLevel. The two implementations are bit-exact with each other
- * (tests assert this), so changing the level changes speed, never
+ * scalar reference implementation plus SSE2 and AVX2 implementations,
+ * selected by SimdLevel. All implementations are bit-exact with each
+ * other (tests assert this), so changing the level changes speed, never
  * output.
+ *
+ * Level selection is a *runtime* decision: the AVX2 kernels are compiled
+ * into their own translation unit with -mavx2, and best_simd_level()
+ * probes the CPU (CPUID feature bits plus XGETBV/OSXSAVE state, so an
+ * OS that does not save the ymm registers never gets AVX2 selected)
+ * before the table can hand them out. The HDVB_SIMD environment
+ * variable ("scalar" | "sse2" | "avx2") forces a lower tier for CI and
+ * A/B runs; it can never raise the level above what the silicon
+ * supports.
  */
 #ifndef HDVB_SIMD_DISPATCH_H
 #define HDVB_SIMD_DISPATCH_H
+
+#include <string>
 
 #include "common/types.h"
 
 namespace hdvb {
 
-/** Instruction-set level for the kernel table. */
+/** Instruction-set level for the kernel table, ordered weakest first
+ * (comparisons rely on the ordering: a level is "supported" iff it is
+ * <= detected_simd_level()). */
 enum class SimdLevel {
     kScalar = 0,  ///< Plain C++ reference kernels.
     kSse2 = 1,    ///< SSE2 intrinsics kernels.
+    kAvx2 = 2,    ///< AVX2 intrinsics kernels (256-bit integer SIMD).
 };
 
-/** Human-readable level name ("scalar" / "sse2"). */
+/** Number of levels (kScalar .. kAvx2). */
+inline constexpr int kSimdLevelCount = 3;
+
+/** Human-readable level name ("scalar" / "sse2" / "avx2"). */
 const char *simd_level_name(SimdLevel level);
 
-/** Best level supported by this build/CPU. */
+/** Parse a level name as spelled by simd_level_name(); returns false
+ * (and leaves @p out untouched) on anything else. */
+bool parse_simd_level(const std::string &name, SimdLevel *out);
+
+/** Comma-separated legal spellings, for error messages and usage. */
+const char *simd_level_names();
+
+/** Strongest level this build + CPU + OS can actually execute,
+ * determined once at runtime (CPUID + XGETBV). Ignores HDVB_SIMD. */
+SimdLevel detected_simd_level();
+
+/** The level benchmarks default to: detected_simd_level(), optionally
+ * lowered by the HDVB_SIMD environment variable. A request above the
+ * detected level (or an unknown spelling) is ignored with a warning —
+ * the returned level is always executable on this machine. */
 SimdLevel best_simd_level();
 
 /**
@@ -90,12 +121,16 @@ struct Dsp {
     void (*h264_hpel_v)(Pixel *dst, int ds, const Pixel *src, int ss,
                         int w, int h);
     /** Centre (hv) position: vertical then horizontal 6-tap at full
-     * intermediate precision. */
+     * intermediate precision; w, h <= 16. Reads rows -2..h+2 and
+     * columns -2..w+2. */
     void (*h264_hpel_hv)(Pixel *dst, int ds, const Pixel *src, int ss,
                          int w, int h);
 };
 
-/** Kernel table for @p level (falls back to scalar if unsupported). */
+/** Kernel table for @p level. A level the running CPU (or this build)
+ * does not support falls back to the strongest supported level below
+ * it, so per-file -mavx2 objects can never execute on silicon without
+ * AVX2. */
 const Dsp &get_dsp(SimdLevel level);
 
 }  // namespace hdvb

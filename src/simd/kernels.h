@@ -68,7 +68,41 @@ void sse2_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
                       int w, int h);
 void sse2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
                       int w, int h);
+void sse2_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                       int w, int h);
 #endif  // __SSE2__
+
+// ---- AVX2 implementations ----
+// Compiled in a dedicated TU with -mavx2 (HDVB_BUILD_AVX2 is defined by
+// CMake iff that TU is part of the build); they may only be *called*
+// after runtime detection says the CPU executes AVX2.
+// No avx2_sad*: 16-pixel strided rows cannot fill a ymm without
+// cross-lane inserts that cost more than they save, so the avx2 table
+// keeps the SSE2 SAD kernels (see kernels_avx2.cc).
+#if defined(HDVB_BUILD_AVX2)
+int avx2_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                   int w, int h);
+u64 avx2_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+                  int w, int h);
+void avx2_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+                   const Pixel *b, int bs, int w, int h);
+void avx2_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                    int w, int h);
+void avx2_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                          int w, int h, int fx, int fy);
+void avx2_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+                   const Pixel *pred, int ps, int w, int h);
+void avx2_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+                   int w, int h);
+void avx2_fdct8x8(Coeff blk[64]);
+void avx2_idct8x8(Coeff blk[64]);
+void avx2_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+void avx2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                      int w, int h);
+void avx2_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                       int w, int h);
+#endif  // HDVB_BUILD_AVX2
 
 }  // namespace hdvb::kernels
 

@@ -1,0 +1,707 @@
+/**
+ * @file
+ * AVX2 kernels. This translation unit is compiled with -mavx2 (see
+ * src/simd/CMakeLists.txt), so nothing in it may run before runtime
+ * detection (dispatch.cc: CPUID + XGETBV) has confirmed the CPU — in
+ * particular there are no namespace-scope dynamic initialisers here.
+ *
+ * Every function is bit-exact with its scalar reference in
+ * kernels_scalar.cc: identical rounding, identical saturation, and
+ * where the accumulation is regrouped (two SATD blocks per ymm) the
+ * per-block results are still combined exactly as the scalar code
+ * combines them.
+ *
+ * There are deliberately no AVX2 SAD kernels: a 16-pixel row is one
+ * xmm register, and pairing strided rows into a ymm needs a
+ * vinserti128 per row pair that costs more than the halved psadbw
+ * count saves (measured ~40% slower than SSE2 here; x264 and FFmpeg
+ * reach the same conclusion). The avx2 Dsp table keeps the SSE2 SAD
+ * entries.
+ */
+#include "simd/kernels.h"
+
+#if defined(HDVB_BUILD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "simd/dct_matrix.h"
+
+namespace hdvb::kernels {
+
+namespace {
+
+/** [lo | hi] from two xmm halves. */
+inline __m256i
+combine128(__m128i lo, __m128i hi)
+{
+    return _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+}
+
+/** 16 u8 widened to 16 s16 lanes. */
+inline __m256i
+load16_u8_as_s16(const Pixel *p)
+{
+    return _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+}
+
+inline __m128i
+load8_u8_as_s16(const Pixel *p)
+{
+    return _mm_unpacklo_epi8(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p)),
+        _mm_setzero_si128());
+}
+
+/** Pack 16 s16 ymm lanes to 16 u8 with unsigned saturation. */
+inline __m128i
+packus16(__m256i v)
+{
+    return _mm_packus_epi16(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+}
+
+/** Horizontal sum of the four s32 lanes of an xmm. */
+inline int
+hsum_epi32_128(__m128i v)
+{
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(v);
+}
+
+/** Per-128-lane swap of the two 64-bit halves. */
+inline __m256i
+swap_halves(__m256i v)
+{
+    return _mm256_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+}
+
+/** 8 u8 pixels of a - b as 8 s16 lanes. */
+inline __m128i
+diff8_s16(const Pixel *a, const Pixel *b)
+{
+    return _mm_sub_epi16(load8_u8_as_s16(a), load8_u8_as_s16(b));
+}
+
+/**
+ * SATD of two horizontally adjacent 4x4 blocks (at a and a+4): block A
+ * lives in the low 128-bit lane, block B in the high lane, and the
+ * whole sse2_satd4x4 dataflow runs lane-parallel (every unpack/shift
+ * below is per-lane). The two block sums are descaled separately, so
+ * the result equals satd4x4(A) + satd4x4(B) exactly.
+ */
+inline int
+satd4x4_pair(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    const __m128i d0 = diff8_s16(a, b);
+    const __m128i d1 = diff8_s16(a + as, b + bs);
+    const __m128i d2 = diff8_s16(a + 2 * as, b + 2 * bs);
+    const __m128i d3 = diff8_s16(a + 3 * as, b + 3 * bs);
+    // lane0 = [A row0 | A row1], lane1 = [B row0 | B row1], etc.
+    const __m256i d01 = combine128(_mm_unpacklo_epi64(d0, d1),
+                                   _mm_unpackhi_epi64(d0, d1));
+    const __m256i d23 = combine128(_mm_unpacklo_epi64(d2, d3),
+                                   _mm_unpackhi_epi64(d2, d3));
+
+    // Column (vertical) Hadamard.
+    const __m256i u = _mm256_unpacklo_epi64(d01, d23);  // rows 0 | 2
+    const __m256i v = _mm256_unpackhi_epi64(d01, d23);  // rows 1 | 3
+    __m256i s = _mm256_add_epi16(u, v);
+    __m256i t = _mm256_sub_epi16(u, v);
+    __m256i ra = _mm256_add_epi16(s, swap_halves(s));
+    __m256i rc = _mm256_sub_epi16(s, swap_halves(s));
+    __m256i rb = _mm256_add_epi16(t, swap_halves(t));
+    __m256i rd = _mm256_sub_epi16(t, swap_halves(t));
+    __m256i r01 = _mm256_unpacklo_epi64(ra, rb);
+    __m256i r23 = _mm256_unpacklo_epi64(rc, rd);
+
+    // Transpose each 4x4 (two rows per lane half).
+    const __m256i i0 =
+        _mm256_unpacklo_epi16(r01, _mm256_srli_si256(r01, 8));
+    const __m256i i1 =
+        _mm256_unpacklo_epi16(r23, _mm256_srli_si256(r23, 8));
+    const __m256i c01 = _mm256_unpacklo_epi32(i0, i1);
+    const __m256i c23 = _mm256_unpackhi_epi32(i0, i1);
+    const __m256i u2 = _mm256_unpacklo_epi64(c01, c23);
+    const __m256i v2 = _mm256_unpackhi_epi64(c01, c23);
+
+    // Row Hadamard.
+    s = _mm256_add_epi16(u2, v2);
+    t = _mm256_sub_epi16(u2, v2);
+    ra = _mm256_add_epi16(s, swap_halves(s));
+    rc = _mm256_sub_epi16(s, swap_halves(s));
+    rb = _mm256_add_epi16(t, swap_halves(t));
+    rd = _mm256_sub_epi16(t, swap_halves(t));
+    r01 = _mm256_unpacklo_epi64(ra, rb);
+    r23 = _mm256_unpacklo_epi64(rc, rd);
+
+    const __m256i ones = _mm256_set1_epi16(1);
+    const __m256i sum = _mm256_add_epi32(
+        _mm256_madd_epi16(_mm256_abs_epi16(r01), ones),
+        _mm256_madd_epi16(_mm256_abs_epi16(r23), ones));
+    return (hsum_epi32_128(_mm256_castsi256_si128(sum)) >> 1) +
+           (hsum_epi32_128(_mm256_extracti128_si256(sum, 1)) >> 1);
+}
+
+// ---- matrix DCT machinery (ymm madd pass, xmm transpose) ----
+
+struct DctConstsAvx2 {
+    __m256i fwd[8][4];  ///< madd pair constants, forward basis
+    __m256i inv[8][4];  ///< madd pair constants, transposed basis
+
+    DctConstsAvx2()
+    {
+        for (int k = 0; k < 8; ++k) {
+            for (int i = 0; i < 4; ++i) {
+                const u32 f =
+                    (static_cast<u16>(kDctMatrix[k][2 * i])) |
+                    (static_cast<u32>(
+                         static_cast<u16>(kDctMatrix[k][2 * i + 1]))
+                     << 16);
+                const u32 v =
+                    (static_cast<u16>(kDctMatrix[2 * i][k])) |
+                    (static_cast<u32>(
+                         static_cast<u16>(kDctMatrix[2 * i + 1][k]))
+                     << 16);
+                fwd[k][i] = _mm256_set1_epi32(static_cast<int>(f));
+                inv[k][i] = _mm256_set1_epi32(static_cast<int>(v));
+            }
+        }
+    }
+};
+
+const DctConstsAvx2 &
+dct_consts_avx2()
+{
+    static const DctConstsAvx2 consts;
+    return consts;
+}
+
+/** Transpose 8 rows of 8 s16 in place (identical to the SSE2 one;
+ * compiled here with VEX encoding). */
+inline void
+transpose8x8_x(__m128i r[8])
+{
+    const __m128i t0 = _mm_unpacklo_epi16(r[0], r[1]);
+    const __m128i t1 = _mm_unpackhi_epi16(r[0], r[1]);
+    const __m128i t2 = _mm_unpacklo_epi16(r[2], r[3]);
+    const __m128i t3 = _mm_unpackhi_epi16(r[2], r[3]);
+    const __m128i t4 = _mm_unpacklo_epi16(r[4], r[5]);
+    const __m128i t5 = _mm_unpackhi_epi16(r[4], r[5]);
+    const __m128i t6 = _mm_unpacklo_epi16(r[6], r[7]);
+    const __m128i t7 = _mm_unpackhi_epi16(r[6], r[7]);
+    const __m128i u0 = _mm_unpacklo_epi32(t0, t2);
+    const __m128i u1 = _mm_unpackhi_epi32(t0, t2);
+    const __m128i u2 = _mm_unpacklo_epi32(t1, t3);
+    const __m128i u3 = _mm_unpackhi_epi32(t1, t3);
+    const __m128i u4 = _mm_unpacklo_epi32(t4, t6);
+    const __m128i u5 = _mm_unpackhi_epi32(t4, t6);
+    const __m128i u6 = _mm_unpacklo_epi32(t5, t7);
+    const __m128i u7 = _mm_unpackhi_epi32(t5, t7);
+    r[0] = _mm_unpacklo_epi64(u0, u4);
+    r[1] = _mm_unpackhi_epi64(u0, u4);
+    r[2] = _mm_unpacklo_epi64(u1, u5);
+    r[3] = _mm_unpackhi_epi64(u1, u5);
+    r[4] = _mm_unpacklo_epi64(u2, u6);
+    r[5] = _mm_unpackhi_epi64(u2, u6);
+    r[6] = _mm_unpacklo_epi64(u3, u7);
+    r[7] = _mm_unpackhi_epi64(u3, u7);
+}
+
+/** One 1-D column pass: where the SSE2 pass runs separate lo/hi xmm
+ * madd chains, this runs both as one ymm chain — element-for-element
+ * the same madd/add/sra/packs sequence, so the result is bit-exact. */
+inline void
+dct_pass_avx2(__m128i r[8], const __m256i consts[8][4], int shift)
+{
+    __m256i p[4];
+    for (int i = 0; i < 4; ++i) {
+        p[i] = combine128(_mm_unpacklo_epi16(r[2 * i], r[2 * i + 1]),
+                          _mm_unpackhi_epi16(r[2 * i], r[2 * i + 1]));
+    }
+    const __m256i round = _mm256_set1_epi32(1 << (shift - 1));
+    const __m128i count = _mm_cvtsi32_si128(shift);
+    __m128i out[8];
+    for (int k = 0; k < 8; ++k) {
+        __m256i acc = _mm256_madd_epi16(p[0], consts[k][0]);
+        for (int i = 1; i < 4; ++i)
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_madd_epi16(p[i], consts[k][i]));
+        acc = _mm256_sra_epi32(_mm256_add_epi32(acc, round), count);
+        out[k] = _mm_packs_epi32(_mm256_castsi256_si128(acc),
+                                 _mm256_extracti128_si256(acc, 1));
+    }
+    for (int k = 0; k < 8; ++k)
+        r[k] = out[k];
+}
+
+inline void
+dct8x8_avx2(Coeff blk[64], const __m256i consts[8][4])
+{
+    __m128i r[8];
+    for (int i = 0; i < 8; ++i)
+        r[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(blk + i * 8));
+    dct_pass_avx2(r, consts, kDctPass1Shift);
+    transpose8x8_x(r);
+    dct_pass_avx2(r, consts, kDctPass2Shift);
+    transpose8x8_x(r);
+    for (int i = 0; i < 8; ++i)
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(blk + i * 8), r[i]);
+}
+
+}  // namespace
+
+int
+avx2_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
+               int w, int h)
+{
+    int sum = 0;
+    for (int y = 0; y < h; y += 4) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8)
+            sum += satd4x4_pair(a + y * as + x, as, b + y * bs + x, bs);
+        for (; x < w; x += 4)
+            sum += sse2_satd4x4(a + y * as + x, as, b + y * bs + x, bs);
+    }
+    return sum;
+}
+
+u64
+avx2_sse_rect(const Pixel *a, int as, const Pixel *b, int bs,
+              int w, int h)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    u64 total = 0;
+    for (int y = 0; y < h; ++y) {
+        __m256i acc = zero;
+        int x = 0;
+        for (; x + 32 <= w; x += 32) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + x));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + x));
+            const __m256i d_lo =
+                _mm256_sub_epi16(_mm256_unpacklo_epi8(va, zero),
+                                 _mm256_unpacklo_epi8(vb, zero));
+            const __m256i d_hi =
+                _mm256_sub_epi16(_mm256_unpackhi_epi8(va, zero),
+                                 _mm256_unpackhi_epi8(vb, zero));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_lo, d_lo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_hi, d_hi));
+        }
+        for (; x + 16 <= w; x += 16) {
+            const __m256i d = _mm256_sub_epi16(load16_u8_as_s16(a + x),
+                                               load16_u8_as_s16(b + x));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+        }
+        u32 lanes[8];
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        for (u32 lane : lanes)
+            total += lane;  // lanes are non-negative sums of squares
+        u32 row = 0;
+        for (; x < w; ++x) {
+            const int d = static_cast<int>(a[x]) - static_cast<int>(b[x]);
+            row += static_cast<u32>(d * d);
+        }
+        total += row;
+        a += as;
+        b += bs;
+    }
+    return total;
+}
+
+void
+avx2_avg_rect(Pixel *dst, int ds, const Pixel *a, int as,
+              const Pixel *b, int bs, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 32 <= w; x += 32) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + x));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + x));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + x),
+                                _mm256_avg_epu8(va, vb));
+        }
+        for (; x + 16 <= w; x += 16) {
+            const __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(a + x));
+            const __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(b + x));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_avg_epu8(va, vb));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i va =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(a + x));
+            const __m128i vb =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(b + x));
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_avg_epu8(va, vb));
+        }
+        for (; x < w; ++x)
+            dst[x] = static_cast<Pixel>((a[x] + b[x] + 1) >> 1);
+        dst += ds;
+        a += as;
+        b += bs;
+    }
+}
+
+void
+avx2_avg4_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+               int w, int h)
+{
+    const __m256i two256 = _mm256_set1_epi16(2);
+    const __m128i two128 = _mm_set1_epi16(2);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i s00 = load16_u8_as_s16(src + x);
+            const __m256i s01 = load16_u8_as_s16(src + x + 1);
+            const __m256i s10 = load16_u8_as_s16(src + x + ss);
+            const __m256i s11 = load16_u8_as_s16(src + x + ss + 1);
+            __m256i sum = _mm256_add_epi16(_mm256_add_epi16(s00, s01),
+                                           _mm256_add_epi16(s10, s11));
+            sum = _mm256_srli_epi16(_mm256_add_epi16(sum, two256), 2);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             packus16(sum));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i s00 = load8_u8_as_s16(src + x);
+            const __m128i s01 = load8_u8_as_s16(src + x + 1);
+            const __m128i s10 = load8_u8_as_s16(src + x + ss);
+            const __m128i s11 = load8_u8_as_s16(src + x + ss + 1);
+            __m128i sum = _mm_add_epi16(_mm_add_epi16(s00, s01),
+                                        _mm_add_epi16(s10, s11));
+            sum = _mm_srli_epi16(_mm_add_epi16(sum, two128), 2);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(sum, sum));
+        }
+        for (; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (src[x] + src[x + 1] + src[x + ss] + src[x + ss + 1] + 2)
+                >> 2);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+avx2_qpel_bilin_rect(Pixel *dst, int ds, const Pixel *src, int ss,
+                     int w, int h, int fx, int fy)
+{
+    const short c00 = static_cast<short>((4 - fx) * (4 - fy));
+    const short c01 = static_cast<short>(fx * (4 - fy));
+    const short c10 = static_cast<short>((4 - fx) * fy);
+    const short c11 = static_cast<short>(fx * fy);
+    const __m256i w00 = _mm256_set1_epi16(c00);
+    const __m256i w01 = _mm256_set1_epi16(c01);
+    const __m256i w10 = _mm256_set1_epi16(c10);
+    const __m256i w11 = _mm256_set1_epi16(c11);
+    const __m256i eight = _mm256_set1_epi16(8);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i s00 = load16_u8_as_s16(src + x);
+            const __m256i s01 = load16_u8_as_s16(src + x + 1);
+            const __m256i s10 = load16_u8_as_s16(src + x + ss);
+            const __m256i s11 = load16_u8_as_s16(src + x + ss + 1);
+            __m256i acc = _mm256_mullo_epi16(s00, w00);
+            acc = _mm256_add_epi16(acc, _mm256_mullo_epi16(s01, w01));
+            acc = _mm256_add_epi16(acc, _mm256_mullo_epi16(s10, w10));
+            acc = _mm256_add_epi16(acc, _mm256_mullo_epi16(s11, w11));
+            acc = _mm256_srli_epi16(_mm256_add_epi16(acc, eight), 4);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             packus16(acc));
+        }
+        for (; x < w; ++x) {
+            dst[x] = static_cast<Pixel>(
+                (c00 * src[x] + c01 * src[x + 1] + c10 * src[x + ss] +
+                 c11 * src[x + ss + 1] + 8) >> 4);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+avx2_sub_rect(Coeff *dst, int ds, const Pixel *src, int ss,
+              const Pixel *pred, int ps, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i d = _mm256_sub_epi16(load16_u8_as_s16(src + x),
+                                               load16_u8_as_s16(pred + x));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + x), d);
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i d = _mm_sub_epi16(load8_u8_as_s16(src + x),
+                                            load8_u8_as_s16(pred + x));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x), d);
+        }
+        for (; x < w; ++x)
+            dst[x] = static_cast<Coeff>(static_cast<int>(src[x]) -
+                                        static_cast<int>(pred[x]));
+        dst += ds;
+        src += ss;
+        pred += ps;
+    }
+}
+
+void
+avx2_add_rect(Pixel *dst, int ds, const Coeff *res, int rs,
+              int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i r = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(res + x));
+            const __m256i v =
+                _mm256_add_epi16(load16_u8_as_s16(dst + x), r);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             packus16(v));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i r = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(res + x));
+            const __m128i v = _mm_add_epi16(load8_u8_as_s16(dst + x), r);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x)
+            dst[x] = clamp_pixel(static_cast<int>(dst[x]) + res[x]);
+        dst += ds;
+        res += rs;
+    }
+}
+
+void
+avx2_fdct8x8(Coeff blk[64])
+{
+    dct8x8_avx2(blk, dct_consts_avx2().fwd);
+}
+
+void
+avx2_idct8x8(Coeff blk[64])
+{
+    dct8x8_avx2(blk, dct_consts_avx2().inv);
+}
+
+void
+avx2_h264_hpel_h(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    const __m256i sixteen256 = _mm256_set1_epi16(16);
+    const __m128i sixteen128 = _mm_set1_epi16(16);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i a = load16_u8_as_s16(src + x - 2);
+            const __m256i b = load16_u8_as_s16(src + x - 1);
+            const __m256i c = load16_u8_as_s16(src + x);
+            const __m256i d = load16_u8_as_s16(src + x + 1);
+            const __m256i e = load16_u8_as_s16(src + x + 2);
+            const __m256i f = load16_u8_as_s16(src + x + 3);
+            const __m256i cd = _mm256_add_epi16(c, d);
+            const __m256i be = _mm256_add_epi16(b, e);
+            const __m256i cd20 =
+                _mm256_add_epi16(_mm256_slli_epi16(cd, 4),
+                                 _mm256_slli_epi16(cd, 2));
+            const __m256i be5 =
+                _mm256_add_epi16(_mm256_slli_epi16(be, 2), be);
+            __m256i v = _mm256_add_epi16(_mm256_add_epi16(a, f),
+                                         _mm256_sub_epi16(cd20, be5));
+            v = _mm256_srai_epi16(_mm256_add_epi16(v, sixteen256), 5);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             packus16(v));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2);
+            const __m128i b = load8_u8_as_s16(src + x - 1);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + 1);
+            const __m128i e = load8_u8_as_s16(src + x + 2);
+            const __m128i f = load8_u8_as_s16(src + x + 3);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            __m128i v = _mm_add_epi16(_mm_add_epi16(a, f),
+                                      _mm_sub_epi16(cd20, be5));
+            v = _mm_srai_epi16(_mm_add_epi16(v, sixteen128), 5);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x) {
+            const int v = src[x - 2] - 5 * src[x - 1] + 20 * src[x] +
+                          20 * src[x + 1] - 5 * src[x + 2] + src[x + 3];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+avx2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
+                 int w, int h)
+{
+    const __m256i sixteen256 = _mm256_set1_epi16(16);
+    const __m128i sixteen128 = _mm_set1_epi16(16);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            const __m256i a = load16_u8_as_s16(src + x - 2 * ss);
+            const __m256i b = load16_u8_as_s16(src + x - ss);
+            const __m256i c = load16_u8_as_s16(src + x);
+            const __m256i d = load16_u8_as_s16(src + x + ss);
+            const __m256i e = load16_u8_as_s16(src + x + 2 * ss);
+            const __m256i f = load16_u8_as_s16(src + x + 3 * ss);
+            const __m256i cd = _mm256_add_epi16(c, d);
+            const __m256i be = _mm256_add_epi16(b, e);
+            const __m256i cd20 =
+                _mm256_add_epi16(_mm256_slli_epi16(cd, 4),
+                                 _mm256_slli_epi16(cd, 2));
+            const __m256i be5 =
+                _mm256_add_epi16(_mm256_slli_epi16(be, 2), be);
+            __m256i v = _mm256_add_epi16(_mm256_add_epi16(a, f),
+                                         _mm256_sub_epi16(cd20, be5));
+            v = _mm256_srai_epi16(_mm256_add_epi16(v, sixteen256), 5);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + x),
+                             packus16(v));
+        }
+        for (; x + 8 <= w; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2 * ss);
+            const __m128i b = load8_u8_as_s16(src + x - ss);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + ss);
+            const __m128i e = load8_u8_as_s16(src + x + 2 * ss);
+            const __m128i f = load8_u8_as_s16(src + x + 3 * ss);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            __m128i v = _mm_add_epi16(_mm_add_epi16(a, f),
+                                      _mm_sub_epi16(cd20, be5));
+            v = _mm_srai_epi16(_mm_add_epi16(v, sixteen128), 5);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v, v));
+        }
+        for (; x < w; ++x) {
+            const int v = src[x - 2 * ss] - 5 * src[x - ss] +
+                          20 * src[x] + 20 * src[x + ss] -
+                          5 * src[x + 2 * ss] + src[x + 3 * ss];
+            dst[x] = clamp_pixel((v + 16) >> 5);
+        }
+        dst += ds;
+        src += ss;
+    }
+}
+
+void
+avx2_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                  int w, int h)
+{
+    // Same two-pass structure as sse2_h264_hpel_hv: vertical 6-tap
+    // into an s16 temp (raw sums fit: -2550 .. 10710), horizontal
+    // 6-tap on the temp widened to s32, 10-bit descale.
+    constexpr int kTmpStride = 24;  // >= 16 + 5, padded for wide loads
+    s16 tmp[16][kTmpStride];
+    for (int y = 0; y < h; ++y) {
+        int x = -2;
+        for (; x + 16 <= w + 3; x += 16) {
+            const __m256i a = load16_u8_as_s16(src + x - 2 * ss);
+            const __m256i b = load16_u8_as_s16(src + x - ss);
+            const __m256i c = load16_u8_as_s16(src + x);
+            const __m256i d = load16_u8_as_s16(src + x + ss);
+            const __m256i e = load16_u8_as_s16(src + x + 2 * ss);
+            const __m256i f = load16_u8_as_s16(src + x + 3 * ss);
+            const __m256i cd = _mm256_add_epi16(c, d);
+            const __m256i be = _mm256_add_epi16(b, e);
+            const __m256i cd20 =
+                _mm256_add_epi16(_mm256_slli_epi16(cd, 4),
+                                 _mm256_slli_epi16(cd, 2));
+            const __m256i be5 =
+                _mm256_add_epi16(_mm256_slli_epi16(be, 2), be);
+            const __m256i v = _mm256_add_epi16(
+                _mm256_add_epi16(a, f), _mm256_sub_epi16(cd20, be5));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(&tmp[y][x + 2]), v);
+        }
+        for (; x + 8 <= w + 3; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2 * ss);
+            const __m128i b = load8_u8_as_s16(src + x - ss);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + ss);
+            const __m128i e = load8_u8_as_s16(src + x + 2 * ss);
+            const __m128i f = load8_u8_as_s16(src + x + 3 * ss);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            const __m128i v = _mm_add_epi16(
+                _mm_add_epi16(a, f), _mm_sub_epi16(cd20, be5));
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i *>(&tmp[y][x + 2]), v);
+        }
+        for (; x < w + 3; ++x) {
+            tmp[y][x + 2] = static_cast<s16>(
+                src[x - 2 * ss] - 5 * src[x - ss] + 20 * src[x] +
+                20 * src[x + ss] - 5 * src[x + 2 * ss] +
+                src[x + 3 * ss]);
+        }
+        src += ss;
+    }
+    const __m256i round = _mm256_set1_epi32(512);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            __m256i acc = _mm256_setzero_si256();
+            for (int k = 0; k < 6; ++k) {
+                const __m256i t = _mm256_cvtepi16_epi32(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        &tmp[y][x + k])));
+                if (k == 0 || k == 5) {
+                    acc = _mm256_add_epi32(acc, t);
+                } else if (k == 2 || k == 3) {
+                    acc = _mm256_add_epi32(
+                        acc, _mm256_add_epi32(_mm256_slli_epi32(t, 4),
+                                              _mm256_slli_epi32(t, 2)));
+                } else {  // k == 1 || k == 4: weight -5
+                    acc = _mm256_sub_epi32(
+                        acc, _mm256_add_epi32(_mm256_slli_epi32(t, 2),
+                                              t));
+                }
+            }
+            acc = _mm256_srai_epi32(_mm256_add_epi32(acc, round), 10);
+            const __m128i v16 =
+                _mm_packs_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v16, v16));
+        }
+        for (; x < w; ++x) {
+            const s16 *t = &tmp[y][x + 2];
+            const s32 v = t[-2] - 5 * t[-1] + 20 * t[0] + 20 * t[1] -
+                          5 * t[2] + t[3];
+            dst[x] = clamp_pixel(static_cast<int>((v + 512) >> 10));
+        }
+        dst += ds;
+    }
+}
+
+}  // namespace hdvb::kernels
+
+#endif  // HDVB_BUILD_AVX2 && __AVX2__

@@ -574,6 +574,95 @@ sse2_h264_hpel_v(Pixel *dst, int ds, const Pixel *src, int ss,
     }
 }
 
+void
+sse2_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
+                  int w, int h)
+{
+    // Vertical 6-tap at full precision into an s16 temp (the raw
+    // vertical sums fit: -2550 .. 10710), then horizontal 6-tap on the
+    // temp widened to 32 bits with a 10-bit descale — the H.264 'j'
+    // position. Max block is 16x16; the temp holds columns -2..w+2.
+    constexpr int kTmpStride = 24;  // >= 16 + 5, padded for 8-lane loads
+    s16 tmp[16][kTmpStride];
+    const __m128i zero = _mm_setzero_si128();
+    for (int y = 0; y < h; ++y) {
+        int x = -2;
+        for (; x + 8 <= w + 3; x += 8) {
+            const __m128i a = load8_u8_as_s16(src + x - 2 * ss);
+            const __m128i b = load8_u8_as_s16(src + x - ss);
+            const __m128i c = load8_u8_as_s16(src + x);
+            const __m128i d = load8_u8_as_s16(src + x + ss);
+            const __m128i e = load8_u8_as_s16(src + x + 2 * ss);
+            const __m128i f = load8_u8_as_s16(src + x + 3 * ss);
+            const __m128i cd = _mm_add_epi16(c, d);
+            const __m128i be = _mm_add_epi16(b, e);
+            const __m128i cd20 = _mm_add_epi16(_mm_slli_epi16(cd, 4),
+                                               _mm_slli_epi16(cd, 2));
+            const __m128i be5 =
+                _mm_add_epi16(_mm_slli_epi16(be, 2), be);
+            const __m128i v = _mm_add_epi16(
+                _mm_add_epi16(a, f), _mm_sub_epi16(cd20, be5));
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i *>(&tmp[y][x + 2]), v);
+        }
+        for (; x < w + 3; ++x) {
+            tmp[y][x + 2] = static_cast<s16>(
+                src[x - 2 * ss] - 5 * src[x - ss] + 20 * src[x] +
+                20 * src[x + ss] - 5 * src[x + 2 * ss] +
+                src[x + 3 * ss]);
+        }
+        src += ss;
+    }
+    const __m128i round = _mm_set1_epi32(512);
+    for (int y = 0; y < h; ++y) {
+        int x = 0;
+        for (; x + 8 <= w; x += 8) {
+            // Widen each tap to exact s32 (the horizontal combination
+            // of s16 taps overflows 16 bits) via sign-extending
+            // unpacks, then shift-add the 1/-5/20 weights.
+            __m128i acc_lo = zero, acc_hi = zero;
+            for (int k = 0; k < 6; ++k) {
+                const __m128i t = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(&tmp[y][x + k]));
+                const __m128i lo = _mm_srai_epi32(
+                    _mm_unpacklo_epi16(t, t), 16);
+                const __m128i hi = _mm_srai_epi32(
+                    _mm_unpackhi_epi16(t, t), 16);
+                if (k == 0 || k == 5) {
+                    acc_lo = _mm_add_epi32(acc_lo, lo);
+                    acc_hi = _mm_add_epi32(acc_hi, hi);
+                } else if (k == 2 || k == 3) {
+                    acc_lo = _mm_add_epi32(
+                        acc_lo, _mm_add_epi32(_mm_slli_epi32(lo, 4),
+                                              _mm_slli_epi32(lo, 2)));
+                    acc_hi = _mm_add_epi32(
+                        acc_hi, _mm_add_epi32(_mm_slli_epi32(hi, 4),
+                                              _mm_slli_epi32(hi, 2)));
+                } else {  // k == 1 || k == 4: weight -5
+                    acc_lo = _mm_sub_epi32(
+                        acc_lo, _mm_add_epi32(_mm_slli_epi32(lo, 2),
+                                              lo));
+                    acc_hi = _mm_sub_epi32(
+                        acc_hi, _mm_add_epi32(_mm_slli_epi32(hi, 2),
+                                              hi));
+                }
+            }
+            acc_lo = _mm_srai_epi32(_mm_add_epi32(acc_lo, round), 10);
+            acc_hi = _mm_srai_epi32(_mm_add_epi32(acc_hi, round), 10);
+            const __m128i v16 = _mm_packs_epi32(acc_lo, acc_hi);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                             _mm_packus_epi16(v16, v16));
+        }
+        for (; x < w; ++x) {
+            const s16 *t = &tmp[y][x + 2];
+            const s32 v = t[-2] - 5 * t[-1] + 20 * t[0] + 20 * t[1] -
+                          5 * t[2] + t[3];
+            dst[x] = clamp_pixel(static_cast<int>((v + 512) >> 10));
+        }
+        dst += ds;
+    }
+}
+
 }  // namespace hdvb::kernels
 
 #endif  // __SSE2__

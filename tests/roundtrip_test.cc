@@ -1,7 +1,8 @@
 /**
  * @file
- * End-to-end codec tests, parameterised over all three codecs and both
- * SIMD levels: decode reproduces display order, quality floors hold,
+ * End-to-end codec tests, parameterised over all three codecs and
+ * every SIMD level: decode reproduces display order, quality floors
+ * hold,
  * bitstreams are invariant to the SIMD level and to the intra-codec
  * thread count (CodecConfig::threads) and deterministic, rate responds
  * monotonically to the quantiser, and corrupt streams are rejected
@@ -66,7 +67,7 @@ encode_decode(CodecId codec, const CodecConfig &cfg, SequenceId seq,
     return run;
 }
 
-using CodecSimd = std::pair<CodecId, SimdLevel>;
+using CodecSimd = std::tuple<CodecId, int>;
 
 class CodecRoundTrip : public ::testing::TestWithParam<CodecSimd>
 {
@@ -74,16 +75,19 @@ class CodecRoundTrip : public ::testing::TestWithParam<CodecSimd>
     void
     SetUp() override
     {
-        if (GetParam().second == SimdLevel::kSse2 &&
-            best_simd_level() != SimdLevel::kSse2) {
-            GTEST_SKIP() << "no SSE2";
+        const auto level =
+            static_cast<SimdLevel>(std::get<1>(GetParam()));
+        if (level > detected_simd_level()) {
+            GTEST_SKIP() << simd_level_name(level)
+                         << " not supported on this CPU/build";
         }
     }
 };
 
 TEST_P(CodecRoundTrip, DisplayOrderAndFrameCount)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const int frames = 10;
     const CodecRun run = encode_decode(codec, small_config(simd),
                                        SequenceId::kRushHour, frames);
@@ -96,7 +100,8 @@ TEST_P(CodecRoundTrip, DisplayOrderAndFrameCount)
 
 TEST_P(CodecRoundTrip, QualityFloorHolds)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const CodecRun run = encode_decode(codec, small_config(simd),
                                        SequenceId::kPedestrianArea, 8);
     SyntheticSource source(SequenceId::kPedestrianArea, kW, kH);
@@ -109,7 +114,8 @@ TEST_P(CodecRoundTrip, QualityFloorHolds)
 
 TEST_P(CodecRoundTrip, EncoderIsDeterministic)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const CodecConfig cfg = small_config(simd);
     const CodecRun a =
         encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
@@ -122,7 +128,8 @@ TEST_P(CodecRoundTrip, EncoderIsDeterministic)
 
 TEST_P(CodecRoundTrip, AllPictureTypesAppear)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const CodecRun run = encode_decode(codec, small_config(simd),
                                        SequenceId::kRushHour, 8);
     int counts[3] = {};
@@ -135,7 +142,8 @@ TEST_P(CodecRoundTrip, AllPictureTypesAppear)
 
 TEST_P(CodecRoundTrip, CorruptPacketsRejectedNotCrashing)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const CodecConfig cfg = small_config(simd);
     CodecRun run =
         encode_decode(codec, cfg, SequenceId::kRiverbed, 6);
@@ -180,7 +188,8 @@ TEST_P(CodecRoundTrip, CorruptPacketsRejectedNotCrashing)
 
 TEST_P(CodecRoundTrip, MissingReferenceRejected)
 {
-    const auto [codec, simd] = GetParam();
+    const auto [codec, level] = GetParam();
+    const auto simd = static_cast<SimdLevel>(level);
     const CodecConfig cfg = small_config(simd);
     CodecRun run = encode_decode(codec, cfg, SequenceId::kBlueSky, 6);
     // Feed a P/B packet to a fresh decoder with no I first.
@@ -192,17 +201,15 @@ TEST_P(CodecRoundTrip, MissingReferenceRejected)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllCodecsBothLevels, CodecRoundTrip,
-    ::testing::Values(
-        CodecSimd{CodecId::kMpeg2, SimdLevel::kScalar},
-        CodecSimd{CodecId::kMpeg2, SimdLevel::kSse2},
-        CodecSimd{CodecId::kMpeg4, SimdLevel::kScalar},
-        CodecSimd{CodecId::kMpeg4, SimdLevel::kSse2},
-        CodecSimd{CodecId::kH264, SimdLevel::kScalar},
-        CodecSimd{CodecId::kH264, SimdLevel::kSse2}),
+    AllCodecsAllLevels, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(CodecId::kMpeg2,
+                                         CodecId::kMpeg4,
+                                         CodecId::kH264),
+                       ::testing::Range(0, kSimdLevelCount)),
     [](const ::testing::TestParamInfo<CodecSimd> &info) {
-        return std::string(codec_name(info.param.first)) + "_" +
-               simd_level_name(info.param.second);
+        return std::string(codec_name(std::get<0>(info.param))) + "_" +
+               simd_level_name(
+                   static_cast<SimdLevel>(std::get<1>(info.param)));
     });
 
 // ---- SIMD-level invariance: the Figure 1 axis must not change output
@@ -213,8 +220,9 @@ class SimdInvariance : public ::testing::TestWithParam<CodecId>
     void
     SetUp() override
     {
-        if (best_simd_level() != SimdLevel::kSse2)
-            GTEST_SKIP() << "no SSE2";
+        if (detected_simd_level() == SimdLevel::kScalar)
+            GTEST_SKIP() << "no SIMD level beyond scalar on this "
+                            "CPU/build";
     }
 };
 
@@ -224,42 +232,51 @@ TEST_P(SimdInvariance, BitstreamAndOutputIdenticalAcrossLevels)
     const CodecRun scalar = encode_decode(
         codec, small_config(SimdLevel::kScalar), SequenceId::kRushHour,
         7);
-    const CodecRun simd = encode_decode(
-        codec, small_config(SimdLevel::kSse2), SequenceId::kRushHour,
-        7);
-    ASSERT_EQ(scalar.stream.packets.size(), simd.stream.packets.size());
-    for (size_t i = 0; i < scalar.stream.packets.size(); ++i) {
-        EXPECT_EQ(scalar.stream.packets[i].data,
-                  simd.stream.packets[i].data)
-            << "bitstream differs at packet " << i;
-    }
-    ASSERT_EQ(scalar.decoded.size(), simd.decoded.size());
-    for (size_t i = 0; i < scalar.decoded.size(); ++i) {
-        EXPECT_EQ(plane_sse(scalar.decoded[i].luma(),
-                            simd.decoded[i].luma()),
-                  0u);
+    for (int l = 1; l <= static_cast<int>(detected_simd_level()); ++l) {
+        const auto level = static_cast<SimdLevel>(l);
+        SCOPED_TRACE(simd_level_name(level));
+        const CodecRun simd = encode_decode(
+            codec, small_config(level), SequenceId::kRushHour, 7);
+        ASSERT_EQ(scalar.stream.packets.size(),
+                  simd.stream.packets.size());
+        for (size_t i = 0; i < scalar.stream.packets.size(); ++i) {
+            EXPECT_EQ(scalar.stream.packets[i].data,
+                      simd.stream.packets[i].data)
+                << "bitstream differs at packet " << i;
+        }
+        ASSERT_EQ(scalar.decoded.size(), simd.decoded.size());
+        for (size_t i = 0; i < scalar.decoded.size(); ++i) {
+            EXPECT_EQ(plane_sse(scalar.decoded[i].luma(),
+                                simd.decoded[i].luma()),
+                      0u);
+        }
     }
 }
 
 TEST_P(SimdInvariance, CrossLevelDecodeMatches)
 {
-    // Encode with SIMD, decode with scalar: still identical pixels.
+    // Encode at the strongest level, decode at every weaker one:
+    // still identical pixels.
     const CodecId codec = GetParam();
-    const CodecConfig enc_cfg = small_config(SimdLevel::kSse2);
+    const CodecConfig enc_cfg = small_config(detected_simd_level());
     const CodecRun simd_run = encode_decode(
         codec, enc_cfg, SequenceId::kPedestrianArea, 7);
-    const CodecConfig dec_cfg = small_config(SimdLevel::kScalar);
-    std::unique_ptr<VideoDecoder> dec =
-        make_decoder(codec, dec_cfg).value();
-    std::vector<Frame> frames;
-    for (const Packet &packet : simd_run.stream.packets)
-        ASSERT_TRUE(dec->decode(packet, &frames).is_ok());
-    dec->flush(&frames);
-    ASSERT_EQ(frames.size(), simd_run.decoded.size());
-    for (size_t i = 0; i < frames.size(); ++i)
-        EXPECT_EQ(plane_sse(frames[i].luma(),
-                            simd_run.decoded[i].luma()),
-                  0u);
+    for (int l = 0; l < static_cast<int>(detected_simd_level()); ++l) {
+        const auto level = static_cast<SimdLevel>(l);
+        SCOPED_TRACE(simd_level_name(level));
+        const CodecConfig dec_cfg = small_config(level);
+        std::unique_ptr<VideoDecoder> dec =
+            make_decoder(codec, dec_cfg).value();
+        std::vector<Frame> frames;
+        for (const Packet &packet : simd_run.stream.packets)
+            ASSERT_TRUE(dec->decode(packet, &frames).is_ok());
+        dec->flush(&frames);
+        ASSERT_EQ(frames.size(), simd_run.decoded.size());
+        for (size_t i = 0; i < frames.size(); ++i)
+            EXPECT_EQ(plane_sse(frames[i].luma(),
+                                simd_run.decoded[i].luma()),
+                      0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, SimdInvariance,

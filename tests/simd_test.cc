@@ -1,14 +1,18 @@
 /**
  * @file
- * The central SIMD invariant: every SSE2 kernel is bit-exact with its
- * scalar reference on randomised inputs (this is what makes SimdLevel a
- * pure speed knob in Figure 1), plus accuracy bounds for the
- * fixed-point transforms against the double-precision reference.
+ * The central SIMD invariant: every SSE2 and AVX2 kernel is bit-exact
+ * with its scalar reference on randomised inputs (this is what makes
+ * SimdLevel a pure speed knob in Figure 1), plus accuracy bounds for
+ * the fixed-point transforms against the double-precision reference,
+ * and the runtime-detection contract (get_dsp never hands out a level
+ * the CPU cannot execute).
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "dsp/dct_ref.h"
@@ -17,15 +21,27 @@
 namespace hdvb {
 namespace {
 
-class KernelEquivalence : public ::testing::TestWithParam<int>
+/** (trial seed, SimdLevel as int): each non-scalar level the enum
+ * knows is checked against the scalar reference; levels the running
+ * CPU (or build) lacks are skipped, not silently dropped. */
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>>
 {
   protected:
     void
     SetUp() override
     {
-        if (best_simd_level() == SimdLevel::kScalar)
-            GTEST_SKIP() << "no SSE2 in this build";
-        rng_.seed(static_cast<unsigned>(GetParam()) * 7919 + 1);
+        const SimdLevel level = test_level();
+        if (level > detected_simd_level()) {
+            GTEST_SKIP() << simd_level_name(level)
+                         << " not supported on this CPU/build";
+        }
+        simd_ = &get_dsp(level);
+        // Kernel tables must be distinct, or "equivalence" would be
+        // trivially comparing a function against itself.
+        ASSERT_STREQ(simd_->name, simd_level_name(level));
+        rng_.seed(static_cast<unsigned>(std::get<0>(GetParam())) * 7919 +
+                  static_cast<unsigned>(std::get<1>(GetParam())) + 1);
         buf_a_.resize(kStride * 40);
         buf_b_.resize(kStride * 40);
         for (auto &px : buf_a_)
@@ -34,12 +50,18 @@ class KernelEquivalence : public ::testing::TestWithParam<int>
             px = static_cast<Pixel>(rng_());
     }
 
+    SimdLevel
+    test_level() const
+    {
+        return static_cast<SimdLevel>(std::get<1>(GetParam()));
+    }
+
     static constexpr int kStride = 97;  // odd stride, unaligned
     std::mt19937 rng_;
     std::vector<Pixel> buf_a_;
     std::vector<Pixel> buf_b_;
     const Dsp &scalar_ = get_dsp(SimdLevel::kScalar);
-    const Dsp &simd_ = get_dsp(SimdLevel::kSse2);
+    const Dsp *simd_ = nullptr;
 };
 
 TEST_P(KernelEquivalence, Sad)
@@ -47,13 +69,16 @@ TEST_P(KernelEquivalence, Sad)
     const Pixel *a = buf_a_.data() + 3;
     const Pixel *b = buf_b_.data() + 5;
     EXPECT_EQ(scalar_.sad16x16(a, kStride, b, kStride),
-              simd_.sad16x16(a, kStride, b, kStride));
+              simd_->sad16x16(a, kStride, b, kStride));
     EXPECT_EQ(scalar_.sad8x8(a, kStride, b, kStride),
-              simd_.sad8x8(a, kStride, b, kStride));
-    for (int w : {4, 8, 16}) {
-        for (int h : {4, 8, 16}) {
+              simd_->sad8x8(a, kStride, b, kStride));
+    // 6 and 12 drive the vector-loop tails; 15 the scalar remainder
+    // plus, for 16-wide paths, the odd final row.
+    for (int w : {4, 6, 8, 12, 16}) {
+        for (int h : {4, 8, 15, 16}) {
             EXPECT_EQ(scalar_.sad_rect(a, kStride, b, kStride, w, h),
-                      simd_.sad_rect(a, kStride, b, kStride, w, h));
+                      simd_->sad_rect(a, kStride, b, kStride, w, h))
+                << "w=" << w << " h=" << h;
         }
     }
 }
@@ -63,11 +88,14 @@ TEST_P(KernelEquivalence, Satd)
     const Pixel *a = buf_a_.data() + 1;
     const Pixel *b = buf_b_.data() + 2;
     EXPECT_EQ(scalar_.satd4x4(a, kStride, b, kStride),
-              simd_.satd4x4(a, kStride, b, kStride));
-    for (int w : {4, 8, 16}) {
-        for (int h : {4, 8, 16}) {
+              simd_->satd4x4(a, kStride, b, kStride));
+    // The contract is multiples of 4; 12 leaves a lone 4x4 column
+    // after the pair-of-blocks path.
+    for (int w : {4, 8, 12, 16}) {
+        for (int h : {4, 8, 12, 16}) {
             EXPECT_EQ(scalar_.satd_rect(a, kStride, b, kStride, w, h),
-                      simd_.satd_rect(a, kStride, b, kStride, w, h));
+                      simd_->satd_rect(a, kStride, b, kStride, w, h))
+                << "w=" << w << " h=" << h;
         }
     }
 }
@@ -76,9 +104,10 @@ TEST_P(KernelEquivalence, SseRect)
 {
     const Pixel *a = buf_a_.data() + 2;
     const Pixel *b = buf_b_.data() + 7;
-    for (int w : {3, 8, 16, 24, 33}) {
+    for (int w : {3, 8, 16, 17, 24, 33, 47}) {
         EXPECT_EQ(scalar_.sse_rect(a, kStride, b, kStride, w, 16),
-                  simd_.sse_rect(a, kStride, b, kStride, w, 16));
+                  simd_->sse_rect(a, kStride, b, kStride, w, 16))
+            << "w=" << w;
     }
 }
 
@@ -86,28 +115,31 @@ TEST_P(KernelEquivalence, AvgAndAvg4)
 {
     const Pixel *a = buf_a_.data() + 4;
     const Pixel *b = buf_b_.data() + 9;
-    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
-    for (int w : {3, 8, 15, 16}) {
-        scalar_.avg_rect(d1.data(), 16, a, kStride, b, kStride, w, 16);
-        simd_.avg_rect(d2.data(), 16, a, kStride, b, kStride, w, 16);
-        EXPECT_EQ(d1, d2);
-        scalar_.avg4_rect(d1.data(), 16, a, kStride, w, 16);
-        simd_.avg4_rect(d2.data(), 16, a, kStride, w, 16);
-        EXPECT_EQ(d1, d2);
+    std::vector<Pixel> d1(33 * 16), d2(33 * 16);
+    for (int w : {3, 6, 8, 12, 15, 16, 17, 33}) {
+        scalar_.avg_rect(d1.data(), 33, a, kStride, b, kStride, w, 16);
+        simd_->avg_rect(d2.data(), 33, a, kStride, b, kStride, w, 16);
+        EXPECT_EQ(d1, d2) << "avg w=" << w;
+        scalar_.avg4_rect(d1.data(), 33, a, kStride, w, 16);
+        simd_->avg4_rect(d2.data(), 33, a, kStride, w, 16);
+        EXPECT_EQ(d1, d2) << "avg4 w=" << w;
     }
 }
 
 TEST_P(KernelEquivalence, QpelBilin)
 {
     const Pixel *a = buf_a_.data() + 6;
-    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
+    std::vector<Pixel> d1(17 * 16), d2(17 * 16);
     for (int fx = 0; fx < 4; ++fx) {
         for (int fy = 0; fy < 4; ++fy) {
-            scalar_.qpel_bilin_rect(d1.data(), 16, a, kStride, 16, 16,
-                                    fx, fy);
-            simd_.qpel_bilin_rect(d2.data(), 16, a, kStride, 16, 16,
-                                  fx, fy);
-            EXPECT_EQ(d1, d2) << "fx=" << fx << " fy=" << fy;
+            for (int w : {6, 16, 17}) {
+                scalar_.qpel_bilin_rect(d1.data(), 17, a, kStride, w,
+                                        16, fx, fy);
+                simd_->qpel_bilin_rect(d2.data(), 17, a, kStride, w,
+                                       16, fx, fy);
+                EXPECT_EQ(d1, d2)
+                    << "fx=" << fx << " fy=" << fy << " w=" << w;
+            }
         }
     }
 }
@@ -116,22 +148,24 @@ TEST_P(KernelEquivalence, SubAndAdd)
 {
     const Pixel *a = buf_a_.data() + 8;
     const Pixel *b = buf_b_.data() + 3;
-    std::vector<Coeff> r1(16 * 16), r2(16 * 16);
-    for (int w : {4, 8, 15, 16}) {
-        scalar_.sub_rect(r1.data(), 16, a, kStride, b, kStride, w, 8);
-        simd_.sub_rect(r2.data(), 16, a, kStride, b, kStride, w, 8);
-        EXPECT_EQ(r1, r2);
+    std::vector<Coeff> r1(17 * 8), r2(17 * 8);
+    for (int w : {4, 6, 8, 12, 15, 16, 17}) {
+        scalar_.sub_rect(r1.data(), 17, a, kStride, b, kStride, w, 8);
+        simd_->sub_rect(r2.data(), 17, a, kStride, b, kStride, w, 8);
+        EXPECT_EQ(r1, r2) << "w=" << w;
     }
     // add_rect: residuals that push past both clamp edges.
-    std::vector<Coeff> res(8 * 8);
+    std::vector<Coeff> res(17 * 8);
     for (auto &c : res)
         c = static_cast<Coeff>(static_cast<int>(rng_() % 1200) - 600);
-    std::vector<Pixel> d1(8 * 8), d2(8 * 8);
-    for (size_t i = 0; i < d1.size(); ++i)
-        d1[i] = d2[i] = buf_a_[i];
-    scalar_.add_rect(d1.data(), 8, res.data(), 8, 8, 8);
-    simd_.add_rect(d2.data(), 8, res.data(), 8, 8, 8);
-    EXPECT_EQ(d1, d2);
+    for (int w : {6, 8, 12, 16, 17}) {
+        std::vector<Pixel> d1(17 * 8), d2(17 * 8);
+        for (size_t i = 0; i < d1.size(); ++i)
+            d1[i] = d2[i] = buf_a_[i];
+        scalar_.add_rect(d1.data(), 17, res.data(), 17, w, 8);
+        simd_->add_rect(d2.data(), 17, res.data(), 17, w, 8);
+        EXPECT_EQ(d1, d2) << "w=" << w;
+    }
 }
 
 TEST_P(KernelEquivalence, Dct8x8BitExact)
@@ -142,7 +176,7 @@ TEST_P(KernelEquivalence, Dct8x8BitExact)
             static_cast<Coeff>(static_cast<int>(rng_() % 511) - 255);
     }
     scalar_.fdct8x8(blk1);
-    simd_.fdct8x8(blk2);
+    simd_->fdct8x8(blk2);
     for (int i = 0; i < 64; ++i)
         ASSERT_EQ(blk1[i], blk2[i]) << "fdct coeff " << i;
 
@@ -151,7 +185,7 @@ TEST_P(KernelEquivalence, Dct8x8BitExact)
             static_cast<Coeff>(static_cast<int>(rng_() % 4095) - 2047);
     }
     scalar_.idct8x8(blk1);
-    simd_.idct8x8(blk2);
+    simd_->idct8x8(blk2);
     for (int i = 0; i < 64; ++i)
         ASSERT_EQ(blk1[i], blk2[i]) << "idct sample " << i;
 }
@@ -159,19 +193,38 @@ TEST_P(KernelEquivalence, Dct8x8BitExact)
 TEST_P(KernelEquivalence, H264HalfPel)
 {
     const Pixel *src = buf_a_.data() + kStride * 4 + 8;
-    std::vector<Pixel> d1(16 * 16), d2(16 * 16);
-    for (int w : {4, 8, 16}) {
-        scalar_.h264_hpel_h(d1.data(), 16, src, kStride, w, 16);
-        simd_.h264_hpel_h(d2.data(), 16, src, kStride, w, 16);
-        EXPECT_EQ(d1, d2);
-        scalar_.h264_hpel_v(d1.data(), 16, src, kStride, w, 16);
-        simd_.h264_hpel_v(d2.data(), 16, src, kStride, w, 16);
-        EXPECT_EQ(d1, d2);
+    // Stride 24 leaves room for the w=17 column (tail after a 16-wide
+    // vector pass).
+    std::vector<Pixel> d1(24 * 16), d2(24 * 16);
+    for (int w : {4, 6, 8, 12, 16, 17}) {
+        scalar_.h264_hpel_h(d1.data(), 24, src, kStride, w, 16);
+        simd_->h264_hpel_h(d2.data(), 24, src, kStride, w, 16);
+        EXPECT_EQ(d1, d2) << "hpel_h w=" << w;
+        scalar_.h264_hpel_v(d1.data(), 24, src, kStride, w, 16);
+        simd_->h264_hpel_v(d2.data(), 24, src, kStride, w, 16);
+        EXPECT_EQ(d1, d2) << "hpel_v w=" << w;
+    }
+    // hv is contract-limited to w, h <= 16.
+    for (int w : {4, 6, 8, 12, 16}) {
+        for (int h : {4, 9, 16}) {
+            std::fill(d1.begin(), d1.end(), Pixel{0});
+            std::fill(d2.begin(), d2.end(), Pixel{0});
+            scalar_.h264_hpel_hv(d1.data(), 24, src, kStride, w, h);
+            simd_->h264_hpel_hv(d2.data(), 24, src, kStride, w, h);
+            EXPECT_EQ(d1, d2) << "hpel_hv w=" << w << " h=" << h;
+        }
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(RandomTrials, KernelEquivalence,
-                         ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrials, KernelEquivalence,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Range(1, kSimdLevelCount)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &info) {
+        return std::string(simd_level_name(
+                   static_cast<SimdLevel>(std::get<1>(info.param)))) +
+               "_trial" + std::to_string(std::get<0>(info.param));
+    });
 
 // ---- transform accuracy against the double-precision reference ----
 
@@ -226,14 +279,56 @@ TEST(Dct8x8, DcOnlyBlockIsFlat)
         EXPECT_NEAR(blk[i], 100, 1);
 }
 
-TEST(SimdLevel, NamesAndBestLevel)
+// ---- level naming, parsing, and the detection contract ----
+
+TEST(SimdLevel, NamesAreExhaustiveAndParseBack)
 {
     EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
     EXPECT_STREQ(simd_level_name(SimdLevel::kSse2), "sse2");
-    EXPECT_STREQ(get_dsp(SimdLevel::kScalar).name, "scalar");
+    EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+    for (int i = 0; i < kSimdLevelCount; ++i) {
+        const SimdLevel level = static_cast<SimdLevel>(i);
+        SimdLevel parsed = SimdLevel::kScalar;
+        EXPECT_TRUE(parse_simd_level(simd_level_name(level), &parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    SimdLevel parsed = SimdLevel::kSse2;
+    EXPECT_FALSE(parse_simd_level("sse4", &parsed));
+    EXPECT_FALSE(parse_simd_level("", &parsed));
+    EXPECT_EQ(parsed, SimdLevel::kSse2);  // untouched on failure
+}
+
+TEST(SimdLevel, BestNeverExceedsDetected)
+{
+    // best_simd_level() may be lowered by HDVB_SIMD (the forced-level
+    // ctest runs rely on that) but can never exceed the silicon.
+    EXPECT_LE(best_simd_level(), detected_simd_level());
+    EXPECT_STREQ(get_dsp(best_simd_level()).name,
+                 simd_level_name(best_simd_level()));
 #if defined(__SSE2__)
-    EXPECT_EQ(best_simd_level(), SimdLevel::kSse2);
+    EXPECT_GE(detected_simd_level(), SimdLevel::kSse2);
 #endif
+}
+
+TEST(SimdLevel, GetDspFallsBackToStrongestSupported)
+{
+    // A level above anything the CPU/build supports (e.g. a future
+    // enum value) must clamp to the detected best, never hand out a
+    // table whose code the machine cannot execute.
+    const SimdLevel beyond = static_cast<SimdLevel>(kSimdLevelCount);
+    EXPECT_STREQ(get_dsp(beyond).name,
+                 simd_level_name(detected_simd_level()));
+    // Every representable level resolves to a table at or below the
+    // detected level.
+    for (int i = 0; i < kSimdLevelCount; ++i) {
+        const SimdLevel level = static_cast<SimdLevel>(i);
+        SimdLevel resolved = SimdLevel::kScalar;
+        ASSERT_TRUE(parse_simd_level(get_dsp(level).name, &resolved));
+        EXPECT_LE(resolved, detected_simd_level());
+        if (level <= detected_simd_level()) {
+            EXPECT_EQ(resolved, level);
+        }
+    }
 }
 
 }  // namespace

@@ -162,9 +162,22 @@ TEST(SweepRunner, WritesJsonReport)
 
     const std::string report = read_file(path);
     ASSERT_FALSE(report.empty());
-    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/3\""),
+    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/4\""),
               std::string::npos);
     EXPECT_NE(report.find("\"jobs\":2"), std::string::npos);
+    // Schema 4: the machine's detected and effective SIMD levels at
+    // the top level, both legal spellings.
+    SimdLevel parsed = SimdLevel::kScalar;
+    EXPECT_NE(report.find(std::string("\"simd_detected\":\"") +
+                          simd_level_name(detected_simd_level()) +
+                          "\""),
+              std::string::npos);
+    EXPECT_NE(report.find(std::string("\"simd_best\":\"") +
+                          simd_level_name(best_simd_level()) + "\""),
+              std::string::npos);
+    EXPECT_TRUE(
+        parse_simd_level(simd_level_name(detected_simd_level()),
+                         &parsed));
     // Schema 2: per-point fault-isolation fields.
     EXPECT_NE(report.find("\"status\":\"ok\""), std::string::npos);
     EXPECT_NE(report.find("\"attempts\":1"), std::string::npos);
