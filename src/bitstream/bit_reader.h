@@ -39,7 +39,11 @@ class BitReader
         while (n > 0) {
             if (acc_bits_ == 0 && !refill()) {
                 error_ = true;
-                return out << n;  // zero-fill the remainder
+                // Zero-fill the remainder. n can still be 32 here
+                // (exhausted before the first take, out == 0), and a
+                // 32-bit shift of a u32 is undefined — return 0
+                // explicitly instead of `out << 32`.
+                return n < 32 ? out << n : 0;
             }
             const int take = n < acc_bits_ ? n : acc_bits_;
             acc_bits_ -= take;

@@ -59,7 +59,9 @@ class BitWriter
 
     /**
      * Finish the stream (byte-aligning it) and move the bytes out.
-     * The writer is left empty and reusable.
+     * The writer is left empty and reusable — but the move surrenders
+     * the buffer's capacity; persistent writers should prefer
+     * finish_into().
      */
     std::vector<u8>
     finish()
@@ -70,6 +72,28 @@ class BitWriter
         acc_ = 0;
         acc_bits_ = 0;
         return out;
+    }
+
+    /**
+     * Finish the stream into @p out (assign, not move), keeping this
+     * writer's internal capacity for the next picture — the zero-
+     * allocation steady-state path for per-encoder persistent writers.
+     */
+    void
+    finish_into(std::vector<u8> *out)
+    {
+        byte_align();
+        out->assign(bytes_.begin(), bytes_.end());
+        clear();
+    }
+
+    /** Drop all buffered bits, keeping the byte buffer's capacity. */
+    void
+    clear()
+    {
+        bytes_.clear();
+        acc_ = 0;
+        acc_bits_ = 0;
     }
 
   private:

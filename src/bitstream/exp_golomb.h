@@ -8,6 +8,8 @@
 #ifndef HDVB_BITSTREAM_EXP_GOLOMB_H
 #define HDVB_BITSTREAM_EXP_GOLOMB_H
 
+#include <bit>
+
 #include "bitstream/bit_reader.h"
 #include "bitstream/bit_writer.h"
 #include "common/types.h"
@@ -31,6 +33,28 @@ write_ue(BitWriter &bw, u32 value)
 inline u32
 read_ue(BitReader &br)
 {
+    // Fast path: count the leading zeros in one 24-bit peek instead of
+    // reading bit by bit. A set bit in the window is always real data
+    // (peek_bits zero-pads past the end, it never injects ones), so
+    // when the terminator sits within the first 12 bits the whole
+    // codeword (2*zeros+1 <= 23 bits) is consumed with a single
+    // get_bits — which reproduces the slow loop's value, consumption
+    // and error-latch behaviour exactly, including truncation mid-
+    // suffix (both zero-fill through the same get_bits path). Streams
+    // with longer prefixes (values >= 2^12 - 1), an all-zero window
+    // (truncation or an overlong prefix) or an already-latched error
+    // fall back to the bit-by-bit loop below, which preserves the
+    // historical semantics for every edge case.
+    if (!br.has_error()) {
+        const u32 window = br.peek_bits(24);
+        if (window != 0) {
+            const int lead =
+                std::countl_zero(window << 8);  // zeros in the 24 MSBs
+            if (lead <= 11)
+                return br.get_bits(2 * lead + 1) - 1;
+        }
+    }
+
     int zeros = 0;
     while (zeros < 32 && br.get_bit() == 0) {
         if (br.has_error())

@@ -85,6 +85,32 @@ class RangeEncoder
         return std::move(bytes_);
     }
 
+    /**
+     * Flush the coded bytes into @p out (assign, not move) and reset
+     * to a fresh-stream state, keeping the internal buffer's capacity
+     * — the zero-allocation steady-state path for per-encoder
+     * persistent coders.
+     */
+    void
+    finish_into(std::vector<u8> *out)
+    {
+        for (int i = 0; i < 5; ++i)
+            shift_low();
+        out->assign(bytes_.begin(), bytes_.end());
+        reset();
+    }
+
+    /** Back to the initial coder state; buffer capacity is kept. */
+    void
+    reset()
+    {
+        bytes_.clear();
+        low_ = 0;
+        range_ = 0xFFFFFFFFu;
+        cache_ = 0;
+        cache_size_ = 1;
+    }
+
   private:
     void
     shift_low()

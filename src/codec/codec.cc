@@ -61,7 +61,7 @@ EncoderBase::encode(const Frame &frame, std::vector<Packet> *out)
         return Status::invalid_argument("frame size != configured size");
     }
 
-    Frame copy(config_.width, config_.height);
+    Frame copy = new_frame();
     copy.copy_from(frame);
     copy.set_poc(next_display_++);
 
@@ -111,7 +111,7 @@ DecoderBase::decode(const Packet &packet, std::vector<Frame> *out)
         // consistent because the repeated picture equals that anchor.
         if (!config_.error_resilience || !has_held_)
             return status;
-        frame = Frame(config_.width, config_.height);
+        frame = new_frame();
         frame.copy_from(held_anchor_);
         ++stats_.pictures_dropped;
     }

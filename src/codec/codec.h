@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "simd/dispatch.h"
 #include "video/frame.h"
+#include "video/frame_pool.h"
 
 namespace hdvb {
 
@@ -88,6 +89,15 @@ struct CodecConfig {
      */
     int threads = 1;
 
+    /**
+     * Recycle frame/plane pixel buffers through a per-codec-instance
+     * FramePool, so steady-state encode/decode performs zero heap
+     * allocations per picture once the working set is warm. Invisible
+     * to the bitstream and to decoded pixels (tests pin both); off
+     * forces a fresh allocation per picture (A/B runs, leak hunts).
+     */
+    bool frame_pool = true;
+
     /** Check invariants (16-aligned dimensions, ranges). */
     Status validate() const;
 };
@@ -116,6 +126,10 @@ class VideoEncoder
 
     /** Codec name ("mpeg2", "mpeg4", "h264"). */
     virtual const char *name() const = 0;
+
+    /** Frame-buffer pool counters (all zero when the implementation
+     * does not pool). */
+    virtual FramePoolStats pool_stats() const { return {}; }
 };
 
 /** Streaming decoder interface; frames come out in display order. */
@@ -135,6 +149,10 @@ class VideoDecoder
     /** Cumulative error-resilience counters (zeros when the decoder
      * does not track them). */
     virtual DecodeStats stats() const { return {}; }
+
+    /** Frame-buffer pool counters (all zero when the implementation
+     * does not pool). */
+    virtual FramePoolStats pool_stats() const { return {}; }
 };
 
 /**
@@ -153,6 +171,8 @@ class EncoderBase : public VideoEncoder
 
     const CodecConfig &config() const { return config_; }
 
+    FramePoolStats pool_stats() const final { return pool_.stats(); }
+
   protected:
     /**
      * Encode one picture. For kI/kP the subclass must promote the
@@ -162,11 +182,21 @@ class EncoderBase : public VideoEncoder
     virtual std::vector<u8> encode_picture(const Frame &src,
                                            PictureType type) = 0;
 
+    /** Frame of the configured picture size, drawing its buffers from
+     * the codec's pool when CodecConfig::frame_pool is on. */
+    Frame
+    new_frame(int border = 0)
+    {
+        return Frame(config_.width, config_.height, border,
+                     config_.frame_pool ? &pool_ : nullptr);
+    }
+
   private:
     void emit(const Frame &src, PictureType type,
               std::vector<Packet> *out);
 
     CodecConfig config_;
+    FramePool pool_;
     std::deque<Frame> pending_;  ///< display-order lookahead window
     s64 next_display_ = 0;
     s64 coding_index_ = 0;
@@ -188,15 +218,27 @@ class DecoderBase : public VideoDecoder
 
     DecodeStats stats() const final { return stats_; }
 
+    FramePoolStats pool_stats() const final { return pool_.stats(); }
+
   protected:
     /** Decode one picture into @p out (any size; base resizes). */
     virtual Status decode_picture(const Packet &packet, Frame *out) = 0;
+
+    /** Frame of the configured picture size, drawing its buffers from
+     * the codec's pool when CodecConfig::frame_pool is on. */
+    Frame
+    new_frame(int border = 0)
+    {
+        return Frame(config_.width, config_.height, border,
+                     config_.frame_pool ? &pool_ : nullptr);
+    }
 
     /** Subclasses bump these while decoding resilient pictures. */
     DecodeStats stats_;
 
   private:
     CodecConfig config_;
+    FramePool pool_;
     Frame held_anchor_;
     bool has_held_ = false;
 };

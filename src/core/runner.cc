@@ -111,6 +111,7 @@ run_encode(const BenchPoint &point, double deadline_seconds)
     if (!status.is_ok())
         return status;
     run.seconds = timer.seconds();
+    run.pool = encoder.value()->pool_stats();
     return run;
 }
 
@@ -125,7 +126,25 @@ run_decode(const BenchPoint &point, const EncodedStream &stream,
     if (!decoder.is_ok())
         return decoder.status();
 
+    // Score and release output frames as they are emitted (untimed)
+    // instead of holding the whole sequence: retaining every frame
+    // would keep its plane buffers checked out of the decoder's
+    // FramePool, turning a recycling steady state into one fresh
+    // allocation per picture and poisoning the allocs_per_frame
+    // report column.
+    SyntheticSource source(point.sequence, cfg.width, cfg.height);
+    PsnrAccumulator acc;
+    int decoded = 0;
     std::vector<Frame> frames;
+    const auto score_and_release = [&] {
+        for (const Frame &frame : frames) {
+            const Frame ref = source.at(static_cast<int>(frame.poc()));
+            acc.add(ref, frame);
+        }
+        decoded += static_cast<int>(frames.size());
+        frames.clear();
+    };
+
     WallTimer timer;
     for (const Packet &packet : stream.packets) {
         inject_frame_delay(point);
@@ -137,24 +156,20 @@ run_decode(const BenchPoint &point, const EncodedStream &stream,
         timer.stop();
         if (!status.is_ok())
             return status;
+        score_and_release();
     }
     timer.start();
     const Status status = decoder.value()->flush(&frames);
     timer.stop();
     if (!status.is_ok())
         return status;
+    score_and_release();
 
     DecodeRun run;
-    run.frames = static_cast<int>(frames.size());
+    run.frames = decoded;
     run.seconds = timer.seconds();
     run.stats = decoder.value()->stats();
-
-    SyntheticSource source(point.sequence, cfg.width, cfg.height);
-    PsnrAccumulator acc;
-    for (const Frame &frame : frames) {
-        const Frame ref = source.at(static_cast<int>(frame.poc()));
-        acc.add(ref, frame);
-    }
+    run.pool = decoder.value()->pool_stats();
     run.psnr_y = acc.psnr_y();
     run.psnr_all = acc.psnr_all();
     return run;

@@ -62,6 +62,10 @@ struct EncodeRun {
     int frames = 0;
     double seconds = 0.0;
 
+    /** Encoder frame-pool counters at the end of the run (all zero
+     * when CodecConfig::frame_pool is off). */
+    FramePoolStats pool;
+
     double fps() const { return seconds > 0 ? frames / seconds : 0.0; }
 
     /** kbit/s at the benchmark's 25 fps playback rate. */
@@ -95,6 +99,9 @@ struct DecodeRun {
     /** Error-resilience counters reported by the decoder (all zero for
      * clean streams or when error_resilience is off). */
     DecodeStats stats;
+
+    /** Decoder frame-pool counters at the end of the run. */
+    FramePoolStats pool;
 
     double fps() const { return seconds > 0 ? frames / seconds : 0.0; }
 };

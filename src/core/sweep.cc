@@ -79,6 +79,7 @@ SweepRunner::attempt_point(const BenchPoint &point,
         result->encode_measured = options_.measure_encode;
         result->encode_frames = enc.value().frames;
         result->encode_seconds = enc.value().seconds;
+        result->pool_allocs += enc.value().pool.buffer_allocs;
         stream = std::move(enc.value().stream);
         if (cacheable) {
             ::mkdir(options_.cache_dir.c_str(), 0755);
@@ -106,6 +107,7 @@ SweepRunner::attempt_point(const BenchPoint &point,
         result->psnr_y = dec.value().psnr_y;
         result->psnr_all = dec.value().psnr_all;
         result->decode_stats = dec.value().stats;
+        result->pool_allocs += dec.value().pool.buffer_allocs;
     }
 
     if (options_.keep_streams)
@@ -202,7 +204,7 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
 {
     JsonWriter json;
     json.begin_object();
-    json.field("schema", "hdvb-sweep/4");
+    json.field("schema", "hdvb-sweep/5");
     json.field("simd_detected", simd_level_name(detected_simd_level()));
     json.field("simd_best", simd_level_name(best_simd_level()));
     json.field("jobs", options_.jobs > 0 ? options_.jobs
@@ -231,6 +233,7 @@ SweepRunner::write_report(const std::vector<SweepResult> &results) const
         json.field("stream_bits", r.stream_bits);
         json.field("bitrate_kbps", r.bitrate_kbps());
         json.field("from_cache", r.from_cache);
+        json.field("allocs_per_frame", r.allocs_per_frame());
         if (r.encode_measured) {
             json.key("encode");
             json.begin_object();

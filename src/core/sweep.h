@@ -17,9 +17,12 @@
  * completion order, so table output is deterministic, and the engine
  * records per-point observability (wall time, worker id, peak-RSS
  * growth over the sweep) which it can emit as a machine-readable JSON
- * report (schema hdvb-sweep/4: adds the machine's detected and
- * effective SIMD levels at the top level, next to the per-point
- * "simd" field, so a report is attributable to silicon).
+ * report (schema hdvb-sweep/5: hdvb-sweep/4 added the machine's
+ * detected and effective SIMD levels at the top level, next to the
+ * per-point "simd" field, so a report is attributable to silicon; /5
+ * adds the per-point "allocs_per_frame" column — frame-pool heap
+ * allocations over frames processed, ~0 in steady state with pooling
+ * on — so allocation regressions on the hot path show up in reports).
  */
 #ifndef HDVB_CORE_SWEEP_H
 #define HDVB_CORE_SWEEP_H
@@ -68,6 +71,11 @@ struct SweepResult {
      * point decoded a corrupted stream with error_resilience on). */
     DecodeStats decode_stats;
 
+    /** Frame-pool heap allocations (pool misses) summed over the
+     * point's encoder and decoder. With pooling on this is the warm-up
+     * cost only; it keeps growing per picture when pooling is off. */
+    s64 pool_allocs = 0;
+
     /** The encoded stream (only with SweepOptions::keep_streams). */
     EncodedStream stream;
 
@@ -93,6 +101,15 @@ struct SweepResult {
     decode_fps() const
     {
         return decode_seconds > 0 ? decode_frames / decode_seconds : 0.0;
+    }
+
+    /** Pool misses per frame processed (encode + decode sides). */
+    double
+    allocs_per_frame() const
+    {
+        const int frames = encode_frames + decode_frames;
+        return frames > 0 ? static_cast<double>(pool_allocs) / frames
+                          : 0.0;
     }
 
     /** kbit/s at the benchmark's 25 fps playback rate. */

@@ -1048,7 +1048,7 @@ H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     quant_i_ = &quant_i;
     quant_p_ = &quant_p;
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
@@ -1162,7 +1162,7 @@ H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
         deblock_picture(out, binfo_, qp);
 
     if (type != PictureType::kB) {
-        Frame ref(cfg.width, cfg.height, kRefBorder);
+        Frame ref = new_frame(kRefBorder);
         ref.copy_from(*out);
         ref.extend_borders();
         dpb_.push_back(std::move(ref));
@@ -1204,7 +1204,7 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
     quant_i_ = &quant_i;
     quant_p_ = &quant_p;
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
@@ -1229,7 +1229,7 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
         deblock_picture(out, binfo_, qp);
 
     if (type != PictureType::kB) {
-        Frame ref(cfg.width, cfg.height, kRefBorder);
+        Frame ref = new_frame(kRefBorder);
         ref.copy_from(*out);
         ref.extend_borders();
         dpb_.push_back(std::move(ref));

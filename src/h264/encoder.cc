@@ -173,6 +173,9 @@ class H264Encoder final : public EncoderBase
     int mb_h_;
 
     std::deque<Frame> dpb_;  ///< reconstructed anchors, newest last
+    RangeEncoder rc_;        ///< persistent coder (capacity reuse)
+    BitWriter hbw_;          ///< persistent header writer
+    std::vector<u8> wbuf_;   ///< persistent finish_into() scratch
     BlockInfoGrid binfo_;
     std::vector<MotionVector> mv_grid_;     ///< quarter-pel, current
     std::vector<MotionVector> anchor_mvs_;  ///< full-pel collocated
@@ -936,7 +939,7 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
 {
     const CodecConfig &cfg = config();
 
-    recon_ = Frame(cfg.width, cfg.height, kRefBorder);
+    recon_ = new_frame(kRefBorder);
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
@@ -947,40 +950,40 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
         // Plain-bit header segment (the range coder cannot resume after
         // damage, so the header must parse without it), escaped so it
         // cannot fake a resync marker.
-        BitWriter hbw;
-        hbw.put_bits(static_cast<u32>(type), 2);
-        hbw.put_bits(static_cast<u32>(cfg.qp), 6);
-        hbw.put_bit(cfg.deblock ? 1 : 0);
-        hbw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-        const std::vector<u8> header = hbw.finish();
-        escape_emulation(header.data(), header.size(), &out);
+        hbw_.clear();
+        hbw_.put_bits(static_cast<u32>(type), 2);
+        hbw_.put_bits(static_cast<u32>(cfg.qp), 6);
+        hbw_.put_bit(cfg.deblock ? 1 : 0);
+        hbw_.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        hbw_.finish_into(&wbuf_);
+        escape_emulation(wbuf_.data(), wbuf_.size(), &out);
 
         // Each MB row is an independently decodable range-coded chunk:
         // fresh coder state and fresh context models per row.
         for (int mby = 0; mby < mb_h_; ++mby) {
-            RangeEncoder rc;
+            rc_.reset();
             ctx_models_.reset();
             WriteChains wc;
             for (int mbx = 0; mbx < mb_w_; ++mbx)
-                write_mb(rc, wc, records_[mby * mb_w_ + mbx], type);
-            rc.encode_bypass_bits(kRowSentinel, 8);
-            const std::vector<u8> row = rc.finish();
+                write_mb(rc_, wc, records_[mby * mb_w_ + mbx], type);
+            rc_.encode_bypass_bits(kRowSentinel, 8);
+            rc_.finish_into(&wbuf_);
             append_resync_marker(&out, mby);
-            escape_emulation(row.data(), row.size(), &out);
+            escape_emulation(wbuf_.data(), wbuf_.size(), &out);
         }
     } else {
-        RangeEncoder rc;
+        rc_.reset();
         ctx_models_.reset();
-        rc.encode_bypass_bits(static_cast<u32>(type), 2);
-        rc.encode_bypass_bits(static_cast<u32>(cfg.qp), 6);
-        rc.encode_bypass(cfg.deblock ? 1 : 0);
-        rc.encode_bypass_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        rc_.encode_bypass_bits(static_cast<u32>(type), 2);
+        rc_.encode_bypass_bits(static_cast<u32>(cfg.qp), 6);
+        rc_.encode_bypass(cfg.deblock ? 1 : 0);
+        rc_.encode_bypass_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
         for (int mby = 0; mby < mb_h_; ++mby) {
             WriteChains wc;
             for (int mbx = 0; mbx < mb_w_; ++mbx)
-                write_mb(rc, wc, records_[mby * mb_w_ + mbx], type);
+                write_mb(rc_, wc, records_[mby * mb_w_ + mbx], type);
         }
-        out = rc.finish();
+        rc_.finish_into(&out);
     }
 
     if (cfg.deblock)

@@ -12,6 +12,14 @@
  * All functions read from a reference Plane whose borders have been
  * extended (Plane::extend_borders); motion vectors must keep every read
  * inside the border (the motion-estimation layer enforces this).
+ *
+ * Alignment contract: reference reads are motion-shifted and therefore
+ * unaligned by nature — MC kernels use unaligned loads throughout and
+ * no aligned variants exist here. What the Plane layout (32-byte row
+ * alignment + >= Plane::kRightSlack writable bytes past the right
+ * border edge) buys MC is the *overread* guarantee: a SIMD kernel may
+ * read a full vector at the tail of any legal block position without
+ * leaving the allocation. See README "Memory model".
  */
 #ifndef HDVB_MC_MC_H
 #define HDVB_MC_MC_H

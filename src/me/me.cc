@@ -30,8 +30,16 @@ MotionEstimator::sad_at(const MeBlock &blk, int mx, int my) const
     const int cs = blk.cur->stride();
     const Pixel *ref = blk.ref->row(blk.y0 + my) + blk.x0 + mx;
     const int rs = blk.ref->stride();
-    if (blk.w == 16 && blk.h == 16)
+    if (blk.w == 16 && blk.h == 16) {
+        if (blk.x0 % 16 == 0 && cs % 16 == 0) {
+            // The Plane layout makes macroblock rows of the current
+            // picture 16-byte aligned; the aligned-load kernel tier
+            // depends on it, so assert before dispatching.
+            HDVB_DCHECK(reinterpret_cast<uintptr_t>(cur) % 16 == 0);
+            return dsp.sad16x16_a(cur, cs, ref, rs);
+        }
         return dsp.sad16x16(cur, cs, ref, rs);
+    }
     if (blk.w == 8 && blk.h == 8)
         return dsp.sad8x8(cur, cs, ref, rs);
     return dsp.sad_rect(cur, cs, ref, rs, blk.w, blk.h);

@@ -384,7 +384,7 @@ Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32, 4);
     const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 8, 4);
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
 
     // Map each surviving marker to its row's byte segment.
     std::vector<std::pair<const u8 *, size_t>> segments(
@@ -452,7 +452,7 @@ Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     if (type != PictureType::kB) {
         out->extend_borders();
         prev_anchor_ = std::move(last_anchor_);
-        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_ = new_frame(kRefBorder);
         last_anchor_.copy_from(*out);
         last_anchor_.extend_borders();
     }
@@ -482,7 +482,7 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
     const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32, 4);
     const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 8, 4);
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
 
     MbState st{};
     st.br = &br;
@@ -564,7 +564,7 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
     if (type != PictureType::kB) {
         out->extend_borders();
         prev_anchor_ = std::move(last_anchor_);
-        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_ = new_frame(kRefBorder);
         last_anchor_.copy_from(*out);
         last_anchor_.extend_borders();
     }

@@ -150,13 +150,15 @@ class Mpeg2Encoder final : public EncoderBase
     Frame recon_;
     std::vector<MbRecord> records_;   ///< one per MB, raster order
     std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
+    BitWriter bw_;           ///< persistent writer (capacity reuse)
+    std::vector<u8> wbuf_;   ///< persistent finish_into() scratch
 };
 
 std::vector<u8>
 Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
 {
     const CodecConfig &cfg = config();
-    recon_ = Frame(cfg.width, cfg.height, kRefBorder);
+    recon_ = new_frame(kRefBorder);
     std::fill(cur_mvs_.begin(), cur_mvs_.end(), MotionVector{});
 
     analyze_picture(src, type);
@@ -166,39 +168,38 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
         // Resilient layout: escaped header, then a resync marker plus
         // an escaped, sentinel-terminated segment per macroblock row.
         // Skip runs are row-scoped so each segment parses standalone.
-        BitWriter hbw;
-        hbw.put_bits(static_cast<u32>(type), 2);
-        hbw.put_bits(static_cast<u32>(cfg.qscale), 5);
-        hbw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
-        const std::vector<u8> header = hbw.finish();
-        escape_emulation(header.data(), header.size(), &out);
+        bw_.clear();
+        bw_.put_bits(static_cast<u32>(type), 2);
+        bw_.put_bits(static_cast<u32>(cfg.qscale), 5);
+        bw_.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        bw_.finish_into(&wbuf_);
+        escape_emulation(wbuf_.data(), wbuf_.size(), &out);
 
-        BitWriter rbw;
         for (int mby = 0; mby < mb_h_; ++mby) {
             WriteState ws;
             for (int mbx = 0; mbx < mb_w_; ++mbx)
-                write_mb(rbw, ws, records_[mby * mb_w_ + mbx], type);
+                write_mb(bw_, ws, records_[mby * mb_w_ + mbx], type);
             if (type != PictureType::kI && ws.pending_skips > 0)
-                write_ue(rbw, static_cast<u32>(ws.pending_skips));
-            rbw.put_bits(kRowSentinel, 8);
-            const std::vector<u8> row = rbw.finish();
+                write_ue(bw_, static_cast<u32>(ws.pending_skips));
+            bw_.put_bits(kRowSentinel, 8);
+            bw_.finish_into(&wbuf_);
             append_resync_marker(&out, mby);
-            escape_emulation(row.data(), row.size(), &out);
+            escape_emulation(wbuf_.data(), wbuf_.size(), &out);
         }
     } else {
-        BitWriter bw;
-        bw.put_bits(static_cast<u32>(type), 2);
-        bw.put_bits(static_cast<u32>(cfg.qscale), 5);
-        bw.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
+        bw_.clear();
+        bw_.put_bits(static_cast<u32>(type), 2);
+        bw_.put_bits(static_cast<u32>(cfg.qscale), 5);
+        bw_.put_bits(static_cast<u32>(src.poc() & 0xFFFF), 16);
         WriteState ws;
         for (int mby = 0; mby < mb_h_; ++mby) {
             ws.reset_row();
             for (int mbx = 0; mbx < mb_w_; ++mbx)
-                write_mb(bw, ws, records_[mby * mb_w_ + mbx], type);
+                write_mb(bw_, ws, records_[mby * mb_w_ + mbx], type);
         }
         if (type != PictureType::kI)
-            write_ue(bw, static_cast<u32>(ws.pending_skips));
-        out = bw.finish();
+            write_ue(bw_, static_cast<u32>(ws.pending_skips));
+        bw_.finish_into(&out);
     }
 
     recon_.extend_borders();

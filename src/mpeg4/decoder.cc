@@ -460,7 +460,7 @@ Mpeg4Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32);
     const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 16);
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
     std::vector<std::pair<const u8 *, size_t>> segments(
@@ -530,7 +530,7 @@ Mpeg4Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
     if (type != PictureType::kB) {
         out->extend_borders();
         prev_anchor_ = std::move(last_anchor_);
-        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_ = new_frame(kRefBorder);
         last_anchor_.copy_from(*out);
         last_anchor_.extend_borders();
     }
@@ -561,7 +561,7 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
     const MpegQuantizer intra_quant(kMpegIntraMatrix, qscale, 32);
     const MpegQuantizer inter_quant(kMpegInterMatrix, qscale, 16);
 
-    *out = Frame(cfg.width, cfg.height, kRefBorder);
+    *out = new_frame(kRefBorder);
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
     MbState st{};
@@ -641,7 +641,7 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
     if (type != PictureType::kB) {
         out->extend_borders();
         prev_anchor_ = std::move(last_anchor_);
-        last_anchor_ = Frame(cfg.width, cfg.height, kRefBorder);
+        last_anchor_ = new_frame(kRefBorder);
         last_anchor_.copy_from(*out);
         last_anchor_.extend_borders();
     }

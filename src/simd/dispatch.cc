@@ -18,6 +18,7 @@ using namespace hdvb::kernels;
 const Dsp kScalarDsp = {
     "scalar",
     scalar_sad16x16,
+    scalar_sad16x16,  // alignment buys scalar code nothing
     scalar_sad8x8,
     scalar_sad_rect,
     scalar_satd4x4,
@@ -40,6 +41,7 @@ const Dsp kScalarDsp = {
 const Dsp kSse2Dsp = {
     "sse2",
     sse2_sad16x16,
+    sse2_sad16x16_a,
     sse2_sad8x8,
     sse2_sad_rect,
     sse2_satd4x4,
@@ -65,6 +67,7 @@ const Dsp kAvx2Dsp = {
     // SAD stays SSE2: strided 16-byte rows need a vinserti128 per row
     // pair to fill a ymm, which measures slower than xmm psadbw.
     sse2_sad16x16,
+    sse2_sad16x16_a,
     sse2_sad8x8,
     sse2_sad_rect,
     sse2_satd4x4,  // a single 4x4 is too narrow for ymm to help

@@ -71,6 +71,12 @@ struct Dsp {
 
     // ---- Block-matching costs (motion estimation) ----
     int (*sad16x16)(const Pixel *a, int as, const Pixel *b, int bs);
+    /** sad16x16 whose FIRST operand satisfies the Plane alignment
+     * contract: a and as are both multiples of 16 (every macroblock
+     * position of a Plane row — see video/plane.h). The second operand
+     * is unconstrained (motion-shifted reference). Callers must
+     * HDVB_DCHECK the contract at the dispatch point. */
+    int (*sad16x16_a)(const Pixel *a, int as, const Pixel *b, int bs);
     int (*sad8x8)(const Pixel *a, int as, const Pixel *b, int bs);
     /** Generic SAD; w, h <= 16. */
     int (*sad_rect)(const Pixel *a, int as, const Pixel *b, int bs,

@@ -44,6 +44,9 @@ void scalar_h264_hpel_hv(Pixel *dst, int ds, const Pixel *src, int ss,
 // ---- SSE2 implementations (compiled only when __SSE2__) ----
 #if defined(__SSE2__)
 int sse2_sad16x16(const Pixel *a, int as, const Pixel *b, int bs);
+/** Aligned-first-operand variant: a % 16 == 0 and as % 16 == 0
+ * (movdqa on the current-picture rows). */
+int sse2_sad16x16_a(const Pixel *a, int as, const Pixel *b, int bs);
 int sse2_sad8x8(const Pixel *a, int as, const Pixel *b, int bs);
 int sse2_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
                   int w, int h);

@@ -194,6 +194,26 @@ sse2_sad16x16(const Pixel *a, int as, const Pixel *b, int bs)
 }
 
 int
+sse2_sad16x16_a(const Pixel *a, int as, const Pixel *b, int bs)
+{
+    // Aligned loads on the current-picture operand (the Plane layout
+    // guarantees 16-byte-aligned macroblock rows); the reference
+    // operand shifts with the motion vector and stays unaligned.
+    __m128i acc = _mm_setzero_si128();
+    for (int y = 0; y < 16; ++y) {
+        const __m128i va =
+            _mm_load_si128(reinterpret_cast<const __m128i *>(a));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b));
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+        a += as;
+        b += bs;
+    }
+    return _mm_cvtsi128_si32(acc) +
+           _mm_cvtsi128_si32(_mm_srli_si128(acc, 8));
+}
+
+int
 sse2_sad8x8(const Pixel *a, int as, const Pixel *b, int bs)
 {
     __m128i acc = _mm_setzero_si128();

@@ -1,0 +1,106 @@
+#include "video/aligned_buffer.h"
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "video/frame_pool.h"
+
+namespace hdvb {
+
+namespace detail {
+
+u8 *
+aligned_alloc_bytes(size_t size)
+{
+    return static_cast<u8 *>(::operator new(
+        size, std::align_val_t{AlignedBuffer::kAlignment}));
+}
+
+void
+aligned_free_bytes(u8 *ptr)
+{
+    ::operator delete(ptr, std::align_val_t{AlignedBuffer::kAlignment});
+}
+
+}  // namespace detail
+
+AlignedBuffer::AlignedBuffer(size_t size)
+{
+    if (size == 0)
+        return;
+    data_ = detail::aligned_alloc_bytes(size);
+    size_ = size;
+    std::memset(data_, 0, size_);
+}
+
+AlignedBuffer::AlignedBuffer(u8 *data, size_t size,
+                             std::shared_ptr<detail::PoolCore> core)
+    : data_(data), size_(size), core_(std::move(core))
+{}
+
+AlignedBuffer::~AlignedBuffer()
+{
+    release();
+}
+
+void
+AlignedBuffer::release()
+{
+    if (data_ == nullptr)
+        return;
+    if (core_ != nullptr)
+        core_->give(data_, size_);
+    else
+        detail::aligned_free_bytes(data_);
+    data_ = nullptr;
+    size_ = 0;
+    core_.reset();
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer &&other) noexcept
+    : data_(other.data_), size_(other.size_),
+      core_(std::move(other.core_))
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+AlignedBuffer &
+AlignedBuffer::operator=(AlignedBuffer &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        data_ = other.data_;
+        size_ = other.size_;
+        core_ = std::move(other.core_);
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer &other)
+{
+    if (other.data_ == nullptr)
+        return;
+    data_ = detail::aligned_alloc_bytes(other.size_);
+    size_ = other.size_;
+    std::memcpy(data_, other.data_, size_);
+}
+
+AlignedBuffer &
+AlignedBuffer::operator=(const AlignedBuffer &other)
+{
+    if (this != &other) {
+        release();
+        if (other.data_ != nullptr) {
+            data_ = detail::aligned_alloc_bytes(other.size_);
+            size_ = other.size_;
+            std::memcpy(data_, other.data_, size_);
+        }
+    }
+    return *this;
+}
+
+}  // namespace hdvb

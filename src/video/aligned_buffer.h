@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 64-byte-aligned raw pixel storage, optionally recycled by a
+ * FramePool.
+ *
+ * Every Plane sits on one AlignedBuffer. The 64-byte base alignment is
+ * the strongest any current x86 SIMD tier wants (a full cache line),
+ * and together with Plane's 32-byte stride rounding it makes every row
+ * start 32-byte aligned — the contract the aligned kernel variants in
+ * src/simd rely on.
+ *
+ * A buffer acquired from a FramePool carries a shared reference to the
+ * pool's core and hands its memory back on destruction instead of
+ * freeing it, so Frames may outlive the codec (and its pool) that
+ * produced them: the core stays alive until the last outstanding
+ * buffer has returned.
+ */
+#ifndef HDVB_VIDEO_ALIGNED_BUFFER_H
+#define HDVB_VIDEO_ALIGNED_BUFFER_H
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace hdvb {
+
+namespace detail {
+class PoolCore;
+}  // namespace detail
+
+/** Move-only-in-spirit aligned byte buffer; copying deep-copies into a
+ * fresh unpooled allocation (Plane and Frame stay value types). */
+class AlignedBuffer
+{
+  public:
+    /** Base alignment of every allocation, in bytes. */
+    static constexpr size_t kAlignment = 64;
+
+    AlignedBuffer() = default;
+
+    /** Fresh zero-initialised allocation of @p size bytes. */
+    explicit AlignedBuffer(size_t size);
+
+    ~AlignedBuffer();
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept;
+    AlignedBuffer &operator=(AlignedBuffer &&other) noexcept;
+
+    /** Deep copy: same bytes, fresh unpooled allocation. */
+    AlignedBuffer(const AlignedBuffer &other);
+    AlignedBuffer &operator=(const AlignedBuffer &other);
+
+    u8 *data() { return data_; }
+    const u8 *data() const { return data_; }
+    size_t size() const { return size_; }
+    bool empty() const { return data_ == nullptr; }
+
+    /** True when destruction returns the memory to a pool. */
+    bool pooled() const { return core_ != nullptr; }
+
+  private:
+    friend class FramePool;
+
+    /** Pool-owned construction (FramePool::acquire). */
+    AlignedBuffer(u8 *data, size_t size,
+                  std::shared_ptr<detail::PoolCore> core);
+
+    void release();
+
+    u8 *data_ = nullptr;
+    size_t size_ = 0;
+    std::shared_ptr<detail::PoolCore> core_;
+};
+
+namespace detail {
+/** 64-byte-aligned allocation helpers shared with the pool core. */
+u8 *aligned_alloc_bytes(size_t size);
+void aligned_free_bytes(u8 *ptr);
+}  // namespace detail
+
+}  // namespace hdvb
+
+#endif  // HDVB_VIDEO_ALIGNED_BUFFER_H

@@ -2,11 +2,11 @@
 
 namespace hdvb {
 
-Frame::Frame(int width, int height, int border)
+Frame::Frame(int width, int height, int border, FramePool *pool)
     : width_(width), height_(height),
-      luma_(width, height, border),
-      cb_(width / 2, height / 2, border / 2),
-      cr_(width / 2, height / 2, border / 2)
+      luma_(width, height, border, pool),
+      cb_(width / 2, height / 2, border / 2, pool),
+      cr_(width / 2, height / 2, border / 2, pool)
 {
     HDVB_CHECK(width % 2 == 0 && height % 2 == 0);
 }

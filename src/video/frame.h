@@ -23,8 +23,10 @@ class Frame
     Frame() = default;
 
     /** Allocate a frame; @p border is the luma border (chroma gets
-     * half). Even dimensions required. */
-    Frame(int width, int height, int border = 0);
+     * half). Even dimensions required. A non-null @p pool recycles the
+     * three plane buffers through it (see FramePool). */
+    Frame(int width, int height, int border = 0,
+          FramePool *pool = nullptr);
 
     int width() const { return width_; }
     int height() const { return height_; }

@@ -1,0 +1,70 @@
+#include "video/frame_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hdvb {
+
+namespace detail {
+
+PoolCore::~PoolCore()
+{
+    // Only free-listed buffers remain: outstanding ones hold a
+    // shared_ptr to this core, so this destructor cannot run before
+    // they have all come back.
+    for (auto &entry : free_)
+        for (u8 *ptr : entry.second)
+            aligned_free_bytes(ptr);
+}
+
+u8 *
+PoolCore::take(size_t size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.outstanding;
+    stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+    auto it = free_.find(size);
+    if (it != free_.end() && !it->second.empty()) {
+        u8 *ptr = it->second.back();
+        it->second.pop_back();
+        ++stats_.buffer_reuses;
+        return ptr;
+    }
+    ++stats_.buffer_allocs;
+    return nullptr;
+}
+
+void
+PoolCore::give(u8 *ptr, size_t size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.outstanding;
+    free_[size].push_back(ptr);
+}
+
+FramePoolStats
+PoolCore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace detail
+
+AlignedBuffer
+FramePool::acquire(size_t size)
+{
+    if (size == 0)
+        return AlignedBuffer();
+    u8 *ptr = core_->take(size);
+    if (ptr == nullptr) {
+        // Fresh allocations are zeroed (matching unpooled
+        // construction); recycled ones keep their stale contents —
+        // see the header note.
+        ptr = detail::aligned_alloc_bytes(size);
+        std::memset(ptr, 0, size);
+    }
+    return AlignedBuffer(ptr, size, core_);
+}
+
+}  // namespace hdvb

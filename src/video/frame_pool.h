@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Recycling pool for frame/plane pixel buffers.
+ *
+ * Steady-state encoding and decoding construct the same three plane
+ * geometries picture after picture (source copies, reconstructions,
+ * anchor references); without a pool every picture pays allocator and
+ * page-fault cost on the hottest data structure in the benchmark. A
+ * FramePool keeps size-keyed free lists of AlignedBuffers: after a
+ * short warm-up (one GOP's worth of pictures in flight) every
+ * acquisition is a free-list hit and the per-picture heap-allocation
+ * count drops to zero — FramePoolStats::buffer_allocs is the counter
+ * tests and the sweep report's allocs_per_frame column watch.
+ *
+ * Lifetime: buffers reference the pool's shared core, so a Frame may
+ * outlive the FramePool (codec) that produced it; the core is freed
+ * when the pool and the last outstanding buffer are gone. Returns are
+ * mutex-protected, so frames may be destroyed on any thread — the
+ * band-parallel codecs only ever *acquire* on the codec's own thread,
+ * keeping the lock out of the wavefront workers' way.
+ *
+ * Recycled buffers are NOT re-zeroed. Codecs overwrite every interior
+ * sample before reading it back and extend_borders() rewrites the full
+ * padding, so pooling is invisible to the bitstream and to decoded
+ * pixels (the PoolInvariance round-trip tests pin this).
+ */
+#ifndef HDVB_VIDEO_FRAME_POOL_H
+#define HDVB_VIDEO_FRAME_POOL_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "video/aligned_buffer.h"
+
+namespace hdvb {
+
+/** Counters a FramePool accumulates over its lifetime. */
+struct FramePoolStats {
+    s64 buffer_allocs = 0;  ///< pool misses: fresh heap allocations
+    s64 buffer_reuses = 0;  ///< pool hits: buffers served from a free list
+    s64 outstanding = 0;    ///< buffers currently checked out
+    s64 high_water = 0;     ///< max simultaneously outstanding buffers
+};
+
+namespace detail {
+
+/** Shared pool state; outlives the FramePool while buffers are out. */
+class PoolCore
+{
+  public:
+    ~PoolCore();
+
+    /** Free-listed buffer of exactly @p size bytes, or nullptr on a
+     * miss. Updates hit/miss/outstanding/high-water counters either
+     * way (a miss is followed by the caller's allocation). */
+    u8 *take(size_t size);
+
+    /** Return @p ptr (of @p size bytes) to the free list. */
+    void give(u8 *ptr, size_t size);
+
+    FramePoolStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<size_t, std::vector<u8 *>> free_;
+    FramePoolStats stats_;
+};
+
+}  // namespace detail
+
+/** Per-codec-instance buffer recycler. Not copyable. */
+class FramePool
+{
+  public:
+    FramePool() : core_(std::make_shared<detail::PoolCore>()) {}
+
+    FramePool(const FramePool &) = delete;
+    FramePool &operator=(const FramePool &) = delete;
+
+    /**
+     * Buffer of @p size bytes: a recycled one when the free list has a
+     * match (contents stale), otherwise a fresh zeroed allocation. The
+     * buffer returns itself to this pool on destruction.
+     */
+    AlignedBuffer acquire(size_t size);
+
+    /** Snapshot of the lifetime counters. */
+    FramePoolStats stats() const { return core_->stats(); }
+
+  private:
+    std::shared_ptr<detail::PoolCore> core_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_VIDEO_FRAME_POOL_H

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cstring>
 
+#include "video/frame_pool.h"
+
 namespace hdvb {
+
+Plane::Plane(int width, int height, int border, FramePool *pool)
+    : width_(width), height_(height), border_(border),
+      left_pad_(round_up(border, kRowAlign))
+{
+    HDVB_CHECK(width > 0 && height > 0 && border >= 0);
+    // Rows: [left_pad | interior (width) | right border | slack]; the
+    // stride rounding keeps every row start kRowAlign-aligned and
+    // leaves >= kRightSlack writable bytes past the right border edge.
+    stride_ = round_up(left_pad_ + width_ + border_ + kRightSlack,
+                       kRowAlign);
+    const size_t bytes =
+        static_cast<size_t>(stride_) * (height_ + 2 * border_);
+    buf_ = pool != nullptr ? pool->acquire(bytes) : AlignedBuffer(bytes);
+}
 
 void
 Plane::fill(Pixel value)
@@ -17,20 +34,25 @@ Plane::extend_borders()
 {
     if (border_ == 0)
         return;
-    // Left/right replication for interior rows.
+    // Left/right replication for interior rows, covering the whole
+    // padding (left_pad_ >= border_, and everything from the interior's
+    // right edge to the end of the row), not just the border: after
+    // this, every byte of the row is a deterministic function of the
+    // interior, which keeps recycled (stale) pool buffers invisible.
+    const int right = stride_ - left_pad_ - width_;
     for (int y = 0; y < height_; ++y) {
         Pixel *r = row(y);
-        std::memset(r - border_, r[0], static_cast<size_t>(border_));
+        std::memset(r - left_pad_, r[0], static_cast<size_t>(left_pad_));
         std::memset(r + width_, r[width_ - 1],
-                    static_cast<size_t>(border_));
+                    static_cast<size_t>(right));
     }
     // Top/bottom replication of whole (already-extended) rows.
-    const Pixel *top = row(0) - border_;
-    const Pixel *bottom = row(height_ - 1) - border_;
+    const Pixel *top = row(0) - left_pad_;
+    const Pixel *bottom = row(height_ - 1) - left_pad_;
     for (int i = 1; i <= border_; ++i) {
-        std::memcpy(row(-i) - border_, top,
+        std::memcpy(row(-i) - left_pad_, top,
                     static_cast<size_t>(stride_));
-        std::memcpy(row(height_ - 1 + i) - border_, bottom,
+        std::memcpy(row(height_ - 1 + i) - left_pad_, bottom,
                     static_cast<size_t>(stride_));
     }
 }
@@ -39,6 +61,14 @@ void
 Plane::copy_from(const Plane &src)
 {
     HDVB_CHECK(src.width() == width_ && src.height() == height_);
+    if (src.border_ == border_ && !empty()) {
+        // Identical geometry implies identical layout: one memcpy of
+        // the whole allocation (border and padding bytes ride along).
+        HDVB_DCHECK(src.stride_ == stride_ &&
+                    src.buf_.size() == buf_.size());
+        std::memcpy(buf_.data(), src.buf_.data(), buf_.size());
+        return;
+    }
     for (int y = 0; y < height_; ++y)
         std::memcpy(row(y), src.row(y), static_cast<size_t>(width_));
 }

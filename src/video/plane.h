@@ -6,46 +6,73 @@
  * motion estimation can read blocks that extend past the picture edge
  * without per-sample clamping (the unrestricted-MV behaviour all three
  * codec generations rely on).
+ *
+ * Memory layout (the SIMD alignment contract, see README "Memory
+ * model"):
+ *
+ *   - the allocation base is 64-byte aligned (AlignedBuffer);
+ *   - the interior's left edge sits left_pad = round_up(border, 32)
+ *     bytes into each row, and the stride is rounded up to a multiple
+ *     of 32 — so row(y) is 32-byte aligned for EVERY y, including
+ *     border rows, and any x offset that is a multiple of 16 (all
+ *     macroblock positions) yields a 16-byte-aligned pointer;
+ *   - each row ends with at least kRightSlack writable padding bytes
+ *     beyond the right border edge, so kernels may overread a row tail
+ *     by up to 32 bytes without leaving the allocation.
+ *
+ * Padding/overread values never influence codec output; after
+ * extend_borders() the full left/right padding (not just the border)
+ * holds replicated edge samples, making the padding deterministic for
+ * reference pictures.
  */
 #ifndef HDVB_VIDEO_PLANE_H
 #define HDVB_VIDEO_PLANE_H
 
-#include <vector>
-
 #include "common/check.h"
 #include "common/types.h"
+#include "video/aligned_buffer.h"
 
 namespace hdvb {
 
-/** Owning 2-D array of Pixel with stride and border. */
+class FramePool;
+
+/** Owning 2-D array of Pixel with stride, border and aligned rows. */
 class Plane
 {
   public:
+    /** Row-start alignment guarantee, in bytes (strides are rounded up
+     * to this, and the left padding is a multiple of it). */
+    static constexpr int kRowAlign = 32;
+
+    /** Minimum writable bytes past the right border edge of each row
+     * (the legal SIMD overread window). */
+    static constexpr int kRightSlack = 32;
+
     Plane() = default;
 
     /** Allocate a @p width x @p height plane with @p border extra
-     * samples on every side, zero-initialised. */
-    Plane(int width, int height, int border = 0)
-        : width_(width), height_(height), border_(border),
-          stride_(width + 2 * border),
-          buf_(static_cast<size_t>(stride_) * (height + 2 * border), 0)
-    {
-        HDVB_CHECK(width > 0 && height > 0 && border >= 0);
-    }
+     * samples on every side. Fresh allocations are zero-initialised;
+     * when @p pool is non-null the buffer is drawn from it instead
+     * (recycled contents are stale — see FramePool). */
+    Plane(int width, int height, int border = 0,
+          FramePool *pool = nullptr);
 
     int width() const { return width_; }
     int height() const { return height_; }
     int stride() const { return stride_; }
     int border() const { return border_; }
+    /** Bytes from the start of a row to the interior's left edge. */
+    int left_pad() const { return left_pad_; }
     bool empty() const { return buf_.empty(); }
 
-    /** Pointer to the first sample of row @p y (0 <= y < height). */
+    /** Pointer to the first sample of row @p y (0 <= y < height);
+     * 32-byte aligned for every legal y. */
     Pixel *
     row(int y)
     {
         HDVB_DCHECK(y >= -border_ && y < height_ + border_);
         return buf_.data() +
-               static_cast<size_t>(y + border_) * stride_ + border_;
+               static_cast<size_t>(y + border_) * stride_ + left_pad_;
     }
 
     const Pixel *
@@ -53,7 +80,7 @@ class Plane
     {
         HDVB_DCHECK(y >= -border_ && y < height_ + border_);
         return buf_.data() +
-               static_cast<size_t>(y + border_) * stride_ + border_;
+               static_cast<size_t>(y + border_) * stride_ + left_pad_;
     }
 
     /** Pointer to sample (0,0); samples at negative offsets down to
@@ -79,11 +106,15 @@ class Plane
     /** Set every interior sample to @p value (border untouched). */
     void fill(Pixel value);
 
-    /** Replicate the edge samples into the border region. */
+    /** Replicate the edge samples into the border region — and into
+     * the full row padding beyond it, so every byte of an extended
+     * plane's rows is deterministic. */
     void extend_borders();
 
     /** Copy interior samples from @p src (same dimensions required;
-     * borders may differ). */
+     * borders may differ). When the layouts match exactly this is one
+     * whole-buffer memcpy, which also copies src's border/padding
+     * bytes. */
     void copy_from(const Plane &src);
 
   private:
@@ -91,7 +122,8 @@ class Plane
     int height_ = 0;
     int border_ = 0;
     int stride_ = 0;
-    std::vector<Pixel> buf_;
+    int left_pad_ = 0;
+    AlignedBuffer buf_;
 };
 
 }  // namespace hdvb

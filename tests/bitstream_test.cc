@@ -117,6 +117,28 @@ TEST(BitReader, BitsConsumedTracksPosition)
     EXPECT_EQ(br.bits_consumed(), 8u);
 }
 
+TEST(BitReader, FullWidthReadOnEmptyStreamReturnsZero)
+{
+    // Regression: get_bits(32) on an exhausted reader used to compute
+    // `out << 32` on a u32, which is undefined behaviour. The full-width
+    // read must return 0 and latch the error like any other overread.
+    BitReader br(nullptr, 0);
+    EXPECT_EQ(br.get_bits(32), 0u);
+    EXPECT_TRUE(br.has_error());
+}
+
+TEST(BitReader, FullWidthReadOnTruncatedStreamReturnsZero)
+{
+    // Partial data before exhaustion: the bits that exist land in the
+    // high end of the result and the missing tail zero-fills.
+    const std::vector<u8> bytes = {0xAB};
+    BitReader br(bytes);
+    EXPECT_EQ(br.get_bits(32), 0xAB000000u);
+    EXPECT_TRUE(br.has_error());
+    // And a second full-width read after the latch stays at zero.
+    EXPECT_EQ(br.get_bits(32), 0u);
+}
+
 // ---- Exp-Golomb ----
 
 TEST(ExpGolomb, KnownCodes)
@@ -171,6 +193,61 @@ TEST(ExpGolomb, BitCountsMatchWrites)
         write_se(bw, v);
         EXPECT_EQ(bw.bit_count(), static_cast<size_t>(se_bits(v)));
     }
+}
+
+TEST(ExpGolomb, FastAndSlowPathsAgreeAcrossPrefixLengths)
+{
+    // Values straddling the 11-zero fast-path boundary: 2^11 - 2 is the
+    // largest fast-path value (11 zeros), 2^11 - 1 the first slow-path
+    // one (12 zeros), plus deep slow-path values.
+    const u32 values[] = {0,    1,        2,        2045,     2046,
+                          2047, 1u << 12, 1u << 20, 1u << 30, 0x7FFFFFFDu};
+    BitWriter bw;
+    for (u32 v : values)
+        write_ue(bw, v);
+    const std::vector<u8> bytes = bw.finish();
+    BitReader br(bytes);
+    for (u32 v : values)
+        ASSERT_EQ(read_ue(br), v);
+    EXPECT_FALSE(br.has_error());
+}
+
+TEST(ExpGolomb, TruncatedMidSuffixLatchesError)
+{
+    // A codeword cut off inside its suffix must zero-fill and latch the
+    // reader error, on both the fast path (short prefix) and the slow
+    // path (long prefix).
+    {
+        BitWriter bw;
+        write_ue(bw, 200);  // 15-bit code
+        std::vector<u8> bytes = bw.finish();
+        bytes.resize(1);  // keep the prefix, cut the suffix
+        BitReader br(bytes);
+        (void)read_ue(br);
+        EXPECT_TRUE(br.has_error());
+    }
+    {
+        BitWriter bw;
+        write_ue(bw, 1u << 20);  // 41-bit code, slow path
+        std::vector<u8> bytes = bw.finish();
+        bytes.resize(3);
+        BitReader br(bytes);
+        (void)read_ue(br);
+        EXPECT_TRUE(br.has_error());
+    }
+}
+
+TEST(ExpGolomb, LatchedErrorShortCircuitsReads)
+{
+    // Once the reader error is latched, read_ue must return 0 on the
+    // first zero bit (historical slow-path semantics). The fast path is
+    // gated on !has_error() precisely because it would otherwise decode
+    // this window as 254 and diverge.
+    const std::vector<u8> bytes = {0x00, 0xFF, 0xFF};
+    BitReader br(bytes);
+    br.set_error();
+    EXPECT_EQ(read_ue(br), 0u);
+    EXPECT_EQ(br.bits_consumed(), 1u);  // bailed at the first zero bit
 }
 
 // ---- VLC tables ----

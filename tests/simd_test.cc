@@ -17,6 +17,7 @@
 
 #include "dsp/dct_ref.h"
 #include "simd/dispatch.h"
+#include "video/plane.h"
 
 namespace hdvb {
 namespace {
@@ -80,6 +81,27 @@ TEST_P(KernelEquivalence, Sad)
                       simd_->sad_rect(a, kStride, b, kStride, w, h))
                 << "w=" << w << " h=" << h;
         }
+    }
+}
+
+TEST_P(KernelEquivalence, SadAligned)
+{
+    // sad16x16_a's contract: first operand 16-byte aligned with a
+    // 16-byte-multiple stride (any Plane row at x0 % 16 == 0
+    // qualifies), second operand unconstrained. Must match the scalar
+    // reference on the same data.
+    Plane plane(48, 20);
+    for (int y = 0; y < plane.height(); ++y)
+        for (int x = 0; x < plane.width(); ++x)
+            plane.row(y)[x] = static_cast<Pixel>(rng_());
+    const Pixel *b = buf_b_.data() + 5;  // unaligned is fine for b
+    for (int x0 : {0, 16, 32}) {
+        const Pixel *a = plane.row(2) + x0;
+        ASSERT_EQ(reinterpret_cast<uintptr_t>(a) % 16, 0u);
+        ASSERT_EQ(plane.stride() % 16, 0);
+        EXPECT_EQ(scalar_.sad16x16(a, plane.stride(), b, kStride),
+                  simd_->sad16x16_a(a, plane.stride(), b, kStride))
+            << "x0=" << x0;
     }
 }
 

@@ -162,9 +162,11 @@ TEST(SweepRunner, WritesJsonReport)
 
     const std::string report = read_file(path);
     ASSERT_FALSE(report.empty());
-    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/4\""),
+    EXPECT_NE(report.find("\"schema\":\"hdvb-sweep/5\""),
               std::string::npos);
     EXPECT_NE(report.find("\"jobs\":2"), std::string::npos);
+    // Schema 5: per-point frame-pool allocation rate.
+    EXPECT_NE(report.find("\"allocs_per_frame\":"), std::string::npos);
     // Schema 4: the machine's detected and effective SIMD levels at
     // the top level, both legal spellings.
     SimdLevel parsed = SimdLevel::kScalar;

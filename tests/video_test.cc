@@ -21,8 +21,45 @@ TEST(Plane, DimensionsAndStride)
     EXPECT_EQ(plane.width(), 64);
     EXPECT_EQ(plane.height(), 32);
     EXPECT_EQ(plane.border(), 8);
-    EXPECT_EQ(plane.stride(), 64 + 16);
+    // The aligned layout: stride is a multiple of kRowAlign and leaves
+    // room for the interior, both borders and the overread slack.
+    EXPECT_EQ(plane.stride() % Plane::kRowAlign, 0);
+    EXPECT_GE(plane.stride(),
+              plane.left_pad() + 64 + 8 + Plane::kRightSlack);
+    EXPECT_EQ(plane.left_pad(), Plane::kRowAlign);  // round_up(8, 32)
     EXPECT_FALSE(plane.empty());
+}
+
+TEST(Plane, RowsAreAlignedAtEveryY)
+{
+    // Luma-style (border 32) and chroma-style (border 16) geometries,
+    // plus a border-0 source plane: every row start must satisfy the
+    // kRowAlign contract the SIMD aligned-load kernels rely on.
+    for (int border : {0, 16, 32}) {
+        Plane plane(48, 32, border);
+        for (int y = -border; y < 32 + border; ++y) {
+            EXPECT_EQ(reinterpret_cast<uintptr_t>(plane.row(y)) %
+                          Plane::kRowAlign,
+                      0u)
+                << "border " << border << " row " << y;
+        }
+    }
+}
+
+TEST(Plane, ExtendBordersFillsFullRowPadding)
+{
+    Plane plane(16, 8, 4);
+    plane.fill(9);
+    plane.at(0, 0) = 1;
+    plane.at(15, 0) = 2;
+    plane.extend_borders();
+    // The whole left pad and right slack replicate the edge samples,
+    // not just the border samples — every row byte is deterministic.
+    const Pixel *r = plane.row(0);
+    for (int x = -plane.left_pad(); x < 0; ++x)
+        EXPECT_EQ(r[x], 1) << x;
+    for (int x = 16; x < plane.stride() - plane.left_pad(); ++x)
+        EXPECT_EQ(r[x], 2) << x;
 }
 
 TEST(Plane, FillTouchesInteriorOnly)
