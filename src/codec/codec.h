@@ -110,12 +110,52 @@ struct DecodeStats {
     s64 pictures_dropped = 0; ///< pictures replaced by a repeated anchor
 };
 
-/** Streaming encoder interface. */
-class VideoEncoder
+/**
+ * One snapshot of every counter a codec instance exposes. Before the
+ * serve layer there were three ad-hoc accessors (encoder pool_stats(),
+ * decoder pool_stats(), decoder DecodeStats stats()); sessions, the
+ * sweep engine, and tests now read this one struct instead.
+ */
+struct CodecStats {
+    /** Frame-buffer pool counters (all zero when the codec does not
+     * pool). */
+    FramePoolStats pool;
+
+    /** Error-resilience counters (always zero for encoders, and for
+     * decoders that saw only clean streams). */
+    DecodeStats decode;
+};
+
+/**
+ * The direction-independent half of a codec instance: identity,
+ * counters, and memory-arena attachment. VideoEncoder and VideoDecoder
+ * both derive from it, so the session layer can account for either
+ * through one interface.
+ */
+class Codec
 {
   public:
-    virtual ~VideoEncoder() = default;
+    virtual ~Codec() = default;
 
+    /** Codec name ("mpeg2", "mpeg4", "h264"). */
+    virtual const char *name() const = 0;
+
+    /** Snapshot of every counter this instance tracks. */
+    virtual CodecStats stats() const { return {}; }
+
+    /**
+     * Recycle frame buffers through @p arena's shared free lists
+     * instead of a private pool (no-op when the implementation does
+     * not pool, or when CodecConfig::frame_pool is off). Must be
+     * called before the first encode/decode call.
+     */
+    virtual void use_arena(const FrameArena &arena) { (void)arena; }
+};
+
+/** Streaming encoder interface. */
+class VideoEncoder : public Codec
+{
+  public:
     /** Push one frame in display order; packets may be emitted in
      * coding order (B-frame lookahead delays them). */
     virtual Status encode(const Frame &frame,
@@ -123,36 +163,17 @@ class VideoEncoder
 
     /** Drain buffered pictures. */
     virtual Status flush(std::vector<Packet> *out) = 0;
-
-    /** Codec name ("mpeg2", "mpeg4", "h264"). */
-    virtual const char *name() const = 0;
-
-    /** Frame-buffer pool counters (all zero when the implementation
-     * does not pool). */
-    virtual FramePoolStats pool_stats() const { return {}; }
 };
 
 /** Streaming decoder interface; frames come out in display order. */
-class VideoDecoder
+class VideoDecoder : public Codec
 {
   public:
-    virtual ~VideoDecoder() = default;
-
     virtual Status decode(const Packet &packet,
                           std::vector<Frame> *out) = 0;
 
     /** Drain the held anchor picture. */
     virtual Status flush(std::vector<Frame> *out) = 0;
-
-    virtual const char *name() const = 0;
-
-    /** Cumulative error-resilience counters (zeros when the decoder
-     * does not track them). */
-    virtual DecodeStats stats() const { return {}; }
-
-    /** Frame-buffer pool counters (all zero when the implementation
-     * does not pool). */
-    virtual FramePoolStats pool_stats() const { return {}; }
 };
 
 /**
@@ -171,7 +192,15 @@ class EncoderBase : public VideoEncoder
 
     const CodecConfig &config() const { return config_; }
 
-    FramePoolStats pool_stats() const final { return pool_.stats(); }
+    CodecStats
+    stats() const final
+    {
+        CodecStats stats;
+        stats.pool = pool_.stats();
+        return stats;
+    }
+
+    void use_arena(const FrameArena &arena) final { pool_.adopt(arena); }
 
   protected:
     /**
@@ -216,9 +245,16 @@ class DecoderBase : public VideoDecoder
 
     const CodecConfig &config() const { return config_; }
 
-    DecodeStats stats() const final { return stats_; }
+    CodecStats
+    stats() const final
+    {
+        CodecStats stats;
+        stats.pool = pool_.stats();
+        stats.decode = stats_;
+        return stats;
+    }
 
-    FramePoolStats pool_stats() const final { return pool_.stats(); }
+    void use_arena(const FrameArena &arena) final { pool_.adopt(arena); }
 
   protected:
     /** Decode one picture into @p out (any size; base resizes). */

@@ -1,0 +1,60 @@
+#include "common/env.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/log.h"
+
+namespace hdvb {
+
+namespace {
+
+/** Warn about a malformed variable once per (name, value) pair, so a
+ * changed-but-still-bad value is reported again but steady-state
+ * re-reads stay quiet. */
+void
+warn_once(const char *name, const char *value, const char *want)
+{
+    static std::mutex mu;
+    static std::set<std::string> warned;
+    const std::string key = std::string(name) + "=" + value;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!warned.insert(key).second)
+            return;
+    }
+    HDVB_LOG(kWarn) << "ignoring malformed " << name << "=\"" << value
+                    << "\" (want " << want << ")";
+}
+
+}  // namespace
+
+const char *
+env_raw(const char *name)
+{
+    const char *value = std::getenv(name);
+    return (value != nullptr && *value != '\0') ? value : nullptr;
+}
+
+int
+env_positive_int(const char *name, int fallback)
+{
+    const char *value = env_raw(name);
+    if (value == nullptr)
+        return fallback;
+    // Full-string validation: "8x" and "abc" are configuration
+    // mistakes, not requests for 8 or for the fallback.
+    const char *end = value + std::strlen(value);
+    int n = 0;
+    const auto [ptr, ec] = std::from_chars(value, end, n);
+    if (ec == std::errc() && ptr == end && n > 0)
+        return n;
+    warn_once(name, value, "a positive integer");
+    return fallback;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The one place HDVB_* environment variables are read and validated.
+ * Every knob used to carry its own getenv + parse snippet (HDVB_JOBS in
+ * thread_pool.cc, HDVB_FRAMES in runner.cc, HDVB_SIMD in dispatch.cc)
+ * with three slightly different strictness levels; these accessors give
+ * them one contract: full-string `from_chars` validation, a logged
+ * warning the *first* time a malformed value is seen (not once per
+ * call — a sweep reads HDVB_JOBS thousands of times), and a documented
+ * fallback. Values are re-read on every call, never cached, so tests
+ * may set and unset variables freely.
+ */
+#ifndef HDVB_COMMON_ENV_H
+#define HDVB_COMMON_ENV_H
+
+namespace hdvb {
+
+/** Raw value of @p name, or nullptr when unset or set to "". */
+const char *env_raw(const char *name);
+
+/**
+ * Strictly parsed positive integer value of @p name. The whole value
+ * must parse ("8x", "3 4", " 5" and "-2" are configuration mistakes,
+ * not requests for a prefix); anything else warns once per variable
+ * name and returns @p fallback. Unset/empty returns @p fallback
+ * silently.
+ */
+int env_positive_int(const char *name, int fallback);
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_ENV_H

@@ -13,6 +13,7 @@ status_code_name(StatusCode code)
       case StatusCode::kUnimplemented: return "unimplemented";
       case StatusCode::kInternal: return "internal";
       case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+      case StatusCode::kResourceExhausted: return "resource-exhausted";
     }
     return "unknown";
 }

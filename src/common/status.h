@@ -26,6 +26,7 @@ enum class StatusCode {
     kUnimplemented,     ///< Feature intentionally not built.
     kInternal,          ///< Unexpected internal failure.
     kDeadlineExceeded,  ///< Operation ran past its wall-clock budget.
+    kResourceExhausted, ///< A budget (sessions, memory, queue) is full.
 };
 
 /** Human-readable name of a StatusCode ("ok", "corrupt-stream", ...). */
@@ -58,6 +59,8 @@ class Status
     { return Status(StatusCode::kInternal, std::move(msg)); }
     static Status deadline_exceeded(std::string msg)
     { return Status(StatusCode::kDeadlineExceeded, std::move(msg)); }
+    static Status resource_exhausted(std::string msg)
+    { return Status(StatusCode::kResourceExhausted, std::move(msg)); }
 
     bool is_ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }

@@ -1,13 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
-#include <charconv>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 
 #include "common/check.h"
-#include "common/log.h"
+#include "common/env.h"
 
 namespace hdvb {
 
@@ -21,21 +18,9 @@ thread_local const ThreadPool *t_current_pool = nullptr;
 int
 default_job_count()
 {
-    const char *env = std::getenv("HDVB_JOBS");
-    if (env != nullptr && *env != '\0') {
-        // Full-string validation: "8x" and "abc" are configuration
-        // mistakes, not requests for 8 or for the fallback.
-        const char *end = env + std::strlen(env);
-        int n = 0;
-        const auto [ptr, ec] = std::from_chars(env, end, n);
-        if (ec == std::errc() && ptr == end && n > 0)
-            return n;
-        HDVB_LOG(kWarn) << "ignoring malformed HDVB_JOBS=\"" << env
-                        << "\" (want a positive integer); using "
-                           "hardware concurrency";
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    return env_positive_int("HDVB_JOBS",
+                            hw > 0 ? static_cast<int>(hw) : 1);
 }
 
 ThreadPool::ThreadPool(int workers)

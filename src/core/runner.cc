@@ -1,11 +1,15 @@
 #include "core/runner.h"
 
 #include <chrono>
-#include <cstdlib>
 #include <thread>
+#include <utility>
+
+#include "common/env.h"
 
 #include "common/check.h"
+#include "fault/deadline.h"
 #include "metrics/timer.h"
+#include "serve/session.h"
 
 namespace hdvb {
 
@@ -22,16 +26,15 @@ inject_frame_delay(const BenchPoint &point)
     }
 }
 
-/** True once a non-zero @p deadline has passed since @p start. */
-bool
-past_deadline(std::chrono::steady_clock::time_point start,
-              double deadline_seconds)
+/** Inline session wrapping @p point's codec: the one-shot runner is
+ * the degenerate single-session case of the serve API. */
+SessionConfig
+point_session_config(const BenchPoint &point, const CodecConfig &cfg)
 {
-    if (deadline_seconds <= 0.0)
-        return false;
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    return elapsed.count() > deadline_seconds;
+    SessionConfig session;
+    session.name = point.label();
+    session.codec_config = cfg;
+    return session;
 }
 
 }  // namespace
@@ -63,24 +66,23 @@ BenchPoint::label() const
 int
 bench_frames_default()
 {
-    const char *env = std::getenv("HDVB_FRAMES");
-    if (env != nullptr) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
-    return 4;
+    // Strict parse: "100x" was silently 100 under the old atoi reader;
+    // now it is a warned-and-ignored configuration mistake.
+    return env_positive_int("HDVB_FRAMES", 4);
 }
 
 StatusOr<EncodeRun>
 run_encode(const BenchPoint &point, double deadline_seconds)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const Deadline deadline = Deadline::after(deadline_seconds);
     const CodecConfig cfg = point.effective_config();
     StatusOr<std::unique_ptr<VideoEncoder>> encoder =
         make_encoder(point.codec, cfg);
     if (!encoder.is_ok())
         return encoder.status();
+    const std::shared_ptr<CodecSession> session =
+        CodecSession::open_inline_encode(std::move(encoder.value()),
+                                         point_session_config(point, cfg));
 
     SyntheticSource source(point.sequence, cfg.width, cfg.height);
     EncodeRun run;
@@ -91,27 +93,30 @@ run_encode(const BenchPoint &point, double deadline_seconds)
     run.stream.fps_num = cfg.fps_num;
     run.stream.fps_den = cfg.fps_den;
 
+    // submit() on an inline session runs the codec synchronously on
+    // this thread, so the timer brackets exactly the same codec work as
+    // the pre-session runner did and fps stays paper-comparable.
     WallTimer timer;
     for (int i = 0; i < point.frames; ++i) {
         inject_frame_delay(point);
-        if (past_deadline(start, deadline_seconds))
+        if (deadline.expired())
             return Status::deadline_exceeded("encode of " +
                                              point.label());
-        const Frame frame = source.next();  // untimed generation
+        Frame frame = source.next();  // untimed generation
         timer.start();
-        const Status status =
-            encoder.value()->encode(frame, &run.stream.packets);
+        const StatusOr<Ticket> ticket = session->submit(std::move(frame));
         timer.stop();
-        if (!status.is_ok())
-            return status;
+        if (!ticket.is_ok())
+            return ticket.status();
     }
     timer.start();
-    const Status status = encoder.value()->flush(&run.stream.packets);
+    const Status status = session->close();  // flushes the lookahead
     timer.stop();
     if (!status.is_ok())
         return status;
+    session->poll(&run.stream.packets);
     run.seconds = timer.seconds();
-    run.pool = encoder.value()->pool_stats();
+    run.pool = session->codec_stats().pool;
     return run;
 }
 
@@ -119,16 +124,19 @@ StatusOr<DecodeRun>
 run_decode(const BenchPoint &point, const EncodedStream &stream,
            double deadline_seconds)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const Deadline deadline = Deadline::after(deadline_seconds);
     const CodecConfig cfg = point.effective_config();
     StatusOr<std::unique_ptr<VideoDecoder>> decoder =
         make_decoder(point.codec, cfg);
     if (!decoder.is_ok())
         return decoder.status();
+    const std::shared_ptr<CodecSession> session =
+        CodecSession::open_inline_decode(std::move(decoder.value()),
+                                         point_session_config(point, cfg));
 
-    // Score and release output frames as they are emitted (untimed)
-    // instead of holding the whole sequence: retaining every frame
-    // would keep its plane buffers checked out of the decoder's
+    // Poll, score, and release output frames after every packet
+    // (untimed) instead of holding the whole sequence: retaining every
+    // frame would keep its plane buffers checked out of the decoder's
     // FramePool, turning a recycling steady state into one fresh
     // allocation per picture and poisoning the allocs_per_frame
     // report column.
@@ -137,6 +145,7 @@ run_decode(const BenchPoint &point, const EncodedStream &stream,
     int decoded = 0;
     std::vector<Frame> frames;
     const auto score_and_release = [&] {
+        session->poll(&frames);
         for (const Frame &frame : frames) {
             const Frame ref = source.at(static_cast<int>(frame.poc()));
             acc.add(ref, frame);
@@ -148,18 +157,19 @@ run_decode(const BenchPoint &point, const EncodedStream &stream,
     WallTimer timer;
     for (const Packet &packet : stream.packets) {
         inject_frame_delay(point);
-        if (past_deadline(start, deadline_seconds))
+        if (deadline.expired())
             return Status::deadline_exceeded("decode of " +
                                              point.label());
+        Packet copy = packet;  // untimed: sessions take ownership
         timer.start();
-        const Status status = decoder.value()->decode(packet, &frames);
+        const StatusOr<Ticket> ticket = session->submit(std::move(copy));
         timer.stop();
-        if (!status.is_ok())
-            return status;
+        if (!ticket.is_ok())
+            return ticket.status();
         score_and_release();
     }
     timer.start();
-    const Status status = decoder.value()->flush(&frames);
+    const Status status = session->close();  // drains the held anchor
     timer.stop();
     if (!status.is_ok())
         return status;
@@ -168,8 +178,8 @@ run_decode(const BenchPoint &point, const EncodedStream &stream,
     DecodeRun run;
     run.frames = decoded;
     run.seconds = timer.seconds();
-    run.stats = decoder.value()->stats();
-    run.pool = decoder.value()->pool_stats();
+    run.stats = session->codec_stats().decode;
+    run.pool = session->codec_stats().pool;
     run.psnr_y = acc.psnr_y();
     run.psnr_all = acc.psnr_all();
     return run;

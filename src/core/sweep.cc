@@ -116,7 +116,8 @@ SweepRunner::attempt_point(const BenchPoint &point,
 }
 
 SweepResult
-SweepRunner::run_point(const BenchPoint &point, int worker) const
+SweepRunner::run_point(const BenchPoint &point, int worker,
+                       long rss_baseline_kb) const
 {
     WallTimer wall;
     wall.start();
@@ -161,7 +162,7 @@ SweepRunner::run_point(const BenchPoint &point, int worker) const
     // growth since the sweep's baseline, not the absolute value.
     const long rss_now = current_peak_rss_kb();
     result.peak_rss_delta_kb =
-        rss_now > rss_baseline_kb_ ? rss_now - rss_baseline_kb_ : 0;
+        rss_now > rss_baseline_kb ? rss_now - rss_baseline_kb : 0;
     HDVB_LOG(kDebug) << "sweep " << point.label() << " worker "
                      << worker << " wall " << result.wall_seconds
                      << "s";
@@ -175,7 +176,9 @@ SweepRunner::run(const std::vector<BenchPoint> &points)
         options_.jobs > 0 ? options_.jobs : default_job_count();
 
     std::vector<SweepResult> results(points.size());
-    rss_baseline_kb_ = current_peak_rss_kb();
+    // Fresh baseline per run(): a reused runner must report this run's
+    // RSS growth, not growth since some earlier run warmed the process.
+    const long rss_baseline_kb = current_peak_rss_kb();
     WallTimer wall;
     wall.start();
     {
@@ -184,7 +187,8 @@ SweepRunner::run(const std::vector<BenchPoint> &points)
         // input order no matter which worker finishes when.
         parallel_for(pool, static_cast<int>(points.size()),
                      [&](int i, int worker) {
-                         results[i] = run_point(points[i], worker);
+                         results[i] = run_point(points[i], worker,
+                                                rss_baseline_kb);
                      });
     }
     wall.stop();

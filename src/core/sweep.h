@@ -182,16 +182,18 @@ class SweepRunner
     double last_wall_seconds() const { return last_wall_seconds_; }
 
   private:
-    SweepResult run_point(const BenchPoint &point, int worker) const;
+    /** @p rss_baseline_kb is the peak RSS captured at the top of the
+     * owning run() call — passed down rather than stored so a reused
+     * runner can never measure one run's growth against another's
+     * baseline. */
+    SweepResult run_point(const BenchPoint &point, int worker,
+                          long rss_baseline_kb) const;
     Status attempt_point(const BenchPoint &point,
                          SweepResult *result) const;
     Status write_report(const std::vector<SweepResult> &results) const;
 
     SweepOptions options_;
     double last_wall_seconds_ = 0.0;
-    /** Peak RSS captured at the top of run(); the baseline that
-     * per-point peak_rss_delta_kb values are measured against. */
-    long rss_baseline_kb_ = 0;
 };
 
 /**

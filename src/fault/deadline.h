@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cooperative wall-clock deadlines — the timeout half of the fault
+ * subsystem. A Deadline is an absolute steady-clock point checked at
+ * frame granularity: the runner checks one between codec calls (a
+ * single frame that hangs *inside* a codec cannot be interrupted), and
+ * the serve scheduler checks one per queued frame against the owning
+ * session's per-frame latency budget. Both report expiry as
+ * Status::deadline_exceeded rather than tearing anything down.
+ */
+#ifndef HDVB_FAULT_DEADLINE_H
+#define HDVB_FAULT_DEADLINE_H
+
+#include <chrono>
+
+namespace hdvb {
+
+/** An absolute wall-clock budget; default-constructed = unlimited. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** No deadline: expired() is always false. */
+    Deadline() = default;
+
+    /** Deadline @p seconds after @p start (<= 0 means unlimited). */
+    Deadline(Clock::time_point start, double seconds)
+    {
+        if (seconds > 0.0) {
+            at_ = start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+            armed_ = true;
+        }
+    }
+
+    /** Deadline @p seconds from now (<= 0 means unlimited). */
+    static Deadline
+    after(double seconds)
+    {
+        return Deadline(Clock::now(), seconds);
+    }
+
+    bool unlimited() const { return !armed_; }
+
+    /** True once the budget has passed (never for unlimited). */
+    bool expired() const { return armed_ && Clock::now() > at_; }
+
+  private:
+    Clock::time_point at_;
+    bool armed_ = false;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_FAULT_DEADLINE_H

@@ -352,7 +352,6 @@ Mpeg2Decoder::decode_resilient_row(MbState &st,
 Status
 Mpeg2Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
 {
-    const CodecConfig &cfg = config();
     const std::vector<ResyncMarker> cands =
         scan_resync_markers(packet.data, mb_h_);
     std::vector<ResyncMarker> markers;
@@ -465,7 +464,6 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
     if (config().error_resilience)
         return decode_picture_resilient(packet, out);
 
-    const CodecConfig &cfg = config();
     BitReader br(packet.data);
     const PictureType type = static_cast<PictureType>(br.get_bits(2));
     const int qscale = static_cast<int>(br.get_bits(5));

@@ -1,0 +1,295 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "serve/scheduler_core.h"
+
+namespace hdvb {
+
+namespace detail {
+
+u64
+SchedulerCore::stride(SessionClass cls) const
+{
+    int weight = opts.class_weights[static_cast<int>(cls)];
+    if (weight < 1)
+        weight = 1;
+    return kStrideScale / static_cast<u64>(weight);
+}
+
+Status
+SchedulerCore::admit(CodecSession *session)
+{
+    const size_t estimate =
+        session_memory_estimate(session->config_.codec_config);
+    std::lock_guard<std::mutex> lock(mu);
+    if (stopping.load(std::memory_order_relaxed)) {
+        ++sessions_rejected;
+        return Status::resource_exhausted(
+            "scheduler stopped; rejecting session " + session->name());
+    }
+    if (opts.max_sessions > 0 && sessions_open >= opts.max_sessions) {
+        ++sessions_rejected;
+        return Status::resource_exhausted(
+            "session budget exhausted (" +
+            std::to_string(opts.max_sessions) + " open); rejecting " +
+            session->name());
+    }
+    if (opts.memory_budget_bytes > 0 &&
+        estimated_bytes + estimate > opts.memory_budget_bytes) {
+        ++sessions_rejected;
+        return Status::resource_exhausted(
+            "memory budget exhausted (" + std::to_string(estimated_bytes) +
+            " + " + std::to_string(estimate) + " > " +
+            std::to_string(opts.memory_budget_bytes) +
+            " bytes); rejecting " + session->name());
+    }
+    ++sessions_open;
+    ++sessions_admitted;
+    estimated_bytes += estimate;
+    session->session_id_ = next_session_id++;
+    session->pass_ = global_pass;
+    return Status::ok();
+}
+
+void
+SchedulerCore::release_admission(CodecSession *session)
+{
+    const size_t estimate =
+        session_memory_estimate(session->config_.codec_config);
+    std::lock_guard<std::mutex> lock(mu);
+    if (session->admission_released_)
+        return;
+    session->admission_released_ = true;
+    --sessions_open;
+    HDVB_DCHECK(sessions_open >= 0);
+    HDVB_DCHECK(estimated_bytes >= estimate);
+    estimated_bytes -= estimate;
+}
+
+void
+SchedulerCore::make_runnable(std::shared_ptr<CodecSession> session)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (session->run_state_ != CodecSession::RunState::kIdle)
+        return;  // already queued, or the running worker will re-queue
+    if (stopping.load(std::memory_order_relaxed)) {
+        run_stopped_locked(lock, *session);
+        return;
+    }
+    {
+        // Lock order mu -> session mu_ (never the reverse).
+        std::lock_guard<std::mutex> slock(session->mu_);
+        if (session->inputs_.empty())
+            return;
+    }
+    session->run_state_ = CodecSession::RunState::kQueued;
+    // A session that idled while others ran would otherwise carry an
+    // ancient pass and monopolise the workers until it caught up.
+    session->pass_ = std::max(session->pass_, global_pass);
+    runnable.push_back(std::move(session));
+    const auto later = [](const std::shared_ptr<CodecSession> &a,
+                          const std::shared_ptr<CodecSession> &b) {
+        return a->pass_ != b->pass_ ? a->pass_ > b->pass_
+                                    : a->session_id_ > b->session_id_;
+    };
+    std::push_heap(runnable.begin(), runnable.end(), later);
+    if (dispatchers < pool.worker_count()) {
+        ++dispatchers;
+        // Raw `this` on purpose: a task owning the core could drop the
+        // last reference on a pool worker, and ~SchedulerCore would
+        // join the pool from inside it. Lifetime is safe without the
+        // reference: ~SessionScheduler holds a core reference until
+        // dispatchers reaches 0, and no dispatcher is spawned once
+        // stopping is set.
+        pool.submit([this](int) { dispatcher_main(); });
+    }
+}
+
+void
+SchedulerCore::run_stopped_locked(std::unique_lock<std::mutex> &lock,
+                                  CodecSession &session)
+{
+    // After shutdown no dispatcher will ever run again; the session
+    // must stay drainable, so its close() thread does the work.
+    // run_state_ (under mu) keeps the one-worker-per-session rule.
+    for (;;) {
+        std::vector<CodecSession::Input> batch;
+        {
+            std::lock_guard<std::mutex> slock(session.mu_);
+            while (!session.inputs_.empty()) {
+                batch.push_back(std::move(session.inputs_.front()));
+                session.inputs_.pop_front();
+            }
+            session.inflight_ += static_cast<int>(batch.size());
+            session.counters_.queued = 0;
+        }
+        if (batch.empty())
+            return;
+        session.run_state_ = CodecSession::RunState::kRunning;
+        const size_t count = batch.size();
+        lock.unlock();
+        session.process_batch(std::move(batch), &completion_seq);
+        lock.lock();
+        frames_dispatched += static_cast<s64>(count);
+        session.run_state_ = CodecSession::RunState::kIdle;
+        // Loop: a submit that raced the stop may have queued more.
+    }
+}
+
+void
+SchedulerCore::dispatcher_main()
+{
+    const auto later = [](const std::shared_ptr<CodecSession> &a,
+                          const std::shared_ptr<CodecSession> &b) {
+        return a->pass_ != b->pass_ ? a->pass_ > b->pass_
+                                    : a->session_id_ > b->session_id_;
+    };
+    std::unique_lock<std::mutex> lock(mu);
+    while (!runnable.empty()) {
+        std::pop_heap(runnable.begin(), runnable.end(), later);
+        std::shared_ptr<CodecSession> session = std::move(runnable.back());
+        runnable.pop_back();
+        session->run_state_ = CodecSession::RunState::kRunning;
+        global_pass = std::max(global_pass, session->pass_);
+
+        // Take one FIFO slice of the session's queue.
+        std::vector<CodecSession::Input> batch;
+        {
+            std::lock_guard<std::mutex> slock(session->mu_);
+            const size_t want = static_cast<size_t>(
+                std::max(opts.batch_frames, 1));
+            while (batch.size() < want && !session->inputs_.empty()) {
+                batch.push_back(std::move(session->inputs_.front()));
+                session->inputs_.pop_front();
+            }
+            session->inflight_ += static_cast<int>(batch.size());
+            session->counters_.queued =
+                static_cast<s64>(session->inputs_.size());
+        }
+
+        if (!batch.empty()) {
+            const size_t count = batch.size();
+            lock.unlock();
+            session->process_batch(std::move(batch), &completion_seq);
+            lock.lock();
+            frames_dispatched += static_cast<s64>(count);
+            session->pass_ += stride(session->priority()) * count;
+        }
+
+        // Re-queue or idle. The check runs under both locks, and every
+        // submit calls make_runnable after enqueueing, so an input
+        // enqueued at any interleaving is seen either here or there.
+        bool more;
+        {
+            std::lock_guard<std::mutex> slock(session->mu_);
+            more = !session->inputs_.empty();
+        }
+        if (more) {
+            session->run_state_ = CodecSession::RunState::kQueued;
+            runnable.push_back(std::move(session));
+            std::push_heap(runnable.begin(), runnable.end(), later);
+        } else {
+            session->run_state_ = CodecSession::RunState::kIdle;
+            // Drop the reference outside mu: if it is the last one,
+            // ~CodecSession runs release_admission, which locks mu —
+            // releasing in place would self-deadlock this dispatcher.
+            lock.unlock();
+            session.reset();
+            lock.lock();
+        }
+    }
+    --dispatchers;
+    idle_cv.notify_all();
+}
+
+}  // namespace detail
+
+SessionScheduler::SessionScheduler(SchedulerOptions options)
+{
+    const int workers =
+        options.workers > 0 ? options.workers : default_job_count();
+    core_ = std::make_shared<detail::SchedulerCore>(options, workers);
+}
+
+SessionScheduler::~SessionScheduler()
+{
+    core_->stopping.store(true, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(core_->mu);
+    core_->idle_cv.wait(lock, [this] {
+        return core_->runnable.empty() && core_->dispatchers == 0;
+    });
+}
+
+StatusOr<std::shared_ptr<CodecSession>>
+SessionScheduler::open_encode(std::unique_ptr<VideoEncoder> encoder,
+                              SessionConfig config)
+{
+    if (encoder == nullptr)
+        return Status::invalid_argument("open_encode: null encoder for " +
+                                        config.name);
+    return open(std::move(encoder), nullptr, std::move(config));
+}
+
+StatusOr<std::shared_ptr<CodecSession>>
+SessionScheduler::open_decode(std::unique_ptr<VideoDecoder> decoder,
+                              SessionConfig config)
+{
+    if (decoder == nullptr)
+        return Status::invalid_argument("open_decode: null decoder for " +
+                                        config.name);
+    return open(nullptr, std::move(decoder), std::move(config));
+}
+
+StatusOr<std::shared_ptr<CodecSession>>
+SessionScheduler::open(std::unique_ptr<VideoEncoder> encoder,
+                       std::unique_ptr<VideoDecoder> decoder,
+                       SessionConfig config)
+{
+    Codec *codec = encoder != nullptr
+                       ? static_cast<Codec *>(encoder.get())
+                       : static_cast<Codec *>(decoder.get());
+    const bool pooled = config.codec_config.frame_pool;
+    std::shared_ptr<CodecSession> session(
+        new CodecSession(std::move(encoder), std::move(decoder),
+                         std::move(config), core_));
+    const Status admitted = core_->admit(session.get());
+    if (!admitted.is_ok()) {
+        // Never admitted: the destructor must not refund the budgets.
+        session->admission_released_ = true;
+        return admitted;
+    }
+    if (pooled)
+        codec->use_arena(core_->arena);
+    return session;
+}
+
+const FrameArena &
+SessionScheduler::arena() const
+{
+    return core_->arena;
+}
+
+int
+SessionScheduler::workers() const
+{
+    return core_->pool.worker_count();
+}
+
+SchedulerStats
+SessionScheduler::stats() const
+{
+    SchedulerStats stats;
+    stats.arena = core_->arena.stats();
+    std::lock_guard<std::mutex> lock(core_->mu);
+    stats.sessions_open = core_->sessions_open;
+    stats.sessions_admitted = core_->sessions_admitted;
+    stats.sessions_rejected = core_->sessions_rejected;
+    stats.frames_dispatched = core_->frames_dispatched;
+    stats.estimated_bytes = core_->estimated_bytes;
+    return stats;
+}
+
+}  // namespace hdvb

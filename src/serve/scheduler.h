@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Multi-session admission control and weighted fair-share scheduling
+ * over the common ThreadPool.
+ *
+ * The scheduler turns the benchmark's codecs into a shared service: a
+ * deployment opens many CodecSessions against one SessionScheduler,
+ * which (a) admits them against a session-count and memory budget,
+ * rejecting the rest with resource-exhausted, and (b) dispatches their
+ * queued frames to a bounded worker pool in weighted fair share across
+ * the three priority classes.
+ *
+ * Fair share is stride scheduling: each session carries a virtual-time
+ * "pass"; dispatch always picks the runnable session with the smallest
+ * pass and advances it by stride = K / weight(class) per frame
+ * processed. Over any busy interval each class therefore receives CPU
+ * in proportion to its weight (live 8 : vod 3 : thumbnail 1 by
+ * default), regardless of how many frames the bulk classes have
+ * queued. Ties break on admission order, so a 1-worker scheduler is
+ * fully deterministic — the property the drain-order test pins.
+ *
+ * A session is processed by at most one worker at a time (its band
+ * threads, if any, live inside the codec); batch_frames bounds how many
+ * of its queued inputs one dispatch slice may run before the session is
+ * re-queued behind its updated pass, which is the latency/throughput
+ * dial.
+ *
+ * All sessions of one scheduler recycle pixel buffers through a shared
+ * FrameArena (per-session attribution stays on each codec's FramePool
+ * client ledger — see frame_pool.h).
+ */
+#ifndef HDVB_SERVE_SCHEDULER_H
+#define HDVB_SERVE_SCHEDULER_H
+
+#include <memory>
+
+#include "serve/session.h"
+
+namespace hdvb {
+
+/** Scheduler sizing and policy. Zero budget fields mean unlimited. */
+struct SchedulerOptions {
+    /** Dispatch worker threads (codec band threads are extra and
+     * per-session). 0 → default_job_count(). */
+    int workers = 0;
+
+    /** Admission cap on concurrently open sessions; 0 = unlimited. */
+    int max_sessions = 0;
+
+    /** Admission cap on the summed session_memory_estimate() of open
+     * sessions; 0 = unlimited. */
+    size_t memory_budget_bytes = 0;
+
+    /** Stride weights per SessionClass (indexed by its enum value);
+     * values < 1 are treated as 1. */
+    int class_weights[kSessionClassCount] = {8, 3, 1};
+
+    /** Max queued inputs one dispatch slice runs for a session before
+     * it is re-queued behind its advanced pass. */
+    int batch_frames = 4;
+};
+
+/** Scheduler-wide observability snapshot. */
+struct SchedulerStats {
+    int sessions_open = 0;
+    s64 sessions_admitted = 0;
+    s64 sessions_rejected = 0;
+    s64 frames_dispatched = 0;  ///< inputs handed to codecs (incl. misses)
+    /** Bytes currently charged against memory_budget_bytes. */
+    size_t estimated_bytes = 0;
+    /** Shared-arena ground truth across all sessions. */
+    FramePoolStats arena;
+};
+
+/**
+ * Admission control + fair-share dispatch for CodecSessions. Open
+ * sessions keep the scheduler's core alive, so they remain usable (and
+ * drainable) even if the SessionScheduler object is destroyed first —
+ * destruction only stops *new* admissions and waits for queued work.
+ * Thread-safe.
+ */
+class SessionScheduler
+{
+  public:
+    explicit SessionScheduler(SchedulerOptions options);
+
+    /** Blocks until every queued input of every session has been
+     * processed, then detaches. */
+    ~SessionScheduler();
+
+    SessionScheduler(const SessionScheduler &) = delete;
+    SessionScheduler &operator=(const SessionScheduler &) = delete;
+
+    /**
+     * Admit a streaming encode session wrapping @p encoder (built by
+     * the caller — typically make_encoder() — with
+     * @p config.codec_config). On success the codec is attached to the
+     * scheduler's shared arena and the session is charged against the
+     * budgets until closed/destroyed; over budget returns
+     * resource-exhausted and charges nothing.
+     */
+    StatusOr<std::shared_ptr<CodecSession>>
+    open_encode(std::unique_ptr<VideoEncoder> encoder,
+                SessionConfig config);
+
+    /** Decode-direction counterpart of open_encode(). */
+    StatusOr<std::shared_ptr<CodecSession>>
+    open_decode(std::unique_ptr<VideoDecoder> decoder,
+                SessionConfig config);
+
+    /** The arena every admitted session recycles through. */
+    const FrameArena &arena() const;
+
+    SchedulerStats stats() const;
+
+    /** Resolved worker count. */
+    int workers() const;
+
+  private:
+    StatusOr<std::shared_ptr<CodecSession>>
+    open(std::unique_ptr<VideoEncoder> encoder,
+         std::unique_ptr<VideoDecoder> decoder, SessionConfig config);
+
+    std::shared_ptr<detail::SchedulerCore> core_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_SERVE_SCHEDULER_H

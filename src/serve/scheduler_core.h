@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Private shared state behind SessionScheduler — included only by the
+ * serve layer's .cc files. Sessions hold a shared_ptr to the core, so
+ * admission accounting, the runnable heap, and the worker pool outlive
+ * the SessionScheduler facade for as long as any session does.
+ */
+#ifndef HDVB_SERVE_SCHEDULER_CORE_H
+#define HDVB_SERVE_SCHEDULER_CORE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+
+namespace hdvb {
+namespace detail {
+
+/** Stride-scheduling virtual-time unit: pass advances by
+ * kStrideScale / weight per frame, so weight w receives w× the frames
+ * of weight 1 over any busy interval. */
+inline constexpr u64 kStrideScale = u64{1} << 20;
+
+struct SchedulerCore {
+    explicit SchedulerCore(const SchedulerOptions &options, int workers)
+        : opts(options), pool(workers)
+    {}
+
+    /** Charge one session against the budgets (under mu), or reject
+     * with resource-exhausted. Assigns session_id/pass on success. */
+    Status admit(CodecSession *session);
+
+    /** Return @p session's admission charge; idempotent. */
+    void release_admission(CodecSession *session);
+
+    /** Note that @p session (probably) has queued inputs: queue it on
+     * the runnable heap unless already queued/running, and make sure a
+     * dispatcher is awake to service the heap. */
+    void make_runnable(std::shared_ptr<CodecSession> session);
+
+    /** Dispatcher body: pop lowest-pass session, run one batch_frames
+     * slice, advance its pass, re-queue or idle it; exit when the heap
+     * is empty. At most pool.worker_count() run concurrently. */
+    void dispatcher_main();
+
+    /** Post-shutdown service path: no dispatcher will ever run again,
+     * so drain @p session's queue on the calling thread (the close()
+     * path). Entered with @p lock held on mu and the session idle. */
+    void run_stopped_locked(std::unique_lock<std::mutex> &lock,
+                            CodecSession &session);
+
+    u64 stride(SessionClass cls) const;
+
+    const SchedulerOptions opts;
+    FrameArena arena;
+    ThreadPool pool;
+
+    /** Set by ~SessionScheduler: reject new admissions and new data
+     * submits (close/flush still proceed, so sessions stay drainable). */
+    std::atomic<bool> stopping{false};
+
+    /** Global completion-order stamp across every session. */
+    std::atomic<s64> completion_seq{0};
+
+    std::mutex mu;  // lock order: mu before any CodecSession::mu_
+    std::condition_variable idle_cv;
+    /** Min-heap on (pass_, session_id_) via std::*_heap. */
+    std::vector<std::shared_ptr<CodecSession>> runnable;
+    u64 global_pass = 0;
+    u64 next_session_id = 0;
+    int dispatchers = 0;
+    int sessions_open = 0;
+    s64 sessions_admitted = 0;
+    s64 sessions_rejected = 0;
+    s64 frames_dispatched = 0;
+    size_t estimated_bytes = 0;
+};
+
+}  // namespace detail
+}  // namespace hdvb
+
+#endif  // HDVB_SERVE_SCHEDULER_CORE_H

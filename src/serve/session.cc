@@ -1,0 +1,344 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "serve/scheduler_core.h"
+
+namespace hdvb {
+
+const char *
+session_class_name(SessionClass cls)
+{
+    switch (cls) {
+    case SessionClass::kLive:
+        return "live";
+    case SessionClass::kVod:
+        return "vod";
+    case SessionClass::kThumbnail:
+        return "thumbnail";
+    }
+    return "unknown";
+}
+
+size_t
+session_memory_estimate(const CodecConfig &config)
+{
+    // One bordered 4:2:0 picture, stride effects rounded up into the
+    // border term. 64 over-estimates every codec's real border so the
+    // admission charge stays an upper bound on arena usage.
+    const size_t border = 64;
+    const size_t luma = (static_cast<size_t>(config.width) + 2 * border) *
+                        (static_cast<size_t>(config.height) + 2 * border);
+    const size_t picture = luma + luma / 2;
+    // Display-order lookahead + both anchors + reference window + the
+    // picture being worked on.
+    const size_t window = static_cast<size_t>(config.bframes) + 2 +
+                          static_cast<size_t>(std::max(config.refs, 1)) + 1;
+    return picture * window;
+}
+
+CodecSession::CodecSession(std::unique_ptr<VideoEncoder> encoder,
+                           std::unique_ptr<VideoDecoder> decoder,
+                           SessionConfig config,
+                           std::shared_ptr<detail::SchedulerCore> sched)
+    : config_(std::move(config)), encoder_(std::move(encoder)),
+      decoder_(std::move(decoder)), sched_(std::move(sched))
+{
+    HDVB_DCHECK((encoder_ != nullptr) != (decoder_ != nullptr));
+}
+
+CodecSession::~CodecSession()
+{
+    if (sched_ != nullptr)
+        sched_->release_admission(this);
+}
+
+std::shared_ptr<CodecSession>
+CodecSession::open_inline_encode(std::unique_ptr<VideoEncoder> encoder,
+                                 SessionConfig config)
+{
+    if (encoder == nullptr)
+        return nullptr;
+    return std::shared_ptr<CodecSession>(new CodecSession(
+        std::move(encoder), nullptr, std::move(config), nullptr));
+}
+
+std::shared_ptr<CodecSession>
+CodecSession::open_inline_decode(std::unique_ptr<VideoDecoder> decoder,
+                                 SessionConfig config)
+{
+    if (decoder == nullptr)
+        return nullptr;
+    return std::shared_ptr<CodecSession>(new CodecSession(
+        nullptr, std::move(decoder), std::move(config), nullptr));
+}
+
+StatusOr<Ticket>
+CodecSession::submit(Frame frame)
+{
+    if (encoder_ == nullptr)
+        return Status::invalid_argument(
+            "submit(Frame) on decode session " + config_.name);
+    Input input;
+    input.submit_time = Deadline::Clock::now();
+    input.frame = std::move(frame);
+    return submit_input(std::move(input));
+}
+
+StatusOr<Ticket>
+CodecSession::submit(Packet packet)
+{
+    if (decoder_ == nullptr)
+        return Status::invalid_argument(
+            "submit(Packet) on encode session " + config_.name);
+    Input input;
+    input.submit_time = Deadline::Clock::now();
+    input.packet = std::move(packet);
+    return submit_input(std::move(input));
+}
+
+StatusOr<Ticket>
+CodecSession::submit_input(Input input)
+{
+    if (sched_ != nullptr && sched_->stopping.load(std::memory_order_relaxed))
+        return Status::resource_exhausted("scheduler stopped; session " +
+                                          config_.name + " rejects frames");
+
+    if (sched_ == nullptr) {
+        // Inline: run the codec on the calling thread, surface its
+        // status directly (the one-shot benchmark contract).
+        Ticket ticket;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (counters_.closed)
+                return Status::resource_exhausted("session " + config_.name +
+                                                  " is closed");
+            ticket = counters_.submitted++;
+            input.ticket = ticket;
+            ++inflight_;  // process_batch settles it
+        }
+        std::vector<Input> batch;
+        batch.push_back(std::move(input));
+        const Status status = process_batch(std::move(batch), nullptr);
+        if (!status.is_ok())
+            return status;
+        return ticket;
+    }
+
+    Ticket ticket;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (counters_.closed)
+            return Status::resource_exhausted("session " + config_.name +
+                                              " is closed");
+        if (inputs_.size() >= config_.queue_capacity)
+            return Status::resource_exhausted(
+                "session " + config_.name + " queue full (" +
+                std::to_string(config_.queue_capacity) + "); back off");
+        ticket = counters_.submitted++;
+        input.ticket = ticket;
+        inputs_.push_back(std::move(input));
+        counters_.queued = static_cast<s64>(inputs_.size());
+    }
+    sched_->make_runnable(shared_from_this());
+    return ticket;
+}
+
+bool
+CodecSession::would_block() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sched_ != nullptr && !counters_.closed &&
+           inputs_.size() >= config_.queue_capacity;
+}
+
+size_t
+CodecSession::poll(std::vector<Packet> *out)
+{
+    HDVB_DCHECK(out != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = out_packets_.size();
+    if (n > 0) {
+        std::move(out_packets_.begin(), out_packets_.end(),
+                  std::back_inserter(*out));
+        out_packets_.clear();
+    }
+    return n;
+}
+
+size_t
+CodecSession::poll(std::vector<Frame> *out)
+{
+    HDVB_DCHECK(out != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = out_frames_.size();
+    if (n > 0) {
+        std::move(out_frames_.begin(), out_frames_.end(),
+                  std::back_inserter(*out));
+        out_frames_.clear();
+    }
+    return n;
+}
+
+void
+CodecSession::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [this] { return inputs_.empty() && inflight_ == 0; });
+}
+
+Status
+CodecSession::close()
+{
+    bool need_flush = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!counters_.closed) {
+            counters_.closed = true;
+            need_flush = true;
+        }
+    }
+    if (need_flush) {
+        Input flush;
+        flush.flush = true;
+        flush.submit_time = Deadline::Clock::now();
+        if (sched_ == nullptr) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++inflight_;  // process_batch settles it
+            }
+            std::vector<Input> batch;
+            batch.push_back(std::move(flush));
+            process_batch(std::move(batch), nullptr);
+        } else {
+            {
+                // Flush bypasses queue_capacity: close must always be
+                // able to make progress.
+                std::lock_guard<std::mutex> lock(mu_);
+                inputs_.push_back(std::move(flush));
+            }
+            sched_->make_runnable(shared_from_this());
+        }
+    }
+    drain();
+    if (sched_ != nullptr)
+        sched_->release_admission(this);
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+}
+
+std::vector<TicketResult>
+CodecSession::take_results()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TicketResult> out;
+    out.swap(results_);
+    return out;
+}
+
+SessionCounters
+CodecSession::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+CodecStats
+CodecSession::codec_stats() const
+{
+    // Codec counter reads are internally synchronised (pool ledger
+    // mutex); resilience counters are only written by the single
+    // worker processing this session.
+    return encoder_ != nullptr ? encoder_->stats() : decoder_->stats();
+}
+
+void
+CodecSession::note_status_locked(const Status &status)
+{
+    if (!status.is_ok() && first_error_.is_ok())
+        first_error_ = status;
+}
+
+Status
+CodecSession::process_batch(std::vector<Input> inputs,
+                            std::atomic<s64> *seq)
+{
+    struct Done {
+        TicketResult result;
+        bool flush = false;
+        bool missed = false;
+    };
+    std::vector<Done> done;
+    done.reserve(inputs.size());
+    std::vector<Packet> packets;
+    std::vector<Frame> frames;
+    Status first_bad;
+
+    for (Input &input : inputs) {
+        Done d;
+        d.flush = input.flush;
+        d.result.ticket = input.ticket;
+        Status status;
+        if (input.flush) {
+            status = encoder_ != nullptr ? encoder_->flush(&packets)
+                                         : decoder_->flush(&frames);
+        } else {
+            const Deadline deadline(input.submit_time,
+                                    config_.frame_deadline_seconds);
+            if (deadline.expired()) {
+                d.missed = true;
+                status = Status::deadline_exceeded(
+                    "frame " + std::to_string(input.ticket) +
+                    " of session " + config_.name + " expired in queue");
+            } else if (encoder_ != nullptr) {
+                status = encoder_->encode(input.frame, &packets);
+            } else {
+                status = decoder_->decode(input.packet, &frames);
+            }
+        }
+        if (!status.is_ok() && first_bad.is_ok() && !d.missed)
+            first_bad = status;
+        d.result.status = std::move(status);
+        d.result.latency_seconds =
+            std::chrono::duration<double>(Deadline::Clock::now() -
+                                          input.submit_time)
+                .count();
+        if (seq != nullptr && !d.flush)  // seq numbers count frames
+            d.result.completion_seq =
+                seq->fetch_add(1, std::memory_order_relaxed);
+        done.push_back(std::move(d));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    std::move(packets.begin(), packets.end(),
+              std::back_inserter(out_packets_));
+    std::move(frames.begin(), frames.end(),
+              std::back_inserter(out_frames_));
+    for (Done &d : done) {
+        // A shed frame is reported on its ticket and counted, but does
+        // not fail the session: close() still returns ok.
+        if (!d.missed)
+            note_status_locked(d.result.status);
+        if (d.flush) {
+            flushed_ = true;
+            continue;  // flush is not a ticket
+        }
+        if (d.missed)
+            ++counters_.deadline_missed;
+        else if (d.result.status.is_ok())
+            ++counters_.completed;
+        else
+            ++counters_.failed;
+        results_.push_back(std::move(d.result));
+    }
+    inflight_ -= static_cast<int>(inputs.size());
+    HDVB_DCHECK(inflight_ >= 0);
+    counters_.queued = static_cast<s64>(inputs_.size());
+    done_cv_.notify_all();
+    return first_bad;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The streaming session API — codec-as-a-service instead of
+ * codec-as-a-function-call.
+ *
+ * A CodecSession wraps one codec instance (encoder XOR decoder) behind
+ * a submit/poll/drain/close surface: submit() hands the session one
+ * frame (or one packet) and returns a Ticket immediately; outputs are
+ * collected with poll(); drain() blocks until everything submitted has
+ * been processed; close() flushes the codec and retires the session.
+ * Per-ticket completion records carry submit→completion latency, which
+ * is where the server harness's p50/p95/p99 numbers come from.
+ *
+ * Sessions come in two attachments:
+ *  - *inline* (open_inline_*): submit() runs the codec synchronously on
+ *    the calling thread. This is the one-shot benchmark path — the
+ *    sweep runner's timed region drives an inline session, so
+ *    per-point fps stays paper-comparable and streams byte-identical
+ *    to the pre-session API.
+ *  - *scheduled* (SessionScheduler::open_*): submit() enqueues into the
+ *    session's bounded frame queue and returns; scheduler workers run
+ *    the codec according to weighted fair share across priority
+ *    classes. A full queue rejects the submit with resource-exhausted
+ *    (backpressure — see would_block()).
+ *
+ * Ordering: inputs of one session are always processed FIFO by at most
+ * one worker at a time, so a session's output stream is byte-identical
+ * to a serial run no matter how many scheduler workers exist.
+ */
+#ifndef HDVB_SERVE_SESSION_H
+#define HDVB_SERVE_SESSION_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/status.h"
+#include "fault/deadline.h"
+
+namespace hdvb {
+
+/** Traffic classes a deployment schedules between (weights in
+ * SchedulerOptions::class_weights). */
+enum class SessionClass {
+    kLive = 0,       ///< low-latency interactive streams
+    kVod = 1,        ///< bulk video-on-demand transcode
+    kThumbnail = 2,  ///< best-effort burst work
+};
+
+inline constexpr int kSessionClassCount = 3;
+inline constexpr SessionClass kAllSessionClasses[kSessionClassCount] = {
+    SessionClass::kLive, SessionClass::kVod, SessionClass::kThumbnail};
+
+/** Class name ("live", "vod", "thumbnail"). */
+const char *session_class_name(SessionClass cls);
+
+/** Per-session submission id: 0-based, dense, FIFO-processed. */
+using Ticket = s64;
+
+/** How one session should be admitted and scheduled. */
+struct SessionConfig {
+    /** Label used in reports and error messages. */
+    std::string name = "session";
+
+    SessionClass priority = SessionClass::kVod;
+
+    /** The codec configuration the wrapped instance was built with;
+     * admission charges session_memory_estimate() of it against the
+     * scheduler's memory budget. */
+    CodecConfig codec_config;
+
+    /** Input-queue bound for scheduled sessions: a submit that would
+     * exceed it is rejected with resource-exhausted (backpressure).
+     * Ignored by inline sessions (they never queue). */
+    size_t queue_capacity = 16;
+
+    /** Per-frame latency budget, checked cooperatively when a worker
+     * picks the frame up (fault-subsystem Deadline semantics): an
+     * expired frame is completed as deadline-exceeded without running
+     * the codec. 0 disables. */
+    double frame_deadline_seconds = 0.0;
+};
+
+/** Completion record for one submitted ticket. */
+struct TicketResult {
+    Ticket ticket = 0;
+    Status status;
+    /** submit() to completion, seconds (queueing + codec time). */
+    double latency_seconds = 0.0;
+    /** Scheduler-global completion order stamp (-1 for inline
+     * sessions); the fair-share tests read interleaving off it. */
+    s64 completion_seq = -1;
+};
+
+/** Session lifecycle counters; submitted == completed + failed +
+ * deadline_missed once drain() returns. */
+struct SessionCounters {
+    s64 submitted = 0;
+    s64 completed = 0;        ///< processed by the codec, OK status
+    s64 failed = 0;           ///< codec returned an error
+    s64 deadline_missed = 0;  ///< expired in queue, codec skipped
+    s64 queued = 0;           ///< inputs waiting right now
+    bool closed = false;
+};
+
+namespace detail {
+struct SchedulerCore;
+}  // namespace detail
+
+/**
+ * One streaming codec session. Create with open_inline_encode /
+ * open_inline_decode (synchronous) or through a SessionScheduler
+ * (queued + fair-share scheduled). Thread-safe: any thread may
+ * submit/poll/drain, though per-session input order is the caller's
+ * affair across threads.
+ */
+class CodecSession : public std::enable_shared_from_this<CodecSession>
+{
+  public:
+    ~CodecSession();
+
+    CodecSession(const CodecSession &) = delete;
+    CodecSession &operator=(const CodecSession &) = delete;
+
+    /** Synchronous sessions for the one-shot/benchmark path. */
+    static std::shared_ptr<CodecSession>
+    open_inline_encode(std::unique_ptr<VideoEncoder> encoder,
+                       SessionConfig config);
+    static std::shared_ptr<CodecSession>
+    open_inline_decode(std::unique_ptr<VideoDecoder> decoder,
+                       SessionConfig config);
+
+    const std::string &name() const { return config_.name; }
+    SessionClass priority() const { return config_.priority; }
+    bool is_encode() const { return encoder_ != nullptr; }
+
+    /**
+     * Submit one source frame (encode sessions only). Scheduled: O(1)
+     * enqueue, resource-exhausted on a full queue or a closed session.
+     * Inline: runs the codec before returning and surfaces its Status
+     * directly.
+     */
+    StatusOr<Ticket> submit(Frame frame);
+
+    /** Submit one coded packet (decode sessions only). */
+    StatusOr<Ticket> submit(Packet packet);
+
+    /** True when the next submit would be rejected for queue depth. */
+    bool would_block() const;
+
+    /** Move completed encoded packets to @p out (encode sessions);
+     * returns how many were appended. Never blocks. */
+    size_t poll(std::vector<Packet> *out);
+
+    /** Move completed decoded frames to @p out (decode sessions). */
+    size_t poll(std::vector<Frame> *out);
+
+    /** Block until every submitted input has completed (any status).
+     * Outputs still need poll()/take_results(). */
+    void drain();
+
+    /**
+     * Drain, flush the codec (emitting its buffered pictures into the
+     * poll stream), and retire the session: later submits are
+     * rejected, and the session's admission charge is released.
+     * Returns the first codec error the session saw, flush included.
+     * Idempotent.
+     */
+    Status close();
+
+    /** Move out the per-ticket completion records accumulated since
+     * the last call (flush is not a ticket and never appears). */
+    std::vector<TicketResult> take_results();
+
+    SessionCounters counters() const;
+
+    /** Counter snapshot of the wrapped codec (pool + resilience). */
+    CodecStats codec_stats() const;
+
+  private:
+    friend class SessionScheduler;
+    friend struct detail::SchedulerCore;
+
+    struct Input {
+        Ticket ticket = 0;
+        Deadline::Clock::time_point submit_time;
+        Frame frame;    ///< encode payload
+        Packet packet;  ///< decode payload
+        bool flush = false;
+    };
+
+    CodecSession(std::unique_ptr<VideoEncoder> encoder,
+                 std::unique_ptr<VideoDecoder> decoder,
+                 SessionConfig config,
+                 std::shared_ptr<detail::SchedulerCore> sched);
+
+    /** Common submit tail: ticket assignment + inline execution or
+     * bounded enqueue + scheduler wakeup. */
+    StatusOr<Ticket> submit_input(Input input);
+
+    /** Run a FIFO slice of inputs through the codec (no session lock
+     * held during codec work), then append outputs/results under mu_.
+     * @p seq stamps completion order (null for inline sessions).
+     * Returns the first non-OK codec status in the slice. */
+    Status process_batch(std::vector<Input> inputs,
+                         std::atomic<s64> *seq);
+
+    /** First error recorded, for close(). */
+    void note_status_locked(const Status &status);
+
+    const SessionConfig config_;
+    const std::unique_ptr<VideoEncoder> encoder_;
+    const std::unique_ptr<VideoDecoder> decoder_;
+    const std::shared_ptr<detail::SchedulerCore> sched_;
+
+    mutable std::mutex mu_;
+    std::condition_variable done_cv_;
+    std::deque<Input> inputs_;
+    int inflight_ = 0;  ///< inputs taken by a worker, not yet recorded
+    std::vector<Packet> out_packets_;
+    std::vector<Frame> out_frames_;
+    std::vector<TicketResult> results_;
+    SessionCounters counters_;
+    Status first_error_;
+    bool flushed_ = false;
+
+    // ---- scheduler-owned state, guarded by the scheduler mutex ----
+    enum class RunState { kIdle, kQueued, kRunning };
+    RunState run_state_ = RunState::kIdle;
+    u64 pass_ = 0;        ///< stride-scheduling virtual time
+    u64 session_id_ = 0;  ///< admission order; pass tie-break
+    bool admission_released_ = false;
+};
+
+/**
+ * Bytes a session of @p config is charged against the scheduler's
+ * memory budget: the 4:2:0 working set of its reference/lookahead
+ * window with borders, a deliberate over-estimate used only for
+ * admission (the arena ledger reports actual bytes).
+ */
+size_t session_memory_estimate(const CodecConfig &config);
+
+}  // namespace hdvb
+
+#endif  // HDVB_SERVE_SESSION_H

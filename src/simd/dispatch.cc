@@ -1,7 +1,6 @@
 #include "simd/dispatch.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/log.h"
 #include "simd/kernels.h"
 
@@ -140,8 +139,8 @@ SimdLevel
 resolve_best_level()
 {
     const SimdLevel detected = detected_simd_level();
-    const char *env = std::getenv("HDVB_SIMD");
-    if (env == nullptr || *env == '\0')
+    const char *env = env_raw("HDVB_SIMD");
+    if (env == nullptr)
         return detected;
     SimdLevel forced;
     if (!parse_simd_level(env, &forced)) {

@@ -35,8 +35,10 @@ AlignedBuffer::AlignedBuffer(size_t size)
 }
 
 AlignedBuffer::AlignedBuffer(u8 *data, size_t size,
-                             std::shared_ptr<detail::PoolCore> core)
-    : data_(data), size_(size), core_(std::move(core))
+                             std::shared_ptr<detail::PoolCore> core,
+                             std::shared_ptr<detail::PoolClient> client)
+    : data_(data), size_(size), core_(std::move(core)),
+      client_(std::move(client))
 {}
 
 AlignedBuffer::~AlignedBuffer()
@@ -53,14 +55,17 @@ AlignedBuffer::release()
         core_->give(data_, size_);
     else
         detail::aligned_free_bytes(data_);
+    if (client_ != nullptr)
+        client_->on_return(size_);
     data_ = nullptr;
     size_ = 0;
     core_.reset();
+    client_.reset();
 }
 
 AlignedBuffer::AlignedBuffer(AlignedBuffer &&other) noexcept
     : data_(other.data_), size_(other.size_),
-      core_(std::move(other.core_))
+      core_(std::move(other.core_)), client_(std::move(other.client_))
 {
     other.data_ = nullptr;
     other.size_ = 0;
@@ -74,6 +79,7 @@ AlignedBuffer::operator=(AlignedBuffer &&other) noexcept
         data_ = other.data_;
         size_ = other.size_;
         core_ = std::move(other.core_);
+        client_ = std::move(other.client_);
         other.data_ = nullptr;
         other.size_ = 0;
     }

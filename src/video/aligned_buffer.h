@@ -27,6 +27,7 @@ namespace hdvb {
 
 namespace detail {
 class PoolCore;
+class PoolClient;
 }  // namespace detail
 
 /** Move-only-in-spirit aligned byte buffer; copying deep-copies into a
@@ -62,15 +63,18 @@ class AlignedBuffer
   private:
     friend class FramePool;
 
-    /** Pool-owned construction (FramePool::acquire). */
+    /** Pool-owned construction (FramePool::acquire). @p client is the
+     * acquiring handle's ledger, debited when the buffer returns. */
     AlignedBuffer(u8 *data, size_t size,
-                  std::shared_ptr<detail::PoolCore> core);
+                  std::shared_ptr<detail::PoolCore> core,
+                  std::shared_ptr<detail::PoolClient> client);
 
     void release();
 
     u8 *data_ = nullptr;
     size_t size_ = 0;
     std::shared_ptr<detail::PoolCore> core_;
+    std::shared_ptr<detail::PoolClient> client_;
 };
 
 namespace detail {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace hdvb {
 
 namespace detail {
@@ -23,6 +25,9 @@ PoolCore::take(size_t size)
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.outstanding;
     stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+    stats_.bytes_outstanding += static_cast<s64>(size);
+    stats_.bytes_high_water =
+        std::max(stats_.bytes_high_water, stats_.bytes_outstanding);
     auto it = free_.find(size);
     if (it != free_.end() && !it->second.empty()) {
         u8 *ptr = it->second.back();
@@ -39,6 +44,7 @@ PoolCore::give(u8 *ptr, size_t size)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     --stats_.outstanding;
+    stats_.bytes_outstanding -= static_cast<s64>(size);
     free_[size].push_back(ptr);
 }
 
@@ -49,7 +55,47 @@ PoolCore::stats() const
     return stats_;
 }
 
+void
+PoolClient::on_acquire(size_t size, bool reused)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reused)
+        ++stats_.buffer_reuses;
+    else
+        ++stats_.buffer_allocs;
+    ++stats_.outstanding;
+    stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+    stats_.bytes_outstanding += static_cast<s64>(size);
+    stats_.bytes_high_water =
+        std::max(stats_.bytes_high_water, stats_.bytes_outstanding);
+}
+
+void
+PoolClient::on_return(size_t size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.outstanding;
+    stats_.bytes_outstanding -= static_cast<s64>(size);
+}
+
+FramePoolStats
+PoolClient::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
 }  // namespace detail
+
+void
+FramePool::adopt(const FrameArena &arena)
+{
+    // Re-pointing the core with buffers already out would split their
+    // returns from this client's ledger; adoption is a construction-
+    // time decision.
+    HDVB_DCHECK(client_->stats().outstanding == 0);
+    core_ = arena.core_;
+}
 
 AlignedBuffer
 FramePool::acquire(size_t size)
@@ -57,14 +103,16 @@ FramePool::acquire(size_t size)
     if (size == 0)
         return AlignedBuffer();
     u8 *ptr = core_->take(size);
-    if (ptr == nullptr) {
+    const bool reused = ptr != nullptr;
+    if (!reused) {
         // Fresh allocations are zeroed (matching unpooled
         // construction); recycled ones keep their stale contents —
         // see the header note.
         ptr = detail::aligned_alloc_bytes(size);
         std::memset(ptr, 0, size);
     }
-    return AlignedBuffer(ptr, size, core_);
+    client_->on_acquire(size, reused);
+    return AlignedBuffer(ptr, size, core_, client_);
 }
 
 }  // namespace hdvb

@@ -1,6 +1,7 @@
 /**
  * @file
- * Recycling pool for frame/plane pixel buffers.
+ * Recycling pool for frame/plane pixel buffers, and the shared arena
+ * that lets many codec instances recycle through one free list.
  *
  * Steady-state encoding and decoding construct the same three plane
  * geometries picture after picture (source copies, reconstructions,
@@ -12,12 +13,25 @@
  * count drops to zero — FramePoolStats::buffer_allocs is the counter
  * tests and the sweep report's allocs_per_frame column watch.
  *
- * Lifetime: buffers reference the pool's shared core, so a Frame may
- * outlive the FramePool (codec) that produced it; the core is freed
- * when the pool and the last outstanding buffer are gone. Returns are
- * mutex-protected, so frames may be destroyed on any thread — the
- * band-parallel codecs only ever *acquire* on the codec's own thread,
- * keeping the lock out of the wavefront workers' way.
+ * Arenas: by default each FramePool owns a private core (free lists +
+ * counters), which is right for one codec per process. The serve layer
+ * runs hundreds of sessions whose codecs would otherwise each pin a
+ * warm free list while idle; a FrameArena is a shared core that any
+ * number of FramePools adopt(), so an idle session's returned buffers
+ * are immediately reusable by every other session of the same
+ * geometry. Accounting splits in two: FrameArena::stats() is the
+ * arena-wide truth (global bytes outstanding / high water), while each
+ * adopting FramePool keeps per-client counters attributing
+ * acquisitions and outstanding bytes to *its* codec — the per-session
+ * memory ledger the scheduler's reports read.
+ *
+ * Lifetime: buffers reference the shared core (and their pool's client
+ * ledger), so a Frame may outlive the FramePool (codec) that produced
+ * it; the core is freed when every pool handle and the last
+ * outstanding buffer are gone. Returns are mutex-protected, so frames
+ * may be destroyed on any thread — the band-parallel codecs only ever
+ * *acquire* on the codec's own thread, keeping the lock out of the
+ * wavefront workers' way.
  *
  * Recycled buffers are NOT re-zeroed. Codecs overwrite every interior
  * sample before reading it back and extend_borders() rewrites the full
@@ -37,17 +51,19 @@
 
 namespace hdvb {
 
-/** Counters a FramePool accumulates over its lifetime. */
+/** Counters a pool core or pool client accumulates over its lifetime. */
 struct FramePoolStats {
     s64 buffer_allocs = 0;  ///< pool misses: fresh heap allocations
     s64 buffer_reuses = 0;  ///< pool hits: buffers served from a free list
     s64 outstanding = 0;    ///< buffers currently checked out
     s64 high_water = 0;     ///< max simultaneously outstanding buffers
+    s64 bytes_outstanding = 0;  ///< bytes currently checked out
+    s64 bytes_high_water = 0;   ///< max simultaneously outstanding bytes
 };
 
 namespace detail {
 
-/** Shared pool state; outlives the FramePool while buffers are out. */
+/** Shared pool state; outlives every handle while buffers are out. */
 class PoolCore
 {
   public:
@@ -69,29 +85,75 @@ class PoolCore
     FramePoolStats stats_;
 };
 
+/** One pool client's (one FramePool handle's) share of the arena
+ * counters. Outstanding buffers keep it alive so returns from frames
+ * that outlive their codec still land in the right ledger. */
+class PoolClient
+{
+  public:
+    void on_acquire(size_t size, bool reused);
+    void on_return(size_t size);
+    FramePoolStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    FramePoolStats stats_;
+};
+
 }  // namespace detail
+
+/**
+ * A shared buffer arena: copyable handle to one PoolCore that any
+ * number of FramePools may adopt(). Default-constructed arenas are
+ * distinct; copies share.
+ */
+class FrameArena
+{
+  public:
+    FrameArena() : core_(std::make_shared<detail::PoolCore>()) {}
+
+    /** Arena-wide counters summed over every adopted pool. */
+    FramePoolStats stats() const { return core_->stats(); }
+
+  private:
+    friend class FramePool;
+    std::shared_ptr<detail::PoolCore> core_;
+};
 
 /** Per-codec-instance buffer recycler. Not copyable. */
 class FramePool
 {
   public:
-    FramePool() : core_(std::make_shared<detail::PoolCore>()) {}
+    FramePool()
+        : core_(std::make_shared<detail::PoolCore>()),
+          client_(std::make_shared<detail::PoolClient>())
+    {}
 
     FramePool(const FramePool &) = delete;
     FramePool &operator=(const FramePool &) = delete;
 
     /**
+     * Recycle through @p arena's shared free lists instead of the
+     * private core. Must be called before the first acquire() (the
+     * per-client ledger cannot re-attribute buffers already out).
+     */
+    void adopt(const FrameArena &arena);
+
+    /**
      * Buffer of @p size bytes: a recycled one when the free list has a
      * match (contents stale), otherwise a fresh zeroed allocation. The
-     * buffer returns itself to this pool on destruction.
+     * buffer returns itself to this pool's core on destruction.
      */
     AlignedBuffer acquire(size_t size);
 
-    /** Snapshot of the lifetime counters. */
-    FramePoolStats stats() const { return core_->stats(); }
+    /** This handle's counters: for a private (non-adopted) pool these
+     * equal the core's; for an arena client they are the per-session
+     * attribution of the shared totals. */
+    FramePoolStats stats() const { return client_->stats(); }
 
   private:
     std::shared_ptr<detail::PoolCore> core_;
+    std::shared_ptr<detail::PoolClient> client_;
 };
 
 }  // namespace hdvb

@@ -75,7 +75,7 @@ decode_all(CodecId codec, const CodecConfig &cfg,
     const Status status = dec->flush(&out.frames);
     out.statuses.push_back(status.code());
     out.all_ok &= status.is_ok();
-    out.stats = dec->stats();
+    out.stats = dec->stats().decode;
     return out;
 }
 

@@ -151,8 +151,8 @@ TEST_P(PoolSteadyState, NoHeapAllocationsAfterWarmup)
         packets.clear();
         decoded.clear();
     }
-    const s64 enc_allocs = enc->pool_stats().buffer_allocs;
-    const s64 dec_allocs = dec->pool_stats().buffer_allocs;
+    const s64 enc_allocs = enc->stats().pool.buffer_allocs;
+    const s64 dec_allocs = dec->stats().pool.buffer_allocs;
     EXPECT_GT(enc_allocs, 0) << "pool not in use on the encode path";
     EXPECT_GT(dec_allocs, 0) << "pool not in use on the decode path";
 
@@ -163,12 +163,12 @@ TEST_P(PoolSteadyState, NoHeapAllocationsAfterWarmup)
         packets.clear();
         decoded.clear();
     }
-    EXPECT_EQ(enc->pool_stats().buffer_allocs, enc_allocs)
+    EXPECT_EQ(enc->stats().pool.buffer_allocs, enc_allocs)
         << "encoder allocated in steady state";
-    EXPECT_EQ(dec->pool_stats().buffer_allocs, dec_allocs)
+    EXPECT_EQ(dec->stats().pool.buffer_allocs, dec_allocs)
         << "decoder allocated in steady state";
-    EXPECT_GT(enc->pool_stats().buffer_reuses, 0);
-    EXPECT_GT(dec->pool_stats().buffer_reuses, 0);
+    EXPECT_GT(enc->stats().pool.buffer_reuses, 0);
+    EXPECT_GT(dec->stats().pool.buffer_reuses, 0);
 }
 
 TEST_P(PoolSteadyState, DisabledPoolReportsNoActivity)
@@ -181,7 +181,7 @@ TEST_P(PoolSteadyState, DisabledPoolReportsNoActivity)
     std::vector<Packet> packets;
     for (int i = 0; i < 6; ++i)
         ASSERT_TRUE(enc->encode(source.next(), &packets).is_ok());
-    const FramePoolStats stats = enc->pool_stats();
+    const FramePoolStats stats = enc->stats().pool;
     EXPECT_EQ(stats.buffer_allocs, 0);
     EXPECT_EQ(stats.buffer_reuses, 0);
     EXPECT_EQ(stats.outstanding, 0);

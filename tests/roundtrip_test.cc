@@ -358,7 +358,7 @@ TEST_P(ThreadInvariance, ResilientConcealmentMatchesAcrossThreadCounts)
             dec->flush(&frames);
             if (threads == 1) {
                 baseline = std::move(frames);
-                baseline_stats = dec->stats();
+                baseline_stats = dec->stats().decode;
                 if (pass == 1) {
                     EXPECT_GT(baseline_stats.mbs_concealed, 0);
                 }
@@ -376,7 +376,7 @@ TEST_P(ThreadInvariance, ResilientConcealmentMatchesAcrossThreadCounts)
                         << "frame " << i << " plane " << p;
                 }
             }
-            const DecodeStats stats = dec->stats();
+            const DecodeStats stats = dec->stats().decode;
             EXPECT_EQ(stats.mbs_concealed,
                       baseline_stats.mbs_concealed);
             EXPECT_EQ(stats.resyncs, baseline_stats.resyncs);

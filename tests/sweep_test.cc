@@ -149,6 +149,30 @@ TEST(SweepRunner, RecordsPerPointObservability)
     EXPECT_GT(runner.last_wall_seconds(), 0.0);
 }
 
+TEST(SweepRunner, RssBaselineIsFreshPerRun)
+{
+    SweepOptions options;
+    options.jobs = 1;
+    SweepRunner runner(options);
+    const std::vector<BenchPoint> all = tiny_points();
+    const std::vector<BenchPoint> points(all.begin(), all.begin() + 1);
+    (void)runner.run(points);
+
+    // Raise the process peak RSS by ~32 MB between runs (ru_maxrss is
+    // a lifetime high-water mark, so this can never be undone).
+    std::vector<u8> ballast(size_t{32} << 20);
+    for (size_t i = 0; i < ballast.size(); i += 4096)
+        ballast[i] = static_cast<u8>(i);
+
+    // A reused runner re-baselines at the top of every run(): memory
+    // that grew between runs must not be attributed to this run's
+    // points. A stale baseline would report >= 32768 kB here.
+    const std::vector<SweepResult> again = runner.run(points);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_GE(again[0].peak_rss_delta_kb, 0);
+    EXPECT_LT(again[0].peak_rss_delta_kb, 16384);
+}
+
 TEST(SweepRunner, WritesJsonReport)
 {
     const std::string path =
