@@ -24,7 +24,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -150,7 +149,7 @@ feed_class(const ClassPlan &plan,
                     break;
                 }
                 if (ticket.status().code() !=
-                    StatusCode::kResourceExhausted) {
+                    StatusCode::kUnavailable) {
                     std::fprintf(stderr, "submit failed: %s\n",
                                  ticket.status().to_string().c_str());
                     return false;
@@ -225,31 +224,6 @@ settle_class(const ClassPlan &plan,
             session->poll(&frame_sink);
     }
     return clean;
-}
-
-Status
-write_report(const std::string &path, const JsonWriter &json)
-{
-    std::error_code ec;
-    std::filesystem::create_directories(
-        std::filesystem::path(path).parent_path(), ec);
-    const std::string tmp_path = path + ".tmp";
-    std::FILE *f = std::fopen(tmp_path.c_str(), "w");
-    if (f == nullptr)
-        return Status::invalid_argument("cannot open " + tmp_path);
-    const std::string &text = json.str();
-    const bool ok =
-        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-        std::fputc('\n', f) != EOF;
-    if (std::fclose(f) != 0 || !ok) {
-        std::remove(tmp_path.c_str());
-        return Status::internal("short write to " + tmp_path);
-    }
-    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-        std::remove(tmp_path.c_str());
-        return Status::internal("cannot rename " + tmp_path);
-    }
-    return Status::ok();
 }
 
 }  // namespace
@@ -458,7 +432,7 @@ main(int argc, char **argv)
                 fps, static_cast<long long>(arena.bytes_high_water / 1024),
                 clean ? "clean" : "NOT CLEAN");
 
-    const Status written = write_report(json_path, json);
+    const Status written = json.write_file(json_path);
     if (!written.is_ok()) {
         std::fprintf(stderr, "report not written: %s\n",
                      written.to_string().c_str());

@@ -2,8 +2,33 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 
 namespace hdvb {
+
+Status
+JsonWriter::write_file(const std::string &path) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    const std::string tmp_path = path + ".tmp";
+    std::FILE *f = std::fopen(tmp_path.c_str(), "w");
+    if (f == nullptr)
+        return Status::invalid_argument("cannot open " + tmp_path);
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+        std::fputc('\n', f) != EOF;
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp_path.c_str());
+        return Status::internal("short write to " + tmp_path);
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return Status::internal("cannot rename " + tmp_path);
+    }
+    return Status::ok();
+}
 
 void
 JsonWriter::separate()

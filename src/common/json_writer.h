@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace hdvb {
@@ -46,6 +47,14 @@ class JsonWriter
 
     /** The document built so far. */
     const std::string &str() const { return out_; }
+
+    /**
+     * Publish the document to @p path atomically (write to a
+     * temporary sibling, then rename), creating parent directories as
+     * needed and appending a trailing newline — how every bench
+     * commits its machine-readable report.
+     */
+    Status write_file(const std::string &path) const;
 
     /** JSON string escaping (quotes, backslash, control characters). */
     static std::string escape(const std::string &text);

@@ -14,8 +14,17 @@ status_code_name(StatusCode code)
       case StatusCode::kInternal: return "internal";
       case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
       case StatusCode::kResourceExhausted: return "resource-exhausted";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kDataLoss: return "data-loss";
     }
     return "unknown";
+}
+
+bool
+status_is_transient(StatusCode code)
+{
+    return code == StatusCode::kUnavailable ||
+           code == StatusCode::kDeadlineExceeded;
 }
 
 std::string

@@ -17,20 +17,55 @@
 
 namespace hdvb {
 
-/** Error categories surfaced by the public API. */
+/**
+ * Error categories surfaced by the public API.
+ *
+ * The codes split into two retry classes, and every layer (serve,
+ * runner, sweep) conforms to the split:
+ *
+ * **Transient / retryable** — the same request may succeed if simply
+ * tried again, so callers should back off and retry (see
+ * fault/retry.h):
+ *  - kUnavailable: a momentary condition — queue backpressure, an
+ *    overloaded scheduler shedding a traffic class, a service shutting
+ *    down. Nothing about the request itself is wrong.
+ *  - kDeadlineExceeded: the wall-clock budget ran out; a retry with a
+ *    fresh budget may complete.
+ *
+ * **Terminal / non-retryable** — retrying the identical request cannot
+ * succeed; the caller must change something (input, configuration,
+ * capacity) or give up:
+ *  - kInvalidArgument: the request is malformed (also: use of a closed
+ *    or failed session).
+ *  - kCorruptStream: the input data is damaged; resubmitting the same
+ *    bytes reproduces the failure.
+ *  - kOutOfRange, kUnimplemented, kInternal: structural failures.
+ *  - kResourceExhausted: a *hard* budget (admission session count,
+ *    memory estimate) is full; unlike kUnavailable this does not clear
+ *    by itself — capacity has to be released first.
+ *  - kDataLoss: work was irrecoverably lost — e.g. tickets drained
+ *    from a session that entered its terminal failed state.
+ */
 enum class StatusCode {
     kOk = 0,
-    kInvalidArgument,   ///< Caller supplied an unusable value.
-    kCorruptStream,     ///< Bitstream failed to parse.
+    kInvalidArgument,   ///< Caller supplied an unusable value. Terminal.
+    kCorruptStream,     ///< Bitstream failed to parse. Terminal.
     kOutOfRange,        ///< Index or size outside the valid domain.
     kUnimplemented,     ///< Feature intentionally not built.
-    kInternal,          ///< Unexpected internal failure.
-    kDeadlineExceeded,  ///< Operation ran past its wall-clock budget.
-    kResourceExhausted, ///< A budget (sessions, memory, queue) is full.
+    kInternal,          ///< Unexpected internal failure. Terminal.
+    kDeadlineExceeded,  ///< Ran past its wall-clock budget. Transient.
+    kResourceExhausted, ///< A hard budget is full. Terminal.
+    kUnavailable,       ///< Momentary overload/backpressure. Transient.
+    kDataLoss,          ///< Work irrecoverably lost. Terminal.
 };
 
 /** Human-readable name of a StatusCode ("ok", "corrupt-stream", ...). */
 const char *status_code_name(StatusCode code);
+
+/** True for the retryable codes (kUnavailable, kDeadlineExceeded):
+ * backing off and resubmitting the same request may succeed. All other
+ * non-OK codes are terminal for that request. */
+bool status_is_transient(StatusCode code);
 
 /**
  * Result of a fallible operation: a code plus an optional message.
@@ -61,6 +96,10 @@ class Status
     { return Status(StatusCode::kDeadlineExceeded, std::move(msg)); }
     static Status resource_exhausted(std::string msg)
     { return Status(StatusCode::kResourceExhausted, std::move(msg)); }
+    static Status unavailable(std::string msg)
+    { return Status(StatusCode::kUnavailable, std::move(msg)); }
+    static Status data_loss(std::string msg)
+    { return Status(StatusCode::kDataLoss, std::move(msg)); }
 
     bool is_ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }

@@ -1,9 +1,7 @@
 #include "core/sweep.h"
 
-#include <chrono>
 #include <cstdio>
 #include <exception>
-#include <thread>
 #include <sys/resource.h>
 #include <sys/stat.h>
 
@@ -122,17 +120,16 @@ SweepRunner::run_point(const BenchPoint &point, int worker,
     WallTimer wall;
     wall.start();
 
-    const int max_attempts =
-        options_.max_attempts > 0 ? options_.max_attempts : 1;
-    double backoff = options_.retry_backoff_seconds;
-
+    // Shared fault-subsystem retry driver (fault/retry.h) — the same
+    // policy object sessions use for transient frame failures.
+    RetryController retry(options_.retry);
     SweepResult result;
-    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    Status status;
+    do {
         SweepResult trial;
         trial.point = point;
         trial.worker = worker;
-        trial.attempts = attempt;
-        Status status;
+        trial.attempts = retry.attempt();
         try {
             status = attempt_point(point, &trial);
         } catch (const std::exception &e) {
@@ -145,16 +142,12 @@ SweepRunner::run_point(const BenchPoint &point, int worker,
         trial.timed_out =
             status.code() == StatusCode::kDeadlineExceeded;
         result = std::move(trial);
-        if (status.is_ok())
-            break;
-        HDVB_LOG(kWarn) << "sweep " << point.label() << " attempt "
-                        << attempt << " failed: " << status.to_string();
-        if (attempt < max_attempts && backoff > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(backoff));
-            backoff *= 2;
+        if (!status.is_ok()) {
+            HDVB_LOG(kWarn) << "sweep " << point.label() << " attempt "
+                            << retry.attempt()
+                            << " failed: " << status.to_string();
         }
-    }
+    } while (retry.backoff_and_retry(status));
 
     wall.stop();
     result.wall_seconds = wall.seconds();

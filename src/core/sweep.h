@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "core/runner.h"
+#include "fault/retry.h"
 
 namespace hdvb {
 
@@ -45,7 +46,7 @@ struct SweepResult {
      * ran to completion regardless. */
     Status status;
     /** Attempts consumed (1 on first-try success; up to
-     * SweepOptions::max_attempts). */
+     * SweepOptions::retry.max_attempts). */
     int attempts = 0;
     /** True when the final attempt hit the per-point timeout. */
     bool timed_out = false;
@@ -153,13 +154,15 @@ struct SweepOptions {
      * not interruptible. */
     double point_timeout_seconds = 0.0;
 
-    /** Attempts per point before its failure is recorded (>= 1).
-     * Retries re-run the whole point from scratch. */
-    int max_attempts = 1;
-
-    /** Sleep before the first retry; doubles after each further
-     * failure (bounded exponential backoff). */
-    double retry_backoff_seconds = 0.05;
+    /** Retry-with-backoff for failed points (shared fault-subsystem
+     * policy; see fault/retry.h). Retries re-run the whole point from
+     * scratch. transient_only is forced off: a bench point is a
+     * measurement, so any failure — not just retryable codes — gets
+     * its remaining attempts. */
+    RetryPolicy retry{/*max_attempts=*/1,
+                      /*initial_backoff_seconds=*/0.05,
+                      /*max_backoff_seconds=*/1.0,
+                      /*transient_only=*/false};
 };
 
 /**
@@ -173,8 +176,8 @@ class SweepRunner
 
     /** Execute the sweep. A failing point — codec Status error,
      * uncaught exception, or per-point timeout — is recorded in its
-     * SweepResult::status (after SweepOptions::max_attempts tries) and
-     * never takes down the rest of the grid. */
+     * SweepResult::status (after SweepOptions::retry.max_attempts
+     * tries) and never takes down the rest of the grid. */
     std::vector<SweepResult> run(const std::vector<BenchPoint> &points);
 
     /** Wall-clock seconds of the last run() (the Figure-1 grid time

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff — the recovery half of the
+ * fault subsystem. One policy object, two consumers:
+ *
+ *  - SweepRunner retries whole failed bench points (any failure code:
+ *    a point is a measurement, and a flaky machine deserves a second
+ *    try regardless of what broke) — transient_only = false.
+ *  - CodecSessions retry individual frames whose codec call failed
+ *    with a *transient* status (see status_is_transient); terminal
+ *    codes fail fast into the session's kFailed state instead of
+ *    burning attempts on a request that cannot succeed —
+ *    transient_only = true.
+ *
+ * RetryController is the driver: construct one per retried operation,
+ * stamp attempt() into observability, and loop while
+ * `backoff_and_retry(status)` says to. The controller sleeps the
+ * (doubling, capped) backoff itself so callers cannot forget it.
+ */
+#ifndef HDVB_FAULT_RETRY_H
+#define HDVB_FAULT_RETRY_H
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/status.h"
+
+namespace hdvb {
+
+/** How (whether) a failed operation is retried. The default is one
+ * attempt: no retry. */
+struct RetryPolicy {
+    /** Total attempts including the first (>= 1; values < 1 read as 1). */
+    int max_attempts = 1;
+
+    /** Sleep before the first retry; doubles after each further
+     * failure. <= 0 disables the sleep (tests; spin-retry). */
+    double initial_backoff_seconds = 0.05;
+
+    /** Upper bound the doubling saturates at. */
+    double max_backoff_seconds = 1.0;
+
+    /** When true, only transient statuses (status_is_transient) are
+     * retried; terminal failures return immediately. */
+    bool transient_only = true;
+};
+
+/**
+ * Drives one retried operation under a RetryPolicy. Usage:
+ *
+ *   RetryController retry(policy);
+ *   Status status;
+ *   do {
+ *       status = attempt_the_thing();   // retry.attempt() is 1-based
+ *   } while (retry.backoff_and_retry(status));
+ */
+class RetryController
+{
+  public:
+    explicit RetryController(const RetryPolicy &policy)
+        : policy_(policy),
+          attempts_left_(std::max(policy.max_attempts, 1) - 1),
+          backoff_(policy.initial_backoff_seconds)
+    {}
+
+    /** The attempt about to run (or just run), 1-based. */
+    int attempt() const { return attempt_; }
+
+    /** True when @p status is worth another attempt under the policy
+     * (non-OK, attempts left, and — for transient_only policies —
+     * retryable). When it returns true it has already slept the
+     * backoff and advanced the attempt counter. */
+    bool
+    backoff_and_retry(const Status &status)
+    {
+        if (status.is_ok() || attempts_left_ <= 0)
+            return false;
+        if (policy_.transient_only &&
+            !status_is_transient(status.code()))
+            return false;
+        --attempts_left_;
+        ++attempt_;
+        if (backoff_ > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff_));
+            backoff_ = std::min(backoff_ * 2,
+                                policy_.max_backoff_seconds > 0
+                                    ? policy_.max_backoff_seconds
+                                    : backoff_ * 2);
+        }
+        return true;
+    }
+
+  private:
+    const RetryPolicy policy_;
+    int attempt_ = 1;
+    int attempts_left_;
+    double backoff_;
+};
+
+}  // namespace hdvb
+
+#endif  // HDVB_FAULT_RETRY_H

@@ -1,6 +1,8 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstddef>
 #include <utility>
 
 #include "common/check.h"
@@ -29,6 +31,17 @@ SchedulerCore::admit(CodecSession *session)
         ++sessions_rejected;
         return Status::resource_exhausted(
             "scheduler stopped; rejecting session " + session->name());
+    }
+    if (shed_level.load(std::memory_order_relaxed) > 0) {
+        // Overload is transient: unlike the hard budgets below, the
+        // caller should retry once the backlog drains.
+        ++admissions_shed;
+        return Status::unavailable(
+            "scheduler overloaded (shed level " +
+            std::to_string(shed_level.load(std::memory_order_relaxed)) +
+            ", backlog " +
+            std::to_string(backlog.load(std::memory_order_relaxed)) +
+            "); retry session " + session->name() + " later");
     }
     if (opts.max_sessions > 0 && sessions_open >= opts.max_sessions) {
         ++sessions_rejected;
@@ -69,10 +82,214 @@ SchedulerCore::release_admission(CodecSession *session)
     estimated_bytes -= estimate;
 }
 
+Status
+SchedulerCore::check_shed(SessionClass cls)
+{
+    const int level = shed_level.load(std::memory_order_relaxed);
+    if (level <= 0)
+        return Status::ok();
+    // Reverse priority order: thumbnail is shed at level 1, vod joins
+    // at 2, live only at 3 — the cheapest traffic degrades first.
+    int shed_at;
+    switch (cls) {
+    case SessionClass::kThumbnail:
+        shed_at = 1;
+        break;
+    case SessionClass::kVod:
+        shed_at = 2;
+        break;
+    default:
+        shed_at = 3;
+        break;
+    }
+    if (level < shed_at)
+        return Status::ok();
+    submits_shed[static_cast<int>(cls)].fetch_add(
+        1, std::memory_order_relaxed);
+    return Status::unavailable(
+        std::string("overload: shedding ") + session_class_name(cls) +
+        " traffic (backlog " +
+        std::to_string(backlog.load(std::memory_order_relaxed)) +
+        "); retry later");
+}
+
+void
+SchedulerCore::note_enqueued(s64 n)
+{
+    backlog.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+SchedulerCore::note_batch_done(s64 n,
+                               const std::vector<double> &ok_latencies)
+{
+    backlog.fetch_sub(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    const size_t window = static_cast<size_t>(
+        std::max(opts.shed_latency_window, 1));
+    for (double latency : ok_latencies) {
+        if (recent_latency.size() < window) {
+            recent_latency.push_back(latency);
+        } else {
+            recent_latency[latency_next] = latency;
+            latency_next = (latency_next + 1) % window;
+        }
+    }
+    recompute_shed_locked();
+}
+
+void
+SchedulerCore::note_session_failed(CodecSession *session, s64 drained,
+                                   bool newly_failed)
+{
+    // The refund is the containment guarantee: a failed session stops
+    // holding budget *now*, not when someone remembers to close() it.
+    release_admission(session);
+    backlog.fetch_sub(drained, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    if (newly_failed)
+        ++sessions_failed;
+    recompute_shed_locked();
+}
+
+double
+SchedulerCore::latency_p99_locked() const
+{
+    if (recent_latency.empty())
+        return 0.0;
+    std::vector<double> sorted = recent_latency;
+    const size_t idx = sorted.size() * 99 / 100;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(idx),
+                     sorted.end());
+    return sorted[idx];
+}
+
+void
+SchedulerCore::recompute_shed_locked()
+{
+    const s64 depth = opts.shed_queue_depth;
+    if (depth <= 0 && opts.shed_p99_seconds <= 0)
+        return;  // detector disabled
+    const s64 pending = backlog.load(std::memory_order_relaxed);
+    int want = 0;
+    if (depth > 0) {
+        if (pending >= 3 * depth)
+            want = 3;
+        else if (pending >= 2 * depth)
+            want = 2;
+        else if (pending >= depth)
+            want = 1;
+    }
+    // The latency signal only means overload while work is actually
+    // pending; a stale window after traffic stops must not pin the
+    // scheduler in a shed state forever.
+    const bool p99_pressure = pending > 0 && opts.shed_p99_seconds > 0 &&
+                              latency_p99_locked() > opts.shed_p99_seconds;
+    if (p99_pressure)
+        want = std::max(want, 1);
+
+    const int current = shed_level.load(std::memory_order_relaxed);
+    if (want > current) {
+        if (current == 0)
+            shed_started_at = Deadline::Clock::now();
+        shed_level.store(want, std::memory_order_relaxed);
+    } else if (want < current) {
+        // Hysteresis: only step down once the backlog has drained
+        // well below the level that triggered us.
+        const double clear_below = static_cast<double>(depth) * current *
+                                   opts.shed_recover_fraction;
+        if ((depth <= 0 || static_cast<double>(pending) <= clear_below) &&
+            !p99_pressure) {
+            shed_level.store(want, std::memory_order_relaxed);
+            if (want == 0) {
+                ++shed_episodes;
+                shed_seconds_total +=
+                    std::chrono::duration<double>(Deadline::Clock::now() -
+                                                  shed_started_at)
+                        .count();
+            }
+        }
+    }
+}
+
+void
+SchedulerCore::watch(std::shared_ptr<CodecSession> session)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (watchdog_stop)
+        return;  // facade already torn down; nothing will stall-check
+    const double timeout = session->config_.stall_timeout_seconds;
+    watchdog_min_timeout = watchdog_min_timeout > 0
+                               ? std::min(watchdog_min_timeout, timeout)
+                               : timeout;
+    watched.push_back(session);
+    if (!watchdog.joinable())
+        watchdog = std::thread([this] { watchdog_main(); });
+    watchdog_cv.notify_all();
+}
+
+void
+SchedulerCore::watchdog_main()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (!watchdog_stop) {
+        // Poll at a quarter of the tightest stall budget so a stall is
+        // caught within ~1.25x its timeout, bounded for sanity.
+        const double period = std::min(
+            std::max(watchdog_min_timeout / 4, 0.001), 0.25);
+        watchdog_cv.wait_for(lock,
+                             std::chrono::duration<double>(period));
+        if (watchdog_stop)
+            break;
+        std::vector<std::shared_ptr<CodecSession>> live;
+        live.reserve(watched.size());
+        size_t kept = 0;
+        for (size_t i = 0; i < watched.size(); ++i) {
+            std::shared_ptr<CodecSession> session = watched[i].lock();
+            if (session == nullptr)
+                continue;  // session died; drop the slot
+            live.push_back(std::move(session));
+            if (kept != i)
+                watched[kept] = std::move(watched[i]);
+            ++kept;
+        }
+        watched.resize(kept);
+        // Overload episodes must end even when no batch completes to
+        // trigger a recompute (e.g. everything was shed).
+        recompute_shed_locked();
+        lock.unlock();
+        const auto now = Deadline::Clock::now();
+        for (const std::shared_ptr<CodecSession> &session : live)
+            session->watchdog_tick(now);
+        // Drop the references outside mu: the last one runs
+        // ~CodecSession, which locks mu via release_admission.
+        live.clear();
+        lock.lock();
+    }
+}
+
+void
+SchedulerCore::stop_watchdog()
+{
+    std::thread thread;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        watchdog_stop = true;
+        watchdog_cv.notify_all();
+        thread = std::move(watchdog);
+    }
+    if (thread.joinable())
+        thread.join();
+}
+
 void
 SchedulerCore::make_runnable(std::shared_ptr<CodecSession> session)
 {
     std::unique_lock<std::mutex> lock(mu);
+    // Every enqueue funnels through here, so this is where backlog
+    // growth gets a chance to raise the shed level promptly.
+    recompute_shed_locked();
     if (session->run_state_ != CodecSession::RunState::kIdle)
         return;  // already queued, or the running worker will re-queue
     if (stopping.load(std::memory_order_relaxed)) {
@@ -217,6 +434,11 @@ SessionScheduler::SessionScheduler(SchedulerOptions options)
 SessionScheduler::~SessionScheduler()
 {
     core_->stopping.store(true, std::memory_order_relaxed);
+    // Join the watchdog from here, not from ~SchedulerCore: if the
+    // last core reference were dropped on the watchdog thread itself,
+    // the destructor would self-join. After the facade dies, straggler
+    // sessions drain via run_stopped_locked and need no stall-check.
+    core_->stop_watchdog();
     std::unique_lock<std::mutex> lock(core_->mu);
     core_->idle_cv.wait(lock, [this] {
         return core_->runnable.empty() && core_->dispatchers == 0;
@@ -263,6 +485,8 @@ SessionScheduler::open(std::unique_ptr<VideoEncoder> encoder,
     }
     if (pooled)
         codec->use_arena(core_->arena);
+    if (session->config_.stall_timeout_seconds > 0)
+        core_->watch(session);
     return session;
 }
 
@@ -283,12 +507,21 @@ SessionScheduler::stats() const
 {
     SchedulerStats stats;
     stats.arena = core_->arena.stats();
+    stats.backlog = core_->backlog.load(std::memory_order_relaxed);
+    stats.shed_level = core_->shed_level.load(std::memory_order_relaxed);
+    for (int i = 0; i < kSessionClassCount; ++i)
+        stats.submits_shed[i] =
+            core_->submits_shed[i].load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(core_->mu);
     stats.sessions_open = core_->sessions_open;
     stats.sessions_admitted = core_->sessions_admitted;
     stats.sessions_rejected = core_->sessions_rejected;
+    stats.sessions_failed = core_->sessions_failed;
+    stats.admissions_shed = core_->admissions_shed;
     stats.frames_dispatched = core_->frames_dispatched;
     stats.estimated_bytes = core_->estimated_bytes;
+    stats.shed_episodes = core_->shed_episodes;
+    stats.shed_seconds_total = core_->shed_seconds_total;
     return stats;
 }
 

@@ -28,6 +28,24 @@
  * All sessions of one scheduler recycle pixel buffers through a shared
  * FrameArena (per-session attribution stays on each codec's FramePool
  * client ledger — see frame_pool.h).
+ *
+ * **Failure domains.** A session that hits a terminal fault (corrupt
+ * packet with resilience off, codec exception, watchdog stall) fails
+ * alone: the scheduler evicts it, refunds its admission charge
+ * immediately, and its codec's arena buffers return to the shared
+ * pool — sibling sessions keep byte-identical streams (see
+ * CodecSession's failure-domain contract). Sessions opened with a
+ * stall_timeout_seconds are monitored by a scheduler-owned watchdog
+ * thread.
+ *
+ * **Graceful degradation.** When the scheduler-wide backlog (or the
+ * sliding p99 completion latency) crosses the configured thresholds,
+ * the scheduler sheds load class by class in reverse priority order —
+ * thumbnail first, then vod, then live — by rejecting those submits
+ * (and all new admissions) with the *transient* kUnavailable, distinct
+ * from the terminal kResourceExhausted of a hard budget. Shedding
+ * steps back down with hysteresis as the backlog drains, and episode
+ * counters expose time-to-recovery.
  */
 #ifndef HDVB_SERVE_SCHEDULER_H
 #define HDVB_SERVE_SCHEDULER_H
@@ -58,16 +76,51 @@ struct SchedulerOptions {
     /** Max queued inputs one dispatch slice runs for a session before
      * it is re-queued behind its advanced pass. */
     int batch_frames = 4;
+
+    /** Overload detector: when the scheduler-wide backlog (queued +
+     * in-flight frames) reaches this depth, thumbnail submits are shed
+     * with the transient kUnavailable; at 2x vod is shed too, at 3x
+     * even live. Any active shedding also rejects new admissions
+     * kUnavailable. 0 disables the detector entirely. */
+    int shed_queue_depth = 0;
+
+    /** Optional latency signal: a sliding-window p99 completion
+     * latency above this sheds at least the thumbnail class while work
+     * is pending. 0 disables. */
+    double shed_p99_seconds = 0.0;
+
+    /** Completion-latency sliding window size for the p99 signal. */
+    int shed_latency_window = 256;
+
+    /** Hysteresis: a shed level steps back down only once the backlog
+     * has drained below this fraction of the level's trigger depth, so
+     * the detector cannot flap around a threshold. */
+    double shed_recover_fraction = 0.5;
 };
 
 /** Scheduler-wide observability snapshot. */
 struct SchedulerStats {
     int sessions_open = 0;
     s64 sessions_admitted = 0;
-    s64 sessions_rejected = 0;
+    s64 sessions_rejected = 0;  ///< hard-budget rejections (terminal)
+    s64 sessions_failed = 0;    ///< entered the terminal failed state
     s64 frames_dispatched = 0;  ///< inputs handed to codecs (incl. misses)
-    /** Bytes currently charged against memory_budget_bytes. */
+    /** Bytes currently charged against memory_budget_bytes. A failed
+     * session's charge is refunded the moment it fails, not at
+     * close(). */
     size_t estimated_bytes = 0;
+
+    // ---- overload detector ----
+    s64 backlog = 0;     ///< frames enqueued but not yet completed
+    int shed_level = 0;  ///< 0 none, 1 thumbnail, 2 +vod, 3 +live
+    /** Submits rejected kUnavailable by shedding, per SessionClass. */
+    s64 submits_shed[kSessionClassCount] = {};
+    s64 admissions_shed = 0;  ///< admissions rejected while shedding
+    s64 shed_episodes = 0;    ///< completed overload episodes
+    /** Summed episode durations — divide by shed_episodes for the mean
+     * time-to-recovery. Excludes an episode still in progress. */
+    double shed_seconds_total = 0;
+
     /** Shared-arena ground truth across all sessions. */
     FramePoolStats arena;
 };

@@ -10,10 +10,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "fault/deadline.h"
 #include "serve/scheduler.h"
 #include "serve/session.h"
 
@@ -30,8 +33,12 @@ struct SchedulerCore {
         : opts(options), pool(workers)
     {}
 
+    ~SchedulerCore() { stop_watchdog(); }
+
     /** Charge one session against the budgets (under mu), or reject
-     * with resource-exhausted. Assigns session_id/pass on success. */
+     * with the terminal resource-exhausted (hard budget) or the
+     * transient unavailable (overload shedding). Assigns
+     * session_id/pass on success. */
     Status admit(CodecSession *session);
 
     /** Return @p session's admission charge; idempotent. */
@@ -55,6 +62,48 @@ struct SchedulerCore {
 
     u64 stride(SessionClass cls) const;
 
+    // ---- overload detector (graceful degradation) ----
+
+    /** Submit-side gate: OK below the shed level of @p cls, else the
+     * transient kUnavailable. Lock-free (atomics only) — this is on
+     * every submit's fast path. */
+    Status check_shed(SessionClass cls);
+
+    /** A submit/close enqueued @p n inputs (backlog up). Lock-free. */
+    void note_enqueued(s64 n);
+
+    /** A batch of @p n inputs completed; @p ok_latencies are the
+     * submit→completion latencies of the OK ones, feeding the sliding
+     * p99 window. Recomputes the shed level. */
+    void note_batch_done(s64 n, const std::vector<double> &ok_latencies);
+
+    /** A session entered its failed state: refund its admission
+     * charge, count it, and return its @p drained queue entries to the
+     * backlog figure. Callable with no locks held. */
+    void note_session_failed(CodecSession *session, s64 drained,
+                             bool newly_failed);
+
+    /** Re-derive shed_level from backlog + latency signals, with
+     * hysteresis on the way down; tracks overload episodes. */
+    void recompute_shed_locked();
+
+    /** p99 over the sliding completion-latency window (0 when empty). */
+    double latency_p99_locked() const;
+
+    // ---- watchdog ----
+
+    /** Register @p session for stall monitoring; lazily starts the
+     * watchdog thread on first use. */
+    void watch(std::shared_ptr<CodecSession> session);
+
+    /** Watchdog body: periodically tick every live watched session. */
+    void watchdog_main();
+
+    /** Stop and join the watchdog thread (idempotent). Called by
+     * ~SessionScheduler so the join never happens on a thread that
+     * could itself be the watchdog. */
+    void stop_watchdog();
+
     const SchedulerOptions opts;
     FrameArena arena;
     ThreadPool pool;
@@ -66,6 +115,18 @@ struct SchedulerCore {
     /** Global completion-order stamp across every session. */
     std::atomic<s64> completion_seq{0};
 
+    /** Scheduler-wide pending work: frames enqueued but not yet
+     * completed (queued + in-flight). The overload detector's primary
+     * signal. */
+    std::atomic<s64> backlog{0};
+
+    /** Current shed level: 0 = none, 1 = thumbnail, 2 = +vod,
+     * 3 = +live. Written under mu, read lock-free on submit. */
+    std::atomic<int> shed_level{0};
+
+    /** Submits rejected by shedding, per class (lock-free). */
+    std::atomic<s64> submits_shed[kSessionClassCount] = {};
+
     std::mutex mu;  // lock order: mu before any CodecSession::mu_
     std::condition_variable idle_cv;
     /** Min-heap on (pass_, session_id_) via std::*_heap. */
@@ -76,8 +137,27 @@ struct SchedulerCore {
     int sessions_open = 0;
     s64 sessions_admitted = 0;
     s64 sessions_rejected = 0;
+    s64 sessions_failed = 0;
+    s64 admissions_shed = 0;
     s64 frames_dispatched = 0;
     size_t estimated_bytes = 0;
+
+    // ---- overload episode tracking (under mu) ----
+    Deadline::Clock::time_point shed_started_at;
+    s64 shed_episodes = 0;          ///< completed overload episodes
+    double shed_seconds_total = 0;  ///< summed episode durations
+
+    /** Sliding window of recent OK completion latencies (ring buffer,
+     * under mu) feeding the p99 signal. */
+    std::vector<double> recent_latency;
+    size_t latency_next = 0;
+
+    // ---- watchdog state (under mu except the thread handle) ----
+    std::thread watchdog;  ///< started lazily by watch(); join via stop_watchdog()
+    bool watchdog_stop = false;
+    std::condition_variable watchdog_cv;
+    std::vector<std::weak_ptr<CodecSession>> watched;
+    double watchdog_min_timeout = 0;  ///< tightest stall timeout seen
 };
 
 }  // namespace detail

@@ -43,8 +43,9 @@ CodecSession::CodecSession(std::unique_ptr<VideoEncoder> encoder,
                            std::unique_ptr<VideoDecoder> decoder,
                            SessionConfig config,
                            std::shared_ptr<detail::SchedulerCore> sched)
-    : config_(std::move(config)), encoder_(std::move(encoder)),
-      decoder_(std::move(decoder)), sched_(std::move(sched))
+    : config_(std::move(config)), is_encode_(encoder != nullptr),
+      encoder_(std::move(encoder)), decoder_(std::move(decoder)),
+      sched_(std::move(sched)), last_progress_(Deadline::Clock::now())
 {
     HDVB_DCHECK((encoder_ != nullptr) != (decoder_ != nullptr));
 }
@@ -78,7 +79,7 @@ CodecSession::open_inline_decode(std::unique_ptr<VideoDecoder> decoder,
 StatusOr<Ticket>
 CodecSession::submit(Frame frame)
 {
-    if (encoder_ == nullptr)
+    if (!is_encode_)
         return Status::invalid_argument(
             "submit(Frame) on decode session " + config_.name);
     Input input;
@@ -90,7 +91,7 @@ CodecSession::submit(Frame frame)
 StatusOr<Ticket>
 CodecSession::submit(Packet packet)
 {
-    if (decoder_ == nullptr)
+    if (is_encode_)
         return Status::invalid_argument(
             "submit(Packet) on encode session " + config_.name);
     Input input;
@@ -102,9 +103,16 @@ CodecSession::submit(Packet packet)
 StatusOr<Ticket>
 CodecSession::submit_input(Input input)
 {
-    if (sched_ != nullptr && sched_->stopping.load(std::memory_order_relaxed))
-        return Status::resource_exhausted("scheduler stopped; session " +
-                                          config_.name + " rejects frames");
+    if (sched_ != nullptr) {
+        // Shutdown and overload both reject with the *transient*
+        // kUnavailable: the stream is intact, the caller may retry.
+        if (sched_->stopping.load(std::memory_order_relaxed))
+            return Status::unavailable("scheduler stopped; session " +
+                                       config_.name + " rejects frames");
+        const Status shed = sched_->check_shed(config_.priority);
+        if (!shed.is_ok())
+            return shed;
+    }
 
     if (sched_ == nullptr) {
         // Inline: run the codec on the calling thread, surface its
@@ -112,9 +120,11 @@ CodecSession::submit_input(Input input)
         Ticket ticket;
         {
             std::lock_guard<std::mutex> lock(mu_);
+            if (failed_)
+                return first_error_;  // sticky terminal state
             if (counters_.closed)
-                return Status::resource_exhausted("session " + config_.name +
-                                                  " is closed");
+                return Status::invalid_argument("session " + config_.name +
+                                                " is closed");
             ticket = counters_.submitted++;
             input.ticket = ticket;
             ++inflight_;  // process_batch settles it
@@ -130,11 +140,13 @@ CodecSession::submit_input(Input input)
     Ticket ticket;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (failed_)
+            return first_error_;  // sticky terminal state
         if (counters_.closed)
-            return Status::resource_exhausted("session " + config_.name +
-                                              " is closed");
+            return Status::invalid_argument("session " + config_.name +
+                                            " is closed");
         if (inputs_.size() >= config_.queue_capacity)
-            return Status::resource_exhausted(
+            return Status::unavailable(
                 "session " + config_.name + " queue full (" +
                 std::to_string(config_.queue_capacity) + "); back off");
         ticket = counters_.submitted++;
@@ -142,6 +154,7 @@ CodecSession::submit_input(Input input)
         inputs_.push_back(std::move(input));
         counters_.queued = static_cast<s64>(inputs_.size());
     }
+    sched_->note_enqueued(1);
     sched_->make_runnable(shared_from_this());
     return ticket;
 }
@@ -198,7 +211,7 @@ CodecSession::close()
         std::lock_guard<std::mutex> lock(mu_);
         if (!counters_.closed) {
             counters_.closed = true;
-            need_flush = true;
+            need_flush = !failed_;  // a failed session has no codec left
         }
     }
     if (need_flush) {
@@ -206,21 +219,37 @@ CodecSession::close()
         flush.flush = true;
         flush.submit_time = Deadline::Clock::now();
         if (sched_ == nullptr) {
+            bool run = false;
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                ++inflight_;  // process_batch settles it
+                if (!failed_) {
+                    ++inflight_;  // process_batch settles it
+                    run = true;
+                }
             }
-            std::vector<Input> batch;
-            batch.push_back(std::move(flush));
-            process_batch(std::move(batch), nullptr);
+            if (run) {
+                std::vector<Input> batch;
+                batch.push_back(std::move(flush));
+                process_batch(std::move(batch), nullptr);
+            }
         } else {
+            bool queued = false;
             {
-                // Flush bypasses queue_capacity: close must always be
-                // able to make progress.
+                // Flush bypasses queue_capacity (and shedding): close
+                // must always be able to make progress. Re-check
+                // failed_ under the lock — a concurrent failure drains
+                // the queue, and a flush enqueued after that would
+                // never be serviced.
                 std::lock_guard<std::mutex> lock(mu_);
-                inputs_.push_back(std::move(flush));
+                if (!failed_) {
+                    inputs_.push_back(std::move(flush));
+                    queued = true;
+                }
             }
-            sched_->make_runnable(shared_from_this());
+            if (queued) {
+                sched_->note_enqueued(1);
+                sched_->make_runnable(shared_from_this());
+            }
         }
     }
     drain();
@@ -228,6 +257,20 @@ CodecSession::close()
         sched_->release_admission(this);
     std::lock_guard<std::mutex> lock(mu_);
     return first_error_;
+}
+
+bool
+CodecSession::failed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+}
+
+Status
+CodecSession::session_status() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_ ? first_error_ : Status::ok();
 }
 
 std::vector<TicketResult>
@@ -249,10 +292,15 @@ CodecSession::counters() const
 CodecStats
 CodecSession::codec_stats() const
 {
-    // Codec counter reads are internally synchronised (pool ledger
-    // mutex); resilience counters are only written by the single
-    // worker processing this session.
-    return encoder_ != nullptr ? encoder_->stats() : decoder_->stats();
+    // The codec can be torn down concurrently by a failure, so the
+    // pointer check must happen under mu_; the counter reads
+    // themselves are internally synchronised (pool ledger mutex).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (encoder_ != nullptr)
+        return encoder_->stats();
+    if (decoder_ != nullptr)
+        return decoder_->stats();
+    return final_stats_;
 }
 
 void
@@ -270,21 +318,52 @@ CodecSession::process_batch(std::vector<Input> inputs,
         TicketResult result;
         bool flush = false;
         bool missed = false;
+        bool lost = false;        ///< never ran: session failing
+        int extra_attempts = 0;   ///< transient retries consumed
     };
     std::vector<Done> done;
     done.reserve(inputs.size());
     std::vector<Packet> packets;
     std::vector<Frame> frames;
-    Status first_bad;
+    std::vector<double> ok_latencies;
+    Status failure;  // terminal: will move the session to failed
+
+    bool entered_failed;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entered_failed = failed_;
+    }
 
     for (Input &input : inputs) {
         Done d;
         d.flush = input.flush;
         d.result.ticket = input.ticket;
         Status status;
+        // Once any input of this batch hits a terminal failure (or a
+        // cancel/failure arrives from outside), the rest of the batch
+        // must not touch the codec: blast-radius containment ends the
+        // stream at the fault.
+        const bool aborting =
+            entered_failed || !failure.is_ok() ||
+            cancel_requested_.load(std::memory_order_acquire);
         if (input.flush) {
-            status = encoder_ != nullptr ? encoder_->flush(&packets)
-                                         : decoder_->flush(&frames);
+            if (!aborting) {
+                try {
+                    status = is_encode_ ? encoder_->flush(&packets)
+                                        : decoder_->flush(&frames);
+                } catch (const std::exception &e) {
+                    status = Status::internal(
+                        std::string("uncaught codec exception in flush: ") +
+                        e.what());
+                }
+            }
+            // Flush on a failing session is a no-op: the codec is (or
+            // is about to be) torn down.
+        } else if (aborting) {
+            d.lost = true;
+            status = Status::data_loss(
+                "ticket " + std::to_string(input.ticket) + " of session " +
+                config_.name + " dropped: session failed");
         } else {
             const Deadline deadline(input.submit_time,
                                     config_.frame_deadline_seconds);
@@ -293,52 +372,181 @@ CodecSession::process_batch(std::vector<Input> inputs,
                 status = Status::deadline_exceeded(
                     "frame " + std::to_string(input.ticket) +
                     " of session " + config_.name + " expired in queue");
-            } else if (encoder_ != nullptr) {
-                status = encoder_->encode(input.frame, &packets);
             } else {
-                status = decoder_->decode(input.packet, &frames);
+                RetryController retry(config_.retry);
+                do {
+                    try {
+                        status = config_.before_frame_hook
+                                     ? config_.before_frame_hook(input.ticket)
+                                     : Status::ok();
+                        if (status.is_ok())
+                            status = is_encode_
+                                         ? encoder_->encode(input.frame,
+                                                            &packets)
+                                         : decoder_->decode(input.packet,
+                                                            &frames);
+                    } catch (const std::exception &e) {
+                        // A throwing codec (or hook) is a terminal
+                        // fault of this session, not of the server.
+                        status = Status::internal(
+                            std::string("uncaught codec exception: ") +
+                            e.what());
+                    }
+                } while (retry.backoff_and_retry(status));
+                d.extra_attempts = retry.attempt() - 1;
             }
         }
-        if (!status.is_ok() && first_bad.is_ok() && !d.missed)
-            first_bad = status;
-        d.result.status = std::move(status);
+        if (!status.is_ok() && !d.missed && !d.lost && failure.is_ok())
+            failure = status;
         d.result.latency_seconds =
             std::chrono::duration<double>(Deadline::Clock::now() -
                                           input.submit_time)
                 .count();
-        if (seq != nullptr && !d.flush)  // seq numbers count frames
+        if (seq != nullptr && !d.flush && !d.lost)  // seq counts frames run
             d.result.completion_seq =
                 seq->fetch_add(1, std::memory_order_relaxed);
+        d.result.status = std::move(status);
         done.push_back(std::move(d));
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
-    std::move(packets.begin(), packets.end(),
-              std::back_inserter(out_packets_));
-    std::move(frames.begin(), frames.end(),
-              std::back_inserter(out_frames_));
-    for (Done &d : done) {
-        // A shed frame is reported on its ticket and counted, but does
-        // not fail the session: close() still returns ok.
-        if (!d.missed)
-            note_status_locked(d.result.status);
-        if (d.flush) {
-            flushed_ = true;
-            continue;  // flush is not a ticket
+    bool need_finalize = false;
+    Status cause;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::move(packets.begin(), packets.end(),
+                  std::back_inserter(out_packets_));
+        std::move(frames.begin(), frames.end(),
+                  std::back_inserter(out_frames_));
+        for (Done &d : done) {
+            // A deadline-shed frame is reported on its ticket and
+            // counted, but does not fail the session: close() still
+            // returns ok. Lost tickets carry the failure cause already.
+            if (!d.missed && !d.lost)
+                note_status_locked(d.result.status);
+            counters_.retried += d.extra_attempts;
+            if (d.flush) {
+                flushed_ = true;
+                continue;  // flush is not a ticket
+            }
+            if (d.missed)
+                ++counters_.deadline_missed;
+            else if (d.lost)
+                ++counters_.lost;
+            else if (d.result.status.is_ok())
+                ++counters_.completed;
+            else
+                ++counters_.failed;
+            if (d.result.status.is_ok())
+                ok_latencies.push_back(d.result.latency_seconds);
+            results_.push_back(std::move(d.result));
         }
-        if (d.missed)
-            ++counters_.deadline_missed;
-        else if (d.result.status.is_ok())
-            ++counters_.completed;
-        else
-            ++counters_.failed;
-        results_.push_back(std::move(d.result));
+        inflight_ -= static_cast<int>(inputs.size());
+        HDVB_DCHECK(inflight_ >= 0);
+        counters_.queued = static_cast<s64>(inputs_.size());
+        last_progress_ = Deadline::Clock::now();
+        if (!failure.is_ok() ||
+            cancel_requested_.load(std::memory_order_acquire) || failed_) {
+            need_finalize = true;
+            cause = !failure.is_ok()         ? failure
+                    : !cancel_status_.is_ok() ? cancel_status_
+                                              : first_error_;
+        }
+        done_cv_.notify_all();
     }
-    inflight_ -= static_cast<int>(inputs.size());
-    HDVB_DCHECK(inflight_ >= 0);
-    counters_.queued = static_cast<s64>(inputs_.size());
-    done_cv_.notify_all();
-    return first_bad;
+    if (sched_ != nullptr)
+        sched_->note_batch_done(static_cast<s64>(done.size()),
+                                ok_latencies);
+    if (need_finalize)
+        fail_session(cause.is_ok() ? Status::internal("session " +
+                                                      config_.name +
+                                                      " cancelled")
+                                   : cause);
+    return failure;
+}
+
+void
+CodecSession::fail_session(const Status &cause)
+{
+    std::unique_ptr<VideoEncoder> dead_encoder;
+    std::unique_ptr<VideoDecoder> dead_decoder;
+    s64 drained = 0;
+    bool newly_failed = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!failed_) {
+            newly_failed = true;
+            failed_ = true;
+            counters_.closed = true;  // no further submits
+            note_status_locked(cause);
+            // Drain the queue: every not-yet-run ticket completes with
+            // kDataLoss citing the original cause. Queued flushes are
+            // not tickets and simply disappear (the codec is gone).
+            const auto now = Deadline::Clock::now();
+            for (Input &input : inputs_) {
+                if (input.flush)
+                    continue;
+                TicketResult r;
+                r.ticket = input.ticket;
+                r.status = Status::data_loss(
+                    "ticket " + std::to_string(input.ticket) +
+                    " of session " + config_.name +
+                    " dropped: " + first_error_.to_string());
+                r.latency_seconds =
+                    std::chrono::duration<double>(now - input.submit_time)
+                        .count();
+                ++counters_.lost;
+                results_.push_back(std::move(r));
+            }
+            drained = static_cast<s64>(inputs_.size());
+            inputs_.clear();
+            counters_.queued = 0;
+        }
+        // Tear the codec down only once no worker is inside it; a
+        // racing batch re-enters here from its finalize path.
+        if (inflight_ == 0 && (encoder_ != nullptr || decoder_ != nullptr)) {
+            final_stats_ =
+                is_encode_ ? encoder_->stats() : decoder_->stats();
+            dead_encoder = std::move(encoder_);
+            dead_decoder = std::move(decoder_);
+        }
+        done_cv_.notify_all();
+    }
+    // Destroy outside mu_: returning the codec's pooled frame buffers
+    // takes the arena ledger lock, and the refund below takes the
+    // scheduler lock — neither may nest inside the session lock.
+    dead_encoder.reset();
+    dead_decoder.reset();
+    if (sched_ != nullptr)
+        sched_->note_session_failed(this, drained, newly_failed);
+}
+
+void
+CodecSession::watchdog_tick(Deadline::Clock::time_point now)
+{
+    const double timeout = config_.stall_timeout_seconds;
+    if (timeout <= 0)
+        return;
+    Status cause;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (failed_)
+            return;
+        if (inputs_.empty() && inflight_ == 0) {
+            last_progress_ = now;  // idle is not a stall
+            return;
+        }
+        const double stalled =
+            std::chrono::duration<double>(now - last_progress_).count();
+        if (stalled < timeout)
+            return;
+        cause = Status::deadline_exceeded(
+            "watchdog: session " + config_.name +
+            " made no frame progress for " + std::to_string(stalled) +
+            "s with pending work; cancelling");
+        cancel_status_ = cause;
+        cancel_requested_.store(true, std::memory_order_release);
+    }
+    fail_session(cause);
 }
 
 }  // namespace hdvb

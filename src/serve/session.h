@@ -20,12 +20,29 @@
  *  - *scheduled* (SessionScheduler::open_*): submit() enqueues into the
  *    session's bounded frame queue and returns; scheduler workers run
  *    the codec according to weighted fair share across priority
- *    classes. A full queue rejects the submit with resource-exhausted
- *    (backpressure — see would_block()).
+ *    classes. A full queue rejects the submit with the transient
+ *    kUnavailable (backpressure — see would_block()).
  *
  * Ordering: inputs of one session are always processed FIFO by at most
  * one worker at a time, so a session's output stream is byte-identical
  * to a serial run no matter how many scheduler workers exist.
+ *
+ * **Failure domain.** A session is the blast radius of its own faults:
+ * a terminal codec error (corrupt packet with resilience off, an
+ * exception thrown inside the codec, retry-exhausted transient
+ * failure) or a watchdog stall cancellation moves the session into a
+ * terminal *failed* state and nothing else. On failure the session
+ *  - latches the cause as its sticky status (failed()/close() report
+ *    it),
+ *  - completes the triggering ticket with the codec's error and drains
+ *    every queued / not-yet-run ticket with kDataLoss,
+ *  - destroys its codec instance so every frame buffer it held returns
+ *    to the shared arena immediately, and
+ *  - is evicted by its scheduler: the admission charge is refunded on
+ *    the spot, not at close().
+ * All other sessions of the scheduler keep their byte-identical
+ * streams — the property the chaos harness (bench/chaos_loadgen)
+ * measures as blast radius.
  */
 #ifndef HDVB_SERVE_SESSION_H
 #define HDVB_SERVE_SESSION_H
@@ -33,6 +50,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +59,7 @@
 #include "codec/codec.h"
 #include "common/status.h"
 #include "fault/deadline.h"
+#include "fault/retry.h"
 
 namespace hdvb {
 
@@ -75,8 +94,8 @@ struct SessionConfig {
     CodecConfig codec_config;
 
     /** Input-queue bound for scheduled sessions: a submit that would
-     * exceed it is rejected with resource-exhausted (backpressure).
-     * Ignored by inline sessions (they never queue). */
+     * exceed it is rejected with the transient kUnavailable
+     * (backpressure). Ignored by inline sessions (they never queue). */
     size_t queue_capacity = 16;
 
     /** Per-frame latency budget, checked cooperatively when a worker
@@ -84,6 +103,29 @@ struct SessionConfig {
      * expired frame is completed as deadline-exceeded without running
      * the codec. 0 disables. */
     double frame_deadline_seconds = 0.0;
+
+    /** Retry-with-backoff for *transient* codec failures on one frame
+     * (kUnavailable / kDeadlineExceeded — see fault/retry.h). Terminal
+     * codes never retry; a frame that exhausts its attempts fails the
+     * session. Default: one attempt, no retry. */
+    RetryPolicy retry;
+
+    /** Watchdog liveness budget: a session holding pending work that
+     * completes no input for this long is cancelled cooperatively by
+     * the scheduler's watchdog and moved to the failed state (cause
+     * kDeadlineExceeded; unprocessed tickets drain kDataLoss). 0
+     * disables. Inline sessions are never watched. */
+    double stall_timeout_seconds = 0.0;
+
+    /** Chaos/test instrumentation: runs on the processing thread
+     * immediately before the codec is handed each non-flush input
+     * (once per retry attempt). Returning non-OK stands in for the
+     * codec call — the status flows through the normal retry/failure
+     * machinery, so a hook can inject transient (retried) or terminal
+     * (session-failing) faults, or just stall. An exception thrown
+     * here is contained exactly like a codec exception — it fails
+     * only this session. The hook must do its own synchronisation. */
+    std::function<Status(Ticket)> before_frame_hook;
 };
 
 /** Completion record for one submitted ticket. */
@@ -93,17 +135,20 @@ struct TicketResult {
     /** submit() to completion, seconds (queueing + codec time). */
     double latency_seconds = 0.0;
     /** Scheduler-global completion order stamp (-1 for inline
-     * sessions); the fair-share tests read interleaving off it. */
+     * sessions and for tickets drained by a session failure); the
+     * fair-share tests read interleaving off it. */
     s64 completion_seq = -1;
 };
 
 /** Session lifecycle counters; submitted == completed + failed +
- * deadline_missed once drain() returns. */
+ * deadline_missed + lost once drain() returns. */
 struct SessionCounters {
     s64 submitted = 0;
     s64 completed = 0;        ///< processed by the codec, OK status
     s64 failed = 0;           ///< codec returned an error
     s64 deadline_missed = 0;  ///< expired in queue, codec skipped
+    s64 lost = 0;             ///< drained kDataLoss by a session failure
+    s64 retried = 0;          ///< extra attempts spent on transient errors
     s64 queued = 0;           ///< inputs waiting right now
     bool closed = false;
 };
@@ -137,11 +182,14 @@ class CodecSession : public std::enable_shared_from_this<CodecSession>
 
     const std::string &name() const { return config_.name; }
     SessionClass priority() const { return config_.priority; }
-    bool is_encode() const { return encoder_ != nullptr; }
+    bool is_encode() const { return is_encode_; }
 
     /**
      * Submit one source frame (encode sessions only). Scheduled: O(1)
-     * enqueue, resource-exhausted on a full queue or a closed session.
+     * enqueue; rejected with kUnavailable on a full queue (transient
+     * backpressure) or when the scheduler is shedding this session's
+     * class under overload, with kInvalidArgument on a cleanly closed
+     * session, and with the sticky failure status on a failed one.
      * Inline: runs the codec before returning and surfaces its Status
      * directly.
      */
@@ -168,10 +216,18 @@ class CodecSession : public std::enable_shared_from_this<CodecSession>
      * Drain, flush the codec (emitting its buffered pictures into the
      * poll stream), and retire the session: later submits are
      * rejected, and the session's admission charge is released.
-     * Returns the first codec error the session saw, flush included.
-     * Idempotent.
+     * Returns the first codec error the session saw, flush included —
+     * for a failed session, the sticky failure cause (the codec is
+     * already gone, so nothing is flushed). Idempotent.
      */
     Status close();
+
+    /** True once the session has entered its terminal failed state. */
+    bool failed() const;
+
+    /** Sticky status: OK while healthy, the first terminal error once
+     * failed (also what close() returns). */
+    Status session_status() const;
 
     /** Move out the per-ticket completion records accumulated since
      * the last call (flush is not a ticket and never appears). */
@@ -179,7 +235,9 @@ class CodecSession : public std::enable_shared_from_this<CodecSession>
 
     SessionCounters counters() const;
 
-    /** Counter snapshot of the wrapped codec (pool + resilience). */
+    /** Counter snapshot of the wrapped codec (pool + resilience).
+     * After a failure this is the final snapshot taken just before the
+     * codec was torn down. */
     CodecStats codec_stats() const;
 
   private:
@@ -206,16 +264,30 @@ class CodecSession : public std::enable_shared_from_this<CodecSession>
     /** Run a FIFO slice of inputs through the codec (no session lock
      * held during codec work), then append outputs/results under mu_.
      * @p seq stamps completion order (null for inline sessions).
-     * Returns the first non-OK codec status in the slice. */
+     * Returns the terminal failure that will fail the session, if any
+     * input hit one. */
     Status process_batch(std::vector<Input> inputs,
                          std::atomic<s64> *seq);
+
+    /**
+     * Enter (or make progress on) the terminal failed state: latch
+     * @p cause, drain queued tickets kDataLoss, tear down the codec
+     * once no worker is inside it, and tell the scheduler to evict +
+     * refund. Idempotent; callable with no locks held.
+     */
+    void fail_session(const Status &cause);
+
+    /** Watchdog probe: cancel + fail the session if it holds pending
+     * work but has made no frame progress for stall_timeout_seconds. */
+    void watchdog_tick(Deadline::Clock::time_point now);
 
     /** First error recorded, for close(). */
     void note_status_locked(const Status &status);
 
     const SessionConfig config_;
-    const std::unique_ptr<VideoEncoder> encoder_;
-    const std::unique_ptr<VideoDecoder> decoder_;
+    const bool is_encode_;
+    std::unique_ptr<VideoEncoder> encoder_;  ///< destroyed on failure
+    std::unique_ptr<VideoDecoder> decoder_;  ///< destroyed on failure
     const std::shared_ptr<detail::SchedulerCore> sched_;
 
     mutable std::mutex mu_;
@@ -228,6 +300,16 @@ class CodecSession : public std::enable_shared_from_this<CodecSession>
     SessionCounters counters_;
     Status first_error_;
     bool flushed_ = false;
+
+    // ---- failure domain (mu_ unless noted) ----
+    bool failed_ = false;
+    CodecStats final_stats_;  ///< codec counters at teardown
+    /** Cooperative cancel: checked between inputs by the worker. */
+    std::atomic<bool> cancel_requested_{false};
+    Status cancel_status_;
+    /** Last time an input completed (or the queue went idle); the
+     * watchdog measures stalls against it. */
+    Deadline::Clock::time_point last_progress_;
 
     // ---- scheduler-owned state, guarded by the scheduler mutex ----
     enum class RunState { kIdle, kQueued, kRunning };

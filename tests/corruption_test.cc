@@ -253,6 +253,59 @@ TEST(Corruption, HeaderTargetedGarblingIsContained)
     }
 }
 
+TEST(Corruption, SevereHeaderDamageIsTerminalOnlyWithoutResilience)
+{
+    // The contract the serve layer's failure domain stands on: severe
+    // header-targeted damage (garble + truncate, first packet
+    // protected) gives a *non-resilient* decoder no recovery path, so
+    // some packet must error — deterministically per seed, since the
+    // chaos harness (bench/chaos_loadgen) pre-validates its victim
+    // seeds against exactly this property. With resilience on, the
+    // same plan stays inside error-or-conceal.
+    CodecConfig bare = small_resilient_config();
+    bare.error_resilience = false;
+    const EncodedStream stream =
+        encode_stream(CodecId::kMpeg2, bare, 9);
+
+    FaultPlan plan;
+    plan.garble_density = 0.5;
+    plan.target_headers = true;
+    plan.header_bytes = 4;
+    plan.truncate_fraction = 0.5;
+    plan.protect_first_packet = true;
+
+    u64 terminal_seed = 0;
+    for (u64 seed = 7; seed < 7 + 64 && terminal_seed == 0; ++seed) {
+        plan.seed = seed;
+        if (!decode_all(CodecId::kMpeg2, bare,
+                        corrupted_copy(stream, plan))
+                 .all_ok)
+            terminal_seed = seed;
+    }
+    ASSERT_NE(terminal_seed, 0u)
+        << "no seed in [7, 71) errors a non-resilient decoder";
+
+    plan.seed = terminal_seed;
+    const EncodedStream bad = corrupted_copy(stream, plan);
+    const DecodeOutcome first = decode_all(CodecId::kMpeg2, bare, bad);
+    const DecodeOutcome again = decode_all(CodecId::kMpeg2, bare, bad);
+    EXPECT_FALSE(first.all_ok);
+    EXPECT_EQ(first.statuses, again.statuses);  // bit-stable outcome
+    // protect_first_packet keeps the opening intra decodable: the
+    // failure lands mid-stream, which is what lets the serve tests
+    // assert tickets-completed-before-the-fault.
+    EXPECT_EQ(first.statuses.front(), StatusCode::kOk);
+
+    const CodecConfig resilient = small_resilient_config();
+    const EncodedStream rstream =
+        encode_stream(CodecId::kMpeg2, resilient, 9);
+    const DecodeOutcome concealed = decode_all(
+        CodecId::kMpeg2, resilient, corrupted_copy(rstream, plan));
+    EXPECT_TRUE(!concealed.all_ok || concealed.stats.mbs_concealed > 0 ||
+                concealed.stats.pictures_dropped > 0 ||
+                concealed.stats.resyncs > 0);
+}
+
 TEST(Corruption, Survives576pBitFlipTrialsGracefully)
 {
     // The graceful-degradation bar: 10 seeded 1e-4 bit-flip trials on a

@@ -262,8 +262,8 @@ TEST(SweepRunner, FaultIsolationAndTimeout)
     SweepOptions options;
     options.jobs = 2;
     options.point_timeout_seconds = 0.05;
-    options.max_attempts = 2;
-    options.retry_backoff_seconds = 0.01;
+    options.retry.max_attempts = 2;
+    options.retry.initial_backoff_seconds = 0.01;
     options.json_path = path;
     SweepRunner runner(options);
     const std::vector<SweepResult> results =
