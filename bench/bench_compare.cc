@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The perf-trajectory regression gate: compares two BENCH_<n>.json
+ * files (hdvb-bench/1 or /2) and exits non-zero when any metric
+ * regressed beyond its noise threshold — max(floor%, sigma * CoV) per
+ * metric, using the coefficient of variation the repeat sweeps
+ * recorded. Wired into ctest, so a PR that slows a tracked metric
+ * down fails mechanically instead of anecdotally.
+ *
+ * Usage:
+ *   bench_compare [--floor-pct F] [--sigma S] OLD.json NEW.json
+ *       exit 0: no regressions (improvements and noise are fine)
+ *       exit 1: at least one regression, named on stdout
+ *       exit 2: a file could not be loaded / schema not understood
+ *   bench_compare --doctor IN.json OUT.json [SCALE]
+ *       writes a copy of IN with every fps metric scaled by SCALE
+ *       (default 0.8, a 20% regression) — the gate's own smoke test
+ *       compares a BENCH file against its doctored copy and must
+ *       fail.
+ *
+ * Environment differences (CPU model, cores, SIMD level, build type,
+ * missing provenance) are warned about loudly: across environments
+ * the verdicts describe the machines, not the code.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/json_reader.h"
+#include "core/perf_compare.h"
+#include "core/report.h"
+
+using namespace hdvb;
+
+namespace {
+
+int
+run_doctor(const std::string &in_path, const std::string &out_path,
+           double scale)
+{
+    StatusOr<JsonValue> parsed = parse_json_file(in_path);
+    if (!parsed.is_ok()) {
+        std::fprintf(stderr, "bench_compare: %s\n",
+                     parsed.status().to_string().c_str());
+        return 2;
+    }
+    JsonValue doc = std::move(parsed.value());
+    const int scaled = doctor_bench_fps(&doc, scale);
+    if (scaled == 0) {
+        std::fprintf(stderr,
+                     "bench_compare: no fps metrics found to doctor "
+                     "in %s\n",
+                     in_path.c_str());
+        return 2;
+    }
+    // Re-serialize the whole mutated document (numbers keep exact
+    // round-trip formatting, so only the doctored values change).
+    const std::string text = doc.to_json();
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size() ||
+        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+        std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    std::printf("doctored %d fps metrics by %.2fx: %s -> %s\n", scaled,
+                scale, in_path.c_str(), out_path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompareOptions options;
+    std::vector<std::string> paths;
+    bool doctor = false;
+    double doctor_scale = 0.8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--floor-pct") == 0 && i + 1 < argc)
+            options.floor_pct = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--sigma") == 0 && i + 1 < argc)
+            options.sigma = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--doctor") == 0)
+            doctor = true;
+        else
+            paths.push_back(argv[i]);
+    }
+    if (doctor) {
+        if (paths.size() == 3)
+            doctor_scale = std::atof(paths[2].c_str());
+        if (paths.size() < 2 || doctor_scale <= 0.0) {
+            std::fprintf(stderr,
+                         "usage: bench_compare --doctor IN.json "
+                         "OUT.json [SCALE>0]\n");
+            return 2;
+        }
+        return run_doctor(paths[0], paths[1], doctor_scale);
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: bench_compare [--floor-pct F] [--sigma S] "
+                     "OLD.json NEW.json\n");
+        return 2;
+    }
+
+    StatusOr<BenchFile> older = load_bench_file(paths[0]);
+    if (!older.is_ok()) {
+        std::fprintf(stderr, "bench_compare: %s\n",
+                     older.status().to_string().c_str());
+        return 2;
+    }
+    StatusOr<BenchFile> newer = load_bench_file(paths[1]);
+    if (!newer.is_ok()) {
+        std::fprintf(stderr, "bench_compare: %s\n",
+                     newer.status().to_string().c_str());
+        return 2;
+    }
+
+    const CompareReport report =
+        compare_bench(older.value(), newer.value(), options);
+
+    print_banner("BENCH comparison: " + paths[0] + " -> " + paths[1]);
+    for (const std::string &warning : report.environment_warnings)
+        std::printf("!!! ENVIRONMENT WARNING: %s\n", warning.c_str());
+    if (!report.environment_warnings.empty()) {
+        std::printf("!!! verdicts below may reflect the environment, "
+                    "not the code\n\n");
+    }
+
+    TableWriter table({"Metric", "Old", "New", "Delta %", "Thresh %",
+                       "Verdict"});
+    for (const MetricComparison &row : report.rows) {
+        const bool matched = row.verdict != MetricVerdict::kMissing &&
+                             row.verdict != MetricVerdict::kNew;
+        table.add_row(
+            {row.name,
+             row.verdict == MetricVerdict::kNew
+                 ? "-"
+                 : TableWriter::fmt(row.old_value, 3),
+             row.verdict == MetricVerdict::kMissing
+                 ? "-"
+                 : TableWriter::fmt(row.new_value, 3),
+             matched ? TableWriter::fmt(row.delta_pct, 2) : "-",
+             matched ? TableWriter::fmt(row.threshold_pct, 2) : "-",
+             verdict_name(row.verdict)});
+    }
+    table.print();
+
+    std::printf("\n%d improved, %d regressed, %d within noise, "
+                "%d missing, %d new (floor %.1f%%, sigma %.1f)\n",
+                report.improved, report.regressed, report.within_noise,
+                report.missing, report.added, options.floor_pct,
+                options.sigma);
+    if (report.has_regressions()) {
+        std::printf("\nREGRESSIONS:\n");
+        for (const MetricComparison &row : report.rows) {
+            if (row.verdict != MetricVerdict::kRegressed)
+                continue;
+            std::printf("  %s: %.4g -> %.4g (%+.2f%%, threshold "
+                        "%.2f%%)\n",
+                        row.name.c_str(), row.old_value, row.new_value,
+                        row.delta_pct, row.threshold_pct);
+        }
+        return 1;
+    }
+    std::printf("verdict: no regressions beyond noise\n");
+    return 0;
+}

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/benchmark.h"
 #include "core/report.h"
@@ -85,19 +86,6 @@ victim_config()
     CodecConfig cfg = tiny_config(CodecId::kMpeg2);
     cfg.error_resilience = false;  // no recovery path: corruption kills
     return cfg;
-}
-
-double
-percentile(std::vector<double> sorted, double q)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = q * static_cast<double>(sorted.size());
-    size_t index = static_cast<size_t>(rank);
-    if (index >= sorted.size())
-        index = sorted.size() - 1;
-    return sorted[index];
 }
 
 bool
@@ -821,9 +809,13 @@ main(int argc, char **argv)
         json.field("class", name);
         for (int run = 0; run < 2; ++run) {
             const PassResult &pass = run == 0 ? baseline : chaos;
-            const double p50 = percentile(pass.latencies[c], 0.50) * 1e3;
-            const double p95 = percentile(pass.latencies[c], 0.95) * 1e3;
-            const double p99 = percentile(pass.latencies[c], 0.99) * 1e3;
+            // Shared nearest-rank percentiles (common/stats.h): sort
+            // each sample set once, query three ranks.
+            std::vector<double> sorted = pass.latencies[c];
+            sort_samples(&sorted);
+            const double p50 = percentile_sorted(sorted, 0.50) * 1e3;
+            const double p95 = percentile_sorted(sorted, 0.95) * 1e3;
+            const double p99 = percentile_sorted(sorted, 0.99) * 1e3;
             json.key(run == 0 ? "baseline" : "chaos");
             json.begin_object();
             json.field("submitted", pass.submitted[c]);

@@ -1,0 +1,509 @@
+/**
+ * @file
+ * The canonical perf-trajectory sweep: one command that regenerates
+ * `BENCH_<n>.json`, the compact schema-versioned perf baseline
+ * committed per PR and gated by bench_compare. Three sections, all
+ * with a measured noise estimate:
+ *
+ *  - codecs: per-codec encode/decode fps at the standard resolutions
+ *    (SweepRunner with SweepOptions::repeats — warm-up + N timed
+ *    repetitions per point, hdvb-sweep/6 median/CoV) plus the
+ *    allocs/frame hot-path counter;
+ *  - kernels: the kernels_microbench binary spawned with
+ *    --benchmark_repetitions, medians and CoV parsed from its JSON;
+ *  - serve: server_loadgen --smoke spawned N times, per-class
+ *    p50/p95/p99 and aggregate fps summarized across runs.
+ *
+ * The document opens with a run-provenance block (git sha, CPU model,
+ * core count, detected SIMD level, repeat count, build type) so the
+ * comparator can tell an environment change from a regression — a
+ * BENCH file without provenance is a number with no experiment
+ * attached.
+ *
+ * The sweep runs its measurements on one job on purpose: the grid
+ * parallelism that makes the figure benches fast would make every
+ * point contend with its neighbours and show up as CoV.
+ *
+ * Usage: regression_sweep [--smoke] [--json OUT] [--pr N]
+ *        [--repeats N] [--frames N] [--loadgen PATH] [--kernels PATH]
+ *        [--skip-serve] [--skip-kernels] [--full-res]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/stats.h"
+#include "core/benchmark.h"
+#include "core/report.h"
+#include "core/sweep.h"
+#include "simd/dispatch.h"
+
+using namespace hdvb;
+
+namespace {
+
+struct Options {
+    bool smoke = false;
+    bool skip_serve = false;
+    bool skip_kernels = false;
+    bool full_res = false;  ///< include 1088p25 in the codec matrix
+    int pr = 8;
+    int repeats = 3;
+    int frames = 0;  ///< 0: bench_frames_default()
+    std::string json_path = "hdvb_cache/bench_report.json";
+    std::string loadgen_path;  ///< default: sibling of this binary
+    std::string kernels_path;
+};
+
+std::string
+sibling_tool(const char *argv0, const char *name)
+{
+    const std::string self(argv0);
+    const size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return name;
+    return self.substr(0, slash + 1) + name;
+}
+
+// ---------------------------------------------------------------------
+// Provenance
+
+std::string
+run_and_read_line(const char *cmd)
+{
+    std::FILE *pipe = ::popen(cmd, "r");
+    if (pipe == nullptr)
+        return "";
+    char buf[256] = {};
+    const char *line = std::fgets(buf, sizeof(buf), pipe);
+    ::pclose(pipe);
+    if (line == nullptr)
+        return "";
+    std::string out(line);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out;
+}
+
+std::string
+git_sha()
+{
+    // The build tree lives inside the work tree, so discovery works
+    // from whatever directory the sweep is launched in.
+    const std::string sha =
+        run_and_read_line("git rev-parse HEAD 2>/dev/null");
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+cpu_model()
+{
+    std::FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (f == nullptr)
+        return "unknown";
+    char line[512];
+    std::string model = "unknown";
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "model name", 10) != 0)
+            continue;
+        const char *colon = std::strchr(line, ':');
+        if (colon != nullptr) {
+            model = colon + 1;
+            while (!model.empty() &&
+                   (model.front() == ' ' || model.front() == '\t'))
+                model.erase(model.begin());
+            while (!model.empty() && (model.back() == '\n' ||
+                                      model.back() == '\r'))
+                model.pop_back();
+        }
+        break;
+    }
+    std::fclose(f);
+    return model;
+}
+
+void
+write_provenance(JsonWriter *json, const Options &opt)
+{
+    json->key("provenance");
+    json->begin_object();
+    json->field("git_sha", git_sha());
+    json->field("cpu_model", cpu_model());
+    json->field("cores",
+                static_cast<int>(std::thread::hardware_concurrency()));
+    json->field("simd_detected",
+                simd_level_name(detected_simd_level()));
+    json->field("build_type",
+#ifdef NDEBUG
+                "release"
+#else
+                "debug"
+#endif
+    );
+    json->field("repeats", opt.repeats);
+    json->field("smoke", opt.smoke);
+    json->end_object();
+}
+
+// ---------------------------------------------------------------------
+// Section 1: codec fps via the repeat-enabled sweep engine
+
+bool
+write_codec_section(JsonWriter *json, const Options &opt)
+{
+    std::vector<Resolution> resolutions = {Resolution::k576p25};
+    if (!opt.smoke) {
+        resolutions.push_back(Resolution::k720p25);
+        if (opt.full_res)
+            resolutions.push_back(Resolution::k1088p25);
+    }
+    const int frames =
+        opt.frames > 0 ? opt.frames : bench_frames_default();
+    const std::vector<BenchPoint> points = sweep_grid(
+        {kAllCodecs, kAllCodecs + kCodecCount},
+        {SequenceId::kRushHour}, resolutions, frames,
+        best_simd_level());
+
+    SweepOptions sweep;
+    sweep.jobs = 1;  // contention-free timed regions
+    sweep.repeats = opt.repeats;
+    SweepRunner runner(sweep);
+    const std::vector<SweepResult> results = runner.run(points);
+
+    bool ok = true;
+    TableWriter table({"Point", "enc fps (med)", "enc CoV",
+                       "dec fps (med)", "dec CoV", "allocs/frame"});
+    json->key("codecs");
+    json->begin_object();
+    json->field("sweep_schema", "hdvb-sweep/6");
+    json->field("sequence", sequence_name(SequenceId::kRushHour));
+    json->field("frames", frames);
+    json->field("repeats", opt.repeats);
+    json->key("points");
+    json->begin_array();
+    for (const SweepResult &r : results) {
+        if (!r.status.is_ok()) {
+            std::fprintf(stderr, "point %s failed: %s\n",
+                         r.point.label().c_str(),
+                         r.status.to_string().c_str());
+            ok = false;
+            continue;
+        }
+        json->begin_object();
+        json->field("label", r.point.label());
+        json->field("codec", codec_name(r.point.codec));
+        json->field("resolution",
+                    resolution_info(r.point.resolution).name);
+        json->field("simd", simd_level_name(r.point.simd));
+        json->field("repeats", r.repeats);
+        json->field("encode_fps_median", r.encode_fps_median());
+        json->field("encode_fps_cov", r.encode_fps_cov());
+        json->field("decode_fps_median", r.decode_fps_median());
+        json->field("decode_fps_cov", r.decode_fps_cov());
+        json->field("allocs_per_frame", r.allocs_per_frame());
+        json->end_object();
+        table.add_row({r.point.label(),
+                       TableWriter::fmt(r.encode_fps_median(), 2),
+                       TableWriter::fmt(r.encode_fps_cov() * 100, 1),
+                       TableWriter::fmt(r.decode_fps_median(), 2),
+                       TableWriter::fmt(r.decode_fps_cov() * 100, 1),
+                       TableWriter::fmt(r.allocs_per_frame(), 2)});
+    }
+    json->end_array();
+    json->end_object();
+    table.print();
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Section 2: kernel microbench medians (spawned google-benchmark)
+
+/** google-benchmark times in the entry's own unit -> nanoseconds. */
+double
+to_ns(double value, const std::string &unit)
+{
+    if (unit == "us")
+        return value * 1e3;
+    if (unit == "ms")
+        return value * 1e6;
+    if (unit == "s")
+        return value * 1e9;
+    return value;  // ns (the library default)
+}
+
+bool
+write_kernel_section(JsonWriter *json, const Options &opt)
+{
+    const std::string out_path = opt.json_path + ".kernels.tmp";
+    std::string cmd = opt.kernels_path +
+                      " --benchmark_format=console" +
+                      " --benchmark_out_format=json" +
+                      " --benchmark_out=" + out_path +
+                      " --benchmark_repetitions=" +
+                      std::to_string(opt.repeats) +
+                      " --benchmark_report_aggregates_only=true";
+    if (opt.smoke) {
+        // CI budget: a representative kernel subset, short timings.
+        cmd += " --benchmark_min_time=0.01"
+               " '--benchmark_filter=BM_(Sad16x16|SatdRect16x16|"
+               "Fdct8x8|Idct8x8|H264HpelHV16x16)/'";
+    }
+    std::printf("\n[kernels] %s\n", cmd.c_str());
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::fprintf(stderr, "kernels_microbench exited %d\n", rc);
+        return false;
+    }
+    StatusOr<JsonValue> parsed = parse_json_file(out_path);
+    std::remove(out_path.c_str());
+    if (!parsed.is_ok()) {
+        std::fprintf(stderr, "cannot parse benchmark output: %s\n",
+                     parsed.status().to_string().c_str());
+        return false;
+    }
+
+    // One {median, cv} pair per benchmark, keyed by run_name, in
+    // first-appearance order.
+    struct KernelStat {
+        double median_ns = 0.0;
+        double cov = 0.0;
+    };
+    std::vector<std::string> order;
+    std::vector<KernelStat> stats;
+    const JsonValue &benches = parsed.value().get("benchmarks");
+    for (size_t i = 0; i < benches.size(); ++i) {
+        const JsonValue &entry = benches.at(i);
+        const std::string &aggregate =
+            entry.get("aggregate_name").as_string();
+        if (aggregate != "median" && aggregate != "cv")
+            continue;
+        const std::string &name = entry.get("run_name").as_string();
+        size_t slot = 0;
+        for (; slot < order.size(); ++slot) {
+            if (order[slot] == name)
+                break;
+        }
+        if (slot == order.size()) {
+            order.push_back(name);
+            stats.emplace_back();
+        }
+        if (aggregate == "median") {
+            stats[slot].median_ns =
+                to_ns(entry.get("real_time").as_double(),
+                      entry.get("time_unit").as_string());
+        } else {
+            // cv aggregates are dimensionless ratios.
+            stats[slot].cov = entry.get("real_time").as_double();
+        }
+    }
+    if (order.empty()) {
+        std::fprintf(stderr, "no median aggregates in benchmark "
+                             "output\n");
+        return false;
+    }
+
+    json->key("kernels");
+    json->begin_object();
+    json->field("harness", "kernels_microbench");
+    json->field("repetitions", opt.repeats);
+    json->key("medians");
+    json->begin_array();
+    for (size_t i = 0; i < order.size(); ++i) {
+        json->begin_object();
+        json->field("name", order[i]);
+        json->field("median_ns", stats[i].median_ns);
+        json->field("cov", stats[i].cov);
+        json->field("time_unit", "ns");
+        json->end_object();
+    }
+    json->end_array();
+    json->end_object();
+    std::printf("[kernels] %zu benchmarks summarized\n", order.size());
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Section 3: serve latency percentiles (spawned loadgen, N runs)
+
+bool
+write_serve_section(JsonWriter *json, const Options &opt)
+{
+    static const char *const kPercentiles[] = {"p50_ms", "p95_ms",
+                                               "p99_ms"};
+    // class name -> direction, and per percentile the run samples
+    std::vector<std::string> classes;
+    std::vector<std::string> directions;
+    std::vector<std::vector<double>> samples;  // [class*3 + pct][run]
+    std::vector<double> fps_samples;
+
+    const int runs = opt.repeats;
+    for (int run = 0; run < runs; ++run) {
+        const std::string out_path = opt.json_path + ".serve.tmp";
+        const std::string cmd = opt.loadgen_path + " --smoke --json " +
+                                out_path + " > /dev/null";
+        const int rc = std::system(cmd.c_str());
+        if (rc != 0) {
+            std::fprintf(stderr, "server_loadgen exited %d\n", rc);
+            return false;
+        }
+        StatusOr<JsonValue> parsed = parse_json_file(out_path);
+        std::remove(out_path.c_str());
+        if (!parsed.is_ok()) {
+            std::fprintf(stderr, "cannot parse loadgen report: %s\n",
+                         parsed.status().to_string().c_str());
+            return false;
+        }
+        const JsonValue &doc = parsed.value();
+        const JsonValue &class_array = doc.get("classes");
+        for (size_t c = 0; c < class_array.size(); ++c) {
+            const JsonValue &cls = class_array.at(c);
+            const std::string name = cls.get("class").as_string();
+            size_t slot = 0;
+            for (; slot < classes.size(); ++slot) {
+                if (classes[slot] == name)
+                    break;
+            }
+            if (slot == classes.size()) {
+                classes.push_back(name);
+                directions.push_back(
+                    cls.get("direction").as_string());
+                samples.resize(classes.size() * 3);
+            }
+            for (size_t p = 0; p < 3; ++p) {
+                samples[slot * 3 + p].push_back(
+                    cls.get(kPercentiles[p]).as_double());
+            }
+        }
+        fps_samples.push_back(
+            doc.get("aggregate").get("fps").as_double());
+    }
+    if (classes.empty()) {
+        std::fprintf(stderr, "no classes in loadgen report\n");
+        return false;
+    }
+
+    json->key("serve");
+    json->begin_object();
+    json->field("schema", "hdvb-serve/1");
+    json->field("smoke", true);
+    json->field("runs", runs);
+    json->key("classes");
+    json->begin_array();
+    TableWriter table({"Class", "p50 ms (med)", "p95 ms (med)",
+                       "p99 ms (med)", "p99 CoV %"});
+    for (size_t c = 0; c < classes.size(); ++c) {
+        json->begin_object();
+        json->field("class", classes[c]);
+        json->field("direction", directions[c]);
+        std::vector<std::string> row = {classes[c]};
+        double p99_cov = 0.0;
+        for (size_t p = 0; p < 3; ++p) {
+            const SampleSummary summary =
+                summarize(samples[c * 3 + p]);
+            json->field(kPercentiles[p], summary.median);
+            json->field(std::string(kPercentiles[p]) + "_cov",
+                        summary.cov);
+            row.push_back(TableWriter::fmt(summary.median, 3));
+            if (p == 2)
+                p99_cov = summary.cov;
+        }
+        row.push_back(TableWriter::fmt(p99_cov * 100, 1));
+        json->end_object();
+        table.add_row(std::move(row));
+    }
+    json->end_array();
+    const SampleSummary fps = summarize(fps_samples);
+    json->key("aggregate");
+    json->begin_object();
+    json->field("fps", fps.median);
+    json->field("fps_cov", fps.cov);
+    json->end_object();
+    json->end_object();
+    std::printf("\n[serve] %d runs, aggregate %.1f fps (CoV %.1f%%)\n",
+                runs, fps.median, fps.cov * 100);
+    table.print();
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            opt.smoke = true;
+        else if (std::strcmp(argv[i], "--skip-serve") == 0)
+            opt.skip_serve = true;
+        else if (std::strcmp(argv[i], "--skip-kernels") == 0)
+            opt.skip_kernels = true;
+        else if (std::strcmp(argv[i], "--full-res") == 0)
+            opt.full_res = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            opt.json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--pr") == 0 && i + 1 < argc)
+            opt.pr = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+            opt.repeats = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+            opt.frames = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--loadgen") == 0 && i + 1 < argc)
+            opt.loadgen_path = argv[++i];
+        else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc)
+            opt.kernels_path = argv[++i];
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (opt.repeats < 3) {
+        // The committed BENCH contract: medians and CoV from at least
+        // three timed repetitions, or the noise gate has no noise
+        // estimate to gate on.
+        std::fprintf(stderr, "repeats clamped to 3 (was %d)\n",
+                     opt.repeats);
+        opt.repeats = 3;
+    }
+    if (opt.loadgen_path.empty())
+        opt.loadgen_path = sibling_tool(argv[0], "server_loadgen");
+    if (opt.kernels_path.empty())
+        opt.kernels_path = sibling_tool(argv[0], "kernels_microbench");
+
+    std::printf("HD-VideoBench regression sweep: %d repeats%s -> %s\n",
+                opt.repeats, opt.smoke ? " [smoke]" : "",
+                opt.json_path.c_str());
+
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "hdvb-bench/2");
+    json.field("pr", opt.pr);
+    write_provenance(&json, opt);
+
+    bool ok = write_codec_section(&json, opt);
+    if (!opt.skip_kernels)
+        ok = write_kernel_section(&json, opt) && ok;
+    if (!opt.skip_serve)
+        ok = write_serve_section(&json, opt) && ok;
+    json.end_object();
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "regression sweep incomplete; report not "
+                     "written\n");
+        return 1;
+    }
+    const Status written = json.write_file(opt.json_path);
+    if (!written.is_ok()) {
+        std::fprintf(stderr, "report not written: %s\n",
+                     written.to_string().c_str());
+        return 1;
+    }
+    std::printf("\nBENCH report: %s\n", opt.json_path.c_str());
+    return 0;
+}

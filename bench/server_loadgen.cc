@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/benchmark.h"
 #include "core/report.h"
@@ -78,19 +79,6 @@ tiny_config(CodecId codec)
     cfg.width = kWidth;
     cfg.height = kHeight;
     return cfg;
-}
-
-double
-percentile(std::vector<double> sorted, double q)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = q * static_cast<double>(sorted.size());
-    size_t index = static_cast<size_t>(rank);
-    if (index >= sorted.size())
-        index = sorted.size() - 1;
-    return sorted[index];
 }
 
 /** Encode frames_per_session tiny pictures per codec once, up front;
@@ -377,11 +365,14 @@ main(int argc, char **argv)
     json.begin_array();
     for (int c = 0; c < kSessionClassCount; ++c) {
         const ClassPlan &plan = plans[c];
-        const ClassMetrics &m = metrics[c];
+        ClassMetrics &m = metrics[c];
         total_completed += m.completed;
-        const double p50 = percentile(m.latencies, 0.50) * 1e3;
-        const double p95 = percentile(m.latencies, 0.95) * 1e3;
-        const double p99 = percentile(m.latencies, 0.99) * 1e3;
+        // Shared nearest-rank percentiles (common/stats.h): one sort
+        // per sample set, then as many rank queries as needed.
+        sort_samples(&m.latencies);
+        const double p50 = percentile_sorted(m.latencies, 0.50) * 1e3;
+        const double p95 = percentile_sorted(m.latencies, 0.95) * 1e3;
+        const double p99 = percentile_sorted(m.latencies, 0.99) * 1e3;
         json.begin_object();
         json.field("class", session_class_name(plan.cls));
         json.field("direction", plan.encode ? "encode" : "decode");

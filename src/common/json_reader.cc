@@ -1,0 +1,423 @@
+#include "common/json_reader.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json_writer.h"
+
+namespace hdvb {
+
+namespace {
+
+const JsonValue kNullValue;
+const std::string kEmptyString;
+
+/** Appends @p code_point to @p out as UTF-8. */
+void
+append_utf8(std::string *out, unsigned code_point)
+{
+    if (code_point < 0x80) {
+        *out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+        *out += static_cast<char>(0xC0 | (code_point >> 6));
+        *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+        *out += static_cast<char>(0xE0 | (code_point >> 12));
+        *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+        *out += static_cast<char>(0xF0 | (code_point >> 18));
+        *out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+}
+
+}  // namespace
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    StatusOr<JsonValue>
+    parse_document()
+    {
+        JsonValue value;
+        Status status = parse_value(&value, 0);
+        if (!status.is_ok())
+            return status;
+        skip_ws();
+        if (pos_ != text_.size())
+            return error("trailing characters after document");
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    error(const std::string &what) const
+    {
+        return Status::invalid_argument(
+            "json parse error at offset " + std::to_string(pos_) +
+            ": " + what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consume_word(const char *word)
+    {
+        const size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parse_value(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return error("nesting too deep");
+        skip_ws();
+        if (pos_ >= text_.size())
+            return error("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parse_object(out, depth);
+          case '[': return parse_array(out, depth);
+          case '"':
+            out->type_ = JsonValue::Type::kString;
+            return parse_string(&out->string_);
+          case 't':
+            if (!consume_word("true"))
+                return error("bad literal");
+            out->type_ = JsonValue::Type::kBool;
+            out->bool_ = true;
+            return Status::ok();
+          case 'f':
+            if (!consume_word("false"))
+                return error("bad literal");
+            out->type_ = JsonValue::Type::kBool;
+            out->bool_ = false;
+            return Status::ok();
+          case 'n':
+            if (!consume_word("null"))
+                return error("bad literal");
+            out->type_ = JsonValue::Type::kNull;
+            return Status::ok();
+          default: return parse_number(out);
+        }
+    }
+
+    Status
+    parse_object(JsonValue *out, int depth)
+    {
+        ++pos_;  // '{'
+        out->type_ = JsonValue::Type::kObject;
+        skip_ws();
+        if (consume('}'))
+            return Status::ok();
+        for (;;) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return error("expected object key");
+            std::string key;
+            Status status = parse_string(&key);
+            if (!status.is_ok())
+                return status;
+            skip_ws();
+            if (!consume(':'))
+                return error("expected ':'");
+            JsonValue value;
+            status = parse_value(&value, depth + 1);
+            if (!status.is_ok())
+                return status;
+            out->members_.emplace_back(std::move(key),
+                                       std::move(value));
+            skip_ws();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status::ok();
+            return error("expected ',' or '}'");
+        }
+    }
+
+    Status
+    parse_array(JsonValue *out, int depth)
+    {
+        ++pos_;  // '['
+        out->type_ = JsonValue::Type::kArray;
+        skip_ws();
+        if (consume(']'))
+            return Status::ok();
+        for (;;) {
+            JsonValue value;
+            Status status = parse_value(&value, depth + 1);
+            if (!status.is_ok())
+                return status;
+            out->array_.push_back(std::move(value));
+            skip_ws();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status::ok();
+            return error("expected ',' or ']'");
+        }
+    }
+
+    Status
+    parse_string(std::string *out)
+    {
+        ++pos_;  // opening quote
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parse_hex4(&code))
+                    return error("bad \\u escape");
+                // Combine a UTF-16 surrogate pair into one code point.
+                if (code >= 0xD800 && code <= 0xDBFF &&
+                    text_.compare(pos_, 2, "\\u") == 0) {
+                    const size_t save = pos_;
+                    pos_ += 2;
+                    unsigned low = 0;
+                    if (parse_hex4(&low) && low >= 0xDC00 &&
+                        low <= 0xDFFF) {
+                        code = 0x10000 + ((code - 0xD800) << 10) +
+                               (low - 0xDC00);
+                    } else {
+                        pos_ = save;  // lone high surrogate: keep as-is
+                    }
+                }
+                append_utf8(out, code);
+                break;
+              }
+              default: return error("bad escape character");
+            }
+        }
+        return error("unterminated string");
+    }
+
+    bool
+    parse_hex4(unsigned *out)
+    {
+        if (pos_ + 4 > text_.size())
+            return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        pos_ += 4;
+        *out = value;
+        return true;
+    }
+
+    Status
+    parse_number(JsonValue *out)
+    {
+        size_t end = pos_;
+        while (end < text_.size()) {
+            const char c = text_[end];
+            if ((c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                c == '.' || c == 'e' || c == 'E') {
+                ++end;
+            } else {
+                break;
+            }
+        }
+        // Locale-independent, shortest-round-trip inverse of the
+        // writer's std::to_chars — never strtod, whose decimal
+        // separator follows LC_NUMERIC.
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            text_.data() + pos_, text_.data() + end, value);
+        if (ec != std::errc() || ptr != text_.data() + end ||
+            end == pos_)
+            return error("bad number");
+        pos_ = end;
+        out->type_ = JsonValue::Type::kNumber;
+        out->number_ = value;
+        return Status::ok();
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+bool
+JsonValue::as_bool(bool fallback) const
+{
+    return is_bool() ? bool_ : fallback;
+}
+
+double
+JsonValue::as_double(double fallback) const
+{
+    return is_number() ? number_ : fallback;
+}
+
+const std::string &
+JsonValue::as_string() const
+{
+    return is_string() ? string_ : kEmptyString;
+}
+
+size_t
+JsonValue::size() const
+{
+    if (is_array())
+        return array_.size();
+    if (is_object())
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    if (!is_array() || i >= array_.size())
+        return kNullValue;
+    return array_[i];
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!is_object())
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::get(const std::string &key) const
+{
+    const JsonValue *value = find(key);
+    return value != nullptr ? *value : kNullValue;
+}
+
+namespace {
+
+void
+serialize(const JsonValue &value, JsonWriter *json)
+{
+    switch (value.type()) {
+      case JsonValue::Type::kNull: json->value_null(); break;
+      case JsonValue::Type::kBool: json->value(value.as_bool()); break;
+      case JsonValue::Type::kNumber:
+        json->value(value.as_double());
+        break;
+      case JsonValue::Type::kString:
+        json->value(value.as_string());
+        break;
+      case JsonValue::Type::kArray:
+        json->begin_array();
+        for (const JsonValue &element : value.array())
+            serialize(element, json);
+        json->end_array();
+        break;
+      case JsonValue::Type::kObject:
+        json->begin_object();
+        for (const auto &[name, member] : value.members()) {
+            json->key(name);
+            serialize(member, json);
+        }
+        json->end_object();
+        break;
+    }
+}
+
+}  // namespace
+
+std::string
+JsonValue::to_json() const
+{
+    JsonWriter json;
+    serialize(*this, &json);
+    return json.str();
+}
+
+StatusOr<JsonValue>
+parse_json(const std::string &text)
+{
+    JsonParser parser(text);
+    return parser.parse_document();
+}
+
+StatusOr<JsonValue>
+parse_json_file(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return Status::invalid_argument("cannot open " + path);
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    StatusOr<JsonValue> parsed = parse_json(text);
+    if (!parsed.is_ok()) {
+        return Status::invalid_argument(path + ": " +
+                                        parsed.status().message());
+    }
+    return parsed;
+}
+
+}  // namespace hdvb

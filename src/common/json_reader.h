@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal JSON parser for the measurement pipeline's own reports: the
+ * BENCH comparator loads two `BENCH_<n>.json` files, and the
+ * regression sweep ingests the loadgen and google-benchmark JSON it
+ * spawns. Parses the full JSON grammar into a small DOM (JsonValue);
+ * numbers go through locale-independent std::from_chars, the exact
+ * inverse of JsonWriter's std::to_chars emission, so every double a
+ * report carries round-trips bit for bit.
+ *
+ * Not a general-purpose library: documents are trusted tool output,
+ * so limits are generous but errors are fatal Status values rather
+ * than recovery attempts.
+ */
+#ifndef HDVB_COMMON_JSON_READER_H
+#define HDVB_COMMON_JSON_READER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hdvb {
+
+/** One parsed JSON value; a tree of these is a document. */
+class JsonValue
+{
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    /** Value accessors with typed fallbacks (wrong type -> fallback),
+     * so consumers read optional fields without branching. */
+    bool as_bool(bool fallback = false) const;
+    double as_double(double fallback = 0.0) const;
+    const std::string &as_string() const;  ///< empty if not a string
+
+    /** Array element count / object member count (0 for other types). */
+    size_t size() const;
+
+    /** Array element @p i; null-typed sentinel when out of range or
+     * not an array. */
+    const JsonValue &at(size_t i) const;
+
+    /** Object member @p key (first occurrence); nullptr when absent
+     * or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find() that never fails: absent members read as a null-typed
+     * sentinel, so chained lookups of optional structure stay flat. */
+    const JsonValue &get(const std::string &key) const;
+
+    const std::vector<JsonValue> &array() const { return array_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Mutable traversal/edit access, for tools that rewrite a parsed
+     * document (the comparator's doctored-copy self-test). */
+    std::vector<JsonValue> &mutable_array() { return array_; }
+    std::vector<std::pair<std::string, JsonValue>> &
+    mutable_members()
+    {
+        return members_;
+    }
+    /** Overwrite this value with a number. */
+    void
+    set_number(double number)
+    {
+        type_ = Type::kNumber;
+        number_ = number;
+    }
+
+    /** Serialize this value back to compact JSON (JsonWriter numeric
+     * formatting, so a parse -> serialize round trip preserves every
+     * double exactly). */
+    std::string to_json() const;
+
+  private:
+    friend class JsonParser;
+    friend StatusOr<JsonValue> parse_json(const std::string &);
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Parse a complete JSON document (exactly one top-level value;
+ * trailing garbage is an error). */
+StatusOr<JsonValue> parse_json(const std::string &text);
+
+/** Read and parse @p path; errors name the file. */
+StatusOr<JsonValue> parse_json_file(const std::string &path);
+
+}  // namespace hdvb
+
+#endif  // HDVB_COMMON_JSON_READER_H

@@ -1,8 +1,11 @@
 #include "common/json_writer.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+
+#include "common/check.h"
 
 namespace hdvb {
 
@@ -113,9 +116,24 @@ JsonWriter::value(double number)
         out_ += "null";  // JSON has no inf/nan
         return *this;
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", number);
-    out_ += buf;
+    // Shortest round-trip formatting. snprintf("%.6g") had two bugs
+    // the BENCH comparator cannot live with: the decimal separator
+    // follows LC_NUMERIC (a comma locale emitted invalid JSON), and 6
+    // significant digits quantized every measurement. std::to_chars
+    // is locale-independent and emits the shortest string that parses
+    // back to exactly this double.
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+    HDVB_DCHECK(ec == std::errc());
+    out_.append(buf, ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value_null()
+{
+    separate();
+    out_ += "null";
     return *this;
 }
 

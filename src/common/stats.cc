@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdvb {
+
+void
+sort_samples(std::vector<double> *samples)
+{
+    std::sort(samples->begin(), samples->end());
+}
+
+double
+percentile_sorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank: the smallest element with at least q*N samples at
+    // or below it. ceil instead of the old truncation, so an exact
+    // multiple (p50 of 10 samples) selects the rank itself rather
+    // than the element above it.
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t index = rank < 1.0
+                             ? 0
+                             : std::min(static_cast<size_t>(rank) - 1,
+                                        sorted.size() - 1);
+    return sorted[index];
+}
+
+double
+median_sorted(const std::vector<double> &sorted)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+sample_stddev(const std::vector<double> &samples)
+{
+    const size_t n = samples.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean(samples);
+    double sq = 0.0;
+    for (const double v : samples)
+        sq += (v - m) * (v - m);
+    return std::sqrt(sq / static_cast<double>(n - 1));
+}
+
+double
+coefficient_of_variation(const std::vector<double> &samples)
+{
+    const double m = mean(samples);
+    if (samples.size() < 2 || m == 0.0)
+        return 0.0;
+    return sample_stddev(samples) / std::fabs(m);
+}
+
+SampleSummary
+summarize(std::vector<double> samples)
+{
+    SampleSummary summary;
+    summary.count = samples.size();
+    if (samples.empty())
+        return summary;
+    sort_samples(&samples);
+    summary.min = samples.front();
+    summary.max = samples.back();
+    summary.mean = mean(samples);
+    summary.median = median_sorted(samples);
+    summary.stddev = sample_stddev(samples);
+    summary.cov = summary.mean != 0.0
+                      ? summary.stddev / std::fabs(summary.mean)
+                      : 0.0;
+    return summary;
+}
+
+}  // namespace hdvb

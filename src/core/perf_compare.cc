@@ -1,0 +1,342 @@
+#include "core/perf_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hdvb {
+
+const char *
+verdict_name(MetricVerdict verdict)
+{
+    switch (verdict) {
+      case MetricVerdict::kImproved: return "improved";
+      case MetricVerdict::kRegressed: return "regressed";
+      case MetricVerdict::kWithinNoise: return "within-noise";
+      case MetricVerdict::kMissing: return "missing";
+      case MetricVerdict::kNew: return "new";
+    }
+    return "unknown";
+}
+
+namespace {
+
+BenchProvenance
+load_provenance(const JsonValue &doc)
+{
+    BenchProvenance prov;
+    const JsonValue *block = doc.find("provenance");
+    if (block == nullptr || !block->is_object())
+        return prov;
+    prov.present = true;
+    prov.git_sha = block->get("git_sha").as_string();
+    prov.cpu_model = block->get("cpu_model").as_string();
+    prov.cores = static_cast<int>(block->get("cores").as_double());
+    prov.simd = block->get("simd_detected").as_string();
+    prov.build_type = block->get("build_type").as_string();
+    prov.repeats = static_cast<int>(block->get("repeats").as_double());
+    prov.smoke = block->get("smoke").as_bool();
+    return prov;
+}
+
+void
+add_metric(BenchFile *file, std::string name, double value, double cov,
+           bool higher_is_better, double abs_floor = 0.0)
+{
+    BenchMetric metric;
+    metric.name = std::move(name);
+    metric.value = value;
+    metric.cov = cov;
+    metric.higher_is_better = higher_is_better;
+    metric.abs_floor = abs_floor;
+    file->metrics.push_back(std::move(metric));
+}
+
+/** The serve block: per-class latency percentiles (lower is better)
+ * plus aggregate throughput. hdvb-bench/1 carries point values only;
+ * /2 adds per-metric CoV fields next to each value. */
+void
+load_serve_metrics(const JsonValue &serve, BenchFile *file)
+{
+    static const char *const kPercentiles[] = {"p50_ms", "p95_ms",
+                                               "p99_ms"};
+    const JsonValue &classes = serve.get("classes");
+    for (size_t i = 0; i < classes.size(); ++i) {
+        const JsonValue &cls = classes.at(i);
+        const std::string name = cls.get("class").as_string();
+        if (name.empty())
+            continue;
+        for (const char *pct : kPercentiles) {
+            const JsonValue *value = cls.find(pct);
+            if (value == nullptr)
+                continue;
+            const double cov =
+                cls.get(std::string(pct) + "_cov").as_double();
+            add_metric(file, "serve/" + name + "/" + pct,
+                       value->as_double(), cov,
+                       /*higher_is_better=*/false);
+        }
+    }
+    const JsonValue &aggregate = serve.get("aggregate");
+    if (const JsonValue *fps = aggregate.find("fps")) {
+        add_metric(file, "serve/aggregate_fps", fps->as_double(),
+                   aggregate.get("fps_cov").as_double(),
+                   /*higher_is_better=*/true);
+    }
+}
+
+/** The kernels block: microbenchmark medians in ns, lower is better.
+ * Identical shape in /1 and /2 except /2's per-entry "cov". */
+void
+load_kernel_metrics(const JsonValue &kernels, BenchFile *file)
+{
+    const JsonValue &medians = kernels.get("medians");
+    for (size_t i = 0; i < medians.size(); ++i) {
+        const JsonValue &entry = medians.at(i);
+        const std::string name = entry.get("name").as_string();
+        if (name.empty())
+            continue;
+        add_metric(file, "kernel_ns/" + name,
+                   entry.get("median_ns").as_double(),
+                   entry.get("cov").as_double(),
+                   /*higher_is_better=*/false);
+    }
+}
+
+/** The /2 codecs block: per-point encode/decode fps medians with CoV,
+ * plus allocs/frame gated on an absolute floor (it is ~0 in steady
+ * state, so a relative threshold would be meaningless). */
+void
+load_codec_metrics(const JsonValue &codecs, BenchFile *file)
+{
+    constexpr double kAllocsPerFrameFloor = 0.5;
+    const JsonValue &points = codecs.get("points");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const JsonValue &point = points.at(i);
+        const std::string label = point.get("label").as_string();
+        if (label.empty())
+            continue;
+        if (const JsonValue *fps = point.find("encode_fps_median")) {
+            add_metric(file, "codec/" + label + "/encode_fps",
+                       fps->as_double(),
+                       point.get("encode_fps_cov").as_double(),
+                       /*higher_is_better=*/true);
+        }
+        if (const JsonValue *fps = point.find("decode_fps_median")) {
+            add_metric(file, "codec/" + label + "/decode_fps",
+                       fps->as_double(),
+                       point.get("decode_fps_cov").as_double(),
+                       /*higher_is_better=*/true);
+        }
+        if (const JsonValue *allocs = point.find("allocs_per_frame")) {
+            add_metric(file, "codec/" + label + "/allocs_per_frame",
+                       allocs->as_double(), /*cov=*/0.0,
+                       /*higher_is_better=*/false,
+                       kAllocsPerFrameFloor);
+        }
+    }
+}
+
+}  // namespace
+
+StatusOr<BenchFile>
+load_bench_file(const std::string &path)
+{
+    StatusOr<JsonValue> parsed = parse_json_file(path);
+    if (!parsed.is_ok())
+        return parsed.status();
+    const JsonValue &doc = parsed.value();
+
+    BenchFile file;
+    file.path = path;
+    file.schema = doc.get("schema").as_string();
+    file.pr = static_cast<int>(doc.get("pr").as_double());
+    if (file.schema != "hdvb-bench/1" &&
+        file.schema != "hdvb-bench/2") {
+        return Status::invalid_argument(
+            path + ": unsupported BENCH schema \"" + file.schema +
+            "\" (expected hdvb-bench/1 or hdvb-bench/2)");
+    }
+    file.provenance = load_provenance(doc);
+    if (const JsonValue *codecs = doc.find("codecs"))
+        load_codec_metrics(*codecs, &file);
+    if (const JsonValue *kernels = doc.find("kernels"))
+        load_kernel_metrics(*kernels, &file);
+    if (const JsonValue *serve = doc.find("serve"))
+        load_serve_metrics(*serve, &file);
+    if (file.metrics.empty()) {
+        return Status::invalid_argument(
+            path + ": no comparable metrics found");
+    }
+    return file;
+}
+
+MetricComparison
+classify_metric(const BenchMetric &older, const BenchMetric &newer,
+                const CompareOptions &options)
+{
+    MetricComparison row;
+    row.name = older.name;
+    row.old_value = older.value;
+    row.new_value = newer.value;
+    row.higher_is_better = older.higher_is_better;
+    // The noise gate: the wider of the two runs' recorded CoVs scaled
+    // by sigma, floored — jitter must not read as a verdict.
+    row.threshold_pct =
+        std::max(options.floor_pct,
+                 options.sigma * 100.0 * std::max(older.cov, newer.cov));
+    row.delta_pct = older.value != 0.0
+                        ? (newer.value - older.value) / older.value *
+                              100.0
+                        : 0.0;
+
+    if (older.abs_floor > 0.0) {
+        // Absolute gating for near-zero metrics.
+        const double delta = newer.value - older.value;
+        if (std::fabs(delta) <= older.abs_floor) {
+            row.verdict = MetricVerdict::kWithinNoise;
+        } else {
+            const bool better = older.higher_is_better ? delta > 0.0
+                                                       : delta < 0.0;
+            row.verdict = better ? MetricVerdict::kImproved
+                                 : MetricVerdict::kRegressed;
+        }
+        return row;
+    }
+
+    if (older.value <= 0.0 || newer.value <= 0.0) {
+        // A zero fps/latency/ns reading is a broken measurement, not
+        // a comparison; never turn it into a verdict.
+        row.verdict = MetricVerdict::kWithinNoise;
+        return row;
+    }
+
+    const double improvement_pct = older.higher_is_better
+                                       ? row.delta_pct
+                                       : -row.delta_pct;
+    if (improvement_pct > row.threshold_pct)
+        row.verdict = MetricVerdict::kImproved;
+    else if (improvement_pct < -row.threshold_pct)
+        row.verdict = MetricVerdict::kRegressed;
+    else
+        row.verdict = MetricVerdict::kWithinNoise;
+    return row;
+}
+
+CompareReport
+compare_bench(const BenchFile &older, const BenchFile &newer,
+              const CompareOptions &options)
+{
+    CompareReport report;
+
+    if (older.schema != newer.schema) {
+        report.environment_warnings.push_back(
+            "schema mismatch: " + older.path + " is " + older.schema +
+            ", " + newer.path + " is " + newer.schema +
+            " — only shared metrics are compared");
+    }
+    const BenchProvenance &po = older.provenance;
+    const BenchProvenance &pn = newer.provenance;
+    if (!po.present || !pn.present) {
+        report.environment_warnings.push_back(
+            std::string(!po.present ? older.path : newer.path) +
+            " carries no provenance block: the run environment is "
+            "unknown, so differences may be machine changes rather "
+            "than code changes");
+    } else {
+        if (po.cpu_model != pn.cpu_model) {
+            report.environment_warnings.push_back(
+                "CPU model differs: \"" + po.cpu_model + "\" vs \"" +
+                pn.cpu_model + "\"");
+        }
+        if (po.cores != pn.cores) {
+            report.environment_warnings.push_back(
+                "core count differs: " + std::to_string(po.cores) +
+                " vs " + std::to_string(pn.cores));
+        }
+        if (po.simd != pn.simd) {
+            report.environment_warnings.push_back(
+                "detected SIMD level differs: " + po.simd + " vs " +
+                pn.simd);
+        }
+        if (po.build_type != pn.build_type) {
+            report.environment_warnings.push_back(
+                "build type differs: " + po.build_type + " vs " +
+                pn.build_type);
+        }
+        if (po.smoke != pn.smoke) {
+            report.environment_warnings.push_back(
+                "smoke mode differs: one file was produced by a "
+                "reduced-size run");
+        }
+    }
+
+    std::map<std::string, const BenchMetric *> new_by_name;
+    for (const BenchMetric &metric : newer.metrics)
+        new_by_name.emplace(metric.name, &metric);
+
+    for (const BenchMetric &old_metric : older.metrics) {
+        const auto it = new_by_name.find(old_metric.name);
+        if (it == new_by_name.end()) {
+            MetricComparison row;
+            row.name = old_metric.name;
+            row.verdict = MetricVerdict::kMissing;
+            row.old_value = old_metric.value;
+            row.higher_is_better = old_metric.higher_is_better;
+            report.rows.push_back(std::move(row));
+            ++report.missing;
+            continue;
+        }
+        MetricComparison row =
+            classify_metric(old_metric, *it->second, options);
+        switch (row.verdict) {
+          case MetricVerdict::kImproved: ++report.improved; break;
+          case MetricVerdict::kRegressed: ++report.regressed; break;
+          default: ++report.within_noise; break;
+        }
+        report.rows.push_back(std::move(row));
+        new_by_name.erase(it);
+    }
+    for (const BenchMetric &metric : newer.metrics) {
+        if (new_by_name.find(metric.name) == new_by_name.end())
+            continue;  // matched above
+        MetricComparison row;
+        row.name = metric.name;
+        row.verdict = MetricVerdict::kNew;
+        row.new_value = metric.value;
+        row.higher_is_better = metric.higher_is_better;
+        report.rows.push_back(std::move(row));
+        ++report.added;
+    }
+    return report;
+}
+
+int
+doctor_bench_fps(JsonValue *doc, double scale)
+{
+    int scaled = 0;
+    if (doc->is_object()) {
+        for (auto &[name, member] : doc->mutable_members()) {
+            // Every throughput key ("fps", "fps_median",
+            // "encode_fps_median", ...) but never a noise estimate
+            // ("fps_cov") — the gate must fire on the value, not
+            // because the doctored copy claims different jitter.
+            const bool fps_key =
+                name.find("fps") != std::string::npos &&
+                (name.size() < 4 ||
+                 name.compare(name.size() - 4, 4, "_cov") != 0);
+            if (member.is_number() && fps_key) {
+                member.set_number(member.as_double() * scale);
+                ++scaled;
+            } else {
+                scaled += doctor_bench_fps(&member, scale);
+            }
+        }
+    } else if (doc->is_array()) {
+        for (JsonValue &element : doc->mutable_array())
+            scaled += doctor_bench_fps(&element, scale);
+    }
+    return scaled;
+}
+
+}  // namespace hdvb

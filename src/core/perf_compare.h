@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The regression gate over the tracked perf trajectory: loads two
+ * `BENCH_<n>.json` files (schema hdvb-bench/1 — the PR-7 hand-rolled
+ * baseline — or hdvb-bench/2, emitted by bench/regression_sweep),
+ * flattens each into named metrics with a recorded noise estimate,
+ * and classifies every metric as improved / regressed / within-noise.
+ *
+ * The noise model is the point of the subsystem: a metric's
+ * regression threshold is max(floor_pct, sigma * CoV * 100) — the
+ * coefficient of variation measured by the repeat sweeps, widened by
+ * a floor for metrics whose CoV is unknown (hdvb-bench/1) or
+ * implausibly tight. Per Poss, "machines are benchmarked by code":
+ * the comparator is code, so a perf claim is mechanically checkable.
+ *
+ * bench/bench_compare is the CLI wrapper; the logic lives here so the
+ * verdict paths (improved / regressed / within-noise / missing-metric
+ * / schema-mismatch) are unit-testable without subprocesses.
+ */
+#ifndef HDVB_CORE_PERF_COMPARE_H
+#define HDVB_CORE_PERF_COMPARE_H
+
+#include <string>
+#include <vector>
+
+#include "common/json_reader.h"
+#include "common/status.h"
+
+namespace hdvb {
+
+/** Run environment recorded by regression_sweep; a comparison across
+ * differing environments is noise, not signal, and warns loudly. */
+struct BenchProvenance {
+    bool present = false;  ///< hdvb-bench/1 files carry none
+    std::string git_sha;
+    std::string cpu_model;
+    int cores = 0;
+    std::string simd;        ///< detected SIMD level
+    std::string build_type;  ///< "debug" / "release"
+    int repeats = 0;         ///< sweep repetitions behind the CoVs
+    bool smoke = false;
+};
+
+/** One flattened, comparable measurement. */
+struct BenchMetric {
+    std::string name;  ///< e.g. "codec/h264/576p25/encode_fps"
+    double value = 0.0;
+    /** Recorded run-to-run coefficient of variation (0 when the file
+     * predates CoV reporting — the floor takes over). */
+    double cov = 0.0;
+    bool higher_is_better = true;
+    /** When > 0, gate on the absolute delta instead of the relative
+     * one — for near-zero-valued metrics like allocs/frame where a
+     * relative threshold is meaningless. */
+    double abs_floor = 0.0;
+};
+
+/** One parsed BENCH file, flattened for comparison. */
+struct BenchFile {
+    std::string path;
+    std::string schema;
+    int pr = 0;
+    BenchProvenance provenance;
+    std::vector<BenchMetric> metrics;
+};
+
+/** Load and flatten @p path. Unknown or missing schema is an error
+ * (the comparator refuses to guess what it is comparing). */
+StatusOr<BenchFile> load_bench_file(const std::string &path);
+
+enum class MetricVerdict {
+    kImproved,
+    kRegressed,
+    kWithinNoise,
+    kMissing,  ///< present in the old file only
+    kNew,      ///< present in the new file only
+};
+
+const char *verdict_name(MetricVerdict verdict);
+
+struct CompareOptions {
+    /** Minimum threshold in percent — no measurement on a shared CI
+     * box resolves finer than this, whatever its CoV claims. */
+    double floor_pct = 2.0;
+    /** Threshold widening per unit of CoV: threshold_pct =
+     * max(floor_pct, sigma * 100 * max(old CoV, new CoV)). */
+    double sigma = 3.0;
+};
+
+struct MetricComparison {
+    std::string name;
+    MetricVerdict verdict = MetricVerdict::kWithinNoise;
+    double old_value = 0.0;
+    double new_value = 0.0;
+    /** Signed relative change of the raw value in percent (positive =
+     * value went up, whatever the metric's good direction). */
+    double delta_pct = 0.0;
+    double threshold_pct = 0.0;
+    bool higher_is_better = true;
+};
+
+/**
+ * Classify one metric pair. @p older and @p newer must be the same
+ * metric (same name/direction); direction metadata is taken from
+ * @p older. Exposed for unit tests.
+ */
+MetricComparison classify_metric(const BenchMetric &older,
+                                 const BenchMetric &newer,
+                                 const CompareOptions &options);
+
+struct CompareReport {
+    /** Old-file metric order, then metrics only the new file has. */
+    std::vector<MetricComparison> rows;
+    int improved = 0;
+    int regressed = 0;
+    int within_noise = 0;
+    int missing = 0;
+    int added = 0;
+    /** Loud warnings: schema difference, absent provenance, CPU /
+     * core-count / SIMD / build-type mismatch. A non-empty list means
+     * the numbers may reflect an environment change, not the code. */
+    std::vector<std::string> environment_warnings;
+
+    bool has_regressions() const { return regressed > 0; }
+};
+
+/** Compare two loaded BENCH files (old -> new). */
+CompareReport compare_bench(const BenchFile &older,
+                            const BenchFile &newer,
+                            const CompareOptions &options = {});
+
+/**
+ * Doctor a parsed BENCH document in place for gate self-tests: every
+ * number under an "fps" or "fps_median" key is scaled by @p scale
+ * (0.8 = a 20% throughput regression everywhere). Returns how many
+ * values were scaled.
+ */
+int doctor_bench_fps(JsonValue *doc, double scale);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_PERF_COMPARE_H

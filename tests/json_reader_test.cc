@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the JSON parser (common/json_reader.h) the BENCH
+ * comparator and the regression sweep use to ingest reports —
+ * including the writer -> reader exact double round trip that the
+ * perf trajectory's numerics depend on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+
+namespace hdvb {
+namespace {
+
+JsonValue
+parse_ok(const std::string &text)
+{
+    StatusOr<JsonValue> parsed = parse_json(text);
+    EXPECT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    return parsed.is_ok() ? std::move(parsed.value()) : JsonValue();
+}
+
+TEST(JsonReader, ParsesScalars)
+{
+    EXPECT_TRUE(parse_ok("null").is_null());
+    EXPECT_TRUE(parse_ok("true").as_bool());
+    EXPECT_FALSE(parse_ok("false").as_bool(true));
+    EXPECT_EQ(parse_ok("42").as_double(), 42.0);
+    EXPECT_EQ(parse_ok("-1.5e3").as_double(), -1500.0);
+    EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonReader, ParsesNestedDocument)
+{
+    const JsonValue doc = parse_ok(
+        "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": true}, "
+        "\"d\": null}");
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.size(), 3u);
+    const JsonValue &a = doc.get("a");
+    ASSERT_TRUE(a.is_array());
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.at(0).as_double(), 1.0);
+    EXPECT_EQ(a.at(1).as_double(), 2.5);
+    EXPECT_EQ(a.at(2).as_string(), "x");
+    EXPECT_TRUE(a.at(99).is_null());  // out of range: null sentinel
+    EXPECT_TRUE(doc.get("b").get("c").as_bool());
+    EXPECT_TRUE(doc.get("d").is_null());
+    EXPECT_TRUE(doc.get("absent").is_null());
+    EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonReader, StringEscapes)
+{
+    EXPECT_EQ(parse_ok("\"a\\\"b\\\\c\\nd\\te\"").as_string(),
+              "a\"b\\c\nd\te");
+    EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+    EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").as_string(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parse_json("").is_ok());
+    EXPECT_FALSE(parse_json("{").is_ok());
+    EXPECT_FALSE(parse_json("[1,]").is_ok());
+    EXPECT_FALSE(parse_json("{\"a\":1,}").is_ok());
+    EXPECT_FALSE(parse_json("{'a':1}").is_ok());
+    EXPECT_FALSE(parse_json("tru").is_ok());
+    EXPECT_FALSE(parse_json("1 2").is_ok());  // trailing garbage
+    EXPECT_FALSE(parse_json("\"unterminated").is_ok());
+    EXPECT_FALSE(parse_json("{\"a\" 1}").is_ok());
+    EXPECT_FALSE(parse_json("nan").is_ok());
+}
+
+TEST(JsonReader, WriterReaderDoubleRoundTripIsExact)
+{
+    // The perf pipeline's contract: every double survives
+    // JsonWriter::value -> parse_json bit for bit.
+    const double values[] = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        0.1,
+        2.5,
+        1e-300,
+        1.7976931348623157e308,   // DBL_MAX
+        4.9406564584124654e-324,  // min subnormal
+        123456789.123456789,
+        -987654321.0e-12,
+        943.112,                  // a BENCH_7 fps value
+        std::numeric_limits<double>::epsilon(),
+    };
+    for (const double v : values) {
+        JsonWriter json;
+        json.begin_array();
+        json.value(v);
+        json.end_array();
+        const JsonValue parsed = parse_ok(json.str());
+        ASSERT_EQ(parsed.size(), 1u) << json.str();
+        const double back = parsed.at(0).as_double();
+        EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+            << "not bit-exact: " << json.str();
+    }
+}
+
+TEST(JsonReader, SerializeRoundTrip)
+{
+    const std::string text =
+        "{\"schema\":\"hdvb-bench/2\",\"x\":[1.5,true,null,"
+        "\"s\"],\"nested\":{\"fps\":943.112}}";
+    const JsonValue doc = parse_ok(text);
+    EXPECT_EQ(doc.to_json(), text);
+}
+
+TEST(JsonReader, ParseFileErrorsNameTheFile)
+{
+    const StatusOr<JsonValue> missing =
+        parse_json_file("/nonexistent/report.json");
+    ASSERT_FALSE(missing.is_ok());
+    EXPECT_NE(missing.status().message().find("/nonexistent"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdvb

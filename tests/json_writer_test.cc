@@ -4,7 +4,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstdlib>
 #include <limits>
+#include <string>
 
 #include "common/json_writer.h"
 
@@ -67,6 +70,81 @@ TEST(JsonWriter, NonFiniteNumbersBecomeNull)
     json.value(std::numeric_limits<double>::quiet_NaN());
     json.end_array();
     EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, DoublesUseShortestRoundTripForm)
+{
+    // The old "%.6g" emitter truncated 943.112437 to "943.112" —
+    // every fps in a BENCH file lost precision. std::to_chars emits
+    // the shortest string that strtod/from_chars maps back to the
+    // exact same bits.
+    JsonWriter json;
+    json.begin_array();
+    json.value(943.112437);
+    json.value(0.1);
+    json.value(1.0 / 3.0);
+    json.value(1e-300);
+    json.end_array();
+    EXPECT_EQ(json.str(),
+              "[943.112437,0.1,0.3333333333333333,1e-300]");
+    // Shortest form: integral doubles do not grow a mantissa tail.
+    JsonWriter ints;
+    ints.begin_array();
+    ints.value(25.0);
+    ints.value(-0.0);
+    ints.end_array();
+    EXPECT_EQ(ints.str(), "[25,-0]");
+}
+
+std::string
+emit_report_fragment()
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("fps", 943.112437);
+    json.field("cov", 0.051);
+    json.field("wall", 1.5);
+    json.key("samples");
+    json.begin_array();
+    json.value(129.69);
+    json.value(0.3333333333333333);
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+TEST(JsonWriter, OutputIsLocaleIndependent)
+{
+    // Regression test for the snprintf("%.6g") emitter: under a
+    // comma-decimal locale it produced "943,112" — unparseable JSON.
+    // std::to_chars never consults the locale, so the bytes must be
+    // identical no matter what LC_NUMERIC says.
+    const std::string reference = emit_report_fragment();
+    EXPECT_NE(reference.find("943.112437"), std::string::npos);
+
+    const char *comma_locales[] = {"de_DE.UTF-8", "de_DE.utf8",
+                                   "de_DE", "fr_FR.UTF-8", "fr_FR"};
+    const char *active = nullptr;
+    for (const char *name : comma_locales) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+            active = name;
+            break;
+        }
+    }
+    if (active == nullptr)
+        GTEST_SKIP()
+            << "no comma-decimal locale installed in this image";
+
+    // Prove the locale actually switched the C library's decimal
+    // point, then emit again and demand byte identity.
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+    const bool comma_active = std::string(probe) == "1,5";
+    const std::string under_locale = emit_report_fragment();
+    std::setlocale(LC_NUMERIC, "C");
+    ASSERT_TRUE(comma_active) << "locale " << active
+                              << " did not use comma decimals";
+    EXPECT_EQ(under_locale, reference);
 }
 
 }  // namespace

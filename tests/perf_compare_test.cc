@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for the BENCH regression gate (core/perf_compare.h):
+ * the CoV-widened threshold, every verdict path (improved / regressed
+ * / within-noise / missing / new / schema-mismatch), BENCH file
+ * loading for both schemas, environment warnings, and the doctored
+ * -20% fps self-test the ctest gate builds on.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/perf_compare.h"
+
+namespace hdvb {
+namespace {
+
+BenchMetric
+metric(const std::string &name, double value, double cov,
+       bool higher_is_better, double abs_floor = 0.0)
+{
+    BenchMetric m;
+    m.name = name;
+    m.value = value;
+    m.cov = cov;
+    m.higher_is_better = higher_is_better;
+    m.abs_floor = abs_floor;
+    return m;
+}
+
+TEST(PerfCompare, FloorGatesTinyDeltas)
+{
+    // 1% fps drop with zero CoV: inside the 2% floor -> noise.
+    const MetricComparison row =
+        classify_metric(metric("fps", 100.0, 0.0, true),
+                        metric("fps", 99.0, 0.0, true), {});
+    EXPECT_EQ(row.verdict, MetricVerdict::kWithinNoise);
+    EXPECT_DOUBLE_EQ(row.threshold_pct, 2.0);
+    EXPECT_NEAR(row.delta_pct, -1.0, 1e-9);
+}
+
+TEST(PerfCompare, RegressionBeyondFloor)
+{
+    const MetricComparison row =
+        classify_metric(metric("fps", 100.0, 0.0, true),
+                        metric("fps", 80.0, 0.0, true), {});
+    EXPECT_EQ(row.verdict, MetricVerdict::kRegressed);
+    EXPECT_NEAR(row.delta_pct, -20.0, 1e-9);
+}
+
+TEST(PerfCompare, ImprovementBeyondFloor)
+{
+    const MetricComparison row =
+        classify_metric(metric("fps", 100.0, 0.0, true),
+                        metric("fps", 130.0, 0.0, true), {});
+    EXPECT_EQ(row.verdict, MetricVerdict::kImproved);
+}
+
+TEST(PerfCompare, LowerIsBetterFlipsDirection)
+{
+    // Latency went up 20%: a regression for a lower-is-better metric.
+    const MetricComparison worse =
+        classify_metric(metric("p99", 10.0, 0.0, false),
+                        metric("p99", 12.0, 0.0, false), {});
+    EXPECT_EQ(worse.verdict, MetricVerdict::kRegressed);
+    EXPECT_NEAR(worse.delta_pct, 20.0, 1e-9);  // raw delta still +20
+
+    const MetricComparison better =
+        classify_metric(metric("p99", 10.0, 0.0, false),
+                        metric("p99", 8.0, 0.0, false), {});
+    EXPECT_EQ(better.verdict, MetricVerdict::kImproved);
+}
+
+TEST(PerfCompare, CovWidensThreshold)
+{
+    // 10% CoV at sigma 3 -> 30% threshold: a 20% drop is noise.
+    const MetricComparison noisy =
+        classify_metric(metric("fps", 100.0, 0.10, true),
+                        metric("fps", 80.0, 0.0, true), {});
+    EXPECT_DOUBLE_EQ(noisy.threshold_pct, 30.0);
+    EXPECT_EQ(noisy.verdict, MetricVerdict::kWithinNoise);
+
+    // The wider of the two CoVs wins (new run may be the noisy one).
+    const MetricComparison new_noisy =
+        classify_metric(metric("fps", 100.0, 0.0, true),
+                        metric("fps", 80.0, 0.10, true), {});
+    EXPECT_DOUBLE_EQ(new_noisy.threshold_pct, 30.0);
+
+    // A 35% drop clears even the widened threshold.
+    const MetricComparison real =
+        classify_metric(metric("fps", 100.0, 0.10, true),
+                        metric("fps", 65.0, 0.0, true), {});
+    EXPECT_EQ(real.verdict, MetricVerdict::kRegressed);
+}
+
+TEST(PerfCompare, SigmaAndFloorAreOptions)
+{
+    CompareOptions options;
+    options.floor_pct = 0.5;
+    options.sigma = 2.0;
+    const MetricComparison row =
+        classify_metric(metric("fps", 100.0, 0.01, true),
+                        metric("fps", 99.0, 0.0, true), options);
+    EXPECT_DOUBLE_EQ(row.threshold_pct, 2.0);  // 2 * 1% CoV
+    EXPECT_EQ(row.verdict, MetricVerdict::kWithinNoise);
+}
+
+TEST(PerfCompare, AbsoluteFloorForNearZeroMetrics)
+{
+    // allocs/frame 0 -> 0.3: within the 0.5 absolute floor.
+    const MetricComparison ok =
+        classify_metric(metric("allocs", 0.0, 0.0, false, 0.5),
+                        metric("allocs", 0.3, 0.0, false, 0.5), {});
+    EXPECT_EQ(ok.verdict, MetricVerdict::kWithinNoise);
+    // 0 -> 2.0 allocations per frame is a real leak of the
+    // zero-alloc steady state.
+    const MetricComparison bad =
+        classify_metric(metric("allocs", 0.0, 0.0, false, 0.5),
+                        metric("allocs", 2.0, 0.0, false, 0.5), {});
+    EXPECT_EQ(bad.verdict, MetricVerdict::kRegressed);
+    const MetricComparison gain =
+        classify_metric(metric("allocs", 4.0, 0.0, false, 0.5),
+                        metric("allocs", 0.0, 0.0, false, 0.5), {});
+    EXPECT_EQ(gain.verdict, MetricVerdict::kImproved);
+}
+
+TEST(PerfCompare, ZeroValuedMeasurementNeverVerdicts)
+{
+    const MetricComparison row =
+        classify_metric(metric("fps", 0.0, 0.0, true),
+                        metric("fps", 50.0, 0.0, true), {});
+    EXPECT_EQ(row.verdict, MetricVerdict::kWithinNoise);
+}
+
+BenchFile
+file_with(std::vector<BenchMetric> metrics, bool provenance = true)
+{
+    BenchFile file;
+    file.path = "test.json";
+    file.schema = "hdvb-bench/2";
+    file.provenance.present = provenance;
+    file.provenance.cpu_model = "TestCPU";
+    file.provenance.cores = 1;
+    file.provenance.simd = "avx2";
+    file.provenance.build_type = "debug";
+    file.metrics = std::move(metrics);
+    return file;
+}
+
+TEST(PerfCompare, MissingAndNewMetrics)
+{
+    const BenchFile older = file_with(
+        {metric("a", 1.0, 0.0, true), metric("gone", 2.0, 0.0, true)});
+    const BenchFile newer = file_with(
+        {metric("a", 1.0, 0.0, true), metric("fresh", 3.0, 0.0, true)});
+    const CompareReport report = compare_bench(older, newer);
+    EXPECT_EQ(report.missing, 1);
+    EXPECT_EQ(report.added, 1);
+    EXPECT_EQ(report.within_noise, 1);
+    EXPECT_FALSE(report.has_regressions());
+    ASSERT_EQ(report.rows.size(), 3u);
+    EXPECT_EQ(report.rows[1].name, "gone");
+    EXPECT_EQ(report.rows[1].verdict, MetricVerdict::kMissing);
+    EXPECT_EQ(report.rows[2].name, "fresh");
+    EXPECT_EQ(report.rows[2].verdict, MetricVerdict::kNew);
+}
+
+TEST(PerfCompare, EnvironmentWarnings)
+{
+    BenchFile older = file_with({metric("a", 1.0, 0.0, true)});
+    BenchFile newer = older;
+    EXPECT_TRUE(compare_bench(older, newer)
+                    .environment_warnings.empty());
+
+    newer.provenance.cpu_model = "OtherCPU";
+    newer.provenance.cores = 8;
+    const CompareReport diff = compare_bench(older, newer);
+    EXPECT_EQ(diff.environment_warnings.size(), 2u);
+
+    BenchFile no_prov = older;
+    no_prov.provenance = BenchProvenance{};
+    EXPECT_EQ(compare_bench(no_prov, newer)
+                  .environment_warnings.size(),
+              1u);
+
+    BenchFile old_schema = older;
+    old_schema.schema = "hdvb-bench/1";
+    EXPECT_FALSE(compare_bench(old_schema, newer)
+                     .environment_warnings.empty());
+}
+
+std::string
+write_temp(const std::string &name, const std::string &text)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+constexpr const char *kBench2Doc = R"({
+ "schema": "hdvb-bench/2",
+ "pr": 8,
+ "provenance": {"git_sha": "abc", "cpu_model": "TestCPU",
+                "cores": 1, "simd_detected": "avx2",
+                "build_type": "debug", "repeats": 3, "smoke": false},
+ "codecs": {"points": [
+   {"label": "h264/rush_hour/576p25/avx2",
+    "encode_fps_median": 36.6, "encode_fps_cov": 0.05,
+    "decode_fps_median": 235.0, "decode_fps_cov": 0.2,
+    "allocs_per_frame": 0.0}]},
+ "kernels": {"medians": [
+   {"name": "BM_Fdct8x8/2", "median_ns": 63.5, "cov": 0.01}]},
+ "serve": {"classes": [
+   {"class": "live", "p50_ms": 1.0, "p50_ms_cov": 0.1,
+    "p95_ms": 4.9, "p95_ms_cov": 0.1,
+    "p99_ms": 18.0, "p99_ms_cov": 0.1}],
+  "aggregate": {"fps": 943.1, "fps_cov": 0.05}}
+})";
+
+TEST(PerfCompare, LoadsBench2Schema)
+{
+    const std::string path = write_temp("bench2.json", kBench2Doc);
+    StatusOr<BenchFile> loaded = load_bench_file(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    const BenchFile &file = loaded.value();
+    EXPECT_EQ(file.schema, "hdvb-bench/2");
+    EXPECT_EQ(file.pr, 8);
+    EXPECT_TRUE(file.provenance.present);
+    EXPECT_EQ(file.provenance.cpu_model, "TestCPU");
+    EXPECT_EQ(file.provenance.repeats, 3);
+    // 3 codec metrics + 1 kernel + 3 serve percentiles + aggregate.
+    EXPECT_EQ(file.metrics.size(), 8u);
+    bool found_encode = false;
+    for (const BenchMetric &m : file.metrics) {
+        if (m.name == "codec/h264/rush_hour/576p25/avx2/encode_fps") {
+            found_encode = true;
+            EXPECT_TRUE(m.higher_is_better);
+            EXPECT_DOUBLE_EQ(m.value, 36.6);
+            EXPECT_DOUBLE_EQ(m.cov, 0.05);
+        }
+        if (m.name == "kernel_ns/BM_Fdct8x8/2") {
+            EXPECT_FALSE(m.higher_is_better);
+        }
+        if (m.name == "serve/live/p99_ms") {
+            EXPECT_DOUBLE_EQ(m.cov, 0.1);
+        }
+    }
+    EXPECT_TRUE(found_encode);
+    std::remove(path.c_str());
+
+    // Self-compare: everything within noise, exit path clean.
+    const CompareReport self =
+        compare_bench(file, file, CompareOptions{});
+    EXPECT_EQ(self.regressed, 0);
+    EXPECT_EQ(self.improved, 0);
+    EXPECT_EQ(self.missing, 0);
+    EXPECT_TRUE(self.environment_warnings.empty());
+}
+
+TEST(PerfCompare, LoadsBench1SchemaWithoutProvenance)
+{
+    // The PR-7 hand-rolled baseline: serve + kernels, no provenance,
+    // no CoV anywhere.
+    const std::string path = write_temp("bench1.json", R"({
+ "schema": "hdvb-bench/1",
+ "pr": 7,
+ "serve": {"classes": [
+   {"class": "live", "p50_ms": 1.0, "p95_ms": 4.9, "p99_ms": 18.0}],
+  "aggregate": {"fps": 943.1}},
+ "kernels": {"medians": [
+   {"name": "BM_Fdct8x8/2", "median_ns": 63.5}]}
+})");
+    StatusOr<BenchFile> loaded = load_bench_file(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    EXPECT_FALSE(loaded.value().provenance.present);
+    EXPECT_EQ(loaded.value().metrics.size(), 5u);
+    for (const BenchMetric &m : loaded.value().metrics)
+        EXPECT_EQ(m.cov, 0.0);
+    std::remove(path.c_str());
+
+    // Cross-schema comparison warns about the absent provenance.
+    const std::string path2 = write_temp("bench2b.json", kBench2Doc);
+    StatusOr<BenchFile> newer = load_bench_file(path2);
+    ASSERT_TRUE(newer.is_ok());
+    const CompareReport report =
+        compare_bench(loaded.value(), newer.value());
+    EXPECT_FALSE(report.environment_warnings.empty());
+    std::remove(path2.c_str());
+}
+
+TEST(PerfCompare, SchemaMismatchIsALoadError)
+{
+    const std::string path = write_temp(
+        "badschema.json", "{\"schema\": \"hdvb-serve/1\"}");
+    const StatusOr<BenchFile> loaded = load_bench_file(path);
+    ASSERT_FALSE(loaded.is_ok());
+    EXPECT_NE(loaded.status().message().find("hdvb-serve/1"),
+              std::string::npos);
+    std::remove(path.c_str());
+
+    const std::string no_schema =
+        write_temp("noschema.json", "{\"pr\": 8}");
+    EXPECT_FALSE(load_bench_file(no_schema).is_ok());
+    std::remove(no_schema.c_str());
+
+    EXPECT_FALSE(load_bench_file("/nonexistent.json").is_ok());
+}
+
+TEST(PerfCompare, DoctoredFpsCopyRegresses)
+{
+    // The ctest gate's self-test in miniature: scale every fps metric
+    // by 0.8 and the comparator must name regressions.
+    StatusOr<JsonValue> doc = parse_json(kBench2Doc);
+    ASSERT_TRUE(doc.is_ok());
+    const int scaled = doctor_bench_fps(&doc.value(), 0.8);
+    // encode median, decode median, aggregate fps (never the _cov
+    // fields).
+    EXPECT_EQ(scaled, 3);
+
+    const std::string old_path =
+        write_temp("orig.json", kBench2Doc);
+    const std::string new_path =
+        write_temp("doctored.json", doc.value().to_json());
+    StatusOr<BenchFile> older = load_bench_file(old_path);
+    StatusOr<BenchFile> newer = load_bench_file(new_path);
+    ASSERT_TRUE(older.is_ok());
+    ASSERT_TRUE(newer.is_ok());
+    const CompareReport report =
+        compare_bench(older.value(), newer.value());
+    EXPECT_TRUE(report.has_regressions());
+    // decode fps CoV is 20% -> 60% threshold swallows the 20% drop;
+    // encode (5% CoV -> 15%) and aggregate (5% -> 15%) must fire.
+    EXPECT_EQ(report.regressed, 2);
+    bool named = false;
+    for (const MetricComparison &row : report.rows) {
+        if (row.verdict == MetricVerdict::kRegressed &&
+            row.name ==
+                "codec/h264/rush_hour/576p25/avx2/encode_fps")
+            named = true;
+    }
+    EXPECT_TRUE(named);
+    std::remove(old_path.c_str());
+    std::remove(new_path.c_str());
+}
+
+TEST(PerfCompare, VerdictNames)
+{
+    EXPECT_STREQ(verdict_name(MetricVerdict::kImproved), "improved");
+    EXPECT_STREQ(verdict_name(MetricVerdict::kRegressed), "regressed");
+    EXPECT_STREQ(verdict_name(MetricVerdict::kWithinNoise),
+                 "within-noise");
+    EXPECT_STREQ(verdict_name(MetricVerdict::kMissing), "missing");
+    EXPECT_STREQ(verdict_name(MetricVerdict::kNew), "new");
+}
+
+}  // namespace
+}  // namespace hdvb
