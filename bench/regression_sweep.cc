@@ -2,7 +2,7 @@
  * @file
  * The canonical perf-trajectory sweep: one command that regenerates
  * `BENCH_<n>.json`, the compact schema-versioned perf baseline
- * committed per PR and gated by bench_compare. Three sections, all
+ * committed per PR and gated by bench_compare. Four sections, all
  * with a measured noise estimate:
  *
  *  - codecs: per-codec encode/decode fps at the standard resolutions
@@ -12,7 +12,10 @@
  *  - kernels: the kernels_microbench binary spawned with
  *    --benchmark_repetitions, medians and CoV parsed from its JSON;
  *  - serve: server_loadgen --smoke spawned N times, per-class
- *    p50/p95/p99 and aggregate fps summarized across runs.
+ *    p50/p95/p99 and aggregate fps summarized across runs;
+ *  - transcode: per codec pair, analysis-reuse transcode fps vs. the
+ *    full re-encode oracle with the PSNR cost (hdvb-transcode/1,
+ *    shared with bench/transcode_sweep).
  *
  * The document opens with a run-provenance block (git sha, CPU model,
  * core count, detected SIMD level, repeat count, build type) so the
@@ -26,7 +29,8 @@
  *
  * Usage: regression_sweep [--smoke] [--json OUT] [--pr N]
  *        [--repeats N] [--frames N] [--loadgen PATH] [--kernels PATH]
- *        [--skip-serve] [--skip-kernels] [--full-res]
+ *        [--skip-serve] [--skip-kernels] [--skip-transcode]
+ *        [--full-res]
  */
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/json_reader.h"
 #include "common/json_writer.h"
 #include "common/stats.h"
@@ -42,6 +47,7 @@
 #include "core/report.h"
 #include "core/sweep.h"
 #include "simd/dispatch.h"
+#include "transcode/transcode_bench.h"
 
 using namespace hdvb;
 
@@ -51,6 +57,7 @@ struct Options {
     bool smoke = false;
     bool skip_serve = false;
     bool skip_kernels = false;
+    bool skip_transcode = false;
     bool full_res = false;  ///< include 1088p25 in the codec matrix
     int pr = 8;
     int repeats = 3;
@@ -430,6 +437,82 @@ write_serve_section(JsonWriter *json, const Options &opt)
     return true;
 }
 
+// ---------------------------------------------------------------------
+// Section 4: transcode fps vs. the full re-encode oracle
+
+bool
+write_transcode_section(JsonWriter *json, const Options &opt)
+{
+    // The same schema transcode_sweep emits standalone; embedded here
+    // it rides the BENCH trajectory and bench_compare's noise gate.
+    struct Pair {
+        CodecId from;
+        CodecId to;
+    };
+    static constexpr Pair kPairs[] = {
+        {CodecId::kMpeg2, CodecId::kH264},
+        {CodecId::kMpeg4, CodecId::kH264},
+    };
+    const int frames =
+        opt.frames > 0 ? opt.frames : bench_frames_default();
+    const int repeats = opt.repeats;
+
+    json->key("transcode");
+    json->begin_object();
+    json->field("schema", "hdvb-transcode/1");
+    json->field("sequence", sequence_name(SequenceId::kRushHour));
+    json->field("resolution",
+                resolution_info(Resolution::k576p25).name);
+    json->field("frames", frames);
+    json->field("repeats", repeats);
+    json->key("pairs");
+    json->begin_array();
+    bool ok = true;
+    TableWriter table({"Pair", "reuse fps", "full fps", "speedup",
+                       "dPSNR dB"});
+    for (const Pair &pair : kPairs) {
+        const StatusOr<TranscodePairBench> bench = bench_transcode_pair(
+            pair.from, pair.to, Resolution::k576p25,
+            SequenceId::kRushHour, frames, repeats);
+        if (!bench.is_ok()) {
+            std::fprintf(stderr, "transcode %s -> %s failed: %s\n",
+                         codec_name(pair.from), codec_name(pair.to),
+                         bench.status().to_string().c_str());
+            ok = false;
+            continue;
+        }
+        const TranscodePairBench &b = bench.value();
+        json->begin_object();
+        json->field("pair", b.pair_name());
+        json->field("from", codec_name(b.from));
+        json->field("to", codec_name(b.to));
+        json->field("transcode_fps", b.hint_fps);
+        json->field("transcode_fps_cov", b.hint_fps_cov);
+        json->field("full_fps", b.full_fps);
+        json->field("full_fps_cov", b.full_fps_cov);
+        json->field("speedup", b.speedup);
+        json->field("psnr_hint_db", b.psnr_hint_db);
+        json->field("psnr_full_db", b.psnr_full_db);
+        json->field("psnr_delta_db", b.psnr_delta_db);
+        json->field("bits_in", b.bits_in);
+        json->field("bits_hint", b.bits_hint);
+        json->field("bits_full", b.bits_full);
+        json->field("hints_pushed", b.hints.pushed);
+        json->field("hints_taken", b.hints.taken);
+        json->field("hints_missed", b.hints.missed);
+        json->end_object();
+        table.add_row({b.pair_name(), TableWriter::fmt(b.hint_fps, 2),
+                       TableWriter::fmt(b.full_fps, 2),
+                       TableWriter::fmt(b.speedup, 2),
+                       TableWriter::fmt(b.psnr_delta_db, 2)});
+    }
+    json->end_array();
+    json->end_object();
+    std::printf("\n[transcode]\n");
+    table.print();
+    return ok;
+}
+
 }  // namespace
 
 int
@@ -443,21 +526,41 @@ main(int argc, char **argv)
             opt.skip_serve = true;
         else if (std::strcmp(argv[i], "--skip-kernels") == 0)
             opt.skip_kernels = true;
+        else if (std::strcmp(argv[i], "--skip-transcode") == 0)
+            opt.skip_transcode = true;
         else if (std::strcmp(argv[i], "--full-res") == 0)
             opt.full_res = true;
-        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-            opt.json_path = argv[++i];
-        else if (std::strcmp(argv[i], "--pr") == 0 && i + 1 < argc)
-            opt.pr = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
-            opt.repeats = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
-            opt.frames = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--loadgen") == 0 && i + 1 < argc)
-            opt.loadgen_path = argv[++i];
-        else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc)
-            opt.kernels_path = argv[++i];
-        else {
+        else if (std::strcmp(argv[i], "--json") == 0 ||
+                 std::strcmp(argv[i], "--loadgen") == 0 ||
+                 std::strcmp(argv[i], "--kernels") == 0) {
+            const std::string flag = argv[i];
+            const StatusOr<const char *> value =
+                cli_value(argc, argv, &i);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            if (flag == "--json")
+                opt.json_path = value.value();
+            else if (flag == "--loadgen")
+                opt.loadgen_path = value.value();
+            else
+                opt.kernels_path = value.value();
+        } else if (std::strcmp(argv[i], "--pr") == 0 ||
+                   std::strcmp(argv[i], "--repeats") == 0 ||
+                   std::strcmp(argv[i], "--frames") == 0) {
+            // Strict parse: "--repeats 1O" (typo) used to be a silent
+            // zero, then the clamp quietly turned it into 3.
+            const std::string flag = argv[i];
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 0, 1 << 20);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            if (flag == "--pr")
+                opt.pr = value.value();
+            else if (flag == "--repeats")
+                opt.repeats = value.value();
+            else
+                opt.frames = value.value();
+        } else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return 2;
         }
@@ -490,6 +593,8 @@ main(int argc, char **argv)
         ok = write_kernel_section(&json, opt) && ok;
     if (!opt.skip_serve)
         ok = write_serve_section(&json, opt) && ok;
+    if (!opt.skip_transcode)
+        ok = write_transcode_section(&json, opt) && ok;
     json.end_object();
 
     if (!ok) {

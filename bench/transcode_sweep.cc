@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Transcode trajectory bench: for each codec pair, analysis-reuse
+ * transcode fps against the full re-encode oracle, with the PSNR cost
+ * and bits saved, as repeat/CoV medians. Writes a schema-versioned
+ * `hdvb-transcode/1` JSON; the same section (and numbers) is embedded
+ * into `BENCH_<n>.json` by regression_sweep, where bench_compare gates
+ * it against the committed baseline.
+ *
+ * Usage: transcode_sweep [--smoke] [--json OUT] [--repeats N]
+ *        [--frames N]
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json_writer.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "transcode/transcode_bench.h"
+
+using namespace hdvb;
+
+namespace {
+
+struct Options {
+    bool smoke = false;
+    int repeats = 3;
+    int frames = 0;  ///< 0: bench_frames_default()
+    std::string json_path;
+};
+
+struct Pair {
+    CodecId from;
+    CodecId to;
+};
+
+/** The generational pairs of the paper's transcode scenario: archive
+ * codecs re-encoded with the newest one, plus the same-codec pair as
+ * the reuse best case. */
+constexpr Pair kPairs[] = {
+    {CodecId::kMpeg2, CodecId::kH264},
+    {CodecId::kMpeg4, CodecId::kH264},
+    {CodecId::kMpeg2, CodecId::kMpeg4},
+};
+
+void
+write_pair(JsonWriter *json, const TranscodePairBench &b)
+{
+    json->begin_object();
+    json->field("pair", b.pair_name());
+    json->field("from", codec_name(b.from));
+    json->field("to", codec_name(b.to));
+    json->field("transcode_fps", b.hint_fps);
+    json->field("transcode_fps_cov", b.hint_fps_cov);
+    json->field("full_fps", b.full_fps);
+    json->field("full_fps_cov", b.full_fps_cov);
+    json->field("speedup", b.speedup);
+    json->field("psnr_hint_db", b.psnr_hint_db);
+    json->field("psnr_full_db", b.psnr_full_db);
+    json->field("psnr_delta_db", b.psnr_delta_db);
+    json->field("bits_in", b.bits_in);
+    json->field("bits_hint", b.bits_hint);
+    json->field("bits_full", b.bits_full);
+    json->field("hints_pushed", b.hints.pushed);
+    json->field("hints_taken", b.hints.taken);
+    json->field("hints_missed", b.hints.missed);
+    json->end_object();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            opt.smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            const StatusOr<const char *> value =
+                cli_value(argc, argv, &i);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            opt.json_path = value.value();
+        } else if (std::strcmp(argv[i], "--repeats") == 0) {
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 1000);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            opt.repeats = value.value();
+        } else if (std::strcmp(argv[i], "--frames") == 0) {
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 1 << 20);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            opt.frames = value.value();
+        } else {
+            return cli_usage_error(
+                argv[0], Status::invalid_argument(
+                             std::string("unknown argument: ") +
+                             argv[i]));
+        }
+    }
+    const int frames =
+        opt.frames > 0 ? opt.frames : bench_frames_default();
+    const int repeats = opt.smoke ? 1 : opt.repeats;
+    const Resolution res = Resolution::k576p25;
+    const SequenceId seq = SequenceId::kRushHour;
+
+    std::printf("transcode sweep: %d frames x %d repeats (%s, %s)\n",
+                frames, repeats, resolution_info(res).name,
+                sequence_name(seq));
+
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "hdvb-transcode/1");
+    json.field("sequence", sequence_name(seq));
+    json.field("resolution", resolution_info(res).name);
+    json.field("frames", frames);
+    json.field("repeats", repeats);
+    json.key("pairs");
+    json.begin_array();
+
+    TableWriter table({"Pair", "reuse fps", "full fps", "speedup",
+                       "dPSNR dB", "bits saved %", "hints"});
+    bool ok = true;
+    for (const Pair &pair : kPairs) {
+        const StatusOr<TranscodePairBench> bench = bench_transcode_pair(
+            pair.from, pair.to, res, seq, frames, repeats);
+        if (!bench.is_ok()) {
+            std::fprintf(stderr, "%s -> %s failed: %s\n",
+                         codec_name(pair.from), codec_name(pair.to),
+                         bench.status().to_string().c_str());
+            ok = false;
+            continue;
+        }
+        const TranscodePairBench &b = bench.value();
+        write_pair(&json, b);
+        const double saved =
+            b.bits_in > 0
+                ? 100.0 * (1.0 - static_cast<double>(b.bits_hint) /
+                                     static_cast<double>(b.bits_in))
+                : 0.0;
+        table.add_row(
+            {b.pair_name(), TableWriter::fmt(b.hint_fps, 2),
+             TableWriter::fmt(b.full_fps, 2),
+             TableWriter::fmt(b.speedup, 2),
+             TableWriter::fmt(b.psnr_delta_db, 2),
+             TableWriter::fmt(saved, 1),
+             std::to_string(b.hints.taken) + "/" +
+                 std::to_string(b.hints.pushed)});
+    }
+    json.end_array();
+    json.end_object();
+    table.print();
+
+    if (!ok)
+        return 1;
+    if (!opt.json_path.empty()) {
+        const Status written = json.write_file(opt.json_path);
+        if (!written.is_ok()) {
+            std::fprintf(stderr, "report not written: %s\n",
+                         written.to_string().c_str());
+            return 1;
+        }
+        std::printf("transcode report: %s\n", opt.json_path.c_str());
+    }
+    return 0;
+}

@@ -9,9 +9,9 @@
  *                       [-seq name] [-outdir DIR]
  */
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "common/cli.h"
 #include "core/benchmark.h"
 #include "synth/synth.h"
 #include "video/y4m.h"
@@ -28,16 +28,36 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (arg == "-res" && !parse_resolution(next(), &res)) return 1;
-        else if (arg == "-frames")
-            frames = std::atoi(next());
-        else if (arg == "-outdir")
-            outdir = next();
-        else if (arg == "-seq")
-            only = next();
+        // Strict values: a trailing flag or a malformed count is a
+        // printed error, not a silent 0-frame export.
+        if (arg == "-frames") {
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 1 << 20);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            frames = value.value();
+            continue;
+        }
+        if (arg != "-res" && arg != "-outdir" && arg != "-seq") {
+            return cli_usage_error(
+                argv[0],
+                Status::invalid_argument("unknown flag " + arg));
+        }
+        const StatusOr<const char *> value = cli_value(argc, argv, &i);
+        if (!value.is_ok())
+            return cli_usage_error(argv[0], value.status());
+        if (arg == "-res") {
+            if (!parse_resolution(value.value(), &res)) {
+                return cli_usage_error(
+                    argv[0], Status::invalid_argument(
+                                 "-res: unknown resolution \"" +
+                                 std::string(value.value()) + "\""));
+            }
+        } else if (arg == "-outdir") {
+            outdir = value.value();
+        } else {
+            only = value.value();
+        }
     }
 
     const ResolutionInfo info = resolution_info(res);

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "container/container.h"
 #include "core/sweep.h"
 #include "metrics/timer.h"
@@ -89,11 +90,22 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
+        // A flag missing its value is a hard usage error, not an
+        // empty string (and "-frames" at the end of the line is no
+        // longer a silent request for zero frames).
+        auto next = [&]() -> StatusOr<const char *> {
+            return cli_value(argc, argv, &i);
+        };
+        const auto fail = [&](const Status &status) {
+            std::fprintf(stderr, "%s\n", status.to_string().c_str());
+            usage();
+            return 1;
         };
         if (arg == "-vc") {
-            const StatusOr<CodecId> parsed = parse_codec(next());
+            const StatusOr<const char *> value = next();
+            if (!value.is_ok())
+                return fail(value.status());
+            const StatusOr<CodecId> parsed = parse_codec(value.value());
             if (!parsed.is_ok()) {
                 std::fprintf(stderr, "%s\n",
                              parsed.status().to_string().c_str());
@@ -103,9 +115,16 @@ main(int argc, char **argv)
             codec = parsed.value();
             codec_set = true;
         } else if (arg == "-i") {
-            input = next();
+            const StatusOr<const char *> value = next();
+            if (!value.is_ok())
+                return fail(value.status());
+            input = value.value();
         } else if (arg == "-res") {
-            const StatusOr<Resolution> parsed = parse_resolution(next());
+            const StatusOr<const char *> value = next();
+            if (!value.is_ok())
+                return fail(value.status());
+            const StatusOr<Resolution> parsed =
+                parse_resolution(value.value());
             if (!parsed.is_ok()) {
                 std::fprintf(stderr, "%s\n",
                              parsed.status().to_string().c_str());
@@ -114,9 +133,16 @@ main(int argc, char **argv)
             }
             res = parsed.value();
         } else if (arg == "-frames") {
-            frames = std::atoi(next());
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 1 << 20);
+            if (!value.is_ok())
+                return fail(value.status());
+            frames = value.value();
         } else if (arg == "-simd") {
-            const std::string level = next();
+            const StatusOr<const char *> value = next();
+            if (!value.is_ok())
+                return fail(value.status());
+            const std::string level = value.value();
             if (!parse_simd_level(level, &simd)) {
                 std::fprintf(stderr,
                              "unknown SIMD level \"%s\" (one of: %s)\n",
@@ -125,7 +151,10 @@ main(int argc, char **argv)
                 return 1;
             }
         } else if (arg == "-vo") {
-            vo = next();
+            const StatusOr<const char *> value = next();
+            if (!value.is_ok())
+                return fail(value.status());
+            vo = value.value();
         } else {
             usage();
             return 1;

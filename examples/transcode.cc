@@ -1,25 +1,43 @@
 /**
  * @file
  * Transcoding scenario from the paper's introduction: video material
- * archived in an older codec is re-encoded with a newer one. Decodes an
- * MPEG-2-class stream and re-encodes it as H.264-class (or any other
- * pair), reporting the bitrate saving and the generational quality
- * loss.
+ * archived in an older codec is re-encoded with a newer one. Built on
+ * the TranscodeEngine (src/transcode/), which pipelines the decode and
+ * encode sessions over the serve scheduler and, by default, reuses the
+ * decoder's analysis (motion vectors, mode decisions) to seed the
+ * encoder's search — `-no-reuse` falls back to full analysis, the
+ * correctness oracle.
  *
  * Usage:
  *   transcode [-from mpeg2] [-to h264] [-res 576p25] [-frames N]
- *             [-o out.hdv]
+ *             [-threads N] [-no-reuse] [-o out.hdv]
  */
 #include <cstdio>
-#include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "common/cli.h"
 #include "container/container.h"
 #include "core/runner.h"
 #include "metrics/psnr.h"
-#include "metrics/timer.h"
+#include "transcode/transcode.h"
 
 using namespace hdvb;
+
+namespace {
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [-from mpeg2|mpeg4|h264] [-to ...] "
+                 "[-res 576p25|720p25|1088p25] [-frames N] "
+                 "[-threads N] [-no-reuse] [-o out.hdv]\n",
+                 prog);
+    return 2;
+}
+
+}  // namespace
 
 int
 main(int argc, char **argv)
@@ -28,21 +46,55 @@ main(int argc, char **argv)
     CodecId to = CodecId::kH264;
     Resolution res = Resolution::k576p25;
     int frames = bench_frames_default();
+    int threads = 1;
+    bool reuse = true;
     std::string out_path = "transcode_out.hdv";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (arg == "-from" && !parse_codec(next(), &from)) return 1;
-        else if (arg == "-to" && !parse_codec(next(), &to)) return 1;
-        else if (arg == "-res" && !parse_resolution(next(), &res))
-            return 1;
-        else if (arg == "-frames")
-            frames = std::atoi(next());
-        else if (arg == "-o")
-            out_path = next();
+        if (arg == "-from" || arg == "-to" || arg == "-res") {
+            const StatusOr<const char *> value =
+                cli_value(argc, argv, &i);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            const bool parsed =
+                arg == "-res"
+                    ? parse_resolution(value.value(), &res)
+                    : parse_codec(value.value(),
+                                  arg == "-from" ? &from : &to);
+            if (!parsed) {
+                return cli_usage_error(
+                    argv[0], Status::invalid_argument(
+                                 arg + ": unknown value \"" +
+                                 value.value() + "\""));
+            }
+        } else if (arg == "-frames") {
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 1 << 20);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            frames = value.value();
+        } else if (arg == "-threads") {
+            const StatusOr<int> value =
+                cli_int_value(argc, argv, &i, 1, 64);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            threads = value.value();
+        } else if (arg == "-no-reuse") {
+            reuse = false;
+        } else if (arg == "-reuse") {
+            reuse = true;
+        } else if (arg == "-o") {
+            const StatusOr<const char *> value =
+                cli_value(argc, argv, &i);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            out_path = value.value();
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        }
     }
 
     // Source material: archive footage in the old codec.
@@ -59,75 +111,67 @@ main(int argc, char **argv)
                      source_or.status().to_string().c_str());
         return 1;
     }
-    const EncodeRun &source_run = source_or.value();
+    const EncodedStream &source = source_or.value().stream;
 
-    const CodecConfig from_cfg =
-        benchmark_config(from, res, best_simd_level());
-    const CodecConfig to_cfg =
-        benchmark_config(to, res, best_simd_level());
+    TranscodeOptions opt =
+        transcode_benchmark_options(from, to, res, best_simd_level());
+    opt.reuse_analysis = reuse;
+    opt.decoder_config.threads = threads;
+    opt.encoder_config.threads = threads;
 
-    // Decode old -> encode new, streaming frame by frame.
-    std::unique_ptr<VideoDecoder> decoder =
-        make_decoder(from, from_cfg).value();
-    std::unique_ptr<VideoEncoder> encoder =
-        make_encoder(to, to_cfg).value();
-    EncodedStream out;
-    out.codec = codec_name(to);
-    out.width = to_cfg.width;
-    out.height = to_cfg.height;
-
-    WallTimer timer;
-    std::vector<Frame> decoded;
-    timer.start();
-    for (const Packet &packet : source_run.stream.packets) {
-        if (!decoder->decode(packet, &decoded).is_ok()) {
-            std::fprintf(stderr, "source stream undecodable\n");
-            return 1;
-        }
-        for (Frame &frame : decoded) {
-            if (!encoder->encode(frame, &out.packets).is_ok())
-                return 1;
-        }
-        decoded.clear();
+    const TranscodeEngine engine(opt);
+    const StatusOr<TranscodeResult> result_or = engine.run(source);
+    if (!result_or.is_ok()) {
+        std::fprintf(stderr, "[transcode] failed: %s\n",
+                     result_or.status().to_string().c_str());
+        return 1;
     }
-    decoder->flush(&decoded);
-    for (Frame &frame : decoded)
-        encoder->encode(frame, &out.packets);
-    encoder->flush(&out.packets);
-    timer.stop();
+    const TranscodeResult &result = result_or.value();
 
-    if (!write_stream_file(out_path, out).is_ok()) {
+    if (!write_stream_file(out_path, result.stream).is_ok()) {
         std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         return 1;
     }
 
     // Quality of the final generation against the pristine source.
     std::unique_ptr<VideoDecoder> verify =
-        make_decoder(to, to_cfg).value();
+        make_decoder(to, opt.encoder_config).value();
     std::vector<Frame> final_frames;
-    for (const Packet &packet : out.packets)
-        verify->decode(packet, &final_frames);
+    for (const Packet &packet : result.stream.packets) {
+        if (!verify->decode(packet, &final_frames).is_ok()) {
+            std::fprintf(stderr, "transcoded stream undecodable\n");
+            return 1;
+        }
+    }
     verify->flush(&final_frames);
-    SyntheticSource pristine(point.sequence, to_cfg.width,
-                             to_cfg.height);
+    SyntheticSource pristine(point.sequence, opt.encoder_config.width,
+                             opt.encoder_config.height);
     PsnrAccumulator psnr;
     for (const Frame &frame : final_frames)
         psnr.add(pristine.at(static_cast<int>(frame.poc())), frame);
 
-    const double in_kbps = static_cast<double>(
-                               source_run.stream.total_bits()) *
-                           25.0 / frames / 1000.0;
+    const TranscodeStats &stats = result.stats;
+    const double in_kbps =
+        static_cast<double>(stats.bits_in) * 25.0 / frames / 1000.0;
     const double out_kbps =
-        static_cast<double>(out.total_bits()) * 25.0 / frames / 1000.0;
-    std::printf("transcode %s -> %s (%s, %d frames)\n",
+        static_cast<double>(stats.bits_out) * 25.0 / frames / 1000.0;
+    std::printf("transcode %s -> %s (%s, %d frames, analysis reuse %s)\n",
                 codec_name(from), codec_name(to),
-                resolution_info(res).name, frames);
+                resolution_info(res).name, frames,
+                reuse ? "on" : "off");
     std::printf("input:  %8.0f kbps\n", in_kbps);
     std::printf("output: %8.0f kbps  (%.1f %% saving)\n", out_kbps,
                 100.0 * (1.0 - out_kbps / in_kbps));
     std::printf("end-to-end PSNR-Y vs pristine source: %.2f dB\n",
                 psnr.psnr_y());
-    std::printf("transcode speed: %.2f fps -> wrote %s\n",
-                frames / timer.seconds(), out_path.c_str());
+    if (reuse) {
+        std::printf("hints: %lld pictures exported, %lld consumed, "
+                    "%lld missed\n",
+                    static_cast<long long>(stats.hints.pushed),
+                    static_cast<long long>(stats.hints.taken),
+                    static_cast<long long>(stats.hints.missed));
+    }
+    std::printf("transcode speed: %.2f fps -> wrote %s\n", stats.fps(),
+                out_path.c_str());
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "codec/codec.h"
 
+#include "codec/side_info.h"
 #include "me/me.h"
 
 namespace hdvb {
@@ -86,6 +87,36 @@ EncoderBase::encode(const Frame &frame, std::vector<Packet> *out)
 }
 
 Status
+EncoderBase::use_hints(std::shared_ptr<HintMap> hints)
+{
+    hints_ = std::move(hints);
+    return Status::ok();
+}
+
+std::shared_ptr<const PictureSideInfo>
+EncoderBase::take_hints(const Frame &src, PictureType type) const
+{
+    if (!hints_)
+        return nullptr;
+    std::shared_ptr<const PictureSideInfo> info =
+        hints_->take(src.poc());
+    if (!info)
+        return nullptr;
+    // A hint picture is only usable when it describes the same coding
+    // decision this encode is about to make: same picture type (the
+    // vector directions must line up) and same macroblock grid.
+    if (info->type != type || info->mb_w != config_.width / 16 ||
+        info->mb_h != config_.height / 16) {
+        return nullptr;
+    }
+    if (info->mbs.size() !=
+        static_cast<size_t>(info->mb_w) * info->mb_h) {
+        return nullptr;
+    }
+    return info;
+}
+
+Status
 EncoderBase::flush(std::vector<Packet> *out)
 {
     if (!pending_.empty()) {
@@ -96,6 +127,19 @@ EncoderBase::flush(std::vector<Packet> *out)
             pending_.pop_front();
         }
     }
+    return Status::ok();
+}
+
+Status
+DecoderBase::export_side_info(DecodeSideInfo *sink)
+{
+    if (sink != nullptr && config_.error_resilience) {
+        return Status::unimplemented(
+            "side-info export requires the serial decode path "
+            "(error_resilience reconstructs rows in parallel and "
+            "conceals, so its vectors are not trustworthy hints)");
+    }
+    side_info_ = sink;
     return Status::ok();
 }
 

@@ -152,6 +152,10 @@ class Codec
     virtual void use_arena(const FrameArena &arena) { (void)arena; }
 };
 
+class DecodeSideInfo;
+class HintMap;
+struct PictureSideInfo;
+
 /** Streaming encoder interface. */
 class VideoEncoder : public Codec
 {
@@ -163,6 +167,24 @@ class VideoEncoder : public Codec
 
     /** Drain buffered pictures. */
     virtual Status flush(std::vector<Packet> *out) = 0;
+
+    /**
+     * Adopt @p hints (see codec/side_info.h): before analysing a
+     * picture, the encoder claims the matching PictureSideInfo by
+     * display index and uses it to seed motion-search candidates and
+     * prune mode trials. Hints are advisory — vectors are clamped to
+     * the search window and every pruned decision keeps its fallback —
+     * so the output stream stays decodable under arbitrary hints, and
+     * a null map (the default) leaves behaviour byte-identical to an
+     * unhinted encode. Call before the first encode().
+     */
+    virtual Status
+    use_hints(std::shared_ptr<HintMap> hints)
+    {
+        (void)hints;
+        return Status::unimplemented(
+            "this encoder does not support analysis-reuse hints");
+    }
 };
 
 /** Streaming decoder interface; frames come out in display order. */
@@ -174,6 +196,22 @@ class VideoDecoder : public Codec
 
     /** Drain the held anchor picture. */
     virtual Status flush(std::vector<Frame> *out) = 0;
+
+    /**
+     * Register @p sink to receive per-picture side info (per-MB modes,
+     * motion vectors, references, quantiser — codec/side_info.h) as
+     * pictures are decoded; null unregisters. Only the serial
+     * non-resilient decode path records side info, so registering a
+     * sink on a CodecConfig::error_resilience decoder is an error.
+     * Call before the first decode().
+     */
+    virtual Status
+    export_side_info(DecodeSideInfo *sink)
+    {
+        (void)sink;
+        return Status::unimplemented(
+            "this decoder does not export side info");
+    }
 };
 
 /**
@@ -189,6 +227,7 @@ class EncoderBase : public VideoEncoder
 
     Status encode(const Frame &frame, std::vector<Packet> *out) final;
     Status flush(std::vector<Packet> *out) final;
+    Status use_hints(std::shared_ptr<HintMap> hints) final;
 
     const CodecConfig &config() const { return config_; }
 
@@ -220,6 +259,18 @@ class EncoderBase : public VideoEncoder
                      config_.frame_pool ? &pool_ : nullptr);
     }
 
+    /**
+     * Claim the hint picture for @p src from the adopted HintMap, or
+     * null when there is no map, no buffered picture for src.poc(),
+     * or the buffered picture does not match this encode (@p type or
+     * macroblock grid differ — a mismatched GOP structure must degrade
+     * to full analysis, never to wrong-direction vectors). Subclasses
+     * call this at the top of encode_picture() and treat null as
+     * "run the full search".
+     */
+    std::shared_ptr<const PictureSideInfo>
+    take_hints(const Frame &src, PictureType type) const;
+
   private:
     void emit(const Frame &src, PictureType type,
               std::vector<Packet> *out);
@@ -229,6 +280,7 @@ class EncoderBase : public VideoEncoder
     std::deque<Frame> pending_;  ///< display-order lookahead window
     s64 next_display_ = 0;
     s64 coding_index_ = 0;
+    std::shared_ptr<HintMap> hints_;
 };
 
 /**
@@ -242,6 +294,7 @@ class DecoderBase : public VideoDecoder
 
     Status decode(const Packet &packet, std::vector<Frame> *out) final;
     Status flush(std::vector<Frame> *out) final;
+    Status export_side_info(DecodeSideInfo *sink) final;
 
     const CodecConfig &config() const { return config_; }
 
@@ -272,11 +325,17 @@ class DecoderBase : public VideoDecoder
     /** Subclasses bump these while decoding resilient pictures. */
     DecodeStats stats_;
 
+    /** Registered side-info sink, or null. Subclasses record per-MB
+     * facts while decoding and push one PictureSideInfo per picture
+     * (serial non-resilient path only). */
+    DecodeSideInfo *side_info_sink() const { return side_info_; }
+
   private:
     CodecConfig config_;
     FramePool pool_;
     Frame held_anchor_;
     bool has_held_ = false;
+    DecodeSideInfo *side_info_ = nullptr;
 };
 
 }  // namespace hdvb

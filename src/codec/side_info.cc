@@ -1,0 +1,46 @@
+#include "codec/side_info.h"
+
+#include <utility>
+
+namespace hdvb {
+
+void
+HintMap::push(PictureSideInfo info)
+{
+    auto shared =
+        std::make_shared<const PictureSideInfo>(std::move(info));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.pushed;
+    by_poc_[shared->poc] = std::move(shared);
+}
+
+std::shared_ptr<const PictureSideInfo>
+HintMap::take(s64 poc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_poc_.find(poc);
+    if (it == by_poc_.end()) {
+        ++stats_.missed;
+        return nullptr;
+    }
+    std::shared_ptr<const PictureSideInfo> info = std::move(it->second);
+    by_poc_.erase(it);
+    ++stats_.taken;
+    return info;
+}
+
+HintMapStats
+HintMap::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+HintMap::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    by_poc_.clear();
+}
+
+}  // namespace hdvb

@@ -137,6 +137,40 @@ load_codec_metrics(const JsonValue &codecs, BenchFile *file)
     }
 }
 
+/** The transcode block (hdvb-transcode/1): per codec pair, the
+ * analysis-reuse transcode fps and the full re-encode oracle fps, plus
+ * the PSNR cost of reuse. psnr_delta_db is ~0 when hints are good, so
+ * it is gated on an absolute floor like allocs_per_frame. */
+void
+load_transcode_metrics(const JsonValue &transcode, BenchFile *file)
+{
+    constexpr double kPsnrDeltaFloorDb = 0.25;
+    const JsonValue &pairs = transcode.get("pairs");
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        const JsonValue &pair = pairs.at(i);
+        const std::string name = pair.get("pair").as_string();
+        if (name.empty())
+            continue;
+        if (const JsonValue *fps = pair.find("transcode_fps")) {
+            add_metric(file, "transcode/" + name + "/transcode_fps",
+                       fps->as_double(),
+                       pair.get("transcode_fps_cov").as_double(),
+                       /*higher_is_better=*/true);
+        }
+        if (const JsonValue *fps = pair.find("full_fps")) {
+            add_metric(file, "transcode/" + name + "/full_fps",
+                       fps->as_double(),
+                       pair.get("full_fps_cov").as_double(),
+                       /*higher_is_better=*/true);
+        }
+        if (const JsonValue *delta = pair.find("psnr_delta_db")) {
+            add_metric(file, "transcode/" + name + "/psnr_delta_db",
+                       delta->as_double(), /*cov=*/0.0,
+                       /*higher_is_better=*/true, kPsnrDeltaFloorDb);
+        }
+    }
+}
+
 }  // namespace
 
 StatusOr<BenchFile>
@@ -164,6 +198,8 @@ load_bench_file(const std::string &path)
         load_kernel_metrics(*kernels, &file);
     if (const JsonValue *serve = doc.find("serve"))
         load_serve_metrics(*serve, &file);
+    if (const JsonValue *transcode = doc.find("transcode"))
+        load_transcode_metrics(*transcode, &file);
     if (file.metrics.empty()) {
         return Status::invalid_argument(
             path + ": no comparable metrics found");

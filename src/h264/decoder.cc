@@ -24,6 +24,7 @@
 #include "bitstream/resync.h"
 #include "codec/codec.h"
 #include "codec/conceal.h"
+#include "codec/side_info.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
@@ -85,6 +86,8 @@ class H264Decoder final : public DecoderBase
         int mby;
         MotionVector left_fwd;
         MotionVector left_bwd;
+        /** Side-info slot for the current MB (serial path only). */
+        MbSideInfo *rec = nullptr;
     };
 
     Status decode_picture_resilient(const Packet &packet, Frame *out);
@@ -361,6 +364,8 @@ H264Decoder::decode_intra_mb(MbState &st)
     fill_binfo(st, true, -1, nullptr, 0, mb_nz_map_);
     mv_grid_[st.mby * mb_w_ + st.mbx] = MotionVector{};
     st.left_fwd = st.left_bwd = MotionVector{};
+    if (st.rec != nullptr)
+        st.rec->mode = MbSideInfo::kIntra;
     return true;
 }
 
@@ -413,6 +418,10 @@ H264Decoder::recon_skip(MbState &st)
         part.mv = mv;
         fill_binfo(st, false, 0, &part, 1, 0);
         mv_grid_[st.mby * mb_w_ + st.mbx] = mv;
+        if (st.rec != nullptr) {
+            st.rec->mode = MbSideInfo::kSkip;
+            st.rec->fwd = mv;
+        }
     } else {
         const Frame &fwd = dpb_[dpb_.size() - 2];
         const Frame &bwd = dpb_.back();
@@ -433,6 +442,8 @@ H264Decoder::recon_skip(MbState &st)
         Partition part = kPartGeom[kPart16x16][0];
         fill_binfo(st, false, 0, &part, 1, 0);
         st.left_fwd = st.left_bwd = MotionVector{};
+        if (st.rec != nullptr)
+            st.rec->mode = MbSideInfo::kSkip;
     }
     dsp_.copy_rect(st.frame->luma().row(ly) + lx,
                    st.frame->luma().stride(), luma_pred, 16, 16, 16);
@@ -511,6 +522,11 @@ H264Decoder::decode_mb(MbState &st)
         fill_binfo(st, false, static_cast<s8>(ref), parts, count,
                    mb_nz_map_);
         mv_grid_[st.mby * mb_w_ + st.mbx] = parts[0].mv;
+        if (st.rec != nullptr) {
+            st.rec->mode = MbSideInfo::kInterFwd;
+            st.rec->ref = static_cast<u8>(ref);
+            st.rec->fwd = parts[0].mv;
+        }
         return true;
     }
 
@@ -578,6 +594,14 @@ H264Decoder::decode_mb(MbState &st)
     fill_binfo(st, false, 0, &part, 1, mb_nz_map_);
     st.left_fwd = mode == kBBwd ? MotionVector{} : fmv;
     st.left_bwd = mode == kBFwd ? MotionVector{} : bmv;
+    if (st.rec != nullptr) {
+        st.rec->mode = mode == kBBi
+                           ? MbSideInfo::kInterBi
+                           : (mode == kBFwd ? MbSideInfo::kInterFwd
+                                            : MbSideInfo::kInterBwd);
+        st.rec->fwd = fmv;
+        st.rec->bwd = bmv;
+    }
     return true;
 }
 
@@ -1208,6 +1232,17 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
+    const bool record = side_info_sink() != nullptr;
+    PictureSideInfo si;
+    if (record) {
+        si.poc = packet.poc;
+        si.type = type;
+        si.mb_w = mb_w_;
+        si.mb_h = mb_h_;
+        si.quant = qp;
+        si.mbs.resize(static_cast<size_t>(mb_w_) * mb_h_);
+    }
+
     MbState st{};
     st.frame = out;
     st.type = type;
@@ -1216,6 +1251,7 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
         st.left_fwd = st.left_bwd = MotionVector{};
         for (int mbx = 0; mbx < mb_w_; ++mbx) {
             st.mbx = mbx;
+            st.rec = record ? &si.at(mbx, mby) : nullptr;
             if (!decode_mb(st)) {
                 rc_ = nullptr;
                 return Status::corrupt_stream("bad h264 MB data");
@@ -1224,6 +1260,9 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
     }
     rc_ = nullptr;
     quant_i_ = quant_p_ = nullptr;
+
+    if (record)
+        side_info_sink()->push(std::move(si));
 
     if (deblock)
         deblock_picture(out, binfo_, qp);

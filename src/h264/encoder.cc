@@ -25,6 +25,7 @@
 #include "bitstream/bit_writer.h"
 #include "bitstream/resync.h"
 #include "codec/codec.h"
+#include "codec/side_info.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
@@ -58,6 +59,15 @@ const Partition kPartGeom[4][4] = {
 };
 
 const int kPartCount[4] = {1, 2, 2, 4};
+
+/** Hint vector (quarter-sample) as a clamped-by-the-estimator
+ * full-sample search candidate. */
+inline MotionVector
+hint_full_pel(MotionVector quarter)
+{
+    return {static_cast<s16>(quarter.x >> 2),
+            static_cast<s16>(quarter.y >> 2)};
+}
 
 class H264Encoder final : public EncoderBase
 {
@@ -183,6 +193,16 @@ class H264Encoder final : public EncoderBase
     Contexts ctx_models_;
     std::vector<MbRecord> records_;   ///< one per MB, raster order
     std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
+
+    /** Hints for the picture being analysed (read-only during the
+     * wavefront phase), or null for full analysis. */
+    std::shared_ptr<const PictureSideInfo> hint_pic_;
+
+    const MbSideInfo *
+    hint_mb(int mbx, int mby) const
+    {
+        return hint_pic_ ? &hint_pic_->at(mbx, mby) : nullptr;
+    }
 };
 
 const Frame &
@@ -585,6 +605,18 @@ H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
         return;
     }
 
+    // Analysis-reuse hints (see src/codec/side_info.h): decode-side
+    // intra goes straight to intra; a decode-side vector is seeded as
+    // a search candidate while the intra scan, the extra references
+    // and the partition split trials are pruned; B MBs search only the
+    // hinted direction(s). Each pruned branch keeps a legal fallback;
+    // a null hint runs the original code path bit-for-bit.
+    const MbSideInfo *hint = hint_mb(mbx, mby);
+    if (hint != nullptr && hint->mode == MbSideInfo::kIntra) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
+        return;
+    }
+
     // ---- inter candidates ----
     const MotionVector pred_mv = median_pred(mbx, mby);
     std::vector<MotionVector> cands;
@@ -599,28 +631,39 @@ H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
              static_cast<s16>(mv_grid_[idx - mb_w_].y >> 2)});
     cands.push_back(anchor_mvs_[idx]);
 
-    // Rough intra cost for the mode decision.
+    // Rough intra cost for the mode decision (a hinted MB already
+    // settled on inter at decode time, so skip the SATD scan).
     Pixel ipred[16 * 16];
     int intra_cost = INT32_MAX;
-    for (int m = 0; m < 4; ++m) {
-        const Intra16Mode mode = static_cast<Intra16Mode>(m);
-        if (!intra16_mode_available(lx, ly, mode))
-            continue;
-        predict_intra16(recon_.luma(), lx, ly, mode, ipred, 16);
-        const int cost = dsp_.satd_rect(src_luma.row(ly) + lx,
-                                        src_luma.stride(), ipred, 16,
-                                        16, 16);
-        intra_cost = intra_cost < cost ? intra_cost : cost;
+    if (hint == nullptr) {
+        for (int m = 0; m < 4; ++m) {
+            const Intra16Mode mode = static_cast<Intra16Mode>(m);
+            if (!intra16_mode_available(lx, ly, mode))
+                continue;
+            predict_intra16(recon_.luma(), lx, ly, mode, ipred, 16);
+            const int cost = dsp_.satd_rect(src_luma.row(ly) + lx,
+                                            src_luma.stride(), ipred, 16,
+                                            16, 16);
+            intra_cost = intra_cost < cost ? intra_cost : cost;
+        }
+        intra_cost += (me_.params().lambda16 * 32) >> 4;
     }
-    intra_cost += (me_.params().lambda16 * 32) >> 4;
 
     if (type == PictureType::kP) {
-        // 16x16 over every reference.
+        // 16x16 over every reference; a hint pins the decode-side
+        // reference (clamped to this encoder's dpb depth).
         const int nrefs =
             clamp<int>(static_cast<int>(dpb_.size()), 1, cfg.refs);
+        int r_lo = 0;
+        int r_hi = nrefs;
+        if (hint != nullptr) {
+            cands.push_back(hint_full_pel(hint->fwd));
+            r_lo = clamp<int>(hint->ref, 0, nrefs - 1);
+            r_hi = r_lo + 1;
+        }
         MeResult best16;
-        int best_ref = 0;
-        for (int r = 0; r < nrefs; ++r) {
+        int best_ref = r_lo;
+        for (int r = r_lo; r < r_hi; ++r) {
             MeResult res = estimate(src, ref_frame(r).luma(), lx, ly,
                                     16, 16, pred_mv, cands);
             res.cost += (me_.params().lambda16 * 2 * r) >> 4;
@@ -631,12 +674,13 @@ H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
         }
         const Plane &ref_luma = ref_frame(best_ref).luma();
 
-        // Partition decision on the chosen reference.
+        // Partition decision on the chosen reference (the hint is a
+        // 16x16 seed, so trust it and skip the split trials).
         int best_mode = kPart16x16;
         Partition parts[4] = {kPartGeom[kPart16x16][0], {}, {}, {}};
         parts[0].mv = best16.mv;
         int best_cost = best16.cost;
-        if (cfg.partitions) {
+        if (cfg.partitions && hint == nullptr) {
             std::vector<MotionVector> sub_cands = cands;
             sub_cands.push_back({static_cast<s16>(best16.mv.x >> 2),
                                  static_cast<s16>(best16.mv.y >> 2)});
@@ -723,32 +767,63 @@ H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
     }
 
     // ---- B picture: 16x16 fwd/bwd/bi (+ intra) ----
+    // A single-direction hint prunes the opposite estimate and the
+    // bi-prediction build.
     const Frame &fwd_ref = dpb_[dpb_.size() - 2];
     const Frame &bwd_ref = dpb_.back();
-    const MeResult fwd = estimate(src, fwd_ref.luma(), lx, ly, 16, 16,
-                                  rs.left_fwd, cands);
-    const MeResult bwd = estimate(src, bwd_ref.luma(), lx, ly, 16, 16,
-                                  rs.left_bwd, cands);
+    const bool want_fwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterBwd;
+    const bool want_bwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterFwd;
 
+    MeResult fwd;
+    MeResult bwd;
     Pixel fbuf[16 * 16], bbuf[16 * 16], bibuf[16 * 16];
-    mc_h264_luma(fwd_ref.luma(), lx, ly, fwd.mv, fbuf, 16, 16, 16, dsp_);
-    mc_h264_luma(bwd_ref.luma(), lx, ly, bwd.mv, bbuf, 16, 16, 16, dsp_);
-    dsp_.avg_rect(bibuf, 16, fbuf, 16, bbuf, 16, 16, 16);
-    const int bi_sad = dsp_.satd_rect(src_luma.row(ly) + lx,
-                                      src_luma.stride(), bibuf, 16, 16,
-                                      16);
-    const int bi_cost =
-        bi_sad +
-        mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16) +
-        mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+    if (want_fwd) {
+        std::vector<MotionVector> fcands = cands;
+        if (hint != nullptr)
+            fcands.push_back(hint_full_pel(hint->fwd));
+        fwd = estimate(src, fwd_ref.luma(), lx, ly, 16, 16, rs.left_fwd,
+                       fcands);
+        mc_h264_luma(fwd_ref.luma(), lx, ly, fwd.mv, fbuf, 16, 16, 16,
+                     dsp_);
+    }
+    if (want_bwd) {
+        std::vector<MotionVector> bcands = cands;
+        if (hint != nullptr)
+            bcands.push_back(hint_full_pel(hint->bwd));
+        bwd = estimate(src, bwd_ref.luma(), lx, ly, 16, 16, rs.left_bwd,
+                       bcands);
+        mc_h264_luma(bwd_ref.luma(), lx, ly, bwd.mv, bbuf, 16, 16, 16,
+                     dsp_);
+    }
 
-    int mode = kBBi;
-    int best_cost = bi_cost;
-    if (fwd.cost < best_cost) {
+    int mode;
+    int best_cost;
+    if (want_fwd && want_bwd) {
+        dsp_.avg_rect(bibuf, 16, fbuf, 16, bbuf, 16, 16, 16);
+        const int bi_sad = dsp_.satd_rect(src_luma.row(ly) + lx,
+                                          src_luma.stride(), bibuf, 16,
+                                          16, 16);
+        const int bi_cost =
+            bi_sad +
+            mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16) +
+            mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+
+        mode = kBBi;
+        best_cost = bi_cost;
+        if (fwd.cost < best_cost) {
+            mode = kBFwd;
+            best_cost = fwd.cost;
+        }
+        if (bwd.cost < best_cost) {
+            mode = kBBwd;
+            best_cost = bwd.cost;
+        }
+    } else if (want_fwd) {
         mode = kBFwd;
         best_cost = fwd.cost;
-    }
-    if (bwd.cost < best_cost) {
+    } else {
         mode = kBBwd;
         best_cost = bwd.cost;
     }
@@ -943,7 +1018,9 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
     binfo_.clear();
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
+    hint_pic_ = take_hints(src, type);
     analyze_picture(src, type);
+    hint_pic_.reset();
 
     std::vector<u8> out;
     if (cfg.error_resilience) {

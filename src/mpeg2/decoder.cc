@@ -14,6 +14,7 @@
 #include "bitstream/resync.h"
 #include "codec/conceal.h"
 #include "codec/mpeg_block.h"
+#include "codec/side_info.h"
 #include "codec/run_level.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -61,6 +62,8 @@ class Mpeg2Decoder final : public DecoderBase
         int dc_pred[3];
         MotionVector left_fwd;
         MotionVector left_bwd;
+        /** Side-info slot for the current MB (serial path only). */
+        MbSideInfo *rec = nullptr;
     };
 
     bool decode_intra_mb(MbState &st);
@@ -157,6 +160,8 @@ Mpeg2Decoder::decode_intra_mb(MbState &st)
                          plane.stride(), dsp_);
     }
     st.left_fwd = st.left_bwd = MotionVector{};
+    if (st.rec != nullptr)
+        st.rec->mode = MbSideInfo::kIntra;
     return true;
 }
 
@@ -232,6 +237,18 @@ Mpeg2Decoder::decode_inter_mb(MbState &st, bool is_b, int mode)
     st.left_fwd = use_fwd ? fwd : MotionVector{};
     st.left_bwd = use_bwd ? bwd : MotionVector{};
     st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    if (st.rec != nullptr) {
+        // Export in quarter-sample units (MPEG-2 codes half-sample).
+        st.rec->mode = !is_b ? MbSideInfo::kInterFwd
+                       : use_fwd && use_bwd
+                           ? MbSideInfo::kInterBi
+                           : (use_fwd ? MbSideInfo::kInterFwd
+                                      : MbSideInfo::kInterBwd);
+        st.rec->fwd = {static_cast<s16>(fwd.x * 2),
+                       static_cast<s16>(fwd.y * 2)};
+        st.rec->bwd = {static_cast<s16>(bwd.x * 2),
+                       static_cast<s16>(bwd.y * 2)};
+    }
     return true;
 }
 
@@ -489,6 +506,17 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
     st.intra_quant = &intra_quant;
     st.inter_quant = &inter_quant;
 
+    const bool record = side_info_sink() != nullptr;
+    PictureSideInfo si;
+    if (record) {
+        si.poc = packet.poc;
+        si.type = type;
+        si.mb_w = mb_w_;
+        si.mb_h = mb_h_;
+        si.quant = qscale;
+        si.mbs.resize(static_cast<size_t>(mb_w_) * mb_h_);
+    }
+
     const bool is_b = type == PictureType::kB;
     if (type == PictureType::kI) {
         for (int mby = 0; mby < mb_h_; ++mby) {
@@ -496,6 +524,7 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
             st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
             for (int mbx = 0; mbx < mb_w_; ++mbx) {
                 st.mbx = mbx;
+                st.rec = record ? &si.at(mbx, mby) : nullptr;
                 if (!decode_intra_mb(st))
                     return Status::corrupt_stream("bad intra MB data");
             }
@@ -519,6 +548,8 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
                     st.left_fwd = st.left_bwd = MotionVector{};
                 }
                 recon_skip_mb(out, type, st.mbx, st.mby);
+                if (record)
+                    si.at(st.mbx, st.mby).mode = MbSideInfo::kSkip;
                 st.left_fwd = st.left_bwd = MotionVector{};
                 st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
                     kDcPredReset;
@@ -534,6 +565,7 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
                     kDcPredReset;
                 st.left_fwd = st.left_bwd = MotionVector{};
             }
+            st.rec = record ? &si.at(st.mbx, st.mby) : nullptr;
             bool ok;
             if (is_b) {
                 const u32 mode = read_ue(br);
@@ -558,6 +590,9 @@ Mpeg2Decoder::decode_picture(const Packet &packet, Frame *out)
     }
     if (br.has_error())
         return Status::corrupt_stream("truncated mpeg2 picture");
+
+    if (record)
+        side_info_sink()->push(std::move(si));
 
     if (type != PictureType::kB) {
         out->extend_borders();

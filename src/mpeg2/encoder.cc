@@ -24,6 +24,7 @@
 #include "bitstream/resync.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
+#include "codec/side_info.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
@@ -37,6 +38,16 @@ namespace {
 
 using mpeg2::kDcPredReset;
 using mpeg2::kDcStep;
+
+/** Hint vector (quarter-sample) as a full-sample search candidate; the
+ * estimator clamps all candidates to its legal window, so even an
+ * out-of-range hint is safe. */
+inline MotionVector
+hint_full_pel(MotionVector quarter)
+{
+    return {static_cast<s16>(quarter.x >> 2),
+            static_cast<s16>(quarter.y >> 2)};
+}
 
 /** Per-macroblock prediction buffers (luma 16x16, chroma 8x8 each). */
 struct PredBuffers {
@@ -152,6 +163,16 @@ class Mpeg2Encoder final : public EncoderBase
     std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
     BitWriter bw_;           ///< persistent writer (capacity reuse)
     std::vector<u8> wbuf_;   ///< persistent finish_into() scratch
+
+    /** Hints for the picture being analysed (read-only during the
+     * wavefront phase), or null for full analysis. */
+    std::shared_ptr<const PictureSideInfo> hint_pic_;
+
+    const MbSideInfo *
+    hint_mb(int mbx, int mby) const
+    {
+        return hint_pic_ ? &hint_pic_->at(mbx, mby) : nullptr;
+    }
 };
 
 std::vector<u8>
@@ -161,7 +182,9 @@ Mpeg2Encoder::encode_picture(const Frame &src, PictureType type)
     recon_ = new_frame(kRefBorder);
     std::fill(cur_mvs_.begin(), cur_mvs_.end(), MotionVector{});
 
+    hint_pic_ = take_hints(src, type);
     analyze_picture(src, type);
+    hint_pic_.reset();
 
     std::vector<u8> out;
     if (cfg.error_resilience) {
@@ -348,12 +371,28 @@ Mpeg2Encoder::analyze_mb(RowState &rs, const Frame &src,
 
     const Frame &fwd_ref =
         type == PictureType::kP ? last_anchor_ : prev_anchor_;
-    const int icost = intra_cost(src, mbx, mby);
+
+    // Analysis-reuse hints, when the transcode engine wired a HintMap:
+    // a decode-side intra MB goes straight to intra, a decode-side
+    // inter MB seeds its vector as a search candidate and skips the
+    // intra trial, and a B MB searches only the hinted direction(s).
+    // Every pruned branch keeps a legal fallback, so hints never make
+    // the stream undecodable — only cheaper to produce.
+    const MbSideInfo *hint = hint_mb(mbx, mby);
+    if (hint != nullptr && hint->mode == MbSideInfo::kIntra) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
+        return;
+    }
+    const int icost =
+        hint != nullptr ? INT32_MAX : intra_cost(src, mbx, mby);
 
     if (type == PictureType::kP) {
+        std::vector<MotionVector> cands =
+            gather_candidates(rs, mbx, mby, false);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->fwd));
         const MeResult res =
-            estimate(src, fwd_ref, mbx, mby, rs.left_fwd,
-                     gather_candidates(rs, mbx, mby, false));
+            estimate(src, fwd_ref, mbx, mby, rs.left_fwd, cands);
         cur_mvs_[mby * mb_w_ + mbx] = {static_cast<s16>(res.mv.x >> 1),
                                        static_cast<s16>(res.mv.y >> 1)};
         if (icost < res.cost) {
@@ -365,31 +404,59 @@ Mpeg2Encoder::analyze_mb(RowState &rs, const Frame &src,
         return;
     }
 
-    // B picture: forward / backward / bi / intra decision.
-    const MeResult fwd =
-        estimate(src, prev_anchor_, mbx, mby, rs.left_fwd,
-                 gather_candidates(rs, mbx, mby, false));
-    const MeResult bwd =
-        estimate(src, last_anchor_, mbx, mby, rs.left_bwd,
-                 gather_candidates(rs, mbx, mby, true));
+    // B picture: forward / backward / bi / intra decision. A
+    // single-direction hint prunes the opposite estimate and the
+    // bi-prediction build.
+    const bool want_fwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterBwd;
+    const bool want_bwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterFwd;
 
-    PredBuffers bi;
-    build_pred(prev_anchor_, &last_anchor_, fwd.mv, bwd.mv, mbx, mby,
-               &bi);
-    const Plane &luma = src.luma();
-    const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
-                                     luma.stride(), bi.luma, 16);
-    const int bi_cost =
-        bi_sad + mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16)
-        + mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+    MeResult fwd;
+    MeResult bwd;
+    if (want_fwd) {
+        std::vector<MotionVector> cands =
+            gather_candidates(rs, mbx, mby, false);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->fwd));
+        fwd = estimate(src, prev_anchor_, mbx, mby, rs.left_fwd, cands);
+    }
+    if (want_bwd) {
+        std::vector<MotionVector> cands =
+            gather_candidates(rs, mbx, mby, true);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->bwd));
+        bwd = estimate(src, last_anchor_, mbx, mby, rs.left_bwd, cands);
+    }
 
-    int best = mpeg2::kBBi;
-    int best_cost = bi_cost;
-    if (fwd.cost < best_cost) {
+    int best;
+    int best_cost;
+    if (want_fwd && want_bwd) {
+        PredBuffers bi;
+        build_pred(prev_anchor_, &last_anchor_, fwd.mv, bwd.mv, mbx,
+                   mby, &bi);
+        const Plane &luma = src.luma();
+        const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
+                                         luma.stride(), bi.luma, 16);
+        const int bi_cost =
+            bi_sad +
+            mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16) +
+            mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+
+        best = mpeg2::kBBi;
+        best_cost = bi_cost;
+        if (fwd.cost < best_cost) {
+            best = mpeg2::kBFwd;
+            best_cost = fwd.cost;
+        }
+        if (bwd.cost < best_cost) {
+            best = mpeg2::kBBwd;
+            best_cost = bwd.cost;
+        }
+    } else if (want_fwd) {
         best = mpeg2::kBFwd;
         best_cost = fwd.cost;
-    }
-    if (bwd.cost < best_cost) {
+    } else {
         best = mpeg2::kBBwd;
         best_cost = bwd.cost;
     }

@@ -15,6 +15,7 @@
 #include "codec/conceal.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
+#include "codec/side_info.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "dsp/quant.h"
@@ -71,6 +72,8 @@ class Mpeg4Decoder final : public DecoderBase
         int dc_pred[3];
         MotionVector left_fwd;
         MotionVector left_bwd;
+        /** Side-info slot for the current MB (serial path only). */
+        MbSideInfo *rec = nullptr;
     };
 
     bool decode_intra_mb(MbState &st);
@@ -178,6 +181,8 @@ Mpeg4Decoder::decode_intra_mb(MbState &st)
     }
     st.left_fwd = st.left_bwd = MotionVector{};
     mv_grid_[st.mby * mb_w_ + st.mbx] = MotionVector{};
+    if (st.rec != nullptr)
+        st.rec->mode = MbSideInfo::kIntra;
     return true;
 }
 
@@ -271,6 +276,11 @@ Mpeg4Decoder::decode_p_inter_mb(MbState &st, bool four)
                    blocks);
     st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
     mv_grid_[st.mby * mb_w_ + st.mbx] = mv[0];
+    if (st.rec != nullptr) {
+        // 4MV collapses to its first vector; good enough as a seed.
+        st.rec->mode = MbSideInfo::kInterFwd;
+        st.rec->fwd = mv[0];
+    }
     return true;
 }
 
@@ -311,6 +321,14 @@ Mpeg4Decoder::decode_b_inter_mb(MbState &st, int mode)
     st.left_fwd = use_fwd ? fwd : MotionVector{};
     st.left_bwd = use_bwd ? bwd : MotionVector{};
     st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
+    if (st.rec != nullptr) {
+        st.rec->mode = use_fwd && use_bwd
+                           ? MbSideInfo::kInterBi
+                           : (use_fwd ? MbSideInfo::kInterFwd
+                                      : MbSideInfo::kInterBwd);
+        st.rec->fwd = fwd;
+        st.rec->bwd = bwd;
+    }
     return true;
 }
 
@@ -569,6 +587,17 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
     st.intra_quant = &intra_quant;
     st.inter_quant = &inter_quant;
 
+    const bool record = side_info_sink() != nullptr;
+    PictureSideInfo si;
+    if (record) {
+        si.poc = packet.poc;
+        si.type = type;
+        si.mb_w = mb_w_;
+        si.mb_h = mb_h_;
+        si.quant = qscale;
+        si.mbs.resize(static_cast<size_t>(mb_w_) * mb_h_);
+    }
+
     const bool is_b = type == PictureType::kB;
     if (type == PictureType::kI) {
         for (int mby = 0; mby < mb_h_; ++mby) {
@@ -576,6 +605,7 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
             st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] = kDcPredReset;
             for (int mbx = 0; mbx < mb_w_; ++mbx) {
                 st.mbx = mbx;
+                st.rec = record ? &si.at(mbx, mby) : nullptr;
                 if (!decode_intra_mb(st))
                     return Status::corrupt_stream("bad intra MB data");
             }
@@ -601,6 +631,8 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
             for (int i = 0; i < run; ++i) {
                 enter(mb);
                 recon_skip_mb(out, type, st.mbx, st.mby);
+                if (record)
+                    si.at(st.mbx, st.mby).mode = MbSideInfo::kSkip;
                 st.left_fwd = st.left_bwd = MotionVector{};
                 st.dc_pred[0] = st.dc_pred[1] = st.dc_pred[2] =
                     kDcPredReset;
@@ -610,6 +642,7 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
             if (mb >= total)
                 break;
             enter(mb);
+            st.rec = record ? &si.at(st.mbx, st.mby) : nullptr;
             const u32 mode = read_ue(br);
             if (br.has_error() || mode > 3)
                 return Status::corrupt_stream("bad mb type");
@@ -635,6 +668,9 @@ Mpeg4Decoder::decode_picture(const Packet &packet, Frame *out)
     }
     if (br.has_error())
         return Status::corrupt_stream("truncated mpeg4 picture");
+
+    if (record)
+        side_info_sink()->push(std::move(si));
 
     if (type != PictureType::kB) {
         out->extend_borders();

@@ -21,6 +21,7 @@
 #include "bitstream/resync.h"
 #include "codec/mpeg_block.h"
 #include "codec/run_level.h"
+#include "codec/side_info.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
@@ -34,6 +35,15 @@ namespace {
 
 using mpeg4::kDcPredReset;
 using mpeg4::kDcStep;
+
+/** Hint vector (quarter-sample) as a clamped-by-the-estimator
+ * full-sample search candidate. */
+inline MotionVector
+hint_full_pel(MotionVector quarter)
+{
+    return {static_cast<s16>(quarter.x >> 2),
+            static_cast<s16>(quarter.y >> 2)};
+}
 
 struct PredBuffers {
     Pixel luma[16 * 16];
@@ -166,6 +176,16 @@ class Mpeg4Encoder final : public EncoderBase
     std::unique_ptr<ThreadPool> pool_;  ///< band pool (threads > 1)
     BitWriter bw_;           ///< persistent writer (capacity reuse)
     std::vector<u8> wbuf_;   ///< persistent finish_into() scratch
+
+    /** Hints for the picture being analysed (read-only during the
+     * wavefront phase), or null for full analysis. */
+    std::shared_ptr<const PictureSideInfo> hint_pic_;
+
+    const MbSideInfo *
+    hint_mb(int mbx, int mby) const
+    {
+        return hint_pic_ ? &hint_pic_->at(mbx, mby) : nullptr;
+    }
 };
 
 MotionVector
@@ -331,7 +351,9 @@ Mpeg4Encoder::encode_picture(const Frame &src, PictureType type)
     recon_ = new_frame(kRefBorder);
     std::fill(mv_grid_.begin(), mv_grid_.end(), MotionVector{});
 
+    hint_pic_ = take_hints(src, type);
     analyze_picture(src, type);
+    hint_pic_.reset();
 
     std::vector<u8> out;
     if (cfg.error_resilience) {
@@ -426,18 +448,33 @@ Mpeg4Encoder::analyze_mb(RowState &rs, const Frame &src,
         return;
     }
 
-    const int icost = intra_cost(src, mbx, mby);
+    // Analysis-reuse hints (see src/codec/side_info.h): decode-side
+    // intra goes straight to intra, a decode-side vector is seeded as
+    // a search candidate and the intra trial plus the 4MV refinement
+    // are pruned, and B MBs search only the hinted direction(s). Each
+    // pruned branch keeps a legal fallback; a null hint runs the
+    // original code path bit-for-bit.
+    const MbSideInfo *hint = hint_mb(mbx, mby);
+    if (hint != nullptr && hint->mode == MbSideInfo::kIntra) {
+        analyze_intra_mb(rs, src, mbx, mby, rec);
+        return;
+    }
+    const int icost =
+        hint != nullptr ? INT32_MAX : intra_cost(src, mbx, mby);
 
     if (type == PictureType::kP) {
         const MotionVector pred = median_pred(mbx, mby);
-        const std::vector<MotionVector> cands =
-            gather_candidates(mbx, mby);
+        std::vector<MotionVector> cands = gather_candidates(mbx, mby);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->fwd));
         const MeResult r16 = estimate(src, last_anchor_, mbx * 16,
                                       mby * 16, 16, pred, cands);
 
         MotionVector mv[4] = {r16.mv, r16.mv, r16.mv, r16.mv};
         bool four = false;
-        if (config().four_mv) {
+        // The hint is a 16x16 seed, so trust it and skip the 4MV
+        // split trial (the decoder's 4MV collapses to one vector).
+        if (config().four_mv && hint == nullptr) {
             // 4MV: refine each 8x8 quadrant; adopt if the summed cost
             // beats 16x16 plus the extra vector overhead.
             MeResult sub[4];
@@ -469,32 +506,59 @@ Mpeg4Encoder::analyze_mb(RowState &rs, const Frame &src,
         return;
     }
 
-    // B picture.
-    const MeResult fwd = estimate(src, prev_anchor_, mbx * 16, mby * 16,
-                                  16, rs.left_fwd,
-                                  gather_candidates(mbx, mby));
-    const MeResult bwd = estimate(src, last_anchor_, mbx * 16, mby * 16,
-                                  16, rs.left_bwd,
-                                  gather_candidates(mbx, mby));
+    // B picture: a single-direction hint prunes the opposite estimate
+    // and the bi-prediction build.
+    const bool want_fwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterBwd;
+    const bool want_bwd =
+        hint == nullptr || hint->mode != MbSideInfo::kInterFwd;
 
-    PredBuffers bi;
-    const MotionVector fmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
-    build_pred(prev_anchor_, &last_anchor_, fmv, false, bwd.mv, mbx,
-               mby, &bi);
-    const Plane &luma = src.luma();
-    const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
-                                     luma.stride(), bi.luma, 16);
-    const int bi_cost =
-        bi_sad + mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16)
-        + mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+    MeResult fwd;
+    MeResult bwd;
+    if (want_fwd) {
+        std::vector<MotionVector> cands = gather_candidates(mbx, mby);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->fwd));
+        fwd = estimate(src, prev_anchor_, mbx * 16, mby * 16, 16,
+                       rs.left_fwd, cands);
+    }
+    if (want_bwd) {
+        std::vector<MotionVector> cands = gather_candidates(mbx, mby);
+        if (hint != nullptr)
+            cands.push_back(hint_full_pel(hint->bwd));
+        bwd = estimate(src, last_anchor_, mbx * 16, mby * 16, 16,
+                       rs.left_bwd, cands);
+    }
 
-    int best = mpeg4::kBBi;
-    int best_cost = bi_cost;
-    if (fwd.cost < best_cost) {
+    int best;
+    int best_cost;
+    if (want_fwd && want_bwd) {
+        PredBuffers bi;
+        const MotionVector fmv[4] = {fwd.mv, fwd.mv, fwd.mv, fwd.mv};
+        build_pred(prev_anchor_, &last_anchor_, fmv, false, bwd.mv, mbx,
+                   mby, &bi);
+        const Plane &luma = src.luma();
+        const int bi_sad = dsp_.sad16x16(luma.row(mby * 16) + mbx * 16,
+                                         luma.stride(), bi.luma, 16);
+        const int bi_cost =
+            bi_sad +
+            mv_rate_cost(fwd.mv, rs.left_fwd, me_.params().lambda16) +
+            mv_rate_cost(bwd.mv, rs.left_bwd, me_.params().lambda16);
+
+        best = mpeg4::kBBi;
+        best_cost = bi_cost;
+        if (fwd.cost < best_cost) {
+            best = mpeg4::kBFwd;
+            best_cost = fwd.cost;
+        }
+        if (bwd.cost < best_cost) {
+            best = mpeg4::kBBwd;
+            best_cost = bwd.cost;
+        }
+    } else if (want_fwd) {
         best = mpeg4::kBFwd;
         best_cost = fwd.cost;
-    }
-    if (bwd.cost < best_cost) {
+    } else {
         best = mpeg4::kBBwd;
         best_cost = bwd.cost;
     }

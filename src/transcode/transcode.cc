@@ -1,0 +1,187 @@
+#include "transcode/transcode.h"
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "metrics/timer.h"
+#include "serve/scheduler.h"
+
+namespace hdvb {
+
+namespace {
+
+/** Move every polled decode output into @p pending, then feed the
+ * encoder as long as it has queue space. would_block() is an exact
+ * gate here — this pump is the session's only submitter — so a frame
+ * is never moved into a submit that would reject it. */
+Status
+transfer_frames(CodecSession &dec, CodecSession &enc,
+                std::deque<Frame> *pending, std::vector<Frame> *scratch,
+                s64 *frames)
+{
+    dec.poll(scratch);
+    for (Frame &frame : *scratch)
+        pending->push_back(std::move(frame));
+    scratch->clear();
+    while (!pending->empty() && !enc.would_block()) {
+        const StatusOr<Ticket> ticket =
+            enc.submit(std::move(pending->front()));
+        if (!ticket.is_ok())
+            return ticket.status();
+        pending->pop_front();
+        ++*frames;
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+TranscodeEngine::TranscodeEngine(TranscodeOptions options)
+    : options_(std::move(options))
+{
+}
+
+StatusOr<TranscodeResult>
+TranscodeEngine::run(const EncodedStream &in) const
+{
+    const TranscodeOptions &opt = options_;
+    if (in.codec != codec_name(opt.from))
+        return Status::invalid_argument(
+            "input stream is \"" + in.codec + "\", engine expects \"" +
+            codec_name(opt.from) + "\"");
+    if (in.width != opt.decoder_config.width ||
+        in.height != opt.decoder_config.height)
+        return Status::invalid_argument(
+            "input stream geometry does not match the decoder config");
+
+    StatusOr<std::unique_ptr<VideoDecoder>> decoder =
+        make_decoder(opt.from, opt.decoder_config);
+    if (!decoder.is_ok())
+        return decoder.status();
+    StatusOr<std::unique_ptr<VideoEncoder>> encoder =
+        make_encoder(opt.to, opt.encoder_config);
+    if (!encoder.is_ok())
+        return encoder.status();
+
+    // Wire the side-info channel before the codecs enter the
+    // scheduler: once sessions own them, workers may run them.
+    std::shared_ptr<HintMap> hints;
+    if (opt.reuse_analysis) {
+        hints = std::make_shared<HintMap>();
+        const Status exported =
+            decoder.value()->export_side_info(hints.get());
+        if (!exported.is_ok())
+            return exported;
+        const Status hinted = encoder.value()->use_hints(hints);
+        if (!hinted.is_ok())
+            return hinted;
+    }
+
+    SchedulerOptions sched_opt;
+    sched_opt.workers = opt.workers;
+    SessionScheduler scheduler(sched_opt);
+
+    SessionConfig dec_cfg;
+    dec_cfg.name = std::string("transcode-decode-") + in.codec;
+    dec_cfg.codec_config = opt.decoder_config;
+    dec_cfg.queue_capacity = opt.queue_capacity;
+    SessionConfig enc_cfg;
+    enc_cfg.name = std::string("transcode-encode-") + codec_name(opt.to);
+    enc_cfg.codec_config = opt.encoder_config;
+    enc_cfg.queue_capacity = opt.queue_capacity;
+
+    StatusOr<std::shared_ptr<CodecSession>> dec_session =
+        scheduler.open_decode(std::move(decoder.value()), dec_cfg);
+    if (!dec_session.is_ok())
+        return dec_session.status();
+    StatusOr<std::shared_ptr<CodecSession>> enc_session =
+        scheduler.open_encode(std::move(encoder.value()), enc_cfg);
+    if (!enc_session.is_ok())
+        return enc_session.status();
+    CodecSession &dec = *dec_session.value();
+    CodecSession &enc = *enc_session.value();
+
+    TranscodeResult result;
+    result.stream.codec = codec_name(opt.to);
+    result.stream.width = opt.encoder_config.width;
+    result.stream.height = opt.encoder_config.height;
+    result.stream.fps_num = opt.encoder_config.fps_num;
+    result.stream.fps_den = opt.encoder_config.fps_den;
+
+    std::deque<Frame> pending;
+    std::vector<Frame> scratch;
+    s64 frames = 0;
+
+    WallTimer timer;
+    timer.start();
+
+    // Feed packets in coding order, shuttling decoded frames across
+    // and re-coded packets out as they appear. Backpressure on either
+    // queue yields to the scheduler workers instead of dropping.
+    for (const Packet &packet : in.packets) {
+        while (dec.would_block()) {
+            const Status moved = transfer_frames(dec, enc, &pending,
+                                                 &scratch, &frames);
+            if (!moved.is_ok())
+                return moved;
+            enc.poll(&result.stream.packets);
+            std::this_thread::yield();
+        }
+        Packet copy = packet;
+        const StatusOr<Ticket> ticket = dec.submit(std::move(copy));
+        if (!ticket.is_ok())
+            return ticket.status();
+        const Status moved = transfer_frames(dec, enc, &pending,
+                                             &scratch, &frames);
+        if (!moved.is_ok())
+            return moved;
+        enc.poll(&result.stream.packets);
+    }
+
+    // Flush the decoder (reorder tail), carry the remaining frames
+    // across, then flush the encoder.
+    const Status dec_status = dec.close();
+    if (!dec_status.is_ok())
+        return dec_status;
+    for (;;) {
+        const Status moved = transfer_frames(dec, enc, &pending,
+                                             &scratch, &frames);
+        if (!moved.is_ok())
+            return moved;
+        if (pending.empty())
+            break;
+        enc.poll(&result.stream.packets);
+        std::this_thread::yield();
+    }
+    const Status enc_status = enc.close();
+    if (!enc_status.is_ok())
+        return enc_status;
+    enc.poll(&result.stream.packets);
+
+    timer.stop();
+
+    result.stats.frames = frames;
+    result.stats.seconds = timer.seconds();
+    result.stats.bits_in = in.total_bits();
+    result.stats.bits_out = result.stream.total_bits();
+    if (hints)
+        result.stats.hints = hints->stats();
+    return result;
+}
+
+TranscodeOptions
+transcode_benchmark_options(CodecId from, CodecId to, Resolution res,
+                            SimdLevel simd)
+{
+    TranscodeOptions opt;
+    opt.from = from;
+    opt.to = to;
+    opt.decoder_config = benchmark_config(from, res, simd);
+    opt.encoder_config = benchmark_config(to, res, simd);
+    return opt;
+}
+
+}  // namespace hdvb

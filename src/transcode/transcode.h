@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fast transcode: a decode session and an encode session pipelined
+ * over the serve substrate, with optional analysis reuse.
+ *
+ * The engine opens the source decoder and the target encoder as a pair
+ * of scheduled CodecSessions on one SessionScheduler and pumps coded
+ * packets in, decoded frames across, and re-coded packets out, honoring
+ * session backpressure (a full queue is waited out, never dropped).
+ *
+ * With TranscodeOptions::reuse_analysis the decoder exports per-MB side
+ * info — motion vectors, intra/inter mode, reference index, quantizer —
+ * into a HintMap (see src/codec/side_info.h) keyed by display index,
+ * and the encoder consumes it to seed motion-search centers and prune
+ * mode decisions. Hints are advisory: every vector is clamped by the
+ * motion estimator's candidate bounds and every pruned branch keeps a
+ * legal fallback, so the hinted stream is always decodable; full
+ * analysis (reuse off) remains the correctness oracle. The ordering is
+ * race-free by construction: a frame can only reach the encoder after
+ * the decoder emitted it, and the decoder pushes the frame's side info
+ * before emitting it.
+ */
+#ifndef HDVB_TRANSCODE_TRANSCODE_H
+#define HDVB_TRANSCODE_TRANSCODE_H
+
+#include "codec/side_info.h"
+#include "container/container.h"
+#include "core/benchmark.h"
+
+namespace hdvb {
+
+/** How one transcode should run. */
+struct TranscodeOptions {
+    CodecId from = CodecId::kMpeg2;
+    CodecId to = CodecId::kH264;
+
+    /** Source-decoder configuration; geometry must match the input
+     * stream. reuse_analysis requires error_resilience off (the
+     * resilient decode path conceals, so its vectors are not
+     * trustworthy hints). */
+    CodecConfig decoder_config;
+
+    /** Target-encoder configuration. */
+    CodecConfig encoder_config;
+
+    /** Export decoder side info and seed the encoder with it. */
+    bool reuse_analysis = true;
+
+    /** Scheduler dispatch workers; 2 keeps decode and encode truly
+     * pipelined. Codec band threads are extra (config .threads). */
+    int workers = 2;
+
+    /** Per-session input queue bound (backpressure depth). */
+    size_t queue_capacity = 16;
+};
+
+/** What one transcode did, timed around the full pump. */
+struct TranscodeStats {
+    s64 frames = 0;     ///< pictures carried across the pipe
+    double seconds = 0.0;
+    s64 bits_in = 0;
+    s64 bits_out = 0;
+    HintMapStats hints;  ///< all-zero when reuse was off
+
+    double
+    fps() const
+    {
+        return seconds > 0.0 ? static_cast<double>(frames) / seconds
+                             : 0.0;
+    }
+};
+
+struct TranscodeResult {
+    EncodedStream stream;
+    TranscodeStats stats;
+};
+
+/**
+ * One configured transcode pipeline. run() may be called repeatedly;
+ * each call builds a fresh codec pair and scheduler, so results are
+ * independent and the engine itself is stateless between runs.
+ */
+class TranscodeEngine
+{
+  public:
+    explicit TranscodeEngine(TranscodeOptions options);
+
+    const TranscodeOptions &options() const { return options_; }
+
+    /** Transcode @p in end to end (flushing both codecs). */
+    StatusOr<TranscodeResult> run(const EncodedStream &in) const;
+
+  private:
+    TranscodeOptions options_;
+};
+
+/** Options with both configs derived from the benchmark preset for
+ * @p res / @p simd (the common CLI and bench setup). */
+TranscodeOptions transcode_benchmark_options(CodecId from, CodecId to,
+                                             Resolution res,
+                                             SimdLevel simd);
+
+}  // namespace hdvb
+
+#endif  // HDVB_TRANSCODE_TRANSCODE_H

@@ -1,0 +1,122 @@
+#include "transcode/transcode_bench.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/runner.h"
+#include "metrics/psnr.h"
+
+namespace hdvb {
+
+namespace {
+
+/** End-to-end PSNR-Y of @p stream against the pristine synthetic
+ * @p sequence it was transcoded from. */
+StatusOr<double>
+stream_psnr_y(const EncodedStream &stream, CodecId codec,
+              const CodecConfig &config, SequenceId sequence)
+{
+    StatusOr<std::unique_ptr<VideoDecoder>> decoder =
+        make_decoder(codec, config);
+    if (!decoder.is_ok())
+        return decoder.status();
+    std::vector<Frame> frames;
+    for (const Packet &packet : stream.packets) {
+        const Status status = decoder.value()->decode(packet, &frames);
+        if (!status.is_ok())
+            return status;
+    }
+    decoder.value()->flush(&frames);
+    SyntheticSource pristine(sequence, config.width, config.height);
+    PsnrAccumulator acc;
+    for (const Frame &frame : frames)
+        acc.add(pristine.at(static_cast<int>(frame.poc())), frame);
+    return acc.psnr_y();
+}
+
+}  // namespace
+
+std::string
+TranscodePairBench::pair_name() const
+{
+    return std::string(codec_name(from)) + "_to_" + codec_name(to);
+}
+
+StatusOr<TranscodePairBench>
+bench_transcode_pair(CodecId from, CodecId to, Resolution res,
+                     SequenceId sequence, int frames, int repeats)
+{
+    if (frames < 1 || repeats < 1)
+        return Status::invalid_argument(
+            "bench_transcode_pair needs frames >= 1 and repeats >= 1");
+
+    // Source material, generated once and reused by every run.
+    BenchPoint point;
+    point.codec = from;
+    point.sequence = sequence;
+    point.resolution = res;
+    point.frames = frames;
+    StatusOr<EncodeRun> source = run_encode(point);
+    if (!source.is_ok())
+        return source.status();
+    const EncodedStream &in = source.value().stream;
+
+    TranscodePairBench bench;
+    bench.from = from;
+    bench.to = to;
+    bench.frames = frames;
+    bench.repeats = repeats;
+    bench.bits_in = in.total_bits();
+
+    TranscodeOptions opt =
+        transcode_benchmark_options(from, to, res, best_simd_level());
+
+    for (const bool reuse : {true, false}) {
+        opt.reuse_analysis = reuse;
+        const TranscodeEngine engine(opt);
+
+        // Warm-up (pools, page faults), then the timed repeats.
+        std::vector<double> fps;
+        EncodedStream last;
+        for (int run = 0; run < repeats + 1; ++run) {
+            StatusOr<TranscodeResult> result = engine.run(in);
+            if (!result.is_ok())
+                return result.status();
+            if (run == 0)
+                continue;
+            fps.push_back(result.value().stats.fps());
+            if (run == repeats) {
+                last = std::move(result.value().stream);
+                if (reuse)
+                    bench.hints = result.value().stats.hints;
+            }
+        }
+        const SampleSummary summary = summarize(std::move(fps));
+
+        const StatusOr<double> psnr =
+            stream_psnr_y(last, to, opt.encoder_config, sequence);
+        if (!psnr.is_ok())
+            return psnr.status();
+
+        if (reuse) {
+            bench.hint_fps = summary.median;
+            bench.hint_fps_cov = summary.cov;
+            bench.psnr_hint_db = psnr.value();
+            bench.bits_hint = last.total_bits();
+        } else {
+            bench.full_fps = summary.median;
+            bench.full_fps_cov = summary.cov;
+            bench.psnr_full_db = psnr.value();
+            bench.bits_full = last.total_bits();
+        }
+    }
+
+    bench.speedup =
+        bench.full_fps > 0.0 ? bench.hint_fps / bench.full_fps : 0.0;
+    bench.psnr_delta_db = bench.psnr_hint_db - bench.psnr_full_db;
+    return bench;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Measured comparison of one transcode codec pair: analysis-reuse
+ * transcode against the full re-encode oracle, with repeat/CoV
+ * statistics in the style of the regression sweep. Shared by
+ * bench/transcode_sweep (standalone hdvb-transcode/1 reports) and
+ * bench/regression_sweep (the "transcode" BENCH section).
+ */
+#ifndef HDVB_TRANSCODE_TRANSCODE_BENCH_H
+#define HDVB_TRANSCODE_TRANSCODE_BENCH_H
+
+#include <string>
+
+#include "synth/synth.h"
+#include "transcode/transcode.h"
+
+namespace hdvb {
+
+/** One measured from->to pair. fps numbers are medians over the timed
+ * repeats; the _cov fields carry the run-to-run noise estimate. */
+struct TranscodePairBench {
+    CodecId from = CodecId::kMpeg2;
+    CodecId to = CodecId::kH264;
+    int frames = 0;
+    int repeats = 0;
+
+    double hint_fps = 0.0;  ///< analysis-reuse transcode, median
+    double hint_fps_cov = 0.0;
+    double full_fps = 0.0;  ///< full re-encode oracle, median
+    double full_fps_cov = 0.0;
+    double speedup = 0.0;   ///< hint_fps / full_fps
+
+    /** End-to-end PSNR-Y of each output against the pristine source;
+     * delta = hint - full (negative: hints cost quality). */
+    double psnr_hint_db = 0.0;
+    double psnr_full_db = 0.0;
+    double psnr_delta_db = 0.0;
+
+    s64 bits_in = 0;
+    s64 bits_hint = 0;
+    s64 bits_full = 0;
+
+    HintMapStats hints;  ///< from the last hinted run
+
+    /** "mpeg2_to_h264" — the metric/JSON key. */
+    std::string pair_name() const;
+};
+
+/**
+ * Encode @p frames of @p sequence in @p from at @p res, then transcode
+ * it to @p to @p repeats times with analysis reuse on and off,
+ * measuring fps, quality, and bits. One warm-up run per mode precedes
+ * the timed repeats.
+ */
+StatusOr<TranscodePairBench>
+bench_transcode_pair(CodecId from, CodecId to, Resolution res,
+                     SequenceId sequence, int frames, int repeats);
+
+}  // namespace hdvb
+
+#endif  // HDVB_TRANSCODE_TRANSCODE_BENCH_H

@@ -1,11 +1,27 @@
 #include "video/y4m.h"
 
+#include <charconv>
 #include <cstring>
 #include <string>
 
 namespace hdvb {
 
 namespace {
+
+/** Strict full-token decimal parse for a header field: "W72x" or an
+ * empty "W" is a corrupt header, not a prefix (the old atoi reader
+ * silently produced 72 and 0). */
+Status
+parse_header_int(const std::string &tok, int *out)
+{
+    const char *begin = tok.c_str() + 1;
+    const char *end = tok.c_str() + tok.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr != end)
+        return Status::corrupt_stream("bad y4m header field \"" + tok +
+                                      "\"");
+    return Status::ok();
+}
 
 Status
 read_plane(std::FILE *file, Plane &plane)
@@ -62,11 +78,28 @@ Y4mReader::open(const std::string &path)
         if (tok.size() < 2)
             continue;
         switch (tok[0]) {
-          case 'W': width_ = std::atoi(tok.c_str() + 1); break;
-          case 'H': height_ = std::atoi(tok.c_str() + 1); break;
-          case 'F':
-            std::sscanf(tok.c_str() + 1, "%d:%d", &fps_num_, &fps_den_);
+          case 'W':
+            HDVB_RETURN_IF_ERROR(parse_header_int(tok, &width_));
             break;
+          case 'H':
+            HDVB_RETURN_IF_ERROR(parse_header_int(tok, &height_));
+            break;
+          case 'F': {
+            const size_t colon = tok.find(':');
+            if (colon == std::string::npos)
+                return Status::corrupt_stream("bad y4m header field \"" +
+                                              tok + "\"");
+            HDVB_RETURN_IF_ERROR(
+                parse_header_int(tok.substr(0, colon), &fps_num_));
+            // Reuse the tag-skipping parser: substr keeps one leading
+            // char (the colon) in place of the tag letter.
+            HDVB_RETURN_IF_ERROR(
+                parse_header_int(tok.substr(colon), &fps_den_));
+            if (fps_num_ <= 0 || fps_den_ <= 0)
+                return Status::corrupt_stream("bad y4m frame rate \"" +
+                                              tok + "\"");
+            break;
+          }
           case 'C':
             if (tok.rfind("C420", 0) != 0)
                 return Status::unimplemented(

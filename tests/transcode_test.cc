@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The transcode engine and the analysis-reuse contract, over every
+ * decoder/encoder pairing of the three codecs:
+ *
+ *  - hints are advisory: the hint-seeded stream must stay decodable
+ *    and land within a pinned PSNR delta of the full-analysis oracle;
+ *  - hints off is a no-op: the engine with reuse disabled reproduces
+ *    the direct serial re-encode byte for byte, and an encoder given
+ *    an empty HintMap reproduces the unhinted bitstream byte for byte;
+ *  - TranscodeInvariance: the hinted output is byte-identical across
+ *    codec thread counts {1, 2, 4} and across every SIMD level the
+ *    CPU supports.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/psnr.h"
+#include "synth/synth.h"
+#include "transcode/transcode.h"
+
+namespace hdvb {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;
+constexpr int kFrames = 9;  ///< one full GOP (I-P-B-B x2) plus change
+
+/** The reuse quality pin: the hinted encode may cost at most this
+ * much PSNR-Y against the full-analysis oracle at equal settings. */
+constexpr double kMaxPsnrCostDb = 1.0;
+
+CodecConfig
+small_config(CodecId codec, SimdLevel simd, int threads = 1)
+{
+    CodecConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.qscale = 5;
+    cfg.qp = 26;
+    cfg.me_range = 8;
+    cfg.refs = 2;
+    cfg.simd = simd;
+    cfg.threads = threads;
+    (void)codec;
+    return cfg;
+}
+
+/** A small coded stream in codec @p from to feed the engine. */
+EncodedStream
+make_source(CodecId from, const CodecConfig &cfg)
+{
+    EncodedStream in;
+    in.codec = codec_name(from);
+    in.width = cfg.width;
+    in.height = cfg.height;
+    std::unique_ptr<VideoEncoder> enc = make_encoder(from, cfg).value();
+    SyntheticSource source(SequenceId::kRushHour, cfg.width, cfg.height);
+    for (int i = 0; i < kFrames; ++i)
+        EXPECT_TRUE(enc->encode(source.next(), &in.packets).is_ok());
+    EXPECT_TRUE(enc->flush(&in.packets).is_ok());
+    return in;
+}
+
+TranscodeOptions
+small_options(CodecId from, CodecId to, SimdLevel simd, int threads = 1)
+{
+    TranscodeOptions opt;
+    opt.from = from;
+    opt.to = to;
+    opt.decoder_config = small_config(from, simd, threads);
+    opt.encoder_config = small_config(to, simd, threads);
+    return opt;
+}
+
+/** Decode @p stream with @p codec and return the display frames. */
+std::vector<Frame>
+decode_all(const EncodedStream &stream, CodecId codec,
+           const CodecConfig &cfg)
+{
+    std::unique_ptr<VideoDecoder> dec = make_decoder(codec, cfg).value();
+    std::vector<Frame> frames;
+    for (const Packet &packet : stream.packets)
+        EXPECT_TRUE(dec->decode(packet, &frames).is_ok());
+    EXPECT_TRUE(dec->flush(&frames).is_ok());
+    return frames;
+}
+
+double
+psnr_vs_pristine(const std::vector<Frame> &frames)
+{
+    SyntheticSource pristine(SequenceId::kRushHour, kW, kH);
+    PsnrAccumulator acc;
+    for (const Frame &frame : frames)
+        acc.add(pristine.at(static_cast<int>(frame.poc())), frame);
+    return acc.psnr_y();
+}
+
+void
+expect_identical_streams(const EncodedStream &a, const EncodedStream &b)
+{
+    ASSERT_EQ(a.packets.size(), b.packets.size());
+    for (size_t i = 0; i < a.packets.size(); ++i)
+        EXPECT_EQ(a.packets[i].data, b.packets[i].data)
+            << "bitstream differs at packet " << i;
+}
+
+/** Every decoder and every encoder appear in at least one pair. */
+struct PairParam {
+    CodecId from;
+    CodecId to;
+};
+
+std::string
+pair_label(const ::testing::TestParamInfo<PairParam> &info)
+{
+    return std::string(codec_name(info.param.from)) + "_to_" +
+           codec_name(info.param.to);
+}
+
+class TranscodePair : public ::testing::TestWithParam<PairParam> {};
+
+TEST_P(TranscodePair, HintedStreamDecodableWithinPinnedPsnrCost)
+{
+    const auto [from, to] = GetParam();
+    const EncodedStream in =
+        make_source(from, small_config(from, best_simd_level()));
+
+    TranscodeOptions opt = small_options(from, to, best_simd_level());
+    TranscodeResult hinted, full;
+    {
+        opt.reuse_analysis = true;
+        StatusOr<TranscodeResult> r = TranscodeEngine(opt).run(in);
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        hinted = std::move(r.value());
+    }
+    {
+        opt.reuse_analysis = false;
+        StatusOr<TranscodeResult> r = TranscodeEngine(opt).run(in);
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        full = std::move(r.value());
+    }
+
+    // Every picture was carried and every exported hint was consumed.
+    EXPECT_EQ(hinted.stats.frames, kFrames);
+    EXPECT_EQ(full.stats.frames, kFrames);
+    EXPECT_EQ(hinted.stats.hints.pushed, kFrames);
+    EXPECT_EQ(hinted.stats.hints.taken, kFrames);
+    EXPECT_EQ(hinted.stats.hints.missed, 0);
+    EXPECT_EQ(full.stats.hints.pushed, 0);
+
+    // The hinted stream must be decodable end to end...
+    const std::vector<Frame> hinted_frames = decode_all(
+        hinted.stream, to, small_config(to, best_simd_level()));
+    ASSERT_EQ(hinted_frames.size(), static_cast<size_t>(kFrames));
+    const std::vector<Frame> full_frames = decode_all(
+        full.stream, to, small_config(to, best_simd_level()));
+    ASSERT_EQ(full_frames.size(), static_cast<size_t>(kFrames));
+
+    // ...and within the pinned quality cost of the oracle.
+    const double hinted_db = psnr_vs_pristine(hinted_frames);
+    const double full_db = psnr_vs_pristine(full_frames);
+    EXPECT_GE(hinted_db, full_db - kMaxPsnrCostDb)
+        << "hinted " << hinted_db << " dB vs full " << full_db << " dB";
+}
+
+TEST_P(TranscodePair, ReuseOffMatchesDirectReencodeByteForByte)
+{
+    const auto [from, to] = GetParam();
+    const CodecConfig dec_cfg = small_config(from, best_simd_level());
+    const CodecConfig enc_cfg = small_config(to, best_simd_level());
+    const EncodedStream in = make_source(from, dec_cfg);
+
+    TranscodeOptions opt = small_options(from, to, best_simd_level());
+    opt.reuse_analysis = false;
+    StatusOr<TranscodeResult> engine = TranscodeEngine(opt).run(in);
+    ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+    // The oracle: plain serial decode, then plain serial encode.
+    const std::vector<Frame> frames = decode_all(in, from, dec_cfg);
+    EncodedStream direct;
+    std::unique_ptr<VideoEncoder> enc = make_encoder(to, enc_cfg).value();
+    for (const Frame &frame : frames)
+        ASSERT_TRUE(enc->encode(frame, &direct.packets).is_ok());
+    ASSERT_TRUE(enc->flush(&direct.packets).is_ok());
+
+    expect_identical_streams(engine.value().stream, direct);
+}
+
+TEST_P(TranscodePair, EmptyHintMapIsByteIdenticalToUnhinted)
+{
+    // take_hints() misses on every picture, so the full-analysis path
+    // must run untouched — the null-hint no-op contract of use_hints().
+    const auto [from, to] = GetParam();
+    const CodecConfig enc_cfg = small_config(to, best_simd_level());
+    const std::vector<Frame> frames = decode_all(
+        make_source(from, small_config(from, best_simd_level())), from,
+        small_config(from, best_simd_level()));
+
+    EncodedStream unhinted, hinted;
+    {
+        std::unique_ptr<VideoEncoder> enc =
+            make_encoder(to, enc_cfg).value();
+        for (const Frame &frame : frames)
+            ASSERT_TRUE(enc->encode(frame, &unhinted.packets).is_ok());
+        ASSERT_TRUE(enc->flush(&unhinted.packets).is_ok());
+    }
+    {
+        std::unique_ptr<VideoEncoder> enc =
+            make_encoder(to, enc_cfg).value();
+        ASSERT_TRUE(enc->use_hints(std::make_shared<HintMap>()).is_ok());
+        for (const Frame &frame : frames)
+            ASSERT_TRUE(enc->encode(frame, &hinted.packets).is_ok());
+        ASSERT_TRUE(enc->flush(&hinted.packets).is_ok());
+    }
+    expect_identical_streams(unhinted, hinted);
+}
+
+TEST_P(TranscodePair, TranscodeInvarianceAcrossThreadCounts)
+{
+    // CodecConfig::threads is a wall-clock knob: the hinted transcode
+    // must reproduce the single-threaded bitstream exactly (analysis
+    // reads hints read-only; entropy replay is serial).
+    const auto [from, to] = GetParam();
+    const EncodedStream in =
+        make_source(from, small_config(from, best_simd_level()));
+
+    StatusOr<TranscodeResult> serial =
+        TranscodeEngine(small_options(from, to, best_simd_level(), 1))
+            .run(in);
+    ASSERT_TRUE(serial.is_ok()) << serial.status().to_string();
+    for (int threads : {2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        StatusOr<TranscodeResult> threaded =
+            TranscodeEngine(
+                small_options(from, to, best_simd_level(), threads))
+                .run(in);
+        ASSERT_TRUE(threaded.is_ok()) << threaded.status().to_string();
+        EXPECT_EQ(threaded.value().stats.hints.taken, kFrames);
+        expect_identical_streams(serial.value().stream,
+                                 threaded.value().stream);
+    }
+}
+
+TEST_P(TranscodePair, TranscodeInvarianceAcrossSimdLevels)
+{
+    // The decoder's exported vectors come from the bitstream and the
+    // encoder's kernels are level-equivalent, so the hinted transcode
+    // is byte-identical at every SIMD level (scalar is the reference).
+    const auto [from, to] = GetParam();
+    const EncodedStream in =
+        make_source(from, small_config(from, SimdLevel::kScalar));
+
+    StatusOr<TranscodeResult> scalar =
+        TranscodeEngine(small_options(from, to, SimdLevel::kScalar))
+            .run(in);
+    ASSERT_TRUE(scalar.is_ok()) << scalar.status().to_string();
+    for (int l = 1; l <= static_cast<int>(detected_simd_level()); ++l) {
+        const auto level = static_cast<SimdLevel>(l);
+        SCOPED_TRACE(simd_level_name(level));
+        StatusOr<TranscodeResult> simd =
+            TranscodeEngine(small_options(from, to, level)).run(in);
+        ASSERT_TRUE(simd.is_ok()) << simd.status().to_string();
+        expect_identical_streams(scalar.value().stream,
+                                 simd.value().stream);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairings, TranscodePair,
+    ::testing::Values(PairParam{CodecId::kMpeg2, CodecId::kMpeg4},
+                      PairParam{CodecId::kMpeg4, CodecId::kH264},
+                      PairParam{CodecId::kH264, CodecId::kMpeg2},
+                      PairParam{CodecId::kMpeg2, CodecId::kH264}),
+    pair_label);
+
+TEST(Transcode, RejectsMismatchedInput)
+{
+    const EncodedStream in = make_source(
+        CodecId::kMpeg2, small_config(CodecId::kMpeg2, best_simd_level()));
+
+    // Wrong source codec for the stream.
+    TranscodeOptions opt = small_options(
+        CodecId::kMpeg4, CodecId::kH264, best_simd_level());
+    EXPECT_EQ(TranscodeEngine(opt).run(in).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Wrong geometry.
+    opt = small_options(CodecId::kMpeg2, CodecId::kH264,
+                        best_simd_level());
+    opt.decoder_config.width = kW * 2;
+    EXPECT_EQ(TranscodeEngine(opt).run(in).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(Transcode, ReuseRequiresNonResilientDecoder)
+{
+    const EncodedStream in = make_source(
+        CodecId::kMpeg2, small_config(CodecId::kMpeg2, best_simd_level()));
+    TranscodeOptions opt = small_options(
+        CodecId::kMpeg2, CodecId::kH264, best_simd_level());
+    opt.reuse_analysis = true;
+    opt.decoder_config.error_resilience = true;
+    EXPECT_FALSE(TranscodeEngine(opt).run(in).is_ok());
+}
+
+TEST(Transcode, StatsAccounting)
+{
+    const EncodedStream in = make_source(
+        CodecId::kMpeg2, small_config(CodecId::kMpeg2, best_simd_level()));
+    TranscodeOptions opt = small_options(
+        CodecId::kMpeg2, CodecId::kH264, best_simd_level());
+    StatusOr<TranscodeResult> r = TranscodeEngine(opt).run(in);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    const TranscodeStats &stats = r.value().stats;
+    EXPECT_EQ(stats.frames, kFrames);
+    EXPECT_EQ(stats.bits_in, in.total_bits());
+    EXPECT_EQ(stats.bits_out, r.value().stream.total_bits());
+    EXPECT_GT(stats.bits_out, 0);
+    EXPECT_GT(stats.seconds, 0.0);
+    EXPECT_GT(stats.fps(), 0.0);
+}
+
+}  // namespace
+}  // namespace hdvb

@@ -174,6 +174,49 @@ TEST(Y4m, RejectsGarbageHeader)
     std::remove(path.c_str());
 }
 
+/** Write @p header (plus newline) to a temp .y4m and open it. */
+Status
+open_header(const std::string &header)
+{
+    const std::string path =
+        ::testing::TempDir() + "/hdvb_hdr.y4m";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    std::fputs(header.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    Y4mReader reader;
+    const Status status = reader.open(path);
+    std::remove(path.c_str());
+    return status;
+}
+
+TEST(Y4m, RejectsMalformedHeaderFields)
+{
+    // Partial numbers and empty fields: each one was a silent
+    // atoi-prefix (W72x -> 72) or a silent zero before the strict
+    // parser; now every one is a hard corrupt-stream error.
+    for (const char *header :
+         {"YUV4MPEG2 W72x H48 F25:1", "YUV4MPEG2 W72 H4u8 F25:1",
+          "YUV4MPEG2 W72 H48 F25", "YUV4MPEG2 W72 H48 F25:",
+          "YUV4MPEG2 W72 H48 Fa:1", "YUV4MPEG2 W72 H48 F0:1",
+          "YUV4MPEG2 W72 H48 F25:0", "YUV4MPEG2 W-72 H48 F25:1",
+          "YUV4MPEG2 H48 F25:1"}) {
+        SCOPED_TRACE(header);
+        EXPECT_EQ(open_header(header).code(),
+                  StatusCode::kCorruptStream);
+    }
+}
+
+TEST(Y4m, AcceptsStrictHeader)
+{
+    // The well-formed header still parses (no frames follow, but
+    // open() only reads the stream header).
+    EXPECT_TRUE(
+        open_header("YUV4MPEG2 W72 H48 F30000:1001 Ip A1:1 C420mpeg2")
+            .is_ok());
+}
+
 TEST(Y4m, RejectsMissingFile)
 {
     Y4mReader reader;
