@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "common/json_reader.h"
 #include "core/perf_compare.h"
 #include "core/report.h"
@@ -80,19 +81,35 @@ main(int argc, char **argv)
     bool doctor = false;
     double doctor_scale = 0.8;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--floor-pct") == 0 && i + 1 < argc)
-            options.floor_pct = std::atof(argv[++i]);
-        else if (std::strcmp(argv[i], "--sigma") == 0 && i + 1 < argc)
-            options.sigma = std::atof(argv[++i]);
-        else if (std::strcmp(argv[i], "--doctor") == 0)
+        // Strict parse: "--sigma 3O" (typo) used to be a silent 3.0
+        // via atof's best-effort prefix rule.
+        if (std::strcmp(argv[i], "--floor-pct") == 0) {
+            const StatusOr<double> value =
+                cli_double_value(argc, argv, &i, 0.0, 100.0);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            options.floor_pct = value.value();
+        } else if (std::strcmp(argv[i], "--sigma") == 0) {
+            const StatusOr<double> value =
+                cli_double_value(argc, argv, &i, 0.0, 100.0);
+            if (!value.is_ok())
+                return cli_usage_error(argv[0], value.status());
+            options.sigma = value.value();
+        } else if (std::strcmp(argv[i], "--doctor") == 0) {
             doctor = true;
-        else
+        } else {
             paths.push_back(argv[i]);
+        }
     }
     if (doctor) {
-        if (paths.size() == 3)
-            doctor_scale = std::atof(paths[2].c_str());
-        if (paths.size() < 2 || doctor_scale <= 0.0) {
+        if (paths.size() == 3) {
+            const StatusOr<double> scale =
+                cli_double("SCALE", paths[2].c_str(), 1e-6, 1e6);
+            if (!scale.is_ok())
+                return cli_usage_error(argv[0], scale.status());
+            doctor_scale = scale.value();
+        }
+        if (paths.size() < 2 || paths.size() > 3) {
             std::fprintf(stderr,
                          "usage: bench_compare --doctor IN.json "
                          "OUT.json [SCALE>0]\n");

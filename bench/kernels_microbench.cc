@@ -7,6 +7,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
 #include <vector>
 
@@ -74,6 +75,39 @@ BM_Sad16x16(benchmark::State &state)
     state.SetLabel(dsp.name);
 }
 BENCHMARK(BM_Sad16x16)->Apply(per_detected_level);
+
+void
+BM_Sad16x16EtBailNever(benchmark::State &state)
+{
+    // Early-termination SAD with an unreachable bound: the full-sum
+    // path, measuring the overhead of the periodic bound checks
+    // against plain BM_Sad16x16.
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dsp.sad16x16_et(d.a.data() + 8, kStride, d.b.data(),
+                            kStride, INT32_MAX));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Sad16x16EtBailNever)->Apply(per_detected_level);
+
+void
+BM_Sad16x16EtBailEarly(benchmark::State &state)
+{
+    // The motion-search common case the kernel exists for: a tight
+    // bound (well under random data's per-row sums) makes the kernel
+    // bail at its first check.
+    const Dsp &dsp = get_dsp(level_of(state));
+    TestData &d = data();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsp.sad16x16_et(
+            d.a.data() + 8, kStride, d.b.data(), kStride, 64));
+    }
+    state.SetLabel(dsp.name);
+}
+BENCHMARK(BM_Sad16x16EtBailEarly)->Apply(per_detected_level);
 
 /** Plane-backed operand meeting the aligned-kernel contract: row
  * starts 32-byte aligned, stride a multiple of 32. */

@@ -15,7 +15,10 @@
  *    p50/p95/p99 and aggregate fps summarized across runs;
  *  - transcode: per codec pair, analysis-reuse transcode fps vs. the
  *    full re-encode oracle with the PSNR cost (hdvb-transcode/1,
- *    shared with bench/transcode_sweep).
+ *    shared with bench/transcode_sweep);
+ *  - pareto: per codec, encode fps and PSNR/bitrate deltas at every
+ *    approximation level on the best SIMD tier (hdvb-pareto/1, shared
+ *    with bench/pareto_sweep).
  *
  * The document opens with a run-provenance block (git sha, CPU model,
  * core count, detected SIMD level, repeat count, build type) so the
@@ -30,7 +33,7 @@
  * Usage: regression_sweep [--smoke] [--json OUT] [--pr N]
  *        [--repeats N] [--frames N] [--loadgen PATH] [--kernels PATH]
  *        [--skip-serve] [--skip-kernels] [--skip-transcode]
- *        [--full-res]
+ *        [--skip-pareto] [--full-res]
  */
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +49,7 @@
 #include "core/benchmark.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "core/pareto_bench.h"
 #include "simd/dispatch.h"
 #include "transcode/transcode_bench.h"
 
@@ -58,8 +62,9 @@ struct Options {
     bool skip_serve = false;
     bool skip_kernels = false;
     bool skip_transcode = false;
+    bool skip_pareto = false;
     bool full_res = false;  ///< include 1088p25 in the codec matrix
-    int pr = 8;
+    int pr = 10;
     int repeats = 3;
     int frames = 0;  ///< 0: bench_frames_default()
     std::string json_path = "hdvb_cache/bench_report.json";
@@ -513,6 +518,71 @@ write_transcode_section(JsonWriter *json, const Options &opt)
     return ok;
 }
 
+// ---------------------------------------------------------------------
+// Section 5: approximation-tier fps/quality Pareto points
+
+bool
+write_pareto_section(JsonWriter *json, const Options &opt)
+{
+    // The same schema pareto_sweep emits standalone; the BENCH section
+    // pins the best SIMD tier only so the trajectory stays compact.
+    const int frames =
+        opt.frames > 0 ? opt.frames : bench_frames_default();
+    const int repeats = opt.repeats;
+    const SimdLevel simd = best_simd_level();
+
+    json->key("pareto");
+    json->begin_object();
+    json->field("schema", "hdvb-pareto/1");
+    json->field("sequence", sequence_name(SequenceId::kRushHour));
+    json->field("resolution",
+                resolution_info(Resolution::k576p25).name);
+    json->field("frames", frames);
+    json->field("repeats", repeats);
+    json->key("points");
+    json->begin_array();
+    bool ok = true;
+    TableWriter table({"Point", "fps", "speedup", "dPSNR dB",
+                       "dBits %"});
+    for (const CodecId codec : kAllCodecs) {
+        const StatusOr<std::vector<ParetoPointBench>> points =
+            bench_pareto_codec(codec, Resolution::k576p25,
+                               SequenceId::kRushHour, simd, frames,
+                               repeats);
+        if (!points.is_ok()) {
+            std::fprintf(stderr, "pareto %s failed: %s\n",
+                         codec_name(codec),
+                         points.status().to_string().c_str());
+            ok = false;
+            continue;
+        }
+        for (const ParetoPointBench &b : points.value()) {
+            json->begin_object();
+            json->field("label", b.label());
+            json->field("codec", codec_name(b.codec));
+            json->field("simd", simd_level_name(b.simd));
+            json->field("approx", b.approx);
+            json->field("fps", b.fps);
+            json->field("fps_cov", b.fps_cov);
+            json->field("psnr_db", b.psnr_db);
+            json->field("bitrate_kbps", b.bitrate_kbps);
+            json->field("speedup", b.speedup);
+            json->field("psnr_delta_db", b.psnr_delta_db);
+            json->field("bitrate_delta_pct", b.bitrate_delta_pct);
+            json->end_object();
+            table.add_row({b.label(), TableWriter::fmt(b.fps, 2),
+                           TableWriter::fmt(b.speedup, 2),
+                           TableWriter::fmt(b.psnr_delta_db, 2),
+                           TableWriter::fmt(b.bitrate_delta_pct, 1)});
+        }
+    }
+    json->end_array();
+    json->end_object();
+    std::printf("\n[pareto]\n");
+    table.print();
+    return ok;
+}
+
 }  // namespace
 
 int
@@ -528,6 +598,8 @@ main(int argc, char **argv)
             opt.skip_kernels = true;
         else if (std::strcmp(argv[i], "--skip-transcode") == 0)
             opt.skip_transcode = true;
+        else if (std::strcmp(argv[i], "--skip-pareto") == 0)
+            opt.skip_pareto = true;
         else if (std::strcmp(argv[i], "--full-res") == 0)
             opt.full_res = true;
         else if (std::strcmp(argv[i], "--json") == 0 ||
@@ -595,6 +667,8 @@ main(int argc, char **argv)
         ok = write_serve_section(&json, opt) && ok;
     if (!opt.skip_transcode)
         ok = write_transcode_section(&json, opt) && ok;
+    if (!opt.skip_pareto)
+        ok = write_pareto_section(&json, opt) && ok;
     json.end_object();
 
     if (!ok) {

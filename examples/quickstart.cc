@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/cli.h"
 #include "container/container.h"
 #include "core/benchmark.h"
 #include "core/runner.h"
@@ -31,7 +32,17 @@ main(int argc, char **argv)
         }
         codec = parsed.value();
     }
-    const int frames = argc > 2 ? std::atoi(argv[2]) : 16;
+    int frames = 16;
+    if (argc > 2) {
+        const StatusOr<int> parsed =
+            cli_int("FRAMES", argv[2], 1, 1 << 20);
+        if (!parsed.is_ok()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().to_string().c_str());
+            return 1;
+        }
+        frames = parsed.value();
+    }
 
     // 1. Configure the codec with the benchmark's Table IV settings.
     const CodecConfig cfg = benchmark_config(codec, Resolution::k720p25,

@@ -37,6 +37,8 @@ CodecConfig::validate() const
         return Status::invalid_argument("refs out of range 1..16");
     if (threads < 1 || threads > kMaxCodecThreads)
         return Status::invalid_argument("threads out of range 1..64");
+    if (approx < 0 || approx > 3)
+        return Status::invalid_argument("approx out of range 0..3");
     if (fps_num <= 0 || fps_den <= 0)
         return Status::invalid_argument("bad frame rate");
     return Status::ok();

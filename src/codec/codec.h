@@ -98,6 +98,18 @@ struct CodecConfig {
      */
     bool frame_pool = true;
 
+    /**
+     * Approximation tier 0..3, orthogonal to @ref simd. Level 0 is
+     * today's byte-exact behaviour. Levels >= 1 trade quality for
+     * encode speed with deterministic shortcuts — early-termination
+     * SAD, pruned motion search, near-zero block skips, low-precision
+     * DCT, fast deblocking — so streams are *not* bit-exact across
+     * levels, but at a fixed level they are invariant to SIMD tier
+     * and thread count. Decoders only consume it for the H.264
+     * in-loop deblock fast path (encoder/decoder recon must match).
+     */
+    int approx = 0;
+
     /** Check invariants (16-aligned dimensions, ranges). */
     Status validate() const;
 };

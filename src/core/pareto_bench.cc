@@ -1,0 +1,85 @@
+#include "core/pareto_bench.h"
+
+#include <utility>
+
+#include "common/stats.h"
+
+namespace hdvb {
+
+std::string
+ParetoPointBench::label() const
+{
+    return std::string(codec_name(codec)) + "/approx" +
+           std::to_string(approx) + "/" + simd_level_name(simd);
+}
+
+StatusOr<std::vector<ParetoPointBench>>
+bench_pareto_codec(CodecId codec, Resolution res, SequenceId sequence,
+                   SimdLevel simd, int frames, int repeats)
+{
+    if (frames < 1 || repeats < 1)
+        return Status::invalid_argument(
+            "bench_pareto_codec needs frames >= 1 and repeats >= 1");
+
+    std::vector<ParetoPointBench> points;
+    points.reserve(kApproxLevels);
+    for (int approx = 0; approx < kApproxLevels; ++approx) {
+        BenchPoint point;
+        point.codec = codec;
+        point.sequence = sequence;
+        point.resolution = res;
+        point.frames = frames;
+        point.simd = simd;
+        CodecConfig cfg = point.effective_config();
+        cfg.approx = approx;
+        point.config = cfg;
+
+        ParetoPointBench bench;
+        bench.codec = codec;
+        bench.simd = simd;
+        bench.approx = approx;
+        bench.frames = frames;
+        bench.repeats = repeats;
+
+        // Warm-up (pools, page faults), then the timed repeats.
+        std::vector<double> fps;
+        EncodedStream stream;
+        for (int run = 0; run < repeats + 1; ++run) {
+            StatusOr<EncodeRun> result = run_encode(point);
+            if (!result.is_ok())
+                return result.status();
+            if (run == 0)
+                continue;
+            fps.push_back(result.value().fps());
+            if (run == repeats) {
+                bench.bitrate_kbps = result.value().bitrate_kbps();
+                stream = std::move(result.value().stream);
+            }
+        }
+        const SampleSummary summary = summarize(std::move(fps));
+        bench.fps = summary.median;
+        bench.fps_cov = summary.cov;
+
+        const StatusOr<DecodeRun> decoded = run_decode(point, stream);
+        if (!decoded.is_ok())
+            return decoded.status();
+        bench.psnr_db = decoded.value().psnr_y;
+
+        points.push_back(bench);
+    }
+
+    const ParetoPointBench &exact = points.front();
+    for (ParetoPointBench &bench : points) {
+        bench.speedup =
+            exact.fps > 0.0 ? bench.fps / exact.fps : 0.0;
+        bench.psnr_delta_db = bench.psnr_db - exact.psnr_db;
+        bench.bitrate_delta_pct =
+            exact.bitrate_kbps > 0.0
+                ? 100.0 * (bench.bitrate_kbps / exact.bitrate_kbps -
+                           1.0)
+                : 0.0;
+    }
+    return points;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Measured fps/quality Pareto points for the approximate-computing
+ * encoder tier (CodecConfig::approx): one codec at one SIMD tier,
+ * encoded at every approximation level with repeat/CoV statistics and
+ * quality/bitrate deltas against the exact level 0 run. Shared by
+ * bench/pareto_sweep (standalone hdvb-pareto/1 reports) and
+ * bench/regression_sweep (the "pareto" BENCH section).
+ */
+#ifndef HDVB_CORE_PARETO_BENCH_H
+#define HDVB_CORE_PARETO_BENCH_H
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace hdvb {
+
+/** Highest CodecConfig::approx level (levels are 0..kApproxLevels-1,
+ * matching CodecConfig::validate). */
+inline constexpr int kApproxLevels = 4;
+
+/** One measured (codec, SIMD tier, approx level) encode point. fps is
+ * the median over the timed repeats; deltas compare against the
+ * approx=0 point of the same codec and tier. */
+struct ParetoPointBench {
+    CodecId codec = CodecId::kMpeg2;
+    SimdLevel simd = SimdLevel::kScalar;
+    int approx = 0;
+    int frames = 0;
+    int repeats = 0;
+
+    double fps = 0.0;  ///< encode fps, median over repeats
+    double fps_cov = 0.0;
+    double psnr_db = 0.0;  ///< decoded PSNR-Y against the source
+    double bitrate_kbps = 0.0;
+
+    double speedup = 1.0;        ///< fps / fps(approx 0), same tier
+    double psnr_delta_db = 0.0;  ///< psnr - psnr(approx 0)
+    double bitrate_delta_pct = 0.0;
+
+    /** "h264/approx2/sse2" — the metric/JSON key. */
+    std::string label() const;
+};
+
+/**
+ * Encode @p frames of @p sequence with @p codec at @p res and @p simd
+ * for every approximation level 0..3, @p repeats timed repeats each
+ * (plus one warm-up), then decode each stream once for PSNR. Returns
+ * one point per level with the deltas against level 0 filled in.
+ */
+StatusOr<std::vector<ParetoPointBench>>
+bench_pareto_codec(CodecId codec, Resolution res, SequenceId sequence,
+                   SimdLevel simd, int frames, int repeats);
+
+}  // namespace hdvb
+
+#endif  // HDVB_CORE_PARETO_BENCH_H

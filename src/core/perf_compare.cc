@@ -171,6 +171,39 @@ load_transcode_metrics(const JsonValue &transcode, BenchFile *file)
     }
 }
 
+/** The pareto block (hdvb-pareto/1): per (codec, approx level, SIMD
+ * tier) point, the encode fps and the PSNR cost of the approximation
+ * against level 0. psnr_delta_db is ~0 at the low levels, so it is
+ * gated on the same absolute floor as the transcode quality delta. */
+void
+load_pareto_metrics(const JsonValue &pareto, BenchFile *file)
+{
+    constexpr double kPsnrDeltaFloorDb = 0.25;
+    const JsonValue &points = pareto.get("points");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const JsonValue &point = points.at(i);
+        const std::string label = point.get("label").as_string();
+        if (label.empty())
+            continue;
+        if (const JsonValue *fps = point.find("fps")) {
+            add_metric(file, "pareto/" + label + "/fps",
+                       fps->as_double(),
+                       point.get("fps_cov").as_double(),
+                       /*higher_is_better=*/true);
+        }
+        // Level 0 is the reference: its delta is 0 by construction,
+        // so only the approximated points carry a quality metric.
+        const int approx =
+            static_cast<int>(point.get("approx").as_double());
+        if (const JsonValue *delta = point.find("psnr_delta_db");
+            delta != nullptr && approx >= 1) {
+            add_metric(file, "pareto/" + label + "/psnr_delta_db",
+                       delta->as_double(), /*cov=*/0.0,
+                       /*higher_is_better=*/true, kPsnrDeltaFloorDb);
+        }
+    }
+}
+
 }  // namespace
 
 StatusOr<BenchFile>
@@ -200,6 +233,8 @@ load_bench_file(const std::string &path)
         load_serve_metrics(*serve, &file);
     if (const JsonValue *transcode = doc.find("transcode"))
         load_transcode_metrics(*transcode, &file);
+    if (const JsonValue *pareto = doc.find("pareto"))
+        load_pareto_metrics(*pareto, &file);
     if (file.metrics.empty()) {
         return Status::invalid_argument(
             path + ": no comparable metrics found");

@@ -1,0 +1,53 @@
+#include "dsp/approx.h"
+
+#include "simd/dct_matrix.h"
+
+namespace hdvb {
+
+namespace {
+
+/** Saturate to int16, matching the full transform's pack semantics. */
+inline Coeff
+sat16(s32 v)
+{
+    return static_cast<Coeff>(clamp<s32>(v, -32768, 32767));
+}
+
+}  // namespace
+
+void
+fdct8x8_low4(Coeff blk[64])
+{
+    Coeff tmp[32];  // vertical frequencies 0..3, all 8 columns
+    // Column pass: only the 4 lowest vertical frequencies. Identical
+    // arithmetic to the exact transform's first pass for these rows.
+    for (int k = 0; k < 4; ++k) {
+        for (int x = 0; x < 8; ++x) {
+            s32 acc = 0;
+            for (int n = 0; n < 8; ++n)
+                acc += kDctMatrix[k][n] * blk[n * 8 + x];
+            tmp[k * 8 + x] = sat16(
+                (acc + (1 << (kDctPass1Shift - 1))) >> kDctPass1Shift);
+        }
+    }
+    // Row pass over the surviving rows: the 4 lowest horizontal
+    // frequencies; everything else in the block becomes zero.
+    for (int y = 0; y < 4; ++y) {
+        Coeff row[4];
+        for (int k = 0; k < 4; ++k) {
+            s32 acc = 0;
+            for (int n = 0; n < 8; ++n)
+                acc += kDctMatrix[k][n] * tmp[y * 8 + n];
+            row[k] = sat16(
+                (acc + (1 << (kDctPass2Shift - 1))) >> kDctPass2Shift);
+        }
+        for (int x = 0; x < 4; ++x)
+            blk[y * 8 + x] = row[x];
+        for (int x = 4; x < 8; ++x)
+            blk[y * 8 + x] = 0;
+    }
+    for (int i = 32; i < 64; ++i)
+        blk[i] = 0;
+}
+
+}  // namespace hdvb

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the approximate-computing encoder tier
+ * (CodecConfig::approx >= 1): quantiser-aware dead-zone thresholds
+ * that let encoders skip the forward transform for near-zero residual
+ * blocks, and a low-precision forward DCT for the top level.
+ *
+ * Everything here is deliberately scalar and deterministic: approx
+ * decisions must depend only on pixel data and the configuration, so
+ * an approximated stream is invariant to SIMD tier and thread count.
+ */
+#ifndef HDVB_DSP_APPROX_H
+#define HDVB_DSP_APPROX_H
+
+#include "common/types.h"
+
+namespace hdvb {
+
+/**
+ * Per-8x8-block SAD dead zone for the MPEG-class encoders: residual
+ * blocks whose prediction SAD is below this are coded as all-zero
+ * (cbp bit clear) without running fdct + quant. 0 at approx level 0
+ * (no shortcut); doubles per level above 1. Scales with the quantiser
+ * step (step = W * qscale >> step_shift, flat inter matrix W = 16),
+ * so a coarser quantiser — which would have zeroed the block anyway —
+ * widens the zone.
+ */
+inline int
+mpeg_dead_zone_sad(int qscale, int step_shift, int approx)
+{
+    if (approx < 1)
+        return 0;
+    // ~0.5 grey levels per sample per quantiser step at level 1.
+    return ((qscale * 96) >> step_shift) << (approx - 1);
+}
+
+/**
+ * Per-4x4-block SAD dead zone for the H.264-class encoder; same
+ * contract as mpeg_dead_zone_sad. The step doubles every 6 QP, and so
+ * does the zone.
+ */
+inline int
+h264_dead_zone_sad(int qp, int approx)
+{
+    if (approx < 1)
+        return 0;
+    return (1 << (qp / 6)) << (approx - 1);
+}
+
+/**
+ * Low-precision forward 8x8 DCT (approx level 3): computes only the
+ * top-left 4x4 output coefficients — the lowest horizontal and
+ * vertical frequencies — and zeroes the rest, at ~3/8 of the exact
+ * transform's multiplies. The surviving coefficients are bit-exact
+ * with the full fixed-point transform (same basis, rounding, and
+ * saturation), so dequant/IDCT reconstruction needs no changes.
+ * Always scalar: the output must not depend on the SIMD tier.
+ */
+void fdct8x8_low4(Coeff blk[64]);
+
+}  // namespace hdvb
+
+#endif  // HDVB_DSP_APPROX_H

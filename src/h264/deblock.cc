@@ -107,6 +107,24 @@ filter_line(Pixel *p0p, Pixel *q0p, int step, int alpha, int beta,
     }
 }
 
+/**
+ * Fast-path smoothness probe (approx >= 2): true when every line of
+ * the edge steps by at most one grey level across the boundary. Such
+ * edges are visually seamless already, so the filter is skipped before
+ * the boundary strength is even computed. Reads 2 samples per line
+ * against filter_line's 6.
+ */
+inline bool
+edge_is_smooth(const Pixel *q0, int line_step, int cross_step, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        const Pixel *q = q0 + i * line_step;
+        if (iabs(q[0] - q[-cross_step]) > 1)
+            return false;
+    }
+    return true;
+}
+
 /** Boundary strength between two 4x4 blocks (0 = no filtering). */
 inline int
 boundary_strength(const BlockInfo &p, const BlockInfo &q,
@@ -126,12 +144,14 @@ boundary_strength(const BlockInfo &p, const BlockInfo &q,
 }  // namespace
 
 void
-deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
+deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp,
+                int approx)
 {
     const int alpha = kAlpha[clamp(qp, 0, 51)];
     const int beta = kBeta[clamp(qp, 0, 51)];
     if (alpha == 0 || beta == 0)
         return;
+    const bool fast = approx >= 2;
 
     Plane &luma = frame->luma();
     const int w4 = grid.width4();
@@ -141,13 +161,15 @@ deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
     // Vertical edges (filter across columns), then horizontal edges.
     for (int by = 0; by < h4; ++by) {
         for (int bx = 1; bx < w4; ++bx) {
+            Pixel *base = luma.row(by * 4) + bx * 4;
+            if (fast && edge_is_smooth(base, stride, 1, 4))
+                continue;
             const BlockInfo &p = grid.at(bx - 1, by);
             const BlockInfo &q = grid.at(bx, by);
             const int bs = boundary_strength(p, q, bx % 4 == 0);
             if (bs == 0)
                 continue;
             const int tc0 = tc0_value(qp, bs);
-            Pixel *base = luma.row(by * 4) + bx * 4;
             for (int i = 0; i < 4; ++i) {
                 filter_line(base + i * stride - 1, base + i * stride, 1,
                             alpha, beta, bs, tc0);
@@ -156,13 +178,15 @@ deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
     }
     for (int by = 1; by < h4; ++by) {
         for (int bx = 0; bx < w4; ++bx) {
+            Pixel *base = luma.row(by * 4) + bx * 4;
+            if (fast && edge_is_smooth(base, 1, stride, 4))
+                continue;
             const BlockInfo &p = grid.at(bx, by - 1);
             const BlockInfo &q = grid.at(bx, by);
             const int bs = boundary_strength(p, q, by % 4 == 0);
             if (bs == 0)
                 continue;
             const int tc0 = tc0_value(qp, bs);
-            Pixel *base = luma.row(by * 4) + bx * 4;
             for (int i = 0; i < 4; ++i) {
                 filter_line(base + i - stride, base + i, stride, alpha,
                             beta, bs, tc0);
@@ -179,13 +203,15 @@ deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
         const int ch8 = plane.height() / 8;
         for (int by = 0; by < ch8; ++by) {
             for (int bx = 1; bx < cw8; ++bx) {
+                Pixel *base = plane.row(by * 8) + bx * 8;
+                if (fast && edge_is_smooth(base, cs, 1, 8))
+                    continue;
                 const BlockInfo &p = grid.at(bx * 4 - 1, by * 4);
                 const BlockInfo &q = grid.at(bx * 4, by * 4);
                 const int bs = boundary_strength(p, q, true);
                 if (bs == 0)
                     continue;
                 const int tc0 = tc0_value(qp, bs);
-                Pixel *base = plane.row(by * 8) + bx * 8;
                 for (int i = 0; i < 8; ++i) {
                     filter_line(base + i * cs - 1, base + i * cs, 1,
                                 alpha, beta, bs == 4 ? 3 : bs, tc0);
@@ -194,13 +220,15 @@ deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp)
         }
         for (int by = 1; by < ch8; ++by) {
             for (int bx = 0; bx < cw8; ++bx) {
+                Pixel *base = plane.row(by * 8) + bx * 8;
+                if (fast && edge_is_smooth(base, 1, cs, 8))
+                    continue;
                 const BlockInfo &p = grid.at(bx * 4, by * 4 - 1);
                 const BlockInfo &q = grid.at(bx * 4, by * 4);
                 const int bs = boundary_strength(p, q, true);
                 if (bs == 0)
                     continue;
                 const int tc0 = tc0_value(qp, bs);
-                Pixel *base = plane.row(by * 8) + bx * 8;
                 for (int i = 0; i < 8; ++i) {
                     filter_line(base + i - cs, base + i, cs, alpha,
                                 beta, bs == 4 ? 3 : bs, tc0);

@@ -70,8 +70,13 @@ class BlockInfoGrid
  * Filter a reconstructed picture in place. Both the encoder (closed
  * loop) and the decoder call this with identical inputs.
  * @param qp picture quantiser (drives thresholds)
+ * @param approx approximation tier (CodecConfig::approx). At >= 2,
+ *   edges whose straddling samples are already flat skip the boundary
+ *   strength computation and the filter entirely — a shared shortcut,
+ *   so encoder and decoder reconstructions still match exactly.
  */
-void deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp);
+void deblock_picture(Frame *frame, const BlockInfoGrid &grid, int qp,
+                     int approx = 0);
 
 }  // namespace hdvb::h264
 

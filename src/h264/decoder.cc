@@ -1183,7 +1183,7 @@ H264Decoder::decode_picture_resilient(const Packet &packet, Frame *out)
         return Status::corrupt_stream("every row of the picture lost");
 
     if (deblock)
-        deblock_picture(out, binfo_, qp);
+        deblock_picture(out, binfo_, qp, config().approx);
 
     if (type != PictureType::kB) {
         Frame ref = new_frame(kRefBorder);
@@ -1265,7 +1265,7 @@ H264Decoder::decode_picture(const Packet &packet, Frame *out)
         side_info_sink()->push(std::move(si));
 
     if (deblock)
-        deblock_picture(out, binfo_, qp);
+        deblock_picture(out, binfo_, qp, config().approx);
 
     if (type != PictureType::kB) {
         Frame ref = new_frame(kRefBorder);

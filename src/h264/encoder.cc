@@ -29,6 +29,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
+#include "dsp/approx.h"
 #include "dsp/quant.h"
 #include "dsp/transform4x4.h"
 #include "h264/cabac_syntax.h"
@@ -81,7 +82,8 @@ class H264Encoder final : public EncoderBase
                        static_cast<int>(16.0 *
                                         std::pow(2.0,
                                                  (cfg.qp - 12) / 6.0)),
-                       2, &dsp_}),
+                       2, &dsp_, cfg.approx}),
+          dead_zone_sad_(h264_dead_zone_sad(cfg.qp, cfg.approx)),
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           binfo_(cfg.width, cfg.height),
@@ -179,6 +181,7 @@ class H264Encoder final : public EncoderBase
     H264Quantizer quant_i_;
     H264Quantizer quant_p_;
     MotionEstimator me_;
+    int dead_zone_sad_;  ///< per-4x4 skip zone, 0 when approx == 0
     int mb_w_;
     int mb_h_;
 
@@ -244,12 +247,25 @@ H264Encoder::estimate(const Frame &src, const Plane &ref, int x0, int y0,
     const MeResult full = me_.hex(blk, pred_sub, cands);
     const MotionVector start{static_cast<s16>(full.mv.x * 4),
                              static_cast<s16>(full.mv.y * 4)};
-    // SATD-driven half- then quarter-sample refinement (subme-style).
-    return subpel_refine(
-        blk, start, pred_sub, me_.params(), {2, 1}, /*use_satd=*/true,
-        [&](MotionVector mv, Pixel *dst, int ds) {
-            mc_h264_luma(ref, x0, y0, mv, dst, ds, w, h, dsp_);
-        });
+    const int approx = me_.params().approx;
+    if (approx >= 1 && full.sad < me_.exit_threshold(blk)) {
+        // Full-pel match is already near-noise: keep its SAD cost and
+        // skip the fractional refinement entirely.
+        MeResult r = full;
+        r.mv = start;
+        return r;
+    }
+    // SATD-driven half- then quarter-sample refinement (subme-style);
+    // the top approximation levels stop at half-sample.
+    const auto mc = [&](MotionVector mv, Pixel *dst, int ds) {
+        mc_h264_luma(ref, x0, y0, mv, dst, ds, w, h, dsp_);
+    };
+    return approx >= 2 ? subpel_refine(blk, start, pred_sub,
+                                       me_.params(), {2},
+                                       /*use_satd=*/true, mc)
+                       : subpel_refine(blk, start, pred_sub,
+                                       me_.params(), {2, 1},
+                                       /*use_satd=*/true, mc);
 }
 
 void
@@ -531,10 +547,19 @@ H264Encoder::quantize_inter_residual(const Frame &src, int mbx, int mby,
     for (int b = 0; b < 16; ++b) {
         const int x = lx + (b & 3) * 4;
         const int y = ly + (b >> 2) * 4;
-        const int nz = transform_quant4x4(
-            dsp_, src.luma(), x, y,
-            luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4, 16, quant_p_,
-            rec.luma[b], nullptr);
+        const Pixel *pp = luma_pred + (b >> 2) * 4 * 16 + (b & 3) * 4;
+        if (dead_zone_sad_ > 0 &&
+            dsp_.sad_rect(src.luma().row(y) + x, src.luma().stride(),
+                          pp, 16, 4, 4) < dead_zone_sad_) {
+            // Near-zero residual: code the block as all-zero without
+            // running the transform. Records are reused across MBs, so
+            // the levels must be cleared explicitly.
+            std::memset(rec.luma[b], 0, sizeof(rec.luma[b]));
+            continue;
+        }
+        const int nz = transform_quant4x4(dsp_, src.luma(), x, y, pp,
+                                          16, quant_p_, rec.luma[b],
+                                          nullptr);
         if (nz != 0) {
             any = true;
             *nz_map |= 1u << b;
@@ -548,9 +573,16 @@ H264Encoder::quantize_inter_residual(const Frame &src, int mbx, int mby,
         for (int b = 0; b < 4; ++b) {
             const int x = mbx * 8 + (b & 1) * 4;
             const int y = mby * 8 + (b >> 1) * 4;
+            const Pixel *pp = pred + (b >> 1) * 4 * 8 + (b & 1) * 4;
+            if (dead_zone_sad_ > 0 &&
+                dsp_.sad_rect(src_plane.row(y) + x, src_plane.stride(),
+                              pp, 8, 4, 4) < dead_zone_sad_) {
+                std::memset(rec.chroma[comp - 1][b], 0,
+                            sizeof(rec.chroma[comp - 1][b]));
+                continue;
+            }
             const int nz = transform_quant4x4(
-                dsp_, src_plane, x, y,
-                pred + (b >> 1) * 4 * 8 + (b & 1) * 4, 8, quant_p_,
+                dsp_, src_plane, x, y, pp, 8, quant_p_,
                 rec.chroma[comp - 1][b], nullptr);
             any |= nz != 0;
         }
@@ -680,7 +712,13 @@ H264Encoder::analyze_mb(RowState &rs, const Frame &src, PictureType type,
         Partition parts[4] = {kPartGeom[kPart16x16][0], {}, {}, {}};
         parts[0].mv = best16.mv;
         int best_cost = best16.cost;
-        if (cfg.partitions && hint == nullptr) {
+        // Approximation levels >= 2 trust the 16x16 result unless its
+        // residual is clearly large enough for a split to pay off.
+        const bool try_parts =
+            cfg.partitions && hint == nullptr &&
+            (me_.params().approx < 2 ||
+             best16.sad >= (256 << me_.params().approx) * 4);
+        if (try_parts) {
             std::vector<MotionVector> sub_cands = cands;
             sub_cands.push_back({static_cast<s16>(best16.mv.x >> 2),
                                  static_cast<s16>(best16.mv.y >> 2)});
@@ -1064,7 +1102,7 @@ H264Encoder::encode_picture(const Frame &src, PictureType type)
     }
 
     if (cfg.deblock)
-        deblock_picture(&recon_, binfo_, cfg.qp);
+        deblock_picture(&recon_, binfo_, cfg.qp, cfg.approx);
     recon_.extend_borders();
 
     if (type != PictureType::kB) {

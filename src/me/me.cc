@@ -45,17 +45,41 @@ MotionEstimator::sad_at(const MeBlock &blk, int mx, int my) const
     return dsp.sad_rect(cur, cs, ref, rs, blk.w, blk.h);
 }
 
+int
+MotionEstimator::sad_at_bounded(const MeBlock &blk, int mx, int my,
+                                int bound) const
+{
+    const Dsp &dsp = *params_.dsp;
+    const Pixel *cur = blk.cur->row(blk.y0) + blk.x0;
+    const int cs = blk.cur->stride();
+    const Pixel *ref = blk.ref->row(blk.y0 + my) + blk.x0 + mx;
+    const int rs = blk.ref->stride();
+    if (blk.w == 16 && blk.h == 16)
+        return dsp.sad16x16_et(cur, cs, ref, rs, bound);
+    return dsp.sad_rect_et(cur, cs, ref, rs, blk.w, blk.h, bound);
+}
+
 MeResult
 MotionEstimator::evaluate(const MeBlock &blk, MotionVector pred_sub,
-                          int mx, int my) const
+                          int mx, int my, int best_cost) const
 {
     MeResult r;
     r.mv = {static_cast<s16>(mx), static_cast<s16>(my)};
-    r.sad = sad_at(blk, mx, my);
     const MotionVector mv_sub{
         static_cast<s16>(mx << params_.subpel_shift),
         static_cast<s16>(my << params_.subpel_shift)};
-    r.cost = r.sad + mv_rate_cost(mv_sub, pred_sub, params_.lambda16);
+    const int rate = mv_rate_cost(mv_sub, pred_sub, params_.lambda16);
+    if (params_.approx >= 1 && best_cost != INT32_MAX) {
+        // A bail (partial > bound) makes cost = partial + rate >=
+        // best_cost, so the caller's cost comparison rejects this
+        // candidate exactly as the exact SAD would have — the approx
+        // tier changes work done, never the winning vector.
+        const int bound = std::max(best_cost - rate - 1, 0);
+        r.sad = sad_at_bounded(blk, mx, my, bound);
+    } else {
+        r.sad = sad_at(blk, mx, my);
+    }
+    r.cost = r.sad + rate;
     return r;
 }
 
@@ -68,7 +92,8 @@ MotionEstimator::full_search(const MeBlock &blk,
     MeResult best;
     for (int my = min_y; my <= max_y; ++my) {
         for (int mx = min_x; mx <= max_x; ++mx) {
-            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            const MeResult r =
+                evaluate(blk, pred_sub, mx, my, best.cost);
             if (r.cost < best.cost)
                 best = r;
         }
@@ -94,7 +119,8 @@ MotionEstimator::diamond_refine(const MeBlock &blk, MotionVector pred_sub,
             const int my = center.y + kDy[i];
             if (mx < min_x || mx > max_x || my < min_y || my > max_y)
                 continue;
-            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            const MeResult r =
+                evaluate(blk, pred_sub, mx, my, best->cost);
             if (r.cost < best->cost) {
                 *best = r;
                 improved = true;
@@ -124,17 +150,26 @@ MotionEstimator::epzs(const MeBlock &blk, MotionVector pred_sub,
     auto consider = [&](MotionVector mv) {
         if (mv == best.mv)
             return;
-        const MeResult r = evaluate(blk, pred_sub, mv.x, mv.y);
+        const MeResult r =
+            evaluate(blk, pred_sub, mv.x, mv.y, best.cost);
         if (r.cost < best.cost)
             best = r;
     };
     consider(pred_full);
-    for (const MotionVector &c : cand_full)
+    // EPZS early termination threshold: ~1 grey level per sample at
+    // level 0, doubled per approx level — higher levels accept
+    // rougher predictors to skip the refinement walk more often.
+    const int threshold = exit_threshold(blk);
+    for (const MotionVector &c : cand_full) {
+        // approx >= 2: stop scanning zonal candidates once one is
+        // already under the exit threshold.
+        if (params_.approx >= 2 && best.sad < threshold)
+            break;
         consider(clamp_mv(c.x, c.y));
+    }
 
-    // EPZS early termination: a predictor already this good will not be
-    // beaten by enough to pay for a refinement walk.
-    const int threshold = blk.w * blk.h;  // ~1 grey level per sample
+    // A predictor already this good will not be beaten by enough to
+    // pay for a refinement walk.
     if (best.sad < threshold)
         return best;
 
@@ -159,14 +194,25 @@ MotionEstimator::hex(const MeBlock &blk, MotionVector pred_sub,
         clamp_mv(pred_sub.x >> params_.subpel_shift,
                  pred_sub.y >> params_.subpel_shift);
     auto consider = [&](MotionVector mv) {
-        const MeResult r = evaluate(blk, pred_sub, mv.x, mv.y);
+        const MeResult r =
+            evaluate(blk, pred_sub, mv.x, mv.y, best.cost);
         if (r.cost < best.cost)
             best = r;
     };
     if (pred_full != best.mv)
         consider(pred_full);
-    for (const MotionVector &c : cand_full)
+    const int threshold = exit_threshold(blk);
+    for (const MotionVector &c : cand_full) {
+        if (params_.approx >= 2 && best.sad < threshold)
+            break;
         consider(clamp_mv(c.x, c.y));
+    }
+
+    // approx >= 1: a candidate already under threshold skips the
+    // hexagon walk and the diamond ending entirely (level 0 keeps the
+    // exact search, which has no such exit).
+    if (params_.approx >= 1 && best.sad < threshold)
+        return best;
 
     // Large hexagon (radius 2) iteration.
     static const int kHx[6] = {-2, -1, 1, 2, 1, -1};
@@ -180,7 +226,8 @@ MotionEstimator::hex(const MeBlock &blk, MotionVector pred_sub,
             const int my = center.y + kHy[i];
             if (mx < min_x || mx > max_x || my < min_y || my > max_y)
                 continue;
-            const MeResult r = evaluate(blk, pred_sub, mx, my);
+            const MeResult r =
+                evaluate(blk, pred_sub, mx, my, best.cost);
             if (r.cost < best.cost) {
                 best = r;
                 improved = true;

@@ -47,6 +47,18 @@ struct MeParams {
     int lambda16 = 32;     ///< rate weight in Q4 (cost += l16*bits>>4)
     int subpel_shift = 1;  ///< log2 sub-samples per sample (1 or 2)
     const Dsp *dsp = nullptr;
+    /**
+     * Approximation level (CodecConfig::approx). 0 runs the exact
+     * search paths unchanged. >= 1 dispatches early-termination SAD
+     * in the candidate loops with bound = best_cost - rate - 1, which
+     * provably produces the same accept/reject decisions as exact SAD
+     * (a bail implies cost >= best_cost, i.e. rejection; an accepted
+     * candidate never bailed, so its SAD is exact), and widens the
+     * EPZS early-exit threshold by << approx. >= 2 additionally
+     * breaks out of the zonal candidate scan once a candidate is
+     * under threshold.
+     */
+    int approx = 0;
 };
 
 /** Search outcome; mv is in FULL-sample units, cost includes rate. */
@@ -99,10 +111,26 @@ class MotionEstimator
     void mv_bounds(const MeBlock &blk, int *min_x, int *max_x,
                    int *min_y, int *max_y) const;
 
+    /** Early-exit distortion threshold for @p blk at this approx
+     * level: ~1 grey level per sample, doubled per level. */
+    int
+    exit_threshold(const MeBlock &blk) const
+    {
+        return (blk.w * blk.h) << params_.approx;
+    }
+
   private:
     int sad_at(const MeBlock &blk, int mx, int my) const;
+    int sad_at_bounded(const MeBlock &blk, int mx, int my,
+                       int bound) const;
+    /** Evaluate candidate (mx, my). When @p best_cost is finite and
+     * params_.approx >= 1, uses early-termination SAD with a bound
+     * derived so a bail already implies cost >= best_cost — the
+     * returned result then loses the comparison exactly as the exact
+     * SAD would, and any result that wins carries an exact sad. */
     MeResult evaluate(const MeBlock &blk, MotionVector pred_sub,
-                      int mx, int my) const;
+                      int mx, int my,
+                      int best_cost = INT32_MAX) const;
     /** Iterate a +-1 diamond from @p best until no improvement. */
     void diamond_refine(const MeBlock &blk, MotionVector pred_sub,
                         MeResult *best) const;

@@ -28,6 +28,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
+#include "dsp/approx.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -68,7 +69,9 @@ class Mpeg2Encoder final : public EncoderBase
           inter_quant_(kMpegInterMatrix, cfg.qscale, 8, 4),
           intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Intra)),
           inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg2Inter)),
-          me_(MeParams{cfg.me_range, cfg.qscale * 16, 1, &dsp_}),
+          me_(MeParams{cfg.me_range, cfg.qscale * 16, 1, &dsp_,
+                       cfg.approx}),
+          dead_zone_sad_(mpeg_dead_zone_sad(cfg.qscale, 4, cfg.approx)),
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
@@ -151,6 +154,9 @@ class Mpeg2Encoder final : public EncoderBase
     const RunLevelCoder &intra_rl_;
     const RunLevelCoder &inter_rl_;
     MotionEstimator me_;
+    /** approx >= 1: per-8x8 SAD below which the residual is coded as
+     * all-zero without running fdct + quant (0 disables). */
+    int dead_zone_sad_;
     int mb_w_;
     int mb_h_;
 
@@ -300,6 +306,15 @@ Mpeg2Encoder::estimate(const Frame &src, const Frame &ref, int mbx,
     const MeResult full = me_.epzs(blk, pred_sub, cands);
     const MotionVector start{static_cast<s16>(full.mv.x * 2),
                              static_cast<s16>(full.mv.y * 2)};
+    if (me_.params().approx >= 1 &&
+        full.sad < me_.exit_threshold(blk)) {
+        // The full-pel match is already under the exit threshold:
+        // half-pel refinement cannot buy enough to matter at this
+        // approximation level.
+        MeResult r = full;
+        r.mv = start;
+        return r;
+    }
     return subpel_refine(
         blk, start, pred_sub, me_.params(), {1}, /*use_satd=*/false,
         [&](MotionVector mv, Pixel *dst, int ds) {
@@ -553,9 +568,20 @@ Mpeg2Encoder::analyze_inter_mb(RowState &rs, const Frame &src,
             pp = b == 4 ? pred.cb : pred.cr;
             ps = 8;
         }
+        if (dead_zone_sad_ > 0 &&
+            dsp_.sad_rect(src_plane.row(y) + x, src_plane.stride(), pp,
+                          ps, 8, 8) < dead_zone_sad_) {
+            // Near-zero residual: the quantiser would have flattened
+            // it anyway; code the block as all-zero without running
+            // fdct + quant (cbp bit stays clear, recon = prediction).
+            continue;
+        }
         dsp_.sub_rect(rec.levels[b], 8, src_plane.row(y) + x,
                       src_plane.stride(), pp, ps, 8, 8);
-        dsp_.fdct8x8(rec.levels[b]);
+        if (me_.params().approx >= 3)
+            fdct8x8_low4(rec.levels[b]);
+        else
+            dsp_.fdct8x8(rec.levels[b]);
         if (inter_quant_.quantize(rec.levels[b]) != 0)
             cbp |= 1 << b;
     }

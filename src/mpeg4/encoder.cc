@@ -25,6 +25,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/wavefront.h"
+#include "dsp/approx.h"
 #include "dsp/quant.h"
 #include "mc/mc.h"
 #include "me/me.h"
@@ -72,7 +73,9 @@ class Mpeg4Encoder final : public EncoderBase
           inter_quant_(kMpegInterMatrix, cfg.qscale, 10),
           intra_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Intra)),
           inter_rl_(RunLevelCoder::get(RunLevelProfile::kMpeg4Inter)),
-          me_(MeParams{cfg.me_range, cfg.qscale * 16, 2, &dsp_}),
+          me_(MeParams{cfg.me_range, cfg.qscale * 16, 2, &dsp_,
+                       cfg.approx}),
+          dead_zone_sad_(mpeg_dead_zone_sad(cfg.qscale, 3, cfg.approx)),
           mb_w_(cfg.width / 16),
           mb_h_(cfg.height / 16),
           anchor_mvs_(static_cast<size_t>(mb_w_) * mb_h_),
@@ -164,6 +167,9 @@ class Mpeg4Encoder final : public EncoderBase
     const RunLevelCoder &intra_rl_;
     const RunLevelCoder &inter_rl_;
     MotionEstimator me_;
+    /** approx >= 1: per-8x8 SAD below which the residual is coded as
+     * all-zero without running fdct + quant (0 disables). */
+    int dead_zone_sad_;
     int mb_w_;
     int mb_h_;
 
@@ -255,11 +261,21 @@ Mpeg4Encoder::estimate(const Frame &src, const Frame &ref, int x0,
     const MeResult full = me_.epzs(blk, pred_sub, cands);
     const MotionVector start{static_cast<s16>(full.mv.x * 4),
                              static_cast<s16>(full.mv.y * 4)};
+    const int approx = me_.params().approx;
+    if (approx >= 1 && full.sad < me_.exit_threshold(blk)) {
+        // Full-pel match already under the exit threshold: skip the
+        // sub-sample refinement walk at this approximation level.
+        MeResult r = full;
+        r.mv = start;  // full-pel position, already qpel-legal
+        return r;
+    }
     auto predict = [&](MotionVector mv, Pixel *dst, int ds) {
         mc_qpel_tap(ref.luma(), x0, y0, mv, dst, ds, size, size, dsp_);
     };
+    // approx >= 2 drops the quarter-sample pass: half-sample steps
+    // only, halving the interpolation work per refined block.
     MeResult res =
-        config().qpel
+        config().qpel && approx < 2
             ? subpel_refine(blk, start, pred_sub, me_.params(), {2, 1},
                             /*use_satd=*/false, predict)
             : subpel_refine(blk, start, pred_sub, me_.params(), {2},
@@ -474,7 +490,14 @@ Mpeg4Encoder::analyze_mb(RowState &rs, const Frame &src,
         bool four = false;
         // The hint is a 16x16 seed, so trust it and skip the 4MV
         // split trial (the decoder's 4MV collapses to one vector).
-        if (config().four_mv && hint == nullptr) {
+        // approx >= 2 also prunes the trial — four separate 8x8
+        // searches plus refinements for a rate win the coarse
+        // quantiser rarely cashes in — unless the 16x16 match is bad.
+        const bool try_four_mv =
+            config().four_mv && hint == nullptr &&
+            (me_.params().approx < 2 ||
+             r16.sad >= (256 << me_.params().approx) * 4);
+        if (try_four_mv) {
             // 4MV: refine each 8x8 quadrant; adopt if the summed cost
             // beats 16x16 plus the extra vector overhead.
             MeResult sub[4];
@@ -658,9 +681,19 @@ Mpeg4Encoder::analyze_inter_mb(RowState &rs, const Frame &src,
             pp = b == 4 ? pred.cb : pred.cr;
             ps = 8;
         }
+        if (dead_zone_sad_ > 0 &&
+            dsp_.sad_rect(src_plane.row(y) + x, src_plane.stride(), pp,
+                          ps, 8, 8) < dead_zone_sad_) {
+            // Near-zero residual: skip fdct + quant, leave the cbp bit
+            // clear (recon = prediction, as for any all-zero block).
+            continue;
+        }
         dsp_.sub_rect(rec.levels[b], 8, src_plane.row(y) + x,
                       src_plane.stride(), pp, ps, 8, 8);
-        dsp_.fdct8x8(rec.levels[b]);
+        if (me_.params().approx >= 3)
+            fdct8x8_low4(rec.levels[b]);
+        else
+            dsp_.fdct8x8(rec.levels[b]);
         if (inter_quant_.quantize(rec.levels[b]) != 0)
             cbp |= 1 << b;
     }

@@ -20,6 +20,8 @@ const Dsp kScalarDsp = {
     scalar_sad16x16,  // alignment buys scalar code nothing
     scalar_sad8x8,
     scalar_sad_rect,
+    scalar_sad16x16_et,
+    scalar_sad_rect_et,
     scalar_satd4x4,
     scalar_satd_rect,
     scalar_sse_rect,
@@ -43,6 +45,8 @@ const Dsp kSse2Dsp = {
     sse2_sad16x16_a,
     sse2_sad8x8,
     sse2_sad_rect,
+    sse2_sad16x16_et,
+    sse2_sad_rect_et,
     sse2_satd4x4,
     sse2_satd_rect,
     sse2_sse_rect,
@@ -69,6 +73,8 @@ const Dsp kAvx2Dsp = {
     sse2_sad16x16_a,
     sse2_sad8x8,
     sse2_sad_rect,
+    sse2_sad16x16_et,
+    sse2_sad_rect_et,
     sse2_satd4x4,  // a single 4x4 is too narrow for ymm to help
     avx2_satd_rect,
     avx2_sse_rect,

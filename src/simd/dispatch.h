@@ -81,6 +81,21 @@ struct Dsp {
     /** Generic SAD; w, h <= 16. */
     int (*sad_rect)(const Pixel *a, int as, const Pixel *b, int bs,
                     int w, int h);
+    /**
+     * Early-termination SAD (the approx >= 1 tier): may stop
+     * accumulating once the partial sum exceeds @p bound and return
+     * the partial. The bound is advisory — implementations check it at
+     * their own granularity (per row, per row pair), so the returned
+     * value is only guaranteed exact when it is <= bound; any return
+     * value > bound means "at least this much". Callers comparing
+     * against a best-so-far cost must therefore derive @p bound from
+     * that cost such that a bail already implies rejection (see
+     * MotionEstimator). With bound = INT32_MAX these are plain SADs.
+     */
+    int (*sad16x16_et)(const Pixel *a, int as, const Pixel *b, int bs,
+                       int bound);
+    int (*sad_rect_et)(const Pixel *a, int as, const Pixel *b, int bs,
+                       int w, int h, int bound);
     /** 4x4 Hadamard-transformed difference (x264-style, sum >> 1). */
     int (*satd4x4)(const Pixel *a, int as, const Pixel *b, int bs);
     /** SATD over a rectangle; w and h multiples of 4. */

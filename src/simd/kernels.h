@@ -15,6 +15,10 @@ int scalar_sad16x16(const Pixel *a, int as, const Pixel *b, int bs);
 int scalar_sad8x8(const Pixel *a, int as, const Pixel *b, int bs);
 int scalar_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
                     int w, int h);
+int scalar_sad16x16_et(const Pixel *a, int as, const Pixel *b, int bs,
+                       int bound);
+int scalar_sad_rect_et(const Pixel *a, int as, const Pixel *b, int bs,
+                       int w, int h, int bound);
 int scalar_satd4x4(const Pixel *a, int as, const Pixel *b, int bs);
 int scalar_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
                      int w, int h);
@@ -50,6 +54,10 @@ int sse2_sad16x16_a(const Pixel *a, int as, const Pixel *b, int bs);
 int sse2_sad8x8(const Pixel *a, int as, const Pixel *b, int bs);
 int sse2_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
                   int w, int h);
+int sse2_sad16x16_et(const Pixel *a, int as, const Pixel *b, int bs,
+                     int bound);
+int sse2_sad_rect_et(const Pixel *a, int as, const Pixel *b, int bs,
+                     int w, int h, int bound);
 int sse2_satd4x4(const Pixel *a, int as, const Pixel *b, int bs);
 int sse2_satd_rect(const Pixel *a, int as, const Pixel *b, int bs,
                    int w, int h);

@@ -105,6 +105,32 @@ scalar_sad_rect(const Pixel *a, int as, const Pixel *b, int bs,
 }
 
 int
+scalar_sad_rect_et(const Pixel *a, int as, const Pixel *b, int bs,
+                   int w, int h, int bound)
+{
+    // Early-termination SAD: bail between rows once the partial sum
+    // exceeds the advisory bound. A return value > bound is a partial
+    // (a lower bound on the true SAD); <= bound is exact.
+    int sum = 0;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            sum += iabs(static_cast<int>(a[x]) - static_cast<int>(b[x]));
+        if (sum > bound)
+            return sum;
+        a += as;
+        b += bs;
+    }
+    return sum;
+}
+
+int
+scalar_sad16x16_et(const Pixel *a, int as, const Pixel *b, int bs,
+                   int bound)
+{
+    return scalar_sad_rect_et(a, as, b, bs, 16, 16, bound);
+}
+
+int
 scalar_satd4x4(const Pixel *a, int as, const Pixel *b, int bs)
 {
     int d[16];

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The approximate-computing tier contract (CodecConfig::approx):
+ * level 0 is byte-identical to the default configuration's golden
+ * streams at every SIMD level and thread count; levels >= 1 produce
+ * decodable streams whose quality stays within a pinned bound of
+ * level 0; and an approximated stream is itself invariant to the SIMD
+ * tier and thread count — approximation must be deterministic, not
+ * data-race-shaped.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.h"
+#include "core/benchmark.h"
+#include "metrics/psnr.h"
+#include "synth/synth.h"
+
+namespace hdvb {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;
+constexpr int kFrames = 8;
+
+CodecConfig
+small_config(SimdLevel simd, int approx, int threads)
+{
+    CodecConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.qscale = 5;
+    cfg.qp = 26;
+    cfg.me_range = 8;
+    cfg.refs = 2;
+    cfg.simd = simd;
+    cfg.approx = approx;
+    cfg.threads = threads;
+    return cfg;
+}
+
+struct CodecRun {
+    EncodedStream stream;
+    std::vector<Frame> decoded;
+};
+
+CodecRun
+encode_decode(CodecId codec, const CodecConfig &cfg)
+{
+    CodecRun run;
+    run.stream.codec = codec_name(codec);
+    run.stream.width = cfg.width;
+    run.stream.height = cfg.height;
+    std::unique_ptr<VideoEncoder> enc =
+        make_encoder(codec, cfg).value();
+    SyntheticSource source(SequenceId::kRushHour, cfg.width,
+                           cfg.height);
+    for (int i = 0; i < kFrames; ++i)
+        EXPECT_TRUE(enc->encode(source.next(),
+                                &run.stream.packets).is_ok());
+    EXPECT_TRUE(enc->flush(&run.stream.packets).is_ok());
+
+    std::unique_ptr<VideoDecoder> dec =
+        make_decoder(codec, cfg).value();
+    for (const Packet &packet : run.stream.packets)
+        EXPECT_TRUE(dec->decode(packet, &run.decoded).is_ok());
+    EXPECT_TRUE(dec->flush(&run.decoded).is_ok());
+    return run;
+}
+
+void
+expect_identical_streams(const CodecRun &a, const CodecRun &b)
+{
+    ASSERT_EQ(a.stream.packets.size(), b.stream.packets.size());
+    for (size_t i = 0; i < a.stream.packets.size(); ++i) {
+        EXPECT_EQ(a.stream.packets[i].data, b.stream.packets[i].data)
+            << "bitstream differs at packet " << i;
+    }
+    ASSERT_EQ(a.decoded.size(), b.decoded.size());
+    for (size_t i = 0; i < a.decoded.size(); ++i) {
+        for (int p = 0; p < 3; ++p) {
+            EXPECT_EQ(plane_sse(a.decoded[i].plane(p),
+                                b.decoded[i].plane(p)),
+                      0u)
+                << "recon differs at frame " << i << " plane " << p;
+        }
+    }
+}
+
+double
+psnr_y_vs_source(const CodecRun &run)
+{
+    SyntheticSource source(SequenceId::kRushHour, kW, kH);
+    PsnrAccumulator acc;
+    for (const Frame &frame : run.decoded)
+        acc.add(source.at(static_cast<int>(frame.poc())), frame);
+    return acc.psnr_y();
+}
+
+class ApproxContract : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(ApproxContract, LevelZeroIsGoldenAcrossSimdAndThreads)
+{
+    // approx is default-0, so the default config defines the golden
+    // stream; an explicit approx=0 must reproduce it byte for byte at
+    // every SIMD level and thread count.
+    const CodecId codec = GetParam();
+    const CodecRun golden = encode_decode(
+        codec, small_config(SimdLevel::kScalar, /*approx=*/0,
+                            /*threads=*/1));
+    for (int l = 0; l <= static_cast<int>(detected_simd_level()); ++l) {
+        for (int threads : {1, 2, 4}) {
+            SCOPED_TRACE(std::string(simd_level_name(
+                             static_cast<SimdLevel>(l))) +
+                         " threads=" + std::to_string(threads));
+            const CodecRun run = encode_decode(
+                codec, small_config(static_cast<SimdLevel>(l), 0,
+                                    threads));
+            expect_identical_streams(golden, run);
+        }
+    }
+}
+
+TEST_P(ApproxContract, HigherLevelsDecodableWithinPinnedPsnrBound)
+{
+    // Each approximation level must still produce a conforming,
+    // decodable stream; the quality cost against the exact level 0
+    // encode is pinned per level (the top level trades hard — the
+    // low-precision DCT drops whole frequency bands).
+    static constexpr double kMaxPsnrDropDb[4] = {0.0, 1.5, 3.0, 15.0};
+    const CodecId codec = GetParam();
+    const SimdLevel simd = best_simd_level();
+    const CodecRun exact =
+        encode_decode(codec, small_config(simd, 0, 1));
+    const double exact_psnr = psnr_y_vs_source(exact);
+    for (int approx = 1; approx <= 3; ++approx) {
+        SCOPED_TRACE("approx=" + std::to_string(approx));
+        const CodecRun run =
+            encode_decode(codec, small_config(simd, approx, 1));
+        ASSERT_EQ(run.decoded.size(), exact.decoded.size());
+        const double psnr = psnr_y_vs_source(run);
+        EXPECT_GE(psnr, exact_psnr - kMaxPsnrDropDb[approx])
+            << "level " << approx << " PSNR " << psnr
+            << " dB fell more than " << kMaxPsnrDropDb[approx]
+            << " dB below level 0's " << exact_psnr << " dB";
+    }
+}
+
+TEST_P(ApproxContract, ApproxStreamInvariantToSimdAndThreads)
+{
+    // Approximation decisions depend only on pixels and configuration:
+    // the same approx level must emit the identical stream from every
+    // kernel tier and thread count.
+    const CodecId codec = GetParam();
+    for (int approx : {1, 3}) {
+        const CodecRun reference = encode_decode(
+            codec, small_config(SimdLevel::kScalar, approx, 1));
+        for (int l = 0; l <= static_cast<int>(detected_simd_level());
+             ++l) {
+            for (int threads : {1, 2, 4}) {
+                SCOPED_TRACE(
+                    "approx=" + std::to_string(approx) + " " +
+                    simd_level_name(static_cast<SimdLevel>(l)) +
+                    " threads=" + std::to_string(threads));
+                const CodecRun run = encode_decode(
+                    codec, small_config(static_cast<SimdLevel>(l),
+                                        approx, threads));
+                expect_identical_streams(reference, run);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, ApproxContract,
+                         ::testing::Values(CodecId::kMpeg2,
+                                           CodecId::kMpeg4,
+                                           CodecId::kH264),
+                         [](const ::testing::TestParamInfo<CodecId> &i) {
+                             return codec_name(i.param);
+                         });
+
+TEST(ApproxConfig, ValidateRejectsOutOfRangeLevels)
+{
+    CodecConfig cfg = small_config(SimdLevel::kScalar, 0, 1);
+    EXPECT_TRUE(cfg.validate().is_ok());
+    cfg.approx = 3;
+    EXPECT_TRUE(cfg.validate().is_ok());
+    cfg.approx = 4;
+    EXPECT_FALSE(cfg.validate().is_ok());
+    cfg.approx = -1;
+    EXPECT_FALSE(cfg.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace hdvb

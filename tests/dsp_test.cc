@@ -6,11 +6,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
+#include "dsp/approx.h"
 #include "dsp/quant.h"
 #include "dsp/transform4x4.h"
 #include "dsp/zigzag.h"
+#include "simd/dispatch.h"
 
 namespace hdvb {
 namespace {
@@ -43,6 +46,54 @@ TEST(Zigzag, StartsAtDcWalksToHighestFrequency)
     EXPECT_EQ(kZigzag8x8[63], 63);
     EXPECT_EQ(kZigzag4x4[0], 0);
     EXPECT_EQ(kZigzag4x4[15], 15);
+}
+
+// ---- approximation-tier helpers ----
+
+TEST(ApproxDct, Low4MatchesFullTransformOnSurvivingCoefficients)
+{
+    // fdct8x8_low4's contract: the top-left 4x4 output coefficients
+    // are bit-exact with the exact fixed-point transform; every other
+    // coefficient is zero.
+    std::mt19937 rng(1234);
+    const Dsp &dsp = get_dsp(SimdLevel::kScalar);
+    for (int trial = 0; trial < 50; ++trial) {
+        Coeff full[64];
+        Coeff low[64];
+        for (int i = 0; i < 64; ++i)
+            full[i] = static_cast<Coeff>(
+                static_cast<int>(rng() % 511) - 255);
+        std::memcpy(low, full, sizeof(full));
+        dsp.fdct8x8(full);
+        fdct8x8_low4(low);
+        for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+                if (y < 4 && x < 4) {
+                    EXPECT_EQ(full[y * 8 + x], low[y * 8 + x])
+                        << "y=" << y << " x=" << x;
+                } else {
+                    EXPECT_EQ(low[y * 8 + x], 0)
+                        << "y=" << y << " x=" << x;
+                }
+            }
+        }
+    }
+}
+
+TEST(ApproxDeadZone, ZeroAtLevelZeroAndScalesWithLevel)
+{
+    EXPECT_EQ(mpeg_dead_zone_sad(5, 4, 0), 0);
+    EXPECT_EQ(h264_dead_zone_sad(26, 0), 0);
+    for (int approx = 1; approx < 3; ++approx) {
+        // Doubles per level above 1.
+        EXPECT_EQ(mpeg_dead_zone_sad(5, 4, approx + 1),
+                  mpeg_dead_zone_sad(5, 4, approx) * 2);
+        EXPECT_EQ(h264_dead_zone_sad(26, approx + 1),
+                  h264_dead_zone_sad(26, approx) * 2);
+    }
+    // Coarser quantisers widen the zone.
+    EXPECT_GT(mpeg_dead_zone_sad(31, 4, 1), mpeg_dead_zone_sad(2, 4, 1));
+    EXPECT_GT(h264_dead_zone_sad(40, 1), h264_dead_zone_sad(12, 1));
 }
 
 // ---- Equation 1 ----

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <random>
 #include <string>
 #include <tuple>
@@ -80,6 +81,48 @@ TEST_P(KernelEquivalence, Sad)
             EXPECT_EQ(scalar_.sad_rect(a, kStride, b, kStride, w, h),
                       simd_->sad_rect(a, kStride, b, kStride, w, h))
                 << "w=" << w << " h=" << h;
+        }
+    }
+}
+
+TEST_P(KernelEquivalence, SadEarlyTermination)
+{
+    // The ET kernel contract (simd/dispatch.h): with an unreachable
+    // bound the result is the exact SAD; with any bound, a result
+    // <= bound IS the exact SAD (decision safety), and a bailed
+    // result both exceeds the bound and never exceeds the exact sum.
+    const Pixel *a = buf_a_.data() + 3;
+    const Pixel *b = buf_b_.data() + 5;
+    const int exact = scalar_.sad16x16(a, kStride, b, kStride);
+    EXPECT_EQ(exact,
+              scalar_.sad16x16_et(a, kStride, b, kStride, INT32_MAX));
+    EXPECT_EQ(exact,
+              simd_->sad16x16_et(a, kStride, b, kStride, INT32_MAX));
+    for (const int bound : {0, 1, 64, exact - 1, exact, exact + 1}) {
+        for (const Dsp *dsp : {&scalar_, simd_}) {
+            const int et =
+                dsp->sad16x16_et(a, kStride, b, kStride, bound);
+            EXPECT_LE(et, exact) << "bound=" << bound;
+            if (et <= bound)
+                EXPECT_EQ(et, exact) << "bound=" << bound;
+        }
+    }
+    for (int w : {4, 6, 8, 12, 16}) {
+        for (int h : {4, 8, 15, 16}) {
+            const int rect =
+                scalar_.sad_rect(a, kStride, b, kStride, w, h);
+            EXPECT_EQ(rect, scalar_.sad_rect_et(a, kStride, b, kStride,
+                                                w, h, INT32_MAX));
+            EXPECT_EQ(rect, simd_->sad_rect_et(a, kStride, b, kStride,
+                                               w, h, INT32_MAX));
+            const int bound = rect / 2;
+            for (const Dsp *dsp : {&scalar_, simd_}) {
+                const int et = dsp->sad_rect_et(a, kStride, b, kStride,
+                                                w, h, bound);
+                EXPECT_LE(et, rect) << "w=" << w << " h=" << h;
+                if (et <= bound)
+                    EXPECT_EQ(et, rect) << "w=" << w << " h=" << h;
+            }
         }
     }
 }
